@@ -1,0 +1,153 @@
+//! Dataset joins for §4: organizations, business types, HG/CDN, ROV.
+
+use sibling_as_org::{BusinessType, HgCdnClass};
+use sibling_core::SiblingPair;
+use sibling_net_types::{Asn, MonthDate};
+use sibling_rpki::{PairRovStatus, RovState};
+use sibling_worldgen::World;
+
+/// Origin ASNs of a pair's two prefixes, resolved against the RIB (the
+/// most specific covering announcement, so tuned sub-prefixes inherit the
+/// origin of their announced parent).
+pub fn pair_origins(world: &World, pair: &SiblingPair) -> Option<(Asn, Asn)> {
+    let v4 = world.rib().origin_of_v4(&pair.v4)?.primary_origin();
+    let v6 = world.rib().origin_of_v6(&pair.v6)?.primary_origin();
+    Some((v4, v6))
+}
+
+/// Whether the pair's origin ASes belong to the same organization under
+/// the era-appropriate mapping (§4.5: same ASN, or sibling ASes registered
+/// to the same organization name).
+pub fn pair_same_org(world: &World, pair: &SiblingPair, date: MonthDate) -> Option<bool> {
+    let (a4, a6) = pair_origins(world, pair)?;
+    Some(world.as_org().map_for(date).same_org(a4, a6))
+}
+
+/// The organization names of the pair's two sides (era-appropriate).
+pub fn pair_org_names(
+    world: &World,
+    pair: &SiblingPair,
+    date: MonthDate,
+) -> Option<(String, String)> {
+    let (a4, a6) = pair_origins(world, pair)?;
+    let map = world.as_org().map_for(date);
+    let n4 = map.org_name(map.org_of(a4)?)?.to_string();
+    let n6 = map.org_name(map.org_of(a6)?)?.to_string();
+    Some((n4, n6))
+}
+
+/// The single-business-type pair of the origin ASes, if both map to
+/// exactly one ASdb category (the §4.6 filter).
+pub fn pair_business_types(
+    world: &World,
+    pair: &SiblingPair,
+) -> Option<(BusinessType, BusinessType)> {
+    let (a4, a6) = pair_origins(world, pair)?;
+    let b4 = world.asdb().single_type_of(a4)?;
+    let b6 = world.asdb().single_type_of(a6)?;
+    Some((b4, b6))
+}
+
+/// The HG/CDN bucket of a pair: the organization name when both sides
+/// belong to the *same* listed HG/CDN organization (§4.7), otherwise
+/// `None` (the pair counts as "non-CDN-HG").
+pub fn pair_hg_cdn(world: &World, pair: &SiblingPair, date: MonthDate) -> Option<String> {
+    let (n4, n6) = pair_org_names(world, pair, date)?;
+    if n4 != n6 {
+        return None;
+    }
+    match world.hg_cdn().classify(&n4) {
+        HgCdnClass::Other => None,
+        _ => Some(n4),
+    }
+}
+
+/// The joint ROV status of a pair at `date` (§4.8), validated against the
+/// ROA table of the same month and the announced covering prefixes.
+pub fn pair_rov_status(
+    world: &World,
+    pair: &SiblingPair,
+    date: MonthDate,
+) -> Option<PairRovStatus> {
+    let table = world.roa_table(date);
+    let route4 = world.rib().origin_of_v4(&pair.v4)?;
+    let route6 = world.rib().origin_of_v6(&pair.v6)?;
+    let s4: RovState = table.validate_v4(&route4.prefix, route4.primary_origin());
+    let s6: RovState = table.validate_v6(&route6.prefix, route6.primary_origin());
+    Some(PairRovStatus::from_states(s4, s6))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibling_worldgen::{World, WorldConfig};
+
+    fn ctx() -> (World, Vec<SiblingPair>) {
+        let world = World::generate(WorldConfig::test_small(23));
+        let snap = world.snapshot(world.config.end);
+        let index =
+            sibling_core::PrefixDomainIndex::build(&snap, world.rib());
+        let set = sibling_core::detect(
+            &index,
+            sibling_core::SimilarityMetric::Jaccard,
+            sibling_core::BestMatchPolicy::Union,
+        );
+        let pairs: Vec<SiblingPair> = set.iter().copied().collect();
+        (world, pairs)
+    }
+
+    #[test]
+    fn origins_resolve_for_detected_pairs() {
+        let (world, pairs) = ctx();
+        assert!(!pairs.is_empty());
+        for pair in &pairs {
+            assert!(
+                pair_origins(&world, pair).is_some(),
+                "pair {} / {} must have announced origins",
+                pair.v4,
+                pair.v6
+            );
+        }
+    }
+
+    #[test]
+    fn same_and_diff_org_pairs_exist() {
+        let (world, pairs) = ctx();
+        let date = world.config.end;
+        let same = pairs
+            .iter()
+            .filter(|p| pair_same_org(&world, p, date) == Some(true))
+            .count();
+        let diff = pairs
+            .iter()
+            .filter(|p| pair_same_org(&world, p, date) == Some(false))
+            .count();
+        assert!(same > 0, "expected same-org pairs");
+        assert!(diff > 0, "expected diff-org pairs");
+    }
+
+    #[test]
+    fn rov_status_resolves() {
+        let (world, pairs) = ctx();
+        let date = world.config.end;
+        let mut any_valid = false;
+        for pair in pairs.iter().take(100) {
+            let status = pair_rov_status(&world, pair, date).expect("announced prefixes");
+            if status.at_least_one_valid() {
+                any_valid = true;
+            }
+        }
+        assert!(any_valid, "some pairs should have valid ROV by the end");
+    }
+
+    #[test]
+    fn hg_cdn_bucket_appears() {
+        let (world, pairs) = ctx();
+        let date = world.config.end;
+        let hg_pairs = pairs
+            .iter()
+            .filter(|p| pair_hg_cdn(&world, p, date).is_some())
+            .count();
+        assert!(hg_pairs > 0, "hypergiant pairs expected (Amazon is boosted)");
+    }
+}

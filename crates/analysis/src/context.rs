@@ -1,0 +1,153 @@
+//! Shared, memoised analysis state.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use sibling_core::{
+    detect, tuner::more_specific::tune_more_specific, BestMatchPolicy, PrefixDomainIndex,
+    SiblingSet, SimilarityMetric, SpTunerConfig,
+};
+use sibling_dns::DnsSnapshot;
+use sibling_net_types::MonthDate;
+use sibling_worldgen::World;
+
+/// The reference-date offsets of the paper's over-time figures
+/// ("Day 0" = September 2024; "Day −1"/"Week −1" collapse onto the same
+/// monthly snapshot at our granularity, mirroring their ≈100% stability).
+#[derive(Debug, Clone)]
+pub struct ReferenceOffsets;
+
+impl ReferenceOffsets {
+    /// (label, months before day 0), oldest first — Fig. 9/11/12 x-axis.
+    pub fn standard() -> Vec<(&'static str, i32)> {
+        vec![
+            ("Year -4", 48),
+            ("Year -3", 36),
+            ("Year -2", 24),
+            ("Year -1", 12),
+            ("Month -6", 6),
+            ("Month -3", 3),
+            ("Month -1", 1),
+            ("Week -1", 0),
+            ("Day -1", 0),
+            ("Day 0", 0),
+        ]
+    }
+
+    /// The 13-month window of the §4.1 stability analysis (Fig. 7),
+    /// oldest first.
+    pub fn stability_window(end: MonthDate) -> Vec<MonthDate> {
+        (0..13).rev().map(|k| end.add_months(-k)).collect()
+    }
+}
+
+/// A generated world plus caches for everything derived from it.
+pub struct AnalysisContext {
+    /// The synthetic Internet under analysis.
+    pub world: World,
+    snapshots: Mutex<BTreeMap<MonthDate, Arc<DnsSnapshot>>>,
+    indexes: Mutex<BTreeMap<MonthDate, Arc<PrefixDomainIndex>>>,
+    default_sets: Mutex<BTreeMap<MonthDate, Arc<SiblingSet>>>,
+    tuned_sets: Mutex<BTreeMap<(MonthDate, u8, u8), Arc<SiblingSet>>>,
+}
+
+impl AnalysisContext {
+    /// Wraps a generated world.
+    pub fn new(world: World) -> Self {
+        Self {
+            world,
+            snapshots: Mutex::new(BTreeMap::new()),
+            indexes: Mutex::new(BTreeMap::new()),
+            default_sets: Mutex::new(BTreeMap::new()),
+            tuned_sets: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The newest snapshot date ("day 0").
+    pub fn day0(&self) -> MonthDate {
+        self.world.config.end
+    }
+
+    /// The memoised DNS snapshot for `date`.
+    pub fn snapshot(&self, date: MonthDate) -> Arc<DnsSnapshot> {
+        if let Some(s) = self.snapshots.lock().get(&date) {
+            return s.clone();
+        }
+        let snap = Arc::new(self.world.snapshot(date));
+        self.snapshots.lock().insert(date, snap.clone());
+        snap
+    }
+
+    /// The memoised prefix/domain index for `date`.
+    pub fn index(&self, date: MonthDate) -> Arc<PrefixDomainIndex> {
+        if let Some(i) = self.indexes.lock().get(&date) {
+            return i.clone();
+        }
+        let snap = self.snapshot(date);
+        let index = Arc::new(PrefixDomainIndex::build(&snap, self.world.rib()));
+        self.indexes.lock().insert(date, index.clone());
+        index
+    }
+
+    /// The default (BGP-announced granularity) sibling set for `date`.
+    pub fn default_pairs(&self, date: MonthDate) -> Arc<SiblingSet> {
+        if let Some(s) = self.default_sets.lock().get(&date) {
+            return s.clone();
+        }
+        let index = self.index(date);
+        let set = Arc::new(detect(
+            &index,
+            SimilarityMetric::Jaccard,
+            BestMatchPolicy::Union,
+        ));
+        self.default_sets.lock().insert(date, set.clone());
+        set
+    }
+
+    /// The SP-Tuner-MS refined sibling set for `date` at the given
+    /// thresholds.
+    pub fn tuned_pairs(&self, date: MonthDate, config: SpTunerConfig) -> Arc<SiblingSet> {
+        let key = (date, config.v4_threshold, config.v6_threshold);
+        if let Some(s) = self.tuned_sets.lock().get(&key) {
+            return s.clone();
+        }
+        let index = self.index(date);
+        let base = self.default_pairs(date);
+        let outcome = tune_more_specific(&index, &base, &config);
+        let set = Arc::new(outcome.pairs);
+        self.tuned_sets.lock().insert(key, set.clone());
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibling_worldgen::WorldConfig;
+
+    #[test]
+    fn caching_returns_same_arc() {
+        let ctx = AnalysisContext::new(World::generate(WorldConfig::test_tiny(3)));
+        let d = ctx.day0();
+        let a = ctx.snapshot(d);
+        let b = ctx.snapshot(d);
+        assert!(Arc::ptr_eq(&a, &b));
+        let a = ctx.default_pairs(d);
+        let b = ctx.default_pairs(d);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn reference_offsets_are_complete() {
+        let offsets = ReferenceOffsets::standard();
+        assert_eq!(offsets.len(), 10);
+        assert_eq!(offsets.first().unwrap().1, 48);
+        assert_eq!(offsets.last().unwrap().1, 0);
+        let window = ReferenceOffsets::stability_window(MonthDate::new(2024, 9));
+        assert_eq!(window.len(), 13);
+        assert_eq!(window[0], MonthDate::new(2023, 9));
+        assert_eq!(window[12], MonthDate::new(2024, 9));
+    }
+}

@@ -1,0 +1,163 @@
+//! Figs. 16/20/21: business types of sibling-prefix origin ASes.
+
+use std::collections::BTreeSet;
+
+use sibling_as_org::BusinessType;
+
+use crate::classify::{pair_business_types, pair_origins};
+use crate::context::AnalysisContext;
+use crate::experiments::{Experiment, ExperimentResult};
+use crate::render::Heatmap;
+
+/// What is being counted per business-type cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CountMode {
+    /// Fig. 16: sibling pairs, excluding pairs with identical origin ASN.
+    PairsExcludingSameAsn,
+    /// Fig. 20: unique origin-AS pairs, excluding identical ASN.
+    UniqueAsPairs,
+    /// Fig. 21: all sibling pairs, including identical ASN.
+    AllPairs,
+}
+
+/// Figs. 16/20/21: business-type heatmaps.
+pub struct Business {
+    id: &'static str,
+    title: &'static str,
+    paper_ref: &'static str,
+    mode: CountMode,
+}
+
+impl Business {
+    /// Fig. 16: pair counts, different origin ASes only.
+    pub fn fig16() -> Self {
+        Self {
+            id: "fig16",
+            title: "Business types of origin ASes (pairs, diff-ASN only)",
+            paper_ref: "Figure 16 (§4.6)",
+            mode: CountMode::PairsExcludingSameAsn,
+        }
+    }
+
+    /// Fig. 20: unique origin-AS pair counts.
+    pub fn fig20() -> Self {
+        Self {
+            id: "fig20",
+            title: "Business types of origin ASes (unique AS pairs)",
+            paper_ref: "Figure 20 (Appendix A.4)",
+            mode: CountMode::UniqueAsPairs,
+        }
+    }
+
+    /// Fig. 21: unfiltered pair counts (includes same-ASN pairs).
+    pub fn fig21() -> Self {
+        Self {
+            id: "fig21",
+            title: "Business types of origin ASes (unfiltered)",
+            paper_ref: "Figure 21 (Appendix A.4)",
+            mode: CountMode::AllPairs,
+        }
+    }
+}
+
+impl Experiment for Business {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn title(&self) -> &'static str {
+        self.title
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        self.paper_ref
+    }
+
+    fn run(&self, ctx: &AnalysisContext) -> ExperimentResult {
+        let mut result = ExperimentResult::new(self.id(), self.title());
+        // The paper uses the January 2024 snapshot for this analysis.
+        let date = sibling_net_types::MonthDate::new(2024, 1)
+            .min(ctx.day0());
+        let pairs = ctx.default_pairs(date);
+
+        let labels: Vec<String> = BusinessType::ALL.iter().map(|t| t.label().to_string()).collect();
+        let mut heat = Heatmap::zeroed(
+            "Origin AS of IPv6 prefix",
+            "Origin AS of IPv4 prefix",
+            labels.clone(),
+            labels,
+        );
+        let mut seen_as_pairs: BTreeSet<(u32, u32)> = BTreeSet::new();
+        let mut single_type = 0usize;
+        let mut considered = 0usize;
+        for pair in pairs.iter() {
+            let Some((a4, a6)) = pair_origins(&ctx.world, pair) else {
+                continue;
+            };
+            if self.mode != CountMode::AllPairs && a4 == a6 {
+                continue;
+            }
+            considered += 1;
+            let Some((b4, b6)) = pair_business_types(&ctx.world, pair) else {
+                continue;
+            };
+            single_type += 1;
+            if self.mode == CountMode::UniqueAsPairs && !seen_as_pairs.insert((a4.0, a6.0)) {
+                continue;
+            }
+            let row = BusinessType::ALL.iter().position(|t| *t == b6).unwrap();
+            let col = BusinessType::ALL.iter().position(|t| *t == b4).unwrap();
+            heat.cells[row][col] += 1.0;
+        }
+
+        let it = BusinessType::ComputerAndIt.label();
+        let it_cell = heat.cell(it, it).unwrap_or(0.0);
+        let max_cell = heat.cells.iter().flatten().fold(0.0f64, |a, &b| a.max(b));
+        result.check(
+            "IT x IT is the dominant business combination (paper: >10k pairs)",
+            (it_cell - max_cell).abs() < 1e-9 && it_cell > 0.0,
+            format!("IT x IT {it_cell:.0}, max {max_cell:.0}"),
+        );
+        // Most cells involve IT on at least one axis.
+        let it_idx = BusinessType::ALL
+            .iter()
+            .position(|t| *t == BusinessType::ComputerAndIt)
+            .unwrap();
+        let it_mass: f64 = (0..BusinessType::ALL.len())
+            .map(|i| heat.cells[it_idx][i] + heat.cells[i][it_idx])
+            .sum::<f64>()
+            - heat.cells[it_idx][it_idx];
+        let total: f64 = heat.cells.iter().flatten().sum();
+        result.check(
+            "most pairs involve an IT organization on at least one side",
+            it_mass > 0.5 * total,
+            format!("IT-involved {it_mass:.0} of {total:.0}"),
+        );
+        if self.mode == CountMode::PairsExcludingSameAsn {
+            let share = if considered == 0 {
+                0.0
+            } else {
+                single_type as f64 / considered as f64
+            };
+            result.check(
+                "most origin ASes map to a single business type (paper: ~80%)",
+                share > 0.6,
+                format!("single-type share {share:.3}"),
+            );
+        }
+        if self.mode == CountMode::AllPairs {
+            // Fig. 21's signature: the diagonal lights up because
+            // same-ASN pairs share one business type.
+            let diag: f64 = (0..BusinessType::ALL.len()).map(|i| heat.cells[i][i]).sum();
+            result.check(
+                "including same-ASN pairs lights up the diagonal",
+                diag > 0.4 * total,
+                format!("diagonal {diag:.0} of {total:.0}"),
+            );
+        }
+
+        result.section("counts per business-type combination", heat.render());
+        result.csv.push((format!("{}_business.csv", self.id), heat.to_csv()));
+        result
+    }
+}

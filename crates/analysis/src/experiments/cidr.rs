@@ -1,0 +1,181 @@
+//! Figs. 13/35/36: CIDR-size distribution of sibling pairs.
+
+use crate::context::AnalysisContext;
+use crate::experiments::{Experiment, ExperimentResult, PairLevel};
+use crate::render::Heatmap;
+
+/// Length groups of the default-case figure (Fig. 13).
+const V4_GROUPS_DEFAULT: [(u8, u8, &str); 8] = [
+    (0, 11, "0-11"),
+    (12, 15, "12-15"),
+    (16, 16, "16"),
+    (17, 19, "17-19"),
+    (20, 22, "20-22"),
+    (23, 23, "23"),
+    (24, 24, "24"),
+    (25, 32, "25-32"),
+];
+
+const V6_GROUPS_DEFAULT: [(u8, u8, &str); 8] = [
+    (0, 16, "0-16"),
+    (17, 31, "17-31"),
+    (32, 32, "32"),
+    (33, 47, "33-47"),
+    (48, 48, "48"),
+    (49, 56, "49-56"),
+    (57, 64, "57-64"),
+    (65, 128, "65-128"),
+];
+
+/// Length groups of the tuned figures (Figs. 35/36 use finer high-end
+/// groups around the threshold lengths).
+const V4_GROUPS_TUNED: [(u8, u8, &str); 7] = [
+    (0, 16, "0-16"),
+    (17, 20, "17-20"),
+    (21, 23, "21-23"),
+    (24, 24, "24"),
+    (25, 27, "25-27"),
+    (28, 28, "28"),
+    (29, 32, "29-32"),
+];
+
+const V6_GROUPS_TUNED: [(u8, u8, &str); 7] = [
+    (0, 32, "0-32"),
+    (33, 47, "33-47"),
+    (48, 48, "48"),
+    (49, 64, "49-64"),
+    (65, 95, "65-95"),
+    (96, 96, "96"),
+    (97, 128, "97-128"),
+];
+
+fn group_of(groups: &[(u8, u8, &str)], len: u8) -> usize {
+    groups
+        .iter()
+        .position(|(lo, hi, _)| len >= *lo && len <= *hi)
+        .unwrap_or(0)
+}
+
+/// Figs. 13/35/36: percentage of sibling pairs per (v4 length group,
+/// v6 length group).
+pub struct CidrSizes {
+    id: &'static str,
+    title: &'static str,
+    paper_ref: &'static str,
+    level: PairLevel,
+}
+
+impl CidrSizes {
+    /// Fig. 13: default (BGP-announced) pairs.
+    pub fn fig13() -> Self {
+        Self {
+            id: "fig13",
+            title: "CIDR sizes of sibling pairs (default)",
+            paper_ref: "Figure 13",
+            level: PairLevel::Default,
+        }
+    }
+
+    /// Fig. 35: SP-Tuner /24–/48.
+    pub fn fig35() -> Self {
+        Self {
+            id: "fig35",
+            title: "CIDR sizes of sibling pairs (SP-Tuner /24-/48)",
+            paper_ref: "Figure 35 (Appendix A.7)",
+            level: PairLevel::Tuned2448,
+        }
+    }
+
+    /// Fig. 36: SP-Tuner /28–/96.
+    pub fn fig36() -> Self {
+        Self {
+            id: "fig36",
+            title: "CIDR sizes of sibling pairs (SP-Tuner /28-/96)",
+            paper_ref: "Figure 36 (Appendix A.7)",
+            level: PairLevel::Tuned2896,
+        }
+    }
+
+    fn groups(&self) -> (&'static [(u8, u8, &'static str)], &'static [(u8, u8, &'static str)]) {
+        match self.level {
+            PairLevel::Default => (&V4_GROUPS_DEFAULT, &V6_GROUPS_DEFAULT),
+            _ => (&V4_GROUPS_TUNED, &V6_GROUPS_TUNED),
+        }
+    }
+}
+
+impl Experiment for CidrSizes {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn title(&self) -> &'static str {
+        self.title
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        self.paper_ref
+    }
+
+    fn run(&self, ctx: &AnalysisContext) -> ExperimentResult {
+        let mut result = ExperimentResult::new(self.id(), self.title());
+        let pairs = self.level.pairs(ctx, ctx.day0());
+        let (v4_groups, v6_groups) = self.groups();
+
+        let mut heat = Heatmap::zeroed(
+            "IPv6 prefix length",
+            "IPv4 prefix length",
+            v6_groups.iter().rev().map(|(_, _, l)| l.to_string()).collect(),
+            v4_groups.iter().map(|(_, _, l)| l.to_string()).collect(),
+        );
+        for pair in pairs.iter() {
+            let row = v6_groups.len() - 1 - group_of(v6_groups, pair.v6.len());
+            let col = group_of(v4_groups, pair.v4.len());
+            heat.cells[row][col] += 1.0;
+        }
+        let heat = heat.to_percent();
+        result.section("% of sibling pairs", heat.render());
+
+        match self.level {
+            PairLevel::Default => {
+                let modal = heat.cell("48", "24").unwrap_or(0.0);
+                let max = heat.cells.iter().flatten().fold(0.0f64, |a, &b| a.max(b));
+                result.check(
+                    "the /24 x /48 combination is the largest cell (paper: 23.41%)",
+                    (modal - max).abs() < 1e-9 && modal > 10.0,
+                    format!("/24x/48 {modal:.1}%, max {max:.1}%"),
+                );
+                // The /17–/24 × /32–/48 region carries the vast majority.
+                let region: f64 = pairs
+                    .iter()
+                    .filter(|p| (17..=24).contains(&p.v4.len()) && (32..=48).contains(&p.v6.len()))
+                    .count() as f64
+                    / pairs.len().max(1) as f64
+                    * 100.0;
+                result.check(
+                    "the /17-/24 x /32-/48 region holds most pairs (paper: ~88%)",
+                    region > 70.0,
+                    format!("region share {region:.1}%"),
+                );
+            }
+            PairLevel::Tuned2448 => {
+                let modal = heat.cell("48", "24").unwrap_or(0.0);
+                result.check(
+                    "tuning pushes most pairs to exactly /24 x /48 (paper: 92.73%)",
+                    modal > 60.0,
+                    format!("/24x/48 {modal:.1}%"),
+                );
+            }
+            PairLevel::Tuned2896 => {
+                let modal = heat.cell("96", "28").unwrap_or(0.0);
+                result.check(
+                    "tuning pushes most pairs to exactly /28 x /96 (paper: 86.95%)",
+                    modal > 60.0,
+                    format!("/28x/96 {modal:.1}%"),
+                );
+            }
+        }
+        result.csv.push((format!("{}_cidr.csv", self.id), heat.to_csv()));
+        result
+    }
+}

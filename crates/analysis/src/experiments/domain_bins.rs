@@ -1,0 +1,114 @@
+//! Figs. 8/33/34: sibling pairs binned by DS-domain counts per side.
+
+use crate::context::AnalysisContext;
+use crate::experiments::{Experiment, ExperimentResult, PairLevel};
+use crate::render::Heatmap;
+
+const BINS: [(u64, u64, &str); 6] = [
+    (1, 1, "1"),
+    (2, 5, "2-5"),
+    (6, 10, "6-10"),
+    (11, 50, "11-50"),
+    (51, 100, "51-100"),
+    (101, u64::MAX, ">100"),
+];
+
+fn bin_of(count: u64) -> usize {
+    BINS.iter()
+        .position(|(lo, hi, _)| count >= *lo && count <= *hi)
+        .unwrap_or(0)
+}
+
+/// Figs. 8/33/34: percentage of sibling pairs per (v4 domain count bin,
+/// v6 domain count bin), at one of the three pair levels.
+pub struct DomainBins {
+    id: &'static str,
+    title: &'static str,
+    paper_ref: &'static str,
+    level: PairLevel,
+}
+
+impl DomainBins {
+    /// Fig. 8: the /28–/96 SP-Tuner level.
+    pub fn fig08() -> Self {
+        Self {
+            id: "fig08",
+            title: "Domains per sibling pair (SP-Tuner /28-/96)",
+            paper_ref: "Figure 8",
+            level: PairLevel::Tuned2896,
+        }
+    }
+
+    /// Fig. 33: the default level.
+    pub fn fig33() -> Self {
+        Self {
+            id: "fig33",
+            title: "Domains per sibling pair (default)",
+            paper_ref: "Figure 33 (Appendix A.7)",
+            level: PairLevel::Default,
+        }
+    }
+
+    /// Fig. 34: the /24–/48 SP-Tuner level.
+    pub fn fig34() -> Self {
+        Self {
+            id: "fig34",
+            title: "Domains per sibling pair (SP-Tuner /24-/48)",
+            paper_ref: "Figure 34 (Appendix A.7)",
+            level: PairLevel::Tuned2448,
+        }
+    }
+}
+
+impl Experiment for DomainBins {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn title(&self) -> &'static str {
+        self.title
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        self.paper_ref
+    }
+
+    fn run(&self, ctx: &AnalysisContext) -> ExperimentResult {
+        let mut result = ExperimentResult::new(self.id(), self.title());
+        let pairs = self.level.pairs(ctx, ctx.day0());
+
+        let labels: Vec<String> = BINS.iter().map(|(_, _, l)| l.to_string()).collect();
+        // Rows top-down: >100 … 1 as in the paper.
+        let mut heat = Heatmap::zeroed(
+            "Domains on IPv6 prefix",
+            "Domains on IPv4 prefix",
+            labels.iter().rev().cloned().collect(),
+            labels.clone(),
+        );
+        for pair in pairs.iter() {
+            let row = 5 - bin_of(pair.v6_domains);
+            let col = bin_of(pair.v4_domains);
+            heat.cells[row][col] += 1.0;
+        }
+        let heat = heat.to_percent();
+
+        let single_single = heat.cell("1", "1").unwrap_or(0.0);
+        let diag: f64 = (0..6)
+            .map(|i| heat.cells[5 - i][i])
+            .sum();
+
+        result.section("% of sibling pairs", heat.render());
+        result.check(
+            "single-domain pairs dominate (paper: >55% at the tuned level)",
+            single_single > 35.0,
+            format!("(1,1) cell {single_single:.1}%"),
+        );
+        result.check(
+            "the diagonal carries the bulk of pairs (similar set sizes)",
+            diag > 50.0,
+            format!("diagonal sum {diag:.1}%"),
+        );
+        result.csv.push((format!("{}_bins.csv", self.id), heat.to_csv()));
+        result
+    }
+}

@@ -1,0 +1,136 @@
+//! §3.5 ground-truth validation: RIPE Atlas probes and VPSes.
+
+use sibling_core::SpTunerConfig;
+use sibling_probes::CoverageEvaluator;
+
+use crate::context::AnalysisContext;
+use crate::experiments::{Experiment, ExperimentResult};
+
+fn sibling_pairs_for_eval(
+    ctx: &AnalysisContext,
+) -> Vec<(sibling_net_types::Ipv4Prefix, sibling_net_types::Ipv6Prefix)> {
+    // The evaluation uses the tuned working set: probes sit inside pods,
+    // and tuned prefixes align with pods.
+    ctx.tuned_pairs(ctx.day0(), SpTunerConfig::best())
+        .iter()
+        .map(|p| (p.v4, p.v6))
+        .collect()
+}
+
+/// §3.5 (RIPE Atlas): coverage of dual-stack probes by sibling prefixes.
+pub struct GtAtlas;
+
+impl Experiment for GtAtlas {
+    fn id(&self) -> &'static str {
+        "gt_atlas"
+    }
+
+    fn title(&self) -> &'static str {
+        "Ground truth: RIPE Atlas probe coverage"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§3.5 (2200/1663/1310 probes; 89.36% best-match)"
+    }
+
+    fn run(&self, ctx: &AnalysisContext) -> ExperimentResult {
+        let mut result = ExperimentResult::new(self.id(), self.title());
+        let evaluator = CoverageEvaluator::new(&sibling_pairs_for_eval(ctx));
+        let probes = ctx.world.atlas_probes();
+        let report = evaluator.evaluate(&probes);
+
+        let total = report.total().max(1) as f64;
+        let body = format!(
+            "probes: {}\ncovered (best match): {} ({:.1}%)\ncovered (mismatch):  {} ({:.1}%)\npartially covered:   {} ({:.1}%)\nnot covered:         {} ({:.1}%)\n\ncovered share: {:.1}% (paper: 42.5%)\nbest-match share of covered: {:.1}% (paper: 89.36%)",
+            report.total(),
+            report.covered_best_match,
+            report.covered_best_match as f64 / total * 100.0,
+            report.covered_mismatch,
+            report.covered_mismatch as f64 / total * 100.0,
+            report.partial,
+            report.partial as f64 / total * 100.0,
+            report.uncovered,
+            report.uncovered as f64 / total * 100.0,
+            report.covered_share() * 100.0,
+            report.best_match_share() * 100.0,
+        );
+        result.section("coverage", body);
+
+        result.check(
+            "roughly 40% of dual-stack probes are fully covered (paper: 42.5%)",
+            (0.30..=0.55).contains(&report.covered_share()),
+            format!("covered share {:.3}", report.covered_share()),
+        );
+        result.check(
+            "most covered probes fall into best-match pairs (paper: 89.36%)",
+            report.best_match_share() > 0.75,
+            format!("best-match share {:.3}", report.best_match_share()),
+        );
+        result.check(
+            "a quarter of probes is not covered at all (paper: 25.3%)",
+            (0.15..=0.40).contains(&(report.uncovered as f64 / total)),
+            format!("uncovered share {:.3}", report.uncovered as f64 / total),
+        );
+        result
+    }
+}
+
+/// §3.5 (VPSes): best-match vs mismatch on the VPS population.
+pub struct GtVps;
+
+impl Experiment for GtVps {
+    fn id(&self) -> &'static str {
+        "gt_vps"
+    }
+
+    fn title(&self) -> &'static str {
+        "Ground truth: dual-stack VPS coverage"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§3.5 (53 best-match vs 13 mismatch of 260 VPSes)"
+    }
+
+    fn run(&self, ctx: &AnalysisContext) -> ExperimentResult {
+        let mut result = ExperimentResult::new(self.id(), self.title());
+        let evaluator = CoverageEvaluator::new(&sibling_pairs_for_eval(ctx));
+        let vps = ctx.world.vps_probes();
+        let endpoints: Vec<_> = vps.iter().map(|v| v.endpoint).collect();
+        let report = evaluator.evaluate(&endpoints);
+
+        let body = format!(
+            "VPSes: {}\nbest match: {}\nmismatch:   {}\npartial/none: {}",
+            report.total(),
+            report.covered_best_match,
+            report.covered_mismatch,
+            report.partial + report.uncovered,
+        );
+        result.section("coverage", body);
+
+        result.check(
+            "best matches clearly outnumber mismatches (paper: 53 vs 13)",
+            report.covered_best_match > 2 * report.covered_mismatch,
+            format!(
+                "best {} vs mismatch {}",
+                report.covered_best_match, report.covered_mismatch
+            ),
+        );
+
+        // Per-provider breakdown exercises the provider labels.
+        let mut by_provider: std::collections::BTreeMap<&str, usize> = Default::default();
+        for v in &vps {
+            *by_provider.entry(v.provider.as_str()).or_insert(0) += 1;
+        }
+        let mut body = String::new();
+        for (provider, count) in &by_provider {
+            body.push_str(&format!("{provider:<16}{count}\n"));
+        }
+        result.section("VPSes per provider", body);
+        result.check(
+            "VPSes span several hosting providers (paper: Google, Azure, Vultr, AWS, …)",
+            by_provider.len() >= 3,
+            format!("{} providers", by_provider.len()),
+        );
+        result
+    }
+}

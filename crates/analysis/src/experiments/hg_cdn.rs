@@ -1,0 +1,159 @@
+//! Figs. 17/23/24/25: hypergiant and CDN similarity distributions.
+
+use std::collections::BTreeMap;
+
+use crate::classify::pair_hg_cdn;
+use crate::context::AnalysisContext;
+use crate::experiments::{Experiment, ExperimentResult, PairLevel};
+use crate::render::Heatmap;
+
+const BIN_LABELS: [&str; 10] = [
+    "0.0-0.1", "0.1-0.2", "0.2-0.3", "0.3-0.4", "0.4-0.5", "0.5-0.6", "0.6-0.7", "0.7-0.8",
+    "0.8-0.9", "0.9-1.0",
+];
+
+fn bin_of(value: f64) -> usize {
+    ((value * 10.0).floor() as usize).min(9)
+}
+
+/// Figs. 17/23/24/25: per-HG/CDN similarity distribution heatmaps at the
+/// three pair levels (Fig. 25 ≡ Fig. 17).
+pub struct HgCdn {
+    id: &'static str,
+    title: &'static str,
+    paper_ref: &'static str,
+    level: PairLevel,
+}
+
+impl HgCdn {
+    /// Fig. 17: /28–/96 level (the main-text figure).
+    pub fn fig17() -> Self {
+        Self {
+            id: "fig17",
+            title: "HG/CDN similarity distributions (SP-Tuner /28-/96)",
+            paper_ref: "Figure 17 (§4.7)",
+            level: PairLevel::Tuned2896,
+        }
+    }
+
+    /// Fig. 23: default level.
+    pub fn fig23() -> Self {
+        Self {
+            id: "fig23",
+            title: "HG/CDN similarity distributions (default)",
+            paper_ref: "Figure 23 (Appendix A.3)",
+            level: PairLevel::Default,
+        }
+    }
+
+    /// Fig. 24: /24–/48 level.
+    pub fn fig24() -> Self {
+        Self {
+            id: "fig24",
+            title: "HG/CDN similarity distributions (SP-Tuner /24-/48)",
+            paper_ref: "Figure 24 (Appendix A.3)",
+            level: PairLevel::Tuned2448,
+        }
+    }
+
+    /// Fig. 25: /28–/96 level (appendix duplicate of Fig. 17).
+    pub fn fig25() -> Self {
+        Self {
+            id: "fig25",
+            title: "HG/CDN similarity distributions (SP-Tuner /28-/96, appendix)",
+            paper_ref: "Figure 25 (Appendix A.3)",
+            level: PairLevel::Tuned2896,
+        }
+    }
+}
+
+impl Experiment for HgCdn {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn title(&self) -> &'static str {
+        self.title
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        self.paper_ref
+    }
+
+    fn run(&self, ctx: &AnalysisContext) -> ExperimentResult {
+        let mut result = ExperimentResult::new(self.id(), self.title());
+        let date = ctx.day0();
+        let pairs = self.level.pairs(ctx, date);
+
+        // Group pairs by HG/CDN organization (both sides same org and on
+        // the list), everything else in the non-CDN-HG bucket.
+        let mut by_org: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for pair in pairs.iter() {
+            let bucket = pair_hg_cdn(&ctx.world, pair, date)
+                .unwrap_or_else(|| "non-CDN-HG".to_string());
+            by_org.entry(bucket).or_default().push(pair.similarity.to_f64());
+        }
+
+        // Order rows by pair count (Amazon first), non-CDN-HG last.
+        let mut orgs: Vec<(String, usize)> = by_org
+            .iter()
+            .filter(|(name, _)| name.as_str() != "non-CDN-HG")
+            .map(|(name, vals)| (name.clone(), vals.len()))
+            .collect();
+        orgs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+        let mut rows: Vec<String> = orgs
+            .iter()
+            .map(|(name, n)| format!("{name} ({n})"))
+            .collect();
+        let mut row_keys: Vec<String> = orgs.iter().map(|(name, _)| name.clone()).collect();
+        if let Some(vals) = by_org.get("non-CDN-HG") {
+            rows.push(format!("non-CDN-HG ({})", vals.len()));
+            row_keys.push("non-CDN-HG".to_string());
+        }
+
+        let mut heat = Heatmap::zeroed(
+            "CDN or hypergiant",
+            "Jaccard similarity",
+            rows,
+            BIN_LABELS.iter().map(|s| s.to_string()).collect(),
+        );
+        for (r, key) in row_keys.iter().enumerate() {
+            for v in &by_org[key] {
+                heat.cells[r][bin_of(*v)] += 1.0;
+            }
+        }
+        let heat = heat.rows_to_percent();
+        result.section("% of each row's pairs per similarity bin", heat.render());
+
+        // Shape checks.
+        let hg_count = orgs.len();
+        result.check(
+            "multiple hypergiants/CDNs contribute sibling pairs (paper: 24)",
+            hg_count >= 5,
+            format!("{hg_count} HG/CDN organizations observed"),
+        );
+        if let Some((top_org, top_n)) = orgs.first() {
+            result.check(
+                "Amazon has the most HG/CDN sibling pairs (paper: 4564)",
+                top_org == "Amazon",
+                format!("top org {top_org} with {top_n} pairs"),
+            );
+        }
+        // Most rows should be right-heavy at the tuned level.
+        if self.level == PairLevel::Tuned2896 {
+            let right_heavy = row_keys
+                .iter()
+                .enumerate()
+                .filter(|(r, _)| heat.cells[*r][9] >= 50.0)
+                .count();
+            result.check(
+                "most HG/CDN rows concentrate in the 0.9-1.0 bin",
+                right_heavy * 2 >= row_keys.len(),
+                format!("{right_heavy} of {} rows right-heavy", row_keys.len()),
+            );
+        }
+        result.csv.push((format!("{}_hg.csv", self.id), heat.to_csv()));
+        result
+    }
+}

@@ -1,0 +1,82 @@
+//! Fig. 2: Jaccard vs Dice vs overlap coefficient.
+
+use sibling_core::{detect, BestMatchPolicy, SimilarityMetric};
+
+use crate::context::AnalysisContext;
+use crate::experiments::{Experiment, ExperimentResult};
+use crate::render::{ecdf_at, ecdf_header, ecdf_row, perfect_share};
+
+/// Fig. 2: ECDFs of the three similarity metrics over best-match pairs.
+pub struct Fig02Metrics;
+
+impl Experiment for Fig02Metrics {
+    fn id(&self) -> &'static str {
+        "fig02"
+    }
+
+    fn title(&self) -> &'static str {
+        "Similarity metric comparison (Jaccard / Dice / overlap)"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 2 (§3.2)"
+    }
+
+    fn run(&self, ctx: &AnalysisContext) -> ExperimentResult {
+        let mut result = ExperimentResult::new(self.id(), self.title());
+        let date = ctx.day0();
+        let index = ctx.index(date);
+
+        let jaccard = detect(&index, SimilarityMetric::Jaccard, BestMatchPolicy::Union)
+            .similarity_values();
+        let dice =
+            detect(&index, SimilarityMetric::Dice, BestMatchPolicy::Union).similarity_values();
+        let overlap = detect(&index, SimilarityMetric::Overlap, BestMatchPolicy::Union)
+            .similarity_values();
+
+        let body = format!(
+            "{}\n{}\n{}\n{}\n\nshare at 1.0: Jaccard {:.1}% | Dice {:.1}% | overlap {:.1}%",
+            ecdf_header(),
+            ecdf_row("Jaccard similarity", &jaccard),
+            ecdf_row("Dice coefficient", &dice),
+            ecdf_row("Overlap coefficient", &overlap),
+            perfect_share(&jaccard) * 100.0,
+            perfect_share(&dice) * 100.0,
+            perfect_share(&overlap) * 100.0,
+        );
+        result.section("metric ECDFs", body);
+
+        // §3.2 shapes: the overlap coefficient saturates (>90% at 1.0);
+        // Dice is lenient relative to Jaccard; Jaccard and Dice have a
+        // similar share of exact ones.
+        let oc_one = perfect_share(&overlap);
+        result.check(
+            "overlap coefficient saturates: >90% of pairs at exactly 1.0",
+            oc_one > 0.90,
+            format!("overlap share at 1.0 = {:.3}", oc_one),
+        );
+        let j_mid = ecdf_at(&jaccard, 0.6);
+        let d_mid = ecdf_at(&dice, 0.6);
+        result.check(
+            "Dice is lenient: fewer pairs below 0.6 than Jaccard",
+            d_mid <= j_mid + 1e-9,
+            format!("F(0.6): Jaccard {:.3}, Dice {:.3}", j_mid, d_mid),
+        );
+        let j_one = perfect_share(&jaccard);
+        let d_one = perfect_share(&dice);
+        result.check(
+            "Jaccard and Dice agree on the share of exact ones",
+            (j_one - d_one).abs() < 1e-9,
+            format!("Jaccard {:.3}, Dice {:.3}", j_one, d_one),
+        );
+
+        let mut csv = String::from("metric,value\n");
+        for (name, values) in [("jaccard", &jaccard), ("dice", &dice), ("overlap", &overlap)] {
+            for v in values {
+                csv.push_str(&format!("{name},{v:.6}\n"));
+            }
+        }
+        result.csv.push(("fig02_metrics.csv".into(), csv));
+        result
+    }
+}

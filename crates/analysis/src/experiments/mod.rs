@@ -1,0 +1,220 @@
+//! The experiment registry: one entry per paper table/figure.
+
+use crate::context::AnalysisContext;
+
+mod business;
+mod cidr;
+mod domain_bins;
+mod extensions;
+mod ground_truth;
+mod hg_cdn;
+mod metrics_cmp;
+mod org;
+mod over_time;
+mod portscan;
+mod rov;
+mod stability;
+mod timeline;
+mod tuner;
+
+/// A machine-checkable *shape property*: the qualitative claim the paper's
+/// artefact makes, verified against the reproduction's numbers.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What is being asserted (phrased after the paper's claim).
+    pub description: String,
+    /// Whether the reproduction satisfies it.
+    pub passed: bool,
+    /// The measured numbers backing the verdict.
+    pub detail: String,
+}
+
+impl Check {
+    /// Builds a check.
+    pub fn new(description: impl Into<String>, passed: bool, detail: impl Into<String>) -> Self {
+        Self {
+            description: description.into(),
+            passed,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// A rendered block of experiment output.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Block heading.
+    pub heading: String,
+    /// Pre-rendered text body.
+    pub body: String,
+}
+
+/// The output of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment id (`fig05`, `gt_atlas`, …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Rendered output blocks.
+    pub sections: Vec<Section>,
+    /// Shape checks (EXPERIMENTS.md material).
+    pub checks: Vec<Check>,
+    /// CSV artefacts as (file name, contents).
+    pub csv: Vec<(String, String)>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty result shell.
+    pub fn new(id: &str, title: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            sections: Vec::new(),
+            checks: Vec::new(),
+            csv: Vec::new(),
+        }
+    }
+
+    /// Appends a section.
+    pub fn section(&mut self, heading: impl Into<String>, body: impl Into<String>) {
+        self.sections.push(Section {
+            heading: heading.into(),
+            body: body.into(),
+        });
+    }
+
+    /// Appends a check.
+    pub fn check(&mut self, description: impl Into<String>, passed: bool, detail: impl Into<String>) {
+        self.checks.push(Check::new(description, passed, detail));
+    }
+
+    /// Whether all checks passed.
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Renders the whole result as text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        for s in &self.sections {
+            let _ = writeln!(out, "\n-- {} --\n{}", s.heading, s.body);
+        }
+        if !self.checks.is_empty() {
+            let _ = writeln!(out, "\n-- shape checks --");
+            for c in &self.checks {
+                let mark = if c.passed { "PASS" } else { "FAIL" };
+                let _ = writeln!(out, "[{mark}] {} ({})", c.description, c.detail);
+            }
+        }
+        out
+    }
+}
+
+/// One reproducible paper artefact.
+pub trait Experiment: Sync {
+    /// Stable id (`fig01` … `fig36`, `gt_atlas`, `gt_vps`).
+    fn id(&self) -> &'static str;
+    /// Human title.
+    fn title(&self) -> &'static str;
+    /// Which paper artefact this reproduces.
+    fn paper_ref(&self) -> &'static str;
+    /// Runs the experiment against a context.
+    fn run(&self, ctx: &AnalysisContext) -> ExperimentResult;
+}
+
+/// All registered experiments, in paper order.
+pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(timeline::Fig01Timeline),
+        Box::new(metrics_cmp::Fig02Metrics),
+        Box::new(tuner::Fig04TunerHeatmap::paper_subset()),
+        Box::new(tuner::Fig05TunerCdf),
+        Box::new(portscan::Fig06PortScan),
+        Box::new(stability::Fig07Stability),
+        Box::new(domain_bins::DomainBins::fig08()),
+        Box::new(over_time::Fig09PairCounts),
+        Box::new(over_time::DeltaEcdf::fig10()),
+        Box::new(over_time::SnapshotEcdf::fig11()),
+        Box::new(over_time::SnapshotEcdf::fig12()),
+        Box::new(cidr::CidrSizes::fig13()),
+        Box::new(org::OrgCounts::fig14()),
+        Box::new(org::OrgMedians::fig15()),
+        Box::new(business::Business::fig16()),
+        Box::new(hg_cdn::HgCdn::fig17()),
+        Box::new(rov::Fig18Rov),
+        Box::new(ground_truth::GtAtlas),
+        Box::new(ground_truth::GtVps),
+        Box::new(tuner::Fig04TunerHeatmap::full()),
+        Box::new(business::Business::fig20()),
+        Box::new(business::Business::fig21()),
+        Box::new(tuner::Fig22TunerLs),
+        Box::new(hg_cdn::HgCdn::fig23()),
+        Box::new(hg_cdn::HgCdn::fig24()),
+        Box::new(hg_cdn::HgCdn::fig25()),
+        Box::new(over_time::DeltaEcdf::fig26()),
+        Box::new(over_time::DeltaEcdf::fig27()),
+        Box::new(over_time::SnapshotEcdf::fig28()),
+        Box::new(org::OrgCounts::fig29()),
+        Box::new(org::OrgCounts::fig30()),
+        Box::new(org::OrgMedians::fig31()),
+        Box::new(org::OrgMedians::fig32()),
+        Box::new(domain_bins::DomainBins::fig33()),
+        Box::new(domain_bins::DomainBins::fig34()),
+        Box::new(cidr::CidrSizes::fig35()),
+        Box::new(cidr::CidrSizes::fig36()),
+        Box::new(extensions::ExtSetPairs),
+        Box::new(extensions::ExtTransfer),
+    ]
+}
+
+/// Runs one experiment by id.
+pub fn run_by_id(ctx: &AnalysisContext, id: &str) -> Option<ExperimentResult> {
+    all_experiments()
+        .into_iter()
+        .find(|e| e.id() == id)
+        .map(|e| e.run(ctx))
+}
+
+/// Runs every experiment in registry order.
+pub fn run_all(ctx: &AnalysisContext) -> Vec<ExperimentResult> {
+    all_experiments().iter().map(|e| e.run(ctx)).collect()
+}
+
+/// The sibling-set granularities several figures are repeated at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairLevel {
+    /// BGP-announced prefixes, as observed in the DNS data.
+    Default,
+    /// SP-Tuner at the most-specific-routable thresholds (/24, /48).
+    Tuned2448,
+    /// SP-Tuner at the paper's best thresholds (/28, /96).
+    Tuned2896,
+}
+
+impl PairLevel {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PairLevel::Default => "default (BGP-announced)",
+            PairLevel::Tuned2448 => "SP-Tuner /24–/48",
+            PairLevel::Tuned2896 => "SP-Tuner /28–/96",
+        }
+    }
+
+    /// Materialises the sibling set at this level.
+    pub fn pairs(
+        &self,
+        ctx: &AnalysisContext,
+        date: sibling_net_types::MonthDate,
+    ) -> std::sync::Arc<sibling_core::SiblingSet> {
+        use sibling_core::SpTunerConfig;
+        match self {
+            PairLevel::Default => ctx.default_pairs(date),
+            PairLevel::Tuned2448 => ctx.tuned_pairs(date, SpTunerConfig::routable()),
+            PairLevel::Tuned2896 => ctx.tuned_pairs(date, SpTunerConfig::best()),
+        }
+    }
+}

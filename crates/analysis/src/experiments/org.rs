@@ -1,0 +1,247 @@
+//! Figs. 14/15/29–32: same- vs different-organization analyses.
+
+use sibling_net_types::MonthDate;
+
+use crate::classify::pair_same_org;
+use crate::context::AnalysisContext;
+use crate::experiments::{Experiment, ExperimentResult, PairLevel};
+use crate::render::Series;
+
+/// Semiannual sampling of the paper's monthly x-axis (captures the trend
+/// and the monitoring-domain dips at a fraction of the compute).
+fn semiannual(ctx: &AnalysisContext) -> Vec<MonthDate> {
+    let mut out = Vec::new();
+    let mut cur = ctx.world.config.start;
+    while cur <= ctx.world.config.end {
+        out.push(cur);
+        cur = cur.add_months(6);
+    }
+    // Always include the outage months so the dips are visible.
+    for outage in &ctx.world.config.monitoring_outages {
+        if !out.contains(outage) {
+            out.push(*outage);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    values[values.len() / 2]
+}
+
+/// Figs. 14/29/30: counts of same- and different-organization pairs over
+/// time, plus unique prefix counts.
+pub struct OrgCounts {
+    id: &'static str,
+    title: &'static str,
+    paper_ref: &'static str,
+    level: PairLevel,
+}
+
+impl OrgCounts {
+    /// Fig. 14: /28–/96 tuned level.
+    pub fn fig14() -> Self {
+        Self {
+            id: "fig14",
+            title: "Same/different organization pair counts over time (SP-Tuner /28-/96)",
+            paper_ref: "Figure 14",
+            level: PairLevel::Tuned2896,
+        }
+    }
+
+    /// Fig. 29: default level.
+    pub fn fig29() -> Self {
+        Self {
+            id: "fig29",
+            title: "Same/different organization pair counts over time (default)",
+            paper_ref: "Figure 29 (Appendix A.6)",
+            level: PairLevel::Default,
+        }
+    }
+
+    /// Fig. 30: /24–/48 tuned level.
+    pub fn fig30() -> Self {
+        Self {
+            id: "fig30",
+            title: "Same/different organization pair counts over time (SP-Tuner /24-/48)",
+            paper_ref: "Figure 30 (Appendix A.6)",
+            level: PairLevel::Tuned2448,
+        }
+    }
+}
+
+impl Experiment for OrgCounts {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn title(&self) -> &'static str {
+        self.title
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        self.paper_ref
+    }
+
+    fn run(&self, ctx: &AnalysisContext) -> ExperimentResult {
+        let mut result = ExperimentResult::new(self.id(), self.title());
+        let mut same = Series::default();
+        let mut diff = Series::default();
+        let mut v4_unique = Series::default();
+        let mut v6_unique = Series::default();
+        for date in semiannual(ctx) {
+            let pairs = self.level.pairs(ctx, date);
+            let mut same_n = 0usize;
+            let mut diff_n = 0usize;
+            for pair in pairs.iter() {
+                match pair_same_org(&ctx.world, pair, date) {
+                    Some(true) => same_n += 1,
+                    Some(false) => diff_n += 1,
+                    None => {}
+                }
+            }
+            let (u4, u6) = pairs.unique_prefix_counts();
+            same.push(date.to_string(), same_n as f64);
+            diff.push(date.to_string(), diff_n as f64);
+            v4_unique.push(date.to_string(), u4 as f64);
+            v6_unique.push(date.to_string(), u6 as f64);
+        }
+
+        let last_same = *same.values.last().unwrap();
+        let last_diff = *diff.values.last().unwrap();
+        result.check(
+            "same-org pairs are the (slight) majority at day 0 (paper: 41k vs 35k)",
+            last_same > last_diff,
+            format!("same {last_same:.0} vs diff {last_diff:.0}"),
+        );
+        // The monitoring outages must dent the diff-org series.
+        let outage = ctx.world.config.monitoring_outages.last().copied();
+        if let Some(outage) = outage {
+            let outage_label = outage.to_string();
+            if let Some(i) = diff.labels.iter().position(|l| *l == outage_label) {
+                let neighbour = if i + 1 < diff.values.len() { diff.values[i + 1] } else { diff.values[i - 1] };
+                result.check(
+                    "the monitoring-domain outage dents the diff-org count (site24x7 effect)",
+                    diff.values[i] < neighbour,
+                    format!("outage {:.0} vs neighbour {:.0}", diff.values[i], neighbour),
+                );
+            }
+        }
+        let u4_last = *v4_unique.values.last().unwrap();
+        let u6_last = *v6_unique.values.last().unwrap();
+        result.check(
+            "more unique IPv4 than IPv6 prefixes (paper: 46.3k vs 39.5k)",
+            u4_last > u6_last,
+            format!("v4 {u4_last:.0} vs v6 {u6_last:.0}"),
+        );
+
+        result.section("same-organization pairs", same.render("pairs"));
+        result.section("different-organization pairs", diff.render("pairs"));
+        result.section("unique IPv4 prefixes", v4_unique.render("prefixes"));
+        result.section("unique IPv6 prefixes", v6_unique.render("prefixes"));
+        result.csv.push((format!("{}_same.csv", self.id), same.to_csv("pairs")));
+        result.csv.push((format!("{}_diff.csv", self.id), diff.to_csv("pairs")));
+        result
+    }
+}
+
+/// Figs. 15/31/32: median similarity for same- vs different-organization
+/// pairs over time.
+pub struct OrgMedians {
+    id: &'static str,
+    title: &'static str,
+    paper_ref: &'static str,
+    level: PairLevel,
+}
+
+impl OrgMedians {
+    /// Fig. 15: /28–/96 tuned level.
+    pub fn fig15() -> Self {
+        Self {
+            id: "fig15",
+            title: "Median similarity by organization relationship (SP-Tuner /28-/96)",
+            paper_ref: "Figure 15",
+            level: PairLevel::Tuned2896,
+        }
+    }
+
+    /// Fig. 31: default level.
+    pub fn fig31() -> Self {
+        Self {
+            id: "fig31",
+            title: "Median similarity by organization relationship (default)",
+            paper_ref: "Figure 31 (Appendix A.6)",
+            level: PairLevel::Default,
+        }
+    }
+
+    /// Fig. 32: /24–/48 tuned level.
+    pub fn fig32() -> Self {
+        Self {
+            id: "fig32",
+            title: "Median similarity by organization relationship (SP-Tuner /24-/48)",
+            paper_ref: "Figure 32 (Appendix A.6)",
+            level: PairLevel::Tuned2448,
+        }
+    }
+}
+
+impl Experiment for OrgMedians {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn title(&self) -> &'static str {
+        self.title
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        self.paper_ref
+    }
+
+    fn run(&self, ctx: &AnalysisContext) -> ExperimentResult {
+        let mut result = ExperimentResult::new(self.id(), self.title());
+        let mut same_series = Series::default();
+        let mut diff_series = Series::default();
+        for date in semiannual(ctx) {
+            let pairs = self.level.pairs(ctx, date);
+            let mut same_vals = Vec::new();
+            let mut diff_vals = Vec::new();
+            for pair in pairs.iter() {
+                match pair_same_org(&ctx.world, pair, date) {
+                    Some(true) => same_vals.push(pair.similarity.to_f64()),
+                    Some(false) => diff_vals.push(pair.similarity.to_f64()),
+                    None => {}
+                }
+            }
+            same_series.push(date.to_string(), median(&mut same_vals));
+            diff_series.push(date.to_string(), median(&mut diff_vals));
+        }
+
+        result.check(
+            "the same-org median similarity is pinned at 1.0 (paper: stable at 1.0)",
+            same_series.values.iter().all(|v| *v > 0.95),
+            format!(
+                "min same-org median {:.3}",
+                same_series.values.iter().fold(f64::INFINITY, |a, &b| a.min(b))
+            ),
+        );
+        let end_diff = *diff_series.values.last().unwrap();
+        result.check(
+            "the diff-org median is high when the monitoring domain is present",
+            end_diff > 0.8,
+            format!("day-0 diff-org median {end_diff:.3}"),
+        );
+
+        result.section("same-organization median", same_series.render("median Jaccard"));
+        result.section("different-organization median", diff_series.render("median Jaccard"));
+        result.csv.push((format!("{}_same.csv", self.id), same_series.to_csv("median")));
+        result.csv.push((format!("{}_diff.csv", self.id), diff_series.to_csv("median")));
+        result
+    }
+}

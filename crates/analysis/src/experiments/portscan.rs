@@ -1,0 +1,141 @@
+//! Fig. 6: DNS-based vs port-scan-based similarity of sibling prefixes.
+
+use sibling_core::SpTunerConfig;
+use sibling_ptrie::PatriciaTrie;
+use sibling_scan::{PortSet, ScanConfig, Scanner};
+
+use crate::context::AnalysisContext;
+use crate::experiments::{Experiment, ExperimentResult};
+use crate::render::Heatmap;
+
+const BIN_LABELS: [&str; 10] = [
+    "0.0-0.1", "0.1-0.2", "0.2-0.3", "0.3-0.4", "0.4-0.5", "0.5-0.6", "0.6-0.7", "0.7-0.8",
+    "0.8-0.9", "0.9-1.0",
+];
+
+fn bin_of(value: f64) -> usize {
+    ((value * 10.0).floor() as usize).min(9)
+}
+
+/// Fig. 6: scan the 14 well-known ports on all sibling-prefix addresses,
+/// then compare per-pair port-set Jaccard with the DNS-domain Jaccard.
+pub struct Fig06PortScan;
+
+impl Experiment for Fig06PortScan {
+    fn id(&self) -> &'static str {
+        "fig06"
+    }
+
+    fn title(&self) -> &'static str {
+        "Port-scan vs DNS similarity heatmap"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 6 (§3.6)"
+    }
+
+    fn run(&self, ctx: &AnalysisContext) -> ExperimentResult {
+        let mut result = ExperimentResult::new(self.id(), self.title());
+        let date = ctx.day0();
+        let pairs = ctx.tuned_pairs(date, SpTunerConfig::best());
+        let snapshot = ctx.snapshot(date);
+
+        // Scan targets: every address of every DS domain (the paper scans
+        // all IP addresses of sibling prefixes; DS-domain addresses are
+        // exactly the populated ones in the simulation).
+        let mut v4_targets: Vec<u32> = Vec::new();
+        let mut v6_targets: Vec<u128> = Vec::new();
+        for (_, addrs) in snapshot.ds_domains() {
+            v4_targets.extend(&addrs.v4);
+            v6_targets.extend(&addrs.v6);
+        }
+        v4_targets.sort_unstable();
+        v4_targets.dedup();
+        v6_targets.sort_unstable();
+        v6_targets.dedup();
+
+        let deployment = ctx.world.deployment(date);
+        let scanner = Scanner::new(ScanConfig::default());
+        let report = scanner.scan(&deployment, &v4_targets, &v6_targets);
+
+        // Aggregate responsive ports per sibling prefix.
+        let mut v4_trie: PatriciaTrie<u32, PortSet> = PatriciaTrie::new();
+        let mut v6_trie: PatriciaTrie<u128, PortSet> = PatriciaTrie::new();
+        for pair in pairs.iter() {
+            v4_trie.insert(pair.v4, PortSet::new());
+            v6_trie.insert(pair.v6, PortSet::new());
+        }
+        for (addr, ports) in &report.v4 {
+            if let Some((prefix, _)) = v4_trie.longest_match(*addr) {
+                if let Some(set) = v4_trie.get_mut(&prefix) {
+                    set.union_with(ports);
+                }
+            }
+        }
+        for (addr, ports) in &report.v6 {
+            if let Some((prefix, _)) = v6_trie.longest_match(*addr) {
+                if let Some(set) = v6_trie.get_mut(&prefix) {
+                    set.union_with(ports);
+                }
+            }
+        }
+
+        let mut heat = Heatmap::zeroed(
+            "Jaccard (port scan)",
+            "Jaccard (DNS)",
+            BIN_LABELS.iter().rev().map(|s| s.to_string()).collect(),
+            BIN_LABELS.iter().map(|s| s.to_string()).collect(),
+        );
+        let mut responsive_pairs = 0usize;
+        let total_pairs = pairs.len();
+        for pair in pairs.iter() {
+            let p4 = v4_trie.get(&pair.v4).cloned().unwrap_or_default();
+            let p6 = v6_trie.get(&pair.v6).cloned().unwrap_or_default();
+            if p4.is_empty() && p6.is_empty() {
+                continue;
+            }
+            responsive_pairs += 1;
+            let port_j = p4.jaccard(&p6);
+            let dns_j = pair.similarity.to_f64();
+            // Rows are top-down 0.9-1.0 … 0.0-0.1 as in the paper.
+            let row = 9 - bin_of(port_j);
+            let col = bin_of(dns_j);
+            heat.cells[row][col] += 1.0;
+        }
+        let heat = heat.to_percent();
+
+        let responsive_share = if total_pairs == 0 {
+            0.0
+        } else {
+            responsive_pairs as f64 / total_pairs as f64
+        };
+        let diag_cell = heat.cell("0.9-1.0", "0.9-1.0").unwrap_or(0.0);
+        let max_cell = heat
+            .cells
+            .iter()
+            .flatten()
+            .fold(0.0f64, |a, &b| a.max(b));
+
+        result.section(
+            "heatmap (% of responsive sibling pairs)",
+            format!(
+                "{}\nresponsive pairs: {:.1}% (paper: 70.9%)",
+                heat.render(),
+                responsive_share * 100.0
+            ),
+        );
+
+        result.check(
+            "the (>=0.9 DNS, >=0.9 port) cell is the global maximum (paper: 36%)",
+            (diag_cell - max_cell).abs() < 1e-9 && diag_cell > 10.0,
+            format!("corner {diag_cell:.1}%, max {max_cell:.1}%"),
+        );
+        result.check(
+            "a majority-but-not-all of sibling prefixes respond (paper: 70.9%)",
+            (0.5..=0.9).contains(&responsive_share),
+            format!("responsive share {:.3}", responsive_share),
+        );
+        result.csv.push(("fig06_heatmap.csv".into(), heat.to_csv()));
+        result
+    }
+}

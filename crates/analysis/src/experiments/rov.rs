@@ -1,0 +1,116 @@
+//! Fig. 18: joint ROV status of sibling pairs over time.
+
+use std::collections::BTreeMap;
+
+use sibling_rpki::PairRovStatus;
+
+use crate::classify::pair_rov_status;
+use crate::context::AnalysisContext;
+use crate::experiments::{Experiment, ExperimentResult};
+use crate::render::{csv_escape, Series};
+
+/// Fig. 18: stacked shares of the six joint ROV categories, semiannually
+/// (the paper plots monthly; the semiannual sampling captures the trend).
+pub struct Fig18Rov;
+
+impl Experiment for Fig18Rov {
+    fn id(&self) -> &'static str {
+        "fig18"
+    }
+
+    fn title(&self) -> &'static str {
+        "ROV status of sibling pairs over time"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 18 (§4.8)"
+    }
+
+    fn run(&self, ctx: &AnalysisContext) -> ExperimentResult {
+        let mut result = ExperimentResult::new(self.id(), self.title());
+        let mut dates = Vec::new();
+        let mut cur = ctx.world.config.start;
+        while cur <= ctx.world.config.end {
+            dates.push(cur);
+            cur = cur.add_months(6);
+        }
+
+        let mut shares: BTreeMap<PairRovStatus, Series> = PairRovStatus::ALL
+            .iter()
+            .map(|s| (*s, Series::default()))
+            .collect();
+        let mut at_least_one_valid = Series::default();
+        for date in &dates {
+            // The paper uses BGP-announced prefix sizes for the RPKI
+            // analysis, "as those align better for this BGP-specific
+            // analysis".
+            let pairs = ctx.default_pairs(*date);
+            let mut counts: BTreeMap<PairRovStatus, usize> = BTreeMap::new();
+            let mut total = 0usize;
+            for pair in pairs.iter() {
+                if let Some(status) = pair_rov_status(&ctx.world, pair, *date) {
+                    *counts.entry(status).or_insert(0) += 1;
+                    total += 1;
+                }
+            }
+            let total = total.max(1) as f64;
+            let mut valid_share = 0.0;
+            for status in PairRovStatus::ALL {
+                let share = *counts.get(&status).unwrap_or(&0) as f64 / total * 100.0;
+                shares.get_mut(&status).unwrap().push(date.to_string(), share);
+                if status.at_least_one_valid() {
+                    valid_share += share;
+                }
+            }
+            at_least_one_valid.push(date.to_string(), valid_share);
+        }
+
+        let mut body = String::new();
+        for status in PairRovStatus::ALL {
+            body.push_str(&shares[&status].render(status.label()));
+            body.push('\n');
+        }
+        result.section("category shares (%) over time", body);
+        result.section(
+            "at least one side valid (%)",
+            at_least_one_valid.render("share"),
+        );
+
+        let nf = &shares[&PairRovStatus::BothNotFound];
+        let nf_first = nf.values[0];
+        let nf_last = *nf.values.last().unwrap();
+        result.check(
+            "the both-not-found share shrinks markedly (paper: 40% → ~20%)",
+            nf_last < nf_first - 5.0,
+            format!("{nf_first:.1}% → {nf_last:.1}%"),
+        );
+        let valid_first = at_least_one_valid.values[0];
+        let valid_last = *at_least_one_valid.values.last().unwrap();
+        result.check(
+            "the at-least-one-valid share grows toward ~65% (paper: 50% → 65%)",
+            valid_last > valid_first && valid_last > 45.0,
+            format!("{valid_first:.1}% → {valid_last:.1}%"),
+        );
+        let conflicting_last = *shares[&PairRovStatus::ValidInvalid].values.last().unwrap();
+        result.check(
+            "a small share of pairs has conflicting ROV states (paper: 2-8%)",
+            (0.1..=15.0).contains(&conflicting_last),
+            format!("conflicting {conflicting_last:.1}%"),
+        );
+
+        let mut csv = String::from("date");
+        for status in PairRovStatus::ALL {
+            csv.push_str(&format!(",{}", csv_escape(status.label())));
+        }
+        csv.push('\n');
+        for (i, date) in dates.iter().enumerate() {
+            csv.push_str(&date.to_string());
+            for status in PairRovStatus::ALL {
+                csv.push_str(&format!(",{:.3}", shares[&status].values[i]));
+            }
+            csv.push('\n');
+        }
+        result.csv.push(("fig18_rov.csv".into(), csv));
+        result
+    }
+}

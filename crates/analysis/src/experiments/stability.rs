@@ -1,0 +1,140 @@
+//! Fig. 7: DS-domain visibility frequency and address/prefix stability.
+
+use sibling_core::stability::{
+    address_stability, consistent_domains, prefix_stability, visibility_histogram,
+};
+
+use crate::context::{AnalysisContext, ReferenceOffsets};
+use crate::experiments::{Experiment, ExperimentResult};
+use crate::render::Series;
+
+/// Fig. 7: visibility frequency over 13 monthly snapshots (left), prefix
+/// stability (centre) and address stability (right) of consistent DS
+/// domains against the day-0 reference.
+pub struct Fig07Stability;
+
+impl Experiment for Fig07Stability {
+    fn id(&self) -> &'static str {
+        "fig07"
+    }
+
+    fn title(&self) -> &'static str {
+        "DS-domain visibility and address/prefix stability"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 7 (§4.1)"
+    }
+
+    fn run(&self, ctx: &AnalysisContext) -> ExperimentResult {
+        let mut result = ExperimentResult::new(self.id(), self.title());
+        let window = ReferenceOffsets::stability_window(ctx.day0());
+        let snapshots: Vec<_> = window.iter().map(|d| ctx.snapshot(*d)).collect();
+        let snapshot_refs: Vec<&sibling_dns::DnsSnapshot> =
+            snapshots.iter().map(|s| s.as_ref()).collect();
+
+        // Left subplot: visibility frequency distribution.
+        let hist = visibility_histogram(&snapshot_refs);
+        let mut freq = Series::default();
+        for (k, count) in hist.counts.iter().enumerate() {
+            freq.push(format!("{}", k + 1), *count as f64 / hist.total().max(1) as f64);
+        }
+        let consistent_share = hist.consistent_share();
+        let once_share = hist.counts[0] as f64 / hist.total().max(1) as f64;
+
+        result.check(
+            "a large minority of DS domains is consistently visible (paper: ~40%)",
+            (0.25..=0.60).contains(&consistent_share),
+            format!("consistent share {:.3}", consistent_share),
+        );
+        result.check(
+            "a substantial share appears exactly once (paper: ~20%)",
+            (0.08..=0.35).contains(&once_share),
+            format!("once share {:.3}", once_share),
+        );
+
+        // Centre and right: prefix and address stability of consistent
+        // domains vs day 0, at the paper's reference offsets.
+        let consistent = consistent_domains(&snapshot_refs);
+        let reference_index = ctx.index(ctx.day0());
+        let reference_snapshot = ctx.snapshot(ctx.day0());
+
+        let offsets: Vec<(&str, i32)> = ReferenceOffsets::standard()
+            .into_iter()
+            .filter(|(_, months)| *months <= 12)
+            .collect();
+        let mut prefix_rows_in: Vec<(String, std::sync::Arc<sibling_core::PrefixDomainIndex>)> =
+            Vec::new();
+        let mut addr_rows_in: Vec<(String, std::sync::Arc<sibling_dns::DnsSnapshot>)> = Vec::new();
+        for (label, months) in &offsets {
+            let date = ctx.day0().add_months(-months);
+            prefix_rows_in.push((label.to_string(), ctx.index(date)));
+            addr_rows_in.push((label.to_string(), ctx.snapshot(date)));
+        }
+        let prefix_refs: Vec<(String, &sibling_core::PrefixDomainIndex)> = prefix_rows_in
+            .iter()
+            .map(|(l, i)| (l.clone(), i.as_ref()))
+            .collect();
+        let addr_refs: Vec<(String, &sibling_dns::DnsSnapshot)> = addr_rows_in
+            .iter()
+            .map(|(l, s)| (l.clone(), s.as_ref()))
+            .collect();
+
+        let prefix_rows = prefix_stability(&reference_index, &prefix_refs, &consistent);
+        let addr_rows = address_stability(&reference_snapshot, &addr_refs, &consistent);
+
+        let mut body = String::from("label            same-v4   same-v6   both\n");
+        for row in &prefix_rows {
+            body.push_str(&format!(
+                "{:<16} {:>7.1}% {:>8.1}% {:>6.1}%\n",
+                row.label,
+                row.same_v4 * 100.0,
+                row.same_v6 * 100.0,
+                row.same_both * 100.0
+            ));
+        }
+        result.section("prefix stability (consistent DS domains)", body);
+
+        let mut body = String::from("label            same-v4   same-v6   both\n");
+        for row in &addr_rows {
+            body.push_str(&format!(
+                "{:<16} {:>7.1}% {:>8.1}% {:>6.1}%\n",
+                row.label,
+                row.same_v4 * 100.0,
+                row.same_v6 * 100.0,
+                row.same_both * 100.0
+            ));
+        }
+        result.section("address stability (consistent DS domains)", body);
+        result.section("visibility frequency distribution", freq.render("share"));
+
+        // Year-1 rows: prefix stability ≥ address stability; v6 prefixes
+        // at least as stable as v4 (paper: 9% vs 6% max change).
+        if let (Some(prefix_year), Some(addr_year)) = (
+            prefix_rows.iter().find(|r| r.label == "Year -1"),
+            addr_rows.iter().find(|r| r.label == "Year -1"),
+        ) {
+            result.check(
+                "prefixes are more stable than addresses over one year",
+                prefix_year.same_both >= addr_year.same_both,
+                format!(
+                    "prefix both {:.3} vs address both {:.3}",
+                    prefix_year.same_both, addr_year.same_both
+                ),
+            );
+            result.check(
+                "over one year, >80% of consistent domains keep their prefixes (paper: 91%)",
+                prefix_year.same_both > 0.80,
+                format!("prefix both {:.3}", prefix_year.same_both),
+            );
+            result.check(
+                "IPv6 prefixes are at least as stable as IPv4 (paper: 6% vs 9% change)",
+                prefix_year.same_v6 + 0.02 >= prefix_year.same_v4,
+                format!("v4 {:.3}, v6 {:.3}", prefix_year.same_v4, prefix_year.same_v6),
+            );
+        }
+
+        result.csv.push(("fig07_visibility.csv".into(), freq.to_csv("share")));
+        result
+    }
+}

@@ -1,0 +1,96 @@
+//! Fig. 1: domains and dual-stack domains over time.
+
+use crate::context::AnalysisContext;
+use crate::experiments::{Experiment, ExperimentResult};
+use crate::render::Series;
+
+/// Fig. 1: total and DS domain counts per monthly snapshot, with the
+/// dataset composition events (Tranco/Radar/.fr additions, Alexa removal).
+pub struct Fig01Timeline;
+
+impl Experiment for Fig01Timeline {
+    fn id(&self) -> &'static str {
+        "fig01"
+    }
+
+    fn title(&self) -> &'static str {
+        "Domains and dual-stack domains over time"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Figure 1"
+    }
+
+    fn run(&self, ctx: &AnalysisContext) -> ExperimentResult {
+        let mut result = ExperimentResult::new(self.id(), self.title());
+        let months = ctx.world.config.months();
+        let mut totals = Series::default();
+        let mut ds = Series::default();
+        let mut share = Series::default();
+        for month in &months {
+            let snap = ctx.snapshot(*month);
+            totals.push(month.to_string(), snap.domain_count() as f64);
+            ds.push(month.to_string(), snap.ds_count() as f64);
+            share.push(month.to_string(), snap.ds_share() * 100.0);
+        }
+
+        // Shape checks mirroring §2.1.
+        let first_total = totals.values[0];
+        let last_total = *totals.values.last().unwrap();
+        result.check(
+            "the total number of domains grows over the window",
+            last_total > first_total,
+            format!("{first_total:.0} → {last_total:.0}"),
+        );
+        let first_share = share.values[0];
+        let last_share = *share.values.last().unwrap();
+        result.check(
+            "the DS share rises (paper: 25.2% → 31.8%)",
+            last_share > first_share,
+            format!("{first_share:.1}% → {last_share:.1}%"),
+        );
+        result.check(
+            "the DS share stays in the paper's 20–40% band",
+            share.values.iter().all(|s| (18.0..=42.0).contains(s)),
+            format!("min {:.1}%, max {:.1}%",
+                share.values.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+                share.values.iter().fold(0.0f64, |a, &b| a.max(b))),
+        );
+        // The .fr addition (2022-08) must bump totals noticeably.
+        let fr_idx = months
+            .iter()
+            .position(|m| m.to_string() == "2022-08")
+            .unwrap_or(0);
+        if fr_idx > 0 {
+            let before = totals.values[fr_idx - 1];
+            let after = totals.values[fr_idx];
+            result.check(
+                "the .fr ccTLD addition (2022-08) bumps the total",
+                after > before * 1.1,
+                format!("{before:.0} → {after:.0}"),
+            );
+        }
+        // The Alexa removal (2023-05) must dent totals.
+        let alexa_idx = months
+            .iter()
+            .position(|m| m.to_string() == "2023-05")
+            .unwrap_or(0);
+        if alexa_idx > 0 {
+            let before = totals.values[alexa_idx - 1];
+            let after = totals.values[alexa_idx];
+            result.check(
+                "the Alexa top-1M removal (2023-05) dents the total",
+                after < before,
+                format!("{before:.0} → {after:.0}"),
+            );
+        }
+
+        result.section("total domains", totals.render("domains"));
+        result.section("dual-stack domains", ds.render("DS domains"));
+        result.section("dual-stack share (%)", share.render("DS %"));
+        result.csv.push(("fig01_totals.csv".into(), totals.to_csv("domains")));
+        result.csv.push(("fig01_ds.csv".into(), ds.to_csv("ds_domains")));
+        result.csv.push(("fig01_share.csv".into(), share.to_csv("ds_share_pct")));
+        result
+    }
+}

@@ -1,0 +1,26 @@
+//! Experiment harness: reproduces every table and figure of the paper's
+//! evaluation over the synthetic world.
+//!
+//! * [`AnalysisContext`] — a generated [`sibling_worldgen::World`] plus
+//!   memoised snapshots, prefix indexes and sibling sets per date and
+//!   tuner configuration (everything downstream of the world is pure, so
+//!   caching is safe and keeps multi-figure runs fast);
+//! * [`classify`] — the dataset joins of §4: origin organizations,
+//!   business types, hypergiant/CDN classes, ROV states;
+//! * [`render`] — text/CSV renderers for ECDFs, heatmaps, time series and
+//!   stacked shares;
+//! * [`experiments`] — the registry: one [`experiments::Experiment`] per
+//!   paper artefact (`fig01` … `fig36`, `gt_atlas`, `gt_vps`), each
+//!   returning rendered sections plus machine-checkable *shape checks*
+//!   (the properties EXPERIMENTS.md records).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod context;
+pub mod experiments;
+pub mod render;
+
+pub use context::{AnalysisContext, ReferenceOffsets};
+pub use experiments::{all_experiments, run_all, run_by_id, Check, Experiment, ExperimentResult, Section};

@@ -1,0 +1,267 @@
+//! Text and CSV renderers for the experiment outputs.
+//!
+//! The paper's artefacts are ECDFs, heatmaps, time series and stacked
+//! shares; each has a plain-text renderer (for terminal reports and
+//! EXPERIMENTS.md) and a CSV form (for external plotting).
+
+use std::fmt::Write as _;
+
+/// An empirical CDF over `values`, evaluated at `x`.
+pub fn ecdf_at(values: &[f64], x: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let below = values.iter().filter(|v| **v <= x).count();
+    below as f64 / values.len() as f64
+}
+
+/// Standard ECDF summary points used across the similarity figures.
+pub const ECDF_POINTS: [f64; 11] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Renders an ECDF as one labelled row (`F(x)` at the standard points).
+pub fn ecdf_row(label: &str, values: &[f64]) -> String {
+    let mut out = format!("{label:<24}");
+    for x in ECDF_POINTS {
+        // Share strictly below 1.0 matters for the perfect-match reading,
+        // so evaluate just below the point for x = 1.0 is not needed: the
+        // ECDF at 1.0 is 1 by construction; report F(x) at each point.
+        let _ = write!(out, " {:>6.3}", ecdf_at(values, x));
+    }
+    out
+}
+
+/// Header row matching [`ecdf_row`].
+pub fn ecdf_header() -> String {
+    let mut out = format!("{:<24}", "ECDF at x =");
+    for x in ECDF_POINTS {
+        let _ = write!(out, " {x:>6.2}");
+    }
+    out
+}
+
+/// Share of values exactly equal to 1 (perfect matches) — the headline
+/// statistic of Fig. 5.
+pub fn perfect_share(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|v| **v >= 1.0 - 1e-12).count() as f64 / values.len() as f64
+}
+
+/// A labelled numeric matrix (heatmap).
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    /// Axis title for rows.
+    pub row_axis: String,
+    /// Axis title for columns.
+    pub col_axis: String,
+    /// Row labels (top to bottom).
+    pub rows: Vec<String>,
+    /// Column labels (left to right).
+    pub cols: Vec<String>,
+    /// `cells[r][c]`.
+    pub cells: Vec<Vec<f64>>,
+}
+
+impl Heatmap {
+    /// Creates a zero-filled heatmap.
+    pub fn zeroed(row_axis: &str, col_axis: &str, rows: Vec<String>, cols: Vec<String>) -> Self {
+        let cells = vec![vec![0.0; cols.len()]; rows.len()];
+        Self {
+            row_axis: row_axis.to_string(),
+            col_axis: col_axis.to_string(),
+            rows,
+            cols,
+            cells,
+        }
+    }
+
+    /// Normalises all cells so they sum to 100 (percentage heatmaps).
+    pub fn to_percent(mut self) -> Self {
+        let total: f64 = self.cells.iter().flatten().sum();
+        if total > 0.0 {
+            for row in &mut self.cells {
+                for cell in row {
+                    *cell = *cell / total * 100.0;
+                }
+            }
+        }
+        self
+    }
+
+    /// Normalises each row to sum to 100 (per-row percentage heatmaps,
+    /// e.g. Fig. 17).
+    pub fn rows_to_percent(mut self) -> Self {
+        for row in &mut self.cells {
+            let total: f64 = row.iter().sum();
+            if total > 0.0 {
+                for cell in row {
+                    *cell = *cell / total * 100.0;
+                }
+            }
+        }
+        self
+    }
+
+    /// The cell value at (row, col) labels, if both exist.
+    pub fn cell(&self, row: &str, col: &str) -> Option<f64> {
+        let r = self.rows.iter().position(|x| x == row)?;
+        let c = self.cols.iter().position(|x| x == col)?;
+        Some(self.cells[r][c])
+    }
+
+    /// Renders as aligned text with two-decimal cells.
+    pub fn render(&self) -> String {
+        let label_w = self
+            .rows
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(4)
+            .max(self.row_axis.len())
+            + 2;
+        let cell_w = self.cols.iter().map(String::len).max().unwrap_or(6).max(7) + 1;
+        let mut out = String::new();
+        let _ = writeln!(out, "rows: {} / cols: {}", self.row_axis, self.col_axis);
+        let _ = write!(out, "{:<label_w$}", "");
+        for c in &self.cols {
+            let _ = write!(out, "{c:>cell_w$}");
+        }
+        let _ = writeln!(out);
+        for (r, label) in self.rows.iter().enumerate() {
+            let _ = write!(out, "{label:<label_w$}");
+            for c in 0..self.cols.len() {
+                let _ = write!(out, "{:>cell_w$.2}", self.cells[r][c]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// CSV form (row label column + one column per col label).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", csv_escape(&self.row_axis));
+        for c in &self.cols {
+            let _ = write!(out, ",{}", csv_escape(c));
+        }
+        let _ = writeln!(out);
+        for (r, label) in self.rows.iter().enumerate() {
+            let _ = write!(out, "{}", csv_escape(label));
+            for c in 0..self.cols.len() {
+                let _ = write!(out, ",{:.6}", self.cells[r][c]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// A labelled series (time series or category counts).
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    /// Point labels.
+    pub labels: Vec<String>,
+    /// Point values.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Appends a point.
+    pub fn push(&mut self, label: impl Into<String>, value: f64) {
+        self.labels.push(label.into());
+        self.values.push(value);
+    }
+
+    /// Renders as `label value` lines.
+    pub fn render(&self, name: &str) -> String {
+        let width = self.labels.iter().map(String::len).max().unwrap_or(8) + 2;
+        let mut out = format!("{name}\n");
+        for (l, v) in self.labels.iter().zip(&self.values) {
+            let _ = writeln!(out, "  {l:<width$}{v:>12.3}");
+        }
+        out
+    }
+
+    /// CSV form.
+    pub fn to_csv(&self, value_name: &str) -> String {
+        let mut out = format!("label,{}\n", csv_escape(value_name));
+        for (l, v) in self.labels.iter().zip(&self.values) {
+            let _ = writeln!(out, "{},{:.6}", csv_escape(l), v);
+        }
+        out
+    }
+}
+
+/// Escapes a CSV field (quotes when needed).
+pub fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_basics() {
+        let values = [0.0, 0.5, 0.5, 1.0];
+        assert_eq!(ecdf_at(&values, 0.0), 0.25);
+        assert_eq!(ecdf_at(&values, 0.5), 0.75);
+        assert_eq!(ecdf_at(&values, 1.0), 1.0);
+        assert_eq!(ecdf_at(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn perfect_share_counts_exact_ones() {
+        assert_eq!(perfect_share(&[1.0, 0.5, 1.0, 0.9999]), 0.5);
+        assert_eq!(perfect_share(&[]), 0.0);
+    }
+
+    #[test]
+    fn heatmap_percent_and_lookup() {
+        let mut h = Heatmap::zeroed(
+            "v6",
+            "v4",
+            vec!["a".into(), "b".into()],
+            vec!["x".into(), "y".into()],
+        );
+        h.cells[0][0] = 3.0;
+        h.cells[1][1] = 1.0;
+        let h = h.to_percent();
+        assert_eq!(h.cell("a", "x"), Some(75.0));
+        assert_eq!(h.cell("b", "y"), Some(25.0));
+        assert_eq!(h.cell("zz", "x"), None);
+        assert!(h.render().contains("75.00"));
+        assert!(h.to_csv().starts_with("v6,x,y"));
+    }
+
+    #[test]
+    fn rows_to_percent_normalises_each_row() {
+        let mut h = Heatmap::zeroed("r", "c", vec!["a".into()], vec!["x".into(), "y".into()]);
+        h.cells[0][0] = 1.0;
+        h.cells[0][1] = 3.0;
+        let h = h.rows_to_percent();
+        assert_eq!(h.cell("a", "x"), Some(25.0));
+        assert_eq!(h.cell("a", "y"), Some(75.0));
+    }
+
+    #[test]
+    fn series_render_and_csv() {
+        let mut s = Series::default();
+        s.push("2020-09", 1.0);
+        s.push("2024-09", 2.0);
+        assert!(s.render("pairs").contains("2024-09"));
+        assert!(s.to_csv("count").contains("2020-09,1.000000"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("q\"q"), "\"q\"\"q\"");
+    }
+}

@@ -1,0 +1,185 @@
+//! ASdb business-type classification (§2.5, §4.6).
+
+use std::collections::BTreeMap;
+
+use sibling_net_types::Asn;
+
+/// The 17 ASdb business categories as they appear in the paper's
+/// business-type figures (Figs. 16, 20, 21).
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+#[allow(missing_docs)]
+pub enum BusinessType {
+    Agriculture,
+    Education,
+    Entertainment,
+    Finance,
+    Government,
+    Health,
+    ComputerAndIt,
+    Manufacturing,
+    Media,
+    Nonprofits,
+    Other,
+    RealEstate,
+    Retail,
+    Service,
+    Shipment,
+    Travel,
+    Utilities,
+}
+
+impl BusinessType {
+    /// All categories, in the order the paper's figures use.
+    pub const ALL: [BusinessType; 17] = [
+        BusinessType::Agriculture,
+        BusinessType::Education,
+        BusinessType::Entertainment,
+        BusinessType::Finance,
+        BusinessType::Government,
+        BusinessType::Health,
+        BusinessType::ComputerAndIt,
+        BusinessType::Manufacturing,
+        BusinessType::Media,
+        BusinessType::Nonprofits,
+        BusinessType::Other,
+        BusinessType::RealEstate,
+        BusinessType::Retail,
+        BusinessType::Service,
+        BusinessType::Shipment,
+        BusinessType::Travel,
+        BusinessType::Utilities,
+    ];
+
+    /// The display label used on figure axes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BusinessType::Agriculture => "Agriculture",
+            BusinessType::Education => "Education",
+            BusinessType::Entertainment => "Entertainment",
+            BusinessType::Finance => "Finance",
+            BusinessType::Government => "Government",
+            BusinessType::Health => "Health",
+            BusinessType::ComputerAndIt => "IT",
+            BusinessType::Manufacturing => "Manufacturing",
+            BusinessType::Media => "Media",
+            BusinessType::Nonprofits => "Nonprofits",
+            BusinessType::Other => "Other",
+            BusinessType::RealEstate => "Real Estate",
+            BusinessType::Retail => "Retail",
+            BusinessType::Service => "Service",
+            BusinessType::Shipment => "Shipment",
+            BusinessType::Travel => "Travel",
+            BusinessType::Utilities => "Utilities",
+        }
+    }
+}
+
+/// An ASdb snapshot: each AS maps to one or more business categories.
+#[derive(Debug, Default, Clone)]
+pub struct AsdbDataset {
+    by_asn: BTreeMap<Asn, Vec<BusinessType>>,
+}
+
+impl AsdbDataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the categories for `asn` (sorted, deduplicated).
+    pub fn assign(&mut self, asn: Asn, mut types: Vec<BusinessType>) {
+        types.sort_unstable();
+        types.dedup();
+        self.by_asn.insert(asn, types);
+    }
+
+    /// The categories of `asn`, if classified.
+    pub fn types_of(&self, asn: Asn) -> Option<&[BusinessType]> {
+        self.by_asn.get(&asn).map(Vec::as_slice)
+    }
+
+    /// The category of `asn` if it maps to exactly one — the filter used
+    /// for the main business-type analysis ("around 80% of all the
+    /// prefixes", §4.6).
+    pub fn single_type_of(&self, asn: Asn) -> Option<BusinessType> {
+        match self.types_of(asn) {
+            Some([t]) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Share of classified ASes mapping to a single category.
+    pub fn single_type_share(&self) -> f64 {
+        if self.by_asn.is_empty() {
+            return 0.0;
+        }
+        let singles = self.by_asn.values().filter(|v| v.len() == 1).count();
+        singles as f64 / self.by_asn.len() as f64
+    }
+
+    /// Number of classified ASes.
+    pub fn len(&self) -> usize {
+        self.by_asn.len()
+    }
+
+    /// Whether no AS is classified.
+    pub fn is_empty(&self) -> bool {
+        self.by_asn.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_categories() {
+        assert_eq!(BusinessType::ALL.len(), 17);
+        let mut labels: Vec<_> = BusinessType::ALL.iter().map(|t| t.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 17, "labels must be distinct");
+    }
+
+    #[test]
+    fn single_type_filter() {
+        let mut db = AsdbDataset::new();
+        db.assign(Asn(1), vec![BusinessType::ComputerAndIt]);
+        db.assign(
+            Asn(2),
+            vec![BusinessType::ComputerAndIt, BusinessType::Media],
+        );
+        assert_eq!(db.single_type_of(Asn(1)), Some(BusinessType::ComputerAndIt));
+        assert_eq!(db.single_type_of(Asn(2)), None);
+        assert_eq!(db.single_type_of(Asn(3)), None);
+        assert!((db.single_type_share() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assign_dedups() {
+        let mut db = AsdbDataset::new();
+        db.assign(
+            Asn(1),
+            vec![
+                BusinessType::Media,
+                BusinessType::ComputerAndIt,
+                BusinessType::Media,
+            ],
+        );
+        assert_eq!(
+            db.types_of(Asn(1)).unwrap(),
+            &[BusinessType::ComputerAndIt, BusinessType::Media]
+        );
+    }
+}

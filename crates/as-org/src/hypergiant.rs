@@ -1,0 +1,126 @@
+//! Hypergiant and CDN organization lists (§2.4, §4.7).
+//!
+//! The paper classifies sibling prefixes by whether both prefixes belong to
+//! one of 24 publicly known hypergiant/CDN organizations (Fig. 17 and
+//! Appendix A.3); everything else falls into the "non-CDN-HG" bucket.
+
+use std::collections::BTreeMap;
+
+/// Whether an organization appears on the hypergiant list, the CDN list,
+/// both, or neither.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HgCdnClass {
+    /// On the hypergiant list (Böttger et al. / Gigis et al.).
+    Hypergiant,
+    /// On the CDN list (CDN Planet).
+    Cdn,
+    /// On both lists.
+    Both,
+    /// Neither — the paper's "non-CDN-HG" bucket.
+    Other,
+}
+
+impl HgCdnClass {
+    /// Whether the organization belongs to the HG/CDN universe at all.
+    pub fn is_hg_or_cdn(&self) -> bool {
+        !matches!(self, HgCdnClass::Other)
+    }
+}
+
+/// The lookup table from organization name to HG/CDN class.
+#[derive(Debug, Clone, Default)]
+pub struct HgCdnList {
+    by_name: BTreeMap<String, HgCdnClass>,
+}
+
+impl HgCdnList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The canonical list: the 24 organizations named in the paper's HG/CDN
+    /// figures, with their class.
+    pub fn canonical() -> Self {
+        let mut list = Self::new();
+        // Hypergiants that also operate CDNs.
+        for name in ["Amazon", "Microsoft", "Akamai", "Google", "Alibaba", "Cloudflare", "Facebook", "Apple"] {
+            list.add(name, HgCdnClass::Both);
+        }
+        // Primarily CDN operators.
+        for name in ["GoDaddy", "Incapsula", "CDN77", "Edgecast", "Fastly", "Rackspace", "Internap", "Lumen"] {
+            list.add(name, HgCdnClass::Cdn);
+        }
+        // Primarily hypergiants / large eyeball-facing networks on the list.
+        for name in ["Leaseweb", "KPN", "Yahoo", "Netflix", "Telenor", "NTT", "Telstra", "Telin"] {
+            list.add(name, HgCdnClass::Hypergiant);
+        }
+        list
+    }
+
+    /// Adds or replaces an entry.
+    pub fn add(&mut self, org_name: &str, class: HgCdnClass) {
+        self.by_name.insert(org_name.to_string(), class);
+    }
+
+    /// The class of `org_name` ([`HgCdnClass::Other`] when unlisted).
+    pub fn classify(&self, org_name: &str) -> HgCdnClass {
+        self.by_name
+            .get(org_name)
+            .copied()
+            .unwrap_or(HgCdnClass::Other)
+    }
+
+    /// Whether `org_name` is a listed hypergiant or CDN.
+    pub fn is_hg_cdn(&self, org_name: &str) -> bool {
+        self.classify(org_name).is_hg_or_cdn()
+    }
+
+    /// All listed organization names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.by_name.keys().map(String::as_str)
+    }
+
+    /// Number of listed organizations.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_has_24_orgs() {
+        let list = HgCdnList::canonical();
+        assert_eq!(list.len(), 24);
+        assert!(list.is_hg_cdn("Amazon"));
+        assert!(list.is_hg_cdn("Telin"));
+        assert!(!list.is_hg_cdn("Some Random ISP"));
+    }
+
+    #[test]
+    fn classes_are_as_registered() {
+        let list = HgCdnList::canonical();
+        assert_eq!(list.classify("Google"), HgCdnClass::Both);
+        assert_eq!(list.classify("Fastly"), HgCdnClass::Cdn);
+        assert_eq!(list.classify("Netflix"), HgCdnClass::Hypergiant);
+        assert_eq!(list.classify("nobody"), HgCdnClass::Other);
+        assert!(!HgCdnClass::Other.is_hg_or_cdn());
+    }
+
+    #[test]
+    fn names_sorted() {
+        let list = HgCdnList::canonical();
+        let names: Vec<_> = list.names().collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+}

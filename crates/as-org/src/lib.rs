@@ -1,0 +1,26 @@
+//! AS-to-organization datasets (§2.3–§2.5 of the paper).
+//!
+//! Three datasets are modelled:
+//!
+//! * **AS → organization mapping** with *sibling-AS* semantics: ASes
+//!   registered under the same organization name are merged when deciding
+//!   whether the IPv4 and IPv6 origin ASes of a sibling prefix pair belong
+//!   to the "same organization" (§4.5). The paper uses CAIDA's dataset
+//!   before October 2022 and the Chen et al. dataset afterwards;
+//!   [`AsOrgSource`] reproduces that era switch.
+//! * **ASdb business types** (§2.5, §4.6): each AS maps to one or more of
+//!   17 business categories; ~80% of sibling-prefix origin ASes map to a
+//!   single category, and analyses filter on that.
+//! * **Hypergiant and CDN lists** (§2.4, §4.7): the 24 named organizations
+//!   of Fig. 17 plus the non-CDN-HG bucket.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asdb;
+mod hypergiant;
+mod mapping;
+
+pub use asdb::{AsdbDataset, BusinessType};
+pub use hypergiant::{HgCdnClass, HgCdnList};
+pub use mapping::{AsOrgMap, AsOrgSource, MappingEra, OrgId};

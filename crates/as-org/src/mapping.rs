@@ -1,0 +1,187 @@
+//! AS → organization mapping with sibling-AS merging.
+
+use std::collections::BTreeMap;
+
+use sibling_net_types::{Asn, MonthDate};
+
+/// A dense organization identifier.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct OrgId(pub u32);
+
+/// Which upstream mapping produced an answer. The paper uses CAIDA's
+/// dataset for analyses before October 2022 and the Chen et al. (PAM 2023)
+/// dataset from October 2022 onward (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingEra {
+    /// CAIDA AS-to-organization mapping (pre 2022-10).
+    Caida,
+    /// Chen et al. improved sibling inference (2022-10 onward).
+    ChenEtAl,
+}
+
+impl MappingEra {
+    /// The era in effect for analyses dated `date`.
+    pub fn for_date(date: MonthDate) -> MappingEra {
+        if date < MonthDate::new(2022, 10) {
+            MappingEra::Caida
+        } else {
+            MappingEra::ChenEtAl
+        }
+    }
+}
+
+/// One era's AS → organization table.
+///
+/// Organizations are identified by [`OrgId`] and carry a display name;
+/// *sibling ASes* are simply ASes mapping to the same `OrgId`.
+#[derive(Debug, Default, Clone)]
+pub struct AsOrgMap {
+    by_asn: BTreeMap<Asn, OrgId>,
+    names: BTreeMap<OrgId, String>,
+}
+
+impl AsOrgMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an organization name (idempotent on id).
+    pub fn add_org(&mut self, id: OrgId, name: &str) {
+        self.names.insert(id, name.to_string());
+    }
+
+    /// Maps `asn` to organization `org`.
+    pub fn assign(&mut self, asn: Asn, org: OrgId) {
+        self.by_asn.insert(asn, org);
+    }
+
+    /// The organization of `asn`, if known.
+    pub fn org_of(&self, asn: Asn) -> Option<OrgId> {
+        self.by_asn.get(&asn).copied()
+    }
+
+    /// The display name of `org`, if registered.
+    pub fn org_name(&self, org: OrgId) -> Option<&str> {
+        self.names.get(&org).map(String::as_str)
+    }
+
+    /// Whether two ASNs are sibling ASes (same organization). Unknown ASNs
+    /// are never siblings of anything, including themselves — except that
+    /// the identical ASN is trivially the same organization.
+    pub fn same_org(&self, a: Asn, b: Asn) -> bool {
+        if a == b {
+            return true;
+        }
+        match (self.org_of(a), self.org_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// All ASNs of `org`, in ascending order.
+    pub fn siblings_of(&self, org: OrgId) -> Vec<Asn> {
+        self.by_asn
+            .iter()
+            .filter(|(_, o)| **o == org)
+            .map(|(a, _)| *a)
+            .collect()
+    }
+
+    /// Number of mapped ASNs.
+    pub fn len(&self) -> usize {
+        self.by_asn.len()
+    }
+
+    /// Whether no ASNs are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.by_asn.is_empty()
+    }
+}
+
+/// The era-switching source: CAIDA before 2022-10, Chen et al. after.
+#[derive(Debug, Default, Clone)]
+pub struct AsOrgSource {
+    caida: AsOrgMap,
+    chen: AsOrgMap,
+}
+
+impl AsOrgSource {
+    /// Creates a source from the two era tables.
+    pub fn new(caida: AsOrgMap, chen: AsOrgMap) -> Self {
+        Self { caida, chen }
+    }
+
+    /// The table to use for an analysis dated `date`.
+    pub fn map_for(&self, date: MonthDate) -> &AsOrgMap {
+        match MappingEra::for_date(date) {
+            MappingEra::Caida => &self.caida,
+            MappingEra::ChenEtAl => &self.chen,
+        }
+    }
+
+    /// Direct access to a specific era's table.
+    pub fn map_for_era(&self, era: MappingEra) -> &AsOrgMap {
+        match era {
+            MappingEra::Caida => &self.caida,
+            MappingEra::ChenEtAl => &self.chen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn era_switch_is_october_2022() {
+        assert_eq!(MappingEra::for_date(MonthDate::new(2022, 9)), MappingEra::Caida);
+        assert_eq!(
+            MappingEra::for_date(MonthDate::new(2022, 10)),
+            MappingEra::ChenEtAl
+        );
+        assert_eq!(
+            MappingEra::for_date(MonthDate::new(2020, 9)),
+            MappingEra::Caida
+        );
+    }
+
+    #[test]
+    fn sibling_as_semantics() {
+        let mut m = AsOrgMap::new();
+        m.add_org(OrgId(0), "ExampleNet");
+        m.assign(Asn(100), OrgId(0));
+        m.assign(Asn(200), OrgId(0));
+        m.assign(Asn(300), OrgId(1));
+        assert!(m.same_org(Asn(100), Asn(200)));
+        assert!(!m.same_org(Asn(100), Asn(300)));
+        assert!(m.same_org(Asn(100), Asn(100)));
+        // Unknown ASN equal to itself is still "same org".
+        assert!(m.same_org(Asn(999), Asn(999)));
+        assert!(!m.same_org(Asn(999), Asn(100)));
+        assert_eq!(m.siblings_of(OrgId(0)), vec![Asn(100), Asn(200)]);
+        assert_eq!(m.org_name(OrgId(0)), Some("ExampleNet"));
+    }
+
+    #[test]
+    fn source_selects_era_table() {
+        let mut caida = AsOrgMap::new();
+        caida.assign(Asn(1), OrgId(10));
+        let mut chen = AsOrgMap::new();
+        chen.assign(Asn(1), OrgId(20));
+        let src = AsOrgSource::new(caida, chen);
+        assert_eq!(src.map_for(MonthDate::new(2021, 1)).org_of(Asn(1)), Some(OrgId(10)));
+        assert_eq!(src.map_for(MonthDate::new(2023, 1)).org_of(Asn(1)), Some(OrgId(20)));
+    }
+}

@@ -1,0 +1,123 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * best-match policy (union vs one-sided selection, §3.1 step 4);
+//! * SP-Tuner equal-descent (accept ties vs require strict improvement);
+//! * similarity metric choice feeding best-match selection (§3.2);
+//! * set-pair grouping on top of tuned pairs (§6 extension).
+//!
+//! Each ablation prints the quality deltas so `cargo bench` documents not
+//! just the cost but the *effect* of each choice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sibling_bench::bench_context;
+use sibling_core::tuner::more_specific::tune_more_specific;
+use sibling_core::{build_set_pairs, detect, BestMatchPolicy, SimilarityMetric, SpTunerConfig};
+
+/// §3.1 step 4: the union policy versus one-sided best matches.
+fn bench_best_match_policy(c: &mut Criterion) {
+    let ctx = bench_context();
+    let index = ctx.index(ctx.day0());
+    let mut group = c.benchmark_group("ablation_policy");
+    for (name, policy) in [
+        ("union", BestMatchPolicy::Union),
+        ("v4_side", BestMatchPolicy::V4Side),
+        ("v6_side", BestMatchPolicy::V6Side),
+    ] {
+        let set = detect(&index, SimilarityMetric::Jaccard, policy);
+        let (v4, v6) = set.unique_prefix_counts();
+        println!(
+            "[ablation:policy] {name}: {} pairs ({v4} v4 / {v6} v6), perfect {:.1}%",
+            set.len(),
+            set.perfect_match_share() * 100.0
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(detect(&index, SimilarityMetric::Jaccard, policy)))
+        });
+    }
+    group.finish();
+}
+
+/// SP-Tuner equal-descent: accepting ties is what drives pairs down to
+/// the threshold lengths (Fig. 36); strict improvement stops early.
+fn bench_equal_descent(c: &mut Criterion) {
+    let ctx = bench_context();
+    let date = ctx.day0();
+    let index = ctx.index(date);
+    let base = ctx.default_pairs(date);
+    let mut group = c.benchmark_group("ablation_equal_descent");
+    for (name, allow_equal) in [("allow_equal", true), ("strict_improvement", false)] {
+        let config = SpTunerConfig {
+            allow_equal,
+            ..SpTunerConfig::best()
+        };
+        let outcome = tune_more_specific(&index, &base, &config);
+        let at_threshold = outcome
+            .pairs
+            .iter()
+            .filter(|p| p.v4.len() == 28 && p.v6.len() == 96)
+            .count();
+        println!(
+            "[ablation:descent] {name}: perfect {:.1}%, {:.1}% of pairs end exactly at /28-/96, {} steps",
+            outcome.pairs.perfect_match_share() * 100.0,
+            at_threshold as f64 / outcome.pairs.len().max(1) as f64 * 100.0,
+            outcome.steps
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(tune_more_specific(&index, &base, &config)))
+        });
+    }
+    group.finish();
+}
+
+/// §3.2: what best-match selection looks like under each metric (the
+/// overlap coefficient's subset saturation is why the paper rejects it).
+fn bench_metric_choice(c: &mut Criterion) {
+    let ctx = bench_context();
+    let index = ctx.index(ctx.day0());
+    let mut group = c.benchmark_group("ablation_metric");
+    for (name, metric) in [
+        ("jaccard", SimilarityMetric::Jaccard),
+        ("dice", SimilarityMetric::Dice),
+        ("overlap", SimilarityMetric::Overlap),
+    ] {
+        let set = detect(&index, metric, BestMatchPolicy::Union);
+        println!(
+            "[ablation:metric] {name}: {} pairs, share at 1.0 = {:.3}",
+            set.len(),
+            set.perfect_match_share()
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(detect(&index, metric, BestMatchPolicy::Union)))
+        });
+    }
+    group.finish();
+}
+
+/// §6 extension: set-pair grouping over tuned pairs.
+fn bench_set_pairs(c: &mut Criterion) {
+    let ctx = bench_context();
+    let date = ctx.day0();
+    let index = ctx.index(date);
+    let tuned = ctx.tuned_pairs(date, SpTunerConfig::best());
+    let set_pairs = build_set_pairs(&index, &tuned);
+    println!(
+        "[ablation:setpairs] {} tuned pairs (perfect {:.1}%) → {} set pairs (perfect {:.1}%), {} merged",
+        tuned.len(),
+        tuned.perfect_match_share() * 100.0,
+        set_pairs.len(),
+        set_pairs.perfect_match_share() * 100.0,
+        set_pairs.merged().count()
+    );
+    c.bench_function("ablation_set_pairs", |b| {
+        b.iter(|| black_box(build_set_pairs(&index, &tuned)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_best_match_policy, bench_equal_descent, bench_metric_choice, bench_set_pairs
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Analysis-experiment benchmarks: the §4 figures (stability, longitudinal,
+//! organizations, business types, HG/CDN, ROV) and the §3.5/§3.6
+//! validations. Each bench regenerates its artefact via the experiment
+//! registry and prints the shape-check verdicts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sibling_bench::bench_context;
+use sibling_analysis::run_by_id;
+
+fn bench_experiment(c: &mut Criterion, bench_name: &str, ids: &[&str]) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group(bench_name);
+    for id in ids {
+        // Print the artefact's verdicts once (warm the caches too).
+        let result = run_by_id(ctx, id).unwrap_or_else(|| panic!("{id} registered"));
+        for check in &result.checks {
+            let mark = if check.passed { "PASS" } else { "note" };
+            println!("[{id}] {mark}: {} ({})", check.description, check.detail);
+        }
+        group.bench_function(*id, |b| b.iter(|| black_box(run_by_id(ctx, id).unwrap())));
+    }
+    group.finish();
+}
+
+/// Fig. 6 (port-scan heatmap) and §3.5 ground truths.
+fn bench_validation(c: &mut Criterion) {
+    bench_experiment(c, "validation", &["fig06", "gt_atlas", "gt_vps"]);
+}
+
+/// Fig. 7 (stability) and Figs. 9–12 (longitudinal).
+fn bench_longitudinal(c: &mut Criterion) {
+    bench_experiment(c, "longitudinal", &["fig07", "fig09", "fig10", "fig11", "fig12"]);
+}
+
+/// Figs. 14–16 (organizations + business types).
+fn bench_org(c: &mut Criterion) {
+    bench_experiment(c, "org", &["fig14", "fig15", "fig16"]);
+}
+
+/// Fig. 17 (HG/CDN) and Fig. 18 (ROV).
+fn bench_hg_rov(c: &mut Criterion) {
+    bench_experiment(c, "hg_rov", &["fig17", "fig18"]);
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_validation, bench_longitudinal, bench_org, bench_hg_rov
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Detection-pipeline benchmarks (§3.1, Figs. 1–2, 8, 13).
+//!
+//! Each bench prints the headline numbers of the artefact it regenerates
+//! before timing the computation that produces them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sibling_bench::bench_context;
+use sibling_core::{detect, BestMatchPolicy, PrefixDomainIndex, SimilarityMetric};
+
+/// Fig. 1: snapshot resolution (domains + DS domains per month).
+fn bench_snapshot_resolution(c: &mut Criterion) {
+    let ctx = bench_context();
+    let date = ctx.day0();
+    let snap = ctx.world.snapshot(date);
+    println!(
+        "[fig01] {date}: {} domains, {} dual-stack ({:.1}%)",
+        snap.domain_count(),
+        snap.ds_count(),
+        snap.ds_share() * 100.0
+    );
+    c.bench_function("fig01_snapshot_resolution", |b| {
+        b.iter(|| black_box(ctx.world.snapshot(date)))
+    });
+}
+
+/// §3.1 step 2: prefix grouping (index construction).
+fn bench_index_build(c: &mut Criterion) {
+    let ctx = bench_context();
+    let snap = ctx.world.snapshot(ctx.day0());
+    let index = PrefixDomainIndex::build(&snap, ctx.world.rib());
+    let (v4, v6) = index.group_counts();
+    println!("[fig01/§3.1] prefix groups: {v4} IPv4, {v6} IPv6");
+    c.bench_function("pipeline_index_build", |b| {
+        b.iter(|| black_box(PrefixDomainIndex::build(&snap, ctx.world.rib())))
+    });
+}
+
+/// §3.1 steps 3–4 and Fig. 2: similarity scoring + best-match selection
+/// under all three metrics.
+fn bench_detection_metrics(c: &mut Criterion) {
+    let ctx = bench_context();
+    let index = ctx.index(ctx.day0());
+    let mut group = c.benchmark_group("fig02_detection");
+    for (name, metric) in [
+        ("jaccard", SimilarityMetric::Jaccard),
+        ("dice", SimilarityMetric::Dice),
+        ("overlap", SimilarityMetric::Overlap),
+    ] {
+        let set = detect(&index, metric, BestMatchPolicy::Union);
+        println!(
+            "[fig02] {name}: {} pairs, share at 1.0 = {:.3}",
+            set.len(),
+            set.perfect_match_share()
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(detect(&index, metric, BestMatchPolicy::Union)))
+        });
+    }
+    group.finish();
+}
+
+/// Figs. 8/13: pair-statistics aggregation (bins and CIDR sizes).
+fn bench_pair_statistics(c: &mut Criterion) {
+    let ctx = bench_context();
+    let pairs = ctx.default_pairs(ctx.day0());
+    let single = pairs
+        .iter()
+        .filter(|p| p.v4_domains == 1 && p.v6_domains == 1)
+        .count();
+    let modal = pairs
+        .iter()
+        .filter(|p| p.v4.len() == 24 && p.v6.len() == 48)
+        .count();
+    println!(
+        "[fig08] single-domain pairs: {:.1}%  [fig13] /24x/48 pairs: {:.1}%",
+        single as f64 / pairs.len().max(1) as f64 * 100.0,
+        modal as f64 / pairs.len().max(1) as f64 * 100.0
+    );
+    c.bench_function("fig08_fig13_pair_statistics", |b| {
+        b.iter(|| {
+            let mut bins = [0usize; 6];
+            let mut cidr = std::collections::BTreeMap::new();
+            for p in pairs.iter() {
+                let k = match p.v4_domains {
+                    1 => 0,
+                    2..=5 => 1,
+                    6..=10 => 2,
+                    11..=50 => 3,
+                    51..=100 => 4,
+                    _ => 5,
+                };
+                bins[k] += 1;
+                *cidr.entry((p.v4.len(), p.v6.len())).or_insert(0usize) += 1;
+            }
+            black_box((bins, cidr))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_snapshot_resolution, bench_index_build, bench_detection_metrics, bench_pair_statistics
+);
+criterion_main!(benches);

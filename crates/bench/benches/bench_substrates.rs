@@ -1,0 +1,126 @@
+//! Substrate micro-benchmarks: the building blocks every experiment rides
+//! on (trie operations, RIB lookups, ROV validation, scanning, world
+//! generation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sibling_bench::{bench_context, fresh_world};
+use sibling_net_types::Ipv4Prefix;
+use sibling_ptrie::PatriciaTrie;
+use sibling_scan::{ScanConfig, Scanner};
+
+/// Patricia-trie insert + longest-prefix match (the PyTricia substitute).
+fn bench_trie(c: &mut Criterion) {
+    let prefixes: Vec<Ipv4Prefix> = (0..10_000u32)
+        .map(|i| Ipv4Prefix::new(i << 14, 18 + (i % 7) as u8).unwrap())
+        .collect();
+    c.bench_function("ptrie_insert_10k", |b| {
+        b.iter(|| {
+            let mut trie = PatriciaTrie::new();
+            for (i, p) in prefixes.iter().enumerate() {
+                trie.insert(*p, i);
+            }
+            black_box(trie.len())
+        })
+    });
+    let trie: PatriciaTrie<u32, usize> = prefixes.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+    c.bench_function("ptrie_lpm_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for addr in (0..100_000u32).step_by(101) {
+                if trie.longest_match(addr.wrapping_mul(2_654_435_761)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+/// RIB longest-prefix matching over the generated announcements.
+fn bench_rib_lookup(c: &mut Criterion) {
+    let ctx = bench_context();
+    let snap = ctx.snapshot(ctx.day0());
+    let addrs: Vec<u32> = snap.ds_domains().flat_map(|(_, a)| a.v4.clone()).collect();
+    println!("[§2.2] {} DS v4 addresses to map", addrs.len());
+    c.bench_function("rib_lpm_ds_addresses", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for addr in &addrs {
+                if ctx.world.rib().lookup_v4(*addr).is_some() {
+                    found += 1;
+                }
+            }
+            black_box(found)
+        })
+    });
+}
+
+/// RFC 6811 validation over all announced prefixes (Fig. 18 inner loop).
+fn bench_rov(c: &mut Criterion) {
+    let ctx = bench_context();
+    let table = ctx.world.roa_table(ctx.day0());
+    println!("[fig18] {} ROAs at day 0", table.len());
+    let announcements: Vec<_> = ctx
+        .world
+        .pods()
+        .iter()
+        .map(|p| (p.v4_announced, ctx.world.orgs()[p.v4_org as usize].v4_asn))
+        .collect();
+    c.bench_function("rov_validate_all_v4", |b| {
+        b.iter(|| {
+            let mut valid = 0usize;
+            for (prefix, origin) in &announcements {
+                if table.validate_v4(prefix, *origin) == sibling_rpki::RovState::Valid {
+                    valid += 1;
+                }
+            }
+            black_box(valid)
+        })
+    });
+}
+
+/// ZMap-style scan over all DS addresses (Fig. 6 inner loop).
+fn bench_scan(c: &mut Criterion) {
+    let ctx = bench_context();
+    let date = ctx.day0();
+    let snap = ctx.snapshot(date);
+    let mut v4: Vec<u32> = snap.ds_domains().flat_map(|(_, a)| a.v4.clone()).collect();
+    let mut v6: Vec<u128> = snap.ds_domains().flat_map(|(_, a)| a.v6.clone()).collect();
+    v4.sort_unstable();
+    v4.dedup();
+    v6.sort_unstable();
+    v6.dedup();
+    let deployment = ctx.world.deployment(date);
+    let scanner = Scanner::new(ScanConfig::default());
+    let report = scanner.scan(&deployment, &v4, &v6);
+    println!(
+        "[fig06] {} probes, {} v4 + {} v6 responsive, {:.1}s simulated at 50 kpps",
+        report.probes_sent,
+        report.v4.len(),
+        report.v6.len(),
+        report.duration_secs
+    );
+    c.bench_function("scan_14_ports_all_ds", |b| {
+        b.iter(|| black_box(scanner.scan(&deployment, &v4, &v6)))
+    });
+}
+
+/// World generation itself (the dataset substitute).
+fn bench_worldgen(c: &mut Criterion) {
+    c.bench_function("worldgen_small", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(fresh_world(seed).pods().len())
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trie, bench_rib_lookup, bench_rov, bench_scan, bench_worldgen
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! SP-Tuner benchmarks (§3.3–3.4, Figs. 4, 5, 19, 22).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sibling_bench::bench_context;
+use sibling_core::tuner::less_specific::{tune_less_specific, SpTunerLsConfig};
+use sibling_core::tuner::more_specific::tune_more_specific;
+use sibling_core::SpTunerConfig;
+
+/// Fig. 5: the tuning ladder (default → /24-/48 → /28-/96).
+fn bench_tuner_ladder(c: &mut Criterion) {
+    let ctx = bench_context();
+    let date = ctx.day0();
+    let index = ctx.index(date);
+    let base = ctx.default_pairs(date);
+    println!(
+        "[fig05] default: {} pairs, perfect {:.1}%",
+        base.len(),
+        base.perfect_match_share() * 100.0
+    );
+    let mut group = c.benchmark_group("fig05_tuner");
+    for (name, config) in [
+        ("routable_24_48", SpTunerConfig::routable()),
+        ("best_28_96", SpTunerConfig::best()),
+    ] {
+        let outcome = tune_more_specific(&index, &base, &config);
+        println!(
+            "[fig05] {name}: {} pairs, perfect {:.1}%, {} refined, {} derived, {} steps",
+            outcome.pairs.len(),
+            outcome.pairs.perfect_match_share() * 100.0,
+            outcome.refined,
+            outcome.derived,
+            outcome.steps
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(tune_more_specific(&index, &base, &config)))
+        });
+    }
+    group.finish();
+}
+
+/// Figs. 4/19: one row of the threshold sweep (the full grid is the
+/// `full_reproduction` harness's job; the bench times representative
+/// cells across the depth range).
+fn bench_tuner_sweep_cells(c: &mut Criterion) {
+    let ctx = bench_context();
+    let date = ctx.day0();
+    let index = ctx.index(date);
+    let base = ctx.default_pairs(date);
+    let mut group = c.benchmark_group("fig04_fig19_sweep");
+    for (v4, v6) in [(16u8, 32u8), (22, 64), (28, 96), (31, 124)] {
+        let config = SpTunerConfig::with_thresholds(v4, v6);
+        let outcome = tune_more_specific(&index, &base, &config);
+        let (mean, std) = outcome.pairs.similarity_mean_std();
+        println!("[fig04/fig19] threshold /{v4}-/{v6}: mean {mean:.3} std {std:.3}");
+        group.bench_function(format!("v4_{v4}_v6_{v6}"), |b| {
+            b.iter(|| black_box(tune_more_specific(&index, &base, &config)))
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 22: the less-specific variant.
+fn bench_tuner_less_specific(c: &mut Criterion) {
+    let ctx = bench_context();
+    let date = ctx.day0();
+    let index = ctx.index(date);
+    let base = ctx.default_pairs(date);
+    let mut group = c.benchmark_group("fig22_tuner_ls");
+    for (name, config) in [
+        ("with_threshold", SpTunerLsConfig::default()),
+        ("without_threshold", SpTunerLsConfig::without_threshold()),
+    ] {
+        let outcome = tune_less_specific(&index, &base, ctx.world.rib(), &config);
+        let (mean, _) = outcome.pairs.similarity_mean_std();
+        println!(
+            "[fig22] LS {name}: mean {mean:.3} ({} refined — the negative result)",
+            outcome.refined
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(tune_less_specific(&index, &base, ctx.world.rib(), &config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tuner_ladder, bench_tuner_sweep_cells, bench_tuner_less_specific
+);
+criterion_main!(benches);

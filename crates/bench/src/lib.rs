@@ -1,0 +1,23 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! Benchmarks run on the small world preset so each Criterion sample is
+//! milliseconds; the experiment harness (`examples/full_reproduction.rs`)
+//! is the paper-scale run. Every bench prints the series/rows the
+//! corresponding paper artefact reports, so `cargo bench` regenerates the
+//! evaluation's numbers alongside the timings.
+
+use std::sync::OnceLock;
+
+use sibling_analysis::AnalysisContext;
+use sibling_worldgen::{World, WorldConfig};
+
+/// The shared benchmark world (generated once per process).
+pub fn bench_context() -> &'static AnalysisContext {
+    static CTX: OnceLock<AnalysisContext> = OnceLock::new();
+    CTX.get_or_init(|| AnalysisContext::new(World::generate(WorldConfig::test_small(2024))))
+}
+
+/// A fresh small world for benches that mutate or regenerate.
+pub fn fresh_world(seed: u64) -> World {
+    World::generate(WorldConfig::test_small(seed))
+}

@@ -1,0 +1,97 @@
+//! Dated RIB archive (Routeviews collector substitute).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use sibling_net_types::MonthDate;
+
+use crate::rib::Rib;
+
+/// A collection of RIB snapshots keyed by month, as a Routeviews collector
+/// archive would provide them.
+///
+/// SP-Tuner-LS must check origin changes "ensuring the same date as our
+/// input data" (Appendix A.1); the archive makes date-matched lookup the
+/// only way to obtain a RIB.
+#[derive(Default, Clone)]
+pub struct RibArchive {
+    snapshots: BTreeMap<MonthDate, Arc<Rib>>,
+}
+
+impl RibArchive {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores the RIB for `date`, replacing any previous snapshot.
+    pub fn insert(&mut self, date: MonthDate, rib: Rib) {
+        self.snapshots.insert(date, Arc::new(rib));
+    }
+
+    /// The RIB observed exactly at `date`.
+    pub fn at(&self, date: MonthDate) -> Option<Arc<Rib>> {
+        self.snapshots.get(&date).cloned()
+    }
+
+    /// The most recent RIB at or before `date` (how one selects the
+    /// matching table for a measurement taken mid-month).
+    pub fn at_or_before(&self, date: MonthDate) -> Option<Arc<Rib>> {
+        self.snapshots
+            .range(..=date)
+            .next_back()
+            .map(|(_, rib)| rib.clone())
+    }
+
+    /// All snapshot dates in order.
+    pub fn dates(&self) -> impl Iterator<Item = MonthDate> + '_ {
+        self.snapshots.keys().copied()
+    }
+
+    /// Number of stored snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibling_net_types::{Asn, Ipv4Prefix};
+
+    fn rib_with(origin: u32) -> Rib {
+        let mut rib = Rib::new();
+        rib.announce_v4("10.0.0.0/8".parse::<Ipv4Prefix>().unwrap(), Asn(origin));
+        rib
+    }
+
+    #[test]
+    fn exact_and_floor_lookup() {
+        let mut arch = RibArchive::new();
+        arch.insert(MonthDate::new(2020, 9), rib_with(1));
+        arch.insert(MonthDate::new(2021, 9), rib_with(2));
+        assert!(arch.at(MonthDate::new(2020, 9)).is_some());
+        assert!(arch.at(MonthDate::new(2020, 10)).is_none());
+        let floor = arch.at_or_before(MonthDate::new(2021, 3)).unwrap();
+        let r = floor
+            .lookup_v4(u32::from(std::net::Ipv4Addr::new(10, 0, 0, 1)))
+            .unwrap();
+        assert_eq!(r.primary_origin(), Asn(1));
+        assert!(arch.at_or_before(MonthDate::new(2020, 8)).is_none());
+    }
+
+    #[test]
+    fn dates_sorted() {
+        let mut arch = RibArchive::new();
+        arch.insert(MonthDate::new(2022, 1), rib_with(1));
+        arch.insert(MonthDate::new(2020, 9), rib_with(2));
+        let dates: Vec<_> = arch.dates().collect();
+        assert_eq!(dates, vec![MonthDate::new(2020, 9), MonthDate::new(2022, 1)]);
+        assert_eq!(arch.len(), 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! One routing information base (RIB) snapshot.
+
+use sibling_net_types::{Asn, Ipv4Prefix, Ipv6Prefix};
+use sibling_ptrie::PatriciaTrie;
+
+/// The outcome of a route lookup: the matched announced prefix and its
+/// origin AS(es).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteInfo<P> {
+    /// The announced (covering) prefix.
+    pub prefix: P,
+    /// Origin ASNs, sorted; more than one entry means a MOAS conflict.
+    pub origins: Vec<Asn>,
+}
+
+impl<P> RouteInfo<P> {
+    /// The deterministic primary origin (lowest ASN).
+    pub fn primary_origin(&self) -> Asn {
+        self.origins[0]
+    }
+
+    /// Whether the prefix is announced by multiple origins.
+    pub fn is_moas(&self) -> bool {
+        self.origins.len() > 1
+    }
+}
+
+/// A dual-family RIB: the set of announced prefixes with their origins.
+#[derive(Default, Clone)]
+pub struct Rib {
+    v4: PatriciaTrie<u32, Vec<Asn>>,
+    v6: PatriciaTrie<u128, Vec<Asn>>,
+}
+
+impl Rib {
+    /// Creates an empty RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Announces an IPv4 prefix from `origin` (idempotent; additional
+    /// origins accumulate as MOAS).
+    pub fn announce_v4(&mut self, prefix: Ipv4Prefix, origin: Asn) {
+        match self.v4.get_mut(&prefix) {
+            Some(origins) => {
+                if let Err(pos) = origins.binary_search(&origin) {
+                    origins.insert(pos, origin);
+                }
+            }
+            None => {
+                self.v4.insert(prefix, vec![origin]);
+            }
+        }
+    }
+
+    /// Announces an IPv6 prefix from `origin`.
+    pub fn announce_v6(&mut self, prefix: Ipv6Prefix, origin: Asn) {
+        match self.v6.get_mut(&prefix) {
+            Some(origins) => {
+                if let Err(pos) = origins.binary_search(&origin) {
+                    origins.insert(pos, origin);
+                }
+            }
+            None => {
+                self.v6.insert(prefix, vec![origin]);
+            }
+        }
+    }
+
+    /// Withdraws an IPv4 prefix entirely.
+    pub fn withdraw_v4(&mut self, prefix: &Ipv4Prefix) -> bool {
+        self.v4.remove(prefix).is_some()
+    }
+
+    /// Withdraws an IPv6 prefix entirely.
+    pub fn withdraw_v6(&mut self, prefix: &Ipv6Prefix) -> bool {
+        self.v6.remove(prefix).is_some()
+    }
+
+    /// Longest-prefix match for an IPv4 address.
+    pub fn lookup_v4(&self, addr: u32) -> Option<RouteInfo<Ipv4Prefix>> {
+        self.v4.longest_match(addr).map(|(prefix, origins)| RouteInfo {
+            prefix,
+            origins: origins.clone(),
+        })
+    }
+
+    /// Longest-prefix match for an IPv6 address.
+    pub fn lookup_v6(&self, addr: u128) -> Option<RouteInfo<Ipv6Prefix>> {
+        self.v6.longest_match(addr).map(|(prefix, origins)| RouteInfo {
+            prefix,
+            origins: origins.clone(),
+        })
+    }
+
+    /// The origin AS(es) responsible for `prefix`: the most specific
+    /// announced prefix covering it. Used by SP-Tuner-LS to detect origin
+    /// changes when climbing to covering prefixes.
+    pub fn origin_of_v4(&self, prefix: &Ipv4Prefix) -> Option<RouteInfo<Ipv4Prefix>> {
+        self.v4
+            .longest_covering(prefix)
+            .map(|(prefix, origins)| RouteInfo {
+                prefix,
+                origins: origins.clone(),
+            })
+    }
+
+    /// IPv6 variant of [`Rib::origin_of_v4`].
+    pub fn origin_of_v6(&self, prefix: &Ipv6Prefix) -> Option<RouteInfo<Ipv6Prefix>> {
+        self.v6
+            .longest_covering(prefix)
+            .map(|(prefix, origins)| RouteInfo {
+                prefix,
+                origins: origins.clone(),
+            })
+    }
+
+    /// Whether exactly this IPv4 prefix is announced.
+    pub fn is_announced_v4(&self, prefix: &Ipv4Prefix) -> bool {
+        self.v4.contains(prefix)
+    }
+
+    /// Whether exactly this IPv6 prefix is announced.
+    pub fn is_announced_v6(&self, prefix: &Ipv6Prefix) -> bool {
+        self.v6.contains(prefix)
+    }
+
+    /// All announced IPv4 prefixes in address order.
+    pub fn v4_prefixes(&self) -> impl Iterator<Item = Ipv4Prefix> + '_ {
+        self.v4.keys()
+    }
+
+    /// All announced IPv6 prefixes in address order.
+    pub fn v6_prefixes(&self) -> impl Iterator<Item = Ipv6Prefix> + '_ {
+        self.v6.keys()
+    }
+
+    /// Number of announced (v4, v6) prefixes.
+    pub fn counts(&self) -> (usize, usize) {
+        (self.v4.len(), self.v6.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p4(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn p6(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn announce_and_lookup_most_specific() {
+        let mut rib = Rib::new();
+        rib.announce_v4(p4("23.0.0.0/8"), Asn(100));
+        rib.announce_v4(p4("23.1.0.0/16"), Asn(200));
+        let addr = u32::from(std::net::Ipv4Addr::new(23, 1, 2, 3));
+        let r = rib.lookup_v4(addr).unwrap();
+        assert_eq!(r.prefix, p4("23.1.0.0/16"));
+        assert_eq!(r.primary_origin(), Asn(200));
+        let addr2 = u32::from(std::net::Ipv4Addr::new(23, 2, 0, 1));
+        assert_eq!(rib.lookup_v4(addr2).unwrap().prefix, p4("23.0.0.0/8"));
+        assert!(rib.lookup_v4(0).is_none());
+    }
+
+    #[test]
+    fn moas_accumulates_sorted() {
+        let mut rib = Rib::new();
+        rib.announce_v4(p4("23.0.0.0/8"), Asn(300));
+        rib.announce_v4(p4("23.0.0.0/8"), Asn(100));
+        rib.announce_v4(p4("23.0.0.0/8"), Asn(100));
+        let r = rib.lookup_v4(u32::from(std::net::Ipv4Addr::new(23, 0, 0, 1))).unwrap();
+        assert_eq!(r.origins, vec![Asn(100), Asn(300)]);
+        assert!(r.is_moas());
+        assert_eq!(r.primary_origin(), Asn(100));
+    }
+
+    #[test]
+    fn origin_of_prefix_uses_covering_entry() {
+        let mut rib = Rib::new();
+        rib.announce_v4(p4("23.0.0.0/8"), Asn(100));
+        rib.announce_v4(p4("23.1.0.0/16"), Asn(200));
+        // A /24 inside the /16: covered by the /16 announcement.
+        let r = rib.origin_of_v4(&p4("23.1.5.0/24")).unwrap();
+        assert_eq!(r.primary_origin(), Asn(200));
+        // The /12 covering prefix is only covered by the /8.
+        let r = rib.origin_of_v4(&p4("23.0.0.0/12")).unwrap();
+        assert_eq!(r.primary_origin(), Asn(100));
+        assert!(rib.origin_of_v4(&p4("24.0.0.0/8")).is_none());
+    }
+
+    #[test]
+    fn withdraw_removes_route() {
+        let mut rib = Rib::new();
+        rib.announce_v4(p4("23.0.0.0/8"), Asn(100));
+        assert!(rib.withdraw_v4(&p4("23.0.0.0/8")));
+        assert!(!rib.withdraw_v4(&p4("23.0.0.0/8")));
+        assert!(rib.lookup_v4(u32::from(std::net::Ipv4Addr::new(23, 0, 0, 1))).is_none());
+    }
+
+    #[test]
+    fn v6_lookups_work() {
+        let mut rib = Rib::new();
+        rib.announce_v6(p6("2600:9000::/28"), Asn(16509));
+        rib.announce_v6(p6("2600:9000:1::/48"), Asn(16509));
+        let addr = u128::from("2600:9000:1::1".parse::<std::net::Ipv6Addr>().unwrap());
+        assert_eq!(rib.lookup_v6(addr).unwrap().prefix, p6("2600:9000:1::/48"));
+        assert_eq!(rib.counts(), (0, 2));
+    }
+
+    #[test]
+    fn is_announced_is_exact() {
+        let mut rib = Rib::new();
+        rib.announce_v4(p4("23.0.0.0/8"), Asn(100));
+        assert!(rib.is_announced_v4(&p4("23.0.0.0/8")));
+        assert!(!rib.is_announced_v4(&p4("23.0.0.0/9")));
+    }
+}

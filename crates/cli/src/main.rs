@@ -1,0 +1,249 @@
+//! `sibling-prefixes` — command-line interface to the reproduction.
+//!
+//! ```text
+//! sibling-prefixes detect   [--seed N] [--level default|24-48|28-96]
+//! sibling-prefixes tune     [--seed N] [--v4 L] [--v6 L]
+//! sibling-prefixes publish  [--seed N] [--out FILE]
+//! sibling-prefixes audit    [--seed N]
+//! sibling-prefixes run      [--seed N] [EXPERIMENT_ID ...]
+//! sibling-prefixes list
+//! ```
+//!
+//! All subcommands operate on the deterministic synthetic world; plugging
+//! in real DNS/BGP data is a library-level operation (see README).
+
+use std::process::ExitCode;
+
+use sibling_analysis::{all_experiments, run_by_id, AnalysisContext};
+use sibling_core::tuner::more_specific::tune_more_specific;
+use sibling_core::SpTunerConfig;
+use sibling_worldgen::{World, WorldConfig};
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+struct Args {
+    flags: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut flags = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = raw.iter();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                flags.push((key.to_string(), value.clone()));
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Self { flags, positional })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn seed(&self) -> Result<u64, String> {
+        match self.get("seed") {
+            None => Ok(42),
+            Some(s) => s.parse().map_err(|_| format!("bad --seed {s:?}")),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: sibling-prefixes <command> [options]\n\
+     \n\
+     commands:\n\
+     \x20 detect   detect sibling prefixes            [--seed N] [--level default|24-48|28-96] [--top K]\n\
+     \x20 tune     run SP-Tuner at custom thresholds  [--seed N] [--v4 LEN] [--v6 LEN]\n\
+     \x20 publish  write the sibling prefix list CSV  [--seed N] [--out FILE]\n\
+     \x20 audit    RPKI/ROV audit of sibling pairs    [--seed N]\n\
+     \x20 run      run experiments by id              [--seed N] [ID ...]\n\
+     \x20 list     list all experiment ids\n"
+}
+
+fn context(seed: u64) -> AnalysisContext {
+    eprintln!("generating world (seed {seed})…");
+    AnalysisContext::new(World::generate(WorldConfig::paper_scale(seed)))
+}
+
+fn cmd_detect(args: &Args) -> Result<(), String> {
+    let ctx = context(args.seed()?);
+    let date = ctx.day0();
+    let pairs = match args.get("level").unwrap_or("default") {
+        "default" => ctx.default_pairs(date),
+        "24-48" => ctx.tuned_pairs(date, SpTunerConfig::routable()),
+        "28-96" => ctx.tuned_pairs(date, SpTunerConfig::best()),
+        other => return Err(format!("unknown --level {other:?}")),
+    };
+    let top: usize = args
+        .get("top")
+        .unwrap_or("20")
+        .parse()
+        .map_err(|_| "bad --top".to_string())?;
+    let (v4, v6) = pairs.unique_prefix_counts();
+    println!(
+        "{} sibling pairs ({v4} v4 / {v6} v6 prefixes), perfect {:.1}%",
+        pairs.len(),
+        pairs.perfect_match_share() * 100.0
+    );
+    for pair in pairs.iter().take(top) {
+        println!(
+            "{:<20} {:<28} J={:.3} ({} shared domains)",
+            pair.v4.to_string(),
+            pair.v6.to_string(),
+            pair.similarity.to_f64(),
+            pair.shared_domains
+        );
+    }
+    Ok(())
+}
+
+fn cmd_tune(args: &Args) -> Result<(), String> {
+    let ctx = context(args.seed()?);
+    let v4: u8 = args
+        .get("v4")
+        .unwrap_or("28")
+        .parse()
+        .map_err(|_| "bad --v4".to_string())?;
+    let v6: u8 = args
+        .get("v6")
+        .unwrap_or("96")
+        .parse()
+        .map_err(|_| "bad --v6".to_string())?;
+    if v4 > 32 || v6 > 128 {
+        return Err(format!("thresholds /{v4}-/{v6} out of range"));
+    }
+    let date = ctx.day0();
+    let index = ctx.index(date);
+    let base = ctx.default_pairs(date);
+    let outcome = tune_more_specific(&index, &base, &SpTunerConfig::with_thresholds(v4, v6));
+    let (mean, std) = outcome.pairs.similarity_mean_std();
+    println!(
+        "SP-Tuner(/{v4}, /{v6}): {} pairs (perfect {:.1}%), mean {:.3} ± {:.3}",
+        outcome.pairs.len(),
+        outcome.pairs.perfect_match_share() * 100.0,
+        mean,
+        std
+    );
+    println!(
+        "{} refined, {} derived from alternate branches, {} descent steps",
+        outcome.refined, outcome.derived, outcome.steps
+    );
+    Ok(())
+}
+
+fn cmd_publish(args: &Args) -> Result<(), String> {
+    let ctx = context(args.seed()?);
+    let out = args.get("out").unwrap_or("sibling-prefixes.csv");
+    let date = ctx.day0();
+    let pairs = ctx.tuned_pairs(date, SpTunerConfig::best());
+    let mut csv = String::from("ipv4_prefix,ipv6_prefix,jaccard,shared_domains\n");
+    for pair in pairs.iter() {
+        csv.push_str(&format!(
+            "{},{},{:.6},{}\n",
+            pair.v4,
+            pair.v6,
+            pair.similarity.to_f64(),
+            pair.shared_domains
+        ));
+    }
+    std::fs::write(out, csv).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} pairs to {out}", pairs.len());
+    Ok(())
+}
+
+fn cmd_audit(args: &Args) -> Result<(), String> {
+    let ctx = context(args.seed()?);
+    let date = ctx.day0();
+    let pairs = ctx.default_pairs(date);
+    let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+    let mut todo = 0usize;
+    for pair in pairs.iter() {
+        if let Some(status) = sibling_analysis::classify::pair_rov_status(&ctx.world, pair, date) {
+            *counts.entry(status.label()).or_insert(0) += 1;
+            if status == sibling_rpki::PairRovStatus::ValidNotFound {
+                todo += 1;
+            }
+        }
+    }
+    println!("ROV status of {} sibling pairs at {date}:", pairs.len());
+    for (label, n) in &counts {
+        println!("  {label:<22}{n:>6}  ({:.1}%)", *n as f64 / pairs.len() as f64 * 100.0);
+    }
+    println!("\n{todo} pairs need a ROA for their uncovered side (valid+notfound).");
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let ctx = context(args.seed()?);
+    let ids: Vec<String> = if args.positional.is_empty() {
+        all_experiments().iter().map(|e| e.id().to_string()).collect()
+    } else {
+        args.positional.clone()
+    };
+    let mut failures = 0usize;
+    for id in &ids {
+        let result = run_by_id(&ctx, id).ok_or_else(|| format!("unknown experiment {id:?}"))?;
+        println!("{}", result.render());
+        if !result.all_passed() {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        Err(format!("{failures} experiments had failing shape checks"))
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    for experiment in all_experiments() {
+        println!("{:<14}{:<44}{}", experiment.id(), experiment.title(), experiment.paper_ref());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first().cloned() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(&raw[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match command.as_str() {
+        "detect" => cmd_detect(&args),
+        "tune" => cmd_tune(&args),
+        "publish" => cmd_publish(&args),
+        "audit" => cmd_audit(&args),
+        "run" => cmd_run(&args),
+        "list" => cmd_list(),
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

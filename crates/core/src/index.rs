@@ -1,0 +1,272 @@
+//! Step 2 of the methodology: grouping DS domains by announced prefix.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sibling_bgp::Rib;
+use sibling_dns::{DnsSnapshot, DomainId};
+use sibling_net_types::{Ipv4Prefix, Ipv6Prefix};
+use sibling_ptrie::PatriciaTrie;
+
+/// The per-snapshot index the rest of the pipeline works from.
+///
+/// For every dual-stack domain, each address is mapped to its covering
+/// BGP-announced prefix (longest-prefix match against the Routeviews-style
+/// RIB of the same date, per §2.2); the index then holds:
+///
+/// * per-prefix DS-domain sets for both families (the sets whose Jaccard
+///   values define sibling pairs);
+/// * per-domain prefix sets (used by the stability analysis, Fig. 7);
+/// * host tries keyed by the individual addresses with their domain sets —
+///   the two "PyTricia trees" SP-Tuner traverses (§3.3).
+#[derive(Default)]
+pub struct PrefixDomainIndex {
+    v4_groups: BTreeMap<Ipv4Prefix, BTreeSet<DomainId>>,
+    v6_groups: BTreeMap<Ipv6Prefix, BTreeSet<DomainId>>,
+    domain_v4: BTreeMap<DomainId, BTreeSet<Ipv4Prefix>>,
+    domain_v6: BTreeMap<DomainId, BTreeSet<Ipv6Prefix>>,
+    host_v4: PatriciaTrie<u32, BTreeSet<DomainId>>,
+    host_v6: PatriciaTrie<u128, BTreeSet<DomainId>>,
+    unmapped_v4: usize,
+    unmapped_v6: usize,
+}
+
+impl PrefixDomainIndex {
+    /// Builds the index from a snapshot's dual-stack domains and the RIB
+    /// of the same date.
+    ///
+    /// Addresses without a covering announcement are counted in
+    /// [`PrefixDomainIndex::unmapped counts`](Self::unmapped_counts) and
+    /// otherwise ignored, mirroring the ~1% of OpenINTEL records the paper
+    /// backfills or drops.
+    pub fn build(snapshot: &DnsSnapshot, rib: &Rib) -> Self {
+        let mut index = Self::default();
+        for (domain, addrs) in snapshot.ds_domains() {
+            for &addr in &addrs.v4 {
+                match rib.lookup_v4(addr) {
+                    Some(route) => {
+                        index
+                            .v4_groups
+                            .entry(route.prefix)
+                            .or_default()
+                            .insert(domain);
+                        index.domain_v4.entry(domain).or_default().insert(route.prefix);
+                        let host = Ipv4Prefix::new(addr, 32).expect("/32 is valid");
+                        match index.host_v4.get_mut(&host) {
+                            Some(set) => {
+                                set.insert(domain);
+                            }
+                            None => {
+                                let mut set = BTreeSet::new();
+                                set.insert(domain);
+                                index.host_v4.insert(host, set);
+                            }
+                        }
+                    }
+                    None => index.unmapped_v4 += 1,
+                }
+            }
+            for &addr in &addrs.v6 {
+                match rib.lookup_v6(addr) {
+                    Some(route) => {
+                        index
+                            .v6_groups
+                            .entry(route.prefix)
+                            .or_default()
+                            .insert(domain);
+                        index.domain_v6.entry(domain).or_default().insert(route.prefix);
+                        let host = Ipv6Prefix::new(addr, 128).expect("/128 is valid");
+                        match index.host_v6.get_mut(&host) {
+                            Some(set) => {
+                                set.insert(domain);
+                            }
+                            None => {
+                                let mut set = BTreeSet::new();
+                                set.insert(domain);
+                                index.host_v6.insert(host, set);
+                            }
+                        }
+                    }
+                    None => index.unmapped_v6 += 1,
+                }
+            }
+        }
+        index
+    }
+
+    /// The DS domains grouped under an announced IPv4 prefix.
+    pub fn v4_domains(&self, prefix: &Ipv4Prefix) -> Option<&BTreeSet<DomainId>> {
+        self.v4_groups.get(prefix)
+    }
+
+    /// The DS domains grouped under an announced IPv6 prefix.
+    pub fn v6_domains(&self, prefix: &Ipv6Prefix) -> Option<&BTreeSet<DomainId>> {
+        self.v6_groups.get(prefix)
+    }
+
+    /// All announced IPv4 prefixes with their domain sets.
+    pub fn v4_groups(&self) -> impl Iterator<Item = (&Ipv4Prefix, &BTreeSet<DomainId>)> {
+        self.v4_groups.iter()
+    }
+
+    /// All announced IPv6 prefixes with their domain sets.
+    pub fn v6_groups(&self) -> impl Iterator<Item = (&Ipv6Prefix, &BTreeSet<DomainId>)> {
+        self.v6_groups.iter()
+    }
+
+    /// The announced IPv4 prefixes a domain resolves into.
+    pub fn prefixes_of_domain_v4(&self, domain: DomainId) -> Option<&BTreeSet<Ipv4Prefix>> {
+        self.domain_v4.get(&domain)
+    }
+
+    /// The announced IPv6 prefixes a domain resolves into.
+    pub fn prefixes_of_domain_v6(&self, domain: DomainId) -> Option<&BTreeSet<Ipv6Prefix>> {
+        self.domain_v6.get(&domain)
+    }
+
+    /// Union of the domain sets of all hosts under an *arbitrary* IPv4
+    /// prefix (not necessarily announced) — the SP-Tuner set query.
+    pub fn domains_under_v4(&self, prefix: &Ipv4Prefix) -> BTreeSet<DomainId> {
+        let mut out = BTreeSet::new();
+        for (_, set) in self.host_v4.covered(prefix) {
+            out.extend(set.iter().copied());
+        }
+        out
+    }
+
+    /// Union of the domain sets of all hosts under an arbitrary IPv6
+    /// prefix.
+    pub fn domains_under_v6(&self, prefix: &Ipv6Prefix) -> BTreeSet<DomainId> {
+        let mut out = BTreeSet::new();
+        for (_, set) in self.host_v6.covered(prefix) {
+            out.extend(set.iter().copied());
+        }
+        out
+    }
+
+    /// Whether any DS host lies under the given IPv4 prefix.
+    pub fn occupied_v4(&self, prefix: &Ipv4Prefix) -> bool {
+        self.host_v4.branch_is_occupied(prefix)
+    }
+
+    /// Whether any DS host lies under the given IPv6 prefix.
+    pub fn occupied_v6(&self, prefix: &Ipv6Prefix) -> bool {
+        self.host_v6.branch_is_occupied(prefix)
+    }
+
+    /// Number of distinct (v4, v6) announced prefixes with DS domains.
+    pub fn group_counts(&self) -> (usize, usize) {
+        (self.v4_groups.len(), self.v6_groups.len())
+    }
+
+    /// Addresses that had no covering announcement (v4, v6).
+    pub fn unmapped_counts(&self) -> (usize, usize) {
+        (self.unmapped_v4, self.unmapped_v6)
+    }
+
+    /// Number of distinct DS hosts (v4, v6) indexed.
+    pub fn host_counts(&self) -> (usize, usize) {
+        (self.host_v4.len(), self.host_v6.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibling_net_types::{Asn, MonthDate};
+
+    fn a4(s: &str) -> u32 {
+        s.parse::<std::net::Ipv4Addr>().unwrap().into()
+    }
+
+    fn a6(s: &str) -> u128 {
+        s.parse::<std::net::Ipv6Addr>().unwrap().into()
+    }
+
+    fn p4(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn p6(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    fn fixture() -> (DnsSnapshot, Rib) {
+        let mut rib = Rib::new();
+        rib.announce_v4(p4("198.51.0.0/16"), Asn(64500));
+        rib.announce_v6(p6("2600:1000::/32"), Asn(64500));
+        let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
+        // Two DS domains in the same prefixes, one v4-only domain.
+        snap.merge(DomainId(0), vec![a4("198.51.1.1")], vec![a6("2600:1000::1")]);
+        snap.merge(DomainId(1), vec![a4("198.51.1.2")], vec![a6("2600:1000::2")]);
+        snap.merge(DomainId(2), vec![a4("198.51.9.9")], vec![]);
+        (snap, rib)
+    }
+
+    #[test]
+    fn groups_ds_domains_only() {
+        let (snap, rib) = fixture();
+        let index = PrefixDomainIndex::build(&snap, &rib);
+        let v4 = index.v4_domains(&p4("198.51.0.0/16")).unwrap();
+        assert_eq!(v4.len(), 2, "v4-only domain must be excluded");
+        assert!(v4.contains(&DomainId(0)) && v4.contains(&DomainId(1)));
+        let v6 = index.v6_domains(&p6("2600:1000::/32")).unwrap();
+        assert_eq!(v6.len(), 2);
+        assert_eq!(index.group_counts(), (1, 1));
+        assert_eq!(index.host_counts(), (2, 2));
+    }
+
+    #[test]
+    fn unmapped_addresses_counted() {
+        let mut rib = Rib::new();
+        rib.announce_v4(p4("198.51.0.0/16"), Asn(64500));
+        // No v6 announcement at all.
+        let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
+        snap.merge(DomainId(0), vec![a4("198.51.1.1")], vec![a6("2600:1000::1")]);
+        let index = PrefixDomainIndex::build(&snap, &rib);
+        assert_eq!(index.unmapped_counts(), (0, 1));
+        assert_eq!(index.group_counts(), (1, 0));
+    }
+
+    #[test]
+    fn domains_under_arbitrary_prefixes() {
+        let (snap, rib) = fixture();
+        let index = PrefixDomainIndex::build(&snap, &rib);
+        // Both hosts are in 198.51.1.0/24.
+        assert_eq!(index.domains_under_v4(&p4("198.51.1.0/24")).len(), 2);
+        // Narrower: only one host.
+        let narrow = index.domains_under_v4(&p4("198.51.1.1/32"));
+        assert_eq!(narrow.len(), 1);
+        assert!(narrow.contains(&DomainId(0)));
+        assert!(index.occupied_v4(&p4("198.51.1.0/24")));
+        assert!(!index.occupied_v4(&p4("198.51.2.0/24")));
+    }
+
+    #[test]
+    fn domain_prefix_reverse_maps() {
+        let (snap, rib) = fixture();
+        let index = PrefixDomainIndex::build(&snap, &rib);
+        assert!(index
+            .prefixes_of_domain_v4(DomainId(0))
+            .unwrap()
+            .contains(&p4("198.51.0.0/16")));
+        assert!(index.prefixes_of_domain_v4(DomainId(2)).is_none());
+        assert!(index
+            .prefixes_of_domain_v6(DomainId(1))
+            .unwrap()
+            .contains(&p6("2600:1000::/32")));
+    }
+
+    #[test]
+    fn shared_host_accumulates_domains() {
+        let mut rib = Rib::new();
+        rib.announce_v4(p4("198.51.0.0/16"), Asn(64500));
+        rib.announce_v6(p6("2600:1000::/32"), Asn(64500));
+        let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
+        // Two domains on the same v4 host (shared hosting).
+        snap.merge(DomainId(0), vec![a4("198.51.1.1")], vec![a6("2600:1000::1")]);
+        snap.merge(DomainId(1), vec![a4("198.51.1.1")], vec![a6("2600:1000::2")]);
+        let index = PrefixDomainIndex::build(&snap, &rib);
+        assert_eq!(index.host_counts(), (1, 2));
+        assert_eq!(index.domains_under_v4(&p4("198.51.1.1/32")).len(), 2);
+    }
+}

@@ -1,0 +1,45 @@
+//! Sibling prefix detection — the paper's primary contribution (§3).
+//!
+//! A **sibling prefix pair** is an IPv4 prefix and an IPv6 prefix serving a
+//! similar set of dual-stack domains. This crate implements the full
+//! methodology of the paper:
+//!
+//! 1. **DS-domain extraction** (§3.1 step 1) is provided by
+//!    [`sibling_dns::DnsSnapshot`]; the pipeline consumes its dual-stack
+//!    entries.
+//! 2. **Prefix grouping** (step 2): [`PrefixDomainIndex`] maps every
+//!    DS-domain address to its BGP-announced prefix (Routeviews-style
+//!    longest-prefix match) and groups domains per prefix, per family.
+//! 3. **Similarity** (step 3): [`metrics`] implements the Jaccard index
+//!    together with the Dice and overlap coefficients the paper compares
+//!    in §3.2, using exact rational arithmetic so tie handling is exact.
+//! 4. **Best-match selection** (step 4): [`detect`] keeps, for every
+//!    prefix, the counterpart(s) with the maximal similarity; zero-valued
+//!    pairs are discarded and ties are kept.
+//!
+//! On top of detection sit:
+//!
+//! * [`tuner`] — the SP-Tuner algorithm in both variants: more-specific
+//!   (Algorithm 1, the headline 52% → 82% perfect-match improvement) and
+//!   less-specific (Algorithm 2, the negative result of Appendix A.1);
+//! * [`longitudinal`] — pair-set comparison across snapshots
+//!   (new/unchanged/changed categories of Fig. 10, counts of Fig. 9);
+//! * [`stability`] — DS-domain visibility and address/prefix stability
+//!   (Fig. 7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod longitudinal;
+pub mod metrics;
+pub mod pipeline;
+pub mod setpairs;
+pub mod stability;
+pub mod tuner;
+
+pub use index::PrefixDomainIndex;
+pub use metrics::{dice, jaccard, overlap_coefficient, Ratio, SimilarityMetric};
+pub use pipeline::{detect, BestMatchPolicy, SiblingPair, SiblingSet};
+pub use setpairs::{build_set_pairs, SetPair, SetPairing};
+pub use tuner::{SpTunerConfig, SpTunerLsConfig, TunerOutcome};

@@ -1,0 +1,157 @@
+//! Longitudinal comparison of sibling sets (§4.3, Figs. 9–12).
+
+use std::collections::BTreeMap;
+
+use sibling_net_types::{Ipv4Prefix, Ipv6Prefix};
+
+use crate::pipeline::SiblingSet;
+
+/// The change category of a sibling pair between two snapshots (Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeltaCategory {
+    /// Present now, absent in the old snapshot.
+    New,
+    /// Present in both with an identical similarity value.
+    Unchanged,
+    /// Present in both with a different similarity value.
+    Changed,
+    /// Present in the old snapshot only (not plotted by the paper, but
+    /// needed for a complete account).
+    Vanished,
+}
+
+/// The outcome of comparing an old and a current sibling set.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaReport {
+    /// Similarities of pairs only present now.
+    pub new: Vec<f64>,
+    /// Similarities of pairs present in both snapshots, unchanged.
+    pub unchanged: Vec<f64>,
+    /// Current similarities of changed pairs.
+    pub changed_current: Vec<f64>,
+    /// Old similarities of changed pairs.
+    pub changed_old: Vec<f64>,
+    /// Old similarities of pairs that disappeared.
+    pub vanished: Vec<f64>,
+}
+
+impl DeltaReport {
+    /// Counts per category (new, unchanged, changed, vanished).
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        (
+            self.new.len(),
+            self.unchanged.len(),
+            self.changed_current.len(),
+            self.vanished.len(),
+        )
+    }
+
+    /// Shares over the *current* pair population (new + unchanged +
+    /// changed), the denominators of §4.3 ("new 88%, unchanged 10%,
+    /// changed 2%").
+    pub fn shares(&self) -> (f64, f64, f64) {
+        let total = self.new.len() + self.unchanged.len() + self.changed_current.len();
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.new.len() as f64 / total as f64,
+            self.unchanged.len() as f64 / total as f64,
+            self.changed_current.len() as f64 / total as f64,
+        )
+    }
+}
+
+/// Compares two sibling sets keyed by the (v4, v6) prefix pair identity.
+///
+/// Similarity equality is exact (rational comparison), so "unchanged"
+/// means the Jaccard value is numerically identical, not approximately so.
+pub fn compare(old: &SiblingSet, current: &SiblingSet) -> DeltaReport {
+    let old_by_pair: BTreeMap<(Ipv4Prefix, Ipv6Prefix), crate::metrics::Ratio> = old
+        .iter()
+        .map(|p| ((p.v4, p.v6), p.similarity))
+        .collect();
+    let mut report = DeltaReport::default();
+    let mut seen_old: std::collections::BTreeSet<(Ipv4Prefix, Ipv6Prefix)> = Default::default();
+    for pair in current.iter() {
+        match old_by_pair.get(&(pair.v4, pair.v6)) {
+            None => report.new.push(pair.similarity.to_f64()),
+            Some(old_sim) => {
+                seen_old.insert((pair.v4, pair.v6));
+                if pair.similarity.cmp(old_sim).is_eq() {
+                    report.unchanged.push(pair.similarity.to_f64());
+                } else {
+                    report.changed_current.push(pair.similarity.to_f64());
+                    report.changed_old.push(old_sim.to_f64());
+                }
+            }
+        }
+    }
+    for pair in old.iter() {
+        if !seen_old.contains(&(pair.v4, pair.v6)) {
+            report.vanished.push(pair.similarity.to_f64());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Ratio;
+    use crate::pipeline::SiblingPair;
+
+    fn pair(v4: &str, v6: &str, num: u64, den: u64) -> SiblingPair {
+        SiblingPair {
+            v4: v4.parse().unwrap(),
+            v6: v6.parse().unwrap(),
+            similarity: Ratio::new(num, den),
+            shared_domains: num,
+            v4_domains: den,
+            v6_domains: den,
+        }
+    }
+
+    #[test]
+    fn categorisation() {
+        let old = SiblingSet::from_pairs(vec![
+            pair("10.0.0.0/24", "2600:1::/48", 1, 1), // will be unchanged
+            pair("10.0.1.0/24", "2600:2::/48", 1, 2), // will change to 1/1
+            pair("10.0.2.0/24", "2600:3::/48", 1, 1), // will vanish
+        ]);
+        let current = SiblingSet::from_pairs(vec![
+            pair("10.0.0.0/24", "2600:1::/48", 1, 1),
+            pair("10.0.1.0/24", "2600:2::/48", 1, 1),
+            pair("10.0.3.0/24", "2600:4::/48", 1, 3), // new
+        ]);
+        let report = compare(&old, &current);
+        assert_eq!(report.counts(), (1, 1, 1, 1));
+        assert_eq!(report.changed_old, vec![0.5]);
+        assert_eq!(report.changed_current, vec![1.0]);
+        let (new_s, unchanged_s, changed_s) = report.shares();
+        assert!((new_s - 1.0 / 3.0).abs() < 1e-12);
+        assert!((unchanged_s - 1.0 / 3.0).abs() < 1e-12);
+        assert!((changed_s - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_value_different_representation_is_unchanged() {
+        let old = SiblingSet::from_pairs(vec![pair("10.0.0.0/24", "2600:1::/48", 1, 2)]);
+        let current = SiblingSet::from_pairs(vec![pair("10.0.0.0/24", "2600:1::/48", 2, 4)]);
+        let report = compare(&old, &current);
+        assert_eq!(report.counts(), (0, 1, 0, 0));
+    }
+
+    #[test]
+    fn empty_comparisons() {
+        let empty = SiblingSet::from_pairs(vec![]);
+        let report = compare(&empty, &empty);
+        assert_eq!(report.counts(), (0, 0, 0, 0));
+        assert_eq!(report.shares(), (0.0, 0.0, 0.0));
+        let one = SiblingSet::from_pairs(vec![pair("10.0.0.0/24", "2600:1::/48", 1, 1)]);
+        let report = compare(&empty, &one);
+        assert_eq!(report.counts(), (1, 0, 0, 0));
+        let report = compare(&one, &empty);
+        assert_eq!(report.counts(), (0, 0, 0, 1));
+    }
+}

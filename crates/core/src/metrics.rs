@@ -1,0 +1,255 @@
+//! Set-similarity metrics (§3.2).
+//!
+//! The paper evaluates three candidates and picks Jaccard:
+//!
+//! * the **overlap coefficient** saturates at 1 whenever one set is a
+//!   subset of the other, which finds *overlapping*, not *similar*,
+//!   prefixes — unsuitable;
+//! * the **Dice coefficient** is "lenient", scoring slight overlaps
+//!   higher (for any non-trivial overlap, Dice > Jaccard);
+//! * the **Jaccard index** is balanced for differently sized sets, which
+//!   matters because IPv4 and IPv6 prefixes often host differently sized
+//!   domain sets.
+//!
+//! All metrics are computed as exact rationals ([`Ratio`]) so best-match
+//! tie handling (§3.1 step 4 keeps *all* pairs sharing the highest value)
+//! is never at the mercy of floating-point rounding.
+
+use std::collections::BTreeSet;
+
+/// An exact non-negative rational for similarity values.
+///
+/// Comparison (both ordering and equality) is by *value*, using 128-bit
+/// cross multiplication: `2/6 == 1/3`. The zero denominator (two empty
+/// sets) is normalised to 0/1.
+#[derive(Debug, Clone, Copy)]
+pub struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl PartialEq for Ratio {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other).is_eq()
+    }
+}
+
+impl Eq for Ratio {}
+
+impl Ratio {
+    /// Creates `num/den`, normalising `x/0` to `0/1`.
+    pub fn new(num: u64, den: u64) -> Self {
+        if den == 0 {
+            Self { num: 0, den: 1 }
+        } else {
+            Self { num, den }
+        }
+    }
+
+    /// Exact zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+
+    /// Exact one.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// The numerator.
+    pub fn num(&self) -> u64 {
+        self.num
+    }
+
+    /// The denominator (never zero).
+    pub fn den(&self) -> u64 {
+        self.den
+    }
+
+    /// The value as `f64` (for plotting and aggregation).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Whether the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether the value is exactly one.
+    pub fn is_one(&self) -> bool {
+        self.num == self.den
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let lhs = self.num as u128 * other.den as u128;
+        let rhs = other.num as u128 * self.den as u128;
+        lhs.cmp(&rhs)
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Intersection size of two sorted sets.
+fn intersection_size<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> u64 {
+    // Iterate over the smaller set, probing the larger: O(min·log max).
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small.iter().filter(|x| large.contains(x)).count() as u64
+}
+
+/// Jaccard similarity index: `|A ∩ B| / |A ∪ B|` (Equation 1).
+pub fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> Ratio {
+    let inter = intersection_size(a, b);
+    let union = a.len() as u64 + b.len() as u64 - inter;
+    Ratio::new(inter, union)
+}
+
+/// Overlap coefficient: `|A ∩ B| / min(|A|, |B|)` (Equation 2).
+pub fn overlap_coefficient<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> Ratio {
+    let inter = intersection_size(a, b);
+    let min = a.len().min(b.len()) as u64;
+    Ratio::new(inter, min)
+}
+
+/// Dice coefficient: `2·|A ∩ B| / (|A| + |B|)` (Equation 3).
+pub fn dice<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> Ratio {
+    let inter = intersection_size(a, b);
+    let total = a.len() as u64 + b.len() as u64;
+    Ratio::new(2 * inter, total)
+}
+
+/// The similarity metric to use for pair scoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimilarityMetric {
+    /// The paper's choice (§3.2).
+    #[default]
+    Jaccard,
+    /// Dice coefficient, for the Fig. 2 comparison.
+    Dice,
+    /// Overlap coefficient, for the Fig. 2 comparison.
+    Overlap,
+}
+
+impl SimilarityMetric {
+    /// Computes the metric over two sets.
+    pub fn compute<T: Ord>(&self, a: &BTreeSet<T>, b: &BTreeSet<T>) -> Ratio {
+        match self {
+            SimilarityMetric::Jaccard => jaccard(a, b),
+            SimilarityMetric::Dice => dice(a, b),
+            SimilarityMetric::Overlap => overlap_coefficient(a, b),
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimilarityMetric::Jaccard => "Jaccard similarity",
+            SimilarityMetric::Dice => "Dice coefficient",
+            SimilarityMetric::Overlap => "Overlap coefficient",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set(items: &[u32]) -> BTreeSet<u32> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn paper_example_two_thirds() {
+        // Fig. 3: {d1, d2, d3} vs {d1, d3} → Jaccard 2/3 ≈ 0.66.
+        let a = set(&[1, 2, 3]);
+        let b = set(&[1, 3]);
+        assert_eq!(jaccard(&a, &b), Ratio::new(2, 3));
+        assert_eq!(overlap_coefficient(&a, &b), Ratio::ONE);
+        assert_eq!(dice(&a, &b), Ratio::new(4, 5));
+    }
+
+    #[test]
+    fn identical_sets_score_one() {
+        let a = set(&[1, 2, 3]);
+        assert!(jaccard(&a, &a).is_one());
+        assert!(dice(&a, &a).is_one());
+        assert!(overlap_coefficient(&a, &a).is_one());
+    }
+
+    #[test]
+    fn disjoint_sets_score_zero() {
+        let a = set(&[1, 2]);
+        let b = set(&[3, 4]);
+        assert!(jaccard(&a, &b).is_zero());
+        assert!(dice(&a, &b).is_zero());
+        assert!(overlap_coefficient(&a, &b).is_zero());
+    }
+
+    #[test]
+    fn empty_sets_are_zero_not_nan() {
+        let a: BTreeSet<u32> = BTreeSet::new();
+        assert_eq!(jaccard(&a, &a), Ratio::ZERO);
+        assert_eq!(overlap_coefficient(&a, &a), Ratio::ZERO);
+        assert_eq!(dice(&a, &a), Ratio::ZERO);
+        assert!(!jaccard(&a, &a).to_f64().is_nan());
+    }
+
+    #[test]
+    fn subset_saturates_overlap_only() {
+        // The §3.2 argument against the overlap coefficient.
+        let big = set(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        let small = set(&[1, 2]);
+        assert!(overlap_coefficient(&big, &small).is_one());
+        assert_eq!(jaccard(&big, &small), Ratio::new(2, 10));
+        assert_eq!(dice(&big, &small), Ratio::new(4, 12));
+    }
+
+    #[test]
+    fn ratio_ordering_is_exact() {
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        // Equality is by value, not by representation.
+        assert_eq!(Ratio::new(1, 3), Ratio::new(2, 6));
+        assert_eq!(Ratio::new(1, 3).cmp(&Ratio::new(2, 6)), std::cmp::Ordering::Equal);
+        assert!(Ratio::new(999_999, 1_000_000) < Ratio::ONE);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bounds_and_symmetry(
+            a in proptest::collection::btree_set(0u32..50, 0..30),
+            b in proptest::collection::btree_set(0u32..50, 0..30),
+        ) {
+            for metric in [SimilarityMetric::Jaccard, SimilarityMetric::Dice, SimilarityMetric::Overlap] {
+                let ab = metric.compute(&a, &b);
+                let ba = metric.compute(&b, &a);
+                prop_assert_eq!(ab, ba);
+                prop_assert!(ab >= Ratio::ZERO);
+                prop_assert!(ab <= Ratio::ONE);
+            }
+        }
+
+        #[test]
+        fn prop_jaccard_le_dice_le_overlap(
+            a in proptest::collection::btree_set(0u32..50, 1..30),
+            b in proptest::collection::btree_set(0u32..50, 1..30),
+        ) {
+            // Standard pointwise ordering: J ≤ D ≤ OC.
+            let j = jaccard(&a, &b);
+            let d = dice(&a, &b);
+            let oc = overlap_coefficient(&a, &b);
+            prop_assert!(j <= d, "jaccard {j:?} > dice {d:?}");
+            prop_assert!(d <= oc, "dice {d:?} > overlap {oc:?}");
+        }
+
+        #[test]
+        fn prop_jaccard_one_iff_equal(
+            a in proptest::collection::btree_set(0u32..50, 1..30),
+            b in proptest::collection::btree_set(0u32..50, 1..30),
+        ) {
+            prop_assert_eq!(jaccard(&a, &b).is_one(), a == b);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Sibling prefix *set* pairs — the §6 extension the paper sketches:
+//! "it might be useful to look into sibling prefix set pairs, i.e., a set
+//! of IPv4 prefixes which are siblings of a set of IPv6 prefixes. This
+//! could alleviate challenges such as address space fragmentation by
+//! pairing different IPv4 fragments with their IPv6 counterpart."
+//!
+//! Construction: sibling pairs are grouped into connected components of
+//! the bipartite prefix graph (two pairs connect when they share a prefix
+//! on either side). Each component becomes one [`SetPair`]; its
+//! similarity is the Jaccard value over the *unions* of the component's
+//! per-side domain sets. Fragmented deployments — several IPv4 fragments
+//! fronting one IPv6 block, which no single (prefix, prefix) pair can
+//! score perfectly — collapse into a single high-similarity set pair.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sibling_dns::DomainId;
+use sibling_net_types::{Ipv4Prefix, Ipv6Prefix};
+
+use crate::index::PrefixDomainIndex;
+use crate::metrics::{jaccard, Ratio};
+use crate::pipeline::SiblingSet;
+
+/// A set-level sibling: several IPv4 prefixes ↔ several IPv6 prefixes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetPair {
+    /// The IPv4 side (sorted, deduplicated).
+    pub v4: Vec<Ipv4Prefix>,
+    /// The IPv6 side (sorted, deduplicated).
+    pub v6: Vec<Ipv6Prefix>,
+    /// Jaccard similarity of the unions of the two sides' domain sets.
+    pub similarity: Ratio,
+    /// `|A ∪ₚ domains| ∩ |B ∪ₚ domains|`.
+    pub shared_domains: u64,
+    /// Number of member (prefix, prefix) pairs merged into this set pair.
+    pub member_pairs: usize,
+}
+
+impl SetPair {
+    /// Whether the set pair is a plain 1:1 pair.
+    pub fn is_singleton(&self) -> bool {
+        self.v4.len() == 1 && self.v6.len() == 1
+    }
+}
+
+/// The result of set-pair construction.
+#[derive(Debug, Clone, Default)]
+pub struct SetPairing {
+    /// All set pairs, ordered by their first IPv4 prefix.
+    pub pairs: Vec<SetPair>,
+}
+
+impl SetPairing {
+    /// Number of set pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no set pairs exist.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Share of set pairs with similarity exactly 1.
+    pub fn perfect_match_share(&self) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        self.pairs.iter().filter(|p| p.similarity.is_one()).count() as f64
+            / self.pairs.len() as f64
+    }
+
+    /// Set pairs that merged more than one prefix pair (the fragmentation
+    /// cases the extension targets).
+    pub fn merged(&self) -> impl Iterator<Item = &SetPair> + '_ {
+        self.pairs.iter().filter(|p| !p.is_singleton())
+    }
+}
+
+/// Union-find over dense indexes.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller index wins.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Builds set pairs from a sibling set by merging pairs that share a
+/// prefix on either side, scoring each component over the union of its
+/// sides' domain sets (queried against the snapshot's host tries so
+/// arbitrary — including tuned — prefixes score correctly).
+pub fn build_set_pairs(index: &PrefixDomainIndex, siblings: &SiblingSet) -> SetPairing {
+    let pairs: Vec<_> = siblings.iter().collect();
+    if pairs.is_empty() {
+        return SetPairing::default();
+    }
+
+    // Connect pairs sharing a v4 or a v6 prefix.
+    let mut dsu = Dsu::new(pairs.len());
+    let mut by_v4: BTreeMap<Ipv4Prefix, usize> = BTreeMap::new();
+    let mut by_v6: BTreeMap<Ipv6Prefix, usize> = BTreeMap::new();
+    for (i, pair) in pairs.iter().enumerate() {
+        if let Some(&j) = by_v4.get(&pair.v4) {
+            dsu.union(i, j);
+        } else {
+            by_v4.insert(pair.v4, i);
+        }
+        if let Some(&j) = by_v6.get(&pair.v6) {
+            dsu.union(i, j);
+        } else {
+            by_v6.insert(pair.v6, i);
+        }
+    }
+
+    // Collect components.
+    let mut components: BTreeMap<usize, (BTreeSet<Ipv4Prefix>, BTreeSet<Ipv6Prefix>, usize)> =
+        BTreeMap::new();
+    for (i, pair) in pairs.iter().enumerate() {
+        let root = dsu.find(i);
+        let entry = components.entry(root).or_default();
+        entry.0.insert(pair.v4);
+        entry.1.insert(pair.v6);
+        entry.2 += 1;
+    }
+
+    let mut out = Vec::with_capacity(components.len());
+    for (_, (v4_set, v6_set, member_pairs)) in components {
+        let mut a: BTreeSet<DomainId> = BTreeSet::new();
+        for p in &v4_set {
+            a.extend(index.domains_under_v4(p));
+        }
+        let mut b: BTreeSet<DomainId> = BTreeSet::new();
+        for p in &v6_set {
+            b.extend(index.domains_under_v6(p));
+        }
+        let similarity = jaccard(&a, &b);
+        let shared = a.iter().filter(|d| b.contains(d)).count() as u64;
+        out.push(SetPair {
+            v4: v4_set.into_iter().collect(),
+            v6: v6_set.into_iter().collect(),
+            similarity,
+            shared_domains: shared,
+            member_pairs,
+        });
+    }
+    out.sort_by(|x, y| x.v4.cmp(&y.v4));
+    SetPairing { pairs: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SimilarityMetric;
+    use crate::pipeline::{detect, BestMatchPolicy};
+    use sibling_bgp::Rib;
+    use sibling_dns::DnsSnapshot;
+    use sibling_net_types::{Asn, MonthDate};
+
+    fn a4(s: &str) -> u32 {
+        s.parse::<std::net::Ipv4Addr>().unwrap().into()
+    }
+
+    fn a6(s: &str) -> u128 {
+        s.parse::<std::net::Ipv6Addr>().unwrap().into()
+    }
+
+    fn p4(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn p6(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    /// The fragmentation case of §6: one IPv6 /48 fronted by two IPv4
+    /// /24 fragments. Pair-level best matches can only reach J = 1/2;
+    /// the set pair reaches J = 1.
+    fn fragmented_fixture() -> (PrefixDomainIndex, SiblingSet) {
+        let mut rib = Rib::new();
+        rib.announce_v4(p4("203.0.2.0/24"), Asn(1));
+        rib.announce_v4(p4("198.51.7.0/24"), Asn(1));
+        rib.announce_v6(p6("2600:1::/48"), Asn(1));
+        let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
+        snap.merge(DomainId(1), vec![a4("203.0.2.1")], vec![a6("2600:1::1")]);
+        snap.merge(DomainId(2), vec![a4("198.51.7.1")], vec![a6("2600:1::2")]);
+        let index = PrefixDomainIndex::build(&snap, &rib);
+        let set = detect(&index, SimilarityMetric::Jaccard, BestMatchPolicy::Union);
+        (index, set)
+    }
+
+    #[test]
+    fn fragmentation_repaired_by_set_pairs() {
+        let (index, set) = fragmented_fixture();
+        assert!(set.iter().all(|p| !p.similarity.is_one()));
+        let set_pairs = build_set_pairs(&index, &set);
+        assert_eq!(set_pairs.len(), 1);
+        let sp = &set_pairs.pairs[0];
+        assert_eq!(sp.v4.len(), 2, "both fragments merged");
+        assert_eq!(sp.v6.len(), 1);
+        assert!(sp.similarity.is_one(), "set-level Jaccard must be 1");
+        assert_eq!(sp.member_pairs, 2);
+        assert!(!sp.is_singleton());
+        assert_eq!(set_pairs.merged().count(), 1);
+        assert_eq!(set_pairs.perfect_match_share(), 1.0);
+    }
+
+    #[test]
+    fn independent_pairs_stay_singletons() {
+        let mut rib = Rib::new();
+        rib.announce_v4(p4("203.0.2.0/24"), Asn(1));
+        rib.announce_v4(p4("198.51.7.0/24"), Asn(2));
+        rib.announce_v6(p6("2600:1::/48"), Asn(1));
+        rib.announce_v6(p6("2600:2::/48"), Asn(2));
+        let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
+        snap.merge(DomainId(1), vec![a4("203.0.2.1")], vec![a6("2600:1::1")]);
+        snap.merge(DomainId(2), vec![a4("198.51.7.1")], vec![a6("2600:2::1")]);
+        let index = PrefixDomainIndex::build(&snap, &rib);
+        let set = detect(&index, SimilarityMetric::Jaccard, BestMatchPolicy::Union);
+        let set_pairs = build_set_pairs(&index, &set);
+        assert_eq!(set_pairs.len(), 2);
+        assert!(set_pairs.pairs.iter().all(SetPair::is_singleton));
+        assert_eq!(set_pairs.merged().count(), 0);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_pairing() {
+        let (index, _) = fragmented_fixture();
+        let empty = SiblingSet::from_pairs(vec![]);
+        let set_pairs = build_set_pairs(&index, &empty);
+        assert!(set_pairs.is_empty());
+        assert_eq!(set_pairs.perfect_match_share(), 0.0);
+    }
+
+    #[test]
+    fn set_similarity_never_below_best_member() {
+        // Merging can only add shared domains relative to the best
+        // member pair *in this construction* (components share sides).
+        let (index, set) = fragmented_fixture();
+        let best_member = set
+            .iter()
+            .map(|p| p.similarity.to_f64())
+            .fold(0.0f64, f64::max);
+        let set_pairs = build_set_pairs(&index, &set);
+        for sp in &set_pairs.pairs {
+            assert!(sp.similarity.to_f64() >= best_member - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! DS-domain visibility and address/prefix stability (§4.1, Fig. 7).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sibling_dns::{DnsSnapshot, DomainId};
+
+use crate::index::PrefixDomainIndex;
+
+/// Histogram of how often DS domains appear across a series of snapshots.
+///
+/// `counts[k-1]` is the number of domains that are dual-stack-visible in
+/// exactly `k` of the snapshots (the paper: ~40% in all 13, ~20% in one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VisibilityHistogram {
+    /// Per-frequency domain counts, index 0 ↔ frequency 1.
+    pub counts: Vec<usize>,
+}
+
+impl VisibilityHistogram {
+    /// Total number of distinct DS domains observed.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Share of domains visible in all snapshots (the "consistent" set).
+    pub fn consistent_share(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        *self.counts.last().unwrap_or(&0) as f64 / total as f64
+    }
+
+    /// Cumulative distribution over frequency (for the Fig. 7 left plot).
+    pub fn cumulative_shares(&self) -> Vec<f64> {
+        let total = self.total().max(1) as f64;
+        let mut acc = 0usize;
+        self.counts
+            .iter()
+            .map(|c| {
+                acc += c;
+                acc as f64 / total
+            })
+            .collect()
+    }
+}
+
+/// Computes the visibility histogram over a series of snapshots.
+pub fn visibility_histogram(snapshots: &[&DnsSnapshot]) -> VisibilityHistogram {
+    let mut freq: BTreeMap<DomainId, usize> = BTreeMap::new();
+    for snap in snapshots {
+        for (domain, _) in snap.ds_domains() {
+            *freq.entry(domain).or_insert(0) += 1;
+        }
+    }
+    let mut counts = vec![0usize; snapshots.len()];
+    for (_, k) in freq {
+        counts[k - 1] += 1;
+    }
+    VisibilityHistogram { counts }
+}
+
+/// The DS domains visible in *every* snapshot of the series.
+pub fn consistent_domains(snapshots: &[&DnsSnapshot]) -> BTreeSet<DomainId> {
+    let mut iter = snapshots.iter();
+    let Some(first) = iter.next() else {
+        return BTreeSet::new();
+    };
+    let mut consistent: BTreeSet<DomainId> = first.ds_domains().map(|(d, _)| d).collect();
+    for snap in iter {
+        let here: BTreeSet<DomainId> = snap.ds_domains().map(|(d, _)| d).collect();
+        consistent = consistent.intersection(&here).copied().collect();
+    }
+    consistent
+}
+
+/// One comparison point of the Fig. 7 centre/right plots: how many of the
+/// consistent DS domains kept the same prefixes / addresses between a past
+/// snapshot and the reference snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilityRow {
+    /// The label of the past snapshot ("Day -1", "Month -3", …).
+    pub label: String,
+    /// Share of consistent domains whose IPv4 prefix set is unchanged.
+    pub same_v4: f64,
+    /// Share of consistent domains whose IPv6 prefix set is unchanged.
+    pub same_v6: f64,
+    /// Share with both families unchanged.
+    pub same_both: f64,
+}
+
+/// Prefix-level stability: compares each past index against the reference.
+pub fn prefix_stability(
+    reference: &PrefixDomainIndex,
+    past: &[(String, &PrefixDomainIndex)],
+    consistent: &BTreeSet<DomainId>,
+) -> Vec<StabilityRow> {
+    past.iter()
+        .map(|(label, index)| {
+            let mut same_v4 = 0usize;
+            let mut same_v6 = 0usize;
+            let mut same_both = 0usize;
+            for &d in consistent {
+                let v4_ok = reference.prefixes_of_domain_v4(d) == index.prefixes_of_domain_v4(d);
+                let v6_ok = reference.prefixes_of_domain_v6(d) == index.prefixes_of_domain_v6(d);
+                same_v4 += v4_ok as usize;
+                same_v6 += v6_ok as usize;
+                same_both += (v4_ok && v6_ok) as usize;
+            }
+            let n = consistent.len().max(1) as f64;
+            StabilityRow {
+                label: label.clone(),
+                same_v4: same_v4 as f64 / n,
+                same_v6: same_v6 as f64 / n,
+                same_both: same_both as f64 / n,
+            }
+        })
+        .collect()
+}
+
+/// Address-level stability: same comparison on the raw resolved addresses.
+pub fn address_stability(
+    reference: &DnsSnapshot,
+    past: &[(String, &DnsSnapshot)],
+    consistent: &BTreeSet<DomainId>,
+) -> Vec<StabilityRow> {
+    past.iter()
+        .map(|(label, snap)| {
+            let mut same_v4 = 0usize;
+            let mut same_v6 = 0usize;
+            let mut same_both = 0usize;
+            for &d in consistent {
+                let (ref_e, past_e) = (reference.get(d), snap.get(d));
+                let v4_ok = match (ref_e, past_e) {
+                    (Some(a), Some(b)) => a.v4 == b.v4,
+                    _ => false,
+                };
+                let v6_ok = match (ref_e, past_e) {
+                    (Some(a), Some(b)) => a.v6 == b.v6,
+                    _ => false,
+                };
+                same_v4 += v4_ok as usize;
+                same_v6 += v6_ok as usize;
+                same_both += (v4_ok && v6_ok) as usize;
+            }
+            let n = consistent.len().max(1) as f64;
+            StabilityRow {
+                label: label.clone(),
+                same_v4: same_v4 as f64 / n,
+                same_v6: same_v6 as f64 / n,
+                same_both: same_both as f64 / n,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibling_bgp::Rib;
+    use sibling_net_types::{Asn, MonthDate};
+
+    fn a4(s: &str) -> u32 {
+        s.parse::<std::net::Ipv4Addr>().unwrap().into()
+    }
+
+    fn a6(s: &str) -> u128 {
+        s.parse::<std::net::Ipv6Addr>().unwrap().into()
+    }
+
+    fn snap(entries: &[(u32, &str, &str)]) -> DnsSnapshot {
+        let mut s = DnsSnapshot::new(MonthDate::new(2024, 9));
+        for (id, v4, v6) in entries {
+            s.merge(DomainId(*id), vec![a4(v4)], vec![a6(v6)]);
+        }
+        s
+    }
+
+    #[test]
+    fn visibility_counts() {
+        let s1 = snap(&[(1, "8.8.8.8", "2600::1"), (2, "8.8.4.4", "2600::2")]);
+        let s2 = snap(&[(1, "8.8.8.8", "2600::1")]);
+        let s3 = snap(&[(1, "8.8.8.8", "2600::1"), (3, "9.9.9.9", "2600::3")]);
+        let hist = visibility_histogram(&[&s1, &s2, &s3]);
+        // d1: 3 times; d2: once; d3: once.
+        assert_eq!(hist.counts, vec![2, 0, 1]);
+        assert_eq!(hist.total(), 3);
+        assert!((hist.consistent_share() - 1.0 / 3.0).abs() < 1e-12);
+        let cum = hist.cumulative_shares();
+        assert!((cum[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cum[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistent_domains_intersection() {
+        let s1 = snap(&[(1, "8.8.8.8", "2600::1"), (2, "8.8.4.4", "2600::2")]);
+        let s2 = snap(&[(1, "8.8.8.8", "2600::1")]);
+        let consistent = consistent_domains(&[&s1, &s2]);
+        assert_eq!(consistent.len(), 1);
+        assert!(consistent.contains(&DomainId(1)));
+        assert!(consistent_domains(&[]).is_empty());
+    }
+
+    #[test]
+    fn address_stability_detects_changes() {
+        let reference = snap(&[(1, "8.8.8.8", "2600::1"), (2, "8.8.4.4", "2600::2")]);
+        let past = snap(&[(1, "8.8.8.8", "2600::1"), (2, "8.8.4.4", "2600::99")]);
+        let consistent: BTreeSet<DomainId> = [DomainId(1), DomainId(2)].into_iter().collect();
+        let rows = address_stability(&reference, &[("Month -1".into(), &past)], &consistent);
+        assert_eq!(rows.len(), 1);
+        assert!((rows[0].same_v4 - 1.0).abs() < 1e-12);
+        assert!((rows[0].same_v6 - 0.5).abs() < 1e-12);
+        assert!((rows[0].same_both - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_stability_sees_through_address_changes() {
+        // Addresses change inside the same announced prefix → prefix-stable.
+        let mut rib = Rib::new();
+        rib.announce_v4("8.8.8.0/24".parse().unwrap(), Asn(1));
+        rib.announce_v6("2600::/32".parse().unwrap(), Asn(1));
+        let reference = snap(&[(1, "8.8.8.8", "2600::1")]);
+        let past = snap(&[(1, "8.8.8.9", "2600::2")]);
+        let ref_index = PrefixDomainIndex::build(&reference, &rib);
+        let past_index = PrefixDomainIndex::build(&past, &rib);
+        let consistent: BTreeSet<DomainId> = [DomainId(1)].into_iter().collect();
+        let rows = prefix_stability(&ref_index, &[("Year -1".into(), &past_index)], &consistent);
+        assert!((rows[0].same_both - 1.0).abs() < 1e-12);
+        // But address-level comparison sees the change.
+        let rows = address_stability(&reference, &[("Year -1".into(), &past)], &consistent);
+        assert_eq!(rows[0].same_both, 0.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! SP-Tuner-LS (Algorithm 2): probe covering prefixes.
+//!
+//! For each sibling pair the algorithm repeatedly widens the pair by one
+//! CIDR level per side and recomputes the Jaccard value over the enlarged
+//! host sets. Widening stops when:
+//!
+//! * the origin AS of a widened prefix differs from the starting pair's
+//!   origin (checked against the RIB of the same snapshot date, per
+//!   Appendix A.1), or
+//! * the configured climb budget is exhausted (the "with threshold"
+//!   variant: 1 level for IPv4, 4 levels for IPv6), or
+//! * the Jaccard value fails to improve.
+//!
+//! The paper's finding — reproduced by `fig22` in `sibling-analysis` — is
+//! that widening does **not** improve similarity: covering prefixes pull
+//! in unrelated domains on both sides.
+
+use sibling_bgp::Rib;
+use sibling_net_types::{Ipv4Prefix, Ipv6Prefix};
+
+use crate::index::PrefixDomainIndex;
+use crate::metrics::jaccard;
+use crate::pipeline::{SiblingPair, SiblingSet};
+use crate::tuner::TunerOutcome;
+
+/// SP-Tuner-LS configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpTunerLsConfig {
+    /// Whether to cap the climb (`true` mirrors the paper's thresholded
+    /// variant; `false` climbs until AS change or no improvement).
+    pub with_threshold: bool,
+    /// Maximum levels to climb on the IPv4 side when thresholded.
+    pub v4_levels_up: u8,
+    /// Maximum levels to climb on the IPv6 side when thresholded.
+    pub v6_levels_up: u8,
+    /// Abort the climb when the covering prefix's origin AS changes.
+    pub stop_on_as_change: bool,
+}
+
+impl Default for SpTunerLsConfig {
+    fn default() -> Self {
+        Self {
+            with_threshold: true,
+            v4_levels_up: 1,
+            v6_levels_up: 4,
+            stop_on_as_change: true,
+        }
+    }
+}
+
+impl SpTunerLsConfig {
+    /// The unthresholded variant (climbs until AS change / no gain).
+    pub fn without_threshold() -> Self {
+        Self {
+            with_threshold: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Runs SP-Tuner-LS over a detected sibling set.
+///
+/// `rib` must be the routing table of the same snapshot date as `index`.
+pub fn tune_less_specific(
+    index: &PrefixDomainIndex,
+    input: &SiblingSet,
+    rib: &Rib,
+    config: &SpTunerLsConfig,
+) -> TunerOutcome {
+    let mut out = Vec::with_capacity(input.len());
+    let mut steps = 0u64;
+    let mut refined = 0usize;
+
+    for pair in input.iter() {
+        let tuned = widen_pair(index, rib, pair, config, &mut steps);
+        if (tuned.v4, tuned.v6) != (pair.v4, pair.v6) {
+            refined += 1;
+        }
+        out.push(tuned);
+    }
+
+    TunerOutcome {
+        pairs: SiblingSet::from_pairs(out),
+        refined,
+        derived: 0,
+        steps,
+    }
+}
+
+fn origin_v4(rib: &Rib, p: &Ipv4Prefix) -> Option<sibling_net_types::Asn> {
+    rib.origin_of_v4(p).map(|r| r.primary_origin())
+}
+
+fn origin_v6(rib: &Rib, p: &Ipv6Prefix) -> Option<sibling_net_types::Asn> {
+    rib.origin_of_v6(p).map(|r| r.primary_origin())
+}
+
+fn widen_pair(
+    index: &PrefixDomainIndex,
+    rib: &Rib,
+    pair: &SiblingPair,
+    config: &SpTunerLsConfig,
+    steps: &mut u64,
+) -> SiblingPair {
+    let start_origin_v4 = origin_v4(rib, &pair.v4);
+    let start_origin_v6 = origin_v6(rib, &pair.v6);
+
+    let mut cur = *pair;
+    let mut climbed_v4 = 0u8;
+    let mut climbed_v6 = 0u8;
+
+    loop {
+        let budget_v4 = !config.with_threshold || climbed_v4 < config.v4_levels_up;
+        let budget_v6 = !config.with_threshold || climbed_v6 < config.v6_levels_up;
+        let next_v4 = if budget_v4 { cur.v4.supernet() } else { None };
+        let next_v6 = if budget_v6 { cur.v6.supernet() } else { None };
+        if next_v4.is_none() && next_v6.is_none() {
+            break;
+        }
+        let cand_v4 = next_v4.unwrap_or(cur.v4);
+        let cand_v6 = next_v6.unwrap_or(cur.v6);
+        *steps += 1;
+
+        if config.stop_on_as_change {
+            // Widening beyond the originating AS means the pair no longer
+            // describes one network's deployment.
+            if origin_v4(rib, &cand_v4) != start_origin_v4
+                || origin_v6(rib, &cand_v6) != start_origin_v6
+            {
+                break;
+            }
+        }
+
+        let a = index.domains_under_v4(&cand_v4);
+        let b = index.domains_under_v6(&cand_v6);
+        let j = jaccard(&a, &b);
+        if j <= cur.similarity {
+            break;
+        }
+        let shared = a.iter().filter(|d| b.contains(d)).count() as u64;
+        cur = SiblingPair {
+            v4: cand_v4,
+            v6: cand_v6,
+            similarity: j,
+            shared_domains: shared,
+            v4_domains: a.len() as u64,
+            v6_domains: b.len() as u64,
+        };
+        if next_v4.is_some() {
+            climbed_v4 += 1;
+        }
+        if next_v6.is_some() {
+            climbed_v6 += 1;
+        }
+    }
+
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SimilarityMetric;
+    use crate::pipeline::{detect, BestMatchPolicy};
+    use sibling_dns::{DnsSnapshot, DomainId};
+    use sibling_net_types::{Asn, MonthDate};
+
+    fn a4(s: &str) -> u32 {
+        s.parse::<std::net::Ipv4Addr>().unwrap().into()
+    }
+
+    fn a6(s: &str) -> u128 {
+        s.parse::<std::net::Ipv6Addr>().unwrap().into()
+    }
+
+    fn p4(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn p6(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Hosting where a domain's v4 addresses span two announced /24s of
+    /// the same AS, so the announced pair has J < 1 but the covering /23
+    /// reaches J = 1: the one case where LS *can* help.
+    fn widenable_fixture() -> (PrefixDomainIndex, SiblingSet, Rib) {
+        let mut rib = Rib::new();
+        rib.announce_v4(p4("203.0.2.0/24"), Asn(1));
+        rib.announce_v4(p4("203.0.3.0/24"), Asn(1));
+        // The covering /23 and /22 are also originated by AS1 (so the AS
+        // check does not fire).
+        rib.announce_v4(p4("203.0.0.0/16"), Asn(1));
+        rib.announce_v6(p6("2600:1::/48"), Asn(1));
+        rib.announce_v6(p6("2600:1::/32"), Asn(1));
+        let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
+        snap.merge(DomainId(1), vec![a4("203.0.2.1")], vec![a6("2600:1::1")]);
+        snap.merge(DomainId(2), vec![a4("203.0.3.1")], vec![a6("2600:1::2")]);
+        let index = PrefixDomainIndex::build(&snap, &rib);
+        let set = detect(&index, SimilarityMetric::Jaccard, BestMatchPolicy::Union);
+        (index, set, rib)
+    }
+
+    #[test]
+    fn widening_merges_split_pods_when_same_as() {
+        let (index, set, rib) = widenable_fixture();
+        // The announced /24 pairs each have J = 1/2 ({d1} or {d2} vs {d1,d2}).
+        assert!(set.iter().all(|p| !p.similarity.is_one()));
+        let outcome = tune_less_specific(&index, &set, &rib, &SpTunerLsConfig::default());
+        // Widening the v4 side by one level reaches the /23 = {d1, d2}.
+        assert!(
+            outcome.pairs.iter().any(|p| p.similarity.is_one()),
+            "the covering /23 should reach J=1"
+        );
+        assert!(outcome.refined > 0);
+    }
+
+    #[test]
+    fn as_change_stops_the_climb() {
+        let mut rib = Rib::new();
+        rib.announce_v4(p4("203.0.2.0/24"), Asn(1));
+        rib.announce_v4(p4("203.0.3.0/24"), Asn(1));
+        // The covering space belongs to a *different* AS.
+        rib.announce_v4(p4("203.0.0.0/16"), Asn(99));
+        rib.announce_v6(p6("2600:1::/48"), Asn(1));
+        rib.announce_v6(p6("2600::/32"), Asn(99));
+        let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
+        snap.merge(DomainId(1), vec![a4("203.0.2.1")], vec![a6("2600:1::1")]);
+        snap.merge(DomainId(2), vec![a4("203.0.3.1")], vec![a6("2600:1::2")]);
+        let index = PrefixDomainIndex::build(&snap, &rib);
+        let set = detect(&index, SimilarityMetric::Jaccard, BestMatchPolicy::Union);
+        let outcome = tune_less_specific(&index, &set, &rib, &SpTunerLsConfig::default());
+        // Widening the /24 lands in AS99 territory → aborted; pairs stay.
+        for pair in outcome.pairs.iter() {
+            assert!(pair.v4.len() == 24, "climb should have been stopped by AS change");
+        }
+        assert_eq!(outcome.refined, 0);
+    }
+
+    #[test]
+    fn threshold_caps_the_climb() {
+        let (index, set, rib) = widenable_fixture();
+        // Zero budget: nothing may move.
+        let config = SpTunerLsConfig {
+            with_threshold: true,
+            v4_levels_up: 0,
+            v6_levels_up: 0,
+            stop_on_as_change: true,
+        };
+        let outcome = tune_less_specific(&index, &set, &rib, &config);
+        assert_eq!(outcome.refined, 0);
+        for (orig, tuned) in set.iter().zip(outcome.pairs.iter()) {
+            assert_eq!(orig.v4.len(), tuned.v4.len());
+        }
+    }
+
+    #[test]
+    fn no_improvement_means_no_change() {
+        // A perfect pair cannot be improved by widening.
+        let mut rib = Rib::new();
+        rib.announce_v4(p4("203.0.2.0/24"), Asn(1));
+        rib.announce_v4(p4("203.0.0.0/16"), Asn(1));
+        rib.announce_v6(p6("2600:1::/48"), Asn(1));
+        rib.announce_v6(p6("2600:1::/32"), Asn(1));
+        let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
+        snap.merge(DomainId(1), vec![a4("203.0.2.1")], vec![a6("2600:1::1")]);
+        let index = PrefixDomainIndex::build(&snap, &rib);
+        let set = detect(&index, SimilarityMetric::Jaccard, BestMatchPolicy::Union);
+        assert!(set.iter().all(|p| p.similarity.is_one()));
+        let outcome =
+            tune_less_specific(&index, &set, &rib, &SpTunerLsConfig::without_threshold());
+        assert_eq!(outcome.refined, 0);
+        assert!(outcome.pairs.iter().all(|p| p.similarity.is_one()));
+    }
+}

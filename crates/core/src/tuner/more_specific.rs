@@ -1,0 +1,440 @@
+//! SP-Tuner-MS (Algorithm 1): refine sibling pairs into more specific
+//! sub-prefixes.
+//!
+//! Concrete semantics (the paper's pseudocode is informal; these rules are
+//! what reproduce its reported behaviour):
+//!
+//! 1. Per starting pair, work on the *global* host tries of the snapshot
+//!    (the two "PyTricia trees" of DS hosts with their domain sets).
+//! 2. At each step, descend one CIDR level on each side that has not yet
+//!    reached its threshold: candidate children are the occupied one-bit-
+//!    longer sub-prefixes (`GetNextSubprefixes`).
+//! 3. Evaluate the Jaccard value of every child cross-combination; follow
+//!    the maximum (deterministic first-in-order tie-break).
+//! 4. Any other combination with a non-zero Jaccard is enqueued as a new
+//!    candidate sibling pair (`UpdateBranches`) — this is what prevents
+//!    domain loss when hosting pods split across branches.
+//! 5. Descent stops when the best child combination would *decrease* the
+//!    Jaccard value (a refinement never degrades similarity), or when both
+//!    sides have reached their thresholds.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use sibling_net_types::{Ipv4Prefix, Ipv6Prefix};
+
+use crate::index::PrefixDomainIndex;
+use crate::metrics::jaccard;
+use crate::pipeline::{SiblingPair, SiblingSet};
+use crate::tuner::TunerOutcome;
+
+/// SP-Tuner-MS configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpTunerConfig {
+    /// Deepest IPv4 prefix length to descend to (16–32).
+    pub v4_threshold: u8,
+    /// Deepest IPv6 prefix length to descend to (32–128).
+    pub v6_threshold: u8,
+    /// Continue descending when the Jaccard value stays *equal* (true, the
+    /// default) or require strict improvement (false). Equal-descent is
+    /// what drives most pairs down to the threshold lengths (Fig. 36).
+    pub allow_equal: bool,
+}
+
+impl SpTunerConfig {
+    /// The "most-specific routable" thresholds: /24 IPv4, /48 IPv6.
+    pub fn routable() -> Self {
+        Self {
+            v4_threshold: 24,
+            v6_threshold: 48,
+            allow_equal: true,
+        }
+    }
+
+    /// The paper's best-performing thresholds: /28 IPv4, /96 IPv6.
+    pub fn best() -> Self {
+        Self {
+            v4_threshold: 28,
+            v6_threshold: 96,
+            allow_equal: true,
+        }
+    }
+
+    /// Arbitrary thresholds (used by the Fig. 4 / Fig. 19 sweeps).
+    pub fn with_thresholds(v4_threshold: u8, v6_threshold: u8) -> Self {
+        assert!(v4_threshold <= 32, "IPv4 threshold beyond /32");
+        assert!(v6_threshold <= 128, "IPv6 threshold beyond /128");
+        Self {
+            v4_threshold,
+            v6_threshold,
+            allow_equal: true,
+        }
+    }
+}
+
+impl Default for SpTunerConfig {
+    fn default() -> Self {
+        Self::best()
+    }
+}
+
+/// Occupied one-bit-longer sub-prefixes of an IPv4 prefix, or the prefix
+/// itself when it may not (or cannot) descend further.
+fn next_subprefixes_v4(
+    index: &PrefixDomainIndex,
+    p: Ipv4Prefix,
+    threshold: u8,
+) -> Vec<Ipv4Prefix> {
+    if p.len() >= threshold {
+        return vec![p];
+    }
+    match p.children() {
+        Some((zero, one)) => {
+            let mut out = Vec::with_capacity(2);
+            if index.occupied_v4(&zero) {
+                out.push(zero);
+            }
+            if index.occupied_v4(&one) {
+                out.push(one);
+            }
+            if out.is_empty() {
+                vec![p]
+            } else {
+                out
+            }
+        }
+        None => vec![p],
+    }
+}
+
+/// IPv6 variant of [`next_subprefixes_v4`].
+fn next_subprefixes_v6(
+    index: &PrefixDomainIndex,
+    p: Ipv6Prefix,
+    threshold: u8,
+) -> Vec<Ipv6Prefix> {
+    if p.len() >= threshold {
+        return vec![p];
+    }
+    match p.children() {
+        Some((zero, one)) => {
+            let mut out = Vec::with_capacity(2);
+            if index.occupied_v6(&zero) {
+                out.push(zero);
+            }
+            if index.occupied_v6(&one) {
+                out.push(one);
+            }
+            if out.is_empty() {
+                vec![p]
+            } else {
+                out
+            }
+        }
+        None => vec![p],
+    }
+}
+
+/// Refines one candidate pair; returns the refined pair and pushes
+/// alternate-branch candidates onto `queue`.
+fn refine_pair(
+    index: &PrefixDomainIndex,
+    start_v4: Ipv4Prefix,
+    start_v6: Ipv6Prefix,
+    config: &SpTunerConfig,
+    queue: &mut VecDeque<(Ipv4Prefix, Ipv6Prefix)>,
+    steps: &mut u64,
+) -> Option<SiblingPair> {
+    let mut cur_v4 = start_v4;
+    let mut cur_v6 = start_v6;
+    let mut set_a = index.domains_under_v4(&cur_v4);
+    let mut set_b = index.domains_under_v6(&cur_v6);
+    let mut cur_jacc = jaccard(&set_a, &set_b);
+    if cur_jacc.is_zero() {
+        return None;
+    }
+
+    loop {
+        let at_threshold_v4 = cur_v4.len() >= config.v4_threshold;
+        let at_threshold_v6 = cur_v6.len() >= config.v6_threshold;
+        if at_threshold_v4 && at_threshold_v6 {
+            break;
+        }
+        *steps += 1;
+        let subs_v4 = next_subprefixes_v4(index, cur_v4, config.v4_threshold);
+        let subs_v6 = next_subprefixes_v6(index, cur_v6, config.v6_threshold);
+        if subs_v4 == vec![cur_v4] && subs_v6 == vec![cur_v6] {
+            // Neither side can move (hosts exhausted below either level).
+            break;
+        }
+
+        // Evaluate all cross combinations; follow the maximum.
+        let mut best: Option<(
+            Ipv4Prefix,
+            Ipv6Prefix,
+            crate::metrics::Ratio,
+            BTreeSet<sibling_dns::DomainId>,
+            BTreeSet<sibling_dns::DomainId>,
+        )> = None;
+        let mut alternates: Vec<(Ipv4Prefix, Ipv6Prefix)> = Vec::new();
+        for &c4 in &subs_v4 {
+            let a = if c4 == cur_v4 {
+                set_a.clone()
+            } else {
+                index.domains_under_v4(&c4)
+            };
+            for &c6 in &subs_v6 {
+                let b = if c6 == cur_v6 {
+                    set_b.clone()
+                } else {
+                    index.domains_under_v6(&c6)
+                };
+                let j = jaccard(&a, &b);
+                if j.is_zero() {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((_, _, best_j, _, _)) => j > *best_j,
+                };
+                if better {
+                    if let Some((b4, b6, _, _, _)) = &best {
+                        alternates.push((*b4, *b6));
+                    }
+                    best = Some((c4, c6, j, a.clone(), b.clone()));
+                } else {
+                    alternates.push((c4, c6));
+                }
+            }
+        }
+
+        let Some((b4, b6, bj, ba, bb)) = best else {
+            break;
+        };
+        let improves = if config.allow_equal {
+            bj.cmp(&cur_jacc).is_ge()
+        } else {
+            bj > cur_jacc
+        };
+        if !improves {
+            break;
+        }
+        // Alternate branches become new candidate pairs (no domain loss).
+        for (a4, a6) in alternates {
+            if (a4, a6) != (b4, b6) && (a4, a6) != (cur_v4, cur_v6) {
+                queue.push_back((a4, a6));
+            }
+        }
+        if (b4, b6) == (cur_v4, cur_v6) {
+            // The best combination is standing still; nothing to gain.
+            break;
+        }
+        cur_v4 = b4;
+        cur_v6 = b6;
+        cur_jacc = bj;
+        set_a = ba;
+        set_b = bb;
+    }
+
+    let shared = set_a.iter().filter(|d| set_b.contains(d)).count() as u64;
+    Some(SiblingPair {
+        v4: cur_v4,
+        v6: cur_v6,
+        similarity: cur_jacc,
+        shared_domains: shared,
+        v4_domains: set_a.len() as u64,
+        v6_domains: set_b.len() as u64,
+    })
+}
+
+/// Runs SP-Tuner-MS over a detected sibling set.
+pub fn tune_more_specific(
+    index: &PrefixDomainIndex,
+    input: &SiblingSet,
+    config: &SpTunerConfig,
+) -> TunerOutcome {
+    let mut queue: VecDeque<(Ipv4Prefix, Ipv6Prefix)> = input.iter().map(|p| (p.v4, p.v6)).collect();
+    let input_pairs: BTreeSet<(Ipv4Prefix, Ipv6Prefix)> = input.iter().map(|p| (p.v4, p.v6)).collect();
+    let mut seen: BTreeSet<(Ipv4Prefix, Ipv6Prefix)> = BTreeSet::new();
+    let mut out: Vec<SiblingPair> = Vec::new();
+    let mut steps = 0u64;
+    let mut refined = 0usize;
+    let mut derived = 0usize;
+
+    while let Some((q4, q6)) = queue.pop_front() {
+        if !seen.insert((q4, q6)) {
+            continue;
+        }
+        let was_input = input_pairs.contains(&(q4, q6));
+        if let Some(pair) = refine_pair(index, q4, q6, config, &mut queue, &mut steps) {
+            if was_input && (pair.v4, pair.v6) != (q4, q6) {
+                refined += 1;
+            }
+            if !was_input {
+                derived += 1;
+            }
+            out.push(pair);
+        }
+    }
+
+    TunerOutcome {
+        pairs: SiblingSet::from_pairs(out),
+        refined,
+        derived,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SimilarityMetric;
+    use crate::pipeline::{detect, BestMatchPolicy};
+    use sibling_bgp::Rib;
+    use sibling_dns::{DnsSnapshot, DomainId};
+    use sibling_net_types::{Asn, MonthDate};
+
+    fn a4(s: &str) -> u32 {
+        s.parse::<std::net::Ipv4Addr>().unwrap().into()
+    }
+
+    fn a6(s: &str) -> u128 {
+        s.parse::<std::net::Ipv6Addr>().unwrap().into()
+    }
+
+    fn p4(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn p6(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    /// An announced /23 containing two hosting pods: 203.0.2.0/24 pairs
+    /// with 2600:1::/48 and 203.0.3.0/24 pairs with 2600:1:0:1::/64…
+    /// actually with a second /48. Default detection sees one blurred
+    /// pair; SP-Tuner-MS should split it into two perfect matches.
+    fn two_pod_fixture() -> (PrefixDomainIndex, SiblingSet) {
+        let mut rib = Rib::new();
+        rib.announce_v4(p4("203.0.2.0/23"), Asn(1));
+        rib.announce_v6(p6("2600:1::/32"), Asn(1));
+        let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
+        // Pod A: two domains in 203.0.2.0/24 ↔ 2600:1:a::/48.
+        snap.merge(DomainId(1), vec![a4("203.0.2.10")], vec![a6("2600:1:a::1")]);
+        snap.merge(DomainId(2), vec![a4("203.0.2.20")], vec![a6("2600:1:a::2")]);
+        // Pod B: two domains in 203.0.3.0/24 ↔ 2600:1:b::/48.
+        snap.merge(DomainId(3), vec![a4("203.0.3.10")], vec![a6("2600:1:b::1")]);
+        snap.merge(DomainId(4), vec![a4("203.0.3.20")], vec![a6("2600:1:b::2")]);
+        let index = PrefixDomainIndex::build(&snap, &rib);
+        let set = detect(&index, SimilarityMetric::Jaccard, BestMatchPolicy::Union);
+        (index, set)
+    }
+
+    #[test]
+    fn splits_blurred_pair_into_perfect_pods() {
+        let (index, set) = two_pod_fixture();
+        // Default: the single announced pair is already Jaccard 1 at the
+        // announced sizes (all four domains on both sides), so check that
+        // tuning narrows CIDRs without losing domains.
+        assert_eq!(set.len(), 1);
+        let outcome = tune_more_specific(&index, &set, &SpTunerConfig::best());
+        // All pairs perfect and within thresholds.
+        assert!(!outcome.pairs.is_empty());
+        let mut domains_seen = 0u64;
+        for pair in outcome.pairs.iter() {
+            assert!(pair.similarity.is_one(), "tuned pairs must be perfect here");
+            assert!(pair.v4.len() <= 28);
+            assert!(pair.v6.len() <= 96);
+            domains_seen += pair.shared_domains;
+        }
+        // No domain loss: all four domains appear in some tuned pair.
+        assert!(domains_seen >= 4, "domains lost by tuner: {domains_seen} < 4");
+    }
+
+    #[test]
+    fn pods_split_when_default_is_imperfect() {
+        // Make the v6 side asymmetric so the default pair is imperfect:
+        // pod B has no v6 counterpart inside the best-match v6 prefix.
+        let mut rib = Rib::new();
+        rib.announce_v4(p4("203.0.2.0/23"), Asn(1));
+        rib.announce_v6(p6("2600:1::/48"), Asn(1));
+        rib.announce_v6(p6("2600:2::/48"), Asn(2));
+        let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
+        snap.merge(DomainId(1), vec![a4("203.0.2.10")], vec![a6("2600:1::1")]);
+        snap.merge(DomainId(2), vec![a4("203.0.2.20")], vec![a6("2600:1::2")]);
+        snap.merge(DomainId(3), vec![a4("203.0.3.10")], vec![a6("2600:2::1")]);
+        let index = PrefixDomainIndex::build(&snap, &rib);
+        let set = detect(&index, SimilarityMetric::Jaccard, BestMatchPolicy::Union);
+        // The announced v4 /23 has {1,2,3}; 2600:1::/48 has {1,2} → J=2/3.
+        let outcome = tune_more_specific(&index, &set, &SpTunerConfig::best());
+        assert!(
+            outcome.pairs.perfect_match_share() > set.perfect_match_share(),
+            "tuning must raise the perfect-match share"
+        );
+        // Domain 3 must survive in some pair (no domain loss).
+        let d3_present = outcome.pairs.iter().any(|p| {
+            index.domains_under_v4(&p.v4).contains(&DomainId(3))
+                && index.domains_under_v6(&p.v6).contains(&DomainId(3))
+        });
+        assert!(d3_present, "alternate branch with domain 3 was lost");
+    }
+
+    #[test]
+    fn tuned_jaccard_never_below_original() {
+        let (index, set) = two_pod_fixture();
+        let outcome = tune_more_specific(&index, &set, &SpTunerConfig::routable());
+        let original_min = set
+            .iter()
+            .map(|p| p.similarity.to_f64())
+            .fold(f64::INFINITY, f64::min);
+        for pair in outcome.pairs.iter() {
+            assert!(
+                pair.similarity.to_f64() >= original_min - 1e-12,
+                "tuned pair degraded below every original pair"
+            );
+        }
+    }
+
+    #[test]
+    fn thresholds_are_respected() {
+        let (index, set) = two_pod_fixture();
+        for config in [
+            SpTunerConfig::with_thresholds(24, 48),
+            SpTunerConfig::with_thresholds(28, 96),
+            SpTunerConfig::with_thresholds(32, 128),
+        ] {
+            let outcome = tune_more_specific(&index, &set, &config);
+            for pair in outcome.pairs.iter() {
+                assert!(pair.v4.len() <= config.v4_threshold);
+                assert!(pair.v6.len() <= config.v6_threshold);
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_shallower_than_announced_keeps_pair() {
+        let (index, set) = two_pod_fixture();
+        // Thresholds at the announced lengths: nothing can descend.
+        let config = SpTunerConfig::with_thresholds(23, 32);
+        let outcome = tune_more_specific(&index, &set, &config);
+        assert_eq!(outcome.pairs.len(), 1);
+        assert_eq!(outcome.refined, 0);
+        let pair = outcome.pairs.iter().next().unwrap();
+        assert_eq!(pair.v4, p4("203.0.2.0/23"));
+        assert_eq!(pair.v6, p6("2600:1::/32"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let (index, _) = two_pod_fixture();
+        let empty = SiblingSet::from_pairs(vec![]);
+        let outcome = tune_more_specific(&index, &empty, &SpTunerConfig::best());
+        assert!(outcome.pairs.is_empty());
+        assert_eq!(outcome.steps, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "IPv4 threshold beyond /32")]
+    fn invalid_threshold_rejected() {
+        SpTunerConfig::with_thresholds(33, 48);
+    }
+}

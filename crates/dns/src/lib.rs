@@ -1,0 +1,36 @@
+//! DNS dataset model — the OpenINTEL substitute (§2.1, §3.1 step 1).
+//!
+//! The paper's detection pipeline consumes large-scale DNS resolution
+//! results: for every queried domain, the A and AAAA addresses at the end
+//! of the CNAME chain, taken on one snapshot date per month. This crate
+//! provides:
+//!
+//! * [`DomainTable`] / [`DomainId`] — an interner so the set algebra at the
+//!   heart of the pipeline runs on dense integer ids;
+//! * [`DnsRecord`] / [`Zone`] — the authoritative data of one snapshot;
+//! * [`Resolver`] — CNAME-chain following with loop and depth protection.
+//!   Per §3 of the paper, resolution reports the *final* name in the chain,
+//!   "the actual domain that maps to an IP address", not the queried name;
+//! * [`DnsSnapshot`] — the per-date resolution result the pipeline consumes,
+//!   with dual-stack (DS) domain extraction;
+//! * [`Toplist`] — the source lists (Alexa, Umbrella, Tranco, Radar, open
+//!   ccTLDs) with the availability windows that shape Fig. 1 (Tranco added
+//!   2022-09, Radar 2022-10, `.fr` 2022-08, Alexa removed 2023-05).
+//!
+//! Addresses are filtered through the §2.2 routability classifier: private,
+//! reserved and invalid addresses never enter a snapshot.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod name;
+mod record;
+mod resolve;
+mod snapshot;
+mod toplist;
+
+pub use name::{DomainId, DomainTable};
+pub use record::{DnsRecord, Zone};
+pub use resolve::{Resolution, ResolveError, Resolver, MAX_CNAME_CHAIN};
+pub use snapshot::{DnsSnapshot, ResolvedAddrs};
+pub use toplist::Toplist;

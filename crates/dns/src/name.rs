@@ -1,0 +1,108 @@
+//! Domain-name interning.
+//!
+//! The sibling-prefix pipeline is set algebra over domain names; interning
+//! them once lets every later stage operate on dense `u32` ids with
+//! deterministic ordering.
+
+use std::collections::BTreeMap;
+
+/// A dense identifier for an interned domain name.
+///
+/// Ids are assigned in insertion order and never reused, so sorted-id
+/// iteration is deterministic for a deterministic generator.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct DomainId(pub u32);
+
+/// An interner mapping domain names to [`DomainId`]s and back.
+#[derive(Debug, Default, Clone)]
+pub struct DomainTable {
+    by_name: BTreeMap<String, DomainId>,
+    names: Vec<String>,
+}
+
+impl DomainTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name` (normalised to lowercase, trailing dot stripped),
+    /// returning its id. Idempotent.
+    pub fn intern(&mut self, name: &str) -> DomainId {
+        let norm = Self::normalise(name);
+        if let Some(&id) = self.by_name.get(&norm) {
+            return id;
+        }
+        let id = DomainId(self.names.len() as u32);
+        self.by_name.insert(norm.clone(), id);
+        self.names.push(norm);
+        id
+    }
+
+    /// Looks up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<DomainId> {
+        self.by_name.get(&Self::normalise(name)).copied()
+    }
+
+    /// The name for `id`, if it was produced by this table.
+    pub fn name(&self, id: DomainId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// DNS names are case-insensitive and may carry a trailing root dot.
+    fn normalise(name: &str) -> String {
+        name.trim_end_matches('.').to_ascii_lowercase()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut t = DomainTable::new();
+        let a = t.intern("example.com");
+        let b = t.intern("example.org");
+        assert_eq!(t.intern("example.com"), a);
+        assert_eq!(a, DomainId(0));
+        assert_eq!(b, DomainId(1));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn normalisation_folds_case_and_root_dot() {
+        let mut t = DomainTable::new();
+        let a = t.intern("Example.COM.");
+        assert_eq!(t.lookup("example.com"), Some(a));
+        assert_eq!(t.name(a), Some("example.com"));
+    }
+
+    #[test]
+    fn lookup_missing_is_none() {
+        let t = DomainTable::new();
+        assert_eq!(t.lookup("nope.example"), None);
+        assert_eq!(t.name(DomainId(7)), None);
+    }
+}

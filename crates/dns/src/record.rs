@@ -1,0 +1,99 @@
+//! DNS records and zones.
+
+use std::collections::BTreeMap;
+
+use crate::name::DomainId;
+
+/// A DNS resource record relevant to dual-stack analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DnsRecord {
+    /// An IPv4 address record.
+    A(u32),
+    /// An IPv6 address record.
+    Aaaa(u128),
+    /// An alias to another name; the resolver follows these.
+    Cname(DomainId),
+}
+
+impl DnsRecord {
+    /// Whether this record is an address (A or AAAA) record.
+    pub fn is_address(&self) -> bool {
+        matches!(self, DnsRecord::A(_) | DnsRecord::Aaaa(_))
+    }
+}
+
+/// The authoritative record set for one snapshot date.
+///
+/// A zone maps each owner name to its records. Owner names without records
+/// behave as NXDOMAIN under resolution.
+#[derive(Debug, Default, Clone)]
+pub struct Zone {
+    records: BTreeMap<DomainId, Vec<DnsRecord>>,
+}
+
+impl Zone {
+    /// Creates an empty zone.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record for `owner`.
+    pub fn add(&mut self, owner: DomainId, record: DnsRecord) {
+        self.records.entry(owner).or_default().push(record);
+    }
+
+    /// Replaces the record set for `owner`.
+    pub fn set(&mut self, owner: DomainId, records: Vec<DnsRecord>) {
+        self.records.insert(owner, records);
+    }
+
+    /// The records for `owner`, if any.
+    pub fn get(&self, owner: DomainId) -> Option<&[DnsRecord]> {
+        self.records.get(&owner).map(Vec::as_slice)
+    }
+
+    /// Iterates over all owner names with records, in id order.
+    pub fn owners(&self) -> impl Iterator<Item = DomainId> + '_ {
+        self.records.keys().copied()
+    }
+
+    /// Number of owner names.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the zone holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut z = Zone::new();
+        z.add(DomainId(0), DnsRecord::A(1));
+        z.add(DomainId(0), DnsRecord::Aaaa(2));
+        assert_eq!(z.get(DomainId(0)).unwrap().len(), 2);
+        assert!(z.get(DomainId(1)).is_none());
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    fn set_replaces() {
+        let mut z = Zone::new();
+        z.add(DomainId(0), DnsRecord::A(1));
+        z.set(DomainId(0), vec![DnsRecord::Cname(DomainId(1))]);
+        assert_eq!(z.get(DomainId(0)).unwrap(), &[DnsRecord::Cname(DomainId(1))]);
+    }
+
+    #[test]
+    fn record_kind_helpers() {
+        assert!(DnsRecord::A(0).is_address());
+        assert!(DnsRecord::Aaaa(0).is_address());
+        assert!(!DnsRecord::Cname(DomainId(0)).is_address());
+    }
+}

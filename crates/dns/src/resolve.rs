@@ -1,0 +1,226 @@
+//! CNAME-chain resolution.
+//!
+//! §3 of the paper: "If the domain name maps to a CNAME, we follow the
+//! CNAME chain until we reach the final IP address in the CNAME chain …
+//! we use the domain name provided in the DNS response instead of the
+//! queried domain." The resolver therefore reports both the terminal name
+//! and the addresses found there.
+
+use std::collections::BTreeSet;
+
+use crate::name::DomainId;
+use crate::record::{DnsRecord, Zone};
+
+/// Maximum CNAME chain length before resolution aborts (mirrors the
+/// defensive limits of production resolvers).
+pub const MAX_CNAME_CHAIN: usize = 16;
+
+/// The outcome of resolving one queried name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolution {
+    /// The terminal owner name — the "actual domain" of the paper's
+    /// methodology. Equals the queried name when no CNAME is present.
+    pub final_name: DomainId,
+    /// IPv4 addresses at the terminal name (sorted, deduplicated).
+    pub v4: Vec<u32>,
+    /// IPv6 addresses at the terminal name (sorted, deduplicated).
+    pub v6: Vec<u128>,
+    /// Number of CNAME hops followed.
+    pub chain_len: usize,
+}
+
+impl Resolution {
+    /// Whether the name resolved with at least one address in *both*
+    /// families — the dual-stack criterion of §3.1 step 1.
+    pub fn is_dual_stack(&self) -> bool {
+        !self.v4.is_empty() && !self.v6.is_empty()
+    }
+}
+
+/// Resolution failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolveError {
+    /// The queried (or an intermediate) name has no records.
+    NxDomain(DomainId),
+    /// The CNAME chain revisited a name.
+    CnameLoop(DomainId),
+    /// The chain exceeded [`MAX_CNAME_CHAIN`] hops.
+    ChainTooLong,
+}
+
+impl std::fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolveError::NxDomain(d) => write!(f, "NXDOMAIN for domain id {}", d.0),
+            ResolveError::CnameLoop(d) => write!(f, "CNAME loop at domain id {}", d.0),
+            ResolveError::ChainTooLong => write!(f, "CNAME chain exceeds {MAX_CNAME_CHAIN} hops"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// A resolver over a [`Zone`].
+pub struct Resolver<'z> {
+    zone: &'z Zone,
+}
+
+impl<'z> Resolver<'z> {
+    /// Creates a resolver for `zone`.
+    pub fn new(zone: &'z Zone) -> Self {
+        Self { zone }
+    }
+
+    /// Resolves `query`, following CNAMEs to the terminal name.
+    ///
+    /// Per RFC 1034 semantics a name with a CNAME record has no other
+    /// records; if a zone nevertheless mixes them, the CNAME wins (matching
+    /// the behaviour of following the response chain).
+    pub fn resolve(&self, query: DomainId) -> Result<Resolution, ResolveError> {
+        let mut seen: BTreeSet<DomainId> = BTreeSet::new();
+        let mut current = query;
+        let mut hops = 0usize;
+        loop {
+            if !seen.insert(current) {
+                return Err(ResolveError::CnameLoop(current));
+            }
+            if hops > MAX_CNAME_CHAIN {
+                return Err(ResolveError::ChainTooLong);
+            }
+            let records = self
+                .zone
+                .get(current)
+                .ok_or(ResolveError::NxDomain(current))?;
+            if let Some(next) = records.iter().find_map(|r| match r {
+                DnsRecord::Cname(target) => Some(*target),
+                _ => None,
+            }) {
+                current = next;
+                hops += 1;
+                continue;
+            }
+            let mut v4: Vec<u32> = Vec::new();
+            let mut v6: Vec<u128> = Vec::new();
+            for r in records {
+                match r {
+                    DnsRecord::A(a) => v4.push(*a),
+                    DnsRecord::Aaaa(a) => v6.push(*a),
+                    DnsRecord::Cname(_) => unreachable!("handled above"),
+                }
+            }
+            v4.sort_unstable();
+            v4.dedup();
+            v6.sort_unstable();
+            v6.dedup();
+            return Ok(Resolution {
+                final_name: current,
+                v4,
+                v6,
+                chain_len: hops,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u32) -> DomainId {
+        DomainId(i)
+    }
+
+    #[test]
+    fn direct_records_resolve_with_final_name_equal_query() {
+        let mut zone = Zone::new();
+        zone.add(d(0), DnsRecord::A(10));
+        zone.add(d(0), DnsRecord::Aaaa(20));
+        let r = Resolver::new(&zone).resolve(d(0)).unwrap();
+        assert_eq!(r.final_name, d(0));
+        assert_eq!(r.v4, vec![10]);
+        assert_eq!(r.v6, vec![20]);
+        assert_eq!(r.chain_len, 0);
+        assert!(r.is_dual_stack());
+    }
+
+    #[test]
+    fn cname_chain_reports_terminal_name() {
+        let mut zone = Zone::new();
+        zone.add(d(0), DnsRecord::Cname(d(1)));
+        zone.add(d(1), DnsRecord::Cname(d(2)));
+        zone.add(d(2), DnsRecord::A(42));
+        let r = Resolver::new(&zone).resolve(d(0)).unwrap();
+        assert_eq!(r.final_name, d(2));
+        assert_eq!(r.v4, vec![42]);
+        assert!(r.v6.is_empty());
+        assert_eq!(r.chain_len, 2);
+        assert!(!r.is_dual_stack());
+    }
+
+    #[test]
+    fn loop_is_detected() {
+        let mut zone = Zone::new();
+        zone.add(d(0), DnsRecord::Cname(d(1)));
+        zone.add(d(1), DnsRecord::Cname(d(0)));
+        assert_eq!(
+            Resolver::new(&zone).resolve(d(0)),
+            Err(ResolveError::CnameLoop(d(0)))
+        );
+    }
+
+    #[test]
+    fn self_loop_is_detected() {
+        let mut zone = Zone::new();
+        zone.add(d(0), DnsRecord::Cname(d(0)));
+        assert_eq!(
+            Resolver::new(&zone).resolve(d(0)),
+            Err(ResolveError::CnameLoop(d(0)))
+        );
+    }
+
+    #[test]
+    fn dangling_cname_is_nxdomain() {
+        let mut zone = Zone::new();
+        zone.add(d(0), DnsRecord::Cname(d(1)));
+        assert_eq!(
+            Resolver::new(&zone).resolve(d(0)),
+            Err(ResolveError::NxDomain(d(1)))
+        );
+        assert_eq!(
+            Resolver::new(&zone).resolve(d(9)),
+            Err(ResolveError::NxDomain(d(9)))
+        );
+    }
+
+    #[test]
+    fn addresses_are_sorted_and_deduplicated() {
+        let mut zone = Zone::new();
+        zone.add(d(0), DnsRecord::A(5));
+        zone.add(d(0), DnsRecord::A(3));
+        zone.add(d(0), DnsRecord::A(5));
+        let r = Resolver::new(&zone).resolve(d(0)).unwrap();
+        assert_eq!(r.v4, vec![3, 5]);
+    }
+
+    #[test]
+    fn cname_takes_precedence_over_mixed_records() {
+        let mut zone = Zone::new();
+        zone.add(d(0), DnsRecord::A(1));
+        zone.add(d(0), DnsRecord::Cname(d(1)));
+        zone.add(d(1), DnsRecord::A(2));
+        let r = Resolver::new(&zone).resolve(d(0)).unwrap();
+        assert_eq!(r.final_name, d(1));
+        assert_eq!(r.v4, vec![2]);
+    }
+
+    #[test]
+    fn long_chain_within_limit_ok() {
+        let mut zone = Zone::new();
+        for i in 0..MAX_CNAME_CHAIN as u32 {
+            zone.add(d(i), DnsRecord::Cname(d(i + 1)));
+        }
+        zone.add(d(MAX_CNAME_CHAIN as u32), DnsRecord::A(1));
+        let r = Resolver::new(&zone).resolve(d(0)).unwrap();
+        assert_eq!(r.chain_len, MAX_CNAME_CHAIN);
+    }
+}

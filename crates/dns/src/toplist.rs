@@ -1,0 +1,136 @@
+//! Domain source lists and their availability windows.
+//!
+//! The OpenINTEL collection aggregates several toplists whose composition
+//! changed during the paper's 2020-09 … 2024-09 window; those events shape
+//! the totals of Fig. 1 and are called out in §2.1 and §4.3:
+//!
+//! * Tranco added September 2022;
+//! * Cloudflare Radar added October 2022;
+//! * the `.fr` open ccTLD zone (≈6.35 M names) added August 2022;
+//! * the Alexa top 1M removed May 2023.
+
+use sibling_net_types::MonthDate;
+
+/// A domain source list in the OpenINTEL-style collection.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Toplist {
+    /// Alexa top 1M (removed May 2023).
+    AlexaTop1M,
+    /// Cisco Umbrella top 1M (present throughout).
+    CiscoUmbrella,
+    /// Tranco (added September 2022).
+    Tranco,
+    /// Cloudflare Radar (added October 2022).
+    CloudflareRadar,
+    /// An open ccTLD zone, identified by its TLD label (e.g. `"fr"`, added
+    /// August 2022; `"se"`, `"nl"` etc. present throughout).
+    OpenCcTld(String),
+}
+
+impl Toplist {
+    /// The canonical set of lists the collection may contain, mirroring
+    /// the paper's enumeration (with `.se`/`.nl` as long-standing open
+    /// ccTLDs and `.fr` as the 2022 addition).
+    pub fn canonical() -> Vec<Toplist> {
+        vec![
+            Toplist::AlexaTop1M,
+            Toplist::CiscoUmbrella,
+            Toplist::Tranco,
+            Toplist::CloudflareRadar,
+            Toplist::OpenCcTld("se".into()),
+            Toplist::OpenCcTld("nl".into()),
+            Toplist::OpenCcTld("fr".into()),
+        ]
+    }
+
+    /// The first month the list is part of the collection (`None` = from
+    /// the beginning of time).
+    pub fn added(&self) -> Option<MonthDate> {
+        match self {
+            Toplist::Tranco => Some(MonthDate::new(2022, 9)),
+            Toplist::CloudflareRadar => Some(MonthDate::new(2022, 10)),
+            Toplist::OpenCcTld(tld) if tld == "fr" => Some(MonthDate::new(2022, 8)),
+            _ => None,
+        }
+    }
+
+    /// The first month the list is *no longer* part of the collection
+    /// (`None` = never removed).
+    pub fn removed(&self) -> Option<MonthDate> {
+        match self {
+            Toplist::AlexaTop1M => Some(MonthDate::new(2023, 5)),
+            _ => None,
+        }
+    }
+
+    /// Whether the list contributes domains at `date`.
+    pub fn active_at(&self, date: MonthDate) -> bool {
+        if let Some(added) = self.added() {
+            if date < added {
+                return false;
+            }
+        }
+        if let Some(removed) = self.removed() {
+            if date >= removed {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A stable display label.
+    pub fn label(&self) -> String {
+        match self {
+            Toplist::AlexaTop1M => "Alexa top 1M".into(),
+            Toplist::CiscoUmbrella => "Cisco Umbrella".into(),
+            Toplist::Tranco => "Tranco".into(),
+            Toplist::CloudflareRadar => "Cloudflare Radar".into(),
+            Toplist::OpenCcTld(tld) => format!("Open ccTLD .{tld}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexa_window() {
+        let l = Toplist::AlexaTop1M;
+        assert!(l.active_at(MonthDate::new(2020, 9)));
+        assert!(l.active_at(MonthDate::new(2023, 4)));
+        assert!(!l.active_at(MonthDate::new(2023, 5)));
+        assert!(!l.active_at(MonthDate::new(2024, 9)));
+    }
+
+    #[test]
+    fn tranco_and_radar_windows() {
+        assert!(!Toplist::Tranco.active_at(MonthDate::new(2022, 8)));
+        assert!(Toplist::Tranco.active_at(MonthDate::new(2022, 9)));
+        assert!(!Toplist::CloudflareRadar.active_at(MonthDate::new(2022, 9)));
+        assert!(Toplist::CloudflareRadar.active_at(MonthDate::new(2022, 10)));
+    }
+
+    #[test]
+    fn fr_cctld_added_aug_2022() {
+        let fr = Toplist::OpenCcTld("fr".into());
+        assert!(!fr.active_at(MonthDate::new(2022, 7)));
+        assert!(fr.active_at(MonthDate::new(2022, 8)));
+        let se = Toplist::OpenCcTld("se".into());
+        assert!(se.active_at(MonthDate::new(2020, 9)));
+    }
+
+    #[test]
+    fn umbrella_always_active() {
+        let u = Toplist::CiscoUmbrella;
+        for m in MonthDate::new(2020, 9).range_to(MonthDate::new(2024, 9)) {
+            assert!(u.active_at(m));
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Toplist::OpenCcTld("fr".into()).label(), "Open ccTLD .fr");
+        assert_eq!(Toplist::Tranco.label(), "Tranco");
+    }
+}

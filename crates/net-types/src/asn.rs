@@ -1,0 +1,70 @@
+//! Autonomous system numbers.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// An autonomous system number (32-bit, per RFC 6793).
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// Whether this ASN is reserved for private use
+    /// (64512–65534 and 4200000000–4294967294, per RFC 6996).
+    pub fn is_private(&self) -> bool {
+        matches!(self.0, 64512..=65534 | 4_200_000_000..=4_294_967_294)
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl FromStr for Asn {
+    type Err = std::num::ParseIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s.strip_prefix("AS").unwrap_or(s);
+        digits.parse().map(Asn)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse() {
+        assert_eq!(Asn(15169).to_string(), "AS15169");
+        assert_eq!("AS15169".parse::<Asn>().unwrap(), Asn(15169));
+        assert_eq!("15169".parse::<Asn>().unwrap(), Asn(15169));
+        assert!("ASxyz".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn private_ranges() {
+        assert!(Asn(64512).is_private());
+        assert!(Asn(65534).is_private());
+        assert!(!Asn(65535).is_private());
+        assert!(Asn(4_200_000_000).is_private());
+        assert!(!Asn(15169).is_private());
+    }
+}

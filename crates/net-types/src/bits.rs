@@ -1,0 +1,219 @@
+//! Bit-container abstraction shared by IPv4 (`u32`) and IPv6 (`u128`)
+//! prefixes.
+//!
+//! Bit index 0 is the most significant bit, matching the conventional
+//! left-to-right reading of an address and the traversal order of the
+//! Patricia trie in `sibling-ptrie`.
+
+use core::fmt::Debug;
+use core::hash::Hash;
+
+/// An unsigned integer acting as the bit container of an address.
+///
+/// Implemented for `u32` (IPv4) and `u128` (IPv6). All operations treat bit
+/// index 0 as the most significant bit.
+pub trait Bits: Copy + Eq + Ord + Hash + Debug + Send + Sync + 'static {
+    /// Number of bits in the container (32 or 128).
+    const WIDTH: u8;
+    /// The all-zero value.
+    const ZERO: Self;
+
+    /// Returns the bit at `index` (0 = MSB). `index` must be `< WIDTH`.
+    fn bit(self, index: u8) -> bool;
+
+    /// Returns `self` with the bit at `index` set to `value`.
+    fn with_bit(self, index: u8, value: bool) -> Self;
+
+    /// A mask with the top `len` bits set (`len` in `0..=WIDTH`).
+    fn prefix_mask(len: u8) -> Self;
+
+    /// Bitwise AND.
+    fn and(self, other: Self) -> Self;
+
+    /// Bitwise OR.
+    fn or(self, other: Self) -> Self;
+
+    /// Number of leading bits in which `self` and `other` agree.
+    fn common_prefix_len(self, other: Self) -> u8;
+
+    /// Widening conversion used for display and cross-family arithmetic.
+    fn to_u128(self) -> u128;
+
+    /// Narrowing conversion; the value must fit.
+    fn from_u128(value: u128) -> Self;
+}
+
+impl Bits for u32 {
+    const WIDTH: u8 = 32;
+    const ZERO: Self = 0;
+
+    #[inline]
+    fn bit(self, index: u8) -> bool {
+        debug_assert!(index < 32);
+        (self >> (31 - index)) & 1 == 1
+    }
+
+    #[inline]
+    fn with_bit(self, index: u8, value: bool) -> Self {
+        debug_assert!(index < 32);
+        let mask = 1u32 << (31 - index);
+        if value {
+            self | mask
+        } else {
+            self & !mask
+        }
+    }
+
+    #[inline]
+    fn prefix_mask(len: u8) -> Self {
+        debug_assert!(len <= 32);
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    #[inline]
+    fn and(self, other: Self) -> Self {
+        self & other
+    }
+
+    #[inline]
+    fn or(self, other: Self) -> Self {
+        self | other
+    }
+
+    #[inline]
+    fn common_prefix_len(self, other: Self) -> u8 {
+        (self ^ other).leading_zeros().min(32) as u8
+    }
+
+    #[inline]
+    fn to_u128(self) -> u128 {
+        self as u128
+    }
+
+    #[inline]
+    fn from_u128(value: u128) -> Self {
+        value as u32
+    }
+}
+
+impl Bits for u128 {
+    const WIDTH: u8 = 128;
+    const ZERO: Self = 0;
+
+    #[inline]
+    fn bit(self, index: u8) -> bool {
+        debug_assert!(index < 128);
+        (self >> (127 - index)) & 1 == 1
+    }
+
+    #[inline]
+    fn with_bit(self, index: u8, value: bool) -> Self {
+        debug_assert!(index < 128);
+        let mask = 1u128 << (127 - index);
+        if value {
+            self | mask
+        } else {
+            self & !mask
+        }
+    }
+
+    #[inline]
+    fn prefix_mask(len: u8) -> Self {
+        debug_assert!(len <= 128);
+        if len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - len)
+        }
+    }
+
+    #[inline]
+    fn and(self, other: Self) -> Self {
+        self & other
+    }
+
+    #[inline]
+    fn or(self, other: Self) -> Self {
+        self | other
+    }
+
+    #[inline]
+    fn common_prefix_len(self, other: Self) -> u8 {
+        (self ^ other).leading_zeros().min(128) as u8
+    }
+
+    #[inline]
+    fn to_u128(self) -> u128 {
+        self
+    }
+
+    #[inline]
+    fn from_u128(value: u128) -> Self {
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_bit_indexing_is_msb_first() {
+        let v: u32 = 0x8000_0001;
+        assert!(v.bit(0));
+        assert!(!v.bit(1));
+        assert!(!v.bit(30));
+        assert!(v.bit(31));
+    }
+
+    #[test]
+    fn u32_with_bit_round_trips() {
+        let v: u32 = 0;
+        let v = v.with_bit(5, true);
+        assert!(v.bit(5));
+        let v = v.with_bit(5, false);
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn u32_prefix_mask_edges() {
+        assert_eq!(u32::prefix_mask(0), 0);
+        assert_eq!(u32::prefix_mask(32), u32::MAX);
+        assert_eq!(u32::prefix_mask(8), 0xFF00_0000);
+        assert_eq!(u32::prefix_mask(24), 0xFFFF_FF00);
+    }
+
+    #[test]
+    fn u32_common_prefix_len() {
+        assert_eq!(0xC0A8_0000u32.common_prefix_len(0xC0A8_FFFF), 16);
+        assert_eq!(0u32.common_prefix_len(0), 32);
+        assert_eq!(0u32.common_prefix_len(u32::MAX), 0);
+    }
+
+    #[test]
+    fn u128_bit_indexing_is_msb_first() {
+        let v: u128 = 1u128 << 127 | 1;
+        assert!(v.bit(0));
+        assert!(!v.bit(1));
+        assert!(v.bit(127));
+    }
+
+    #[test]
+    fn u128_prefix_mask_edges() {
+        assert_eq!(u128::prefix_mask(0), 0);
+        assert_eq!(u128::prefix_mask(128), u128::MAX);
+        assert_eq!(u128::prefix_mask(32), 0xFFFF_FFFFu128 << 96);
+    }
+
+    #[test]
+    fn u128_common_prefix_len() {
+        let a = 0x2001_0db8u128 << 96;
+        let b = (0x2001_0db8u128 << 96) | 1;
+        assert_eq!(a.common_prefix_len(b), 127);
+        assert_eq!(a.common_prefix_len(a), 128);
+    }
+}

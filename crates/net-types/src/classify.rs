@@ -1,0 +1,153 @@
+//! Address classification (§2.2 of the paper).
+//!
+//! The paper discards DS domains whose addresses are "private, invalid, or
+//! reserved" (< 0.01% of records). These helpers implement that filter over
+//! the IANA special-purpose registries for both families.
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Why an address was classified as non-routable, or `Routable`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddressClass {
+    /// Globally routable unicast.
+    Routable,
+    /// RFC 1918 / ULA private space.
+    Private,
+    /// Loopback.
+    Loopback,
+    /// Link-local.
+    LinkLocal,
+    /// Multicast.
+    Multicast,
+    /// Other reserved or special-purpose space (this-network, 240/4,
+    /// documentation, unspecified, …).
+    Reserved,
+}
+
+impl AddressClass {
+    /// Whether the class is acceptable for sibling-prefix analysis.
+    pub fn is_routable(&self) -> bool {
+        matches!(self, AddressClass::Routable)
+    }
+}
+
+/// Classifies an IPv4 address (given as its `u32` bits).
+pub fn classify_v4(addr: u32) -> AddressClass {
+    let ip = Ipv4Addr::from(addr);
+    let [a, b, ..] = ip.octets();
+    if ip.is_loopback() {
+        AddressClass::Loopback
+    } else if ip.is_private() || (a == 100 && (64..=127).contains(&b)) {
+        // RFC 1918 plus RFC 6598 shared address space (100.64/10).
+        AddressClass::Private
+    } else if ip.is_link_local() {
+        AddressClass::LinkLocal
+    } else if ip.is_multicast() {
+        AddressClass::Multicast
+    } else if a == 0
+        || a >= 240
+        || ip.is_documentation()
+        || ip.is_broadcast()
+        || (a == 192 && b == 0 && ip.octets()[2] == 0)
+    {
+        AddressClass::Reserved
+    } else {
+        AddressClass::Routable
+    }
+}
+
+/// Classifies an IPv6 address (given as its `u128` bits).
+pub fn classify_v6(addr: u128) -> AddressClass {
+    let ip = Ipv6Addr::from(addr);
+    let seg = ip.segments();
+    if ip.is_loopback() {
+        AddressClass::Loopback
+    } else if (seg[0] & 0xfe00) == 0xfc00 {
+        // fc00::/7 unique local addresses.
+        AddressClass::Private
+    } else if (seg[0] & 0xffc0) == 0xfe80 {
+        // fe80::/10 link-local.
+        AddressClass::LinkLocal
+    } else if (seg[0] & 0xff00) == 0xff00 {
+        // ff00::/8 multicast.
+        AddressClass::Multicast
+    } else if ip.is_unspecified()
+        || (seg[0] == 0x2001 && seg[1] == 0x0db8)
+        || (seg[0] & 0xe000) != 0x2000
+    {
+        // Unspecified, documentation (2001:db8::/32), or outside the
+        // currently allocated global unicast space (2000::/3).
+        AddressClass::Reserved
+    } else {
+        AddressClass::Routable
+    }
+}
+
+/// Convenience: is this IPv4 address globally routable?
+pub fn is_routable_v4(addr: u32) -> bool {
+    classify_v4(addr).is_routable()
+}
+
+/// Convenience: is this IPv6 address globally routable?
+pub fn is_routable_v6(addr: u128) -> bool {
+    classify_v6(addr).is_routable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v4(s: &str) -> u32 {
+        s.parse::<Ipv4Addr>().unwrap().into()
+    }
+
+    fn v6(s: &str) -> u128 {
+        s.parse::<Ipv6Addr>().unwrap().into()
+    }
+
+    #[test]
+    fn v4_private_and_shared_space() {
+        assert_eq!(classify_v4(v4("10.1.2.3")), AddressClass::Private);
+        assert_eq!(classify_v4(v4("172.16.0.1")), AddressClass::Private);
+        assert_eq!(classify_v4(v4("192.168.1.1")), AddressClass::Private);
+        assert_eq!(classify_v4(v4("100.64.0.1")), AddressClass::Private);
+        assert_eq!(classify_v4(v4("100.63.0.1")), AddressClass::Routable);
+    }
+
+    #[test]
+    fn v4_special_ranges() {
+        assert_eq!(classify_v4(v4("127.0.0.1")), AddressClass::Loopback);
+        assert_eq!(classify_v4(v4("169.254.1.1")), AddressClass::LinkLocal);
+        assert_eq!(classify_v4(v4("224.0.0.1")), AddressClass::Multicast);
+        assert_eq!(classify_v4(v4("240.0.0.1")), AddressClass::Reserved);
+        assert_eq!(classify_v4(v4("0.1.2.3")), AddressClass::Reserved);
+        assert_eq!(classify_v4(v4("255.255.255.255")), AddressClass::Reserved);
+        assert_eq!(classify_v4(v4("198.51.100.1")), AddressClass::Reserved);
+    }
+
+    #[test]
+    fn v4_routable() {
+        assert!(is_routable_v4(v4("8.8.8.8")));
+        assert!(is_routable_v4(v4("203.0.112.1")));
+        assert!(!is_routable_v4(v4("10.0.0.1")));
+    }
+
+    #[test]
+    fn v6_special_ranges() {
+        assert_eq!(classify_v6(v6("::1")), AddressClass::Loopback);
+        assert_eq!(classify_v6(v6("fe80::1")), AddressClass::LinkLocal);
+        assert_eq!(classify_v6(v6("fc00::1")), AddressClass::Private);
+        assert_eq!(classify_v6(v6("fd12::1")), AddressClass::Private);
+        assert_eq!(classify_v6(v6("ff02::1")), AddressClass::Multicast);
+        assert_eq!(classify_v6(v6("::")), AddressClass::Reserved);
+        assert_eq!(classify_v6(v6("2001:db8::1")), AddressClass::Reserved);
+    }
+
+    #[test]
+    fn v6_routable_global_unicast_only() {
+        assert!(is_routable_v6(v6("2001:4860:4860::8888")));
+        assert!(is_routable_v6(v6("2600::1")));
+        assert!(!is_routable_v6(v6("4000::1")));
+        assert!(!is_routable_v6(v6("fe80::1")));
+    }
+}

@@ -1,0 +1,143 @@
+//! Monthly snapshot dates.
+//!
+//! The paper collects one OpenINTEL snapshot per month (the second
+//! Wednesday) from September 2020 through September 2024 — 49 snapshots.
+//! [`MonthDate`] models exactly this granularity: a (year, month) pair with
+//! total ordering and month arithmetic. Finer-grained reference offsets
+//! ("Day −1", "Week −1") used in a few figures are represented at the
+//! analysis layer as labelled snapshot points.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// A calendar month, the unit of longitudinal analysis.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct MonthDate {
+    year: u16,
+    /// 1–12.
+    month: u8,
+}
+
+impl MonthDate {
+    /// Creates a month date; panics if `month` is not in `1..=12`.
+    pub fn new(year: u16, month: u8) -> Self {
+        assert!((1..=12).contains(&month), "month {month} out of range");
+        Self { year, month }
+    }
+
+    /// The year component.
+    pub fn year(&self) -> u16 {
+        self.year
+    }
+
+    /// The month component (1–12).
+    pub fn month(&self) -> u8 {
+        self.month
+    }
+
+    /// Months since year 0 (a convenient total index).
+    pub fn index(&self) -> i32 {
+        self.year as i32 * 12 + (self.month as i32 - 1)
+    }
+
+    /// The month `delta` months after (`delta < 0`: before) this one.
+    pub fn add_months(&self, delta: i32) -> Self {
+        let idx = self.index() + delta;
+        assert!(idx >= 0, "month arithmetic underflow");
+        Self {
+            year: (idx / 12) as u16,
+            month: (idx % 12 + 1) as u8,
+        }
+    }
+
+    /// Signed number of months from `other` to `self`.
+    pub fn months_since(&self, other: &MonthDate) -> i32 {
+        self.index() - other.index()
+    }
+
+    /// Inclusive range of months from `self` to `end`.
+    pub fn range_to(&self, end: MonthDate) -> Vec<MonthDate> {
+        let mut out = Vec::new();
+        let mut cur = *self;
+        while cur <= end {
+            out.push(cur);
+            cur = cur.add_months(1);
+        }
+        out
+    }
+}
+
+impl fmt::Display for MonthDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}", self.year, self.month)
+    }
+}
+
+impl FromStr for MonthDate {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (y, m) = s
+            .split_once('-')
+            .ok_or_else(|| format!("malformed month date {s:?}"))?;
+        let year: u16 = y.parse().map_err(|_| format!("bad year in {s:?}"))?;
+        let month: u8 = m.parse().map_err(|_| format!("bad month in {s:?}"))?;
+        if !(1..=12).contains(&month) {
+            return Err(format!("month out of range in {s:?}"));
+        }
+        Ok(MonthDate { year, month })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let d = MonthDate::new(2024, 9);
+        assert_eq!(d.to_string(), "2024-09");
+        assert_eq!("2024-09".parse::<MonthDate>().unwrap(), d);
+        assert!("2024".parse::<MonthDate>().is_err());
+        assert!("2024-13".parse::<MonthDate>().is_err());
+    }
+
+    #[test]
+    fn month_arithmetic_wraps_years() {
+        let d = MonthDate::new(2020, 9);
+        assert_eq!(d.add_months(4), MonthDate::new(2021, 1));
+        assert_eq!(d.add_months(-9), MonthDate::new(2019, 12));
+        assert_eq!(d.add_months(48), MonthDate::new(2024, 9));
+    }
+
+    #[test]
+    fn paper_window_has_49_snapshots() {
+        let start = MonthDate::new(2020, 9);
+        let end = MonthDate::new(2024, 9);
+        assert_eq!(start.range_to(end).len(), 49);
+        assert_eq!(end.months_since(&start), 48);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(MonthDate::new(2020, 12) < MonthDate::new(2021, 1));
+        assert!(MonthDate::new(2021, 1) < MonthDate::new(2021, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "month 13 out of range")]
+    fn new_rejects_bad_month() {
+        MonthDate::new(2024, 13);
+    }
+}

@@ -1,0 +1,45 @@
+//! Error types for prefix construction and parsing.
+
+use core::fmt;
+
+/// Errors produced when constructing or parsing a prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixError {
+    /// The prefix length exceeds the width of the address family
+    /// (32 for IPv4, 128 for IPv6).
+    LengthOutOfRange {
+        /// The offending length.
+        len: u8,
+        /// The maximum allowed length for the family.
+        max: u8,
+    },
+    /// The textual form could not be parsed (missing `/`, bad address,
+    /// or bad length).
+    Malformed(String),
+}
+
+impl fmt::Display for PrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixError::LengthOutOfRange { len, max } => {
+                write!(f, "prefix length /{len} out of range (max /{max})")
+            }
+            PrefixError::Malformed(s) => write!(f, "malformed prefix {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PrefixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PrefixError::LengthOutOfRange { len: 33, max: 32 };
+        assert_eq!(e.to_string(), "prefix length /33 out of range (max /32)");
+        let e = PrefixError::Malformed("nope".into());
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Shared network primitives for the `sibling-prefixes` workspace.
+//!
+//! This crate provides the vocabulary types every other crate builds on:
+//!
+//! * [`Prefix<B>`] — a CIDR prefix generic over its bit container, with the
+//!   concrete aliases [`Ipv4Prefix`] (`u32` bits) and [`Ipv6Prefix`]
+//!   (`u128` bits);
+//! * [`AnyPrefix`] — an address-family-erased prefix, used where IPv4 and
+//!   IPv6 prefixes travel together (RPKI ROAs, sibling pairs);
+//! * [`Asn`] — an autonomous system number;
+//! * [`MonthDate`] — the monthly snapshot date used throughout the paper's
+//!   longitudinal analyses (September 2020 … September 2024);
+//! * address classification helpers mirroring §2.2 of the paper, which
+//!   discards private, reserved, and otherwise invalid addresses.
+//!
+//! The types are deliberately plain data: `Copy` where possible, totally
+//! ordered, hashable, and with stable `Display`/`FromStr` round-trips, so
+//! that higher layers can use them as map keys and in deterministic sorted
+//! iteration (a workspace-wide requirement for reproducible experiments).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asn;
+mod bits;
+mod classify;
+mod date;
+mod error;
+mod prefix;
+
+pub use asn::Asn;
+pub use bits::Bits;
+pub use classify::{is_routable_v4, is_routable_v6, AddressClass};
+pub use date::MonthDate;
+pub use error::PrefixError;
+pub use prefix::{AnyPrefix, IpFamily, Ipv4Prefix, Ipv6Prefix, Prefix};

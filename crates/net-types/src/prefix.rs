@@ -1,0 +1,563 @@
+//! CIDR prefix types.
+//!
+//! A [`Prefix`] is stored in canonical form: all bits below the prefix
+//! length are zero. This makes equality, ordering, and hashing coincide
+//! with the intuitive notion of "the same prefix", and lets prefixes serve
+//! as deterministic map keys across the workspace.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::str::FromStr;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::bits::Bits;
+use crate::error::PrefixError;
+
+/// The IP address family of a prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum IpFamily {
+    /// IPv4 (32-bit addresses).
+    V4,
+    /// IPv6 (128-bit addresses).
+    V6,
+}
+
+impl fmt::Display for IpFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpFamily::V4 => write!(f, "IPv4"),
+            IpFamily::V6 => write!(f, "IPv6"),
+        }
+    }
+}
+
+/// A CIDR prefix over a bit container `B` (`u32` for IPv4, `u128` for IPv6).
+///
+/// Invariant: `bits` is masked to `len` bits (host bits are zero).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prefix<B: Bits> {
+    bits: B,
+    len: u8,
+}
+
+/// An IPv4 prefix, e.g. `192.0.2.0/24`.
+pub type Ipv4Prefix = Prefix<u32>;
+
+/// An IPv6 prefix, e.g. `2001:db8::/32`.
+pub type Ipv6Prefix = Prefix<u128>;
+
+impl<B: Bits> Prefix<B> {
+    /// Creates a prefix, masking `bits` to `len` bits.
+    ///
+    /// Returns an error if `len` exceeds the family width.
+    pub fn new(bits: B, len: u8) -> Result<Self, PrefixError> {
+        if len > B::WIDTH {
+            return Err(PrefixError::LengthOutOfRange { len, max: B::WIDTH });
+        }
+        Ok(Self {
+            bits: bits.and(B::prefix_mask(len)),
+            len,
+        })
+    }
+
+    /// The default (zero-length) prefix covering the whole address space.
+    pub fn default_route() -> Self {
+        Self {
+            bits: B::ZERO,
+            len: 0,
+        }
+    }
+
+    /// The canonical (masked) network bits.
+    #[inline]
+    pub fn bits(&self) -> B {
+        self.bits
+    }
+
+    /// The prefix length (number of significant leading bits).
+    #[inline]
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// `true` only for the zero-length default route.
+    #[inline]
+    pub fn is_default_route(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether this prefix covers (or equals) `other`.
+    ///
+    /// A prefix covers another iff it is no longer and they agree on the
+    /// covering prefix's bits.
+    #[inline]
+    pub fn covers(&self, other: &Self) -> bool {
+        self.len <= other.len && other.bits.and(B::prefix_mask(self.len)) == self.bits
+    }
+
+    /// Whether the address `addr` lies inside this prefix.
+    #[inline]
+    pub fn contains(&self, addr: B) -> bool {
+        addr.and(B::prefix_mask(self.len)) == self.bits
+    }
+
+    /// The immediate covering prefix (one bit shorter), or `None` for the
+    /// default route.
+    pub fn supernet(&self) -> Option<Self> {
+        if self.len == 0 {
+            None
+        } else {
+            let len = self.len - 1;
+            Some(Self {
+                bits: self.bits.and(B::prefix_mask(len)),
+                len,
+            })
+        }
+    }
+
+    /// The covering prefix truncated to `len` bits; `None` if `len` is
+    /// longer than this prefix.
+    pub fn truncate(&self, len: u8) -> Option<Self> {
+        if len > self.len {
+            None
+        } else {
+            Some(Self {
+                bits: self.bits.and(B::prefix_mask(len)),
+                len,
+            })
+        }
+    }
+
+    /// The two immediate sub-prefixes (one bit longer), or `None` for a
+    /// host route (maximum length).
+    pub fn children(&self) -> Option<(Self, Self)> {
+        if self.len >= B::WIDTH {
+            None
+        } else {
+            let len = self.len + 1;
+            let zero = Self {
+                bits: self.bits,
+                len,
+            };
+            let one = Self {
+                bits: self.bits.with_bit(self.len, true),
+                len,
+            };
+            Some((zero, one))
+        }
+    }
+
+    /// The shortest prefix covering both inputs.
+    pub fn common_ancestor(a: &Self, b: &Self) -> Self {
+        let common = a.bits.common_prefix_len(b.bits);
+        let len = common.min(a.len).min(b.len);
+        Self {
+            bits: a.bits.and(B::prefix_mask(len)),
+            len,
+        }
+    }
+
+    /// Enumerates the sub-prefixes of this prefix at `new_len`, capped at
+    /// `cap` entries (IPv6 fan-out can be astronomically large).
+    ///
+    /// Returns an empty vector when `new_len < self.len` or
+    /// `new_len > WIDTH`.
+    pub fn subnets(&self, new_len: u8, cap: usize) -> Vec<Self> {
+        if new_len < self.len || new_len > B::WIDTH {
+            return Vec::new();
+        }
+        let extra = (new_len - self.len) as u32;
+        let count = if extra >= usize::BITS {
+            usize::MAX
+        } else {
+            1usize << extra
+        };
+        let count = count.min(cap);
+        let mut out = Vec::with_capacity(count);
+        let base = self.bits.to_u128();
+        let shift = (B::WIDTH - new_len) as u32;
+        for i in 0..count as u128 {
+            let bits = base | (i << shift);
+            out.push(Self {
+                bits: B::from_u128(bits),
+                len: new_len,
+            });
+        }
+        out
+    }
+}
+
+impl Ipv4Prefix {
+    /// Parses from dotted-quad CIDR notation, e.g. `"198.51.100.0/24"`.
+    pub fn from_cidr(s: &str) -> Result<Self, PrefixError> {
+        s.parse()
+    }
+
+    /// The first address of the prefix as a `std::net` address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.bits())
+    }
+}
+
+impl Ipv6Prefix {
+    /// Parses from CIDR notation, e.g. `"2001:db8::/32"`.
+    pub fn from_cidr(s: &str) -> Result<Self, PrefixError> {
+        s.parse()
+    }
+
+    /// The first address of the prefix as a `std::net` address.
+    pub fn network(&self) -> Ipv6Addr {
+        Ipv6Addr::from(self.bits())
+    }
+}
+
+/// Ordering: lexicographic on (bits, len), i.e. address-space order with
+/// shorter (covering) prefixes first among equal network bits.
+impl<B: Bits> Ord for Prefix<B> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bits
+            .cmp(&other.bits)
+            .then_with(|| self.len.cmp(&other.len))
+    }
+}
+
+impl<B: Bits> PartialOrd for Prefix<B> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", Ipv4Addr::from(self.bits()), self.len())
+    }
+}
+
+impl fmt::Display for Ipv6Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", Ipv6Addr::from(self.bits()), self.len())
+    }
+}
+
+impl fmt::Debug for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ipv4Prefix({self})")
+    }
+}
+
+impl fmt::Debug for Ipv6Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ipv6Prefix({self})")
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = PrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = split_cidr(s)?;
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| PrefixError::Malformed(s.to_string()))?;
+        Prefix::new(u32::from(addr), len)
+    }
+}
+
+impl FromStr for Ipv6Prefix {
+    type Err = PrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = split_cidr(s)?;
+        let addr: Ipv6Addr = addr
+            .parse()
+            .map_err(|_| PrefixError::Malformed(s.to_string()))?;
+        Prefix::new(u128::from(addr), len)
+    }
+}
+
+fn split_cidr(s: &str) -> Result<(&str, u8), PrefixError> {
+    let (addr, len) = s
+        .split_once('/')
+        .ok_or_else(|| PrefixError::Malformed(s.to_string()))?;
+    let len: u8 = len
+        .parse()
+        .map_err(|_| PrefixError::Malformed(s.to_string()))?;
+    Ok((addr, len))
+}
+
+impl serde::Serialize for Ipv4Prefix {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_str(self)
+    }
+}
+
+impl serde::Serialize for Ipv6Prefix {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_str(self)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Ipv4Prefix {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Ipv6Prefix {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+/// A prefix of either address family.
+///
+/// Used where IPv4 and IPv6 prefixes must share a collection, e.g. RPKI
+/// ROA tables and published sibling-prefix lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AnyPrefix {
+    /// An IPv4 prefix.
+    V4(Ipv4Prefix),
+    /// An IPv6 prefix.
+    V6(Ipv6Prefix),
+}
+
+impl AnyPrefix {
+    /// The address family of the wrapped prefix.
+    pub fn family(&self) -> IpFamily {
+        match self {
+            AnyPrefix::V4(_) => IpFamily::V4,
+            AnyPrefix::V6(_) => IpFamily::V6,
+        }
+    }
+
+    /// The prefix length.
+    pub fn len(&self) -> u8 {
+        match self {
+            AnyPrefix::V4(p) => p.len(),
+            AnyPrefix::V6(p) => p.len(),
+        }
+    }
+
+    /// `true` only for a zero-length default route.
+    pub fn is_default_route(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this prefix covers `other` (always `false` across families).
+    pub fn covers(&self, other: &AnyPrefix) -> bool {
+        match (self, other) {
+            (AnyPrefix::V4(a), AnyPrefix::V4(b)) => a.covers(b),
+            (AnyPrefix::V6(a), AnyPrefix::V6(b)) => a.covers(b),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for AnyPrefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnyPrefix::V4(p) => write!(f, "{p}"),
+            AnyPrefix::V6(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl From<Ipv4Prefix> for AnyPrefix {
+    fn from(p: Ipv4Prefix) -> Self {
+        AnyPrefix::V4(p)
+    }
+}
+
+impl From<Ipv6Prefix> for AnyPrefix {
+    fn from(p: Ipv6Prefix) -> Self {
+        AnyPrefix::V6(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_masks_host_bits() {
+        let p = Ipv4Prefix::new(0xC0A8_01FF, 24).unwrap();
+        assert_eq!(p.bits(), 0xC0A8_0100);
+        assert_eq!(p.to_string(), "192.168.1.0/24");
+    }
+
+    #[test]
+    fn new_rejects_overlong() {
+        assert!(Ipv4Prefix::new(0, 33).is_err());
+        assert!(Ipv6Prefix::new(0, 129).is_err());
+        assert!(Ipv4Prefix::new(0, 32).is_ok());
+        assert!(Ipv6Prefix::new(0, 128).is_ok());
+    }
+
+    #[test]
+    fn parse_display_round_trip_v4() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "198.51.100.0/24", "203.0.113.7/32"] {
+            let p: Ipv4Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_display_round_trip_v6() {
+        for s in ["::/0", "2001:db8::/32", "2001:db8:1:2::/64", "::1/128"] {
+            let p: Ipv6Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("10.0.0.0".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/ab".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+        assert!("zz::/12".parse::<Ipv6Prefix>().is_err());
+    }
+
+    #[test]
+    fn covers_is_reflexive_and_respects_length() {
+        let p16: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+        let p24: Ipv4Prefix = "10.1.2.0/24".parse().unwrap();
+        let other: Ipv4Prefix = "10.2.0.0/16".parse().unwrap();
+        assert!(p16.covers(&p16));
+        assert!(p16.covers(&p24));
+        assert!(!p24.covers(&p16));
+        assert!(!other.covers(&p24));
+    }
+
+    #[test]
+    fn contains_address() {
+        let p: Ipv4Prefix = "198.51.100.0/24".parse().unwrap();
+        assert!(p.contains(u32::from(Ipv4Addr::new(198, 51, 100, 200))));
+        assert!(!p.contains(u32::from(Ipv4Addr::new(198, 51, 101, 1))));
+    }
+
+    #[test]
+    fn supernet_and_children_are_inverse() {
+        let p: Ipv4Prefix = "10.1.2.0/24".parse().unwrap();
+        let (zero, one) = p.children().unwrap();
+        assert_eq!(zero.supernet().unwrap(), p);
+        assert_eq!(one.supernet().unwrap(), p);
+        assert_eq!(zero.to_string(), "10.1.2.0/25");
+        assert_eq!(one.to_string(), "10.1.2.128/25");
+    }
+
+    #[test]
+    fn default_route_has_no_supernet_and_host_no_children() {
+        assert!(Ipv4Prefix::default_route().supernet().is_none());
+        let host: Ipv4Prefix = "1.2.3.4/32".parse().unwrap();
+        assert!(host.children().is_none());
+    }
+
+    #[test]
+    fn truncate_produces_covering_prefix() {
+        let p: Ipv4Prefix = "10.1.2.0/24".parse().unwrap();
+        assert_eq!(p.truncate(16).unwrap().to_string(), "10.1.0.0/16");
+        assert_eq!(p.truncate(24).unwrap(), p);
+        assert!(p.truncate(25).is_none());
+    }
+
+    #[test]
+    fn common_ancestor_examples() {
+        let a: Ipv4Prefix = "10.1.2.0/24".parse().unwrap();
+        let b: Ipv4Prefix = "10.1.3.0/24".parse().unwrap();
+        assert_eq!(Ipv4Prefix::common_ancestor(&a, &b).to_string(), "10.1.2.0/23");
+        let c: Ipv4Prefix = "192.0.0.0/8".parse().unwrap();
+        assert_eq!(Ipv4Prefix::common_ancestor(&a, &c).to_string(), "0.0.0.0/0");
+    }
+
+    #[test]
+    fn subnets_enumeration_and_cap() {
+        let p: Ipv4Prefix = "10.0.0.0/22".parse().unwrap();
+        let subs = p.subnets(24, 100);
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[0].to_string(), "10.0.0.0/24");
+        assert_eq!(subs[3].to_string(), "10.0.3.0/24");
+        assert_eq!(p.subnets(24, 2).len(), 2);
+        assert!(p.subnets(20, 100).is_empty());
+        let v6: Ipv6Prefix = "2001:db8::/32".parse().unwrap();
+        assert_eq!(v6.subnets(64, 8).len(), 8);
+    }
+
+    #[test]
+    fn any_prefix_cross_family_never_covers() {
+        let v4: AnyPrefix = "10.0.0.0/8".parse::<Ipv4Prefix>().unwrap().into();
+        let v6: AnyPrefix = "2001:db8::/32".parse::<Ipv6Prefix>().unwrap().into();
+        assert!(!v4.covers(&v6));
+        assert!(!v6.covers(&v4));
+        assert_eq!(v4.family(), IpFamily::V4);
+        assert_eq!(v6.family(), IpFamily::V6);
+    }
+
+    #[test]
+    fn ordering_groups_by_network_bits() {
+        let a: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let b: Ipv4Prefix = "10.0.0.0/16".parse().unwrap();
+        let c: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_v4_round_trip(bits in any::<u32>(), len in 0u8..=32) {
+            let p = Ipv4Prefix::new(bits, len).unwrap();
+            let back: Ipv4Prefix = p.to_string().parse().unwrap();
+            prop_assert_eq!(p, back);
+        }
+
+        #[test]
+        fn prop_v6_round_trip(bits in any::<u128>(), len in 0u8..=128) {
+            let p = Ipv6Prefix::new(bits, len).unwrap();
+            let back: Ipv6Prefix = p.to_string().parse().unwrap();
+            prop_assert_eq!(p, back);
+        }
+
+        #[test]
+        fn prop_supernet_covers(bits in any::<u32>(), len in 1u8..=32) {
+            let p = Ipv4Prefix::new(bits, len).unwrap();
+            let sup = p.supernet().unwrap();
+            prop_assert!(sup.covers(&p));
+            prop_assert_eq!(sup.len(), len - 1);
+        }
+
+        #[test]
+        fn prop_children_partition(bits in any::<u32>(), len in 0u8..32, addr in any::<u32>()) {
+            let p = Ipv4Prefix::new(bits, len).unwrap();
+            let (zero, one) = p.children().unwrap();
+            if p.contains(addr) {
+                prop_assert!(zero.contains(addr) ^ one.contains(addr));
+            } else {
+                prop_assert!(!zero.contains(addr) && !one.contains(addr));
+            }
+        }
+
+        #[test]
+        fn prop_covers_transitive(bits in any::<u32>(), l1 in 0u8..=32, l2 in 0u8..=32, l3 in 0u8..=32) {
+            let mut ls = [l1, l2, l3];
+            ls.sort_unstable();
+            let a = Ipv4Prefix::new(bits, ls[0]).unwrap();
+            let b = Ipv4Prefix::new(bits, ls[1]).unwrap();
+            let c = Ipv4Prefix::new(bits, ls[2]).unwrap();
+            prop_assert!(a.covers(&b));
+            prop_assert!(b.covers(&c));
+            prop_assert!(a.covers(&c));
+        }
+
+        #[test]
+        fn prop_common_ancestor_covers_both(a_bits in any::<u32>(), a_len in 0u8..=32,
+                                            b_bits in any::<u32>(), b_len in 0u8..=32) {
+            let a = Ipv4Prefix::new(a_bits, a_len).unwrap();
+            let b = Ipv4Prefix::new(b_bits, b_len).unwrap();
+            let anc = Ipv4Prefix::common_ancestor(&a, &b);
+            prop_assert!(anc.covers(&a));
+            prop_assert!(anc.covers(&b));
+        }
+    }
+}

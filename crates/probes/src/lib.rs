@@ -1,0 +1,266 @@
+//! Ground-truth probe populations and the coverage evaluator (§3.5).
+//!
+//! The paper validates its sibling prefixes against two real-world
+//! dual-stack deployments:
+//!
+//! * **RIPE Atlas**: of 5174 dual-stack probes, 42.5% have both addresses
+//!   covered by sibling prefixes, 32.1% are partially covered, and 25.3%
+//!   are not covered; of the fully covered probes, 89.36% fall into a
+//!   best-match sibling pair.
+//! * **IPinfo VPSes**: 260 dual-stack virtual private servers across
+//!   providers; 53 land in best-match siblings vs. 13 mismatches.
+//!
+//! [`CoverageEvaluator`] reproduces the evaluation: given the sibling pair
+//! list, it classifies any set of [`DualStackEndpoint`]s into
+//! covered / partially covered / uncovered, and splits the covered ones by
+//! whether their (v4 prefix, v6 prefix) combination is itself a sibling
+//! pair.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+
+use sibling_net_types::{Ipv4Prefix, Ipv6Prefix};
+use sibling_ptrie::PatriciaTrie;
+
+/// A dual-stack vantage point: one public IPv4 and one public IPv6 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DualStackEndpoint {
+    /// A stable identifier (probe id / VPS id).
+    pub id: u32,
+    /// The public IPv4 address.
+    pub v4: u32,
+    /// The public IPv6 address.
+    pub v6: u128,
+}
+
+/// How a probe relates to the sibling-prefix dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CoverageClass {
+    /// Both addresses fall inside sibling prefixes, and the specific
+    /// (v4, v6) prefix combination is a best-match sibling pair.
+    CoveredBestMatch,
+    /// Both addresses fall inside sibling prefixes, but the combination is
+    /// not itself a sibling pair.
+    CoveredMismatch,
+    /// Exactly one address falls inside a sibling prefix.
+    Partial,
+    /// Neither address is covered.
+    Uncovered,
+}
+
+/// Aggregate §3.5 ground-truth statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// Fully covered and in a best-match pair (RIPE Atlas: 1966).
+    pub covered_best_match: usize,
+    /// Fully covered but not a best-match pair (RIPE Atlas: 234).
+    pub covered_mismatch: usize,
+    /// Partially covered (RIPE Atlas: 1663).
+    pub partial: usize,
+    /// Not covered (RIPE Atlas: 1310).
+    pub uncovered: usize,
+}
+
+impl CoverageReport {
+    /// Total endpoints evaluated.
+    pub fn total(&self) -> usize {
+        self.covered_best_match + self.covered_mismatch + self.partial + self.uncovered
+    }
+
+    /// Fully covered endpoints (both families).
+    pub fn covered(&self) -> usize {
+        self.covered_best_match + self.covered_mismatch
+    }
+
+    /// Share of fully covered endpoints.
+    pub fn covered_share(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.covered() as f64 / self.total() as f64
+        }
+    }
+
+    /// Share of covered endpoints that land in a best-match pair
+    /// (the paper's 89.36% headline).
+    pub fn best_match_share(&self) -> f64 {
+        if self.covered() == 0 {
+            0.0
+        } else {
+            self.covered_best_match as f64 / self.covered() as f64
+        }
+    }
+}
+
+/// Classifies endpoints against a sibling pair list.
+pub struct CoverageEvaluator {
+    v4_trie: PatriciaTrie<u32, ()>,
+    v6_trie: PatriciaTrie<u128, ()>,
+    pairs: BTreeSet<(Ipv4Prefix, Ipv6Prefix)>,
+}
+
+impl CoverageEvaluator {
+    /// Builds an evaluator from the best-match sibling pairs.
+    pub fn new(pairs: &[(Ipv4Prefix, Ipv6Prefix)]) -> Self {
+        let mut v4_trie = PatriciaTrie::new();
+        let mut v6_trie = PatriciaTrie::new();
+        let mut pair_set = BTreeSet::new();
+        for (p4, p6) in pairs {
+            v4_trie.insert(*p4, ());
+            v6_trie.insert(*p6, ());
+            pair_set.insert((*p4, *p6));
+        }
+        Self {
+            v4_trie,
+            v6_trie,
+            pairs: pair_set,
+        }
+    }
+
+    /// Classifies a single endpoint.
+    ///
+    /// An address is "covered" if any sibling prefix contains it; the
+    /// most specific containing sibling prefix is used for the pair check,
+    /// matching how addresses map to prefixes in the pipeline.
+    pub fn classify(&self, ep: &DualStackEndpoint) -> CoverageClass {
+        let m4 = self.v4_trie.longest_match(ep.v4).map(|(p, _)| p);
+        let m6 = self.v6_trie.longest_match(ep.v6).map(|(p, _)| p);
+        match (m4, m6) {
+            (Some(p4), Some(p6)) => {
+                if self.pairs.contains(&(p4, p6)) {
+                    CoverageClass::CoveredBestMatch
+                } else {
+                    CoverageClass::CoveredMismatch
+                }
+            }
+            (Some(_), None) | (None, Some(_)) => CoverageClass::Partial,
+            (None, None) => CoverageClass::Uncovered,
+        }
+    }
+
+    /// Classifies a population and aggregates the report.
+    pub fn evaluate(&self, endpoints: &[DualStackEndpoint]) -> CoverageReport {
+        let mut report = CoverageReport::default();
+        for ep in endpoints {
+            match self.classify(ep) {
+                CoverageClass::CoveredBestMatch => report.covered_best_match += 1,
+                CoverageClass::CoveredMismatch => report.covered_mismatch += 1,
+                CoverageClass::Partial => report.partial += 1,
+                CoverageClass::Uncovered => report.uncovered += 1,
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{Ipv4Addr, Ipv6Addr};
+
+    fn p4(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn p6(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a4(s: &str) -> u32 {
+        s.parse::<Ipv4Addr>().unwrap().into()
+    }
+
+    fn a6(s: &str) -> u128 {
+        s.parse::<Ipv6Addr>().unwrap().into()
+    }
+
+    fn evaluator() -> CoverageEvaluator {
+        CoverageEvaluator::new(&[
+            (p4("192.0.2.0/24"), p6("2001:db8:1::/48")),
+            (p4("198.51.100.0/24"), p6("2001:db8:2::/48")),
+        ])
+    }
+
+    #[test]
+    fn best_match_classification() {
+        let ev = evaluator();
+        let ep = DualStackEndpoint {
+            id: 1,
+            v4: a4("192.0.2.10"),
+            v6: a6("2001:db8:1::10"),
+        };
+        assert_eq!(ev.classify(&ep), CoverageClass::CoveredBestMatch);
+    }
+
+    #[test]
+    fn covered_but_mismatched_pair() {
+        let ev = evaluator();
+        let ep = DualStackEndpoint {
+            id: 2,
+            v4: a4("192.0.2.10"),
+            v6: a6("2001:db8:2::10"),
+        };
+        assert_eq!(ev.classify(&ep), CoverageClass::CoveredMismatch);
+    }
+
+    #[test]
+    fn partial_and_uncovered() {
+        let ev = evaluator();
+        let partial = DualStackEndpoint {
+            id: 3,
+            v4: a4("192.0.2.10"),
+            v6: a6("2a00::1"),
+        };
+        assert_eq!(ev.classify(&partial), CoverageClass::Partial);
+        let none = DualStackEndpoint {
+            id: 4,
+            v4: a4("8.8.8.8"),
+            v6: a6("2a00::1"),
+        };
+        assert_eq!(ev.classify(&none), CoverageClass::Uncovered);
+    }
+
+    #[test]
+    fn report_aggregation_and_shares() {
+        let ev = evaluator();
+        let eps = vec![
+            DualStackEndpoint { id: 1, v4: a4("192.0.2.10"), v6: a6("2001:db8:1::10") },
+            DualStackEndpoint { id: 2, v4: a4("192.0.2.11"), v6: a6("2001:db8:2::10") },
+            DualStackEndpoint { id: 3, v4: a4("192.0.2.12"), v6: a6("2a00::1") },
+            DualStackEndpoint { id: 4, v4: a4("8.8.8.8"), v6: a6("2a00::2") },
+        ];
+        let r = ev.evaluate(&eps);
+        assert_eq!(r.covered_best_match, 1);
+        assert_eq!(r.covered_mismatch, 1);
+        assert_eq!(r.partial, 1);
+        assert_eq!(r.uncovered, 1);
+        assert_eq!(r.total(), 4);
+        assert!((r.covered_share() - 0.5).abs() < 1e-12);
+        assert!((r.best_match_share() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_shares_are_zero() {
+        let r = CoverageReport::default();
+        assert_eq!(r.covered_share(), 0.0);
+        assert_eq!(r.best_match_share(), 0.0);
+    }
+
+    #[test]
+    fn most_specific_sibling_prefix_wins() {
+        // Overlapping sibling v4 prefixes: /24 inside /16.
+        let ev = CoverageEvaluator::new(&[
+            (p4("10.0.0.0/16"), p6("2001:db8:1::/48")),
+            (p4("10.0.1.0/24"), p6("2001:db8:2::/48")),
+        ]);
+        let ep = DualStackEndpoint {
+            id: 1,
+            v4: a4("10.0.1.5"),
+            v6: a6("2001:db8:2::5"),
+        };
+        // The /24 is the most specific container and pairs with db8:2.
+        assert_eq!(ev.classify(&ep), CoverageClass::CoveredBestMatch);
+    }
+}

@@ -1,0 +1,30 @@
+//! A path-compressed Patricia (radix) trie keyed by CIDR prefixes.
+//!
+//! This crate replaces the PyTricia library the paper uses to implement
+//! SP-Tuner (§3.3): "We implement the SP-Tuner algorithm with two PyTricia
+//! tree data structures for each IP version and their respective DS
+//! domains. PyTricia facilitates efficient storage and retrieval of IP
+//! addresses and their associated domains within a tree data structure."
+//!
+//! [`PatriciaTrie`] supports the operations the workspace needs:
+//!
+//! * exact insert / get / remove of prefix-keyed values;
+//! * longest-prefix match for addresses ([`PatriciaTrie::longest_match`])
+//!   — the Routeviews-style IP→prefix/AS lookup of §2.2;
+//! * covering-entry lookup for prefixes
+//!   ([`PatriciaTrie::longest_covering`]);
+//! * subtree enumeration ([`PatriciaTrie::covered`]) and non-empty-branch
+//!   queries ([`PatriciaTrie::branch_is_occupied`]) — the downward
+//!   traversal primitive of SP-Tuner-MS (Algorithm 1);
+//! * ordered iteration (address order, covering prefixes first), which
+//!   keeps every consumer deterministic.
+//!
+//! The trie is generic over the bit container `B` (`u32` or `u128`), so a
+//! single implementation serves both address families.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod trie;
+
+pub use trie::{Iter, PatriciaTrie};

@@ -1,0 +1,697 @@
+//! The trie implementation.
+
+use sibling_net_types::{Bits, Prefix};
+
+/// One node of the path-compressed trie.
+///
+/// Invariants:
+/// * every child's prefix strictly extends its parent's prefix;
+/// * a node either stores a value, is the root, or has two children
+///   (internal branch nodes with one child are spliced out on removal).
+struct Node<B: Bits, V> {
+    prefix: Prefix<B>,
+    value: Option<V>,
+    /// `children[0]`: next bit 0; `children[1]`: next bit 1.
+    children: [Option<Box<Node<B, V>>>; 2],
+}
+
+impl<B: Bits, V> Node<B, V> {
+    fn new(prefix: Prefix<B>, value: Option<V>) -> Self {
+        Self {
+            prefix,
+            value,
+            children: [None, None],
+        }
+    }
+
+    fn child_count(&self) -> usize {
+        self.children.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+/// A path-compressed Patricia trie mapping [`Prefix`] keys to values.
+///
+/// See the [crate docs](crate) for the role this plays in the paper
+/// reproduction.
+pub struct PatriciaTrie<B: Bits, V> {
+    root: Node<B, V>,
+    len: usize,
+}
+
+impl<B: Bits, V> Default for PatriciaTrie<B, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<B: Bits, V> PatriciaTrie<B, V> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        Self {
+            root: Node::new(Prefix::default_route(), None),
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.root = Node::new(Prefix::default_route(), None);
+        self.len = 0;
+    }
+
+    /// Inserts `value` at `prefix`, returning the previous value if any.
+    pub fn insert(&mut self, prefix: Prefix<B>, value: V) -> Option<V> {
+        let old = Self::insert_rec(&mut self.root, prefix, value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn insert_rec(node: &mut Node<B, V>, prefix: Prefix<B>, value: V) -> Option<V> {
+        debug_assert!(node.prefix.covers(&prefix));
+        if node.prefix == prefix {
+            return node.value.replace(value);
+        }
+        let dir = prefix.bits().bit(node.prefix.len()) as usize;
+        match &mut node.children[dir] {
+            slot @ None => {
+                *slot = Some(Box::new(Node::new(prefix, Some(value))));
+                None
+            }
+            Some(child) => {
+                if child.prefix.covers(&prefix) {
+                    return Self::insert_rec(child, prefix, value);
+                }
+                if prefix.covers(&child.prefix) {
+                    // The new prefix sits between `node` and `child`.
+                    let mut new_node = Box::new(Node::new(prefix, Some(value)));
+                    let old_child = node.children[dir].take().unwrap();
+                    let sub_dir = old_child.prefix.bits().bit(prefix.len()) as usize;
+                    new_node.children[sub_dir] = Some(old_child);
+                    node.children[dir] = Some(new_node);
+                    return None;
+                }
+                // Diverge: split at the common ancestor.
+                let fork = Prefix::common_ancestor(&child.prefix, &prefix);
+                debug_assert!(fork.len() > node.prefix.len());
+                let mut fork_node = Box::new(Node::new(fork, None));
+                let old_child = node.children[dir].take().unwrap();
+                let child_dir = old_child.prefix.bits().bit(fork.len()) as usize;
+                fork_node.children[child_dir] = Some(old_child);
+                fork_node.children[1 - child_dir] =
+                    Some(Box::new(Node::new(prefix, Some(value))));
+                node.children[dir] = Some(fork_node);
+                None
+            }
+        }
+    }
+
+    /// Looks up the exact entry for `prefix`.
+    pub fn get(&self, prefix: &Prefix<B>) -> Option<&V> {
+        self.find_node(prefix).and_then(|n| n.value.as_ref())
+    }
+
+    /// Mutable exact lookup.
+    pub fn get_mut(&mut self, prefix: &Prefix<B>) -> Option<&mut V> {
+        let mut node = &mut self.root;
+        loop {
+            if node.prefix == *prefix {
+                return node.value.as_mut();
+            }
+            if !node.prefix.covers(prefix) {
+                return None;
+            }
+            let dir = prefix.bits().bit(node.prefix.len()) as usize;
+            match &mut node.children[dir] {
+                Some(child) if child.prefix.covers(prefix) || prefix.covers(&child.prefix) => {
+                    node = child;
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Whether an exact entry for `prefix` exists.
+    pub fn contains(&self, prefix: &Prefix<B>) -> bool {
+        self.get(prefix).is_some()
+    }
+
+    fn find_node(&self, prefix: &Prefix<B>) -> Option<&Node<B, V>> {
+        let mut node = &self.root;
+        loop {
+            if node.prefix == *prefix {
+                return Some(node);
+            }
+            if !node.prefix.covers(prefix) {
+                return None;
+            }
+            let dir = prefix.bits().bit(node.prefix.len()) as usize;
+            match &node.children[dir] {
+                Some(child) if child.prefix.covers(prefix) => node = child,
+                _ => return None,
+            }
+        }
+    }
+
+    /// Removes the entry at `prefix`, returning its value.
+    ///
+    /// Internal branch nodes left with a single child are spliced out so
+    /// the structure stays path-compressed.
+    pub fn remove(&mut self, prefix: &Prefix<B>) -> Option<V> {
+        let out = Self::remove_rec(&mut self.root, prefix);
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    fn remove_rec(node: &mut Node<B, V>, prefix: &Prefix<B>) -> Option<V> {
+        if node.prefix == *prefix {
+            return node.value.take();
+        }
+        if !node.prefix.covers(prefix) {
+            return None;
+        }
+        let dir = prefix.bits().bit(node.prefix.len()) as usize;
+        let child = node.children[dir].as_mut()?;
+        if !(child.prefix.covers(prefix)) {
+            return None;
+        }
+        let out = Self::remove_rec(child, prefix);
+        if out.is_some() && child.value.is_none() {
+            match child.child_count() {
+                0 => {
+                    node.children[dir] = None;
+                }
+                1 => {
+                    let mut empty = node.children[dir].take().unwrap();
+                    let grandchild = empty
+                        .children
+                        .iter_mut()
+                        .find_map(|c| c.take())
+                        .expect("child_count() == 1");
+                    node.children[dir] = Some(grandchild);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Longest-prefix match for an address: the most specific stored entry
+    /// containing `addr`.
+    pub fn longest_match(&self, addr: B) -> Option<(Prefix<B>, &V)> {
+        let mut best: Option<(Prefix<B>, &V)> = None;
+        let mut node = &self.root;
+        loop {
+            if !node.prefix.contains(addr) {
+                return best;
+            }
+            if let Some(v) = &node.value {
+                best = Some((node.prefix, v));
+            }
+            if node.prefix.len() >= B::WIDTH {
+                return best;
+            }
+            let dir = addr.bit(node.prefix.len()) as usize;
+            match &node.children[dir] {
+                Some(child) => node = child,
+                None => return best,
+            }
+        }
+    }
+
+    /// The most specific stored entry covering `prefix` (including an exact
+    /// match). This is PyTricia's `get` semantics for prefixes.
+    pub fn longest_covering(&self, prefix: &Prefix<B>) -> Option<(Prefix<B>, &V)> {
+        let mut best: Option<(Prefix<B>, &V)> = None;
+        let mut node = &self.root;
+        loop {
+            if !node.prefix.covers(prefix) {
+                return best;
+            }
+            if let Some(v) = &node.value {
+                best = Some((node.prefix, v));
+            }
+            if node.prefix.len() >= prefix.len() {
+                return best;
+            }
+            let dir = prefix.bits().bit(node.prefix.len()) as usize;
+            match &node.children[dir] {
+                Some(child) => node = child,
+                None => return best,
+            }
+        }
+    }
+
+    /// Iterates over all stored entries whose prefix covers `prefix`
+    /// (including an exact match), from least to most specific.
+    ///
+    /// RPKI origin validation needs *all* covering ROAs, not just the most
+    /// specific one, because any covering ROA can validate a route.
+    pub fn covering<'a>(&'a self, prefix: &Prefix<B>) -> Vec<(Prefix<B>, &'a V)> {
+        let mut out = Vec::new();
+        let mut node = &self.root;
+        loop {
+            if !node.prefix.covers(prefix) {
+                return out;
+            }
+            if let Some(v) = &node.value {
+                out.push((node.prefix, v));
+            }
+            if node.prefix.len() >= prefix.len() {
+                return out;
+            }
+            let dir = prefix.bits().bit(node.prefix.len()) as usize;
+            match &node.children[dir] {
+                Some(child) => node = child,
+                None => return out,
+            }
+        }
+    }
+
+    /// The subtree root holding every stored prefix covered by `prefix`,
+    /// if any such entries exist.
+    fn find_subtree(&self, prefix: &Prefix<B>) -> Option<&Node<B, V>> {
+        let mut node = &self.root;
+        loop {
+            if prefix.covers(&node.prefix) {
+                // All keys below `node` extend `node.prefix` ⊇ `prefix`.
+                return Some(node);
+            }
+            if !node.prefix.covers(prefix) {
+                return None;
+            }
+            let dir = prefix.bits().bit(node.prefix.len()) as usize;
+            match &node.children[dir] {
+                Some(child) if child.prefix.covers(prefix) || prefix.covers(&child.prefix) => {
+                    node = child;
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Iterates over all stored entries covered by `prefix` (including an
+    /// exact match), in address order.
+    ///
+    /// This is the downward traversal primitive of SP-Tuner-MS: the caller
+    /// partitions the result by a more specific CIDR length.
+    pub fn covered<'a>(&'a self, prefix: &Prefix<B>) -> Iter<'a, B, V> {
+        // The subtree may start with a node whose prefix extends `prefix`;
+        // every value in it is covered, so no per-entry filtering needed.
+        let stack = match self.find_subtree(prefix) {
+            Some(node) => vec![node],
+            None => Vec::new(),
+        };
+        Iter { stack }
+    }
+
+    /// Whether any stored entry lies under `prefix` (including an exact
+    /// match). Used by SP-Tuner to decide which one-bit-longer branches
+    /// ("GetNextSubprefixes") are worth exploring.
+    pub fn branch_is_occupied(&self, prefix: &Prefix<B>) -> bool {
+        match self.find_subtree(prefix) {
+            Some(node) => {
+                // A subtree root either stores a value itself or, by the
+                // structural invariant, has descendants that do.
+                node.value.is_some() || node.child_count() > 0
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates over all entries in address order (covering prefixes before
+    /// their more-specifics).
+    pub fn iter(&self) -> Iter<'_, B, V> {
+        Iter {
+            stack: vec![&self.root],
+        }
+    }
+
+    /// Iterates over all stored prefixes in address order.
+    pub fn keys(&self) -> impl Iterator<Item = Prefix<B>> + '_ {
+        self.iter().map(|(p, _)| p)
+    }
+
+    /// Iterates over all stored values in key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+impl<B: Bits, V: Clone> Clone for PatriciaTrie<B, V> {
+    fn clone(&self) -> Self {
+        let mut out = Self::new();
+        for (p, v) in self.iter() {
+            out.insert(p, v.clone());
+        }
+        out
+    }
+}
+
+impl<B: Bits, V> FromIterator<(Prefix<B>, V)> for PatriciaTrie<B, V> {
+    fn from_iter<T: IntoIterator<Item = (Prefix<B>, V)>>(iter: T) -> Self {
+        let mut trie = Self::new();
+        for (p, v) in iter {
+            trie.insert(p, v);
+        }
+        trie
+    }
+}
+
+/// Depth-first iterator over trie entries in address order.
+pub struct Iter<'a, B: Bits, V> {
+    stack: Vec<&'a Node<B, V>>,
+}
+
+impl<'a, B: Bits, V> Iterator for Iter<'a, B, V> {
+    type Item = (Prefix<B>, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(node) = self.stack.pop() {
+            // Push right before left so the left branch pops first.
+            if let Some(right) = &node.children[1] {
+                self.stack.push(right);
+            }
+            if let Some(left) = &node.children[0] {
+                self.stack.push(left);
+            }
+            if let Some(v) = &node.value {
+                return Some((node.prefix, v));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sibling_net_types::Ipv4Prefix;
+
+    fn p4(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_exact() {
+        let mut t = PatriciaTrie::<u32, &str>::new();
+        assert_eq!(t.insert(p4("10.0.0.0/8"), "a"), None);
+        assert_eq!(t.insert(p4("10.0.0.0/16"), "b"), None);
+        assert_eq!(t.insert(p4("10.0.0.0/8"), "a2"), Some("a"));
+        assert_eq!(t.get(&p4("10.0.0.0/8")), Some(&"a2"));
+        assert_eq!(t.get(&p4("10.0.0.0/16")), Some(&"b"));
+        assert_eq!(t.get(&p4("10.0.0.0/12")), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn insert_splits_on_divergence() {
+        let mut t = PatriciaTrie::<u32, u32>::new();
+        t.insert(p4("10.1.0.0/16"), 1);
+        t.insert(p4("10.2.0.0/16"), 2);
+        // Fork node at 10.0.0.0/14 is internal (no value).
+        assert_eq!(t.get(&p4("10.0.0.0/14")), None);
+        assert_eq!(t.get(&p4("10.1.0.0/16")), Some(&1));
+        assert_eq!(t.get(&p4("10.2.0.0/16")), Some(&2));
+    }
+
+    #[test]
+    fn insert_between_parent_and_child() {
+        let mut t = PatriciaTrie::<u32, u32>::new();
+        t.insert(p4("10.1.2.0/24"), 24);
+        t.insert(p4("10.0.0.0/8"), 8);
+        t.insert(p4("10.1.0.0/16"), 16);
+        assert_eq!(t.get(&p4("10.0.0.0/8")), Some(&8));
+        assert_eq!(t.get(&p4("10.1.0.0/16")), Some(&16));
+        assert_eq!(t.get(&p4("10.1.2.0/24")), Some(&24));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn default_route_is_storable() {
+        let mut t = PatriciaTrie::<u32, &str>::new();
+        t.insert(Ipv4Prefix::default_route(), "default");
+        t.insert(p4("10.0.0.0/8"), "ten");
+        assert_eq!(t.get(&Ipv4Prefix::default_route()), Some(&"default"));
+        assert_eq!(t.longest_match(0xC0A8_0101).unwrap().1, &"default");
+        assert_eq!(t.longest_match(0x0A00_0001).unwrap().1, &"ten");
+    }
+
+    #[test]
+    fn longest_match_picks_most_specific() {
+        let mut t = PatriciaTrie::<u32, &str>::new();
+        t.insert(p4("10.0.0.0/8"), "eight");
+        t.insert(p4("10.1.0.0/16"), "sixteen");
+        t.insert(p4("10.1.2.0/24"), "twentyfour");
+        let addr = u32::from(std::net::Ipv4Addr::new(10, 1, 2, 3));
+        assert_eq!(t.longest_match(addr).unwrap().0, p4("10.1.2.0/24"));
+        let addr2 = u32::from(std::net::Ipv4Addr::new(10, 1, 3, 3));
+        assert_eq!(t.longest_match(addr2).unwrap().0, p4("10.1.0.0/16"));
+        let addr3 = u32::from(std::net::Ipv4Addr::new(10, 2, 0, 1));
+        assert_eq!(t.longest_match(addr3).unwrap().0, p4("10.0.0.0/8"));
+        let addr4 = u32::from(std::net::Ipv4Addr::new(11, 0, 0, 1));
+        assert!(t.longest_match(addr4).is_none());
+    }
+
+    #[test]
+    fn longest_covering_prefix_semantics() {
+        let mut t = PatriciaTrie::<u32, &str>::new();
+        t.insert(p4("10.0.0.0/8"), "eight");
+        t.insert(p4("10.1.0.0/16"), "sixteen");
+        assert_eq!(
+            t.longest_covering(&p4("10.1.2.0/24")).unwrap().0,
+            p4("10.1.0.0/16")
+        );
+        assert_eq!(
+            t.longest_covering(&p4("10.1.0.0/16")).unwrap().0,
+            p4("10.1.0.0/16")
+        );
+        assert_eq!(
+            t.longest_covering(&p4("10.2.0.0/16")).unwrap().0,
+            p4("10.0.0.0/8")
+        );
+        assert!(t.longest_covering(&p4("11.0.0.0/16")).is_none());
+    }
+
+    #[test]
+    fn remove_and_splice() {
+        let mut t = PatriciaTrie::<u32, u32>::new();
+        t.insert(p4("10.1.0.0/16"), 1);
+        t.insert(p4("10.2.0.0/16"), 2);
+        assert_eq!(t.remove(&p4("10.1.0.0/16")), Some(1));
+        assert_eq!(t.remove(&p4("10.1.0.0/16")), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p4("10.2.0.0/16")), Some(&2));
+        // The fork node must have been spliced: a fresh diverging insert
+        // still works correctly.
+        t.insert(p4("10.3.0.0/16"), 3);
+        assert_eq!(t.get(&p4("10.3.0.0/16")), Some(&3));
+        assert_eq!(t.get(&p4("10.2.0.0/16")), Some(&2));
+    }
+
+    #[test]
+    fn remove_internal_value_keeps_children() {
+        let mut t = PatriciaTrie::<u32, u32>::new();
+        t.insert(p4("10.0.0.0/8"), 8);
+        t.insert(p4("10.1.0.0/16"), 16);
+        t.insert(p4("10.2.0.0/16"), 162);
+        assert_eq!(t.remove(&p4("10.0.0.0/8")), Some(8));
+        assert_eq!(t.get(&p4("10.1.0.0/16")), Some(&16));
+        assert_eq!(t.get(&p4("10.2.0.0/16")), Some(&162));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut t = PatriciaTrie::<u32, u32>::new();
+        for (i, s) in ["10.2.0.0/16", "10.0.0.0/8", "10.1.2.0/24", "10.1.0.0/16", "9.0.0.0/8"]
+            .iter()
+            .enumerate()
+        {
+            t.insert(p4(s), i as u32);
+        }
+        let keys: Vec<String> = t.keys().map(|p| p.to_string()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "9.0.0.0/8",
+                "10.0.0.0/8",
+                "10.1.0.0/16",
+                "10.1.2.0/24",
+                "10.2.0.0/16"
+            ]
+        );
+    }
+
+    #[test]
+    fn covered_enumerates_subtree_only() {
+        let mut t = PatriciaTrie::<u32, u32>::new();
+        t.insert(p4("10.1.0.0/24"), 0);
+        t.insert(p4("10.1.1.0/24"), 1);
+        t.insert(p4("10.1.2.0/24"), 2);
+        t.insert(p4("10.2.0.0/24"), 3);
+        let covered: Vec<_> = t.covered(&p4("10.1.0.0/16")).map(|(p, _)| p).collect();
+        assert_eq!(covered.len(), 3);
+        assert!(covered.iter().all(|p| p4("10.1.0.0/16").covers(p)));
+        assert_eq!(t.covered(&p4("10.3.0.0/16")).count(), 0);
+        assert_eq!(t.covered(&Ipv4Prefix::default_route()).count(), 4);
+        // Exact entry is included.
+        assert_eq!(t.covered(&p4("10.1.1.0/24")).count(), 1);
+    }
+
+    #[test]
+    fn branch_occupancy() {
+        let mut t = PatriciaTrie::<u32, u32>::new();
+        t.insert(p4("10.1.128.0/24"), 0);
+        assert!(t.branch_is_occupied(&p4("10.1.0.0/16")));
+        assert!(t.branch_is_occupied(&p4("10.1.128.0/17")));
+        assert!(!t.branch_is_occupied(&p4("10.1.0.0/17")));
+        assert!(!t.branch_is_occupied(&p4("10.2.0.0/16")));
+        assert!(t.branch_is_occupied(&p4("10.1.128.0/24")));
+        assert!(!t.branch_is_occupied(&p4("10.1.128.0/25")));
+    }
+
+    #[test]
+    fn covering_yields_least_to_most_specific() {
+        let mut t = PatriciaTrie::<u32, u32>::new();
+        t.insert(p4("10.0.0.0/8"), 8);
+        t.insert(p4("10.1.0.0/16"), 16);
+        t.insert(p4("10.1.2.0/24"), 24);
+        t.insert(p4("10.2.0.0/16"), 99);
+        let got: Vec<_> = t.covering(&p4("10.1.2.0/24")).iter().map(|(p, _)| *p).collect();
+        assert_eq!(got, vec![p4("10.0.0.0/8"), p4("10.1.0.0/16"), p4("10.1.2.0/24")]);
+        let got: Vec<_> = t.covering(&p4("10.1.2.128/25")).iter().map(|(p, _)| *p).collect();
+        assert_eq!(got.len(), 3);
+        assert!(t.covering(&p4("11.0.0.0/8")).is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = PatriciaTrie::<u32, u32>::new();
+        t.insert(p4("10.0.0.0/8"), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn works_for_ipv6_width() {
+        use sibling_net_types::Ipv6Prefix;
+        let mut t = PatriciaTrie::<u128, &str>::new();
+        let a: Ipv6Prefix = "2001:db8::/32".parse().unwrap();
+        let b: Ipv6Prefix = "2001:db8:1::/48".parse().unwrap();
+        let host: Ipv6Prefix = "2001:db8:1::42/128".parse().unwrap();
+        t.insert(a, "a");
+        t.insert(b, "b");
+        t.insert(host, "h");
+        assert_eq!(t.longest_match(host.bits()).unwrap().1, &"h");
+        assert_eq!(t.covered(&a).count(), 3);
+        assert_eq!(t.covered(&b).count(), 2);
+    }
+
+    /// Reference model: a vector of (prefix, value) pairs with linear scans.
+    fn model_lpm(entries: &[(Ipv4Prefix, u32)], addr: u32) -> Option<Ipv4Prefix> {
+        entries
+            .iter()
+            .filter(|(p, _)| p.contains(addr))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(p, _)| p)
+            .copied()
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_reference_model(
+            raw in proptest::collection::vec((any::<u32>(), 8u8..=28), 1..40),
+            probes in proptest::collection::vec(any::<u32>(), 1..20),
+        ) {
+            let entries: Vec<(Ipv4Prefix, u32)> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, (bits, len))| (Ipv4Prefix::new(*bits, *len).unwrap(), i as u32))
+                .collect();
+            // Deduplicate by prefix keeping the last value, as insert does.
+            let mut dedup: std::collections::BTreeMap<Ipv4Prefix, u32> = Default::default();
+            for (p, v) in &entries {
+                dedup.insert(*p, *v);
+            }
+            let trie: PatriciaTrie<u32, u32> =
+                entries.iter().copied().collect();
+            prop_assert_eq!(trie.len(), dedup.len());
+            for (p, v) in &dedup {
+                prop_assert_eq!(trie.get(p), Some(v));
+            }
+            for addr in probes {
+                let got = trie.longest_match(addr).map(|(p, _)| p);
+                let want = model_lpm(
+                    &dedup.iter().map(|(p, v)| (*p, *v)).collect::<Vec<_>>(),
+                    addr,
+                );
+                prop_assert_eq!(got, want);
+            }
+            // Iteration is sorted and complete.
+            let keys: Vec<_> = trie.keys().collect();
+            let want_keys: Vec<_> = dedup.keys().copied().collect();
+            prop_assert_eq!(keys, want_keys);
+        }
+
+        #[test]
+        fn prop_covered_equals_filter(
+            raw in proptest::collection::vec((any::<u32>(), 8u8..=28), 1..40),
+            q_bits in any::<u32>(),
+            q_len in 0u8..=24,
+        ) {
+            let trie: PatriciaTrie<u32, u32> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, (bits, len))| (Ipv4Prefix::new(*bits, *len).unwrap(), i as u32))
+                .collect();
+            let q = Ipv4Prefix::new(q_bits, q_len).unwrap();
+            let got: Vec<_> = trie.covered(&q).map(|(p, _)| p).collect();
+            let want: Vec<_> = trie.keys().filter(|p| q.covers(p)).collect();
+            prop_assert_eq!(got, want);
+            prop_assert_eq!(trie.branch_is_occupied(&q), !trie.keys().any(|p| q.covers(&p)) == false);
+        }
+
+        #[test]
+        fn prop_remove_restores_model(
+            raw in proptest::collection::vec((any::<u32>(), 8u8..=28), 1..30),
+        ) {
+            let entries: Vec<(Ipv4Prefix, u32)> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, (bits, len))| (Ipv4Prefix::new(*bits, *len).unwrap(), i as u32))
+                .collect();
+            let mut trie: PatriciaTrie<u32, u32> = entries.iter().copied().collect();
+            let mut dedup: std::collections::BTreeMap<Ipv4Prefix, u32> = Default::default();
+            for (p, v) in &entries {
+                dedup.insert(*p, *v);
+            }
+            // Remove every other key; the rest must stay intact.
+            let keys: Vec<_> = dedup.keys().copied().collect();
+            for (i, k) in keys.iter().enumerate() {
+                if i % 2 == 0 {
+                    prop_assert_eq!(trie.remove(k), dedup.remove(k));
+                }
+            }
+            prop_assert_eq!(trie.len(), dedup.len());
+            for (p, v) in &dedup {
+                prop_assert_eq!(trie.get(p), Some(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Monthly RPKI archive, mirroring the RIR snapshot FTP layout.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use sibling_net_types::MonthDate;
+
+use crate::roa::RoaTable;
+
+/// Monthly [`RoaTable`] snapshots from September 2020 to September 2024
+/// (§2.6 downloads "RPKI data of all five RIRs … for every month").
+#[derive(Default, Clone)]
+pub struct RpkiArchive {
+    snapshots: BTreeMap<MonthDate, Arc<RoaTable>>,
+}
+
+impl RpkiArchive {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores the combined five-RIR table for `date`.
+    pub fn insert(&mut self, date: MonthDate, table: RoaTable) {
+        self.snapshots.insert(date, Arc::new(table));
+    }
+
+    /// The table at exactly `date`.
+    pub fn at(&self, date: MonthDate) -> Option<Arc<RoaTable>> {
+        self.snapshots.get(&date).cloned()
+    }
+
+    /// The most recent table at or before `date`.
+    pub fn at_or_before(&self, date: MonthDate) -> Option<Arc<RoaTable>> {
+        self.snapshots
+            .range(..=date)
+            .next_back()
+            .map(|(_, t)| t.clone())
+    }
+
+    /// All snapshot dates in order.
+    pub fn dates(&self) -> impl Iterator<Item = MonthDate> + '_ {
+        self.snapshots.keys().copied()
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roa::{Roa, RovState};
+    use sibling_net_types::{AnyPrefix, Asn, Ipv4Prefix};
+
+    #[test]
+    fn archive_round_trip() {
+        let mut arch = RpkiArchive::new();
+        let mut table = RoaTable::new();
+        let p: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        table.add(Roa::new(AnyPrefix::V4(p), 16, Asn(64500)).unwrap());
+        arch.insert(MonthDate::new(2022, 1), table);
+        assert_eq!(arch.len(), 1);
+        let t = arch.at(MonthDate::new(2022, 1)).unwrap();
+        let q: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+        assert_eq!(t.validate_v4(&q, Asn(64500)), RovState::Valid);
+        assert!(arch.at(MonthDate::new(2022, 2)).is_none());
+        assert!(arch.at_or_before(MonthDate::new(2023, 1)).is_some());
+        assert!(arch.at_or_before(MonthDate::new(2021, 12)).is_none());
+    }
+}

@@ -1,0 +1,26 @@
+//! RPKI model (§2.6, §4.8 of the paper).
+//!
+//! The paper downloads monthly RPKI snapshots from all five RIRs and
+//! classifies every sibling prefix pair by the joint route-origin
+//! validation (ROV) state of its two BGP announcements. This crate
+//! implements:
+//!
+//! * [`Roa`] — a route origin authorization (prefix, maxLength, origin);
+//! * [`RoaTable`] — per-family ROA storage with covering-ROA lookup;
+//! * [`validate`](RoaTable::validate_v4) — RFC 6811 origin validation:
+//!   a route is `Valid` if some covering ROA authorizes its origin at its
+//!   length, `Invalid` if covering ROAs exist but none match, `NotFound`
+//!   if no ROA covers it;
+//! * [`PairRovStatus`] — the six joint categories plotted in Fig. 18;
+//! * [`RpkiArchive`] — monthly snapshots, mirroring the RIR archives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod archive;
+mod roa;
+mod status;
+
+pub use archive::RpkiArchive;
+pub use roa::{Roa, RoaError, RoaTable, RovState};
+pub use status::PairRovStatus;

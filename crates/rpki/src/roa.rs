@@ -1,0 +1,254 @@
+//! ROAs and RFC 6811 route-origin validation.
+
+use sibling_net_types::{AnyPrefix, Asn, Ipv4Prefix, Ipv6Prefix};
+use sibling_ptrie::PatriciaTrie;
+
+/// A route origin authorization: `origin` may announce `prefix` and its
+/// more-specifics up to `max_length`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Roa {
+    /// The authorized prefix.
+    pub prefix: AnyPrefix,
+    /// Maximum announced length authorized (≥ the prefix length).
+    pub max_length: u8,
+    /// The authorized origin AS.
+    pub origin: Asn,
+}
+
+/// ROA construction errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoaError {
+    /// `max_length` below the prefix length.
+    MaxLengthBelowPrefix,
+    /// `max_length` beyond the family width.
+    MaxLengthBeyondFamily,
+}
+
+impl std::fmt::Display for RoaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoaError::MaxLengthBelowPrefix => write!(f, "maxLength below prefix length"),
+            RoaError::MaxLengthBeyondFamily => write!(f, "maxLength beyond family width"),
+        }
+    }
+}
+
+impl std::error::Error for RoaError {}
+
+impl Roa {
+    /// Creates a ROA, validating the maxLength bounds.
+    pub fn new(prefix: AnyPrefix, max_length: u8, origin: Asn) -> Result<Self, RoaError> {
+        if max_length < prefix.len() {
+            return Err(RoaError::MaxLengthBelowPrefix);
+        }
+        let width = match prefix {
+            AnyPrefix::V4(_) => 32,
+            AnyPrefix::V6(_) => 128,
+        };
+        if max_length > width {
+            return Err(RoaError::MaxLengthBeyondFamily);
+        }
+        Ok(Self {
+            prefix,
+            max_length,
+            origin,
+        })
+    }
+
+    /// Whether this ROA authorizes the announcement `(prefix, origin)`.
+    pub fn authorizes(&self, prefix: &AnyPrefix, origin: Asn) -> bool {
+        self.prefix.covers(prefix) && prefix.len() <= self.max_length && self.origin == origin
+    }
+
+    /// Whether this ROA covers `prefix` at all (regardless of origin or
+    /// length) — coverage is what separates `Invalid` from `NotFound`.
+    pub fn covers(&self, prefix: &AnyPrefix) -> bool {
+        self.prefix.covers(prefix)
+    }
+}
+
+/// RFC 6811 route-origin validation outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RovState {
+    /// A covering ROA authorizes the announcement.
+    Valid,
+    /// Covering ROAs exist, but none authorizes the announcement.
+    Invalid,
+    /// No ROA covers the announced prefix.
+    NotFound,
+}
+
+/// One snapshot's ROA set, indexed for covering-ROA lookup.
+#[derive(Default, Clone)]
+pub struct RoaTable {
+    v4: PatriciaTrie<u32, Vec<(u8, Asn)>>,
+    v6: PatriciaTrie<u128, Vec<(u8, Asn)>>,
+    len: usize,
+}
+
+impl RoaTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a ROA to the table.
+    pub fn add(&mut self, roa: Roa) {
+        self.len += 1;
+        match roa.prefix {
+            AnyPrefix::V4(p) => match self.v4.get_mut(&p) {
+                Some(list) => list.push((roa.max_length, roa.origin)),
+                None => {
+                    self.v4.insert(p, vec![(roa.max_length, roa.origin)]);
+                }
+            },
+            AnyPrefix::V6(p) => match self.v6.get_mut(&p) {
+                Some(list) => list.push((roa.max_length, roa.origin)),
+                None => {
+                    self.v6.insert(p, vec![(roa.max_length, roa.origin)]);
+                }
+            },
+        }
+    }
+
+    /// Number of ROAs stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no ROAs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Validates an announced IPv4 route.
+    pub fn validate_v4(&self, prefix: &Ipv4Prefix, origin: Asn) -> RovState {
+        let covering = self.v4.covering(prefix);
+        if covering.is_empty() {
+            return RovState::NotFound;
+        }
+        for (_roa_prefix, entries) in &covering {
+            for (max_len, roa_origin) in entries.iter() {
+                if prefix.len() <= *max_len && *roa_origin == origin {
+                    return RovState::Valid;
+                }
+            }
+        }
+        RovState::Invalid
+    }
+
+    /// Validates an announced IPv6 route.
+    pub fn validate_v6(&self, prefix: &Ipv6Prefix, origin: Asn) -> RovState {
+        let covering = self.v6.covering(prefix);
+        if covering.is_empty() {
+            return RovState::NotFound;
+        }
+        for (_roa_prefix, entries) in &covering {
+            for (max_len, roa_origin) in entries.iter() {
+                if prefix.len() <= *max_len && *roa_origin == origin {
+                    return RovState::Valid;
+                }
+            }
+        }
+        RovState::Invalid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v4(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn roa4(s: &str, max_len: u8, origin: u32) -> Roa {
+        Roa::new(AnyPrefix::V4(v4(s)), max_len, Asn(origin)).unwrap()
+    }
+
+    #[test]
+    fn roa_bounds_checked() {
+        assert_eq!(
+            Roa::new(AnyPrefix::V4(v4("10.0.0.0/16")), 8, Asn(1)),
+            Err(RoaError::MaxLengthBelowPrefix)
+        );
+        assert_eq!(
+            Roa::new(AnyPrefix::V4(v4("10.0.0.0/16")), 33, Asn(1)),
+            Err(RoaError::MaxLengthBeyondFamily)
+        );
+        assert!(Roa::new(AnyPrefix::V4(v4("10.0.0.0/16")), 16, Asn(1)).is_ok());
+        let p6: Ipv6Prefix = "2001:db8::/32".parse().unwrap();
+        assert!(Roa::new(AnyPrefix::V6(p6), 128, Asn(1)).is_ok());
+        assert_eq!(
+            Roa::new(AnyPrefix::V6(p6), 129, Asn(1)),
+            Err(RoaError::MaxLengthBeyondFamily)
+        );
+    }
+
+    #[test]
+    fn not_found_without_covering_roa() {
+        let table = RoaTable::new();
+        assert_eq!(table.validate_v4(&v4("10.0.0.0/16"), Asn(1)), RovState::NotFound);
+        let mut table = RoaTable::new();
+        table.add(roa4("11.0.0.0/8", 24, 1));
+        assert_eq!(table.validate_v4(&v4("10.0.0.0/16"), Asn(1)), RovState::NotFound);
+    }
+
+    #[test]
+    fn valid_requires_origin_and_length() {
+        let mut table = RoaTable::new();
+        table.add(roa4("10.0.0.0/8", 16, 64500));
+        // Exact authorized origin at an allowed length.
+        assert_eq!(table.validate_v4(&v4("10.1.0.0/16"), Asn(64500)), RovState::Valid);
+        // Wrong origin.
+        assert_eq!(table.validate_v4(&v4("10.1.0.0/16"), Asn(64501)), RovState::Invalid);
+        // Too specific (beyond maxLength).
+        assert_eq!(table.validate_v4(&v4("10.1.1.0/24"), Asn(64500)), RovState::Invalid);
+        // The covering prefix itself.
+        assert_eq!(table.validate_v4(&v4("10.0.0.0/8"), Asn(64500)), RovState::Valid);
+    }
+
+    #[test]
+    fn any_covering_roa_can_validate() {
+        let mut table = RoaTable::new();
+        table.add(roa4("10.0.0.0/8", 8, 64500));
+        table.add(roa4("10.1.0.0/16", 24, 64501));
+        // Invalid under the /8 (too specific), valid under the /16.
+        assert_eq!(table.validate_v4(&v4("10.1.2.0/24"), Asn(64501)), RovState::Valid);
+        // The /8's origin cannot use the /16's generous maxLength.
+        assert_eq!(table.validate_v4(&v4("10.1.2.0/24"), Asn(64500)), RovState::Invalid);
+    }
+
+    #[test]
+    fn multiple_roas_same_prefix() {
+        let mut table = RoaTable::new();
+        table.add(roa4("10.0.0.0/8", 16, 64500));
+        table.add(roa4("10.0.0.0/8", 16, 64501));
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.validate_v4(&v4("10.1.0.0/16"), Asn(64500)), RovState::Valid);
+        assert_eq!(table.validate_v4(&v4("10.1.0.0/16"), Asn(64501)), RovState::Valid);
+        assert_eq!(table.validate_v4(&v4("10.1.0.0/16"), Asn(64502)), RovState::Invalid);
+    }
+
+    #[test]
+    fn v6_validation() {
+        let mut table = RoaTable::new();
+        let p: Ipv6Prefix = "2600:9000::/28".parse().unwrap();
+        table.add(Roa::new(AnyPrefix::V6(p), 48, Asn(16509)).unwrap());
+        let announced: Ipv6Prefix = "2600:9000:1::/48".parse().unwrap();
+        assert_eq!(table.validate_v6(&announced, Asn(16509)), RovState::Valid);
+        assert_eq!(table.validate_v6(&announced, Asn(13335)), RovState::Invalid);
+        let outside: Ipv6Prefix = "2a00::/16".parse().unwrap();
+        assert_eq!(table.validate_v6(&outside, Asn(16509)), RovState::NotFound);
+    }
+
+    #[test]
+    fn roa_authorizes_helper() {
+        let roa = roa4("10.0.0.0/8", 16, 64500);
+        assert!(roa.authorizes(&AnyPrefix::V4(v4("10.1.0.0/16")), Asn(64500)));
+        assert!(!roa.authorizes(&AnyPrefix::V4(v4("10.1.1.0/24")), Asn(64500)));
+        assert!(roa.covers(&AnyPrefix::V4(v4("10.1.1.0/24"))));
+        let p6: Ipv6Prefix = "2001:db8::/32".parse().unwrap();
+        assert!(!roa.covers(&AnyPrefix::V6(p6)));
+    }
+}

@@ -1,0 +1,130 @@
+//! Joint ROV status of a sibling prefix pair (Fig. 18 categories).
+
+use crate::roa::RovState;
+
+/// The six joint categories the paper plots in Fig. 18, ordered from the
+/// strongest to the weakest protection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PairRovStatus {
+    /// Both prefixes have a valid ROV state.
+    BothValid,
+    /// One valid, the other not found in the RPKI.
+    ValidNotFound,
+    /// Conflicting: one valid, the other invalid.
+    ValidInvalid,
+    /// One invalid, the other not found.
+    InvalidNotFound,
+    /// Both invalid.
+    BothInvalid,
+    /// Neither prefix is covered by any ROA.
+    BothNotFound,
+}
+
+impl PairRovStatus {
+    /// Classifies a pair from its two per-prefix states. The
+    /// classification is symmetric in its arguments.
+    pub fn from_states(a: RovState, b: RovState) -> PairRovStatus {
+        use RovState::*;
+        match (a.min(b), a.max(b)) {
+            (Valid, Valid) => PairRovStatus::BothValid,
+            (Valid, NotFound) => PairRovStatus::ValidNotFound,
+            (Valid, Invalid) => PairRovStatus::ValidInvalid,
+            (Invalid, NotFound) => PairRovStatus::InvalidNotFound,
+            (Invalid, Invalid) => PairRovStatus::BothInvalid,
+            (NotFound, NotFound) => PairRovStatus::BothNotFound,
+            // `min`/`max` on the derived order (Valid < Invalid < NotFound)
+            // make the above patterns exhaustive.
+            _ => unreachable!("min/max normalisation covers all cases"),
+        }
+    }
+
+    /// Whether at least one prefix of the pair has a valid ROV state —
+    /// the headline "over 60% of sibling prefixes" statistic.
+    pub fn at_least_one_valid(&self) -> bool {
+        matches!(
+            self,
+            PairRovStatus::BothValid | PairRovStatus::ValidNotFound | PairRovStatus::ValidInvalid
+        )
+    }
+
+    /// Whether the pair has conflicting states (valid + invalid), the
+    /// resilience hazard §4.8 highlights.
+    pub fn is_conflicting(&self) -> bool {
+        matches!(self, PairRovStatus::ValidInvalid)
+    }
+
+    /// All categories in plot order.
+    pub const ALL: [PairRovStatus; 6] = [
+        PairRovStatus::BothValid,
+        PairRovStatus::ValidNotFound,
+        PairRovStatus::ValidInvalid,
+        PairRovStatus::InvalidNotFound,
+        PairRovStatus::BothInvalid,
+        PairRovStatus::BothNotFound,
+    ];
+
+    /// The display label used in the figure legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PairRovStatus::BothValid => "valid+valid",
+            PairRovStatus::ValidNotFound => "valid+notfound",
+            PairRovStatus::ValidInvalid => "valid+invalid",
+            PairRovStatus::InvalidNotFound => "invalid+notfound",
+            PairRovStatus::BothInvalid => "invalid+invalid",
+            PairRovStatus::BothNotFound => "notfound+notfound",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use RovState::*;
+
+    #[test]
+    fn classification_is_symmetric() {
+        for &a in &[Valid, Invalid, NotFound] {
+            for &b in &[Valid, Invalid, NotFound] {
+                assert_eq!(
+                    PairRovStatus::from_states(a, b),
+                    PairRovStatus::from_states(b, a)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_nine_combinations() {
+        assert_eq!(PairRovStatus::from_states(Valid, Valid), PairRovStatus::BothValid);
+        assert_eq!(
+            PairRovStatus::from_states(Valid, NotFound),
+            PairRovStatus::ValidNotFound
+        );
+        assert_eq!(
+            PairRovStatus::from_states(Valid, Invalid),
+            PairRovStatus::ValidInvalid
+        );
+        assert_eq!(
+            PairRovStatus::from_states(Invalid, NotFound),
+            PairRovStatus::InvalidNotFound
+        );
+        assert_eq!(
+            PairRovStatus::from_states(Invalid, Invalid),
+            PairRovStatus::BothInvalid
+        );
+        assert_eq!(
+            PairRovStatus::from_states(NotFound, NotFound),
+            PairRovStatus::BothNotFound
+        );
+    }
+
+    #[test]
+    fn helper_predicates() {
+        assert!(PairRovStatus::BothValid.at_least_one_valid());
+        assert!(PairRovStatus::ValidInvalid.at_least_one_valid());
+        assert!(!PairRovStatus::BothNotFound.at_least_one_valid());
+        assert!(!PairRovStatus::InvalidNotFound.at_least_one_valid());
+        assert!(PairRovStatus::ValidInvalid.is_conflicting());
+        assert!(!PairRovStatus::BothValid.is_conflicting());
+    }
+}

@@ -1,0 +1,29 @@
+//! Port-scan simulator — the ZMap/ZMapv6 substitute (§2.7, §3.6).
+//!
+//! The paper scans 14 well-known ports on every address of its sibling
+//! prefixes, then compares the per-prefix responsive-port sets with the
+//! DNS-derived Jaccard values (Fig. 6). Real active scanning is replaced
+//! here by a deterministic simulator over a generated ground-truth
+//! *deployment* (which addresses have which ports open):
+//!
+//! * [`WELL_KNOWN_PORTS`] — the exact 14-port set of §3.6;
+//! * [`PortSet`] — a compact responsive-port set with Jaccard support;
+//! * [`Deployment`] — ground truth, address → open ports;
+//! * [`Scanner`] — the scan engine, with the operational features the
+//!   paper's ethics section describes (blocklist, rate limit) plus the
+//!   fault-injection knobs the networking guides recommend for testing
+//!   (probabilistic response drop).
+//!
+//! Determinism: given the same seed, deployment and scan results are
+//! bit-for-bit reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deployment;
+mod ports;
+mod scanner;
+
+pub use deployment::Deployment;
+pub use ports::{PortSet, WELL_KNOWN_PORTS};
+pub use scanner::{ScanConfig, ScanReport, Scanner};

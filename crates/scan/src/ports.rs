@@ -1,0 +1,115 @@
+//! Port sets.
+
+use std::collections::BTreeSet;
+
+/// The 14 well-known ports scanned in §3.6 of the paper:
+/// FTP (20/21), SSH (22), Telnet (23), SMTP (25), DNS (53), HTTP (80),
+/// POP3 (110), NTP (123), IMAP (143), SNMP (161), IRC (194), HTTPS (443),
+/// and CWMP (7547).
+pub const WELL_KNOWN_PORTS: [u16; 14] =
+    [20, 21, 22, 23, 25, 53, 80, 110, 123, 143, 161, 194, 443, 7547];
+
+/// A set of ports, used both as deployment ground truth and as the
+/// responsive set observed by a scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortSet {
+    ports: BTreeSet<u16>,
+}
+
+impl PortSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set from any iterator of ports.
+    pub fn from_iter<I: IntoIterator<Item = u16>>(iter: I) -> Self {
+        Self {
+            ports: iter.into_iter().collect(),
+        }
+    }
+
+    /// Adds a port.
+    pub fn insert(&mut self, port: u16) {
+        self.ports.insert(port);
+    }
+
+    /// Whether `port` is in the set.
+    pub fn contains(&self, port: u16) -> bool {
+        self.ports.contains(&port)
+    }
+
+    /// Number of ports.
+    pub fn len(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ports.is_empty()
+    }
+
+    /// Iterates in ascending port order.
+    pub fn iter(&self) -> impl Iterator<Item = u16> + '_ {
+        self.ports.iter().copied()
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &PortSet) {
+        self.ports.extend(other.ports.iter().copied());
+    }
+
+    /// Jaccard similarity of two port sets; 0 when both are empty
+    /// (an empty pair shares no responsive service evidence).
+    pub fn jaccard(&self, other: &PortSet) -> f64 {
+        let inter = self.ports.intersection(&other.ports).count();
+        let union = self.ports.union(&other.ports).count();
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+impl FromIterator<u16> for PortSet {
+    fn from_iter<I: IntoIterator<Item = u16>>(iter: I) -> Self {
+        PortSet::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_fourteen_ports() {
+        assert_eq!(WELL_KNOWN_PORTS.len(), 14);
+        // Sorted and unique.
+        let mut sorted = WELL_KNOWN_PORTS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, WELL_KNOWN_PORTS.to_vec());
+        assert!(WELL_KNOWN_PORTS.contains(&443));
+        assert!(WELL_KNOWN_PORTS.contains(&7547));
+    }
+
+    #[test]
+    fn jaccard_of_port_sets() {
+        let a: PortSet = [80u16, 443, 22].into_iter().collect();
+        let b: PortSet = [80u16, 443].into_iter().collect();
+        assert!((a.jaccard(&b) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.jaccard(&a), 1.0);
+        assert_eq!(PortSet::new().jaccard(&PortSet::new()), 0.0);
+        assert_eq!(a.jaccard(&PortSet::new()), 0.0);
+    }
+
+    #[test]
+    fn union_with_accumulates() {
+        let mut a: PortSet = [80u16].into_iter().collect();
+        let b: PortSet = [443u16].into_iter().collect();
+        a.union_with(&b);
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(443));
+    }
+}

@@ -1,0 +1,262 @@
+//! The scan engine.
+
+use sibling_net_types::{Ipv4Prefix, Ipv6Prefix};
+use sibling_ptrie::PatriciaTrie;
+
+use std::collections::BTreeMap;
+
+use crate::deployment::Deployment;
+use crate::ports::{PortSet, WELL_KNOWN_PORTS};
+
+/// Scanner configuration.
+///
+/// Mirrors the operational set-up of §3.8: a blocklist of prefixes that
+/// must never be probed and a probe rate limit (the paper scans at
+/// ≤ 50 kpps). `drop_chance` injects probabilistic response loss — the
+/// fault-injection knob the networking guides recommend so consumers can
+/// test their tolerance to packet loss.
+#[derive(Debug, Clone)]
+pub struct ScanConfig {
+    /// Ports to probe on every target.
+    pub ports: Vec<u16>,
+    /// Probe budget per simulated second (packets per second).
+    pub rate_limit_pps: u64,
+    /// Probability in `[0, 1]` that an individual open-port response is
+    /// lost. `0.0` (default) observes ground truth exactly.
+    pub drop_chance: f64,
+    /// Seed for the deterministic drop decisions.
+    pub seed: u64,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        Self {
+            ports: WELL_KNOWN_PORTS.to_vec(),
+            rate_limit_pps: 50_000,
+            drop_chance: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// The result of one scan run.
+#[derive(Debug, Default, Clone)]
+pub struct ScanReport {
+    /// Responsive IPv4 addresses with their responsive ports.
+    pub v4: BTreeMap<u32, PortSet>,
+    /// Responsive IPv6 addresses with their responsive ports.
+    pub v6: BTreeMap<u128, PortSet>,
+    /// Total probe packets sent (after blocklist filtering).
+    pub probes_sent: u64,
+    /// Targets skipped because a blocklist entry covered them.
+    pub blocklisted: u64,
+    /// Responses suppressed by fault injection.
+    pub dropped: u64,
+    /// Simulated scan duration in seconds at the configured rate limit.
+    pub duration_secs: f64,
+}
+
+impl ScanReport {
+    /// Fraction of probed targets that answered on at least one port.
+    /// (The paper reports responses for 70.9% of sibling prefixes.)
+    pub fn responsive_fraction(&self, probed_targets: u64) -> f64 {
+        if probed_targets == 0 {
+            0.0
+        } else {
+            (self.v4.len() + self.v6.len()) as f64 / probed_targets as f64
+        }
+    }
+}
+
+/// A deterministic ZMap-style scanner over a ground-truth [`Deployment`].
+pub struct Scanner {
+    config: ScanConfig,
+    block_v4: PatriciaTrie<u32, ()>,
+    block_v6: PatriciaTrie<u128, ()>,
+}
+
+impl Scanner {
+    /// Creates a scanner with an empty blocklist.
+    pub fn new(config: ScanConfig) -> Self {
+        Self {
+            config,
+            block_v4: PatriciaTrie::new(),
+            block_v6: PatriciaTrie::new(),
+        }
+    }
+
+    /// Adds an IPv4 prefix to the blocklist.
+    pub fn block_v4(&mut self, prefix: Ipv4Prefix) {
+        self.block_v4.insert(prefix, ());
+    }
+
+    /// Adds an IPv6 prefix to the blocklist.
+    pub fn block_v6(&mut self, prefix: Ipv6Prefix) {
+        self.block_v6.insert(prefix, ());
+    }
+
+    /// Scans the given IPv4 and IPv6 targets against `deployment`.
+    ///
+    /// Results are independent of target ordering: the fault-injection
+    /// decision for a probe is a pure function of `(seed, addr, port)`.
+    pub fn scan(&self, deployment: &Deployment, v4_targets: &[u32], v6_targets: &[u128]) -> ScanReport {
+        let mut report = ScanReport::default();
+        for &addr in v4_targets {
+            if self.block_v4.longest_match(addr).is_some() {
+                report.blocklisted += 1;
+                continue;
+            }
+            let open = deployment.open_v4(addr);
+            let mut responsive = PortSet::new();
+            for &port in &self.config.ports {
+                report.probes_sent += 1;
+                if open.contains(port) {
+                    if self.dropped(addr as u128, port) {
+                        report.dropped += 1;
+                    } else {
+                        responsive.insert(port);
+                    }
+                }
+            }
+            if !responsive.is_empty() {
+                report.v4.insert(addr, responsive);
+            }
+        }
+        for &addr in v6_targets {
+            if self.block_v6.longest_match(addr).is_some() {
+                report.blocklisted += 1;
+                continue;
+            }
+            let open = deployment.open_v6(addr);
+            let mut responsive = PortSet::new();
+            for &port in &self.config.ports {
+                report.probes_sent += 1;
+                if open.contains(port) {
+                    if self.dropped(addr, port) {
+                        report.dropped += 1;
+                    } else {
+                        responsive.insert(port);
+                    }
+                }
+            }
+            if !responsive.is_empty() {
+                report.v6.insert(addr, responsive);
+            }
+        }
+        report.duration_secs = if self.config.rate_limit_pps == 0 {
+            0.0
+        } else {
+            report.probes_sent as f64 / self.config.rate_limit_pps as f64
+        };
+        report
+    }
+
+    /// Deterministic per-probe drop decision (splitmix64 over the probe
+    /// identity), so results do not depend on iteration order or on how
+    /// many probes preceded this one.
+    fn dropped(&self, addr: u128, port: u16) -> bool {
+        if self.config.drop_chance <= 0.0 {
+            return false;
+        }
+        let mut x = self
+            .config
+            .seed
+            .wrapping_add(addr as u64)
+            .wrapping_add((addr >> 64) as u64)
+            .wrapping_add(port as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.config.drop_chance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deployment_with(addr: u32, ports: &[u16]) -> Deployment {
+        let mut d = Deployment::new();
+        d.set_v4(addr, ports.iter().copied().collect());
+        d
+    }
+
+    #[test]
+    fn observes_ground_truth_without_faults() {
+        let d = deployment_with(42, &[80, 443]);
+        let scanner = Scanner::new(ScanConfig::default());
+        let r = scanner.scan(&d, &[42, 43], &[]);
+        assert_eq!(r.v4.len(), 1);
+        assert_eq!(r.v4[&42], [80u16, 443].into_iter().collect());
+        assert_eq!(r.probes_sent, 28);
+        assert_eq!(r.dropped, 0);
+        assert!((r.responsive_fraction(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn only_configured_ports_observed() {
+        let d = deployment_with(42, &[80, 8080]);
+        let scanner = Scanner::new(ScanConfig::default());
+        let r = scanner.scan(&d, &[42], &[]);
+        // 8080 is not among the well-known ports, so it is never probed.
+        assert_eq!(r.v4[&42], [80u16].into_iter().collect());
+    }
+
+    #[test]
+    fn blocklist_is_honored() {
+        let d = deployment_with(u32::from(std::net::Ipv4Addr::new(10, 0, 0, 1)), &[80]);
+        let mut scanner = Scanner::new(ScanConfig::default());
+        scanner.block_v4("10.0.0.0/8".parse().unwrap());
+        let r = scanner.scan(&d, &[u32::from(std::net::Ipv4Addr::new(10, 0, 0, 1))], &[]);
+        assert!(r.v4.is_empty());
+        assert_eq!(r.blocklisted, 1);
+        assert_eq!(r.probes_sent, 0);
+    }
+
+    #[test]
+    fn rate_limit_determines_duration() {
+        let d = deployment_with(42, &[80]);
+        let config = ScanConfig {
+            rate_limit_pps: 14,
+            ..Default::default()
+        };
+        let r = Scanner::new(config).scan(&d, &[42], &[]);
+        assert!((r.duration_secs - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_order_independent() {
+        let mut d = Deployment::new();
+        for addr in 0..200u32 {
+            d.set_v4(addr, [80u16, 443].into_iter().collect());
+        }
+        let config = ScanConfig {
+            drop_chance: 0.5,
+            seed: 7,
+            ..Default::default()
+        };
+        let scanner = Scanner::new(config);
+        let forward: Vec<u32> = (0..200).collect();
+        let mut backward = forward.clone();
+        backward.reverse();
+        let r1 = scanner.scan(&d, &forward, &[]);
+        let r2 = scanner.scan(&d, &backward, &[]);
+        assert_eq!(r1.v4, r2.v4);
+        assert!(r1.dropped > 50, "expected substantial loss, got {}", r1.dropped);
+        assert!(r1.dropped < 350, "expected partial loss, got {}", r1.dropped);
+    }
+
+    #[test]
+    fn v6_scanning_works() {
+        let mut d = Deployment::new();
+        d.set_v6(99, [53u16].into_iter().collect());
+        let scanner = Scanner::new(ScanConfig::default());
+        let r = scanner.scan(&d, &[], &[99, 100]);
+        assert_eq!(r.v6.len(), 1);
+        assert!(r.v6[&99].contains(53));
+    }
+}

@@ -1,0 +1,920 @@
+//! World construction: orgs, ASNs, prefixes, units, pods and domains.
+
+use sibling_as_org::{AsOrgMap, AsOrgSource, AsdbDataset, BusinessType, HgCdnList, OrgId};
+use sibling_bgp::Rib;
+use sibling_dns::{DomainTable, Toplist};
+use sibling_net_types::{Asn, Ipv4Prefix, Ipv6Prefix, MonthDate};
+
+use crate::config::WorldConfig;
+use crate::hash::{bounded, stable_hash, unit_f64, weighted_index};
+use crate::net_alloc::{V4Allocator, V6Allocator};
+use crate::world::{
+    DomainKind, DomainSpec, MonitoringSpec, Org, Pod, Unit, UnitLayout, VisibilityClass, World,
+};
+
+/// Hash-domain tags so unrelated decisions never collide.
+pub(crate) mod tag {
+    pub const ORG_SIBLING: u64 = 1;
+    pub const ORG_BUSINESS: u64 = 2;
+    pub const ORG_BUSINESS2: u64 = 3;
+    pub const ORG_CAIDA_SPLIT: u64 = 4;
+    pub const UNIT_COUNT: u64 = 5;
+    pub const UNIT_LAYOUT: u64 = 6;
+    pub const UNIT_CROSS: u64 = 7;
+    pub const UNIT_CROSS_ORG: u64 = 8;
+    pub const UNIT_PODS: u64 = 9;
+    pub const UNIT_ACTIVE: u64 = 10;
+    pub const LEN_V4: u64 = 11;
+    pub const LEN_V6: u64 = 12;
+    pub const POD_SLOT: u64 = 13;
+    pub const DOM_COUNT: u64 = 14;
+    pub const DOM_CLASS: u64 = 15;
+    pub const DOM_INTER_P: u64 = 16;
+    pub const DOM_BIRTH: u64 = 17;
+    pub const DOM_DS: u64 = 18;
+    pub const DOM_TOPLIST: u64 = 19;
+    pub const DOM_CNAME: u64 = 20;
+    pub const DOM_TLD: u64 = 21;
+    pub const FILLER_POD: u64 = 22;
+    pub const VIS_ONCE: u64 = 23;
+    pub const VIS_INTER: u64 = 24;
+    pub const MOVE_V4: u64 = 25;
+    pub const MOVE_V6: u64 = 26;
+    pub const MOVE_JOINT: u64 = 40;
+    pub const REHASH: u64 = 27;
+    pub const ADDR_V4: u64 = 28;
+    pub const RPKI_RANK: u64 = 30;
+    pub const RPKI_KIND: u64 = 31;
+    pub const PORT_PROFILE: u64 = 32;
+    pub const PORT_RESPONSIVE: u64 = 33;
+    pub const PORT_DROP_V4: u64 = 34;
+    pub const PORT_DROP_V6: u64 = 35;
+    pub const PORT_EXTRA_V6: u64 = 36;
+    pub const PROBE_POD: u64 = 37;
+    pub const PROBE_ADDR: u64 = 38;
+    pub const MON_ORG: u64 = 39;
+}
+
+/// The 24 canonical HG/CDN organizations with relative hosting weights
+/// (Amazon dominates pair counts, per Fig. 17).
+const HG_ORGS: [(&str, f64); 24] = [
+    ("Amazon", 13.0),
+    ("Microsoft", 3.6),
+    ("Akamai", 3.4),
+    ("Google", 3.4),
+    ("Alibaba", 1.6),
+    ("Cloudflare", 1.5),
+    ("Facebook", 1.4),
+    ("GoDaddy", 1.0),
+    ("Apple", 0.9),
+    ("Incapsula", 0.8),
+    ("Leaseweb", 0.7),
+    ("CDN77", 0.6),
+    ("Edgecast", 0.5),
+    ("Fastly", 0.5),
+    ("Rackspace", 0.4),
+    ("KPN", 0.4),
+    ("Yahoo", 0.3),
+    ("Telenor", 0.25),
+    ("Netflix", 0.25),
+    ("NTT", 0.2),
+    ("Telstra", 0.2),
+    ("Telin", 0.15),
+    ("Internap", 0.15),
+    ("Lumen", 0.15),
+];
+
+/// ASdb category weights in `BusinessType::ALL` order (IT dominates).
+const BUSINESS_WEIGHTS: [f64; 17] = [
+    0.01, // Agriculture
+    0.08, // Education
+    0.03, // Entertainment
+    0.05, // Finance
+    0.04, // Government
+    0.02, // Health
+    0.40, // ComputerAndIt
+    0.04, // Manufacturing
+    0.05, // Media
+    0.01, // Nonprofits
+    0.02, // Other
+    0.03, // RealEstate
+    0.04, // Retail
+    0.08, // Service
+    0.01, // Shipment
+    0.03, // Travel
+    0.02, // Utilities
+];
+
+/// Announced IPv4 prefix lengths with Fig. 13 marginal weights.
+const V4_ANNOUNCE_LENS: [(u8, f64); 11] = [
+    (24, 0.45),
+    (23, 0.10),
+    (22, 0.09),
+    (21, 0.09),
+    (20, 0.09),
+    (19, 0.04),
+    (18, 0.04),
+    (17, 0.03),
+    (16, 0.04),
+    (14, 0.02),
+    (12, 0.01),
+];
+
+/// Announced IPv6 prefix lengths with Fig. 13 marginal weights.
+const V6_ANNOUNCE_LENS: [(u8, f64); 7] = [
+    (48, 0.44),
+    (44, 0.08),
+    (40, 0.08),
+    (36, 0.08),
+    (32, 0.25),
+    (29, 0.05),
+    (26, 0.02),
+];
+
+/// DS-domain count bins per pod (Fig. 8 shape: 55% single-domain).
+const POD_SIZE_BINS: [(u32, u32, f64); 6] = [
+    (1, 1, 0.55),
+    (2, 5, 0.28),
+    (6, 10, 0.08),
+    (11, 50, 0.063),
+    (51, 100, 0.017),
+    (101, 220, 0.01),
+];
+
+fn sample_v4_len(seed: u64, parts: &[u64]) -> u8 {
+    let weights: Vec<f64> = V4_ANNOUNCE_LENS.iter().map(|(_, w)| *w).collect();
+    V4_ANNOUNCE_LENS[weighted_index(seed, parts, &weights)].0
+}
+
+fn sample_v6_len(seed: u64, parts: &[u64]) -> u8 {
+    let weights: Vec<f64> = V6_ANNOUNCE_LENS.iter().map(|(_, w)| *w).collect();
+    V6_ANNOUNCE_LENS[weighted_index(seed, parts, &weights)].0
+}
+
+/// Places the `i24`-th /24 and `i28`-th /28 inside an announced v4 prefix.
+fn v4_slot(announced: Ipv4Prefix, i24: u32, i28: u32) -> Ipv4Prefix {
+    debug_assert!(announced.len() <= 24);
+    let cap24 = 1u32 << (24 - announced.len()).min(16);
+    let bits = announced.bits() | ((i24 % cap24) << 8) | ((i28 % 16) << 4);
+    Ipv4Prefix::new(bits, 28).expect("/28 valid")
+}
+
+/// Places the `i48`-th /48 and `i96`-th /96 inside an announced v6 prefix.
+fn v6_slot(announced: Ipv6Prefix, i48: u64, i96: u64) -> Ipv6Prefix {
+    debug_assert!(announced.len() <= 48);
+    let cap48 = 1u64 << (48 - announced.len()).min(22);
+    let bits = announced.bits()
+        | (((i48 % cap48) as u128) << 80)
+        | (((i96 % (1 << 16)) as u128) << 32);
+    Ipv6Prefix::new(bits, 96).expect("/96 valid")
+}
+
+struct Builder {
+    config: WorldConfig,
+    seed: u64,
+    v4_alloc: V4Allocator,
+    v6_alloc: V6Allocator,
+    orgs: Vec<Org>,
+    units: Vec<Unit>,
+    pods: Vec<Pod>,
+    specs: Vec<DomainSpec>,
+    domain_table: DomainTable,
+    rib: Rib,
+    domain_counter: u64,
+}
+
+impl Builder {
+    fn new(config: WorldConfig) -> Self {
+        let seed = config.seed;
+        Self {
+            config,
+            seed,
+            v4_alloc: V4Allocator::new(),
+            v6_alloc: V6Allocator::new(),
+            orgs: Vec::new(),
+            units: Vec::new(),
+            pods: Vec::new(),
+            specs: Vec::new(),
+            domain_table: DomainTable::new(),
+            rib: Rib::new(),
+            domain_counter: 0,
+        }
+    }
+
+    fn build_orgs(&mut self) {
+        for i in 0..self.config.n_orgs as u32 {
+            let (name, is_hg) = if (i as usize) < HG_ORGS.len() {
+                (HG_ORGS[i as usize].0.to_string(), true)
+            } else {
+                (format!("Org-{i} Networks"), false)
+            };
+            let v4_asn = Asn(10_000 + i * 2);
+            // Education orgs frequently run separate v4/v6 ASNs (sibling
+            // ASes); others less so.
+            let business = if is_hg {
+                vec![BusinessType::ComputerAndIt]
+            } else {
+                let first = BusinessType::ALL
+                    [weighted_index(self.seed, &[tag::ORG_BUSINESS, i as u64], &BUSINESS_WEIGHTS)];
+                let mut types = vec![first];
+                if unit_f64(self.seed, &[tag::ORG_BUSINESS2, i as u64]) < 0.20 {
+                    let second = BusinessType::ALL[weighted_index(
+                        self.seed,
+                        &[tag::ORG_BUSINESS2, i as u64, 1],
+                        &BUSINESS_WEIGHTS,
+                    )];
+                    if second != first {
+                        types.push(second);
+                    }
+                }
+                types
+            };
+            let sibling_p = if business.contains(&BusinessType::Education) {
+                0.55
+            } else {
+                0.30
+            };
+            let v6_asn = if unit_f64(self.seed, &[tag::ORG_SIBLING, i as u64]) < sibling_p {
+                Asn(10_000 + i * 2 + 1)
+            } else {
+                v4_asn
+            };
+            let caida_split = v6_asn != v4_asn
+                && unit_f64(self.seed, &[tag::ORG_CAIDA_SPLIT, i as u64]) < 0.35;
+            self.orgs.push(Org {
+                idx: i,
+                name,
+                v4_asn,
+                v6_asn,
+                business,
+                caida_split,
+            });
+        }
+    }
+
+    fn unit_count_for_org(&self, org: u32) -> usize {
+        let base = if (org as usize) < HG_ORGS.len() {
+            self.config.units_per_org * self.config.hypergiant_unit_boost * HG_ORGS[org as usize].1
+        } else {
+            self.config.units_per_org
+        };
+        let whole = base.floor() as usize;
+        let frac = base - base.floor();
+        let extra = (unit_f64(self.seed, &[tag::UNIT_COUNT, org as u64]) < frac) as usize;
+        (whole + extra).max(1)
+    }
+
+    fn sample_layout(&self, unit: u32, cross: bool) -> UnitLayout {
+        let weights = if cross {
+            self.config.cross_layout_mix.weights()
+        } else {
+            self.config.layout_mix.weights()
+        };
+        match weighted_index(self.seed, &[tag::UNIT_LAYOUT, unit as u64], &weights) {
+            0 => UnitLayout::Aligned,
+            1 => UnitLayout::MultiPodAligned,
+            2 => UnitLayout::ShearV4Sep24,
+            3 => UnitLayout::ShearV4Sep28,
+            4 => UnitLayout::ShearV6Sep48,
+            5 => UnitLayout::ShearV6Sep96,
+            _ => UnitLayout::Deep,
+        }
+    }
+
+    fn unit_active_from(&self, unit: u32) -> MonthDate {
+        if unit_f64(self.seed, &[tag::UNIT_ACTIVE, unit as u64]) < self.config.active_at_start_share
+        {
+            self.config.start
+        } else {
+            let span = self.config.end.months_since(&self.config.start).max(1) as u64;
+            let offset = bounded(self.seed, &[tag::UNIT_ACTIVE, unit as u64, 1], span) as i32;
+            self.config.start.add_months(offset)
+        }
+    }
+
+    fn alloc_v4_announced(&mut self, unit: u32, slot: u64, max_len: u8) -> Ipv4Prefix {
+        let len = sample_v4_len(self.seed, &[tag::LEN_V4, unit as u64, slot]).min(max_len);
+        self.v4_alloc.alloc(len)
+    }
+
+    fn alloc_v6_announced(&mut self, unit: u32, slot: u64, max_len: u8) -> Ipv6Prefix {
+        let len = sample_v6_len(self.seed, &[tag::LEN_V6, unit as u64, slot]).min(max_len);
+        self.v6_alloc.alloc(len)
+    }
+
+    fn push_pod(
+        &mut self,
+        unit: u32,
+        v4_org: u32,
+        v6_org: u32,
+        v4_announced: Ipv4Prefix,
+        v6_announced: Ipv6Prefix,
+        v4_sub: Ipv4Prefix,
+        v6_sub: Ipv6Prefix,
+        active_from: MonthDate,
+    ) -> u32 {
+        let idx = self.pods.len() as u32;
+        self.rib.announce_v4(v4_announced, self.orgs[v4_org as usize].v4_asn);
+        self.rib.announce_v6(v6_announced, self.orgs[v6_org as usize].v6_asn);
+        self.pods.push(Pod {
+            idx,
+            unit,
+            v4_org,
+            v6_org,
+            v4_announced,
+            v6_announced,
+            v4_sub,
+            v6_sub,
+            active_from,
+        });
+        idx
+    }
+
+    fn build_unit(&mut self, v4_org: u32) {
+        let unit_idx = self.units.len() as u32;
+        let cross = unit_f64(self.seed, &[tag::UNIT_CROSS, unit_idx as u64])
+            < self.config.cross_org_unit_share;
+        let layout = self.sample_layout(unit_idx, cross);
+        let v6_org = if cross && self.config.n_orgs > 1 {
+            let other = bounded(
+                self.seed,
+                &[tag::UNIT_CROSS_ORG, unit_idx as u64],
+                self.config.n_orgs as u64 - 1,
+            ) as u32;
+            if other >= v4_org {
+                other + 1
+            } else {
+                other
+            }
+        } else {
+            v4_org
+        };
+        let active_from = self.unit_active_from(unit_idx);
+        let k = match layout {
+            UnitLayout::Aligned => 1,
+            _ => 2 + (bounded(self.seed, &[tag::UNIT_PODS, unit_idx as u64], 3) as usize) / 2,
+        };
+
+        let mut pods = Vec::with_capacity(k);
+        match layout {
+            UnitLayout::Aligned | UnitLayout::MultiPodAligned => {
+                let v4a = self.alloc_v4_announced(unit_idx, 0, 24);
+                let v6a = self.alloc_v6_announced(unit_idx, 0, 48);
+                for i in 0..k as u32 {
+                    let jitter = stable_hash(self.seed, &[tag::POD_SLOT, unit_idx as u64, i as u64]);
+                    // Distinct /24s where the announced prefix allows it,
+                    // distinct /28s otherwise — both tunable to J = 1.
+                    let (i24, i28) = if v4a.len() <= 23 {
+                        (i, (jitter % 16) as u32)
+                    } else {
+                        (0, i)
+                    };
+                    let v4_sub = v4_slot(v4a, i24, i28);
+                    let (i48, i96) = if v6a.len() <= 47 {
+                        (i as u64, jitter >> 32)
+                    } else {
+                        (0, i as u64)
+                    };
+                    let v6_sub = v6_slot(v6a, i48, i96);
+                    pods.push(self.push_pod(
+                        unit_idx, v4_org, v6_org, v4a, v6a, v4_sub, v6_sub, active_from,
+                    ));
+                }
+            }
+            UnitLayout::ShearV4Sep24 => {
+                let v4a = self.alloc_v4_announced(unit_idx, 0, 22);
+                for i in 0..k as u32 {
+                    let jitter = stable_hash(self.seed, &[tag::POD_SLOT, unit_idx as u64, i as u64]);
+                    let v4_sub = v4_slot(v4a, i, (jitter % 16) as u32);
+                    let v6a = self.alloc_v6_announced(unit_idx, 1 + i as u64, 48);
+                    let v6_sub = v6_slot(v6a, jitter >> 32, jitter >> 16);
+                    pods.push(self.push_pod(
+                        unit_idx, v4_org, v6_org, v4a, v6a, v4_sub, v6_sub, active_from,
+                    ));
+                }
+            }
+            UnitLayout::ShearV4Sep28 => {
+                let v4a = self.alloc_v4_announced(unit_idx, 0, 24);
+                for i in 0..k as u32 {
+                    let jitter = stable_hash(self.seed, &[tag::POD_SLOT, unit_idx as u64, i as u64]);
+                    // Same /24 (index 0), distinct /28s.
+                    let v4_sub = v4_slot(v4a, 0, i);
+                    let v6a = self.alloc_v6_announced(unit_idx, 1 + i as u64, 48);
+                    let v6_sub = v6_slot(v6a, jitter >> 32, jitter >> 16);
+                    pods.push(self.push_pod(
+                        unit_idx, v4_org, v6_org, v4a, v6a, v4_sub, v6_sub, active_from,
+                    ));
+                }
+            }
+            UnitLayout::ShearV6Sep48 => {
+                let v6a = self.alloc_v6_announced(unit_idx, 0, 44);
+                for i in 0..k as u32 {
+                    let jitter = stable_hash(self.seed, &[tag::POD_SLOT, unit_idx as u64, i as u64]);
+                    let v6_sub = v6_slot(v6a, i as u64, jitter >> 16);
+                    let v4a = self.alloc_v4_announced(unit_idx, 1 + i as u64, 24);
+                    let v4_sub = v4_slot(v4a, (jitter % 64) as u32, (jitter >> 8) as u32);
+                    pods.push(self.push_pod(
+                        unit_idx, v4_org, v6_org, v4a, v6a, v4_sub, v6_sub, active_from,
+                    ));
+                }
+            }
+            UnitLayout::ShearV6Sep96 => {
+                let v6a = self.alloc_v6_announced(unit_idx, 0, 48);
+                for i in 0..k as u32 {
+                    let jitter = stable_hash(self.seed, &[tag::POD_SLOT, unit_idx as u64, i as u64]);
+                    // Same /48 (index 0), distinct /96s.
+                    let v6_sub = v6_slot(v6a, 0, i as u64);
+                    let v4a = self.alloc_v4_announced(unit_idx, 1 + i as u64, 24);
+                    let v4_sub = v4_slot(v4a, (jitter % 64) as u32, (jitter >> 8) as u32);
+                    pods.push(self.push_pod(
+                        unit_idx, v4_org, v6_org, v4a, v6a, v4_sub, v6_sub, active_from,
+                    ));
+                }
+            }
+            UnitLayout::Deep => {
+                // All pods share one /96 — inseparable at any threshold —
+                // while each pod announces its own v4 prefix. (The shared
+                // side is IPv6 so that, like the real Internet, unique
+                // IPv4 prefixes outnumber unique IPv6 prefixes.)
+                let v6a = self.alloc_v6_announced(unit_idx, 0, 48);
+                let shared_sub = v6_slot(v6a, 0, 0);
+                for i in 0..k as u32 {
+                    let jitter = stable_hash(self.seed, &[tag::POD_SLOT, unit_idx as u64, i as u64]);
+                    let v4a = self.alloc_v4_announced(unit_idx, 1 + i as u64, 24);
+                    let v4_sub = v4_slot(v4a, (jitter % 64) as u32, (jitter >> 8) as u32);
+                    pods.push(self.push_pod(
+                        unit_idx, v4_org, v6_org, v4a, v6a, v4_sub, shared_sub, active_from,
+                    ));
+                }
+            }
+        }
+
+        self.units.push(Unit {
+            idx: unit_idx,
+            layout,
+            v4_org,
+            v6_org,
+            pods,
+        });
+    }
+
+    fn sample_pod_size(&self, pod: u32) -> u32 {
+        let weights: Vec<f64> = POD_SIZE_BINS.iter().map(|(_, _, w)| *w).collect();
+        let (lo, hi, _) = POD_SIZE_BINS[weighted_index(self.seed, &[tag::DOM_COUNT, pod as u64], &weights)];
+        if lo == hi {
+            lo
+        } else {
+            lo + bounded(self.seed, &[tag::DOM_COUNT, pod as u64, 1], (hi - lo + 1) as u64) as u32
+        }
+    }
+
+    fn next_domain_names(&mut self, pod_hint: u64, cname: bool) -> (sibling_dns::DomainId, sibling_dns::DomainId) {
+        let n = self.domain_counter;
+        self.domain_counter += 1;
+        let toplists = Toplist::canonical();
+        let tl_idx = self.sample_toplist(n);
+        let tld = match &toplists[tl_idx] {
+            Toplist::OpenCcTld(t) => t.clone(),
+            _ => match bounded(self.seed, &[tag::DOM_TLD, n], 3) {
+                0 => "com".to_string(),
+                1 => "net".to_string(),
+                _ => "org".to_string(),
+            },
+        };
+        let queried = self.domain_table.intern(&format!("w{n}.{tld}"));
+        let terminal = if cname {
+            self.domain_table
+                .intern(&format!("e{n}.cdn{pod_hint}.example"))
+        } else {
+            queried
+        };
+        (queried, terminal)
+    }
+
+    fn sample_toplist(&self, n: u64) -> usize {
+        // Umbrella, Alexa, Tranco, Radar, .se, .nl, .fr — the .fr cohort is
+        // the biggest single block, mirroring the 2022-08 jump of Fig. 1.
+        const WEIGHTS: [f64; 7] = [0.13, 0.22, 0.13, 0.09, 0.09, 0.09, 0.25];
+        // Canonical order: Alexa, Umbrella, Tranco, Radar, se, nl, fr.
+        let idx = weighted_index(self.seed, &[tag::DOM_TOPLIST, n], &WEIGHTS);
+        // WEIGHTS above are in canonical order already (Alexa first).
+        idx
+    }
+
+    fn sample_class(&self, n: u64) -> (VisibilityClass, f64) {
+        let consistent = self.config.consistent_share;
+        let once = self.config.once_share;
+        let u = unit_f64(self.seed, &[tag::DOM_CLASS, n]);
+        if u < consistent {
+            (VisibilityClass::Consistent, 1.0)
+        } else if u < consistent + once {
+            (VisibilityClass::Once, 0.0)
+        } else {
+            let p = 0.15 + 0.77 * unit_f64(self.seed, &[tag::DOM_INTER_P, n]);
+            (VisibilityClass::Intermittent, p)
+        }
+    }
+
+    fn sample_birth(&self, n: u64) -> u32 {
+        if unit_f64(self.seed, &[tag::DOM_BIRTH, n]) < 0.75 {
+            0
+        } else {
+            let span = self.config.end.months_since(&self.config.start).max(1) as u64;
+            bounded(self.seed, &[tag::DOM_BIRTH, n, 1], span) as u32
+        }
+    }
+
+    fn build_domains(&mut self) {
+        // Paired domains: assigned to pods, dual-stack by the end of the
+        // window (rank scaled into [0, ds_share_end)).
+        for pod_idx in 0..self.pods.len() as u32 {
+            let count = self.sample_pod_size(pod_idx);
+            for _ in 0..count {
+                let n = self.domain_counter;
+                let cname = unit_f64(self.seed, &[tag::DOM_CNAME, n]) < 0.30;
+                let v4_org = self.pods[pod_idx as usize].v4_org as u64;
+                let (queried, terminal) = self.next_domain_names(v4_org, cname);
+                let (class, intermittent_p) = self.sample_class(n);
+                self.specs.push(DomainSpec {
+                    queried,
+                    terminal,
+                    toplist: self.sample_toplist(n),
+                    class,
+                    intermittent_p,
+                    birth_offset: self.sample_birth(n),
+                    ds_rank: unit_f64(self.seed, &[tag::DOM_DS, n]) * self.config.ds_share_end,
+                    v4_pod: pod_idx,
+                    v6_pod: pod_idx,
+                    kind: DomainKind::Paired,
+                });
+            }
+        }
+        // Filler domains: v4-only forever, sized to keep the global DS
+        // share at the configured level.
+        let paired = self.specs.len();
+        let filler_count =
+            (paired as f64 * (1.0 / self.config.ds_share_end - 1.0)).round() as usize;
+        let n_pods = self.pods.len() as u64;
+        for _ in 0..filler_count {
+            let n = self.domain_counter;
+            let (queried, terminal) = self.next_domain_names(0, false);
+            let (class, intermittent_p) = self.sample_class(n);
+            let pod = bounded(self.seed, &[tag::FILLER_POD, n], n_pods) as u32;
+            self.specs.push(DomainSpec {
+                queried,
+                terminal,
+                toplist: self.sample_toplist(n),
+                class,
+                intermittent_p,
+                birth_offset: self.sample_birth(n),
+                ds_rank: self.config.ds_share_end
+                    + unit_f64(self.seed, &[tag::DOM_DS, n]) * (1.0 - self.config.ds_share_end),
+                v4_pod: pod,
+                v6_pod: pod,
+                kind: DomainKind::Filler,
+            });
+        }
+    }
+
+    fn build_monitoring(&mut self) -> Option<MonitoringSpec> {
+        if !self.config.monitoring_domain {
+            return None;
+        }
+        let domain = self
+            .domain_table
+            .intern("site24x7-probe.enduserexp.example");
+        let n_orgs = self.config.n_orgs as u64;
+        let mut v4_pods = Vec::with_capacity(self.config.monitoring_v4);
+        for j in 0..self.config.monitoring_v4 {
+            let org = bounded(self.seed, &[tag::MON_ORG, j as u64], n_orgs) as u32;
+            let unit_idx = self.units.len() as u32;
+            let v4a = self.v4_alloc.alloc(24);
+            // Pair with a placeholder v6 announced prefix owned by the
+            // same org so the pod struct is total; monitoring pods only
+            // publish one address family each.
+            let v6a = self.v6_alloc.alloc(48);
+            let v4_sub = v4_slot(v4a, 0, 0);
+            let v6_sub = v6_slot(v6a, 0, 0);
+            // The monitoring network grew over the years like everything
+            // else: pods activate over time (drives part of the Fig. 9
+            // doubling and keeps year −4 realistic).
+            let active_from = self.unit_active_from(unit_idx);
+            let pod = self.push_pod(
+                unit_idx,
+                org,
+                org,
+                v4a,
+                v6a,
+                v4_sub,
+                v6_sub,
+                active_from,
+            );
+            self.units.push(Unit {
+                idx: unit_idx,
+                layout: UnitLayout::Aligned,
+                v4_org: org,
+                v6_org: org,
+                pods: vec![pod],
+            });
+            v4_pods.push(pod);
+        }
+        let mut v6_pods = Vec::with_capacity(self.config.monitoring_v6);
+        for j in 0..self.config.monitoring_v6 {
+            let org = bounded(self.seed, &[tag::MON_ORG, 1_000 + j as u64], n_orgs) as u32;
+            let unit_idx = self.units.len() as u32;
+            let v4a = self.v4_alloc.alloc(24);
+            let v6a = self.v6_alloc.alloc(48);
+            let v4_sub = v4_slot(v4a, 0, 0);
+            let v6_sub = v6_slot(v6a, 0, 0);
+            let active_from = self.unit_active_from(unit_idx);
+            let pod = self.push_pod(
+                unit_idx,
+                org,
+                org,
+                v4a,
+                v6a,
+                v4_sub,
+                v6_sub,
+                active_from,
+            );
+            self.units.push(Unit {
+                idx: unit_idx,
+                layout: UnitLayout::Aligned,
+                v4_org: org,
+                v6_org: org,
+                pods: vec![pod],
+            });
+            v6_pods.push(pod);
+        }
+        Some(MonitoringSpec {
+            domain,
+            v4_pods,
+            v6_pods,
+        })
+    }
+
+    fn build_org_datasets(&self) -> (AsOrgSource, AsdbDataset, HgCdnList) {
+        let mut chen = AsOrgMap::new();
+        let mut caida = AsOrgMap::new();
+        let mut asdb = AsdbDataset::new();
+        for org in &self.orgs {
+            let id = OrgId(org.idx);
+            chen.add_org(id, &org.name);
+            chen.assign(org.v4_asn, id);
+            chen.assign(org.v6_asn, id);
+            caida.add_org(id, &org.name);
+            caida.assign(org.v4_asn, id);
+            if org.caida_split {
+                // CAIDA misses the sibling link: the v6 ASN appears as its
+                // own organization.
+                let split_id = OrgId(1_000_000 + org.idx);
+                caida.add_org(split_id, &format!("{} IPv6 Ops", org.name));
+                caida.assign(org.v6_asn, split_id);
+            } else {
+                caida.assign(org.v6_asn, id);
+            }
+            asdb.assign(org.v4_asn, org.business.clone());
+            asdb.assign(org.v6_asn, org.business.clone());
+        }
+        (AsOrgSource::new(caida, chen), asdb, HgCdnList::canonical())
+    }
+}
+
+impl World {
+    /// Generates a world from the configuration. Deterministic: equal
+    /// configs yield identical worlds.
+    pub fn generate(config: WorldConfig) -> World {
+        let mut b = Builder::new(config);
+        b.build_orgs();
+        for org in 0..b.config.n_orgs as u32 {
+            for _ in 0..b.unit_count_for_org(org) {
+                b.build_unit(org);
+            }
+        }
+        b.build_domains();
+        let monitoring = b.build_monitoring();
+        let (as_org, asdb, hg_cdn) = b.build_org_datasets();
+
+        // Dedicated eyeball space for probe placement (never hosts pods).
+        let eyeball_v4 = b.v4_alloc.alloc(12);
+        let eyeball_v6 = b.v6_alloc.alloc(20);
+
+        // Churn destination pools exclude the dedicated monitoring pods:
+        // nothing else ever co-locates with the monitoring domain.
+        let monitoring_pods: std::collections::BTreeSet<u32> = monitoring
+            .iter()
+            .flat_map(|m| m.v4_pods.iter().chain(m.v6_pods.iter()).copied())
+            .collect();
+        let mut org_v4_pods = vec![Vec::new(); b.config.n_orgs];
+        let mut org_v6_pods = vec![Vec::new(); b.config.n_orgs];
+        for pod in &b.pods {
+            if monitoring_pods.contains(&pod.idx) {
+                continue;
+            }
+            org_v4_pods[pod.v4_org as usize].push(pod.idx);
+            org_v6_pods[pod.v6_org as usize].push(pod.idx);
+        }
+
+        let mut world = World {
+            config: b.config,
+            domain_table: b.domain_table,
+            orgs: b.orgs,
+            units: b.units,
+            pods: b.pods,
+            specs: b.specs,
+            monitoring,
+            rib: b.rib,
+            as_org,
+            asdb,
+            hg_cdn,
+            org_v4_pods,
+            org_v6_pods,
+            eyeball_v4,
+            eyeball_v6,
+            anchor_pods: Vec::new(),
+        };
+        world.anchor_pods = world.compute_anchor_pods();
+        world
+    }
+
+    /// Pods that host at least one dual-stack domain guaranteed visible
+    /// at the end of the window (consistent class, born at the start,
+    /// dual-stack from the start, toplist still active, never re-hosted).
+    fn compute_anchor_pods(&self) -> Vec<u32> {
+        use sibling_dns::Toplist;
+        let end = self.config.end;
+        let toplists = Toplist::canonical();
+        let mut anchors: Vec<u32> = Vec::new();
+        for spec in &self.specs {
+            if spec.kind != crate::world::DomainKind::Paired
+                || !matches!(spec.class, crate::world::VisibilityClass::Consistent)
+                || spec.birth_offset != 0
+                || spec.ds_rank >= self.config.ds_share_start
+                || !toplists[spec.toplist].active_at(end)
+            {
+                continue;
+            }
+            let pod = &self.pods[spec.v4_pod as usize];
+            if pod.active_from != self.config.start {
+                continue;
+            }
+            // Aligned units only: their tuned pairs coincide exactly with
+            // the pod regions, so a probe placed inside one is a clean
+            // best match (sheared/deep units have ambiguous pod↔pair
+            // identities that would blur the §3.5 ground truth).
+            if !matches!(
+                self.units[pod.unit as usize].layout,
+                crate::world::UnitLayout::Aligned | crate::world::UnitLayout::MultiPodAligned
+            ) {
+                continue;
+            }
+            // The domain must still sit in its original pod at the end
+            // (no joint move or transient displacement at the reference
+            // date), so the pod's pair is a live sibling pair.
+            if self.v4_pod_at(spec, end) == spec.v4_pod
+                && self.v6_pod_at(spec, end) == spec.v6_pod
+            {
+                anchors.push(spec.v4_pod);
+            }
+        }
+        anchors.sort_unstable();
+        anchors.dedup();
+        anchors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w1 = World::generate(WorldConfig::test_tiny(7));
+        let w2 = World::generate(WorldConfig::test_tiny(7));
+        assert_eq!(w1.pods().len(), w2.pods().len());
+        assert_eq!(w1.domain_specs().len(), w2.domain_specs().len());
+        for (a, b) in w1.pods().iter().zip(w2.pods().iter()) {
+            assert_eq!(a.v4_sub, b.v4_sub);
+            assert_eq!(a.v6_sub, b.v6_sub);
+        }
+        let w3 = World::generate(WorldConfig::test_tiny(8));
+        // A different seed produces a different world (probabilistically
+        // certain at this size).
+        let same = w1
+            .pods()
+            .iter()
+            .zip(w3.pods().iter())
+            .all(|(a, b)| a.v4_sub == b.v4_sub);
+        assert!(!same || w1.pods().len() != w3.pods().len());
+    }
+
+    #[test]
+    fn pods_live_inside_their_announced_prefixes() {
+        let w = World::generate(WorldConfig::test_small(3));
+        for pod in w.pods() {
+            assert!(
+                pod.v4_announced.covers(&pod.v4_sub),
+                "pod {} v4 sub {} outside announced {}",
+                pod.idx,
+                pod.v4_sub,
+                pod.v4_announced
+            );
+            assert!(pod.v6_announced.covers(&pod.v6_sub));
+            assert_eq!(pod.v4_sub.len(), 28);
+            assert_eq!(pod.v6_sub.len(), 96);
+        }
+    }
+
+    #[test]
+    fn rib_contains_all_announcements() {
+        let w = World::generate(WorldConfig::test_small(3));
+        for pod in w.pods() {
+            assert!(w.rib().is_announced_v4(&pod.v4_announced));
+            assert!(w.rib().is_announced_v6(&pod.v6_announced));
+            let route = w.rib().lookup_v4(pod.v4_sub.bits()).unwrap();
+            assert_eq!(route.prefix, pod.v4_announced);
+        }
+    }
+
+    #[test]
+    fn hypergiants_have_more_units_than_ordinary_orgs() {
+        let w = World::generate(WorldConfig::test_small(3));
+        let amazon_units = w.units().iter().filter(|u| u.v4_org == 0).count();
+        let ordinary: f64 = (30..w.orgs().len() as u32)
+            .map(|o| w.units().iter().filter(|u| u.v4_org == o).count() as f64)
+            .sum::<f64>()
+            / (w.orgs().len() as f64 - 30.0).max(1.0);
+        assert!(
+            amazon_units as f64 > 3.0 * ordinary,
+            "Amazon {amazon_units} vs ordinary {ordinary}"
+        );
+    }
+
+    #[test]
+    fn business_types_are_it_dominated() {
+        let w = World::generate(WorldConfig::paper_scale(3));
+        let it = w
+            .orgs()
+            .iter()
+            .filter(|o| o.business.contains(&BusinessType::ComputerAndIt))
+            .count();
+        assert!(
+            it as f64 > 0.3 * w.orgs().len() as f64,
+            "IT orgs {} of {}",
+            it,
+            w.orgs().len()
+        );
+    }
+
+    #[test]
+    fn caida_era_splits_some_siblings() {
+        let w = World::generate(WorldConfig::paper_scale(3));
+        let date_caida = MonthDate::new(2021, 1);
+        let date_chen = MonthDate::new(2024, 1);
+        let mut diverging = 0;
+        for org in w.orgs() {
+            let caida_same = w
+                .as_org()
+                .map_for(date_caida)
+                .same_org(org.v4_asn, org.v6_asn);
+            let chen_same = w
+                .as_org()
+                .map_for(date_chen)
+                .same_org(org.v4_asn, org.v6_asn);
+            assert!(chen_same, "Chen era must merge all siblings");
+            if !caida_same {
+                diverging += 1;
+            }
+        }
+        assert!(diverging > 0, "some orgs must be split in the CAIDA era");
+    }
+
+    #[test]
+    fn monitoring_pods_are_dedicated() {
+        let w = World::generate(WorldConfig::test_small(3));
+        let mon = w.monitoring().expect("configured");
+        assert_eq!(mon.v4_pods.len(), w.config.monitoring_v4);
+        assert_eq!(mon.v6_pods.len(), w.config.monitoring_v6);
+        // No generated domain points at a monitoring pod.
+        let mon_pods: std::collections::BTreeSet<u32> = mon
+            .v4_pods
+            .iter()
+            .chain(mon.v6_pods.iter())
+            .copied()
+            .collect();
+        for spec in w.domain_specs() {
+            assert!(!mon_pods.contains(&spec.v4_pod));
+            assert!(!mon_pods.contains(&spec.v6_pod));
+        }
+    }
+
+    #[test]
+    fn eyeball_space_is_disjoint_from_hosting() {
+        let w = World::generate(WorldConfig::test_small(3));
+        for pod in w.pods() {
+            assert!(!w.eyeball_v4.covers(&pod.v4_announced));
+            assert!(!w.eyeball_v6.covers(&pod.v6_announced));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Address-space allocators.
+//!
+//! Announced prefixes are carved from globally routable space only (the
+//! §2.2 filter would silently discard anything else, which would skew
+//! every downstream share). The IPv4 allocator hands out /16-aligned
+//! chunks and skips special-purpose ranges; the IPv6 allocator hands out
+//! /32s from 2600::/12 (squarely inside 2000::/3, clear of 2001:db8::/32).
+
+use sibling_net_types::{is_routable_v4, Ipv4Prefix, Ipv6Prefix};
+
+/// Allocates non-overlapping IPv4 prefixes, /16-aligned chunks.
+#[derive(Debug, Clone)]
+pub struct V4Allocator {
+    /// Next /16 index (upper 16 bits of the base address).
+    next_chunk: u32,
+}
+
+impl V4Allocator {
+    /// Starts allocating at 5.0.0.0 (1.–4. contain special corner cases).
+    pub fn new() -> Self {
+        Self {
+            next_chunk: 5 << 8, // 5.0.0.0 as a /16 index
+        }
+    }
+
+    /// Allocates a prefix of length `len` (8 ≤ len ≤ 24), consuming a
+    /// whole /16 chunk regardless (simple, collision-free, plenty of
+    /// space at simulation scale).
+    pub fn alloc(&mut self, len: u8) -> Ipv4Prefix {
+        assert!((8..=24).contains(&len), "supported announce lengths are /8../24");
+        loop {
+            let chunk = self.next_chunk;
+            // A /16 costs one chunk; shorter prefixes cost 2^(16-len).
+            let span = if len >= 16 { 1 } else { 1u32 << (16 - len) };
+            // Align to the prefix's natural boundary.
+            let aligned = chunk.next_multiple_of(span);
+            let base = aligned << 16;
+            self.next_chunk = aligned + span;
+            if self.next_chunk >= (224 << 8) {
+                panic!("IPv4 simulation space exhausted");
+            }
+            // Verify the whole chunk is routable (check first and last /16).
+            if is_routable_v4(base) && is_routable_v4(base + (span << 16) - 1) {
+                return Ipv4Prefix::new(base, len).expect("validated length");
+            }
+        }
+    }
+}
+
+impl Default for V4Allocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Allocates non-overlapping IPv6 prefixes, /32-aligned.
+#[derive(Debug, Clone)]
+pub struct V6Allocator {
+    /// Next /32 index below 2600::/12.
+    next: u32,
+}
+
+impl V6Allocator {
+    /// Starts at 2600::/32.
+    pub fn new() -> Self {
+        Self { next: 0 }
+    }
+
+    /// Allocates a prefix of length `len` (20 ≤ len ≤ 48); consumes whole
+    /// /32 slots.
+    pub fn alloc(&mut self, len: u8) -> Ipv6Prefix {
+        assert!((20..=48).contains(&len), "supported announce lengths are /20../48");
+        let span = if len >= 32 { 1 } else { 1u32 << (32 - len) };
+        let aligned = self.next.next_multiple_of(span);
+        self.next = aligned + span;
+        assert!(self.next < (1 << 20), "IPv6 simulation space exhausted");
+        // 2600::/12 base | (index << (128 - 32)).
+        let base: u128 = (0x2600u128 << 112) | ((aligned as u128) << 96);
+        Ipv6Prefix::new(base, len).expect("validated length")
+    }
+}
+
+impl Default for V6Allocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibling_net_types::is_routable_v6;
+
+    #[test]
+    fn v4_allocations_are_disjoint_and_routable() {
+        let mut alloc = V4Allocator::new();
+        let mut prefixes = Vec::new();
+        for len in [24, 16, 12, 20, 24, 8, 16] {
+            prefixes.push(alloc.alloc(len));
+        }
+        for (i, a) in prefixes.iter().enumerate() {
+            assert!(is_routable_v4(a.bits()), "{a} not routable");
+            for (j, b) in prefixes.iter().enumerate() {
+                if i != j {
+                    assert!(!a.covers(b) && !b.covers(a), "{a} overlaps {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v4_allocator_skips_reserved_space() {
+        let mut alloc = V4Allocator::new();
+        // Enough allocations to cross 10/8, 127/8, etc.
+        for _ in 0..6000 {
+            let p = alloc.alloc(16);
+            assert!(is_routable_v4(p.bits()), "{p} not routable");
+        }
+    }
+
+    #[test]
+    fn v6_allocations_are_disjoint_and_routable() {
+        let mut alloc = V6Allocator::new();
+        let mut prefixes = Vec::new();
+        for len in [48, 32, 28, 32, 48, 24] {
+            prefixes.push(alloc.alloc(len));
+        }
+        for (i, a) in prefixes.iter().enumerate() {
+            assert!(is_routable_v6(a.bits()), "{a} not routable");
+            for (j, b) in prefixes.iter().enumerate() {
+                if i != j {
+                    assert!(!a.covers(b) && !b.covers(a), "{a} overlaps {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "supported announce lengths")]
+    fn v4_rejects_host_routes() {
+        V4Allocator::new().alloc(32);
+    }
+}

@@ -1,0 +1,178 @@
+//! Ground-truth port deployments (§3.6 substitute).
+//!
+//! Each pod runs a *service profile* (a subset of the 14 well-known
+//! ports). IPv4 and IPv6 hosts of the same pod expose correlated port
+//! sets; the correlation strength follows the unit layout, so prefixes
+//! with high DNS-based similarity also show high port-based similarity —
+//! the diagonal concentration of Fig. 6.
+
+use sibling_net_types::MonthDate;
+use sibling_scan::Deployment;
+
+use crate::build::tag;
+use crate::hash::{bounded, unit_f64};
+use crate::world::{UnitLayout, World};
+
+/// Common service profiles (subsets of the 14 well-known ports).
+const PROFILES: [&[u16]; 8] = [
+    &[80, 443],
+    &[80, 443, 22],
+    &[80, 443, 22, 21],
+    &[25, 110, 143, 80, 443],
+    &[53, 80, 443],
+    &[22],
+    &[53],
+    &[80, 443, 7547],
+];
+
+impl World {
+    /// Whether a pod answers scans at all (the paper observes responses
+    /// for 70.9% of sibling prefixes).
+    pub fn pod_responsive(&self, pod: u32) -> bool {
+        unit_f64(self.config.seed, &[tag::PORT_RESPONSIVE, pod as u64])
+            < self.config.pod_responsive_rate
+    }
+
+    /// The service profile of a pod.
+    fn pod_profile(&self, pod: u32) -> &'static [u16] {
+        PROFILES[bounded(self.config.seed, &[tag::PORT_PROFILE, pod as u64], PROFILES.len() as u64)
+            as usize]
+    }
+
+    /// Cross-family port correlation of a pod, set by its unit layout.
+    fn pod_port_correlation(&self, pod: u32) -> f64 {
+        match self.units()[self.pods()[pod as usize].unit as usize].layout {
+            UnitLayout::Aligned | UnitLayout::MultiPodAligned => 0.95,
+            UnitLayout::Deep => 0.50,
+            _ => 0.80,
+        }
+    }
+
+    /// The ground-truth deployment for the addresses visible at `date`.
+    ///
+    /// Only dual-stack domains' addresses are populated (they are the
+    /// scan targets of §3.6); non-responsive pods expose nothing.
+    pub fn deployment(&self, date: MonthDate) -> Deployment {
+        let mut deployment = Deployment::new();
+        for spec in self.domain_specs() {
+            if !self.spec_visible(spec, date) || !self.spec_is_ds(spec, date) {
+                continue;
+            }
+            let v4_pod = self.v4_pod_at(spec, date);
+            let v6_pod = self.v6_pod_at(spec, date);
+            let v4_addr = self.v4_addr_at(spec, date);
+            let v6_addr = self.v6_addr_at(spec, date);
+            if self.pod_responsive(v4_pod) {
+                let profile = self.pod_profile(v4_pod);
+                let mut ports = deployment.open_v4(v4_addr);
+                for &port in profile {
+                    // Per-host jitter: each profile port is present with
+                    // high probability.
+                    if unit_f64(
+                        self.config.seed,
+                        &[tag::PORT_DROP_V4, v4_addr as u64, port as u64],
+                    ) < 0.92
+                    {
+                        ports.insert(port);
+                    }
+                }
+                deployment.set_v4(v4_addr, ports);
+            }
+            if self.pod_responsive(v6_pod) {
+                let profile = self.pod_profile(v6_pod);
+                let corr = self.pod_port_correlation(v6_pod);
+                let mut ports = deployment.open_v6(v6_addr);
+                for &port in profile {
+                    // The v6 side keeps each profile port with the
+                    // layout-dependent correlation.
+                    if unit_f64(
+                        self.config.seed,
+                        &[
+                            tag::PORT_DROP_V6,
+                            v6_addr as u64,
+                            (v6_addr >> 64) as u64,
+                            port as u64,
+                        ],
+                    ) < corr
+                    {
+                        ports.insert(port);
+                    }
+                }
+                // IPv6 tends to have *more* open ports (Czyz et al.):
+                // occasionally add an extra well-known port.
+                if unit_f64(
+                    self.config.seed,
+                    &[tag::PORT_EXTRA_V6, v6_addr as u64, (v6_addr >> 64) as u64],
+                ) < 0.15
+                {
+                    ports.insert(23);
+                }
+                deployment.set_v6(v6_addr, ports);
+            }
+        }
+        deployment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use sibling_scan::WELL_KNOWN_PORTS;
+
+    #[test]
+    fn deployment_only_uses_well_known_ports() {
+        let w = World::generate(WorldConfig::test_small(13));
+        let d = w.deployment(w.config.end);
+        for addr in d.v4_addrs().collect::<Vec<_>>() {
+            for port in d.open_v4(addr).iter() {
+                assert!(WELL_KNOWN_PORTS.contains(&port), "unexpected port {port}");
+            }
+        }
+    }
+
+    #[test]
+    fn roughly_the_configured_share_of_pods_respond() {
+        let w = World::generate(WorldConfig::paper_scale(13));
+        let responsive = (0..w.pods().len() as u32)
+            .filter(|p| w.pod_responsive(*p))
+            .count();
+        let share = responsive as f64 / w.pods().len() as f64;
+        assert!(
+            (share - w.config.pod_responsive_rate).abs() < 0.05,
+            "responsive share {share}"
+        );
+    }
+
+    #[test]
+    fn v4_and_v6_port_sets_correlate() {
+        let w = World::generate(WorldConfig::test_small(13));
+        let date = w.config.end;
+        let d = w.deployment(date);
+        let mut sum_j = 0.0;
+        let mut n = 0usize;
+        for spec in w.domain_specs() {
+            if !w.spec_visible(spec, date) || !w.spec_is_ds(spec, date) {
+                continue;
+            }
+            let p4 = d.open_v4(w.v4_addr_at(spec, date));
+            let p6 = d.open_v6(w.v6_addr_at(spec, date));
+            if p4.is_empty() || p6.is_empty() {
+                continue;
+            }
+            sum_j += p4.jaccard(&p6);
+            n += 1;
+        }
+        assert!(n > 20, "need responsive dual-stack hosts, got {n}");
+        let mean = sum_j / n as f64;
+        assert!(mean > 0.5, "cross-family port similarity too low: {mean}");
+    }
+
+    #[test]
+    fn deployment_is_deterministic() {
+        let w = World::generate(WorldConfig::test_tiny(13));
+        let d1 = w.deployment(w.config.end);
+        let d2 = w.deployment(w.config.end);
+        assert_eq!(d1.counts(), d2.counts());
+    }
+}

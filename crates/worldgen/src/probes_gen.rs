@@ -1,0 +1,183 @@
+//! Ground-truth probe populations (§3.5 substitute).
+//!
+//! The paper *measures* how well its sibling prefixes cover RIPE Atlas
+//! probes and IPinfo VPSes; this module *constructs* probe populations
+//! from the reported category mix, so the thing under test is the
+//! coverage evaluator (`sibling-probes`), not the placement.
+
+use sibling_probes::DualStackEndpoint;
+
+use crate::build::tag;
+use crate::hash::{bounded, unit_f64};
+use crate::world::World;
+
+/// A VPS vantage point with its hosting provider label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VpsProbe {
+    /// Hosting provider (for per-provider breakdowns).
+    pub provider: String,
+    /// The dual-stack endpoint.
+    pub endpoint: DualStackEndpoint,
+}
+
+/// Placement category weights: (best-match, mismatch, partial, none).
+const ATLAS_MIX: [f64; 4] = [0.380, 0.045, 0.321, 0.253];
+/// VPS mix: 53 best-match / 13 mismatch of 260, remainder split.
+const VPS_MIX: [f64; 4] = [0.204, 0.050, 0.373, 0.373];
+
+const PROVIDERS: [&str; 6] = [
+    "AWS",
+    "Google Cloud",
+    "Azure",
+    "Vultr",
+    "DigitalOcean",
+    "Hetzner",
+];
+
+impl World {
+    fn probe_endpoint(&self, kind: u64, id: u32, category: usize) -> DualStackEndpoint {
+        let seed = self.config.seed;
+        // Covered probes live in pods with stable dual-stack service
+        // (§3.5 probes are, by selection, dual-stack deployments).
+        let pool: &[u32] = if self.anchor_pods.is_empty() {
+            &[]
+        } else {
+            &self.anchor_pods
+        };
+        let pick = |slot: u64| -> &crate::world::Pod {
+            if pool.is_empty() {
+                let n_pods = self.pods().len() as u64;
+                &self.pods()[bounded(seed, &[tag::PROBE_POD, kind, id as u64, slot], n_pods) as usize]
+            } else {
+                let i = bounded(seed, &[tag::PROBE_POD, kind, id as u64, slot], pool.len() as u64);
+                &self.pods()[pool[i as usize] as usize]
+            }
+        };
+        let pod_a = pick(0);
+        let pod_b = pick(1);
+        let host4 = |p: &crate::world::Pod| {
+            p.v4_sub.bits() | bounded(seed, &[tag::PROBE_ADDR, kind, id as u64, 4], 16) as u32
+        };
+        let host6 = |p: &crate::world::Pod| {
+            p.v6_sub.bits()
+                | bounded(seed, &[tag::PROBE_ADDR, kind, id as u64, 6], 1 << 32) as u128
+        };
+        let eyeball4 = self.eyeball_v4.bits()
+            | bounded(seed, &[tag::PROBE_ADDR, kind, id as u64, 44], 1 << 20) as u32;
+        let eyeball6 = self.eyeball_v6.bits()
+            | bounded(seed, &[tag::PROBE_ADDR, kind, id as u64, 66], 1 << 32) as u128;
+        match category {
+            // Best match: both families inside the same pod.
+            0 => DualStackEndpoint {
+                id,
+                v4: host4(pod_a),
+                v6: host6(pod_a),
+            },
+            // Mismatch: families in unrelated pods.
+            1 => DualStackEndpoint {
+                id,
+                v4: host4(pod_a),
+                v6: host6(pod_b),
+            },
+            // Partial: v4 hosted, v6 in eyeball space.
+            2 => DualStackEndpoint {
+                id,
+                v4: host4(pod_a),
+                v6: eyeball6,
+            },
+            // None: both in eyeball space.
+            _ => DualStackEndpoint {
+                id,
+                v4: eyeball4,
+                v6: eyeball6,
+            },
+        }
+    }
+
+    /// Exact-quota category assignment: the population is *constructed*
+    /// with the paper's reported mix, so shares must hold exactly rather
+    /// than in expectation (sampling noise on a few hundred probes would
+    /// otherwise blur the §3.5 comparison).
+    fn quota_category(id: u32, total: usize, mix: &[f64; 4]) -> usize {
+        let position = (id as f64 + 0.5) / total.max(1) as f64;
+        let mut acc = 0.0;
+        for (i, share) in mix.iter().enumerate() {
+            acc += share / mix.iter().sum::<f64>();
+            if position < acc {
+                return i;
+            }
+        }
+        mix.len() - 1
+    }
+
+    /// The RIPE-Atlas-style dual-stack probe population.
+    pub fn atlas_probes(&self) -> Vec<DualStackEndpoint> {
+        (0..self.config.n_atlas_probes as u32)
+            .map(|id| {
+                let category = Self::quota_category(id, self.config.n_atlas_probes, &ATLAS_MIX);
+                self.probe_endpoint(1, id, category)
+            })
+            .collect()
+    }
+
+    /// The VPS vantage-point population with provider labels.
+    pub fn vps_probes(&self) -> Vec<VpsProbe> {
+        (0..self.config.n_vps as u32)
+            .map(|id| {
+                let category = Self::quota_category(id, self.config.n_vps, &VPS_MIX);
+                let provider = PROVIDERS[(unit_f64(
+                    self.config.seed,
+                    &[tag::PROBE_POD, 3, id as u64],
+                ) * PROVIDERS.len() as f64) as usize % PROVIDERS.len()]
+                .to_string();
+                VpsProbe {
+                    provider,
+                    endpoint: self.probe_endpoint(2, id, category),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    #[test]
+    fn probe_counts_match_config() {
+        let w = World::generate(WorldConfig::test_small(17));
+        assert_eq!(w.atlas_probes().len(), w.config.n_atlas_probes);
+        assert_eq!(w.vps_probes().len(), w.config.n_vps);
+    }
+
+    #[test]
+    fn probes_are_deterministic() {
+        let w = World::generate(WorldConfig::test_small(17));
+        assert_eq!(w.atlas_probes(), w.atlas_probes());
+    }
+
+    #[test]
+    fn category_mix_roughly_matches() {
+        let w = World::generate(WorldConfig::paper_scale(17));
+        let probes = w.atlas_probes();
+        // Count probes whose v4 is in eyeball space (partial or none).
+        let eyeball4 = probes
+            .iter()
+            .filter(|p| w.eyeball_v4.contains(p.v4))
+            .count();
+        let share = eyeball4 as f64 / probes.len() as f64;
+        assert!(
+            (share - ATLAS_MIX[3]).abs() < 0.05,
+            "uncovered-v4 share {share}"
+        );
+    }
+
+    #[test]
+    fn vps_probes_have_providers() {
+        let w = World::generate(WorldConfig::test_tiny(17));
+        for vps in w.vps_probes() {
+            assert!(PROVIDERS.contains(&vps.provider.as_str()));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! RPKI dataset derivation (§2.6 substitute).
+
+use std::collections::BTreeSet;
+
+use sibling_net_types::{AnyPrefix, Asn, MonthDate};
+use sibling_rpki::{Roa, RoaTable, RpkiArchive};
+
+use crate::build::tag;
+use crate::hash::unit_f64;
+use crate::world::World;
+
+impl World {
+    /// ROA adoption rank of a prefix: a blend of an org-level rank (orgs
+    /// adopt RPKI as a whole) and a prefix-level rank (roll-outs are
+    /// gradual). A prefix is covered at `date` iff its rank is below the
+    /// configured coverage level — monotone in time, so coverage only
+    /// grows, as in Fig. 18.
+    fn rpki_rank(&self, org: u32, bits: u128, len: u8) -> f64 {
+        let org_rank = unit_f64(self.config.seed, &[tag::RPKI_RANK, org as u64]);
+        let prefix_rank = unit_f64(
+            self.config.seed,
+            &[tag::RPKI_RANK, bits as u64, (bits >> 64) as u64, len as u64],
+        );
+        0.5 * org_rank + 0.5 * prefix_rank
+    }
+
+    /// Whether a covered prefix's ROA is misconfigured (wrong origin).
+    fn roa_misconfigured(&self, bits: u128, len: u8) -> bool {
+        unit_f64(
+            self.config.seed,
+            &[tag::RPKI_KIND, bits as u64, (bits >> 64) as u64, len as u64],
+        ) < self.config.rpki_misconfig_rate
+    }
+
+    /// The combined five-RIR ROA table as of `date`.
+    pub fn roa_table(&self, date: MonthDate) -> RoaTable {
+        let coverage = self.config.rpki_coverage_at(date);
+        let mut table = RoaTable::new();
+        let mut seen_v4: BTreeSet<sibling_net_types::Ipv4Prefix> = BTreeSet::new();
+        let mut seen_v6: BTreeSet<sibling_net_types::Ipv6Prefix> = BTreeSet::new();
+        for pod in self.pods() {
+            if seen_v4.insert(pod.v4_announced) {
+                let p = pod.v4_announced;
+                let asn = self.orgs()[pod.v4_org as usize].v4_asn;
+                if self.rpki_rank(pod.v4_org, p.bits() as u128, p.len()) < coverage {
+                    let origin = if self.roa_misconfigured(p.bits() as u128, p.len()) {
+                        Asn(asn.0 + 7_777)
+                    } else {
+                        asn
+                    };
+                    table.add(
+                        Roa::new(AnyPrefix::V4(p), p.len(), origin).expect("maxLength = len"),
+                    );
+                }
+            }
+            if seen_v6.insert(pod.v6_announced) {
+                let p = pod.v6_announced;
+                let asn = self.orgs()[pod.v6_org as usize].v6_asn;
+                let bits = p.bits();
+                if self.rpki_rank(pod.v6_org, bits, p.len()) < coverage {
+                    let origin = if self.roa_misconfigured(bits, p.len()) {
+                        Asn(asn.0 + 7_777)
+                    } else {
+                        asn
+                    };
+                    table.add(
+                        Roa::new(AnyPrefix::V6(p), p.len(), origin).expect("maxLength = len"),
+                    );
+                }
+            }
+        }
+        table
+    }
+
+    /// Monthly RPKI archive across the whole window.
+    pub fn rpki_archive(&self) -> RpkiArchive {
+        let mut archive = RpkiArchive::new();
+        for month in self.config.months() {
+            archive.insert(month, self.roa_table(month));
+        }
+        archive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use sibling_rpki::RovState;
+
+    #[test]
+    fn coverage_grows_over_time() {
+        let w = World::generate(WorldConfig::test_small(5));
+        let early = w.roa_table(w.config.start).len();
+        let late = w.roa_table(w.config.end).len();
+        assert!(late > early, "ROA count must grow: {early} → {late}");
+    }
+
+    #[test]
+    fn coverage_is_monotone_per_prefix() {
+        let w = World::generate(WorldConfig::test_small(5));
+        let early = w.roa_table(w.config.start);
+        let late = w.roa_table(w.config.end);
+        // Any prefix valid early must not become NotFound later.
+        for pod in w.pods().iter().take(100) {
+            let p = pod.v4_announced;
+            let asn = w.orgs()[pod.v4_org as usize].v4_asn;
+            let before = early.validate_v4(&p, asn);
+            let after = late.validate_v4(&p, asn);
+            if before != RovState::NotFound {
+                assert_ne!(after, RovState::NotFound, "{p} regressed to NotFound");
+            }
+        }
+    }
+
+    #[test]
+    fn some_roas_are_misconfigured() {
+        let w = World::generate(WorldConfig::test_small(5));
+        let table = w.roa_table(w.config.end);
+        let mut valid = 0;
+        let mut invalid = 0;
+        for pod in w.pods() {
+            let asn = w.orgs()[pod.v4_org as usize].v4_asn;
+            match table.validate_v4(&pod.v4_announced, asn) {
+                RovState::Valid => valid += 1,
+                RovState::Invalid => invalid += 1,
+                RovState::NotFound => {}
+            }
+        }
+        assert!(valid > 0, "some valid announcements expected");
+        assert!(invalid > 0, "some invalid announcements expected");
+        assert!(valid > invalid * 3, "valid should dominate: {valid} vs {invalid}");
+    }
+
+    #[test]
+    fn archive_has_all_months() {
+        let w = World::generate(WorldConfig::test_tiny(5));
+        let archive = w.rpki_archive();
+        assert_eq!(archive.len(), w.config.months().len());
+    }
+}

@@ -1,0 +1,367 @@
+//! Dated snapshot derivation: visibility, churn, addresses, DNS zones.
+
+use sibling_dns::{DnsRecord, DnsSnapshot, Toplist, Zone};
+use sibling_net_types::MonthDate;
+
+use crate::build::tag;
+use crate::hash::{bounded, unit_f64};
+use crate::world::{DomainSpec, VisibilityClass, World};
+
+impl World {
+    /// Months elapsed since the window start (clamped at 0).
+    fn month_index(&self, date: MonthDate) -> u32 {
+        date.months_since(&self.config.start).max(0) as u32
+    }
+
+    /// Whether the monitoring domain is missing at `date`.
+    pub fn is_monitoring_outage(&self, date: MonthDate) -> bool {
+        self.config.monitoring_outages.contains(&date)
+    }
+
+    /// Counts Bernoulli events in months `1..=m` for a domain (pure
+    /// function of the seed, so churn is consistent across snapshots).
+    fn event_count(&self, tag_id: u64, domain: u64, m: u32, p: f64) -> u32 {
+        if p <= 0.0 {
+            return 0;
+        }
+        (1..=m)
+            .filter(|mi| unit_f64(self.config.seed, &[tag_id, domain, *mi as u64]) < p)
+            .count() as u32
+    }
+
+    /// The destination pod of the latest *joint* re-hosting event, if any.
+    ///
+    /// Joint moves relocate both address families to the same pod, drawn
+    /// from the pods of the domain's original v4-side organization
+    /// (monitoring pods are excluded from the pools at build time).
+    fn joint_dest(&self, spec: &DomainSpec, m: u32) -> Option<u32> {
+        let d = spec.queried.0 as u64;
+        let joint = self.event_count(tag::MOVE_JOINT, d, m, self.config.joint_move_monthly);
+        if joint == 0 {
+            return None;
+        }
+        let org = self.pods[spec.v4_pod as usize].v4_org as usize;
+        let pool = &self.org_v4_pods[org];
+        if pool.is_empty() {
+            return None;
+        }
+        let pick = bounded(
+            self.config.seed,
+            &[tag::MOVE_JOINT, d, joint as u64],
+            pool.len() as u64,
+        ) as usize;
+        Some(pool[pick])
+    }
+
+    /// The v4 pod a domain occupies at `date` (after churn moves).
+    ///
+    /// Joint re-hosting moves are cumulative (the service migrates for
+    /// good); single-family displacements are *transient* — a failover or
+    /// renumbering that points one family elsewhere for that month and
+    /// then reverts. Transience matches the real Internet's steady state:
+    /// per-month cross-family tangles stay rare even though the
+    /// year-over-year prefix-change rate is several percent (§4.1).
+    pub fn v4_pod_at(&self, spec: &DomainSpec, date: MonthDate) -> u32 {
+        let m = self.month_index(date);
+        let d = spec.queried.0 as u64;
+        let base = self.joint_dest(spec, m).unwrap_or(spec.v4_pod);
+        if unit_f64(self.config.seed, &[tag::MOVE_V4, d, m as u64])
+            < self.config.v4_only_move_monthly
+        {
+            let org = self.pods[base as usize].v4_org as usize;
+            let pool = &self.org_v4_pods[org];
+            if !pool.is_empty() {
+                let pick = bounded(
+                    self.config.seed,
+                    &[tag::MOVE_V4, d, m as u64, 1],
+                    pool.len() as u64,
+                ) as usize;
+                return pool[pick];
+            }
+        }
+        base
+    }
+
+    /// The v6 pod a domain occupies at `date`.
+    pub fn v6_pod_at(&self, spec: &DomainSpec, date: MonthDate) -> u32 {
+        let m = self.month_index(date);
+        let d = spec.queried.0 as u64;
+        let base = self.joint_dest(spec, m).unwrap_or(spec.v6_pod);
+        if unit_f64(self.config.seed, &[tag::MOVE_V6, d, m as u64])
+            < self.config.v6_only_move_monthly
+        {
+            let org = self.pods[base as usize].v6_org as usize;
+            let pool = &self.org_v6_pods[org];
+            if !pool.is_empty() {
+                let pick = bounded(
+                    self.config.seed,
+                    &[tag::MOVE_V6, d, m as u64, 1],
+                    pool.len() as u64,
+                ) as usize;
+                return pool[pick];
+            }
+        }
+        base
+    }
+
+    /// The host slot (server) a domain occupies inside its pod at `date`.
+    ///
+    /// A dual-stack server is one machine: the *same* slot serves both
+    /// address families, so host-level (deepest-threshold) sibling pairs
+    /// stay perfect — the reason the paper's Fig. 19 gradient keeps
+    /// rising all the way to /31–/124.
+    fn host_slot(&self, spec: &DomainSpec, date: MonthDate) -> u32 {
+        let m = self.month_index(date);
+        let d = spec.queried.0 as u64;
+        let epoch = self.event_count(tag::REHASH, d, m, self.config.addr_rehash_monthly)
+            + self.event_count(tag::MOVE_JOINT, d, m, self.config.joint_move_monthly);
+        bounded(self.config.seed, &[tag::ADDR_V4, d, epoch as u64], 16) as u32
+    }
+
+    /// The v4 address of a domain at `date` (host inside its pod's /28).
+    pub fn v4_addr_at(&self, spec: &DomainSpec, date: MonthDate) -> u32 {
+        let pod = &self.pods[self.v4_pod_at(spec, date) as usize];
+        pod.v4_sub.bits() | self.host_slot(spec, date)
+    }
+
+    /// The v6 address of a domain at `date` (host inside its pod's /96).
+    pub fn v6_addr_at(&self, spec: &DomainSpec, date: MonthDate) -> u128 {
+        let pod = &self.pods[self.v6_pod_at(spec, date) as usize];
+        pod.v6_sub.bits() | self.host_slot(spec, date) as u128
+    }
+
+    /// Whether a domain is in the dataset at all at `date` (born, its
+    /// toplist active, its pods active, and its visibility class agrees).
+    pub fn spec_visible(&self, spec: &DomainSpec, date: MonthDate) -> bool {
+        let m = self.month_index(date);
+        if date < self.config.start || date > self.config.end {
+            return false;
+        }
+        if m < spec.birth_offset {
+            return false;
+        }
+        let toplists = Toplist::canonical();
+        if !toplists[spec.toplist].active_at(date) {
+            return false;
+        }
+        let v4_pod = &self.pods[self.v4_pod_at(spec, date) as usize];
+        if v4_pod.active_from > date {
+            return false;
+        }
+        match spec.class {
+            VisibilityClass::Consistent => true,
+            VisibilityClass::Once => {
+                let span = self
+                    .config
+                    .end
+                    .months_since(&self.config.start)
+                    .max(0) as u64
+                    + 1;
+                let remaining = span - spec.birth_offset as u64;
+                let chosen = spec.birth_offset as u64
+                    + bounded(
+                        self.config.seed,
+                        &[tag::VIS_ONCE, spec.queried.0 as u64],
+                        remaining.max(1),
+                    );
+                m as u64 == chosen
+            }
+            VisibilityClass::Intermittent => {
+                unit_f64(
+                    self.config.seed,
+                    &[tag::VIS_INTER, spec.queried.0 as u64, m as u64],
+                ) < spec.intermittent_p
+            }
+        }
+    }
+
+    /// Whether a visible domain publishes AAAA records at `date`.
+    pub fn spec_is_ds(&self, spec: &DomainSpec, date: MonthDate) -> bool {
+        spec.ds_rank < self.config.ds_share_at(date)
+    }
+
+    /// Builds the authoritative zone for `date` (queried names, CNAME
+    /// chains, and terminal address records).
+    pub fn zone(&self, date: MonthDate) -> Zone {
+        let mut zone = Zone::new();
+        for spec in &self.specs {
+            if !self.spec_visible(spec, date) {
+                continue;
+            }
+            if spec.queried != spec.terminal {
+                zone.add(spec.queried, DnsRecord::Cname(spec.terminal));
+            }
+            zone.add(spec.terminal, DnsRecord::A(self.v4_addr_at(spec, date)));
+            if self.spec_is_ds(spec, date) {
+                zone.add(spec.terminal, DnsRecord::Aaaa(self.v6_addr_at(spec, date)));
+            }
+        }
+        if let Some(mon) = &self.monitoring {
+            if !self.is_monitoring_outage(date) {
+                for &pod_idx in &mon.v4_pods {
+                    let pod = &self.pods[pod_idx as usize];
+                    if pod.active_from <= date {
+                        zone.add(mon.domain, DnsRecord::A(pod.v4_sub.bits()));
+                    }
+                }
+                for &pod_idx in &mon.v6_pods {
+                    let pod = &self.pods[pod_idx as usize];
+                    if pod.active_from <= date {
+                        zone.add(mon.domain, DnsRecord::Aaaa(pod.v6_sub.bits()));
+                    }
+                }
+            }
+        }
+        zone
+    }
+
+    /// The OpenINTEL-style resolution snapshot for `date`.
+    pub fn snapshot(&self, date: MonthDate) -> DnsSnapshot {
+        DnsSnapshot::resolve_zone(date, &self.zone(date))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::world::DomainKind;
+
+    fn world() -> World {
+        World::generate(WorldConfig::test_small(11))
+    }
+
+    #[test]
+    fn snapshots_are_deterministic() {
+        let w = world();
+        let date = MonthDate::new(2024, 9);
+        let s1 = w.snapshot(date);
+        let s2 = w.snapshot(date);
+        assert_eq!(s1.domain_count(), s2.domain_count());
+        assert_eq!(s1.ds_count(), s2.ds_count());
+    }
+
+    #[test]
+    fn ds_share_tracks_configuration() {
+        let w = world();
+        let s_start = w.snapshot(w.config.start);
+        let s_end = w.snapshot(w.config.end);
+        let share_start = s_start.ds_share();
+        let share_end = s_end.ds_share();
+        assert!(
+            (share_start - w.config.ds_share_start).abs() < 0.06,
+            "start DS share {share_start} vs target {}",
+            w.config.ds_share_start
+        );
+        assert!(
+            (share_end - w.config.ds_share_end).abs() < 0.06,
+            "end DS share {share_end} vs target {}",
+            w.config.ds_share_end
+        );
+        assert!(share_end > share_start, "DS share must grow");
+    }
+
+    #[test]
+    fn addresses_fall_inside_pods() {
+        let w = world();
+        let date = MonthDate::new(2024, 9);
+        for spec in w.domain_specs().iter().take(200) {
+            let v4_pod = &w.pods()[w.v4_pod_at(spec, date) as usize];
+            assert!(v4_pod.v4_sub.contains(w.v4_addr_at(spec, date)));
+            let v6_pod = &w.pods()[w.v6_pod_at(spec, date) as usize];
+            assert!(v6_pod.v6_sub.contains(w.v6_addr_at(spec, date)));
+        }
+    }
+
+    #[test]
+    fn filler_domains_never_dual_stack() {
+        let w = world();
+        for spec in w.domain_specs() {
+            if spec.kind == DomainKind::Filler {
+                assert!(!w.spec_is_ds(spec, w.config.end));
+            }
+        }
+    }
+
+    #[test]
+    fn monitoring_outage_removes_domain() {
+        let w = world();
+        let mon_domain = w.monitoring().unwrap().domain;
+        let outage = w.config.monitoring_outages[0];
+        assert!(w.snapshot(outage).get(mon_domain).is_none());
+        // By the end of the window every monitoring pod has activated.
+        let entry = w.snapshot(w.config.end).get(mon_domain).cloned().unwrap();
+        assert_eq!(entry.v4.len(), w.config.monitoring_v4);
+        assert_eq!(entry.v6.len(), w.config.monitoring_v6);
+        // Early in the window only part of the network exists.
+        let early = w.snapshot(w.config.start).get(mon_domain).cloned().unwrap();
+        assert!(early.v4.len() <= w.config.monitoring_v4);
+        assert!(!early.v4.is_empty(), "some monitoring pods active at start");
+    }
+
+    #[test]
+    fn cname_chains_resolve_to_terminal_names() {
+        let w = world();
+        let date = MonthDate::new(2024, 9);
+        let snap = w.snapshot(date);
+        // Find a CNAMEd visible spec and check the snapshot is keyed by
+        // the terminal name.
+        let spec = w
+            .domain_specs()
+            .iter()
+            .find(|s| s.queried != s.terminal && w.spec_visible(s, date))
+            .expect("some CNAMEd domain visible");
+        assert!(snap.get(spec.terminal).is_some());
+        assert!(snap.get(spec.queried).is_none());
+    }
+
+    #[test]
+    fn domain_count_grows_over_time() {
+        let w = world();
+        let early = w.snapshot(w.config.start).domain_count();
+        let late = w.snapshot(w.config.end).domain_count();
+        assert!(
+            late as f64 > 1.2 * early as f64,
+            "domains should grow: {early} → {late}"
+        );
+    }
+
+    #[test]
+    fn fr_cohort_arrives_in_2022_08() {
+        let w = world();
+        let before = w.snapshot(MonthDate::new(2022, 7)).domain_count();
+        let after = w.snapshot(MonthDate::new(2022, 8)).domain_count();
+        assert!(
+            after as f64 > 1.1 * before as f64,
+            ".fr addition must bump totals: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn consistent_domains_stay_visible() {
+        let w = world();
+        let spec = w
+            .domain_specs()
+            .iter()
+            .find(|s| {
+                matches!(s.class, VisibilityClass::Consistent)
+                    && s.birth_offset == 0
+                    && Toplist::canonical()[s.toplist].active_at(w.config.start)
+                    && Toplist::canonical()[s.toplist].active_at(w.config.end)
+                    && w.pods()[s.v4_pod as usize].active_from == w.config.start
+            })
+            .expect("a consistent domain from the start");
+        // Visible at every month unless a churn move lands it in a pod
+        // that activates later — rare; check at least 90% visibility.
+        let months = w.config.months();
+        let visible = months
+            .iter()
+            .filter(|m| w.spec_visible(spec, **m))
+            .count();
+        assert!(
+            visible as f64 >= 0.9 * months.len() as f64,
+            "consistent domain visible {visible}/{}",
+            months.len()
+        );
+    }
+}

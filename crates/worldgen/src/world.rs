@@ -1,0 +1,258 @@
+//! World structure: the fixed entities every dated artefact derives from.
+
+use sibling_as_org::{AsOrgSource, AsdbDataset, BusinessType, HgCdnList};
+use sibling_bgp::{Rib, RibArchive};
+use sibling_dns::{DomainId, DomainTable};
+use sibling_net_types::{Asn, Ipv4Prefix, Ipv6Prefix, MonthDate};
+
+use crate::config::WorldConfig;
+
+/// How often a domain shows up across snapshots (§4.1: ~40% consistent,
+/// ~20% once, ~40% intermittent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VisibilityClass {
+    /// Visible at every snapshot from its birth onward.
+    Consistent,
+    /// Visible at exactly one snapshot.
+    Once,
+    /// Visible at each snapshot with a per-domain probability.
+    Intermittent,
+}
+
+/// The hosting-unit layouts (see crate docs for their role in the Fig. 5
+/// perfect-match ladder). Order matches [`crate::LayoutMix::weights`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitLayout {
+    /// One pod, own announced pair: perfect by default.
+    Aligned,
+    /// Several pods inside one announced pair: perfect by default, splits
+    /// into finer perfect pairs under SP-Tuner.
+    MultiPodAligned,
+    /// Pods share the announced v4 prefix; separable at /24.
+    ShearV4Sep24,
+    /// Pods share the announced v4 prefix and a /24; separable at /28.
+    ShearV4Sep28,
+    /// Pods share the announced v6 prefix; separable at /48.
+    ShearV6Sep48,
+    /// Pods share the announced v6 prefix and a /48; separable at /96.
+    ShearV6Sep96,
+    /// Pods interleave below every threshold; never separable.
+    Deep,
+}
+
+/// An organization: the unit of AS ownership and org-level analyses.
+#[derive(Debug, Clone)]
+pub struct Org {
+    /// Index into `World::orgs`.
+    pub idx: u32,
+    /// Display name (the first 24 orgs carry the canonical HG/CDN names).
+    pub name: String,
+    /// Origin AS for IPv4 announcements.
+    pub v4_asn: Asn,
+    /// Origin AS for IPv6 announcements (may equal `v4_asn`, or be a
+    /// sibling AS registered to the same organization).
+    pub v6_asn: Asn,
+    /// ASdb business categories (1–2 entries).
+    pub business: Vec<BusinessType>,
+    /// Whether the CAIDA-era mapping fails to merge the v6 sibling AS
+    /// (the Chen et al. dataset improves sibling inference).
+    pub caida_split: bool,
+}
+
+/// A hosting pod: the true co-location unit of dual-stack services.
+#[derive(Debug, Clone)]
+pub struct Pod {
+    /// Index into `World::pods`.
+    pub idx: u32,
+    /// Owning unit.
+    pub unit: u32,
+    /// Org index announcing the v4 side.
+    pub v4_org: u32,
+    /// Org index announcing the v6 side.
+    pub v6_org: u32,
+    /// The BGP-announced IPv4 prefix covering the pod.
+    pub v4_announced: Ipv4Prefix,
+    /// The BGP-announced IPv6 prefix covering the pod.
+    pub v6_announced: Ipv6Prefix,
+    /// The /28 actually hosting the pod's v4 addresses.
+    pub v4_sub: Ipv4Prefix,
+    /// The /96 actually hosting the pod's v6 addresses.
+    pub v6_sub: Ipv6Prefix,
+    /// First month the pod serves domains.
+    pub active_from: MonthDate,
+}
+
+/// A hosting unit: a group of pods with one layout.
+#[derive(Debug, Clone)]
+pub struct Unit {
+    /// Index into `World::units`.
+    pub idx: u32,
+    /// The layout shaping default-vs-tuned similarity.
+    pub layout: UnitLayout,
+    /// Org index of the v4 side.
+    pub v4_org: u32,
+    /// Org index of the v6 side (different for cross-org units).
+    pub v6_org: u32,
+    /// Pod indexes.
+    pub pods: Vec<u32>,
+}
+
+/// The kind of a generated domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainKind {
+    /// A pod-hosted (potentially dual-stack) domain.
+    Paired,
+    /// A filler domain that never turns dual-stack (keeps the global DS
+    /// share at the paper's 25–32%).
+    Filler,
+}
+
+/// A generated domain's static attributes.
+#[derive(Debug, Clone)]
+pub struct DomainSpec {
+    /// The queried name.
+    pub queried: DomainId,
+    /// The terminal name of the CNAME chain (== `queried` if no CNAME).
+    pub terminal: DomainId,
+    /// Index into [`sibling_dns::Toplist::canonical`].
+    pub toplist: usize,
+    /// Visibility behaviour.
+    pub class: VisibilityClass,
+    /// For `Intermittent`: per-snapshot visibility probability.
+    pub intermittent_p: f64,
+    /// Months after `config.start` at which the domain is born.
+    pub birth_offset: u32,
+    /// Dual-stack rank: the domain is dual-stack at date `t` iff
+    /// `ds_rank < config.ds_share_at(t)` (scaled; see builder).
+    pub ds_rank: f64,
+    /// Initial v4 pod index.
+    pub v4_pod: u32,
+    /// Initial v6 pod index.
+    pub v6_pod: u32,
+    /// Paired or filler.
+    pub kind: DomainKind,
+}
+
+/// The monitoring special case (§4.5): one domain hosted in many
+/// single-purpose prefixes across distinct organizations, contributing a
+/// large block of different-organization perfect-match pairs.
+#[derive(Debug, Clone)]
+pub struct MonitoringSpec {
+    /// The monitoring domain (no CNAME).
+    pub domain: DomainId,
+    /// Dedicated v4 pods (one address each).
+    pub v4_pods: Vec<u32>,
+    /// Dedicated v6 pods.
+    pub v6_pods: Vec<u32>,
+}
+
+/// The generated world. Construct with [`World::generate`]; read dated
+/// artefacts through the methods in `snapshot.rs`, `rpki_gen.rs`,
+/// `ports_gen.rs` and `probes_gen.rs`.
+pub struct World {
+    /// The configuration the world was generated from.
+    pub config: WorldConfig,
+    pub(crate) domain_table: DomainTable,
+    pub(crate) orgs: Vec<Org>,
+    pub(crate) units: Vec<Unit>,
+    pub(crate) pods: Vec<Pod>,
+    pub(crate) specs: Vec<DomainSpec>,
+    pub(crate) monitoring: Option<MonitoringSpec>,
+    pub(crate) rib: Rib,
+    pub(crate) as_org: AsOrgSource,
+    pub(crate) asdb: AsdbDataset,
+    pub(crate) hg_cdn: HgCdnList,
+    /// Per-org pod index lists (v4 ownership) for churn moves.
+    pub(crate) org_v4_pods: Vec<Vec<u32>>,
+    /// Per-org pod index lists (v6 ownership).
+    pub(crate) org_v6_pods: Vec<Vec<u32>>,
+    /// Space guaranteed free of DS hosting (for partial/uncovered probes).
+    pub(crate) eyeball_v4: Ipv4Prefix,
+    /// IPv6 counterpart of the eyeball space.
+    pub(crate) eyeball_v6: Ipv6Prefix,
+    /// Pods guaranteed to host a stable dual-stack domain at the end of
+    /// the window — the placement pool for covered probes (§3.5 probes
+    /// sit in actively used dual-stack networks by construction).
+    pub(crate) anchor_pods: Vec<u32>,
+}
+
+impl World {
+    /// The domain name interner (ids ↔ names).
+    pub fn domain_table(&self) -> &DomainTable {
+        &self.domain_table
+    }
+
+    /// All organizations.
+    pub fn orgs(&self) -> &[Org] {
+        &self.orgs
+    }
+
+    /// All hosting units.
+    pub fn units(&self) -> &[Unit] {
+        &self.units
+    }
+
+    /// All pods.
+    pub fn pods(&self) -> &[Pod] {
+        &self.pods
+    }
+
+    /// All domain specs.
+    pub fn domain_specs(&self) -> &[DomainSpec] {
+        &self.specs
+    }
+
+    /// The monitoring special case, if configured.
+    pub fn monitoring(&self) -> Option<&MonitoringSpec> {
+        self.monitoring.as_ref()
+    }
+
+    /// The static global routing table (announcements do not churn in the
+    /// simulation; prefix-level churn comes from pod moves).
+    pub fn rib(&self) -> &Rib {
+        &self.rib
+    }
+
+    /// A Routeviews-style archive with the RIB replicated at every
+    /// snapshot month.
+    pub fn rib_archive(&self) -> RibArchive {
+        let mut archive = RibArchive::new();
+        for month in self.config.months() {
+            archive.insert(month, self.rib.clone());
+        }
+        archive
+    }
+
+    /// The era-switching AS→organization source.
+    pub fn as_org(&self) -> &AsOrgSource {
+        &self.as_org
+    }
+
+    /// The ASdb business-type dataset.
+    pub fn asdb(&self) -> &AsdbDataset {
+        &self.asdb
+    }
+
+    /// The hypergiant/CDN list.
+    pub fn hg_cdn(&self) -> &HgCdnList {
+        &self.hg_cdn
+    }
+
+    /// The IPv4 "eyeball" space: routable space guaranteed to host no
+    /// dual-stack service (used for probe placement).
+    pub fn eyeball_v4(&self) -> Ipv4Prefix {
+        self.eyeball_v4
+    }
+
+    /// The IPv6 eyeball space.
+    pub fn eyeball_v6(&self) -> Ipv6Prefix {
+        self.eyeball_v6
+    }
+
+    /// The organization owning an ASN (resolves with the current-era
+    /// mapping), as a display name.
+    pub fn org_name_of_asn(&self, asn: Asn) -> Option<&str> {
+        let map = self.as_org.map_for(self.config.end);
+        map.org_of(asn).and_then(|org| map.org_name(org))
+    }
+}

@@ -1,0 +1,306 @@
+//! Cross-family attribute transfer over sibling prefixes.
+//!
+//! The paper's motivating applications (§1, §6): "network operators might
+//! want to prioritize, filter, or block traffic/domains of IPv4 prefixes,
+//! and identified sibling prefixes allow to do this for the IPv6
+//! counterpart as well … One example are geolocation database providers
+//! using sibling prefixes to transfer geolocation information from IPv4
+//! to IPv6 … the adaption of IPv4 spam blocklists to IPv6, which closes
+//! the backdoor for spammers to switch to IPv6."
+//!
+//! [`transfer_v4_to_v6`] implements the generic mechanism: given a
+//! sibling pair list and an IPv4-keyed attribute database (geolocation
+//! labels, blocklist verdicts, routing policies — any `Clone + Eq`
+//! value), it derives an IPv6-keyed database. Each derived entry carries
+//! the *confidence* (the pair's similarity) and conflicts between
+//! multiple IPv4 sources are resolved deterministically in favour of the
+//! highest-confidence source. The symmetric direction is provided by
+//! [`transfer_v6_to_v4`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use sibling_core::SiblingPair;
+use sibling_net_types::{Ipv4Prefix, Ipv6Prefix};
+use sibling_ptrie::PatriciaTrie;
+
+/// A derived attribute entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Derived<T> {
+    /// The transferred attribute value.
+    pub value: T,
+    /// Transfer confidence: the similarity of the sibling pair used,
+    /// in `[0, 1]`.
+    pub confidence: f64,
+    /// The source prefix the value came from (as a display string, so the
+    /// type is family-agnostic).
+    pub source: String,
+}
+
+/// An attribute database keyed by IPv4 prefixes, with longest-prefix
+/// lookup (so `/28` sub-prefixes inherit a `/24` entry, as geolocation
+/// and blocklist databases behave).
+#[derive(Default, Clone)]
+pub struct V4Db<T> {
+    trie: PatriciaTrie<u32, T>,
+}
+
+impl<T: Clone> V4Db<T> {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self {
+            trie: PatriciaTrie::new(),
+        }
+    }
+
+    /// Inserts an entry.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) {
+        self.trie.insert(prefix, value);
+    }
+
+    /// The most specific entry covering `prefix`.
+    pub fn lookup(&self, prefix: &Ipv4Prefix) -> Option<(Ipv4Prefix, &T)> {
+        self.trie.longest_covering(prefix)
+    }
+
+    /// The most specific entry containing an address.
+    pub fn lookup_addr(&self, addr: u32) -> Option<(Ipv4Prefix, &T)> {
+        self.trie.longest_match(addr)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+}
+
+/// The IPv6-keyed counterpart (usually the *output* of a transfer).
+#[derive(Default, Clone)]
+pub struct V6Db<T> {
+    trie: PatriciaTrie<u128, T>,
+}
+
+impl<T: Clone> V6Db<T> {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self {
+            trie: PatriciaTrie::new(),
+        }
+    }
+
+    /// Inserts an entry.
+    pub fn insert(&mut self, prefix: Ipv6Prefix, value: T) {
+        self.trie.insert(prefix, value);
+    }
+
+    /// The most specific entry covering `prefix`.
+    pub fn lookup(&self, prefix: &Ipv6Prefix) -> Option<(Ipv6Prefix, &T)> {
+        self.trie.longest_covering(prefix)
+    }
+
+    /// The most specific entry containing an address.
+    pub fn lookup_addr(&self, addr: u128) -> Option<(Ipv6Prefix, &T)> {
+        self.trie.longest_match(addr)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+
+    /// Iterates over all entries in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv6Prefix, &T)> + '_ {
+        self.trie.iter()
+    }
+}
+
+/// Transfer options.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferConfig {
+    /// Pairs below this similarity are not used (the paper recommends
+    /// lists "with high Jaccard values" for cross-family adaptation).
+    pub min_confidence: f64,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        Self {
+            min_confidence: 0.5,
+        }
+    }
+}
+
+/// Derives an IPv6 attribute database from an IPv4 one via sibling pairs.
+///
+/// For every pair whose similarity clears the threshold, the IPv4 side is
+/// looked up (longest covering entry) and the value is proposed for the
+/// IPv6 side. Conflicting proposals for the same IPv6 prefix resolve to
+/// the highest confidence, breaking ties by source prefix order so the
+/// result is deterministic.
+pub fn transfer_v4_to_v6<T: Clone + Eq>(
+    pairs: &[SiblingPair],
+    source: &V4Db<T>,
+    config: &TransferConfig,
+) -> BTreeMap<Ipv6Prefix, Derived<T>> {
+    let mut out: BTreeMap<Ipv6Prefix, Derived<T>> = BTreeMap::new();
+    for pair in pairs {
+        let confidence = pair.similarity.to_f64();
+        if confidence < config.min_confidence {
+            continue;
+        }
+        let Some((src_prefix, value)) = source.lookup(&pair.v4) else {
+            continue;
+        };
+        let candidate = Derived {
+            value: value.clone(),
+            confidence,
+            source: src_prefix.to_string(),
+        };
+        match out.get(&pair.v6) {
+            Some(existing)
+                if existing.confidence > candidate.confidence
+                    || (existing.confidence == candidate.confidence
+                        && existing.source <= candidate.source) => {}
+            _ => {
+                out.insert(pair.v6, candidate);
+            }
+        }
+    }
+    out
+}
+
+/// The symmetric direction: derives an IPv4 database from an IPv6 one.
+pub fn transfer_v6_to_v4<T: Clone + Eq>(
+    pairs: &[SiblingPair],
+    source: &V6Db<T>,
+    config: &TransferConfig,
+) -> BTreeMap<Ipv4Prefix, Derived<T>> {
+    let mut out: BTreeMap<Ipv4Prefix, Derived<T>> = BTreeMap::new();
+    for pair in pairs {
+        let confidence = pair.similarity.to_f64();
+        if confidence < config.min_confidence {
+            continue;
+        }
+        let Some((src_prefix, value)) = source.lookup(&pair.v6) else {
+            continue;
+        };
+        let candidate = Derived {
+            value: value.clone(),
+            confidence,
+            source: src_prefix.to_string(),
+        };
+        match out.get(&pair.v4) {
+            Some(existing)
+                if existing.confidence > candidate.confidence
+                    || (existing.confidence == candidate.confidence
+                        && existing.source <= candidate.source) => {}
+            _ => {
+                out.insert(pair.v4, candidate);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibling_core::Ratio;
+
+    fn pair(v4: &str, v6: &str, num: u64, den: u64) -> SiblingPair {
+        SiblingPair {
+            v4: v4.parse().unwrap(),
+            v6: v6.parse().unwrap(),
+            similarity: Ratio::new(num, den),
+            shared_domains: num,
+            v4_domains: den,
+            v6_domains: den,
+        }
+    }
+
+    #[test]
+    fn transfers_with_confidence() {
+        let mut db = V4Db::new();
+        db.insert("203.0.0.0/16".parse().unwrap(), "DE");
+        let pairs = vec![pair("203.0.2.0/24", "2600:1::/48", 1, 1)];
+        let derived = transfer_v4_to_v6(&pairs, &db, &TransferConfig::default());
+        let entry = &derived[&"2600:1::/48".parse().unwrap()];
+        assert_eq!(entry.value, "DE");
+        assert_eq!(entry.confidence, 1.0);
+        assert_eq!(entry.source, "203.0.0.0/16");
+    }
+
+    #[test]
+    fn low_confidence_pairs_are_skipped() {
+        let mut db = V4Db::new();
+        db.insert("203.0.2.0/24".parse().unwrap(), "DE");
+        let pairs = vec![pair("203.0.2.0/24", "2600:1::/48", 1, 4)];
+        let derived = transfer_v4_to_v6(&pairs, &db, &TransferConfig::default());
+        assert!(derived.is_empty());
+        let lax = TransferConfig { min_confidence: 0.2 };
+        let derived = transfer_v4_to_v6(&pairs, &db, &lax);
+        assert_eq!(derived.len(), 1);
+        assert!((derived.values().next().unwrap().confidence - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflicts_resolve_to_highest_confidence() {
+        let mut db = V4Db::new();
+        db.insert("203.0.2.0/24".parse().unwrap(), "DE");
+        db.insert("198.51.7.0/24".parse().unwrap(), "FR");
+        let pairs = vec![
+            pair("203.0.2.0/24", "2600:1::/48", 1, 2),
+            pair("198.51.7.0/24", "2600:1::/48", 9, 10),
+        ];
+        let derived = transfer_v4_to_v6(&pairs, &db, &TransferConfig::default());
+        let entry = &derived[&"2600:1::/48".parse().unwrap()];
+        assert_eq!(entry.value, "FR", "higher-confidence source must win");
+        // Order independence: reversed input gives the same result.
+        let reversed: Vec<_> = pairs.into_iter().rev().collect();
+        let derived2 = transfer_v4_to_v6(&reversed, &db, &TransferConfig::default());
+        assert_eq!(derived2[&"2600:1::/48".parse().unwrap()].value, "FR");
+    }
+
+    #[test]
+    fn unknown_v4_prefixes_transfer_nothing() {
+        let db: V4Db<&str> = V4Db::new();
+        let pairs = vec![pair("203.0.2.0/24", "2600:1::/48", 1, 1)];
+        assert!(transfer_v4_to_v6(&pairs, &db, &TransferConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn blocklist_round_trip_v6_to_v4() {
+        // The reverse direction: an IPv6 blocklist entry closes the v4 door.
+        let mut db = V6Db::new();
+        db.insert("2600:1::/48".parse().unwrap(), true);
+        let pairs = vec![pair("203.0.2.0/24", "2600:1::/48", 1, 1)];
+        let derived = transfer_v6_to_v4(&pairs, &db, &TransferConfig::default());
+        assert!(derived[&"203.0.2.0/24".parse().unwrap()].value);
+    }
+
+    #[test]
+    fn longest_covering_semantics_in_lookup() {
+        let mut db = V4Db::new();
+        db.insert("203.0.0.0/16".parse().unwrap(), "country");
+        db.insert("203.0.2.0/24".parse().unwrap(), "city");
+        // A /28 inside the /24 inherits the more specific entry.
+        let (src, v) = db.lookup(&"203.0.2.16/28".parse().unwrap()).unwrap();
+        assert_eq!(*v, "city");
+        assert_eq!(src.to_string(), "203.0.2.0/24");
+        // A /20 outside the /24 only sees the /16.
+        let (_, v) = db.lookup(&"203.0.16.0/20".parse().unwrap()).unwrap();
+        assert_eq!(*v, "country");
+    }
+}

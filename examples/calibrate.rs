@@ -1,0 +1,123 @@
+//! Internal calibration probe: dissects the default sibling-pair
+//! distribution by layout to verify the worldgen shape knobs.
+//!
+//! Run with: `cargo run --release --example calibrate [seed] [move4] [move6]`
+
+use sibling_analysis::AnalysisContext;
+use sibling_core::SpTunerConfig;
+use sibling_worldgen::{World, WorldConfig};
+
+fn main() {
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let move4 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(-1.0);
+    let move6 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(-1.0);
+    let mut config = WorldConfig::paper_scale(seed);
+    if move4 >= 0.0 {
+        config.v4_only_move_monthly = move4;
+    }
+    if move6 >= 0.0 {
+        config.v6_only_move_monthly = move6;
+    }
+    let move_j = std::env::args().nth(4).and_then(|s| s.parse().ok()).unwrap_or(-1.0);
+    if move_j >= 0.0 {
+        config.joint_move_monthly = move_j;
+    }
+    let ctx = AnalysisContext::new(World::generate(config));
+    let date = ctx.day0();
+    let default = ctx.default_pairs(date);
+
+    // Monitoring pair count and perfection.
+    let mon = ctx.world.monitoring().unwrap();
+    let mon_v4: std::collections::BTreeSet<_> = mon
+        .v4_pods
+        .iter()
+        .map(|p| ctx.world.pods()[*p as usize].v4_announced)
+        .collect();
+    let mut mon_pairs = 0;
+    let mut mon_perfect = 0;
+    let mut organic_pairs = 0;
+    let mut organic_perfect = 0;
+    for pair in default.iter() {
+        if mon_v4.contains(&pair.v4) {
+            mon_pairs += 1;
+            mon_perfect += pair.similarity.is_one() as usize;
+        } else {
+            organic_pairs += 1;
+            organic_perfect += pair.similarity.is_one() as usize;
+        }
+    }
+    println!(
+        "default pairs {} | monitoring {mon_pairs} (perfect {mon_perfect}) | organic {organic_pairs} (perfect {organic_perfect} = {:.1}%)",
+        default.len(),
+        organic_perfect as f64 / organic_pairs.max(1) as f64 * 100.0
+    );
+    println!(
+        "default perfect {:.1}%  mean {:.3}",
+        default.perfect_match_share() * 100.0,
+        default.similarity_mean_std().0
+    );
+    let tuned = ctx.tuned_pairs(date, SpTunerConfig::best());
+    println!(
+        "tuned-28/96 perfect {:.1}%  mean {:.3}  pairs {}",
+        tuned.perfect_match_share() * 100.0,
+        tuned.similarity_mean_std().0,
+        tuned.len()
+    );
+
+    // Break down imperfect tuned pairs by the layout of the unit whose
+    // pod the pair's v4 prefix covers (or is covered by).
+    let mut imperfect_by_layout: std::collections::BTreeMap<String, usize> = Default::default();
+    let mut total_by_layout: std::collections::BTreeMap<String, usize> = Default::default();
+    for pair in tuned.iter() {
+        let mut layout = "unknown".to_string();
+        for pod in ctx.world.pods() {
+            if pair.v4.covers(&pod.v4_sub) || pod.v4_announced.covers(&pair.v4) {
+                if pair.v6.covers(&pod.v6_sub) || pod.v6_announced.covers(&pair.v6) {
+                    layout = format!(
+                        "{:?}",
+                        ctx.world.units()[pod.unit as usize].layout
+                    );
+                    break;
+                }
+            }
+        }
+        *total_by_layout.entry(layout.clone()).or_insert(0) += 1;
+        if !pair.similarity.is_one() {
+            *imperfect_by_layout.entry(layout).or_insert(0) += 1;
+        }
+    }
+    println!("\ntuned imperfect by layout (imperfect/total):");
+    for (layout, total) in &total_by_layout {
+        let imp = imperfect_by_layout.get(layout).copied().unwrap_or(0);
+        println!("  {layout:<20} {imp:>5}/{total}");
+    }
+
+    // Same-org vs diff-org shape (fig14/15/31 constraints) at two levels.
+    use sibling_analysis::classify::pair_same_org;
+    for (label, set) in [("default", &default), ("tuned", &tuned)] {
+        let mut same = Vec::new();
+        let mut diff = Vec::new();
+        for pair in set.iter() {
+            match pair_same_org(&ctx.world, pair, date) {
+                Some(true) => same.push(pair.similarity.to_f64()),
+                Some(false) => diff.push(pair.similarity.to_f64()),
+                None => {}
+            }
+        }
+        same.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        diff.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = |v: &Vec<f64>| if v.is_empty() { 0.0 } else { v[v.len() / 2] };
+        let perfect = |v: &Vec<f64>| {
+            v.iter().filter(|x| **x >= 1.0 - 1e-12).count() as f64 / v.len().max(1) as f64
+        };
+        println!(
+            "{label}: same {} (median {:.2}, perfect {:.2}) | diff {} (median {:.2}, perfect {:.2})",
+            same.len(),
+            med(&same),
+            perfect(&same),
+            diff.len(),
+            med(&diff),
+            perfect(&diff)
+        );
+    }
+}

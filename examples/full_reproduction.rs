@@ -1,0 +1,64 @@
+//! Full reproduction harness: runs every registered experiment (one per
+//! paper table/figure) against a paper-scale synthetic world, prints the
+//! rendered artefacts, and writes CSVs plus a summary report under
+//! `target/experiments/`.
+//!
+//! Run with: `cargo run --release --example full_reproduction [seed]`
+//! Filter:   `cargo run --release --example full_reproduction -- 42 fig05 fig18`
+
+use std::fs;
+use std::path::PathBuf;
+
+use sibling_analysis::{all_experiments, AnalysisContext};
+use sibling_worldgen::{World, WorldConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let filter: Vec<&String> = args.iter().skip(1).collect();
+
+    eprintln!("generating paper-scale world (seed {seed})…");
+    let ctx = AnalysisContext::new(World::generate(WorldConfig::paper_scale(seed)));
+
+    let out_dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&out_dir).expect("create output dir");
+
+    let mut summary = String::from("experiment,title,checks_passed,checks_total\n");
+    let mut failed = 0usize;
+    let mut total_checks = 0usize;
+    let mut passed_checks = 0usize;
+    for experiment in all_experiments() {
+        if !filter.is_empty() && !filter.iter().any(|f| *f == experiment.id()) {
+            continue;
+        }
+        eprintln!("running {} ({})…", experiment.id(), experiment.paper_ref());
+        let start = std::time::Instant::now();
+        let result = experiment.run(&ctx);
+        let elapsed = start.elapsed();
+        println!("{}", result.render());
+        println!("[{} completed in {:.1?}]\n", result.id, elapsed);
+        let ok = result.checks.iter().filter(|c| c.passed).count();
+        total_checks += result.checks.len();
+        passed_checks += ok;
+        if ok != result.checks.len() {
+            failed += 1;
+        }
+        summary.push_str(&format!(
+            "{},{},{},{}\n",
+            result.id,
+            result.title.replace(',', ";"),
+            ok,
+            result.checks.len()
+        ));
+        for (name, contents) in &result.csv {
+            fs::write(out_dir.join(name), contents).expect("write csv");
+        }
+    }
+    fs::write(out_dir.join("summary.csv"), &summary).expect("write summary");
+    println!(
+        "== done: {passed_checks}/{total_checks} shape checks passed; {failed} experiments with failures; CSVs in target/experiments/ =="
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Geolocation transfer (§1): derive an IPv6 geolocation database from an
+//! IPv4 one via sibling prefixes, and show the blocklist variant (§6).
+//!
+//! Run with: `cargo run --release --example geo_transfer [seed]`
+
+use sibling_analysis::{run_by_id, AnalysisContext};
+use sibling_worldgen::{World, WorldConfig};
+use sibling_xfer::{transfer_v4_to_v6, TransferConfig, V4Db};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    eprintln!("generating world (seed {seed})…");
+    let ctx = AnalysisContext::new(World::generate(WorldConfig::paper_scale(seed)));
+
+    // The registered extension experiment does the full evaluation.
+    let result = run_by_id(&ctx, "ext_transfer").expect("ext_transfer registered");
+    println!("{}", result.render());
+
+    // Blocklist variant: block a handful of v4 prefixes, close the v6
+    // backdoor ("the adaption of IPv4 spam blocklists to IPv6", §6).
+    let date = ctx.day0();
+    let pairs: Vec<_> = ctx.default_pairs(date).iter().copied().collect();
+    let mut blocklist: V4Db<bool> = V4Db::new();
+    for pod in ctx.world.pods().iter().step_by(37).take(12) {
+        blocklist.insert(pod.v4_announced, true);
+    }
+    let strict = TransferConfig { min_confidence: 0.9 };
+    let derived = transfer_v4_to_v6(&pairs, &blocklist, &strict);
+    println!(
+        "blocklist variant: {} v4 entries → {} derived v6 entries (min confidence 0.9):",
+        blocklist.len(),
+        derived.len()
+    );
+    for (prefix, entry) in derived.iter().take(8) {
+        println!(
+            "  block {prefix}  (from {}, confidence {:.2})",
+            entry.source, entry.confidence
+        );
+    }
+}

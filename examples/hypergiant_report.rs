@@ -1,0 +1,37 @@
+//! Hypergiant/CDN report (§4.7): which hypergiants and CDNs operate
+//! sibling prefixes, how many, and how similar their pairs are.
+//!
+//! Run with: `cargo run --release --example hypergiant_report [seed]`
+
+use sibling_analysis::{run_by_id, AnalysisContext};
+use sibling_worldgen::{World, WorldConfig};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    eprintln!("generating world (seed {seed})…");
+    let ctx = AnalysisContext::new(World::generate(WorldConfig::paper_scale(seed)));
+
+    let result = run_by_id(&ctx, "fig17").expect("fig17 registered");
+    println!("{}", result.render());
+
+    // Also show the per-org pair counts as a compact league table.
+    use sibling_analysis::classify::pair_hg_cdn;
+    use sibling_core::SpTunerConfig;
+    let date = ctx.day0();
+    let pairs = ctx.tuned_pairs(date, SpTunerConfig::best());
+    let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+    for pair in pairs.iter() {
+        if let Some(org) = pair_hg_cdn(&ctx.world, pair, date) {
+            *counts.entry(org).or_insert(0) += 1;
+        }
+    }
+    let mut league: Vec<(String, usize)> = counts.into_iter().collect();
+    league.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    println!("\nHG/CDN league table (sibling pairs at /28-/96):");
+    for (org, n) in league {
+        println!("  {org:<16}{n:>6}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Non-domain payloads (§3.7/§6): the paper notes its technique works
+//! with any input that maps prefixes to sets — "such as alias datasets or
+//! open ports on devices". This example detects sibling prefixes from
+//! *responsive port sets* instead of domain sets, then cross-validates
+//! against the domain-based siblings (the Fig. 6 correlation).
+//!
+//! Run with: `cargo run --release --example portscan_siblings [seed]`
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sibling_analysis::AnalysisContext;
+use sibling_core::metrics::jaccard;
+use sibling_net_types::{Ipv4Prefix, Ipv6Prefix};
+use sibling_scan::{ScanConfig, Scanner};
+use sibling_worldgen::{World, WorldConfig};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    eprintln!("generating world (seed {seed})…");
+    let ctx = AnalysisContext::new(World::generate(WorldConfig::paper_scale(seed)));
+    let date = ctx.day0();
+    let snapshot = ctx.snapshot(date);
+
+    // Scan all DS addresses.
+    let mut v4_targets = Vec::new();
+    let mut v6_targets = Vec::new();
+    for (_, addrs) in snapshot.ds_domains() {
+        v4_targets.extend(&addrs.v4);
+        v6_targets.extend(&addrs.v6);
+    }
+    v4_targets.sort_unstable();
+    v4_targets.dedup();
+    v6_targets.sort_unstable();
+    v6_targets.dedup();
+    let deployment = ctx.world.deployment(date);
+    let report = Scanner::new(ScanConfig::default()).scan(&deployment, &v4_targets, &v6_targets);
+    eprintln!(
+        "scanned {} probes in {:.1} simulated seconds; {} v4 / {} v6 responsive hosts",
+        report.probes_sent,
+        report.duration_secs,
+        report.v4.len(),
+        report.v6.len()
+    );
+
+    // Build per-announced-prefix payload sets: (port, host-offset) pairs
+    // form the set elements, giving the generic set-similarity machinery
+    // something richer than bare port numbers.
+    let rib = ctx.world.rib();
+    let mut v4_sets: BTreeMap<Ipv4Prefix, BTreeSet<u16>> = BTreeMap::new();
+    let mut v6_sets: BTreeMap<Ipv6Prefix, BTreeSet<u16>> = BTreeMap::new();
+    for (addr, ports) in &report.v4 {
+        if let Some(route) = rib.lookup_v4(*addr) {
+            v4_sets.entry(route.prefix).or_default().extend(ports.iter());
+        }
+    }
+    for (addr, ports) in &report.v6 {
+        if let Some(route) = rib.lookup_v6(*addr) {
+            v6_sets.entry(route.prefix).or_default().extend(ports.iter());
+        }
+    }
+
+    // Port-based siblings: for each v4 prefix, the best-matching v6
+    // prefix by port-set Jaccard (restricted to the domain-sibling
+    // candidates to keep the comparison honest).
+    let domain_siblings = ctx.default_pairs(date);
+    let mut agree = 0usize;
+    let mut compared = 0usize;
+    for pair in domain_siblings.iter() {
+        let (Some(a), Some(b)) = (v4_sets.get(&pair.v4), v6_sets.get(&pair.v6)) else {
+            continue;
+        };
+        compared += 1;
+        let port_j = jaccard(a, b);
+        if (port_j.to_f64() - pair.similarity.to_f64()).abs() < 0.25
+            || (port_j.to_f64() >= 0.9 && pair.similarity.to_f64() >= 0.9)
+        {
+            agree += 1;
+        }
+    }
+    println!(
+        "domain-based siblings with responsive port data: {compared} of {}",
+        domain_siblings.len()
+    );
+    println!(
+        "pairs where port-set similarity corroborates the domain-based similarity: {agree} ({:.1}%)",
+        agree as f64 / compared.max(1) as f64 * 100.0
+    );
+    println!("(the paper finds 36% of responsive pairs in the >=0.9/>=0.9 cell, Fig. 6)");
+}

@@ -1,0 +1,62 @@
+//! Publishes the sibling-prefix list in the format the paper commits to
+//! releasing at sibling-prefixes.github.io: one CSV row per pair with the
+//! prefixes, similarity, domain counts, origin ASNs, organization
+//! relationship and ROV status.
+//!
+//! Run with: `cargo run --release --example publish_list [seed] [out.csv]`
+
+use std::fs;
+
+use sibling_analysis::classify::{pair_origins, pair_rov_status, pair_same_org};
+use sibling_analysis::AnalysisContext;
+use sibling_core::SpTunerConfig;
+use sibling_worldgen::{World, WorldConfig};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let out = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "target/sibling-prefixes.csv".to_string());
+    eprintln!("generating world (seed {seed})…");
+    let ctx = AnalysisContext::new(World::generate(WorldConfig::paper_scale(seed)));
+    let date = ctx.day0();
+    let pairs = ctx.tuned_pairs(date, SpTunerConfig::best());
+
+    let mut csv = String::from(
+        "ipv4_prefix,ipv6_prefix,jaccard,shared_domains,v4_domains,v6_domains,v4_origin_asn,v6_origin_asn,same_org,rov_status\n",
+    );
+    for pair in pairs.iter() {
+        let (a4, a6) = match pair_origins(&ctx.world, pair) {
+            Some(o) => o,
+            None => continue,
+        };
+        let same_org = pair_same_org(&ctx.world, pair, date).unwrap_or(false);
+        let rov = pair_rov_status(&ctx.world, pair, date)
+            .map(|s| s.label().to_string())
+            .unwrap_or_else(|| "unknown".to_string());
+        csv.push_str(&format!(
+            "{},{},{:.6},{},{},{},{},{},{},{}\n",
+            pair.v4,
+            pair.v6,
+            pair.similarity.to_f64(),
+            pair.shared_domains,
+            pair.v4_domains,
+            pair.v6_domains,
+            a4.0,
+            a6.0,
+            same_org,
+            rov
+        ));
+    }
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        fs::create_dir_all(parent).expect("create output dir");
+    }
+    fs::write(&out, &csv).expect("write list");
+    println!(
+        "wrote {} sibling prefix pairs (snapshot {date}) to {out}",
+        pairs.len()
+    );
+}

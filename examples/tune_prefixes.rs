@@ -1,0 +1,47 @@
+//! SP-Tuner demonstration: generate a synthetic Internet, detect sibling
+//! prefixes at BGP-announced granularity, then tune their CIDR sizes.
+//!
+//! Reproduces the headline result of the paper (Fig. 5): the share of
+//! perfect-match siblings rises from ~52% (default) through ~67%
+//! (/24–/48) to ~82% (/28–/96).
+//!
+//! Run with: `cargo run --release --example tune_prefixes [seed]`
+
+use sibling_analysis::AnalysisContext;
+use sibling_core::SpTunerConfig;
+use sibling_worldgen::{World, WorldConfig};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    eprintln!("generating world (seed {seed})…");
+    let ctx = AnalysisContext::new(World::generate(WorldConfig::paper_scale(seed)));
+    let date = ctx.day0();
+
+    eprintln!("detecting sibling prefixes at {date}…");
+    let default = ctx.default_pairs(date);
+    let (mean_d, std_d) = default.similarity_mean_std();
+    let (v4, v6) = default.unique_prefix_counts();
+    println!(
+        "default:      {:>6} pairs ({v4} v4 / {v6} v6 prefixes)  perfect {:>5.1}%  mean {mean_d:.3} ± {std_d:.3}",
+        default.len(),
+        default.perfect_match_share() * 100.0
+    );
+
+    for (label, config) in [
+        ("tuned /24-/48", SpTunerConfig::routable()),
+        ("tuned /28-/96", SpTunerConfig::best()),
+    ] {
+        eprintln!("running SP-Tuner {label}…");
+        let tuned = ctx.tuned_pairs(date, config);
+        let (mean, std) = tuned.similarity_mean_std();
+        println!(
+            "{label}: {:>6} pairs                         perfect {:>5.1}%  mean {mean:.3} ± {std:.3}",
+            tuned.len(),
+            tuned.perfect_match_share() * 100.0
+        );
+    }
+    println!("\npaper reference: default 52% | /24-/48 67% | /28-/96 82% perfect matches");
+}

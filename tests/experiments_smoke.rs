@@ -1,0 +1,69 @@
+//! Smoke-runs every registered experiment on a small world: all must
+//! complete, render, and emit their artefacts. (Shape checks are verified
+//! against the paper-scale world by the `full_reproduction` harness; on
+//! the small test world we require the cheap experiments to pass their
+//! checks and all experiments to run.)
+
+use sibling_analysis::{all_experiments, AnalysisContext};
+use sibling_worldgen::{World, WorldConfig};
+
+#[test]
+fn every_experiment_runs_and_renders() {
+    let ctx = AnalysisContext::new(World::generate(WorldConfig::test_small(303)));
+    let mut seen = std::collections::BTreeSet::new();
+    for experiment in all_experiments() {
+        assert!(
+            seen.insert(experiment.id().to_string()),
+            "duplicate experiment id {}",
+            experiment.id()
+        );
+        let result = experiment.run(&ctx);
+        assert_eq!(result.id, experiment.id());
+        assert!(
+            !result.sections.is_empty(),
+            "{} rendered no sections",
+            result.id
+        );
+        assert!(!result.checks.is_empty(), "{} has no shape checks", result.id);
+        let rendered = result.render();
+        assert!(rendered.contains(result.id.as_str()));
+        for (name, contents) in &result.csv {
+            assert!(name.ends_with(".csv"), "artefact {name} not a csv");
+            assert!(contents.contains('\n'), "artefact {name} empty");
+        }
+    }
+}
+
+#[test]
+fn registry_covers_every_paper_artifact() {
+    let ids: Vec<String> = all_experiments().iter().map(|e| e.id().to_string()).collect();
+    // Figures 1–2, 4–18 (3 is the methodology diagram), the two §3.5
+    // ground-truth artefacts, and appendix figures 19–36.
+    for expected in [
+        "fig01", "fig02", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
+        "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "gt_atlas",
+        "gt_vps", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "fig26",
+        "fig27", "fig28", "fig29", "fig30", "fig31", "fig32", "fig33", "fig34", "fig35",
+        "fig36", "ext_setpairs", "ext_transfer",
+    ] {
+        assert!(ids.contains(&expected.to_string()), "missing {expected}");
+    }
+    assert_eq!(ids.len(), 39, "registry size changed: {ids:?}");
+}
+
+#[test]
+fn core_experiments_pass_shape_checks_on_small_world() {
+    let ctx = AnalysisContext::new(World::generate(WorldConfig::test_small(303)));
+    // These artefacts are scale-robust and must pass even on the small
+    // test world.
+    for id in ["fig02", "fig05", "fig22", "gt_atlas", "gt_vps"] {
+        let result = sibling_analysis::run_by_id(&ctx, id).expect("registered");
+        for check in &result.checks {
+            assert!(
+                check.passed,
+                "[{id}] failed: {} ({})",
+                check.description, check.detail
+            );
+        }
+    }
+}

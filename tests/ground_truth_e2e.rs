@@ -1,0 +1,73 @@
+//! §3.5 ground-truth evaluation end-to-end: generated probes against
+//! detected-and-tuned sibling prefixes.
+
+use sibling_analysis::AnalysisContext;
+use sibling_core::SpTunerConfig;
+use sibling_probes::CoverageEvaluator;
+use sibling_worldgen::{World, WorldConfig};
+
+fn evaluator(ctx: &AnalysisContext) -> CoverageEvaluator {
+    let pairs: Vec<_> = ctx
+        .tuned_pairs(ctx.day0(), SpTunerConfig::best())
+        .iter()
+        .map(|p| (p.v4, p.v6))
+        .collect();
+    CoverageEvaluator::new(&pairs)
+}
+
+#[test]
+fn atlas_coverage_matches_configured_mix() {
+    let ctx = AnalysisContext::new(World::generate(WorldConfig::test_small(505)));
+    let report = evaluator(&ctx).evaluate(&ctx.world.atlas_probes());
+    let total = report.total() as f64;
+    assert!(total > 0.0);
+    // Paper: 42.5% covered / 32.1% partial / 25.3% none; generous bands
+    // because placement and detection interact.
+    let covered = report.covered() as f64 / total;
+    assert!(
+        (0.25..=0.60).contains(&covered),
+        "covered share off: {covered:.3}"
+    );
+    let uncovered = report.uncovered as f64 / total;
+    assert!(
+        (0.12..=0.40).contains(&uncovered),
+        "uncovered share off: {uncovered:.3}"
+    );
+    // Paper: 89.36% of covered probes are best matches.
+    assert!(
+        report.best_match_share() > 0.70,
+        "best-match share off: {:.3}",
+        report.best_match_share()
+    );
+}
+
+#[test]
+fn vps_best_matches_dominate_mismatches() {
+    let ctx = AnalysisContext::new(World::generate(WorldConfig::test_small(505)));
+    let endpoints: Vec<_> = ctx.world.vps_probes().iter().map(|v| v.endpoint).collect();
+    let report = evaluator(&ctx).evaluate(&endpoints);
+    assert!(
+        report.covered_best_match > report.covered_mismatch,
+        "best {} vs mismatch {}",
+        report.covered_best_match,
+        report.covered_mismatch
+    );
+}
+
+#[test]
+fn eyeball_probes_never_count_as_covered() {
+    let ctx = AnalysisContext::new(World::generate(WorldConfig::test_small(505)));
+    let ev = evaluator(&ctx);
+    for probe in ctx.world.atlas_probes() {
+        let v4_eyeball = ctx.world.eyeball_v4().contains(probe.v4);
+        let v6_eyeball = ctx.world.eyeball_v6().contains(probe.v6);
+        if v4_eyeball && v6_eyeball {
+            assert_eq!(
+                ev.classify(&probe),
+                sibling_probes::CoverageClass::Uncovered,
+                "probe {} in eyeball space classified as covered",
+                probe.id
+            );
+        }
+    }
+}

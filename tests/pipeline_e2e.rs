@@ -1,0 +1,124 @@
+//! End-to-end pipeline invariants: world → snapshot → index → detection.
+
+use sibling_analysis::AnalysisContext;
+use sibling_core::{detect, BestMatchPolicy, SimilarityMetric};
+use sibling_worldgen::{World, WorldConfig};
+
+fn ctx() -> AnalysisContext {
+    AnalysisContext::new(World::generate(WorldConfig::test_small(101)))
+}
+
+#[test]
+fn detection_produces_nonempty_best_match_set() {
+    let ctx = ctx();
+    let pairs = ctx.default_pairs(ctx.day0());
+    assert!(pairs.len() > 50, "expected a substantial pair set, got {}", pairs.len());
+    for pair in pairs.iter() {
+        assert!(!pair.similarity.is_zero(), "zero-similarity pairs must be discarded");
+        assert!(pair.shared_domains >= 1);
+        assert!(pair.v4_domains >= pair.shared_domains);
+        assert!(pair.v6_domains >= pair.shared_domains);
+    }
+}
+
+#[test]
+fn every_pair_is_a_best_match_for_one_side() {
+    let ctx = ctx();
+    let date = ctx.day0();
+    let index = ctx.index(date);
+    let pairs = ctx.default_pairs(date);
+    // For every kept pair, no other kept pair with the same v4 prefix may
+    // have a strictly higher similarity unless this pair is its v6 side's
+    // best (union semantics).
+    let mut best_v4: std::collections::BTreeMap<_, f64> = Default::default();
+    let mut best_v6: std::collections::BTreeMap<_, f64> = Default::default();
+    for pair in pairs.iter() {
+        let s = pair.similarity.to_f64();
+        best_v4
+            .entry(pair.v4)
+            .and_modify(|b: &mut f64| *b = b.max(s))
+            .or_insert(s);
+        best_v6
+            .entry(pair.v6)
+            .and_modify(|b: &mut f64| *b = b.max(s))
+            .or_insert(s);
+    }
+    for pair in pairs.iter() {
+        let s = pair.similarity.to_f64();
+        let is_best_v4 = (best_v4[&pair.v4] - s).abs() < 1e-12;
+        let is_best_v6 = (best_v6[&pair.v6] - s).abs() < 1e-12;
+        assert!(
+            is_best_v4 || is_best_v6,
+            "pair {} / {} is nobody's best match",
+            pair.v4,
+            pair.v6
+        );
+    }
+    // And the policies nest: V4Side ⊆ Union, V6Side ⊆ Union.
+    let v4_side = detect(&index, SimilarityMetric::Jaccard, BestMatchPolicy::V4Side);
+    let v6_side = detect(&index, SimilarityMetric::Jaccard, BestMatchPolicy::V6Side);
+    for pair in v4_side.iter().chain(v6_side.iter()) {
+        assert!(pairs.get(&pair.v4, &pair.v6).is_some());
+    }
+}
+
+#[test]
+fn pair_prefixes_are_announced() {
+    let ctx = ctx();
+    let pairs = ctx.default_pairs(ctx.day0());
+    for pair in pairs.iter() {
+        assert!(
+            ctx.world.rib().is_announced_v4(&pair.v4),
+            "{} not announced",
+            pair.v4
+        );
+        assert!(
+            ctx.world.rib().is_announced_v6(&pair.v6),
+            "{} not announced",
+            pair.v6
+        );
+    }
+}
+
+#[test]
+fn monitoring_domain_produces_full_cross_product() {
+    let ctx = ctx();
+    let pairs = ctx.default_pairs(ctx.day0());
+    let config = &ctx.world.config;
+    let mon = ctx.world.monitoring().expect("monitoring configured");
+    let mon_v4: std::collections::BTreeSet<_> = mon
+        .v4_pods
+        .iter()
+        .map(|p| ctx.world.pods()[*p as usize].v4_announced)
+        .collect();
+    let mon_pairs = pairs.iter().filter(|p| mon_v4.contains(&p.v4)).count();
+    assert_eq!(
+        mon_pairs,
+        config.monitoring_v4 * config.monitoring_v6,
+        "monitoring domain must contribute the full cross product"
+    );
+    for pair in pairs.iter().filter(|p| mon_v4.contains(&p.v4)) {
+        assert!(pair.similarity.is_one(), "monitoring pairs are perfect");
+    }
+}
+
+#[test]
+fn unique_v4_exceeds_unique_v6() {
+    // Paper: 46.3k IPv4 vs 39.5k IPv6 unique prefixes.
+    let ctx = AnalysisContext::new(World::generate(WorldConfig::paper_scale(77)));
+    let (v4, v6) = ctx.default_pairs(ctx.day0()).unique_prefix_counts();
+    assert!(v4 > v6, "expected more v4 than v6 prefixes, got {v4} vs {v6}");
+}
+
+#[test]
+fn outage_reduces_pair_count() {
+    let ctx = ctx();
+    let outage = ctx.world.config.monitoring_outages.last().copied().unwrap();
+    let normal = outage.add_months(1);
+    let during = ctx.default_pairs(outage).len();
+    let after = ctx.default_pairs(normal).len();
+    assert!(
+        after > during,
+        "monitoring outage must dent pair counts: {during} vs {after}"
+    );
+}

@@ -1,0 +1,122 @@
+//! End-to-end SP-Tuner properties on a generated world.
+
+use sibling_analysis::AnalysisContext;
+use sibling_core::tuner::less_specific::{tune_less_specific, SpTunerLsConfig};
+use sibling_core::tuner::more_specific::tune_more_specific;
+use sibling_core::SpTunerConfig;
+use sibling_worldgen::{World, WorldConfig};
+
+fn ctx() -> AnalysisContext {
+    AnalysisContext::new(World::generate(WorldConfig::test_small(202)))
+}
+
+#[test]
+fn tuning_ladder_improves_perfect_share() {
+    let ctx = ctx();
+    let date = ctx.day0();
+    let default = ctx.default_pairs(date);
+    let routable = ctx.tuned_pairs(date, SpTunerConfig::routable());
+    let best = ctx.tuned_pairs(date, SpTunerConfig::best());
+    let p0 = default.perfect_match_share();
+    let p1 = routable.perfect_match_share();
+    let p2 = best.perfect_match_share();
+    assert!(p1 > p0, "/24-/48 must improve over default: {p0:.3} vs {p1:.3}");
+    assert!(p2 > p1, "/28-/96 must improve over /24-/48: {p1:.3} vs {p2:.3}");
+}
+
+#[test]
+fn tuning_respects_thresholds_and_never_zeroes() {
+    let ctx = ctx();
+    let date = ctx.day0();
+    let best = ctx.tuned_pairs(date, SpTunerConfig::best());
+    for pair in best.iter() {
+        assert!(pair.v4.len() <= 28, "{} beyond /28", pair.v4);
+        assert!(pair.v6.len() <= 96, "{} beyond /96", pair.v6);
+        assert!(!pair.similarity.is_zero());
+    }
+}
+
+#[test]
+fn tuning_preserves_domain_coverage() {
+    // No domain loss (§3.3): every domain of a default pair must appear
+    // in some tuned pair.
+    let ctx = ctx();
+    let date = ctx.day0();
+    let index = ctx.index(date);
+    let default = ctx.default_pairs(date);
+    let tuned = tune_more_specific(&index, &default, &SpTunerConfig::best());
+
+    let mut default_domains = std::collections::BTreeSet::new();
+    for pair in default.iter() {
+        let a = index.domains_under_v4(&pair.v4);
+        let b = index.domains_under_v6(&pair.v6);
+        default_domains.extend(a.intersection(&b).copied());
+    }
+    let mut tuned_domains = std::collections::BTreeSet::new();
+    for pair in tuned.pairs.iter() {
+        let a = index.domains_under_v4(&pair.v4);
+        let b = index.domains_under_v6(&pair.v6);
+        tuned_domains.extend(a.intersection(&b).copied());
+    }
+    let lost: Vec<_> = default_domains.difference(&tuned_domains).collect();
+    assert!(
+        lost.len() * 100 <= default_domains.len(),
+        "more than 1% of domains lost by tuning: {} of {}",
+        lost.len(),
+        default_domains.len()
+    );
+}
+
+#[test]
+fn tuned_mean_never_below_default_mean() {
+    let ctx = ctx();
+    let date = ctx.day0();
+    let (mean_default, _) = ctx.default_pairs(date).similarity_mean_std();
+    for config in [SpTunerConfig::routable(), SpTunerConfig::best()] {
+        let (mean_tuned, _) = ctx.tuned_pairs(date, config).similarity_mean_std();
+        assert!(
+            mean_tuned + 1e-9 >= mean_default,
+            "tuning degraded mean: {mean_default:.3} → {mean_tuned:.3}"
+        );
+    }
+}
+
+#[test]
+fn deeper_thresholds_never_reduce_mean() {
+    let ctx = ctx();
+    let date = ctx.day0();
+    let mut last = 0.0f64;
+    for (v4, v6) in [(16u8, 32u8), (20, 48), (24, 64), (28, 96)] {
+        let (mean, _) = ctx
+            .tuned_pairs(date, SpTunerConfig::with_thresholds(v4, v6))
+            .similarity_mean_std();
+        assert!(
+            mean + 1e-9 >= last,
+            "mean decreased from {last:.3} to {mean:.3} at /{v4}-/{v6}"
+        );
+        last = mean;
+    }
+}
+
+#[test]
+fn less_specific_is_a_negative_result() {
+    let ctx = ctx();
+    let date = ctx.day0();
+    let index = ctx.index(date);
+    let default = ctx.default_pairs(date);
+    let (mean_default, _) = default.similarity_mean_std();
+    let ls = tune_less_specific(&index, &default, ctx.world.rib(), &SpTunerLsConfig::default());
+    let (mean_ls, _) = ls.pairs.similarity_mean_std();
+    let ms = tune_more_specific(&index, &default, &SpTunerConfig::best());
+    let (mean_ms, _) = ms.pairs.similarity_mean_std();
+    // LS may help a little (it only accepts improvements) but must be far
+    // below the more-specific variant (the paper's comparison of
+    // Fig. 22 with Fig. 5).
+    assert!(mean_ls >= mean_default - 1e-9);
+    assert!(
+        mean_ms - mean_default > 2.0 * (mean_ls - mean_default),
+        "MS gain {:.4} must dwarf LS gain {:.4}",
+        mean_ms - mean_default,
+        mean_ls - mean_default
+    );
+}
