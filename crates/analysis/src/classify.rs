@@ -10,8 +10,8 @@ use sibling_worldgen::World;
 /// most specific covering announcement, so tuned sub-prefixes inherit the
 /// origin of their announced parent).
 pub fn pair_origins(world: &World, pair: &SiblingPair) -> Option<(Asn, Asn)> {
-    let v4 = world.rib().origin_of_v4(&pair.v4)?.primary_origin();
-    let v6 = world.rib().origin_of_v6(&pair.v6)?.primary_origin();
+    let v4 = world.rib().origin_of(&pair.v4)?.primary_origin();
+    let v6 = world.rib().origin_of(&pair.v6)?.primary_origin();
     Some((v4, v6))
 }
 
@@ -70,8 +70,8 @@ pub fn pair_rov_status(
     date: MonthDate,
 ) -> Option<PairRovStatus> {
     let table = world.roa_table(date);
-    let route4 = world.rib().origin_of_v4(&pair.v4)?;
-    let route6 = world.rib().origin_of_v6(&pair.v6)?;
+    let route4 = world.rib().origin_of(&pair.v4)?;
+    let route6 = world.rib().origin_of(&pair.v6)?;
     let s4: RovState = table.validate_v4(&route4.prefix, route4.primary_origin());
     let s6: RovState = table.validate_v6(&route6.prefix, route6.primary_origin());
     Some(PairRovStatus::from_states(s4, s6))
@@ -85,8 +85,7 @@ mod tests {
     fn ctx() -> (World, Vec<SiblingPair>) {
         let world = World::generate(WorldConfig::test_small(23));
         let snap = world.snapshot(world.config.end);
-        let index =
-            sibling_core::PrefixDomainIndex::build(&snap, world.rib());
+        let index = sibling_core::PrefixDomainIndex::build(&snap, world.rib());
         let set = sibling_core::detect(
             &index,
             sibling_core::SimilarityMetric::Jaccard,
@@ -148,6 +147,9 @@ mod tests {
             .iter()
             .filter(|p| pair_hg_cdn(&world, p, date).is_some())
             .count();
-        assert!(hg_pairs > 0, "hypergiant pairs expected (Amazon is boosted)");
+        assert!(
+            hg_pairs > 0,
+            "hypergiant pairs expected (Amazon is boosted)"
+        );
     }
 }

@@ -1,9 +1,7 @@
 //! Shared, memoised analysis state.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 use sibling_core::{
     detect, tuner::more_specific::tune_more_specific, BestMatchPolicy, PrefixDomainIndex,
@@ -72,28 +70,28 @@ impl AnalysisContext {
 
     /// The memoised DNS snapshot for `date`.
     pub fn snapshot(&self, date: MonthDate) -> Arc<DnsSnapshot> {
-        if let Some(s) = self.snapshots.lock().get(&date) {
+        if let Some(s) = self.snapshots.lock().unwrap().get(&date) {
             return s.clone();
         }
         let snap = Arc::new(self.world.snapshot(date));
-        self.snapshots.lock().insert(date, snap.clone());
+        self.snapshots.lock().unwrap().insert(date, snap.clone());
         snap
     }
 
     /// The memoised prefix/domain index for `date`.
     pub fn index(&self, date: MonthDate) -> Arc<PrefixDomainIndex> {
-        if let Some(i) = self.indexes.lock().get(&date) {
+        if let Some(i) = self.indexes.lock().unwrap().get(&date) {
             return i.clone();
         }
         let snap = self.snapshot(date);
         let index = Arc::new(PrefixDomainIndex::build(&snap, self.world.rib()));
-        self.indexes.lock().insert(date, index.clone());
+        self.indexes.lock().unwrap().insert(date, index.clone());
         index
     }
 
     /// The default (BGP-announced granularity) sibling set for `date`.
     pub fn default_pairs(&self, date: MonthDate) -> Arc<SiblingSet> {
-        if let Some(s) = self.default_sets.lock().get(&date) {
+        if let Some(s) = self.default_sets.lock().unwrap().get(&date) {
             return s.clone();
         }
         let index = self.index(date);
@@ -102,7 +100,7 @@ impl AnalysisContext {
             SimilarityMetric::Jaccard,
             BestMatchPolicy::Union,
         ));
-        self.default_sets.lock().insert(date, set.clone());
+        self.default_sets.lock().unwrap().insert(date, set.clone());
         set
     }
 
@@ -110,14 +108,14 @@ impl AnalysisContext {
     /// thresholds.
     pub fn tuned_pairs(&self, date: MonthDate, config: SpTunerConfig) -> Arc<SiblingSet> {
         let key = (date, config.v4_threshold, config.v6_threshold);
-        if let Some(s) = self.tuned_sets.lock().get(&key) {
+        if let Some(s) = self.tuned_sets.lock().unwrap().get(&key) {
             return s.clone();
         }
         let index = self.index(date);
         let base = self.default_pairs(date);
         let outcome = tune_more_specific(&index, &base, &config);
         let set = Arc::new(outcome.pairs);
-        self.tuned_sets.lock().insert(key, set.clone());
+        self.tuned_sets.lock().unwrap().insert(key, set.clone());
         set
     }
 }

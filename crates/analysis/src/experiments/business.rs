@@ -76,11 +76,13 @@ impl Experiment for Business {
     fn run(&self, ctx: &AnalysisContext) -> ExperimentResult {
         let mut result = ExperimentResult::new(self.id(), self.title());
         // The paper uses the January 2024 snapshot for this analysis.
-        let date = sibling_net_types::MonthDate::new(2024, 1)
-            .min(ctx.day0());
+        let date = sibling_net_types::MonthDate::new(2024, 1).min(ctx.day0());
         let pairs = ctx.default_pairs(date);
 
-        let labels: Vec<String> = BusinessType::ALL.iter().map(|t| t.label().to_string()).collect();
+        let labels: Vec<String> = BusinessType::ALL
+            .iter()
+            .map(|t| t.label().to_string())
+            .collect();
         let mut heat = Heatmap::zeroed(
             "Origin AS of IPv6 prefix",
             "Origin AS of IPv4 prefix",
@@ -157,7 +159,9 @@ impl Experiment for Business {
         }
 
         result.section("counts per business-type combination", heat.render());
-        result.csv.push((format!("{}_business.csv", self.id), heat.to_csv()));
+        result
+            .csv
+            .push((format!("{}_business.csv", self.id), heat.to_csv()));
         result
     }
 }

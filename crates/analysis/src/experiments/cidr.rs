@@ -4,6 +4,9 @@ use crate::context::AnalysisContext;
 use crate::experiments::{Experiment, ExperimentResult, PairLevel};
 use crate::render::Heatmap;
 
+/// One CIDR-length bin: inclusive length bounds plus its axis label.
+type CidrBin = (u8, u8, &'static str);
+
 /// Length groups of the default-case figure (Fig. 13).
 const V4_GROUPS_DEFAULT: [(u8, u8, &str); 8] = [
     (0, 11, "0-11"),
@@ -96,7 +99,7 @@ impl CidrSizes {
         }
     }
 
-    fn groups(&self) -> (&'static [(u8, u8, &'static str)], &'static [(u8, u8, &'static str)]) {
+    fn groups(&self) -> (&'static [CidrBin], &'static [CidrBin]) {
         match self.level {
             PairLevel::Default => (&V4_GROUPS_DEFAULT, &V6_GROUPS_DEFAULT),
             _ => (&V4_GROUPS_TUNED, &V6_GROUPS_TUNED),
@@ -125,7 +128,11 @@ impl Experiment for CidrSizes {
         let mut heat = Heatmap::zeroed(
             "IPv6 prefix length",
             "IPv4 prefix length",
-            v6_groups.iter().rev().map(|(_, _, l)| l.to_string()).collect(),
+            v6_groups
+                .iter()
+                .rev()
+                .map(|(_, _, l)| l.to_string())
+                .collect(),
             v4_groups.iter().map(|(_, _, l)| l.to_string()).collect(),
         );
         for pair in pairs.iter() {
@@ -175,7 +182,9 @@ impl Experiment for CidrSizes {
                 );
             }
         }
-        result.csv.push((format!("{}_cidr.csv", self.id), heat.to_csv()));
+        result
+            .csv
+            .push((format!("{}_cidr.csv", self.id), heat.to_csv()));
         result
     }
 }

@@ -93,9 +93,7 @@ impl Experiment for DomainBins {
         let heat = heat.to_percent();
 
         let single_single = heat.cell("1", "1").unwrap_or(0.0);
-        let diag: f64 = (0..6)
-            .map(|i| heat.cells[5 - i][i])
-            .sum();
+        let diag: f64 = (0..6).map(|i| heat.cells[5 - i][i]).sum();
 
         result.section("% of sibling pairs", heat.render());
         result.check(
@@ -108,7 +106,9 @@ impl Experiment for DomainBins {
             diag > 50.0,
             format!("diagonal sum {diag:.1}%"),
         );
-        result.csv.push((format!("{}_bins.csv", self.id), heat.to_csv()));
+        result
+            .csv
+            .push((format!("{}_bins.csv", self.id), heat.to_csv()));
         result
     }
 }

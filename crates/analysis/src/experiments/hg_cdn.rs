@@ -89,9 +89,12 @@ impl Experiment for HgCdn {
         // the list), everything else in the non-CDN-HG bucket.
         let mut by_org: BTreeMap<String, Vec<f64>> = BTreeMap::new();
         for pair in pairs.iter() {
-            let bucket = pair_hg_cdn(&ctx.world, pair, date)
-                .unwrap_or_else(|| "non-CDN-HG".to_string());
-            by_org.entry(bucket).or_default().push(pair.similarity.to_f64());
+            let bucket =
+                pair_hg_cdn(&ctx.world, pair, date).unwrap_or_else(|| "non-CDN-HG".to_string());
+            by_org
+                .entry(bucket)
+                .or_default()
+                .push(pair.similarity.to_f64());
         }
 
         // Order rows by pair count (Amazon first), non-CDN-HG last.
@@ -153,7 +156,9 @@ impl Experiment for HgCdn {
                 format!("{right_heavy} of {} rows right-heavy", row_keys.len()),
             );
         }
-        result.csv.push((format!("{}_hg.csv", self.id), heat.to_csv()));
+        result
+            .csv
+            .push((format!("{}_hg.csv", self.id), heat.to_csv()));
         result
     }
 }

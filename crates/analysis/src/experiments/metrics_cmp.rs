@@ -27,12 +27,12 @@ impl Experiment for Fig02Metrics {
         let date = ctx.day0();
         let index = ctx.index(date);
 
-        let jaccard = detect(&index, SimilarityMetric::Jaccard, BestMatchPolicy::Union)
-            .similarity_values();
+        let jaccard =
+            detect(&index, SimilarityMetric::Jaccard, BestMatchPolicy::Union).similarity_values();
         let dice =
             detect(&index, SimilarityMetric::Dice, BestMatchPolicy::Union).similarity_values();
-        let overlap = detect(&index, SimilarityMetric::Overlap, BestMatchPolicy::Union)
-            .similarity_values();
+        let overlap =
+            detect(&index, SimilarityMetric::Overlap, BestMatchPolicy::Union).similarity_values();
 
         let body = format!(
             "{}\n{}\n{}\n{}\n\nshare at 1.0: Jaccard {:.1}% | Dice {:.1}% | overlap {:.1}%",
@@ -71,7 +71,11 @@ impl Experiment for Fig02Metrics {
         );
 
         let mut csv = String::from("metric,value\n");
-        for (name, values) in [("jaccard", &jaccard), ("dice", &dice), ("overlap", &overlap)] {
+        for (name, values) in [
+            ("jaccard", &jaccard),
+            ("dice", &dice),
+            ("overlap", &overlap),
+        ] {
             for v in values {
                 csv.push_str(&format!("{name},{v:.6}\n"));
             }

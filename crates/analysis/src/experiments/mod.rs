@@ -85,7 +85,12 @@ impl ExperimentResult {
     }
 
     /// Appends a check.
-    pub fn check(&mut self, description: impl Into<String>, passed: bool, detail: impl Into<String>) {
+    pub fn check(
+        &mut self,
+        description: impl Into<String>,
+        passed: bool,
+        detail: impl Into<String>,
+    ) {
         self.checks.push(Check::new(description, passed, detail));
     }
 

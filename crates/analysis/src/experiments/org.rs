@@ -124,7 +124,11 @@ impl Experiment for OrgCounts {
         if let Some(outage) = outage {
             let outage_label = outage.to_string();
             if let Some(i) = diff.labels.iter().position(|l| *l == outage_label) {
-                let neighbour = if i + 1 < diff.values.len() { diff.values[i + 1] } else { diff.values[i - 1] };
+                let neighbour = if i + 1 < diff.values.len() {
+                    diff.values[i + 1]
+                } else {
+                    diff.values[i - 1]
+                };
                 result.check(
                     "the monitoring-domain outage dents the diff-org count (site24x7 effect)",
                     diff.values[i] < neighbour,
@@ -144,8 +148,12 @@ impl Experiment for OrgCounts {
         result.section("different-organization pairs", diff.render("pairs"));
         result.section("unique IPv4 prefixes", v4_unique.render("prefixes"));
         result.section("unique IPv6 prefixes", v6_unique.render("prefixes"));
-        result.csv.push((format!("{}_same.csv", self.id), same.to_csv("pairs")));
-        result.csv.push((format!("{}_diff.csv", self.id), diff.to_csv("pairs")));
+        result
+            .csv
+            .push((format!("{}_same.csv", self.id), same.to_csv("pairs")));
+        result
+            .csv
+            .push((format!("{}_diff.csv", self.id), diff.to_csv("pairs")));
         result
     }
 }
@@ -228,7 +236,10 @@ impl Experiment for OrgMedians {
             same_series.values.iter().all(|v| *v > 0.95),
             format!(
                 "min same-org median {:.3}",
-                same_series.values.iter().fold(f64::INFINITY, |a, &b| a.min(b))
+                same_series
+                    .values
+                    .iter()
+                    .fold(f64::INFINITY, |a, &b| a.min(b))
             ),
         );
         let end_diff = *diff_series.values.last().unwrap();
@@ -238,10 +249,22 @@ impl Experiment for OrgMedians {
             format!("day-0 diff-org median {end_diff:.3}"),
         );
 
-        result.section("same-organization median", same_series.render("median Jaccard"));
-        result.section("different-organization median", diff_series.render("median Jaccard"));
-        result.csv.push((format!("{}_same.csv", self.id), same_series.to_csv("median")));
-        result.csv.push((format!("{}_diff.csv", self.id), diff_series.to_csv("median")));
+        result.section(
+            "same-organization median",
+            same_series.render("median Jaccard"),
+        );
+        result.section(
+            "different-organization median",
+            diff_series.render("median Jaccard"),
+        );
+        result.csv.push((
+            format!("{}_same.csv", self.id),
+            same_series.to_csv("median"),
+        ));
+        result.csv.push((
+            format!("{}_diff.csv", self.id),
+            diff_series.to_csv("median"),
+        ));
         result
     }
 }

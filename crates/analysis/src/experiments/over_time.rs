@@ -36,10 +36,15 @@ impl Experiment for Fig09PairCounts {
         result.check(
             "the pair count roughly doubles over four years (paper: 36k → 76k)",
             newest > 1.5 * oldest,
-            format!("{oldest:.0} → {newest:.0} (x{:.2})", newest / oldest.max(1.0)),
+            format!(
+                "{oldest:.0} → {newest:.0} (x{:.2})",
+                newest / oldest.max(1.0)
+            ),
         );
         result.section("pair counts", series.render("sibling pairs"));
-        result.csv.push(("fig09_counts.csv".into(), series.to_csv("pairs")));
+        result
+            .csv
+            .push(("fig09_counts.csv".into(), series.to_csv("pairs")));
         result
     }
 }
@@ -122,13 +127,19 @@ impl Experiment for DeltaEcdf {
         result.check(
             "new pairs dominate, changed pairs are the smallest group (paper: 88%/10%/2%)",
             new_share > unchanged_share && unchanged_share > changed_share,
-            format!("new {:.3}, unchanged {:.3}, changed {:.3}", new_share, unchanged_share, changed_share),
+            format!(
+                "new {:.3}, unchanged {:.3}, changed {:.3}",
+                new_share, unchanged_share, changed_share
+            ),
         );
         if !report.unchanged.is_empty() {
             result.check(
                 "unchanged pairs are almost all perfect matches (paper: 99%)",
                 perfect_share(&report.unchanged) > 0.80,
-                format!("unchanged perfect share {:.3}", perfect_share(&report.unchanged)),
+                format!(
+                    "unchanged perfect share {:.3}",
+                    perfect_share(&report.unchanged)
+                ),
             );
         }
         if !report.changed_current.is_empty() {

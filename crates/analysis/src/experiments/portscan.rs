@@ -110,11 +110,7 @@ impl Experiment for Fig06PortScan {
             responsive_pairs as f64 / total_pairs as f64
         };
         let diag_cell = heat.cell("0.9-1.0", "0.9-1.0").unwrap_or(0.0);
-        let max_cell = heat
-            .cells
-            .iter()
-            .flatten()
-            .fold(0.0f64, |a, &b| a.max(b));
+        let max_cell = heat.cells.iter().flatten().fold(0.0f64, |a, &b| a.max(b));
 
         result.section(
             "heatmap (% of responsive sibling pairs)",

@@ -57,7 +57,10 @@ impl Experiment for Fig18Rov {
             let mut valid_share = 0.0;
             for status in PairRovStatus::ALL {
                 let share = *counts.get(&status).unwrap_or(&0) as f64 / total * 100.0;
-                shares.get_mut(&status).unwrap().push(date.to_string(), share);
+                shares
+                    .get_mut(&status)
+                    .unwrap()
+                    .push(date.to_string(), share);
                 if status.at_least_one_valid() {
                     valid_share += share;
                 }

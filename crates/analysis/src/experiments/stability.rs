@@ -37,7 +37,10 @@ impl Experiment for Fig07Stability {
         let hist = visibility_histogram(&snapshot_refs);
         let mut freq = Series::default();
         for (k, count) in hist.counts.iter().enumerate() {
-            freq.push(format!("{}", k + 1), *count as f64 / hist.total().max(1) as f64);
+            freq.push(
+                format!("{}", k + 1),
+                *count as f64 / hist.total().max(1) as f64,
+            );
         }
         let consistent_share = hist.consistent_share();
         let once_share = hist.counts[0] as f64 / hist.total().max(1) as f64;
@@ -130,11 +133,16 @@ impl Experiment for Fig07Stability {
             result.check(
                 "IPv6 prefixes are at least as stable as IPv4 (paper: 6% vs 9% change)",
                 prefix_year.same_v6 + 0.02 >= prefix_year.same_v4,
-                format!("v4 {:.3}, v6 {:.3}", prefix_year.same_v4, prefix_year.same_v6),
+                format!(
+                    "v4 {:.3}, v6 {:.3}",
+                    prefix_year.same_v4, prefix_year.same_v6
+                ),
             );
         }
 
-        result.csv.push(("fig07_visibility.csv".into(), freq.to_csv("share")));
+        result
+            .csv
+            .push(("fig07_visibility.csv".into(), freq.to_csv("share")));
         result
     }
 }

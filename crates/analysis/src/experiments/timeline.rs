@@ -52,9 +52,11 @@ impl Experiment for Fig01Timeline {
         result.check(
             "the DS share stays in the paper's 20–40% band",
             share.values.iter().all(|s| (18.0..=42.0).contains(s)),
-            format!("min {:.1}%, max {:.1}%",
+            format!(
+                "min {:.1}%, max {:.1}%",
                 share.values.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
-                share.values.iter().fold(0.0f64, |a, &b| a.max(b))),
+                share.values.iter().fold(0.0f64, |a, &b| a.max(b))
+            ),
         );
         // The .fr addition (2022-08) must bump totals noticeably.
         let fr_idx = months
@@ -88,9 +90,15 @@ impl Experiment for Fig01Timeline {
         result.section("total domains", totals.render("domains"));
         result.section("dual-stack domains", ds.render("DS domains"));
         result.section("dual-stack share (%)", share.render("DS %"));
-        result.csv.push(("fig01_totals.csv".into(), totals.to_csv("domains")));
-        result.csv.push(("fig01_ds.csv".into(), ds.to_csv("ds_domains")));
-        result.csv.push(("fig01_share.csv".into(), share.to_csv("ds_share_pct")));
+        result
+            .csv
+            .push(("fig01_totals.csv".into(), totals.to_csv("domains")));
+        result
+            .csv
+            .push(("fig01_ds.csv".into(), ds.to_csv("ds_domains")));
+        result
+            .csv
+            .push(("fig01_share.csv".into(), share.to_csv("ds_share_pct")));
         result
     }
 }

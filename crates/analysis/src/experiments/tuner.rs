@@ -70,7 +70,12 @@ impl Fig04TunerHeatmap {
             rows.clone(),
             cols.clone(),
         ));
-        let std = Mutex::new(Heatmap::zeroed("IPv6 threshold", "IPv4 threshold", rows, cols));
+        let std = Mutex::new(Heatmap::zeroed(
+            "IPv6 threshold",
+            "IPv4 threshold",
+            rows,
+            cols,
+        ));
 
         let n_threads = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -172,7 +177,10 @@ impl Experiment for Fig04TunerHeatmap {
             cols_monotone,
             format!(
                 "column means {:.3?}",
-                col_means.iter().map(|m| (m * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+                col_means
+                    .iter()
+                    .map(|m| (m * 1000.0).round() / 1000.0)
+                    .collect::<Vec<_>>()
             ),
         );
         let n_cols = col_limit as f64;
@@ -186,14 +194,21 @@ impl Experiment for Fig04TunerHeatmap {
             rows_monotone,
             format!(
                 "row means {:.3?}",
-                row_means.iter().map(|m| (m * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+                row_means
+                    .iter()
+                    .map(|m| (m * 1000.0).round() / 1000.0)
+                    .collect::<Vec<_>>()
             ),
         );
 
         result.section("mean Jaccard", mean.render());
         result.section("std of Jaccard", std.render());
-        result.csv.push((format!("{}_mean.csv", self.id()), mean.to_csv()));
-        result.csv.push((format!("{}_std.csv", self.id()), std.to_csv()));
+        result
+            .csv
+            .push((format!("{}_mean.csv", self.id()), mean.to_csv()));
+        result
+            .csv
+            .push((format!("{}_std.csv", self.id()), std.to_csv()));
         result
     }
 }
@@ -293,7 +308,8 @@ impl Experiment for Fig22TunerLs {
         let date = ctx.day0();
         let index = ctx.index(date);
         let base = ctx.default_pairs(date);
-        let with_threshold = tune_less_specific(&index, &base, ctx.world.rib(), &SpTunerLsConfig::default());
+        let with_threshold =
+            tune_less_specific(&index, &base, ctx.world.rib(), &SpTunerLsConfig::default());
         let without_threshold = tune_less_specific(
             &index,
             &base,

@@ -23,4 +23,6 @@ pub mod experiments;
 pub mod render;
 
 pub use context::{AnalysisContext, ReferenceOffsets};
-pub use experiments::{all_experiments, run_all, run_by_id, Check, Experiment, ExperimentResult, Section};
+pub use experiments::{
+    all_experiments, run_all, run_by_id, Check, Experiment, ExperimentResult, Section,
+};

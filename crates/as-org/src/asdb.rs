@@ -6,18 +6,7 @@ use sibling_net_types::Asn;
 
 /// The 17 ASdb business categories as they appear in the paper's
 /// business-type figures (Figs. 16, 20, 21).
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)]
 pub enum BusinessType {
     Agriculture,

@@ -44,15 +44,35 @@ impl HgCdnList {
     pub fn canonical() -> Self {
         let mut list = Self::new();
         // Hypergiants that also operate CDNs.
-        for name in ["Amazon", "Microsoft", "Akamai", "Google", "Alibaba", "Cloudflare", "Facebook", "Apple"] {
+        for name in [
+            "Amazon",
+            "Microsoft",
+            "Akamai",
+            "Google",
+            "Alibaba",
+            "Cloudflare",
+            "Facebook",
+            "Apple",
+        ] {
             list.add(name, HgCdnClass::Both);
         }
         // Primarily CDN operators.
-        for name in ["GoDaddy", "Incapsula", "CDN77", "Edgecast", "Fastly", "Rackspace", "Internap", "Lumen"] {
+        for name in [
+            "GoDaddy",
+            "Incapsula",
+            "CDN77",
+            "Edgecast",
+            "Fastly",
+            "Rackspace",
+            "Internap",
+            "Lumen",
+        ] {
             list.add(name, HgCdnClass::Cdn);
         }
         // Primarily hypergiants / large eyeball-facing networks on the list.
-        for name in ["Leaseweb", "KPN", "Yahoo", "Netflix", "Telenor", "NTT", "Telstra", "Telin"] {
+        for name in [
+            "Leaseweb", "KPN", "Yahoo", "Netflix", "Telenor", "NTT", "Telstra", "Telin",
+        ] {
             list.add(name, HgCdnClass::Hypergiant);
         }
         list

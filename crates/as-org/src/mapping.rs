@@ -5,18 +5,7 @@ use std::collections::BTreeMap;
 use sibling_net_types::{Asn, MonthDate};
 
 /// A dense organization identifier.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OrgId(pub u32);
 
 /// Which upstream mapping produced an answer. The paper uses CAIDA's
@@ -146,7 +135,10 @@ mod tests {
 
     #[test]
     fn era_switch_is_october_2022() {
-        assert_eq!(MappingEra::for_date(MonthDate::new(2022, 9)), MappingEra::Caida);
+        assert_eq!(
+            MappingEra::for_date(MonthDate::new(2022, 9)),
+            MappingEra::Caida
+        );
         assert_eq!(
             MappingEra::for_date(MonthDate::new(2022, 10)),
             MappingEra::ChenEtAl
@@ -181,7 +173,13 @@ mod tests {
         let mut chen = AsOrgMap::new();
         chen.assign(Asn(1), OrgId(20));
         let src = AsOrgSource::new(caida, chen);
-        assert_eq!(src.map_for(MonthDate::new(2021, 1)).org_of(Asn(1)), Some(OrgId(10)));
-        assert_eq!(src.map_for(MonthDate::new(2023, 1)).org_of(Asn(1)), Some(OrgId(20)));
+        assert_eq!(
+            src.map_for(MonthDate::new(2021, 1)).org_of(Asn(1)),
+            Some(OrgId(10))
+        );
+        assert_eq!(
+            src.map_for(MonthDate::new(2023, 1)).org_of(Asn(1)),
+            Some(OrgId(20))
+        );
     }
 }

@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use sibling_bench::bench_context;
 use sibling_analysis::run_by_id;
+use sibling_bench::bench_context;
 
 fn bench_experiment(c: &mut Criterion, bench_name: &str, ids: &[&str]) {
     let ctx = bench_context();
@@ -31,7 +31,11 @@ fn bench_validation(c: &mut Criterion) {
 
 /// Fig. 7 (stability) and Figs. 9–12 (longitudinal).
 fn bench_longitudinal(c: &mut Criterion) {
-    bench_experiment(c, "longitudinal", &["fig07", "fig09", "fig10", "fig11", "fig12"]);
+    bench_experiment(
+        c,
+        "longitudinal",
+        &["fig07", "fig09", "fig10", "fig11", "fig12"],
+    );
 }
 
 /// Figs. 14–16 (organizations + business types).

@@ -24,12 +24,16 @@ fn bench_trie(c: &mut Criterion) {
             black_box(trie.len())
         })
     });
-    let trie: PatriciaTrie<u32, usize> = prefixes.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+    let trie: PatriciaTrie<u32, usize> =
+        prefixes.iter().enumerate().map(|(i, p)| (*p, i)).collect();
     c.bench_function("ptrie_lpm_10k", |b| {
         b.iter(|| {
             let mut hits = 0usize;
             for addr in (0..100_000u32).step_by(101) {
-                if trie.longest_match(addr.wrapping_mul(2_654_435_761)).is_some() {
+                if trie
+                    .longest_match(addr.wrapping_mul(2_654_435_761))
+                    .is_some()
+                {
                     hits += 1;
                 }
             }
@@ -48,7 +52,7 @@ fn bench_rib_lookup(c: &mut Criterion) {
         b.iter(|| {
             let mut found = 0usize;
             for addr in &addrs {
-                if ctx.world.rib().lookup_v4(*addr).is_some() {
+                if ctx.world.rib().lookup(*addr).is_some() {
                     found += 1;
                 }
             }

@@ -66,7 +66,7 @@ mod tests {
 
     fn rib_with(origin: u32) -> Rib {
         let mut rib = Rib::new();
-        rib.announce_v4("10.0.0.0/8".parse::<Ipv4Prefix>().unwrap(), Asn(origin));
+        rib.announce("10.0.0.0/8".parse::<Ipv4Prefix>().unwrap(), Asn(origin));
         rib
     }
 
@@ -79,7 +79,7 @@ mod tests {
         assert!(arch.at(MonthDate::new(2020, 10)).is_none());
         let floor = arch.at_or_before(MonthDate::new(2021, 3)).unwrap();
         let r = floor
-            .lookup_v4(u32::from(std::net::Ipv4Addr::new(10, 0, 0, 1)))
+            .lookup(u32::from(std::net::Ipv4Addr::new(10, 0, 0, 1)))
             .unwrap();
         assert_eq!(r.primary_origin(), Asn(1));
         assert!(arch.at_or_before(MonthDate::new(2020, 8)).is_none());
@@ -91,7 +91,10 @@ mod tests {
         arch.insert(MonthDate::new(2022, 1), rib_with(1));
         arch.insert(MonthDate::new(2020, 9), rib_with(2));
         let dates: Vec<_> = arch.dates().collect();
-        assert_eq!(dates, vec![MonthDate::new(2020, 9), MonthDate::new(2022, 1)]);
+        assert_eq!(
+            dates,
+            vec![MonthDate::new(2020, 9), MonthDate::new(2022, 1)]
+        );
         assert_eq!(arch.len(), 2);
     }
 }

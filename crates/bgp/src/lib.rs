@@ -4,10 +4,9 @@
 //!
 //! 1. mapping an IP address to its covering BGP-announced prefix and
 //!    origin AS (to fill the ~1% of OpenINTEL records lacking prefix/AS
-//!    annotations) — [`Rib::lookup_v4`] / [`Rib::lookup_v6`];
+//!    annotations) — [`Rib::lookup`];
 //! 2. detecting origin-AS changes when SP-Tuner-LS climbs to covering
-//!    prefixes (Algorithm 2, `IsASnumChange`) — [`Rib::origin_of_v4`] /
-//!    [`Rib::origin_of_v6`] against the RIB *of the same date*, which is
+//!    prefixes (Algorithm 2, `IsASnumChange`) — [`Rib::origin_of`] against the RIB *of the same date*, which is
 //!    why [`RibArchive`] keeps one RIB per monthly snapshot.
 //!
 //! Multi-origin (MOAS) announcements are represented faithfully: a prefix
@@ -20,4 +19,4 @@ mod archive;
 mod rib;
 
 pub use archive::RibArchive;
-pub use rib::{Rib, RouteInfo};
+pub use rib::{FamilyRib, Rib, RouteInfo};

@@ -1,6 +1,12 @@
 //! One routing information base (RIB) snapshot.
+//!
+//! The RIB is family-generic: [`FamilyRib<F>`] is the single per-family
+//! implementation (announce, withdraw, longest-prefix match, covering
+//! lookup), and [`Rib`] composes one per family through a
+//! [`DualStack`], exposing generic methods whose family parameter is
+//! inferred from the prefix or address argument.
 
-use sibling_net_types::{Asn, Ipv4Prefix, Ipv6Prefix};
+use sibling_net_types::{AddressFamily, Asn, DualStack, FamilyMap, Prefix};
 use sibling_ptrie::PatriciaTrie;
 
 /// The outcome of a route lookup: the matched announced prefix and its
@@ -25,11 +31,99 @@ impl<P> RouteInfo<P> {
     }
 }
 
+/// The announced prefixes of one address family with their origins.
+#[derive(Clone)]
+pub struct FamilyRib<F: AddressFamily> {
+    routes: PatriciaTrie<F, Vec<Asn>>,
+}
+
+impl<F: AddressFamily> Default for FamilyRib<F> {
+    fn default() -> Self {
+        Self {
+            routes: PatriciaTrie::new(),
+        }
+    }
+}
+
+impl<F: AddressFamily> FamilyRib<F> {
+    /// Announces `prefix` from `origin` (idempotent; additional origins
+    /// accumulate as MOAS).
+    pub fn announce(&mut self, prefix: Prefix<F>, origin: Asn) {
+        match self.routes.get_mut(&prefix) {
+            Some(origins) => {
+                if let Err(pos) = origins.binary_search(&origin) {
+                    origins.insert(pos, origin);
+                }
+            }
+            None => {
+                self.routes.insert(prefix, vec![origin]);
+            }
+        }
+    }
+
+    /// Withdraws `prefix` entirely.
+    pub fn withdraw(&mut self, prefix: &Prefix<F>) -> bool {
+        self.routes.remove(prefix).is_some()
+    }
+
+    /// Longest-prefix match for an address.
+    pub fn lookup(&self, addr: F) -> Option<RouteInfo<Prefix<F>>> {
+        self.routes
+            .longest_match(addr)
+            .map(|(prefix, origins)| RouteInfo {
+                prefix,
+                origins: origins.clone(),
+            })
+    }
+
+    /// The origin AS(es) responsible for `prefix`: the most specific
+    /// announced prefix covering it. Used by SP-Tuner-LS to detect origin
+    /// changes when climbing to covering prefixes.
+    pub fn origin_of(&self, prefix: &Prefix<F>) -> Option<RouteInfo<Prefix<F>>> {
+        self.routes
+            .longest_covering(prefix)
+            .map(|(prefix, origins)| RouteInfo {
+                prefix,
+                origins: origins.clone(),
+            })
+    }
+
+    /// Whether exactly this prefix is announced.
+    pub fn is_announced(&self, prefix: &Prefix<F>) -> bool {
+        self.routes.contains(prefix)
+    }
+
+    /// All announced prefixes in address order.
+    pub fn prefixes(&self) -> impl Iterator<Item = Prefix<F>> + '_ {
+        self.routes.keys()
+    }
+
+    /// Number of announced prefixes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether nothing is announced.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+/// [`DualStack`] slot selector: family `F` stores a [`FamilyRib<F>`].
+struct RibSlots;
+
+impl FamilyMap for RibSlots {
+    type Out<F: AddressFamily> = FamilyRib<F>;
+}
+
 /// A dual-family RIB: the set of announced prefixes with their origins.
+///
+/// All per-family behaviour lives in [`FamilyRib`]; the methods here are
+/// family-generic and infer `F` from their arguments, so call sites read
+/// `rib.announce(prefix, asn)` / `rib.lookup(addr)` for either family.
 #[derive(Default, Clone)]
 pub struct Rib {
-    v4: PatriciaTrie<u32, Vec<Asn>>,
-    v6: PatriciaTrie<u128, Vec<Asn>>,
+    families: DualStack<RibSlots>,
 }
 
 impl Rib {
@@ -38,112 +132,53 @@ impl Rib {
         Self::default()
     }
 
-    /// Announces an IPv4 prefix from `origin` (idempotent; additional
-    /// origins accumulate as MOAS).
-    pub fn announce_v4(&mut self, prefix: Ipv4Prefix, origin: Asn) {
-        match self.v4.get_mut(&prefix) {
-            Some(origins) => {
-                if let Err(pos) = origins.binary_search(&origin) {
-                    origins.insert(pos, origin);
-                }
-            }
-            None => {
-                self.v4.insert(prefix, vec![origin]);
-            }
-        }
+    /// The single-family view for family `F`.
+    pub fn family<F: AddressFamily>(&self) -> &FamilyRib<F> {
+        self.families.get::<F>()
     }
 
-    /// Announces an IPv6 prefix from `origin`.
-    pub fn announce_v6(&mut self, prefix: Ipv6Prefix, origin: Asn) {
-        match self.v6.get_mut(&prefix) {
-            Some(origins) => {
-                if let Err(pos) = origins.binary_search(&origin) {
-                    origins.insert(pos, origin);
-                }
-            }
-            None => {
-                self.v6.insert(prefix, vec![origin]);
-            }
-        }
+    /// Announces `prefix` from `origin` (idempotent; additional origins
+    /// accumulate as MOAS).
+    pub fn announce<F: AddressFamily>(&mut self, prefix: Prefix<F>, origin: Asn) {
+        self.families.get_mut::<F>().announce(prefix, origin);
     }
 
-    /// Withdraws an IPv4 prefix entirely.
-    pub fn withdraw_v4(&mut self, prefix: &Ipv4Prefix) -> bool {
-        self.v4.remove(prefix).is_some()
+    /// Withdraws `prefix` entirely.
+    pub fn withdraw<F: AddressFamily>(&mut self, prefix: &Prefix<F>) -> bool {
+        self.families.get_mut::<F>().withdraw(prefix)
     }
 
-    /// Withdraws an IPv6 prefix entirely.
-    pub fn withdraw_v6(&mut self, prefix: &Ipv6Prefix) -> bool {
-        self.v6.remove(prefix).is_some()
+    /// Longest-prefix match for an address.
+    pub fn lookup<F: AddressFamily>(&self, addr: F) -> Option<RouteInfo<Prefix<F>>> {
+        self.family::<F>().lookup(addr)
     }
 
-    /// Longest-prefix match for an IPv4 address.
-    pub fn lookup_v4(&self, addr: u32) -> Option<RouteInfo<Ipv4Prefix>> {
-        self.v4.longest_match(addr).map(|(prefix, origins)| RouteInfo {
-            prefix,
-            origins: origins.clone(),
-        })
+    /// The origin AS(es) responsible for `prefix` (most specific covering
+    /// announcement).
+    pub fn origin_of<F: AddressFamily>(&self, prefix: &Prefix<F>) -> Option<RouteInfo<Prefix<F>>> {
+        self.family::<F>().origin_of(prefix)
     }
 
-    /// Longest-prefix match for an IPv6 address.
-    pub fn lookup_v6(&self, addr: u128) -> Option<RouteInfo<Ipv6Prefix>> {
-        self.v6.longest_match(addr).map(|(prefix, origins)| RouteInfo {
-            prefix,
-            origins: origins.clone(),
-        })
+    /// Whether exactly this prefix is announced.
+    pub fn is_announced<F: AddressFamily>(&self, prefix: &Prefix<F>) -> bool {
+        self.family::<F>().is_announced(prefix)
     }
 
-    /// The origin AS(es) responsible for `prefix`: the most specific
-    /// announced prefix covering it. Used by SP-Tuner-LS to detect origin
-    /// changes when climbing to covering prefixes.
-    pub fn origin_of_v4(&self, prefix: &Ipv4Prefix) -> Option<RouteInfo<Ipv4Prefix>> {
-        self.v4
-            .longest_covering(prefix)
-            .map(|(prefix, origins)| RouteInfo {
-                prefix,
-                origins: origins.clone(),
-            })
-    }
-
-    /// IPv6 variant of [`Rib::origin_of_v4`].
-    pub fn origin_of_v6(&self, prefix: &Ipv6Prefix) -> Option<RouteInfo<Ipv6Prefix>> {
-        self.v6
-            .longest_covering(prefix)
-            .map(|(prefix, origins)| RouteInfo {
-                prefix,
-                origins: origins.clone(),
-            })
-    }
-
-    /// Whether exactly this IPv4 prefix is announced.
-    pub fn is_announced_v4(&self, prefix: &Ipv4Prefix) -> bool {
-        self.v4.contains(prefix)
-    }
-
-    /// Whether exactly this IPv6 prefix is announced.
-    pub fn is_announced_v6(&self, prefix: &Ipv6Prefix) -> bool {
-        self.v6.contains(prefix)
-    }
-
-    /// All announced IPv4 prefixes in address order.
-    pub fn v4_prefixes(&self) -> impl Iterator<Item = Ipv4Prefix> + '_ {
-        self.v4.keys()
-    }
-
-    /// All announced IPv6 prefixes in address order.
-    pub fn v6_prefixes(&self) -> impl Iterator<Item = Ipv6Prefix> + '_ {
-        self.v6.keys()
+    /// All announced prefixes of family `F` in address order.
+    pub fn prefixes<F: AddressFamily>(&self) -> impl Iterator<Item = Prefix<F>> + '_ {
+        self.family::<F>().prefixes()
     }
 
     /// Number of announced (v4, v6) prefixes.
     pub fn counts(&self) -> (usize, usize) {
-        (self.v4.len(), self.v6.len())
+        (self.families.v4.len(), self.families.v6.len())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sibling_net_types::{Ipv4Prefix, Ipv6Prefix};
 
     fn p4(s: &str) -> Ipv4Prefix {
         s.parse().unwrap()
@@ -156,24 +191,26 @@ mod tests {
     #[test]
     fn announce_and_lookup_most_specific() {
         let mut rib = Rib::new();
-        rib.announce_v4(p4("23.0.0.0/8"), Asn(100));
-        rib.announce_v4(p4("23.1.0.0/16"), Asn(200));
+        rib.announce(p4("23.0.0.0/8"), Asn(100));
+        rib.announce(p4("23.1.0.0/16"), Asn(200));
         let addr = u32::from(std::net::Ipv4Addr::new(23, 1, 2, 3));
-        let r = rib.lookup_v4(addr).unwrap();
+        let r = rib.lookup(addr).unwrap();
         assert_eq!(r.prefix, p4("23.1.0.0/16"));
         assert_eq!(r.primary_origin(), Asn(200));
         let addr2 = u32::from(std::net::Ipv4Addr::new(23, 2, 0, 1));
-        assert_eq!(rib.lookup_v4(addr2).unwrap().prefix, p4("23.0.0.0/8"));
-        assert!(rib.lookup_v4(0).is_none());
+        assert_eq!(rib.lookup(addr2).unwrap().prefix, p4("23.0.0.0/8"));
+        assert!(rib.lookup(0u32).is_none());
     }
 
     #[test]
     fn moas_accumulates_sorted() {
         let mut rib = Rib::new();
-        rib.announce_v4(p4("23.0.0.0/8"), Asn(300));
-        rib.announce_v4(p4("23.0.0.0/8"), Asn(100));
-        rib.announce_v4(p4("23.0.0.0/8"), Asn(100));
-        let r = rib.lookup_v4(u32::from(std::net::Ipv4Addr::new(23, 0, 0, 1))).unwrap();
+        rib.announce(p4("23.0.0.0/8"), Asn(300));
+        rib.announce(p4("23.0.0.0/8"), Asn(100));
+        rib.announce(p4("23.0.0.0/8"), Asn(100));
+        let r = rib
+            .lookup(u32::from(std::net::Ipv4Addr::new(23, 0, 0, 1)))
+            .unwrap();
         assert_eq!(r.origins, vec![Asn(100), Asn(300)]);
         assert!(r.is_moas());
         assert_eq!(r.primary_origin(), Asn(100));
@@ -182,41 +219,57 @@ mod tests {
     #[test]
     fn origin_of_prefix_uses_covering_entry() {
         let mut rib = Rib::new();
-        rib.announce_v4(p4("23.0.0.0/8"), Asn(100));
-        rib.announce_v4(p4("23.1.0.0/16"), Asn(200));
+        rib.announce(p4("23.0.0.0/8"), Asn(100));
+        rib.announce(p4("23.1.0.0/16"), Asn(200));
         // A /24 inside the /16: covered by the /16 announcement.
-        let r = rib.origin_of_v4(&p4("23.1.5.0/24")).unwrap();
+        let r = rib.origin_of(&p4("23.1.5.0/24")).unwrap();
         assert_eq!(r.primary_origin(), Asn(200));
         // The /12 covering prefix is only covered by the /8.
-        let r = rib.origin_of_v4(&p4("23.0.0.0/12")).unwrap();
+        let r = rib.origin_of(&p4("23.0.0.0/12")).unwrap();
         assert_eq!(r.primary_origin(), Asn(100));
-        assert!(rib.origin_of_v4(&p4("24.0.0.0/8")).is_none());
+        assert!(rib.origin_of(&p4("24.0.0.0/8")).is_none());
     }
 
     #[test]
     fn withdraw_removes_route() {
         let mut rib = Rib::new();
-        rib.announce_v4(p4("23.0.0.0/8"), Asn(100));
-        assert!(rib.withdraw_v4(&p4("23.0.0.0/8")));
-        assert!(!rib.withdraw_v4(&p4("23.0.0.0/8")));
-        assert!(rib.lookup_v4(u32::from(std::net::Ipv4Addr::new(23, 0, 0, 1))).is_none());
+        rib.announce(p4("23.0.0.0/8"), Asn(100));
+        assert!(rib.withdraw(&p4("23.0.0.0/8")));
+        assert!(!rib.withdraw(&p4("23.0.0.0/8")));
+        assert!(rib
+            .lookup(u32::from(std::net::Ipv4Addr::new(23, 0, 0, 1)))
+            .is_none());
     }
 
     #[test]
     fn v6_lookups_work() {
         let mut rib = Rib::new();
-        rib.announce_v6(p6("2600:9000::/28"), Asn(16509));
-        rib.announce_v6(p6("2600:9000:1::/48"), Asn(16509));
+        rib.announce(p6("2600:9000::/28"), Asn(16509));
+        rib.announce(p6("2600:9000:1::/48"), Asn(16509));
         let addr = u128::from("2600:9000:1::1".parse::<std::net::Ipv6Addr>().unwrap());
-        assert_eq!(rib.lookup_v6(addr).unwrap().prefix, p6("2600:9000:1::/48"));
+        assert_eq!(rib.lookup(addr).unwrap().prefix, p6("2600:9000:1::/48"));
         assert_eq!(rib.counts(), (0, 2));
     }
 
     #[test]
     fn is_announced_is_exact() {
         let mut rib = Rib::new();
-        rib.announce_v4(p4("23.0.0.0/8"), Asn(100));
-        assert!(rib.is_announced_v4(&p4("23.0.0.0/8")));
-        assert!(!rib.is_announced_v4(&p4("23.0.0.0/9")));
+        rib.announce(p4("23.0.0.0/8"), Asn(100));
+        assert!(rib.is_announced(&p4("23.0.0.0/8")));
+        assert!(!rib.is_announced(&p4("23.0.0.0/9")));
+    }
+
+    #[test]
+    fn family_view_matches_generic_api() {
+        let mut rib = Rib::new();
+        rib.announce(p4("23.0.0.0/8"), Asn(100));
+        rib.announce(p6("2600::/16"), Asn(100));
+        assert_eq!(rib.family::<u32>().len(), 1);
+        assert_eq!(rib.family::<u128>().len(), 1);
+        assert_eq!(rib.prefixes::<u32>().count(), 1);
+        assert_eq!(
+            rib.family::<u32>().prefixes().next(),
+            Some(p4("23.0.0.0/8"))
+        );
     }
 }

@@ -178,7 +178,10 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
     }
     println!("ROV status of {} sibling pairs at {date}:", pairs.len());
     for (label, n) in &counts {
-        println!("  {label:<22}{n:>6}  ({:.1}%)", *n as f64 / pairs.len() as f64 * 100.0);
+        println!(
+            "  {label:<22}{n:>6}  ({:.1}%)",
+            *n as f64 / pairs.len() as f64 * 100.0
+        );
     }
     println!("\n{todo} pairs need a ROA for their uncovered side (valid+notfound).");
     Ok(())
@@ -187,7 +190,10 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
 fn cmd_run(args: &Args) -> Result<(), String> {
     let ctx = context(args.seed()?);
     let ids: Vec<String> = if args.positional.is_empty() {
-        all_experiments().iter().map(|e| e.id().to_string()).collect()
+        all_experiments()
+            .iter()
+            .map(|e| e.id().to_string())
+            .collect()
     } else {
         args.positional.clone()
     };
@@ -208,7 +214,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 
 fn cmd_list() -> Result<(), String> {
     for experiment in all_experiments() {
-        println!("{:<14}{:<44}{}", experiment.id(), experiment.title(), experiment.paper_ref());
+        println!(
+            "{:<14}{:<44}{}",
+            experiment.id(),
+            experiment.title(),
+            experiment.paper_ref()
+        );
     }
     Ok(())
 }

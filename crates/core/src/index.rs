@@ -1,33 +1,151 @@
 //! Step 2 of the methodology: grouping DS domains by announced prefix.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use sibling_bgp::Rib;
 use sibling_dns::{DnsSnapshot, DomainId};
-use sibling_net_types::{Ipv4Prefix, Ipv6Prefix};
+use sibling_net_types::{AddressFamily, DualStack, FamilyMap, Prefix};
 use sibling_ptrie::PatriciaTrie;
+
+/// The per-family half of the index: one instance per address family,
+/// composed into [`PrefixDomainIndex`] through a [`DualStack`].
+///
+/// Domain sets are stored as **sorted, deduplicated `Vec<DomainId>`**
+/// (domain ids are already dense interner output), so pair scoring walks
+/// two sorted runs instead of probing `BTreeSet`s — the hot path of
+/// `detect()` allocates nothing per candidate pair.
+pub struct FamilyIndex<F: AddressFamily> {
+    groups: BTreeMap<Prefix<F>, Vec<DomainId>>,
+    domain_prefixes: BTreeMap<DomainId, Vec<Prefix<F>>>,
+    hosts: PatriciaTrie<F, Vec<DomainId>>,
+    unmapped: usize,
+}
+
+impl<F: AddressFamily> Default for FamilyIndex<F> {
+    fn default() -> Self {
+        Self {
+            groups: BTreeMap::new(),
+            domain_prefixes: BTreeMap::new(),
+            hosts: PatriciaTrie::new(),
+            unmapped: 0,
+        }
+    }
+}
+
+impl<F: AddressFamily> FamilyIndex<F> {
+    /// Maps one resolved address of `domain` to its announced prefix.
+    fn add(&mut self, domain: DomainId, addr: F, rib: &Rib) {
+        match rib.lookup(addr) {
+            Some(route) => {
+                self.groups.entry(route.prefix).or_default().push(domain);
+                self.domain_prefixes
+                    .entry(domain)
+                    .or_default()
+                    .push(route.prefix);
+                let host = F::host_prefix(addr);
+                match self.hosts.get_mut(&host) {
+                    Some(set) => set.push(domain),
+                    None => {
+                        self.hosts.insert(host, vec![domain]);
+                    }
+                }
+            }
+            None => self.unmapped += 1,
+        }
+    }
+
+    /// Restores the sorted-set invariant after the build loop's raw
+    /// pushes (a domain with several addresses in one prefix would
+    /// otherwise leave duplicates).
+    fn finalize(&mut self) {
+        for set in self.groups.values_mut() {
+            set.sort_unstable();
+            set.dedup();
+        }
+        for set in self.domain_prefixes.values_mut() {
+            set.sort_unstable();
+            set.dedup();
+        }
+        for set in self.hosts.values_mut() {
+            set.sort_unstable();
+            set.dedup();
+        }
+    }
+
+    /// The DS domains grouped under an announced prefix (sorted).
+    pub fn domains(&self, prefix: &Prefix<F>) -> Option<&[DomainId]> {
+        self.groups.get(prefix).map(Vec::as_slice)
+    }
+
+    /// All announced prefixes with their domain sets, in address order.
+    pub fn groups(&self) -> impl Iterator<Item = (&Prefix<F>, &[DomainId])> {
+        self.groups.iter().map(|(p, d)| (p, d.as_slice()))
+    }
+
+    /// The announced prefixes a domain resolves into (sorted).
+    pub fn prefixes_of_domain(&self, domain: DomainId) -> Option<&[Prefix<F>]> {
+        self.domain_prefixes.get(&domain).map(Vec::as_slice)
+    }
+
+    /// Union of the domain sets of all hosts under an *arbitrary* prefix
+    /// (not necessarily announced) — the SP-Tuner set query. Sorted and
+    /// deduplicated.
+    pub fn domains_under(&self, prefix: &Prefix<F>) -> Vec<DomainId> {
+        let mut out = Vec::new();
+        for (_, set) in self.hosts.covered(prefix) {
+            out.extend(set.iter().copied());
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether any DS host lies under the given prefix.
+    pub fn occupied(&self, prefix: &Prefix<F>) -> bool {
+        self.hosts.branch_is_occupied(prefix)
+    }
+
+    /// Number of distinct announced prefixes with DS domains.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of distinct DS hosts indexed.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Addresses that had no covering announcement.
+    pub fn unmapped_count(&self) -> usize {
+        self.unmapped
+    }
+}
+
+/// [`DualStack`] slot selector: family `F` stores a [`FamilyIndex<F>`].
+struct IndexSlots;
+
+impl FamilyMap for IndexSlots {
+    type Out<F: AddressFamily> = FamilyIndex<F>;
+}
 
 /// The per-snapshot index the rest of the pipeline works from.
 ///
 /// For every dual-stack domain, each address is mapped to its covering
 /// BGP-announced prefix (longest-prefix match against the Routeviews-style
-/// RIB of the same date, per §2.2); the index then holds:
+/// RIB of the same date, per §2.2); the index then holds, per family:
 ///
-/// * per-prefix DS-domain sets for both families (the sets whose Jaccard
-///   values define sibling pairs);
+/// * per-prefix DS-domain sets (the sets whose Jaccard values define
+///   sibling pairs);
 /// * per-domain prefix sets (used by the stability analysis, Fig. 7);
 /// * host tries keyed by the individual addresses with their domain sets —
 ///   the two "PyTricia trees" SP-Tuner traverses (§3.3).
+///
+/// Both families share the single [`FamilyIndex`] implementation; methods
+/// here are family-generic and infer `F` from their prefix argument (or
+/// take an explicit `::<u32>` / `::<u128>` where no argument names it).
 #[derive(Default)]
 pub struct PrefixDomainIndex {
-    v4_groups: BTreeMap<Ipv4Prefix, BTreeSet<DomainId>>,
-    v6_groups: BTreeMap<Ipv6Prefix, BTreeSet<DomainId>>,
-    domain_v4: BTreeMap<DomainId, BTreeSet<Ipv4Prefix>>,
-    domain_v6: BTreeMap<DomainId, BTreeSet<Ipv6Prefix>>,
-    host_v4: PatriciaTrie<u32, BTreeSet<DomainId>>,
-    host_v6: PatriciaTrie<u128, BTreeSet<DomainId>>,
-    unmapped_v4: usize,
-    unmapped_v6: usize,
+    families: DualStack<IndexSlots>,
 }
 
 impl PrefixDomainIndex {
@@ -35,144 +153,81 @@ impl PrefixDomainIndex {
     /// of the same date.
     ///
     /// Addresses without a covering announcement are counted in
-    /// [`PrefixDomainIndex::unmapped counts`](Self::unmapped_counts) and
-    /// otherwise ignored, mirroring the ~1% of OpenINTEL records the paper
-    /// backfills or drops.
+    /// [`PrefixDomainIndex::unmapped_counts`] and otherwise ignored,
+    /// mirroring the ~1% of OpenINTEL records the paper backfills or
+    /// drops.
     pub fn build(snapshot: &DnsSnapshot, rib: &Rib) -> Self {
         let mut index = Self::default();
         for (domain, addrs) in snapshot.ds_domains() {
             for &addr in &addrs.v4 {
-                match rib.lookup_v4(addr) {
-                    Some(route) => {
-                        index
-                            .v4_groups
-                            .entry(route.prefix)
-                            .or_default()
-                            .insert(domain);
-                        index.domain_v4.entry(domain).or_default().insert(route.prefix);
-                        let host = Ipv4Prefix::new(addr, 32).expect("/32 is valid");
-                        match index.host_v4.get_mut(&host) {
-                            Some(set) => {
-                                set.insert(domain);
-                            }
-                            None => {
-                                let mut set = BTreeSet::new();
-                                set.insert(domain);
-                                index.host_v4.insert(host, set);
-                            }
-                        }
-                    }
-                    None => index.unmapped_v4 += 1,
-                }
+                index.families.v4.add(domain, addr, rib);
             }
             for &addr in &addrs.v6 {
-                match rib.lookup_v6(addr) {
-                    Some(route) => {
-                        index
-                            .v6_groups
-                            .entry(route.prefix)
-                            .or_default()
-                            .insert(domain);
-                        index.domain_v6.entry(domain).or_default().insert(route.prefix);
-                        let host = Ipv6Prefix::new(addr, 128).expect("/128 is valid");
-                        match index.host_v6.get_mut(&host) {
-                            Some(set) => {
-                                set.insert(domain);
-                            }
-                            None => {
-                                let mut set = BTreeSet::new();
-                                set.insert(domain);
-                                index.host_v6.insert(host, set);
-                            }
-                        }
-                    }
-                    None => index.unmapped_v6 += 1,
-                }
+                index.families.v6.add(domain, addr, rib);
             }
         }
+        index.families.v4.finalize();
+        index.families.v6.finalize();
         index
     }
 
-    /// The DS domains grouped under an announced IPv4 prefix.
-    pub fn v4_domains(&self, prefix: &Ipv4Prefix) -> Option<&BTreeSet<DomainId>> {
-        self.v4_groups.get(prefix)
+    /// The single-family view for family `F`.
+    pub fn family<F: AddressFamily>(&self) -> &FamilyIndex<F> {
+        self.families.get::<F>()
     }
 
-    /// The DS domains grouped under an announced IPv6 prefix.
-    pub fn v6_domains(&self, prefix: &Ipv6Prefix) -> Option<&BTreeSet<DomainId>> {
-        self.v6_groups.get(prefix)
+    /// The DS domains grouped under an announced prefix (sorted).
+    pub fn domains<F: AddressFamily>(&self, prefix: &Prefix<F>) -> Option<&[DomainId]> {
+        self.family::<F>().domains(prefix)
     }
 
-    /// All announced IPv4 prefixes with their domain sets.
-    pub fn v4_groups(&self) -> impl Iterator<Item = (&Ipv4Prefix, &BTreeSet<DomainId>)> {
-        self.v4_groups.iter()
+    /// All announced prefixes of family `F` with their domain sets.
+    pub fn groups<F: AddressFamily>(&self) -> impl Iterator<Item = (&Prefix<F>, &[DomainId])> {
+        self.family::<F>().groups()
     }
 
-    /// All announced IPv6 prefixes with their domain sets.
-    pub fn v6_groups(&self) -> impl Iterator<Item = (&Ipv6Prefix, &BTreeSet<DomainId>)> {
-        self.v6_groups.iter()
+    /// The announced prefixes a domain resolves into (sorted).
+    pub fn prefixes_of_domain<F: AddressFamily>(&self, domain: DomainId) -> Option<&[Prefix<F>]> {
+        self.family::<F>().prefixes_of_domain(domain)
     }
 
-    /// The announced IPv4 prefixes a domain resolves into.
-    pub fn prefixes_of_domain_v4(&self, domain: DomainId) -> Option<&BTreeSet<Ipv4Prefix>> {
-        self.domain_v4.get(&domain)
+    /// Union of the domain sets of all hosts under an arbitrary prefix
+    /// (sorted, deduplicated).
+    pub fn domains_under<F: AddressFamily>(&self, prefix: &Prefix<F>) -> Vec<DomainId> {
+        self.family::<F>().domains_under(prefix)
     }
 
-    /// The announced IPv6 prefixes a domain resolves into.
-    pub fn prefixes_of_domain_v6(&self, domain: DomainId) -> Option<&BTreeSet<Ipv6Prefix>> {
-        self.domain_v6.get(&domain)
-    }
-
-    /// Union of the domain sets of all hosts under an *arbitrary* IPv4
-    /// prefix (not necessarily announced) — the SP-Tuner set query.
-    pub fn domains_under_v4(&self, prefix: &Ipv4Prefix) -> BTreeSet<DomainId> {
-        let mut out = BTreeSet::new();
-        for (_, set) in self.host_v4.covered(prefix) {
-            out.extend(set.iter().copied());
-        }
-        out
-    }
-
-    /// Union of the domain sets of all hosts under an arbitrary IPv6
-    /// prefix.
-    pub fn domains_under_v6(&self, prefix: &Ipv6Prefix) -> BTreeSet<DomainId> {
-        let mut out = BTreeSet::new();
-        for (_, set) in self.host_v6.covered(prefix) {
-            out.extend(set.iter().copied());
-        }
-        out
-    }
-
-    /// Whether any DS host lies under the given IPv4 prefix.
-    pub fn occupied_v4(&self, prefix: &Ipv4Prefix) -> bool {
-        self.host_v4.branch_is_occupied(prefix)
-    }
-
-    /// Whether any DS host lies under the given IPv6 prefix.
-    pub fn occupied_v6(&self, prefix: &Ipv6Prefix) -> bool {
-        self.host_v6.branch_is_occupied(prefix)
+    /// Whether any DS host lies under the given prefix.
+    pub fn occupied<F: AddressFamily>(&self, prefix: &Prefix<F>) -> bool {
+        self.family::<F>().occupied(prefix)
     }
 
     /// Number of distinct (v4, v6) announced prefixes with DS domains.
     pub fn group_counts(&self) -> (usize, usize) {
-        (self.v4_groups.len(), self.v6_groups.len())
+        (
+            self.families.v4.group_count(),
+            self.families.v6.group_count(),
+        )
     }
 
     /// Addresses that had no covering announcement (v4, v6).
     pub fn unmapped_counts(&self) -> (usize, usize) {
-        (self.unmapped_v4, self.unmapped_v6)
+        (
+            self.families.v4.unmapped_count(),
+            self.families.v6.unmapped_count(),
+        )
     }
 
     /// Number of distinct DS hosts (v4, v6) indexed.
     pub fn host_counts(&self) -> (usize, usize) {
-        (self.host_v4.len(), self.host_v6.len())
+        (self.families.v4.host_count(), self.families.v6.host_count())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sibling_net_types::{Asn, MonthDate};
+    use sibling_net_types::{Asn, Ipv4Prefix, Ipv6Prefix, MonthDate};
 
     fn a4(s: &str) -> u32 {
         s.parse::<std::net::Ipv4Addr>().unwrap().into()
@@ -192,12 +247,20 @@ mod tests {
 
     fn fixture() -> (DnsSnapshot, Rib) {
         let mut rib = Rib::new();
-        rib.announce_v4(p4("198.51.0.0/16"), Asn(64500));
-        rib.announce_v6(p6("2600:1000::/32"), Asn(64500));
+        rib.announce(p4("198.51.0.0/16"), Asn(64500));
+        rib.announce(p6("2600:1000::/32"), Asn(64500));
         let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
         // Two DS domains in the same prefixes, one v4-only domain.
-        snap.merge(DomainId(0), vec![a4("198.51.1.1")], vec![a6("2600:1000::1")]);
-        snap.merge(DomainId(1), vec![a4("198.51.1.2")], vec![a6("2600:1000::2")]);
+        snap.merge(
+            DomainId(0),
+            vec![a4("198.51.1.1")],
+            vec![a6("2600:1000::1")],
+        );
+        snap.merge(
+            DomainId(1),
+            vec![a4("198.51.1.2")],
+            vec![a6("2600:1000::2")],
+        );
         snap.merge(DomainId(2), vec![a4("198.51.9.9")], vec![]);
         (snap, rib)
     }
@@ -206,10 +269,10 @@ mod tests {
     fn groups_ds_domains_only() {
         let (snap, rib) = fixture();
         let index = PrefixDomainIndex::build(&snap, &rib);
-        let v4 = index.v4_domains(&p4("198.51.0.0/16")).unwrap();
+        let v4 = index.domains(&p4("198.51.0.0/16")).unwrap();
         assert_eq!(v4.len(), 2, "v4-only domain must be excluded");
         assert!(v4.contains(&DomainId(0)) && v4.contains(&DomainId(1)));
-        let v6 = index.v6_domains(&p6("2600:1000::/32")).unwrap();
+        let v6 = index.domains(&p6("2600:1000::/32")).unwrap();
         assert_eq!(v6.len(), 2);
         assert_eq!(index.group_counts(), (1, 1));
         assert_eq!(index.host_counts(), (2, 2));
@@ -218,13 +281,56 @@ mod tests {
     #[test]
     fn unmapped_addresses_counted() {
         let mut rib = Rib::new();
-        rib.announce_v4(p4("198.51.0.0/16"), Asn(64500));
+        rib.announce(p4("198.51.0.0/16"), Asn(64500));
         // No v6 announcement at all.
         let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
-        snap.merge(DomainId(0), vec![a4("198.51.1.1")], vec![a6("2600:1000::1")]);
+        snap.merge(
+            DomainId(0),
+            vec![a4("198.51.1.1")],
+            vec![a6("2600:1000::1")],
+        );
         let index = PrefixDomainIndex::build(&snap, &rib);
         assert_eq!(index.unmapped_counts(), (0, 1));
         assert_eq!(index.group_counts(), (1, 0));
+    }
+
+    #[test]
+    fn unmapped_counts_both_families_and_all_addresses() {
+        // An empty RIB maps nothing: every DS address of every domain must
+        // be counted, none silently dropped.
+        let rib = Rib::new();
+        let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
+        snap.merge(
+            DomainId(0),
+            vec![a4("198.51.1.1"), a4("198.51.1.2")],
+            vec![a6("2600:1000::1")],
+        );
+        snap.merge(
+            DomainId(1),
+            vec![a4("203.0.113.9")],
+            vec![a6("2600:1000::2")],
+        );
+        let index = PrefixDomainIndex::build(&snap, &rib);
+        assert_eq!(index.unmapped_counts(), (3, 2));
+        assert_eq!(index.group_counts(), (0, 0));
+        assert_eq!(index.host_counts(), (0, 0));
+    }
+
+    #[test]
+    fn unmapped_counts_mixed_with_mapped() {
+        // One family announced, the other not; mapped addresses must not
+        // leak into the unmapped tally.
+        let mut rib = Rib::new();
+        rib.announce(p6("2600:1000::/32"), Asn(64500));
+        let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
+        snap.merge(
+            DomainId(0),
+            vec![a4("198.51.1.1")],
+            vec![a6("2600:1000::1"), a6("2600:1000::2")],
+        );
+        let index = PrefixDomainIndex::build(&snap, &rib);
+        assert_eq!(index.unmapped_counts(), (1, 0));
+        assert_eq!(index.group_counts(), (0, 1));
     }
 
     #[test]
@@ -232,13 +338,13 @@ mod tests {
         let (snap, rib) = fixture();
         let index = PrefixDomainIndex::build(&snap, &rib);
         // Both hosts are in 198.51.1.0/24.
-        assert_eq!(index.domains_under_v4(&p4("198.51.1.0/24")).len(), 2);
+        assert_eq!(index.domains_under(&p4("198.51.1.0/24")).len(), 2);
         // Narrower: only one host.
-        let narrow = index.domains_under_v4(&p4("198.51.1.1/32"));
+        let narrow = index.domains_under(&p4("198.51.1.1/32"));
         assert_eq!(narrow.len(), 1);
         assert!(narrow.contains(&DomainId(0)));
-        assert!(index.occupied_v4(&p4("198.51.1.0/24")));
-        assert!(!index.occupied_v4(&p4("198.51.2.0/24")));
+        assert!(index.occupied(&p4("198.51.1.0/24")));
+        assert!(!index.occupied(&p4("198.51.2.0/24")));
     }
 
     #[test]
@@ -246,12 +352,12 @@ mod tests {
         let (snap, rib) = fixture();
         let index = PrefixDomainIndex::build(&snap, &rib);
         assert!(index
-            .prefixes_of_domain_v4(DomainId(0))
+            .prefixes_of_domain::<u32>(DomainId(0))
             .unwrap()
             .contains(&p4("198.51.0.0/16")));
-        assert!(index.prefixes_of_domain_v4(DomainId(2)).is_none());
+        assert!(index.prefixes_of_domain::<u32>(DomainId(2)).is_none());
         assert!(index
-            .prefixes_of_domain_v6(DomainId(1))
+            .prefixes_of_domain::<u128>(DomainId(1))
             .unwrap()
             .contains(&p6("2600:1000::/32")));
     }
@@ -259,14 +365,47 @@ mod tests {
     #[test]
     fn shared_host_accumulates_domains() {
         let mut rib = Rib::new();
-        rib.announce_v4(p4("198.51.0.0/16"), Asn(64500));
-        rib.announce_v6(p6("2600:1000::/32"), Asn(64500));
+        rib.announce(p4("198.51.0.0/16"), Asn(64500));
+        rib.announce(p6("2600:1000::/32"), Asn(64500));
         let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
         // Two domains on the same v4 host (shared hosting).
-        snap.merge(DomainId(0), vec![a4("198.51.1.1")], vec![a6("2600:1000::1")]);
-        snap.merge(DomainId(1), vec![a4("198.51.1.1")], vec![a6("2600:1000::2")]);
+        snap.merge(
+            DomainId(0),
+            vec![a4("198.51.1.1")],
+            vec![a6("2600:1000::1")],
+        );
+        snap.merge(
+            DomainId(1),
+            vec![a4("198.51.1.1")],
+            vec![a6("2600:1000::2")],
+        );
         let index = PrefixDomainIndex::build(&snap, &rib);
         assert_eq!(index.host_counts(), (1, 2));
-        assert_eq!(index.domains_under_v4(&p4("198.51.1.1/32")).len(), 2);
+        assert_eq!(index.domains_under(&p4("198.51.1.1/32")).len(), 2);
+    }
+
+    #[test]
+    fn domain_sets_are_sorted_and_deduplicated() {
+        let mut rib = Rib::new();
+        rib.announce(p4("198.51.0.0/16"), Asn(64500));
+        rib.announce(p6("2600:1000::/32"), Asn(64500));
+        let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
+        // One domain with two v4 addresses in the same announced prefix:
+        // the group set must still list the domain once.
+        snap.merge(
+            DomainId(7),
+            vec![a4("198.51.1.1"), a4("198.51.2.2")],
+            vec![a6("2600:1000::1")],
+        );
+        snap.merge(
+            DomainId(3),
+            vec![a4("198.51.3.3")],
+            vec![a6("2600:1000::3")],
+        );
+        let index = PrefixDomainIndex::build(&snap, &rib);
+        let group = index.domains(&p4("198.51.0.0/16")).unwrap();
+        assert_eq!(group, &[DomainId(3), DomainId(7)]);
+        let prefixes = index.prefixes_of_domain::<u32>(DomainId(7)).unwrap();
+        assert_eq!(prefixes, &[p4("198.51.0.0/16")]);
     }
 }

@@ -39,7 +39,7 @@ pub mod stability;
 pub mod tuner;
 
 pub use index::PrefixDomainIndex;
-pub use metrics::{dice, jaccard, overlap_coefficient, Ratio, SimilarityMetric};
+pub use metrics::{dice, intersection_size, jaccard, overlap_coefficient, Ratio, SimilarityMetric};
 pub use pipeline::{detect, BestMatchPolicy, SiblingPair, SiblingSet};
 pub use setpairs::{build_set_pairs, SetPair, SetPairing};
 pub use tuner::{SpTunerConfig, SpTunerLsConfig, TunerOutcome};

@@ -67,10 +67,8 @@ impl DeltaReport {
 /// Similarity equality is exact (rational comparison), so "unchanged"
 /// means the Jaccard value is numerically identical, not approximately so.
 pub fn compare(old: &SiblingSet, current: &SiblingSet) -> DeltaReport {
-    let old_by_pair: BTreeMap<(Ipv4Prefix, Ipv6Prefix), crate::metrics::Ratio> = old
-        .iter()
-        .map(|p| ((p.v4, p.v6), p.similarity))
-        .collect();
+    let old_by_pair: BTreeMap<(Ipv4Prefix, Ipv6Prefix), crate::metrics::Ratio> =
+        old.iter().map(|p| ((p.v4, p.v6), p.similarity)).collect();
     let mut report = DeltaReport::default();
     let mut seen_old: std::collections::BTreeSet<(Ipv4Prefix, Ipv6Prefix)> = Default::default();
     for pair in current.iter() {

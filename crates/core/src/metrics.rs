@@ -14,8 +14,11 @@
 //! All metrics are computed as exact rationals ([`Ratio`]) so best-match
 //! tie handling (§3.1 step 4 keeps *all* pairs sharing the highest value)
 //! is never at the mercy of floating-point rounding.
-
-use std::collections::BTreeSet;
+//!
+//! Sets are represented as **sorted, deduplicated slices** (the
+//! `PrefixDomainIndex` invariant): intersections are merge walks over two
+//! sorted runs, `O(|A| + |B|)` with no allocation or tree probing on the
+//! pair-scoring hot path.
 
 /// An exact non-negative rational for similarity values.
 ///
@@ -92,29 +95,63 @@ impl PartialOrd for Ratio {
     }
 }
 
-/// Intersection size of two sorted sets.
-fn intersection_size<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> u64 {
-    // Iterate over the smaller set, probing the larger: O(min·log max).
+/// Intersection size of two sorted, deduplicated slices, allocation-free.
+///
+/// Balanced inputs use a linear merge walk (`O(|A| + |B|)`); when one
+/// side is much larger — a shared-hosting hub prefix against a two-domain
+/// candidate — the walk would pay for the big side, so the small side is
+/// binary-probed into the large one instead (`O(min · log max)`).
+pub fn intersection_size<T: Ord>(a: &[T], b: &[T]) -> u64 {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    small.iter().filter(|x| large.contains(x)).count() as u64
+    if large.len() / 16 > small.len() {
+        return small
+            .iter()
+            .filter(|x| large.binary_search(x).is_ok())
+            .count() as u64;
+    }
+    let mut count = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < small.len() && j < large.len() {
+        match small[i].cmp(&large[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
 }
 
 /// Jaccard similarity index: `|A ∩ B| / |A ∪ B|` (Equation 1).
-pub fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> Ratio {
-    let inter = intersection_size(a, b);
-    let union = a.len() as u64 + b.len() as u64 - inter;
-    Ratio::new(inter, union)
+///
+/// Inputs must be sorted and deduplicated.
+pub fn jaccard<T: Ord>(a: &[T], b: &[T]) -> Ratio {
+    jaccard_from_parts(intersection_size(a, b), a.len() as u64, b.len() as u64)
+}
+
+/// [`jaccard`] from a precomputed intersection size, for callers that
+/// already walked the sets (avoids a second merge walk on the scoring
+/// hot path).
+pub fn jaccard_from_parts(inter: u64, a_len: u64, b_len: u64) -> Ratio {
+    Ratio::new(inter, a_len + b_len - inter)
 }
 
 /// Overlap coefficient: `|A ∩ B| / min(|A|, |B|)` (Equation 2).
-pub fn overlap_coefficient<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> Ratio {
+///
+/// Inputs must be sorted and deduplicated.
+pub fn overlap_coefficient<T: Ord>(a: &[T], b: &[T]) -> Ratio {
     let inter = intersection_size(a, b);
     let min = a.len().min(b.len()) as u64;
     Ratio::new(inter, min)
 }
 
 /// Dice coefficient: `2·|A ∩ B| / (|A| + |B|)` (Equation 3).
-pub fn dice<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> Ratio {
+///
+/// Inputs must be sorted and deduplicated.
+pub fn dice<T: Ord>(a: &[T], b: &[T]) -> Ratio {
     let inter = intersection_size(a, b);
     let total = a.len() as u64 + b.len() as u64;
     Ratio::new(2 * inter, total)
@@ -133,12 +170,18 @@ pub enum SimilarityMetric {
 }
 
 impl SimilarityMetric {
-    /// Computes the metric over two sets.
-    pub fn compute<T: Ord>(&self, a: &BTreeSet<T>, b: &BTreeSet<T>) -> Ratio {
+    /// Computes the metric over two sorted, deduplicated sets.
+    pub fn compute<T: Ord>(&self, a: &[T], b: &[T]) -> Ratio {
+        self.from_parts(intersection_size(a, b), a.len() as u64, b.len() as u64)
+    }
+
+    /// Computes the metric from a precomputed intersection size and the
+    /// two set sizes, for callers that already walked the sets.
+    pub fn from_parts(&self, inter: u64, a_len: u64, b_len: u64) -> Ratio {
         match self {
-            SimilarityMetric::Jaccard => jaccard(a, b),
-            SimilarityMetric::Dice => dice(a, b),
-            SimilarityMetric::Overlap => overlap_coefficient(a, b),
+            SimilarityMetric::Jaccard => jaccard_from_parts(inter, a_len, b_len),
+            SimilarityMetric::Dice => Ratio::new(2 * inter, a_len + b_len),
+            SimilarityMetric::Overlap => Ratio::new(inter, a_len.min(b_len)),
         }
     }
 
@@ -157,8 +200,11 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    fn set(items: &[u32]) -> BTreeSet<u32> {
-        items.iter().copied().collect()
+    fn set(items: &[u32]) -> Vec<u32> {
+        let mut v: Vec<u32> = items.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
     }
 
     #[test]
@@ -190,11 +236,24 @@ mod tests {
 
     #[test]
     fn empty_sets_are_zero_not_nan() {
-        let a: BTreeSet<u32> = BTreeSet::new();
+        let a: Vec<u32> = Vec::new();
         assert_eq!(jaccard(&a, &a), Ratio::ZERO);
         assert_eq!(overlap_coefficient(&a, &a), Ratio::ZERO);
         assert_eq!(dice(&a, &a), Ratio::ZERO);
         assert!(!jaccard(&a, &a).to_f64().is_nan());
+    }
+
+    #[test]
+    fn asymmetric_sets_take_the_probe_path() {
+        // Large/small ratio beyond 16x switches intersection_size to
+        // binary probing; both code paths must agree.
+        let large: Vec<u32> = (0..1000).map(|x| x * 2).collect();
+        let small = set(&[3, 10, 500, 1998, 5000]);
+        assert_eq!(intersection_size(&large, &small), 3);
+        assert_eq!(intersection_size(&small, &large), 3);
+        assert_eq!(jaccard(&large, &small), Ratio::new(3, 1002));
+        let none = set(&[1, 3, 5]);
+        assert_eq!(intersection_size(&large, &none), 0);
     }
 
     #[test]
@@ -212,7 +271,10 @@ mod tests {
         assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
         // Equality is by value, not by representation.
         assert_eq!(Ratio::new(1, 3), Ratio::new(2, 6));
-        assert_eq!(Ratio::new(1, 3).cmp(&Ratio::new(2, 6)), std::cmp::Ordering::Equal);
+        assert_eq!(
+            Ratio::new(1, 3).cmp(&Ratio::new(2, 6)),
+            std::cmp::Ordering::Equal
+        );
         assert!(Ratio::new(999_999, 1_000_000) < Ratio::ONE);
     }
 
@@ -222,6 +284,8 @@ mod tests {
             a in proptest::collection::btree_set(0u32..50, 0..30),
             b in proptest::collection::btree_set(0u32..50, 0..30),
         ) {
+            let a: Vec<u32> = a.into_iter().collect();
+            let b: Vec<u32> = b.into_iter().collect();
             for metric in [SimilarityMetric::Jaccard, SimilarityMetric::Dice, SimilarityMetric::Overlap] {
                 let ab = metric.compute(&a, &b);
                 let ba = metric.compute(&b, &a);
@@ -236,6 +300,8 @@ mod tests {
             a in proptest::collection::btree_set(0u32..50, 1..30),
             b in proptest::collection::btree_set(0u32..50, 1..30),
         ) {
+            let a: Vec<u32> = a.into_iter().collect();
+            let b: Vec<u32> = b.into_iter().collect();
             // Standard pointwise ordering: J ≤ D ≤ OC.
             let j = jaccard(&a, &b);
             let d = dice(&a, &b);
@@ -249,6 +315,8 @@ mod tests {
             a in proptest::collection::btree_set(0u32..50, 1..30),
             b in proptest::collection::btree_set(0u32..50, 1..30),
         ) {
+            let a: Vec<u32> = a.into_iter().collect();
+            let b: Vec<u32> = b.into_iter().collect();
             prop_assert_eq!(jaccard(&a, &b).is_one(), a == b);
         }
     }

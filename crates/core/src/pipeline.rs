@@ -52,7 +52,7 @@ impl SiblingSet {
     /// Builds a set from pairs (deduplicating on the prefix pair, sorting
     /// deterministically).
     pub fn from_pairs(mut pairs: Vec<SiblingPair>) -> Self {
-        pairs.sort_by(|a, b| (a.v4, a.v6).cmp(&(b.v4, b.v6)));
+        pairs.sort_by_key(|p| (p.v4, p.v6));
         pairs.dedup_by_key(|p| (p.v4, p.v6));
         Self { pairs }
     }
@@ -101,7 +101,12 @@ impl SiblingSet {
             return (0.0, 0.0);
         }
         let n = self.pairs.len() as f64;
-        let mean = self.pairs.iter().map(|p| p.similarity.to_f64()).sum::<f64>() / n;
+        let mean = self
+            .pairs
+            .iter()
+            .map(|p| p.similarity.to_f64())
+            .sum::<f64>()
+            / n;
         let var = self
             .pairs
             .iter()
@@ -122,16 +127,16 @@ impl SiblingSet {
     }
 }
 
-/// Scores one candidate pair.
+/// Scores one candidate pair over two sorted, deduplicated domain sets.
 fn score_pair(
     metric: SimilarityMetric,
     v4: Ipv4Prefix,
     v6: Ipv6Prefix,
-    a: &BTreeSet<DomainId>,
-    b: &BTreeSet<DomainId>,
+    a: &[DomainId],
+    b: &[DomainId],
 ) -> SiblingPair {
-    let similarity = metric.compute(a, b);
-    let shared = a.iter().filter(|d| b.contains(d)).count() as u64;
+    let shared = crate::metrics::intersection_size(a, b);
+    let similarity = metric.from_parts(shared, a.len() as u64, b.len() as u64);
     SiblingPair {
         v4,
         v6,
@@ -145,9 +150,12 @@ fn score_pair(
 /// Runs steps 3–4: scores every candidate (v4, v6) prefix pair that shares
 /// at least one DS domain, then keeps the best match(es) per prefix.
 ///
-/// Pairs with similarity 0 are discarded (they cannot arise from the
-/// candidate generation, which requires a shared domain, but the invariant
-/// is enforced for defence in depth); ties at the maximum are all kept.
+/// Candidates are scored against the index's interned sorted
+/// `Vec<DomainId>` domain sets with a merge-walk intersection, so scoring
+/// allocates nothing per pair. Pairs with similarity 0 are discarded
+/// (they cannot arise from the candidate generation, which requires a
+/// shared domain, but the invariant is enforced for defence in depth);
+/// ties at the maximum are all kept.
 pub fn detect(
     index: &PrefixDomainIndex,
     metric: SimilarityMetric,
@@ -156,9 +164,9 @@ pub fn detect(
     // Candidate generation through domain co-occurrence: a pair can only
     // have non-zero similarity if some domain resolves into both prefixes.
     let mut candidates: BTreeSet<(Ipv4Prefix, Ipv6Prefix)> = BTreeSet::new();
-    for (p4, domains) in index.v4_groups() {
+    for (p4, domains) in index.groups::<u32>() {
         for d in domains {
-            if let Some(v6_prefixes) = index.prefixes_of_domain_v6(*d) {
+            if let Some(v6_prefixes) = index.prefixes_of_domain::<u128>(*d) {
                 for p6 in v6_prefixes {
                     candidates.insert((*p4, *p6));
                 }
@@ -169,8 +177,8 @@ pub fn detect(
     let scored: Vec<SiblingPair> = candidates
         .into_iter()
         .map(|(p4, p6)| {
-            let a = index.v4_domains(&p4).expect("candidate v4 prefix indexed");
-            let b = index.v6_domains(&p6).expect("candidate v6 prefix indexed");
+            let a = index.domains(&p4).expect("candidate v4 prefix indexed");
+            let b = index.domains(&p6).expect("candidate v6 prefix indexed");
             score_pair(metric, p4, p6, a, b)
         })
         .filter(|p| !p.similarity.is_zero())
@@ -244,10 +252,10 @@ mod tests {
     /// simplified to reproduce the 0.66 / 0.33 / 0.0 / 1.0 matrix.
     fn fig3_fixture() -> PrefixDomainIndex {
         let mut rib = Rib::new();
-        rib.announce_v4(p4("203.0.0.0/16"), Asn(1)); // v4 prefix-1
-        rib.announce_v4(p4("198.51.0.0/16"), Asn(2)); // v4 prefix-2
-        rib.announce_v6(p6("2600:1::/32"), Asn(1)); // v6 prefix-1
-        rib.announce_v6(p6("2600:2::/32"), Asn(2)); // v6 prefix-2
+        rib.announce(p4("203.0.0.0/16"), Asn(1)); // v4 prefix-1
+        rib.announce(p4("198.51.0.0/16"), Asn(2)); // v4 prefix-2
+        rib.announce(p6("2600:1::/32"), Asn(1)); // v6 prefix-1
+        rib.announce(p6("2600:2::/32"), Asn(2)); // v6 prefix-2
 
         let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
         // d1, d3 → v4 p1 + v6 p1 ; d2 → v4 p1 + v6 p2 ; d4 → v4 p2 + v6 p2.
@@ -261,9 +269,9 @@ mod tests {
     #[test]
     fn fig3_similarity_matrix() {
         let index = fig3_fixture();
-        let a = index.v4_domains(&p4("203.0.0.0/16")).unwrap();
-        let b1 = index.v6_domains(&p6("2600:1::/32")).unwrap();
-        let b2 = index.v6_domains(&p6("2600:2::/32")).unwrap();
+        let a = index.domains(&p4("203.0.0.0/16")).unwrap();
+        let b1 = index.domains(&p6("2600:1::/32")).unwrap();
+        let b2 = index.domains(&p6("2600:2::/32")).unwrap();
         assert_eq!(crate::metrics::jaccard(a, b1), Ratio::new(2, 3));
         assert_eq!(crate::metrics::jaccard(a, b2), Ratio::new(1, 4));
     }
@@ -286,9 +294,9 @@ mod tests {
         // v4 prefix with two v6 counterparts where the v4-side best is b1,
         // but b2's own best is still the v4 prefix → union keeps both.
         let mut rib = Rib::new();
-        rib.announce_v4(p4("203.0.0.0/16"), Asn(1));
-        rib.announce_v6(p6("2600:1::/32"), Asn(1));
-        rib.announce_v6(p6("2600:2::/32"), Asn(1));
+        rib.announce(p4("203.0.0.0/16"), Asn(1));
+        rib.announce(p6("2600:1::/32"), Asn(1));
+        rib.announce(p6("2600:2::/32"), Asn(1));
         let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
         snap.merge(DomainId(1), vec![a4("203.0.1.1")], vec![a6("2600:1::1")]);
         snap.merge(DomainId(2), vec![a4("203.0.1.2")], vec![a6("2600:1::2")]);
@@ -306,9 +314,9 @@ mod tests {
     fn ties_are_all_kept() {
         // One v4 prefix, two v6 prefixes with identical Jaccard.
         let mut rib = Rib::new();
-        rib.announce_v4(p4("203.0.0.0/16"), Asn(1));
-        rib.announce_v6(p6("2600:1::/32"), Asn(1));
-        rib.announce_v6(p6("2600:2::/32"), Asn(1));
+        rib.announce(p4("203.0.0.0/16"), Asn(1));
+        rib.announce(p6("2600:1::/32"), Asn(1));
+        rib.announce(p6("2600:2::/32"), Asn(1));
         let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
         snap.merge(
             DomainId(1),
@@ -358,11 +366,8 @@ mod tests {
             .run(&strategy, |assignments| {
                 let mut rib = Rib::new();
                 for i in 0..6u32 {
-                    rib.announce_v4(
-                        Ipv4Prefix::new(0xCB00_0000 | (i << 8), 24).unwrap(),
-                        Asn(i),
-                    );
-                    rib.announce_v6(
+                    rib.announce(Ipv4Prefix::new(0xCB00_0000 | (i << 8), 24).unwrap(), Asn(i));
+                    rib.announce(
                         Ipv6Prefix::new((0x2600u128 << 112) | ((i as u128) << 80), 48).unwrap(),
                         Asn(i),
                     );
@@ -380,8 +385,8 @@ mod tests {
 
                 // Brute force: score all 36 pairs, keep per-side maxima.
                 let mut scored: Vec<SiblingPair> = Vec::new();
-                for (p4, a) in index.v4_groups() {
-                    for (p6, b) in index.v6_groups() {
+                for (p4, a) in index.groups::<u32>() {
+                    for (p6, b) in index.groups::<u128>() {
                         let sim = crate::metrics::jaccard(a, b);
                         if !sim.is_zero() {
                             scored.push(score_pair(SimilarityMetric::Jaccard, *p4, *p6, a, b));
@@ -430,5 +435,33 @@ mod tests {
         };
         let set = SiblingSet::from_pairs(vec![pair, pair]);
         assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn get_on_empty_set_is_none() {
+        let set = SiblingSet::default();
+        assert!(set.get(&p4("203.0.0.0/16"), &p6("2600:1::/32")).is_none());
+        let set = SiblingSet::from_pairs(vec![]);
+        assert!(set.get(&p4("203.0.0.0/16"), &p6("2600:1::/32")).is_none());
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn get_finds_only_member_pairs() {
+        let pair = SiblingPair {
+            v4: p4("203.0.0.0/16"),
+            v6: p6("2600:1::/32"),
+            similarity: Ratio::ONE,
+            shared_domains: 1,
+            v4_domains: 1,
+            v6_domains: 1,
+        };
+        let set = SiblingSet::from_pairs(vec![pair]);
+        assert_eq!(
+            set.get(&p4("203.0.0.0/16"), &p6("2600:1::/32")),
+            Some(&pair)
+        );
+        assert!(set.get(&p4("203.0.0.0/16"), &p6("2600:2::/32")).is_none());
+        assert!(set.get(&p4("198.51.0.0/16"), &p6("2600:1::/32")).is_none());
     }
 }

@@ -18,7 +18,7 @@ use sibling_dns::DomainId;
 use sibling_net_types::{Ipv4Prefix, Ipv6Prefix};
 
 use crate::index::PrefixDomainIndex;
-use crate::metrics::{jaccard, Ratio};
+use crate::metrics::{jaccard_from_parts, Ratio};
 use crate::pipeline::SiblingSet;
 
 /// A set-level sibling: several IPv4 prefixes ↔ several IPv6 prefixes.
@@ -66,8 +66,7 @@ impl SetPairing {
         if self.pairs.is_empty() {
             return 0.0;
         }
-        self.pairs.iter().filter(|p| p.similarity.is_one()).count() as f64
-            / self.pairs.len() as f64
+        self.pairs.iter().filter(|p| p.similarity.is_one()).count() as f64 / self.pairs.len() as f64
     }
 
     /// Set pairs that merged more than one prefix pair (the fragmentation
@@ -147,16 +146,20 @@ pub fn build_set_pairs(index: &PrefixDomainIndex, siblings: &SiblingSet) -> SetP
 
     let mut out = Vec::with_capacity(components.len());
     for (_, (v4_set, v6_set, member_pairs)) in components {
-        let mut a: BTreeSet<DomainId> = BTreeSet::new();
+        let mut a: Vec<DomainId> = Vec::new();
         for p in &v4_set {
-            a.extend(index.domains_under_v4(p));
+            a.extend(index.domains_under(p));
         }
-        let mut b: BTreeSet<DomainId> = BTreeSet::new();
+        a.sort_unstable();
+        a.dedup();
+        let mut b: Vec<DomainId> = Vec::new();
         for p in &v6_set {
-            b.extend(index.domains_under_v6(p));
+            b.extend(index.domains_under(p));
         }
-        let similarity = jaccard(&a, &b);
-        let shared = a.iter().filter(|d| b.contains(d)).count() as u64;
+        b.sort_unstable();
+        b.dedup();
+        let shared = crate::metrics::intersection_size(&a, &b);
+        let similarity = jaccard_from_parts(shared, a.len() as u64, b.len() as u64);
         out.push(SetPair {
             v4: v4_set.into_iter().collect(),
             v6: v6_set.into_iter().collect(),
@@ -199,9 +202,9 @@ mod tests {
     /// the set pair reaches J = 1.
     fn fragmented_fixture() -> (PrefixDomainIndex, SiblingSet) {
         let mut rib = Rib::new();
-        rib.announce_v4(p4("203.0.2.0/24"), Asn(1));
-        rib.announce_v4(p4("198.51.7.0/24"), Asn(1));
-        rib.announce_v6(p6("2600:1::/48"), Asn(1));
+        rib.announce(p4("203.0.2.0/24"), Asn(1));
+        rib.announce(p4("198.51.7.0/24"), Asn(1));
+        rib.announce(p6("2600:1::/48"), Asn(1));
         let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
         snap.merge(DomainId(1), vec![a4("203.0.2.1")], vec![a6("2600:1::1")]);
         snap.merge(DomainId(2), vec![a4("198.51.7.1")], vec![a6("2600:1::2")]);
@@ -229,10 +232,10 @@ mod tests {
     #[test]
     fn independent_pairs_stay_singletons() {
         let mut rib = Rib::new();
-        rib.announce_v4(p4("203.0.2.0/24"), Asn(1));
-        rib.announce_v4(p4("198.51.7.0/24"), Asn(2));
-        rib.announce_v6(p6("2600:1::/48"), Asn(1));
-        rib.announce_v6(p6("2600:2::/48"), Asn(2));
+        rib.announce(p4("203.0.2.0/24"), Asn(1));
+        rib.announce(p4("198.51.7.0/24"), Asn(2));
+        rib.announce(p6("2600:1::/48"), Asn(1));
+        rib.announce(p6("2600:2::/48"), Asn(2));
         let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
         snap.merge(DomainId(1), vec![a4("203.0.2.1")], vec![a6("2600:1::1")]);
         snap.merge(DomainId(2), vec![a4("198.51.7.1")], vec![a6("2600:2::1")]);

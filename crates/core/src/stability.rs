@@ -101,8 +101,10 @@ pub fn prefix_stability(
             let mut same_v6 = 0usize;
             let mut same_both = 0usize;
             for &d in consistent {
-                let v4_ok = reference.prefixes_of_domain_v4(d) == index.prefixes_of_domain_v4(d);
-                let v6_ok = reference.prefixes_of_domain_v6(d) == index.prefixes_of_domain_v6(d);
+                let v4_ok =
+                    reference.prefixes_of_domain::<u32>(d) == index.prefixes_of_domain::<u32>(d);
+                let v6_ok =
+                    reference.prefixes_of_domain::<u128>(d) == index.prefixes_of_domain::<u128>(d);
                 same_v4 += v4_ok as usize;
                 same_v6 += v6_ok as usize;
                 same_both += (v4_ok && v6_ok) as usize;
@@ -217,8 +219,18 @@ mod tests {
     fn prefix_stability_sees_through_address_changes() {
         // Addresses change inside the same announced prefix → prefix-stable.
         let mut rib = Rib::new();
-        rib.announce_v4("8.8.8.0/24".parse().unwrap(), Asn(1));
-        rib.announce_v6("2600::/32".parse().unwrap(), Asn(1));
+        rib.announce(
+            "8.8.8.0/24"
+                .parse::<sibling_net_types::Ipv4Prefix>()
+                .unwrap(),
+            Asn(1),
+        );
+        rib.announce(
+            "2600::/32"
+                .parse::<sibling_net_types::Ipv6Prefix>()
+                .unwrap(),
+            Asn(1),
+        );
         let reference = snap(&[(1, "8.8.8.8", "2600::1")]);
         let past = snap(&[(1, "8.8.8.9", "2600::2")]);
         let ref_index = PrefixDomainIndex::build(&reference, &rib);

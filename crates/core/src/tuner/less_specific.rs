@@ -16,10 +16,10 @@
 //! in unrelated domains on both sides.
 
 use sibling_bgp::Rib;
-use sibling_net_types::{Ipv4Prefix, Ipv6Prefix};
+use sibling_net_types::{AddressFamily, Asn, Prefix};
 
 use crate::index::PrefixDomainIndex;
-use crate::metrics::jaccard;
+use crate::metrics::jaccard_from_parts;
 use crate::pipeline::{SiblingPair, SiblingSet};
 use crate::tuner::TunerOutcome;
 
@@ -87,12 +87,9 @@ pub fn tune_less_specific(
     }
 }
 
-fn origin_v4(rib: &Rib, p: &Ipv4Prefix) -> Option<sibling_net_types::Asn> {
-    rib.origin_of_v4(p).map(|r| r.primary_origin())
-}
-
-fn origin_v6(rib: &Rib, p: &Ipv6Prefix) -> Option<sibling_net_types::Asn> {
-    rib.origin_of_v6(p).map(|r| r.primary_origin())
+/// Primary origin of the most specific announcement covering `p`.
+fn origin<F: AddressFamily>(rib: &Rib, p: &Prefix<F>) -> Option<Asn> {
+    rib.origin_of(p).map(|r| r.primary_origin())
 }
 
 fn widen_pair(
@@ -102,8 +99,8 @@ fn widen_pair(
     config: &SpTunerLsConfig,
     steps: &mut u64,
 ) -> SiblingPair {
-    let start_origin_v4 = origin_v4(rib, &pair.v4);
-    let start_origin_v6 = origin_v6(rib, &pair.v6);
+    let start_origin_v4 = origin(rib, &pair.v4);
+    let start_origin_v6 = origin(rib, &pair.v6);
 
     let mut cur = *pair;
     let mut climbed_v4 = 0u8;
@@ -124,20 +121,19 @@ fn widen_pair(
         if config.stop_on_as_change {
             // Widening beyond the originating AS means the pair no longer
             // describes one network's deployment.
-            if origin_v4(rib, &cand_v4) != start_origin_v4
-                || origin_v6(rib, &cand_v6) != start_origin_v6
+            if origin(rib, &cand_v4) != start_origin_v4 || origin(rib, &cand_v6) != start_origin_v6
             {
                 break;
             }
         }
 
-        let a = index.domains_under_v4(&cand_v4);
-        let b = index.domains_under_v6(&cand_v6);
-        let j = jaccard(&a, &b);
+        let a = index.domains_under(&cand_v4);
+        let b = index.domains_under(&cand_v6);
+        let shared = crate::metrics::intersection_size(&a, &b);
+        let j = jaccard_from_parts(shared, a.len() as u64, b.len() as u64);
         if j <= cur.similarity {
             break;
         }
-        let shared = a.iter().filter(|d| b.contains(d)).count() as u64;
         cur = SiblingPair {
             v4: cand_v4,
             v6: cand_v6,
@@ -163,7 +159,7 @@ mod tests {
     use crate::metrics::SimilarityMetric;
     use crate::pipeline::{detect, BestMatchPolicy};
     use sibling_dns::{DnsSnapshot, DomainId};
-    use sibling_net_types::{Asn, MonthDate};
+    use sibling_net_types::{Ipv4Prefix, Ipv6Prefix, MonthDate};
 
     fn a4(s: &str) -> u32 {
         s.parse::<std::net::Ipv4Addr>().unwrap().into()
@@ -186,13 +182,13 @@ mod tests {
     /// reaches J = 1: the one case where LS *can* help.
     fn widenable_fixture() -> (PrefixDomainIndex, SiblingSet, Rib) {
         let mut rib = Rib::new();
-        rib.announce_v4(p4("203.0.2.0/24"), Asn(1));
-        rib.announce_v4(p4("203.0.3.0/24"), Asn(1));
+        rib.announce(p4("203.0.2.0/24"), Asn(1));
+        rib.announce(p4("203.0.3.0/24"), Asn(1));
         // The covering /23 and /22 are also originated by AS1 (so the AS
         // check does not fire).
-        rib.announce_v4(p4("203.0.0.0/16"), Asn(1));
-        rib.announce_v6(p6("2600:1::/48"), Asn(1));
-        rib.announce_v6(p6("2600:1::/32"), Asn(1));
+        rib.announce(p4("203.0.0.0/16"), Asn(1));
+        rib.announce(p6("2600:1::/48"), Asn(1));
+        rib.announce(p6("2600:1::/32"), Asn(1));
         let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
         snap.merge(DomainId(1), vec![a4("203.0.2.1")], vec![a6("2600:1::1")]);
         snap.merge(DomainId(2), vec![a4("203.0.3.1")], vec![a6("2600:1::2")]);
@@ -218,12 +214,12 @@ mod tests {
     #[test]
     fn as_change_stops_the_climb() {
         let mut rib = Rib::new();
-        rib.announce_v4(p4("203.0.2.0/24"), Asn(1));
-        rib.announce_v4(p4("203.0.3.0/24"), Asn(1));
+        rib.announce(p4("203.0.2.0/24"), Asn(1));
+        rib.announce(p4("203.0.3.0/24"), Asn(1));
         // The covering space belongs to a *different* AS.
-        rib.announce_v4(p4("203.0.0.0/16"), Asn(99));
-        rib.announce_v6(p6("2600:1::/48"), Asn(1));
-        rib.announce_v6(p6("2600::/32"), Asn(99));
+        rib.announce(p4("203.0.0.0/16"), Asn(99));
+        rib.announce(p6("2600:1::/48"), Asn(1));
+        rib.announce(p6("2600::/32"), Asn(99));
         let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
         snap.merge(DomainId(1), vec![a4("203.0.2.1")], vec![a6("2600:1::1")]);
         snap.merge(DomainId(2), vec![a4("203.0.3.1")], vec![a6("2600:1::2")]);
@@ -232,7 +228,10 @@ mod tests {
         let outcome = tune_less_specific(&index, &set, &rib, &SpTunerLsConfig::default());
         // Widening the /24 lands in AS99 territory → aborted; pairs stay.
         for pair in outcome.pairs.iter() {
-            assert!(pair.v4.len() == 24, "climb should have been stopped by AS change");
+            assert!(
+                pair.v4.len() == 24,
+                "climb should have been stopped by AS change"
+            );
         }
         assert_eq!(outcome.refined, 0);
     }
@@ -258,17 +257,16 @@ mod tests {
     fn no_improvement_means_no_change() {
         // A perfect pair cannot be improved by widening.
         let mut rib = Rib::new();
-        rib.announce_v4(p4("203.0.2.0/24"), Asn(1));
-        rib.announce_v4(p4("203.0.0.0/16"), Asn(1));
-        rib.announce_v6(p6("2600:1::/48"), Asn(1));
-        rib.announce_v6(p6("2600:1::/32"), Asn(1));
+        rib.announce(p4("203.0.2.0/24"), Asn(1));
+        rib.announce(p4("203.0.0.0/16"), Asn(1));
+        rib.announce(p6("2600:1::/48"), Asn(1));
+        rib.announce(p6("2600:1::/32"), Asn(1));
         let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
         snap.merge(DomainId(1), vec![a4("203.0.2.1")], vec![a6("2600:1::1")]);
         let index = PrefixDomainIndex::build(&snap, &rib);
         let set = detect(&index, SimilarityMetric::Jaccard, BestMatchPolicy::Union);
         assert!(set.iter().all(|p| p.similarity.is_one()));
-        let outcome =
-            tune_less_specific(&index, &set, &rib, &SpTunerLsConfig::without_threshold());
+        let outcome = tune_less_specific(&index, &set, &rib, &SpTunerLsConfig::without_threshold());
         assert_eq!(outcome.refined, 0);
         assert!(outcome.pairs.iter().all(|p| p.similarity.is_one()));
     }

@@ -20,7 +20,8 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use sibling_net_types::{Ipv4Prefix, Ipv6Prefix};
+use sibling_dns::DomainId;
+use sibling_net_types::{AddressFamily, Ipv4Prefix, Ipv6Prefix, Prefix};
 
 use crate::index::PrefixDomainIndex;
 use crate::metrics::jaccard;
@@ -77,51 +78,24 @@ impl Default for SpTunerConfig {
     }
 }
 
-/// Occupied one-bit-longer sub-prefixes of an IPv4 prefix, or the prefix
-/// itself when it may not (or cannot) descend further.
-fn next_subprefixes_v4(
+/// Occupied one-bit-longer sub-prefixes of a prefix, or the prefix itself
+/// when it may not (or cannot) descend further (`GetNextSubprefixes`,
+/// family-generic).
+fn next_subprefixes<F: AddressFamily>(
     index: &PrefixDomainIndex,
-    p: Ipv4Prefix,
+    p: Prefix<F>,
     threshold: u8,
-) -> Vec<Ipv4Prefix> {
+) -> Vec<Prefix<F>> {
     if p.len() >= threshold {
         return vec![p];
     }
     match p.children() {
         Some((zero, one)) => {
             let mut out = Vec::with_capacity(2);
-            if index.occupied_v4(&zero) {
+            if index.occupied(&zero) {
                 out.push(zero);
             }
-            if index.occupied_v4(&one) {
-                out.push(one);
-            }
-            if out.is_empty() {
-                vec![p]
-            } else {
-                out
-            }
-        }
-        None => vec![p],
-    }
-}
-
-/// IPv6 variant of [`next_subprefixes_v4`].
-fn next_subprefixes_v6(
-    index: &PrefixDomainIndex,
-    p: Ipv6Prefix,
-    threshold: u8,
-) -> Vec<Ipv6Prefix> {
-    if p.len() >= threshold {
-        return vec![p];
-    }
-    match p.children() {
-        Some((zero, one)) => {
-            let mut out = Vec::with_capacity(2);
-            if index.occupied_v6(&zero) {
-                out.push(zero);
-            }
-            if index.occupied_v6(&one) {
+            if index.occupied(&one) {
                 out.push(one);
             }
             if out.is_empty() {
@@ -146,8 +120,8 @@ fn refine_pair(
 ) -> Option<SiblingPair> {
     let mut cur_v4 = start_v4;
     let mut cur_v6 = start_v6;
-    let mut set_a = index.domains_under_v4(&cur_v4);
-    let mut set_b = index.domains_under_v6(&cur_v6);
+    let mut set_a = index.domains_under(&cur_v4);
+    let mut set_b = index.domains_under(&cur_v6);
     let mut cur_jacc = jaccard(&set_a, &set_b);
     if cur_jacc.is_zero() {
         return None;
@@ -160,33 +134,34 @@ fn refine_pair(
             break;
         }
         *steps += 1;
-        let subs_v4 = next_subprefixes_v4(index, cur_v4, config.v4_threshold);
-        let subs_v6 = next_subprefixes_v6(index, cur_v6, config.v6_threshold);
-        if subs_v4 == vec![cur_v4] && subs_v6 == vec![cur_v6] {
+        let subs_v4 = next_subprefixes(index, cur_v4, config.v4_threshold);
+        let subs_v6 = next_subprefixes(index, cur_v6, config.v6_threshold);
+        if subs_v4[..] == [cur_v4] && subs_v6[..] == [cur_v6] {
             // Neither side can move (hosts exhausted below either level).
             break;
         }
 
         // Evaluate all cross combinations; follow the maximum.
-        let mut best: Option<(
-            Ipv4Prefix,
-            Ipv6Prefix,
-            crate::metrics::Ratio,
-            BTreeSet<sibling_dns::DomainId>,
-            BTreeSet<sibling_dns::DomainId>,
-        )> = None;
+        struct Candidate {
+            v4: Ipv4Prefix,
+            v6: Ipv6Prefix,
+            jaccard: crate::metrics::Ratio,
+            set_a: Vec<DomainId>,
+            set_b: Vec<DomainId>,
+        }
+        let mut best: Option<Candidate> = None;
         let mut alternates: Vec<(Ipv4Prefix, Ipv6Prefix)> = Vec::new();
         for &c4 in &subs_v4 {
             let a = if c4 == cur_v4 {
                 set_a.clone()
             } else {
-                index.domains_under_v4(&c4)
+                index.domains_under(&c4)
             };
             for &c6 in &subs_v6 {
                 let b = if c6 == cur_v6 {
                     set_b.clone()
                 } else {
-                    index.domains_under_v6(&c6)
+                    index.domains_under(&c6)
                 };
                 let j = jaccard(&a, &b);
                 if j.is_zero() {
@@ -194,20 +169,33 @@ fn refine_pair(
                 }
                 let better = match &best {
                     None => true,
-                    Some((_, _, best_j, _, _)) => j > *best_j,
+                    Some(cand) => j > cand.jaccard,
                 };
                 if better {
-                    if let Some((b4, b6, _, _, _)) = &best {
-                        alternates.push((*b4, *b6));
+                    if let Some(cand) = &best {
+                        alternates.push((cand.v4, cand.v6));
                     }
-                    best = Some((c4, c6, j, a.clone(), b.clone()));
+                    best = Some(Candidate {
+                        v4: c4,
+                        v6: c6,
+                        jaccard: j,
+                        set_a: a.clone(),
+                        set_b: b,
+                    });
                 } else {
                     alternates.push((c4, c6));
                 }
             }
         }
 
-        let Some((b4, b6, bj, ba, bb)) = best else {
+        let Some(Candidate {
+            v4: b4,
+            v6: b6,
+            jaccard: bj,
+            set_a: ba,
+            set_b: bb,
+        }) = best
+        else {
             break;
         };
         let improves = if config.allow_equal {
@@ -235,7 +223,7 @@ fn refine_pair(
         set_b = bb;
     }
 
-    let shared = set_a.iter().filter(|d| set_b.contains(d)).count() as u64;
+    let shared = crate::metrics::intersection_size(&set_a, &set_b);
     Some(SiblingPair {
         v4: cur_v4,
         v6: cur_v6,
@@ -252,8 +240,10 @@ pub fn tune_more_specific(
     input: &SiblingSet,
     config: &SpTunerConfig,
 ) -> TunerOutcome {
-    let mut queue: VecDeque<(Ipv4Prefix, Ipv6Prefix)> = input.iter().map(|p| (p.v4, p.v6)).collect();
-    let input_pairs: BTreeSet<(Ipv4Prefix, Ipv6Prefix)> = input.iter().map(|p| (p.v4, p.v6)).collect();
+    let mut queue: VecDeque<(Ipv4Prefix, Ipv6Prefix)> =
+        input.iter().map(|p| (p.v4, p.v6)).collect();
+    let input_pairs: BTreeSet<(Ipv4Prefix, Ipv6Prefix)> =
+        input.iter().map(|p| (p.v4, p.v6)).collect();
     let mut seen: BTreeSet<(Ipv4Prefix, Ipv6Prefix)> = BTreeSet::new();
     let mut out: Vec<SiblingPair> = Vec::new();
     let mut steps = 0u64;
@@ -315,8 +305,8 @@ mod tests {
     /// pair; SP-Tuner-MS should split it into two perfect matches.
     fn two_pod_fixture() -> (PrefixDomainIndex, SiblingSet) {
         let mut rib = Rib::new();
-        rib.announce_v4(p4("203.0.2.0/23"), Asn(1));
-        rib.announce_v6(p6("2600:1::/32"), Asn(1));
+        rib.announce(p4("203.0.2.0/23"), Asn(1));
+        rib.announce(p6("2600:1::/32"), Asn(1));
         let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
         // Pod A: two domains in 203.0.2.0/24 ↔ 2600:1:a::/48.
         snap.merge(DomainId(1), vec![a4("203.0.2.10")], vec![a6("2600:1:a::1")]);
@@ -347,7 +337,10 @@ mod tests {
             domains_seen += pair.shared_domains;
         }
         // No domain loss: all four domains appear in some tuned pair.
-        assert!(domains_seen >= 4, "domains lost by tuner: {domains_seen} < 4");
+        assert!(
+            domains_seen >= 4,
+            "domains lost by tuner: {domains_seen} < 4"
+        );
     }
 
     #[test]
@@ -355,9 +348,9 @@ mod tests {
         // Make the v6 side asymmetric so the default pair is imperfect:
         // pod B has no v6 counterpart inside the best-match v6 prefix.
         let mut rib = Rib::new();
-        rib.announce_v4(p4("203.0.2.0/23"), Asn(1));
-        rib.announce_v6(p6("2600:1::/48"), Asn(1));
-        rib.announce_v6(p6("2600:2::/48"), Asn(2));
+        rib.announce(p4("203.0.2.0/23"), Asn(1));
+        rib.announce(p6("2600:1::/48"), Asn(1));
+        rib.announce(p6("2600:2::/48"), Asn(2));
         let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
         snap.merge(DomainId(1), vec![a4("203.0.2.10")], vec![a6("2600:1::1")]);
         snap.merge(DomainId(2), vec![a4("203.0.2.20")], vec![a6("2600:1::2")]);
@@ -372,8 +365,8 @@ mod tests {
         );
         // Domain 3 must survive in some pair (no domain loss).
         let d3_present = outcome.pairs.iter().any(|p| {
-            index.domains_under_v4(&p.v4).contains(&DomainId(3))
-                && index.domains_under_v6(&p.v6).contains(&DomainId(3))
+            index.domains_under(&p.v4).contains(&DomainId(3))
+                && index.domains_under(&p.v6).contains(&DomainId(3))
         });
         assert!(d3_present, "alternate branch with domain 3 was lost");
     }

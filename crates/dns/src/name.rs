@@ -10,18 +10,7 @@ use std::collections::BTreeMap;
 ///
 /// Ids are assigned in insertion order and never reused, so sorted-id
 /// iteration is deterministic for a deterministic generator.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DomainId(pub u32);
 
 /// An interner mapping domain names to [`DomainId`]s and back.

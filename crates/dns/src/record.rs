@@ -87,7 +87,10 @@ mod tests {
         let mut z = Zone::new();
         z.add(DomainId(0), DnsRecord::A(1));
         z.set(DomainId(0), vec![DnsRecord::Cname(DomainId(1))]);
-        assert_eq!(z.get(DomainId(0)).unwrap(), &[DnsRecord::Cname(DomainId(1))]);
+        assert_eq!(
+            z.get(DomainId(0)).unwrap(),
+            &[DnsRecord::Cname(DomainId(1))]
+        );
     }
 
     #[test]

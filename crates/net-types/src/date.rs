@@ -11,18 +11,7 @@ use core::fmt;
 use core::str::FromStr;
 
 /// A calendar month, the unit of longitudinal analysis.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MonthDate {
     year: u16,
     /// 1–12.

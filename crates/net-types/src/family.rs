@@ -1,0 +1,189 @@
+//! Family-generic programming support.
+//!
+//! The workspace is inherently dual-stack: every pipeline stage keeps one
+//! data structure per address family. Before this module existed that
+//! duality was spelled out as copy-pasted `v4_*`/`v6_*` field and method
+//! pairs; [`AddressFamily`] and [`DualStack`] replace the copies with a
+//! single generic implementation per concept (the layout popularised by
+//! rotonda-store's `AddressFamily`/`PrefixId` design).
+//!
+//! * [`AddressFamily`] extends [`Bits`] with family identity and the
+//!   ability to select "its" slot out of a dual-stack container. It is
+//!   implemented exactly twice, by `u32` (IPv4) and `u128` (IPv6).
+//! * [`FamilyMap`] is a type-level function from a family to the data a
+//!   container stores for it (e.g. `F ↦ FamilyRib<F>`).
+//! * [`DualStack<M>`] holds one `M::Out<u32>` and one `M::Out<u128>` and
+//!   hands out the right one via [`DualStack::get`], so a container such
+//!   as `Rib` needs no per-family fields or methods of its own.
+
+use crate::bits::Bits;
+use crate::prefix::{IpFamily, Prefix};
+
+/// An IP address family: the bit container plus family-level behaviour.
+///
+/// Generic code takes `F: AddressFamily` and instantiates as IPv4 via
+/// `u32` or IPv6 via `u128`; call sites almost never spell the type out
+/// because it is inferred from a [`Prefix<F>`] or address argument.
+pub trait AddressFamily: Bits {
+    /// Which address family this container represents.
+    const FAMILY: IpFamily;
+
+    /// The family's slot of a dual-stack container.
+    fn pick<M: FamilyMap>(dual: &DualStack<M>) -> &M::Out<Self>;
+
+    /// Mutable variant of [`AddressFamily::pick`].
+    fn pick_mut<M: FamilyMap>(dual: &mut DualStack<M>) -> &mut M::Out<Self>;
+
+    /// The host route (full-width prefix) of an address.
+    fn host_prefix(addr: Self) -> Prefix<Self> {
+        Prefix::new(addr, Self::WIDTH).expect("full width is a valid prefix length")
+    }
+}
+
+impl AddressFamily for u32 {
+    const FAMILY: IpFamily = IpFamily::V4;
+
+    #[inline]
+    fn pick<M: FamilyMap>(dual: &DualStack<M>) -> &M::Out<u32> {
+        &dual.v4
+    }
+
+    #[inline]
+    fn pick_mut<M: FamilyMap>(dual: &mut DualStack<M>) -> &mut M::Out<u32> {
+        &mut dual.v4
+    }
+}
+
+impl AddressFamily for u128 {
+    const FAMILY: IpFamily = IpFamily::V6;
+
+    #[inline]
+    fn pick<M: FamilyMap>(dual: &DualStack<M>) -> &M::Out<u128> {
+        &dual.v6
+    }
+
+    #[inline]
+    fn pick_mut<M: FamilyMap>(dual: &mut DualStack<M>) -> &mut M::Out<u128> {
+        &mut dual.v6
+    }
+}
+
+/// A type-level function from an address family to the per-family data a
+/// [`DualStack`] stores for it.
+///
+/// Implementors are zero-sized markers, e.g.:
+///
+/// ```ignore
+/// struct RibSlots;
+/// impl FamilyMap for RibSlots {
+///     type Out<F: AddressFamily> = FamilyRib<F>;
+/// }
+/// ```
+pub trait FamilyMap {
+    /// The slot type stored for family `F`.
+    type Out<F: AddressFamily>;
+}
+
+/// One value per address family, selected generically.
+///
+/// The `v4`/`v6` fields are public for the rare operations that genuinely
+/// need both families at once (building from a dual-stack snapshot,
+/// reporting `(v4, v6)` count tuples); everything else goes through
+/// [`DualStack::get`] with an inferred family parameter.
+pub struct DualStack<M: FamilyMap> {
+    /// The IPv4 slot.
+    pub v4: M::Out<u32>,
+    /// The IPv6 slot.
+    pub v6: M::Out<u128>,
+}
+
+impl<M: FamilyMap> DualStack<M> {
+    /// The slot of family `F`.
+    #[inline]
+    pub fn get<F: AddressFamily>(&self) -> &M::Out<F> {
+        F::pick(self)
+    }
+
+    /// Mutable variant of [`DualStack::get`].
+    #[inline]
+    pub fn get_mut<F: AddressFamily>(&mut self) -> &mut M::Out<F> {
+        F::pick_mut(self)
+    }
+}
+
+impl<M: FamilyMap> Default for DualStack<M>
+where
+    M::Out<u32>: Default,
+    M::Out<u128>: Default,
+{
+    fn default() -> Self {
+        Self {
+            v4: Default::default(),
+            v6: Default::default(),
+        }
+    }
+}
+
+impl<M: FamilyMap> Clone for DualStack<M>
+where
+    M::Out<u32>: Clone,
+    M::Out<u128>: Clone,
+{
+    fn clone(&self) -> Self {
+        Self {
+            v4: self.v4.clone(),
+            v6: self.v6.clone(),
+        }
+    }
+}
+
+impl<M: FamilyMap> core::fmt::Debug for DualStack<M>
+where
+    M::Out<u32>: core::fmt::Debug,
+    M::Out<u128>: core::fmt::Debug,
+{
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DualStack")
+            .field("v4", &self.v4)
+            .field("v6", &self.v6)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountSlots;
+
+    impl FamilyMap for CountSlots {
+        type Out<F: AddressFamily> = Vec<F>;
+    }
+
+    #[test]
+    fn get_selects_the_right_slot() {
+        let mut dual: DualStack<CountSlots> = DualStack::default();
+        dual.get_mut::<u32>().push(1);
+        dual.get_mut::<u128>().push(2);
+        dual.get_mut::<u128>().push(3);
+        assert_eq!(dual.get::<u32>(), &[1u32]);
+        assert_eq!(dual.get::<u128>(), &[2u128, 3]);
+        assert_eq!(dual.v4.len(), 1);
+        assert_eq!(dual.v6.len(), 2);
+    }
+
+    #[test]
+    fn family_constants() {
+        assert_eq!(<u32 as AddressFamily>::FAMILY, IpFamily::V4);
+        assert_eq!(<u128 as AddressFamily>::FAMILY, IpFamily::V6);
+    }
+
+    #[test]
+    fn host_prefix_is_full_width() {
+        let p = <u32 as AddressFamily>::host_prefix(0x0A00_0001);
+        assert_eq!(p.len(), 32);
+        assert_eq!(p.bits(), 0x0A00_0001);
+        let p6 = <u128 as AddressFamily>::host_prefix(1);
+        assert_eq!(p6.len(), 128);
+    }
+}

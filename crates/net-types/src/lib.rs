@@ -7,6 +7,9 @@
 //!   (`u128` bits);
 //! * [`AnyPrefix`] — an address-family-erased prefix, used where IPv4 and
 //!   IPv6 prefixes travel together (RPKI ROAs, sibling pairs);
+//! * [`AddressFamily`] + [`DualStack`] — the family-generic layer: one
+//!   implementation per dual-stack concept instead of parallel `v4_*` /
+//!   `v6_*` copies (see the [`family`](crate::AddressFamily) docs);
 //! * [`Asn`] — an autonomous system number;
 //! * [`MonthDate`] — the monthly snapshot date used throughout the paper's
 //!   longitudinal analyses (September 2020 … September 2024);
@@ -26,6 +29,7 @@ mod bits;
 mod classify;
 mod date;
 mod error;
+mod family;
 mod prefix;
 
 pub use asn::Asn;
@@ -33,4 +37,5 @@ pub use bits::Bits;
 pub use classify::{is_routable_v4, is_routable_v6, AddressClass};
 pub use date::MonthDate;
 pub use error::PrefixError;
+pub use family::{AddressFamily, DualStack, FamilyMap};
 pub use prefix::{AnyPrefix, IpFamily, Ipv4Prefix, Ipv6Prefix, Prefix};

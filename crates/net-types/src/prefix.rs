@@ -14,7 +14,7 @@ use crate::bits::Bits;
 use crate::error::PrefixError;
 
 /// The IP address family of a prefix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum IpFamily {
     /// IPv4 (32-bit addresses).
     V4,
@@ -75,6 +75,8 @@ impl<B: Bits> Prefix<B> {
     }
 
     /// The prefix length (number of significant leading bits).
+    // `len` names a CIDR length, not a collection size: no `is_empty`.
+    #[allow(clippy::len_without_is_empty)]
     #[inline]
     pub fn len(&self) -> u8 {
         self.len
@@ -285,37 +287,11 @@ fn split_cidr(s: &str) -> Result<(&str, u8), PrefixError> {
     Ok((addr, len))
 }
 
-impl serde::Serialize for Ipv4Prefix {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.collect_str(self)
-    }
-}
-
-impl serde::Serialize for Ipv6Prefix {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.collect_str(self)
-    }
-}
-
-impl<'de> serde::Deserialize<'de> for Ipv4Prefix {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(d)?;
-        s.parse().map_err(serde::de::Error::custom)
-    }
-}
-
-impl<'de> serde::Deserialize<'de> for Ipv6Prefix {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(d)?;
-        s.parse().map_err(serde::de::Error::custom)
-    }
-}
-
 /// A prefix of either address family.
 ///
 /// Used where IPv4 and IPv6 prefixes must share a collection, e.g. RPKI
 /// ROA tables and published sibling-prefix lists.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AnyPrefix {
     /// An IPv4 prefix.
     V4(Ipv4Prefix),
@@ -333,6 +309,7 @@ impl AnyPrefix {
     }
 
     /// The prefix length.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         match self {
             AnyPrefix::V4(p) => p.len(),
@@ -398,7 +375,12 @@ mod tests {
 
     #[test]
     fn parse_display_round_trip_v4() {
-        for s in ["0.0.0.0/0", "10.0.0.0/8", "198.51.100.0/24", "203.0.113.7/32"] {
+        for s in [
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "198.51.100.0/24",
+            "203.0.113.7/32",
+        ] {
             let p: Ipv4Prefix = s.parse().unwrap();
             assert_eq!(p.to_string(), s);
         }
@@ -467,7 +449,10 @@ mod tests {
     fn common_ancestor_examples() {
         let a: Ipv4Prefix = "10.1.2.0/24".parse().unwrap();
         let b: Ipv4Prefix = "10.1.3.0/24".parse().unwrap();
-        assert_eq!(Ipv4Prefix::common_ancestor(&a, &b).to_string(), "10.1.2.0/23");
+        assert_eq!(
+            Ipv4Prefix::common_ancestor(&a, &b).to_string(),
+            "10.1.2.0/23"
+        );
         let c: Ipv4Prefix = "192.0.0.0/8".parse().unwrap();
         assert_eq!(Ipv4Prefix::common_ancestor(&a, &c).to_string(), "0.0.0.0/0");
     }

@@ -226,10 +226,26 @@ mod tests {
     fn report_aggregation_and_shares() {
         let ev = evaluator();
         let eps = vec![
-            DualStackEndpoint { id: 1, v4: a4("192.0.2.10"), v6: a6("2001:db8:1::10") },
-            DualStackEndpoint { id: 2, v4: a4("192.0.2.11"), v6: a6("2001:db8:2::10") },
-            DualStackEndpoint { id: 3, v4: a4("192.0.2.12"), v6: a6("2a00::1") },
-            DualStackEndpoint { id: 4, v4: a4("8.8.8.8"), v6: a6("2a00::2") },
+            DualStackEndpoint {
+                id: 1,
+                v4: a4("192.0.2.10"),
+                v6: a6("2001:db8:1::10"),
+            },
+            DualStackEndpoint {
+                id: 2,
+                v4: a4("192.0.2.11"),
+                v6: a6("2001:db8:2::10"),
+            },
+            DualStackEndpoint {
+                id: 3,
+                v4: a4("192.0.2.12"),
+                v6: a6("2a00::1"),
+            },
+            DualStackEndpoint {
+                id: 4,
+                v4: a4("8.8.8.8"),
+                v6: a6("2a00::2"),
+            },
         ];
         let r = ev.evaluate(&eps);
         assert_eq!(r.covered_best_match, 1);

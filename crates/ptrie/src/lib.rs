@@ -27,4 +27,4 @@
 
 mod trie;
 
-pub use trie::{Iter, PatriciaTrie};
+pub use trie::{Iter, PatriciaTrie, ValuesMut};

@@ -109,8 +109,7 @@ impl<B: Bits, V> PatriciaTrie<B, V> {
                 let old_child = node.children[dir].take().unwrap();
                 let child_dir = old_child.prefix.bits().bit(fork.len()) as usize;
                 fork_node.children[child_dir] = Some(old_child);
-                fork_node.children[1 - child_dir] =
-                    Some(Box::new(Node::new(prefix, Some(value))));
+                fork_node.children[1 - child_dir] = Some(Box::new(Node::new(prefix, Some(value))));
                 node.children[dir] = Some(fork_node);
                 None
             }
@@ -349,6 +348,13 @@ impl<B: Bits, V> PatriciaTrie<B, V> {
     pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
         self.iter().map(|(_, v)| v)
     }
+
+    /// Iterates mutably over all stored values in key order.
+    pub fn values_mut(&mut self) -> ValuesMut<'_, B, V> {
+        ValuesMut {
+            stack: vec![&mut self.root],
+        }
+    }
 }
 
 impl<B: Bits, V: Clone> Clone for PatriciaTrie<B, V> {
@@ -390,6 +396,31 @@ impl<'a, B: Bits, V> Iterator for Iter<'a, B, V> {
             }
             if let Some(v) = &node.value {
                 return Some((node.prefix, v));
+            }
+        }
+        None
+    }
+}
+
+/// Depth-first mutable iterator over trie values in address order.
+pub struct ValuesMut<'a, B: Bits, V> {
+    stack: Vec<&'a mut Node<B, V>>,
+}
+
+impl<'a, B: Bits, V> Iterator for ValuesMut<'a, B, V> {
+    type Item = &'a mut V;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(node) = self.stack.pop() {
+            let [left, right] = &mut node.children;
+            if let Some(right) = right {
+                self.stack.push(right);
+            }
+            if let Some(left) = left {
+                self.stack.push(left);
+            }
+            if let Some(v) = node.value.as_mut() {
+                return Some(v);
             }
         }
         None
@@ -518,9 +549,15 @@ mod tests {
     #[test]
     fn iteration_is_sorted() {
         let mut t = PatriciaTrie::<u32, u32>::new();
-        for (i, s) in ["10.2.0.0/16", "10.0.0.0/8", "10.1.2.0/24", "10.1.0.0/16", "9.0.0.0/8"]
-            .iter()
-            .enumerate()
+        for (i, s) in [
+            "10.2.0.0/16",
+            "10.0.0.0/8",
+            "10.1.2.0/24",
+            "10.1.0.0/16",
+            "9.0.0.0/8",
+        ]
+        .iter()
+        .enumerate()
         {
             t.insert(p4(s), i as u32);
         }
@@ -572,9 +609,20 @@ mod tests {
         t.insert(p4("10.1.0.0/16"), 16);
         t.insert(p4("10.1.2.0/24"), 24);
         t.insert(p4("10.2.0.0/16"), 99);
-        let got: Vec<_> = t.covering(&p4("10.1.2.0/24")).iter().map(|(p, _)| *p).collect();
-        assert_eq!(got, vec![p4("10.0.0.0/8"), p4("10.1.0.0/16"), p4("10.1.2.0/24")]);
-        let got: Vec<_> = t.covering(&p4("10.1.2.128/25")).iter().map(|(p, _)| *p).collect();
+        let got: Vec<_> = t
+            .covering(&p4("10.1.2.0/24"))
+            .iter()
+            .map(|(p, _)| *p)
+            .collect();
+        assert_eq!(
+            got,
+            vec![p4("10.0.0.0/8"), p4("10.1.0.0/16"), p4("10.1.2.0/24")]
+        );
+        let got: Vec<_> = t
+            .covering(&p4("10.1.2.128/25"))
+            .iter()
+            .map(|(p, _)| *p)
+            .collect();
         assert_eq!(got.len(), 3);
         assert!(t.covering(&p4("11.0.0.0/8")).is_empty());
     }
@@ -664,7 +712,7 @@ mod tests {
             let got: Vec<_> = trie.covered(&q).map(|(p, _)| p).collect();
             let want: Vec<_> = trie.keys().filter(|p| q.covers(p)).collect();
             prop_assert_eq!(got, want);
-            prop_assert_eq!(trie.branch_is_occupied(&q), !trie.keys().any(|p| q.covers(&p)) == false);
+            prop_assert_eq!(trie.branch_is_occupied(&q), trie.keys().any(|p| q.covers(&p)));
         }
 
         #[test]

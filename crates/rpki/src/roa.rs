@@ -188,10 +188,16 @@ mod tests {
     #[test]
     fn not_found_without_covering_roa() {
         let table = RoaTable::new();
-        assert_eq!(table.validate_v4(&v4("10.0.0.0/16"), Asn(1)), RovState::NotFound);
+        assert_eq!(
+            table.validate_v4(&v4("10.0.0.0/16"), Asn(1)),
+            RovState::NotFound
+        );
         let mut table = RoaTable::new();
         table.add(roa4("11.0.0.0/8", 24, 1));
-        assert_eq!(table.validate_v4(&v4("10.0.0.0/16"), Asn(1)), RovState::NotFound);
+        assert_eq!(
+            table.validate_v4(&v4("10.0.0.0/16"), Asn(1)),
+            RovState::NotFound
+        );
     }
 
     #[test]
@@ -199,13 +205,25 @@ mod tests {
         let mut table = RoaTable::new();
         table.add(roa4("10.0.0.0/8", 16, 64500));
         // Exact authorized origin at an allowed length.
-        assert_eq!(table.validate_v4(&v4("10.1.0.0/16"), Asn(64500)), RovState::Valid);
+        assert_eq!(
+            table.validate_v4(&v4("10.1.0.0/16"), Asn(64500)),
+            RovState::Valid
+        );
         // Wrong origin.
-        assert_eq!(table.validate_v4(&v4("10.1.0.0/16"), Asn(64501)), RovState::Invalid);
+        assert_eq!(
+            table.validate_v4(&v4("10.1.0.0/16"), Asn(64501)),
+            RovState::Invalid
+        );
         // Too specific (beyond maxLength).
-        assert_eq!(table.validate_v4(&v4("10.1.1.0/24"), Asn(64500)), RovState::Invalid);
+        assert_eq!(
+            table.validate_v4(&v4("10.1.1.0/24"), Asn(64500)),
+            RovState::Invalid
+        );
         // The covering prefix itself.
-        assert_eq!(table.validate_v4(&v4("10.0.0.0/8"), Asn(64500)), RovState::Valid);
+        assert_eq!(
+            table.validate_v4(&v4("10.0.0.0/8"), Asn(64500)),
+            RovState::Valid
+        );
     }
 
     #[test]
@@ -214,9 +232,15 @@ mod tests {
         table.add(roa4("10.0.0.0/8", 8, 64500));
         table.add(roa4("10.1.0.0/16", 24, 64501));
         // Invalid under the /8 (too specific), valid under the /16.
-        assert_eq!(table.validate_v4(&v4("10.1.2.0/24"), Asn(64501)), RovState::Valid);
+        assert_eq!(
+            table.validate_v4(&v4("10.1.2.0/24"), Asn(64501)),
+            RovState::Valid
+        );
         // The /8's origin cannot use the /16's generous maxLength.
-        assert_eq!(table.validate_v4(&v4("10.1.2.0/24"), Asn(64500)), RovState::Invalid);
+        assert_eq!(
+            table.validate_v4(&v4("10.1.2.0/24"), Asn(64500)),
+            RovState::Invalid
+        );
     }
 
     #[test]
@@ -225,9 +249,18 @@ mod tests {
         table.add(roa4("10.0.0.0/8", 16, 64500));
         table.add(roa4("10.0.0.0/8", 16, 64501));
         assert_eq!(table.len(), 2);
-        assert_eq!(table.validate_v4(&v4("10.1.0.0/16"), Asn(64500)), RovState::Valid);
-        assert_eq!(table.validate_v4(&v4("10.1.0.0/16"), Asn(64501)), RovState::Valid);
-        assert_eq!(table.validate_v4(&v4("10.1.0.0/16"), Asn(64502)), RovState::Invalid);
+        assert_eq!(
+            table.validate_v4(&v4("10.1.0.0/16"), Asn(64500)),
+            RovState::Valid
+        );
+        assert_eq!(
+            table.validate_v4(&v4("10.1.0.0/16"), Asn(64501)),
+            RovState::Valid
+        );
+        assert_eq!(
+            table.validate_v4(&v4("10.1.0.0/16"), Asn(64502)),
+            RovState::Invalid
+        );
     }
 
     #[test]

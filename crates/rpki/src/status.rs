@@ -95,7 +95,10 @@ mod tests {
 
     #[test]
     fn all_nine_combinations() {
-        assert_eq!(PairRovStatus::from_states(Valid, Valid), PairRovStatus::BothValid);
+        assert_eq!(
+            PairRovStatus::from_states(Valid, Valid),
+            PairRovStatus::BothValid
+        );
         assert_eq!(
             PairRovStatus::from_states(Valid, NotFound),
             PairRovStatus::ValidNotFound

@@ -6,8 +6,9 @@ use std::collections::BTreeSet;
 /// FTP (20/21), SSH (22), Telnet (23), SMTP (25), DNS (53), HTTP (80),
 /// POP3 (110), NTP (123), IMAP (143), SNMP (161), IRC (194), HTTPS (443),
 /// and CWMP (7547).
-pub const WELL_KNOWN_PORTS: [u16; 14] =
-    [20, 21, 22, 23, 25, 53, 80, 110, 123, 143, 161, 194, 443, 7547];
+pub const WELL_KNOWN_PORTS: [u16; 14] = [
+    20, 21, 22, 23, 25, 53, 80, 110, 123, 143, 161, 194, 443, 7547,
+];
 
 /// A set of ports, used both as deployment ground truth and as the
 /// responsive set observed by a scan.
@@ -20,13 +21,6 @@ impl PortSet {
     /// Creates an empty set.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// Creates a set from any iterator of ports.
-    pub fn from_iter<I: IntoIterator<Item = u16>>(iter: I) -> Self {
-        Self {
-            ports: iter.into_iter().collect(),
-        }
     }
 
     /// Adds a port.
@@ -74,7 +68,9 @@ impl PortSet {
 
 impl FromIterator<u16> for PortSet {
     fn from_iter<I: IntoIterator<Item = u16>>(iter: I) -> Self {
-        PortSet::from_iter(iter)
+        Self {
+            ports: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -99,7 +99,12 @@ impl Scanner {
     ///
     /// Results are independent of target ordering: the fault-injection
     /// decision for a probe is a pure function of `(seed, addr, port)`.
-    pub fn scan(&self, deployment: &Deployment, v4_targets: &[u32], v6_targets: &[u128]) -> ScanReport {
+    pub fn scan(
+        &self,
+        deployment: &Deployment,
+        v4_targets: &[u32],
+        v6_targets: &[u128],
+    ) -> ScanReport {
         let mut report = ScanReport::default();
         for &addr in v4_targets {
             if self.block_v4.longest_match(addr).is_some() {
@@ -246,8 +251,16 @@ mod tests {
         let r1 = scanner.scan(&d, &forward, &[]);
         let r2 = scanner.scan(&d, &backward, &[]);
         assert_eq!(r1.v4, r2.v4);
-        assert!(r1.dropped > 50, "expected substantial loss, got {}", r1.dropped);
-        assert!(r1.dropped < 350, "expected partial loss, got {}", r1.dropped);
+        assert!(
+            r1.dropped > 50,
+            "expected substantial loss, got {}",
+            r1.dropped
+        );
+        assert!(
+            r1.dropped < 350,
+            "expected partial loss, got {}",
+            r1.dropped
+        );
     }
 
     #[test]

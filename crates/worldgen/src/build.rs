@@ -163,9 +163,8 @@ fn v4_slot(announced: Ipv4Prefix, i24: u32, i28: u32) -> Ipv4Prefix {
 fn v6_slot(announced: Ipv6Prefix, i48: u64, i96: u64) -> Ipv6Prefix {
     debug_assert!(announced.len() <= 48);
     let cap48 = 1u64 << (48 - announced.len()).min(22);
-    let bits = announced.bits()
-        | (((i48 % cap48) as u128) << 80)
-        | (((i96 % (1 << 16)) as u128) << 32);
+    let bits =
+        announced.bits() | (((i48 % cap48) as u128) << 80) | (((i96 % (1 << 16)) as u128) << 32);
     Ipv6Prefix::new(bits, 96).expect("/96 valid")
 }
 
@@ -239,8 +238,8 @@ impl Builder {
             } else {
                 v4_asn
             };
-            let caida_split = v6_asn != v4_asn
-                && unit_f64(self.seed, &[tag::ORG_CAIDA_SPLIT, i as u64]) < 0.35;
+            let caida_split =
+                v6_asn != v4_asn && unit_f64(self.seed, &[tag::ORG_CAIDA_SPLIT, i as u64]) < 0.35;
             self.orgs.push(Org {
                 idx: i,
                 name,
@@ -302,6 +301,7 @@ impl Builder {
         self.v6_alloc.alloc(len)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn push_pod(
         &mut self,
         unit: u32,
@@ -314,8 +314,10 @@ impl Builder {
         active_from: MonthDate,
     ) -> u32 {
         let idx = self.pods.len() as u32;
-        self.rib.announce_v4(v4_announced, self.orgs[v4_org as usize].v4_asn);
-        self.rib.announce_v6(v6_announced, self.orgs[v6_org as usize].v6_asn);
+        self.rib
+            .announce(v4_announced, self.orgs[v4_org as usize].v4_asn);
+        self.rib
+            .announce(v6_announced, self.orgs[v6_org as usize].v6_asn);
         self.pods.push(Pod {
             idx,
             unit,
@@ -361,7 +363,8 @@ impl Builder {
                 let v4a = self.alloc_v4_announced(unit_idx, 0, 24);
                 let v6a = self.alloc_v6_announced(unit_idx, 0, 48);
                 for i in 0..k as u32 {
-                    let jitter = stable_hash(self.seed, &[tag::POD_SLOT, unit_idx as u64, i as u64]);
+                    let jitter =
+                        stable_hash(self.seed, &[tag::POD_SLOT, unit_idx as u64, i as u64]);
                     // Distinct /24s where the announced prefix allows it,
                     // distinct /28s otherwise — both tunable to J = 1.
                     let (i24, i28) = if v4a.len() <= 23 {
@@ -377,57 +380,96 @@ impl Builder {
                     };
                     let v6_sub = v6_slot(v6a, i48, i96);
                     pods.push(self.push_pod(
-                        unit_idx, v4_org, v6_org, v4a, v6a, v4_sub, v6_sub, active_from,
+                        unit_idx,
+                        v4_org,
+                        v6_org,
+                        v4a,
+                        v6a,
+                        v4_sub,
+                        v6_sub,
+                        active_from,
                     ));
                 }
             }
             UnitLayout::ShearV4Sep24 => {
                 let v4a = self.alloc_v4_announced(unit_idx, 0, 22);
                 for i in 0..k as u32 {
-                    let jitter = stable_hash(self.seed, &[tag::POD_SLOT, unit_idx as u64, i as u64]);
+                    let jitter =
+                        stable_hash(self.seed, &[tag::POD_SLOT, unit_idx as u64, i as u64]);
                     let v4_sub = v4_slot(v4a, i, (jitter % 16) as u32);
                     let v6a = self.alloc_v6_announced(unit_idx, 1 + i as u64, 48);
                     let v6_sub = v6_slot(v6a, jitter >> 32, jitter >> 16);
                     pods.push(self.push_pod(
-                        unit_idx, v4_org, v6_org, v4a, v6a, v4_sub, v6_sub, active_from,
+                        unit_idx,
+                        v4_org,
+                        v6_org,
+                        v4a,
+                        v6a,
+                        v4_sub,
+                        v6_sub,
+                        active_from,
                     ));
                 }
             }
             UnitLayout::ShearV4Sep28 => {
                 let v4a = self.alloc_v4_announced(unit_idx, 0, 24);
                 for i in 0..k as u32 {
-                    let jitter = stable_hash(self.seed, &[tag::POD_SLOT, unit_idx as u64, i as u64]);
+                    let jitter =
+                        stable_hash(self.seed, &[tag::POD_SLOT, unit_idx as u64, i as u64]);
                     // Same /24 (index 0), distinct /28s.
                     let v4_sub = v4_slot(v4a, 0, i);
                     let v6a = self.alloc_v6_announced(unit_idx, 1 + i as u64, 48);
                     let v6_sub = v6_slot(v6a, jitter >> 32, jitter >> 16);
                     pods.push(self.push_pod(
-                        unit_idx, v4_org, v6_org, v4a, v6a, v4_sub, v6_sub, active_from,
+                        unit_idx,
+                        v4_org,
+                        v6_org,
+                        v4a,
+                        v6a,
+                        v4_sub,
+                        v6_sub,
+                        active_from,
                     ));
                 }
             }
             UnitLayout::ShearV6Sep48 => {
                 let v6a = self.alloc_v6_announced(unit_idx, 0, 44);
                 for i in 0..k as u32 {
-                    let jitter = stable_hash(self.seed, &[tag::POD_SLOT, unit_idx as u64, i as u64]);
+                    let jitter =
+                        stable_hash(self.seed, &[tag::POD_SLOT, unit_idx as u64, i as u64]);
                     let v6_sub = v6_slot(v6a, i as u64, jitter >> 16);
                     let v4a = self.alloc_v4_announced(unit_idx, 1 + i as u64, 24);
                     let v4_sub = v4_slot(v4a, (jitter % 64) as u32, (jitter >> 8) as u32);
                     pods.push(self.push_pod(
-                        unit_idx, v4_org, v6_org, v4a, v6a, v4_sub, v6_sub, active_from,
+                        unit_idx,
+                        v4_org,
+                        v6_org,
+                        v4a,
+                        v6a,
+                        v4_sub,
+                        v6_sub,
+                        active_from,
                     ));
                 }
             }
             UnitLayout::ShearV6Sep96 => {
                 let v6a = self.alloc_v6_announced(unit_idx, 0, 48);
                 for i in 0..k as u32 {
-                    let jitter = stable_hash(self.seed, &[tag::POD_SLOT, unit_idx as u64, i as u64]);
+                    let jitter =
+                        stable_hash(self.seed, &[tag::POD_SLOT, unit_idx as u64, i as u64]);
                     // Same /48 (index 0), distinct /96s.
                     let v6_sub = v6_slot(v6a, 0, i as u64);
                     let v4a = self.alloc_v4_announced(unit_idx, 1 + i as u64, 24);
                     let v4_sub = v4_slot(v4a, (jitter % 64) as u32, (jitter >> 8) as u32);
                     pods.push(self.push_pod(
-                        unit_idx, v4_org, v6_org, v4a, v6a, v4_sub, v6_sub, active_from,
+                        unit_idx,
+                        v4_org,
+                        v6_org,
+                        v4a,
+                        v6a,
+                        v4_sub,
+                        v6_sub,
+                        active_from,
                     ));
                 }
             }
@@ -439,11 +481,19 @@ impl Builder {
                 let v6a = self.alloc_v6_announced(unit_idx, 0, 48);
                 let shared_sub = v6_slot(v6a, 0, 0);
                 for i in 0..k as u32 {
-                    let jitter = stable_hash(self.seed, &[tag::POD_SLOT, unit_idx as u64, i as u64]);
+                    let jitter =
+                        stable_hash(self.seed, &[tag::POD_SLOT, unit_idx as u64, i as u64]);
                     let v4a = self.alloc_v4_announced(unit_idx, 1 + i as u64, 24);
                     let v4_sub = v4_slot(v4a, (jitter % 64) as u32, (jitter >> 8) as u32);
                     pods.push(self.push_pod(
-                        unit_idx, v4_org, v6_org, v4a, v6a, v4_sub, shared_sub, active_from,
+                        unit_idx,
+                        v4_org,
+                        v6_org,
+                        v4a,
+                        v6a,
+                        v4_sub,
+                        shared_sub,
+                        active_from,
                     ));
                 }
             }
@@ -460,15 +510,24 @@ impl Builder {
 
     fn sample_pod_size(&self, pod: u32) -> u32 {
         let weights: Vec<f64> = POD_SIZE_BINS.iter().map(|(_, _, w)| *w).collect();
-        let (lo, hi, _) = POD_SIZE_BINS[weighted_index(self.seed, &[tag::DOM_COUNT, pod as u64], &weights)];
+        let (lo, hi, _) =
+            POD_SIZE_BINS[weighted_index(self.seed, &[tag::DOM_COUNT, pod as u64], &weights)];
         if lo == hi {
             lo
         } else {
-            lo + bounded(self.seed, &[tag::DOM_COUNT, pod as u64, 1], (hi - lo + 1) as u64) as u32
+            lo + bounded(
+                self.seed,
+                &[tag::DOM_COUNT, pod as u64, 1],
+                (hi - lo + 1) as u64,
+            ) as u32
         }
     }
 
-    fn next_domain_names(&mut self, pod_hint: u64, cname: bool) -> (sibling_dns::DomainId, sibling_dns::DomainId) {
+    fn next_domain_names(
+        &mut self,
+        pod_hint: u64,
+        cname: bool,
+    ) -> (sibling_dns::DomainId, sibling_dns::DomainId) {
         let n = self.domain_counter;
         self.domain_counter += 1;
         let toplists = Toplist::canonical();
@@ -599,16 +658,7 @@ impl Builder {
             // else: pods activate over time (drives part of the Fig. 9
             // doubling and keeps year −4 realistic).
             let active_from = self.unit_active_from(unit_idx);
-            let pod = self.push_pod(
-                unit_idx,
-                org,
-                org,
-                v4a,
-                v6a,
-                v4_sub,
-                v6_sub,
-                active_from,
-            );
+            let pod = self.push_pod(unit_idx, org, org, v4a, v6a, v4_sub, v6_sub, active_from);
             self.units.push(Unit {
                 idx: unit_idx,
                 layout: UnitLayout::Aligned,
@@ -627,16 +677,7 @@ impl Builder {
             let v4_sub = v4_slot(v4a, 0, 0);
             let v6_sub = v6_slot(v6a, 0, 0);
             let active_from = self.unit_active_from(unit_idx);
-            let pod = self.push_pod(
-                unit_idx,
-                org,
-                org,
-                v4a,
-                v6a,
-                v4_sub,
-                v6_sub,
-                active_from,
-            );
+            let pod = self.push_pod(unit_idx, org, org, v4a, v6a, v4_sub, v6_sub, active_from);
             self.units.push(Unit {
                 idx: unit_idx,
                 layout: UnitLayout::Aligned,
@@ -771,8 +812,7 @@ impl World {
             // The domain must still sit in its original pod at the end
             // (no joint move or transient displacement at the reference
             // date), so the pod's pair is a live sibling pair.
-            if self.v4_pod_at(spec, end) == spec.v4_pod
-                && self.v6_pod_at(spec, end) == spec.v6_pod
+            if self.v4_pod_at(spec, end) == spec.v4_pod && self.v6_pod_at(spec, end) == spec.v6_pod
             {
                 anchors.push(spec.v4_pod);
             }
@@ -830,9 +870,9 @@ mod tests {
     fn rib_contains_all_announcements() {
         let w = World::generate(WorldConfig::test_small(3));
         for pod in w.pods() {
-            assert!(w.rib().is_announced_v4(&pod.v4_announced));
-            assert!(w.rib().is_announced_v6(&pod.v6_announced));
-            let route = w.rib().lookup_v4(pod.v4_sub.bits()).unwrap();
+            assert!(w.rib().is_announced(&pod.v4_announced));
+            assert!(w.rib().is_announced(&pod.v6_announced));
+            let route = w.rib().lookup(pod.v4_sub.bits()).unwrap();
             assert_eq!(route.prefix, pod.v4_announced);
         }
     }

@@ -73,7 +73,10 @@ mod tests {
                 below_half += 1;
             }
         }
-        assert!((350..=650).contains(&below_half), "poor spread: {below_half}");
+        assert!(
+            (350..=650).contains(&below_half),
+            "poor spread: {below_half}"
+        );
     }
 
     #[test]

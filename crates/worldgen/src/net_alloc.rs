@@ -27,7 +27,10 @@ impl V4Allocator {
     /// whole /16 chunk regardless (simple, collision-free, plenty of
     /// space at simulation scale).
     pub fn alloc(&mut self, len: u8) -> Ipv4Prefix {
-        assert!((8..=24).contains(&len), "supported announce lengths are /8../24");
+        assert!(
+            (8..=24).contains(&len),
+            "supported announce lengths are /8../24"
+        );
         loop {
             let chunk = self.next_chunk;
             // A /16 costs one chunk; shorter prefixes cost 2^(16-len).
@@ -69,7 +72,10 @@ impl V6Allocator {
     /// Allocates a prefix of length `len` (20 ≤ len ≤ 48); consumes whole
     /// /32 slots.
     pub fn alloc(&mut self, len: u8) -> Ipv6Prefix {
-        assert!((20..=48).contains(&len), "supported announce lengths are /20../48");
+        assert!(
+            (20..=48).contains(&len),
+            "supported announce lengths are /20../48"
+        );
         let span = if len >= 32 { 1 } else { 1u32 << (32 - len) };
         let aligned = self.next.next_multiple_of(span);
         self.next = aligned + span;

@@ -35,8 +35,11 @@ impl World {
 
     /// The service profile of a pod.
     fn pod_profile(&self, pod: u32) -> &'static [u16] {
-        PROFILES[bounded(self.config.seed, &[tag::PORT_PROFILE, pod as u64], PROFILES.len() as u64)
-            as usize]
+        PROFILES[bounded(
+            self.config.seed,
+            &[tag::PORT_PROFILE, pod as u64],
+            PROFILES.len() as u64,
+        ) as usize]
     }
 
     /// Cross-family port correlation of a pod, set by its unit layout.

@@ -47,9 +47,14 @@ impl World {
         let pick = |slot: u64| -> &crate::world::Pod {
             if pool.is_empty() {
                 let n_pods = self.pods().len() as u64;
-                &self.pods()[bounded(seed, &[tag::PROBE_POD, kind, id as u64, slot], n_pods) as usize]
+                &self.pods()
+                    [bounded(seed, &[tag::PROBE_POD, kind, id as u64, slot], n_pods) as usize]
             } else {
-                let i = bounded(seed, &[tag::PROBE_POD, kind, id as u64, slot], pool.len() as u64);
+                let i = bounded(
+                    seed,
+                    &[tag::PROBE_POD, kind, id as u64, slot],
+                    pool.len() as u64,
+                );
                 &self.pods()[pool[i as usize] as usize]
             }
         };
@@ -59,8 +64,7 @@ impl World {
             p.v4_sub.bits() | bounded(seed, &[tag::PROBE_ADDR, kind, id as u64, 4], 16) as u32
         };
         let host6 = |p: &crate::world::Pod| {
-            p.v6_sub.bits()
-                | bounded(seed, &[tag::PROBE_ADDR, kind, id as u64, 6], 1 << 32) as u128
+            p.v6_sub.bits() | bounded(seed, &[tag::PROBE_ADDR, kind, id as u64, 6], 1 << 32) as u128
         };
         let eyeball4 = self.eyeball_v4.bits()
             | bounded(seed, &[tag::PROBE_ADDR, kind, id as u64, 44], 1 << 20) as u32;
@@ -125,11 +129,11 @@ impl World {
         (0..self.config.n_vps as u32)
             .map(|id| {
                 let category = Self::quota_category(id, self.config.n_vps, &VPS_MIX);
-                let provider = PROVIDERS[(unit_f64(
-                    self.config.seed,
-                    &[tag::PROBE_POD, 3, id as u64],
-                ) * PROVIDERS.len() as f64) as usize % PROVIDERS.len()]
-                .to_string();
+                let provider =
+                    PROVIDERS[(unit_f64(self.config.seed, &[tag::PROBE_POD, 3, id as u64])
+                        * PROVIDERS.len() as f64) as usize
+                        % PROVIDERS.len()]
+                    .to_string();
                 VpsProbe {
                     provider,
                     endpoint: self.probe_endpoint(2, id, category),

@@ -48,9 +48,8 @@ impl World {
                     } else {
                         asn
                     };
-                    table.add(
-                        Roa::new(AnyPrefix::V4(p), p.len(), origin).expect("maxLength = len"),
-                    );
+                    table
+                        .add(Roa::new(AnyPrefix::V4(p), p.len(), origin).expect("maxLength = len"));
                 }
             }
             if seen_v6.insert(pod.v6_announced) {
@@ -63,9 +62,8 @@ impl World {
                     } else {
                         asn
                     };
-                    table.add(
-                        Roa::new(AnyPrefix::V6(p), p.len(), origin).expect("maxLength = len"),
-                    );
+                    table
+                        .add(Roa::new(AnyPrefix::V6(p), p.len(), origin).expect("maxLength = len"));
                 }
             }
         }
@@ -129,7 +127,10 @@ mod tests {
         }
         assert!(valid > 0, "some valid announcements expected");
         assert!(invalid > 0, "some invalid announcements expected");
-        assert!(valid > invalid * 3, "valid should dominate: {valid} vs {invalid}");
+        assert!(
+            valid > invalid * 3,
+            "valid should dominate: {valid} vs {invalid}"
+        );
     }
 
     #[test]

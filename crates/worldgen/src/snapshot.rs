@@ -151,12 +151,7 @@ impl World {
         match spec.class {
             VisibilityClass::Consistent => true,
             VisibilityClass::Once => {
-                let span = self
-                    .config
-                    .end
-                    .months_since(&self.config.start)
-                    .max(0) as u64
-                    + 1;
+                let span = self.config.end.months_since(&self.config.start).max(0) as u64 + 1;
                 let remaining = span - spec.birth_offset as u64;
                 let chosen = spec.birth_offset as u64
                     + bounded(
@@ -354,10 +349,7 @@ mod tests {
         // Visible at every month unless a churn move lands it in a pod
         // that activates later — rare; check at least 90% visibility.
         let months = w.config.months();
-        let visible = months
-            .iter()
-            .filter(|m| w.spec_visible(spec, **m))
-            .count();
+        let visible = months.iter().filter(|m| w.spec_visible(spec, **m)).count();
         assert!(
             visible as f64 >= 0.9 * months.len() as f64,
             "consistent domain visible {visible}/{}",

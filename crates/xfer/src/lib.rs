@@ -249,7 +249,9 @@ mod tests {
         let pairs = vec![pair("203.0.2.0/24", "2600:1::/48", 1, 4)];
         let derived = transfer_v4_to_v6(&pairs, &db, &TransferConfig::default());
         assert!(derived.is_empty());
-        let lax = TransferConfig { min_confidence: 0.2 };
+        let lax = TransferConfig {
+            min_confidence: 0.2,
+        };
         let derived = transfer_v4_to_v6(&pairs, &db, &lax);
         assert_eq!(derived.len(), 1);
         assert!((derived.values().next().unwrap().confidence - 0.25).abs() < 1e-12);

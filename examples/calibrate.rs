@@ -8,9 +8,18 @@ use sibling_core::SpTunerConfig;
 use sibling_worldgen::{World, WorldConfig};
 
 fn main() {
-    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
-    let move4 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(-1.0);
-    let move6 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(-1.0);
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let move4 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(-1.0);
+    let move6 = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(-1.0);
     let mut config = WorldConfig::paper_scale(seed);
     if move4 >= 0.0 {
         config.v4_only_move_monthly = move4;
@@ -18,7 +27,10 @@ fn main() {
     if move6 >= 0.0 {
         config.v6_only_move_monthly = move6;
     }
-    let move_j = std::env::args().nth(4).and_then(|s| s.parse().ok()).unwrap_or(-1.0);
+    let move_j = std::env::args()
+        .nth(4)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(-1.0);
     if move_j >= 0.0 {
         config.joint_move_monthly = move_j;
     }
@@ -71,14 +83,11 @@ fn main() {
     for pair in tuned.iter() {
         let mut layout = "unknown".to_string();
         for pod in ctx.world.pods() {
-            if pair.v4.covers(&pod.v4_sub) || pod.v4_announced.covers(&pair.v4) {
-                if pair.v6.covers(&pod.v6_sub) || pod.v6_announced.covers(&pair.v6) {
-                    layout = format!(
-                        "{:?}",
-                        ctx.world.units()[pod.unit as usize].layout
-                    );
-                    break;
-                }
+            if (pair.v4.covers(&pod.v4_sub) || pod.v4_announced.covers(&pair.v4))
+                && (pair.v6.covers(&pod.v6_sub) || pod.v6_announced.covers(&pair.v6))
+            {
+                layout = format!("{:?}", ctx.world.units()[pod.unit as usize].layout);
+                break;
             }
         }
         *total_by_layout.entry(layout.clone()).or_insert(0) += 1;

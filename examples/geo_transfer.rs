@@ -27,7 +27,9 @@ fn main() {
     for pod in ctx.world.pods().iter().step_by(37).take(12) {
         blocklist.insert(pod.v4_announced, true);
     }
-    let strict = TransferConfig { min_confidence: 0.9 };
+    let strict = TransferConfig {
+        min_confidence: 0.9,
+    };
     let derived = transfer_v4_to_v6(&pairs, &blocklist, &strict);
     println!(
         "blocklist variant: {} v4 entries → {} derived v6 entries (min confidence 0.9):",

@@ -52,13 +52,19 @@ fn main() {
     let mut v4_sets: BTreeMap<Ipv4Prefix, BTreeSet<u16>> = BTreeMap::new();
     let mut v6_sets: BTreeMap<Ipv6Prefix, BTreeSet<u16>> = BTreeMap::new();
     for (addr, ports) in &report.v4 {
-        if let Some(route) = rib.lookup_v4(*addr) {
-            v4_sets.entry(route.prefix).or_default().extend(ports.iter());
+        if let Some(route) = rib.lookup(*addr) {
+            v4_sets
+                .entry(route.prefix)
+                .or_default()
+                .extend(ports.iter());
         }
     }
     for (addr, ports) in &report.v6 {
-        if let Some(route) = rib.lookup_v6(*addr) {
-            v6_sets.entry(route.prefix).or_default().extend(ports.iter());
+        if let Some(route) = rib.lookup(*addr) {
+            v6_sets
+                .entry(route.prefix)
+                .or_default()
+                .extend(ports.iter());
         }
     }
 
@@ -73,7 +79,10 @@ fn main() {
             continue;
         };
         compared += 1;
-        let port_j = jaccard(a, b);
+        // jaccard() takes sorted slices; BTreeSet iteration is sorted.
+        let a: Vec<u16> = a.iter().copied().collect();
+        let b: Vec<u16> = b.iter().copied().collect();
+        let port_j = jaccard(&a, &b);
         if (port_j.to_f64() - pair.similarity.to_f64()).abs() < 0.25
             || (port_j.to_f64() >= 0.9 && pair.similarity.to_f64() >= 0.9)
         {

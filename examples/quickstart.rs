@@ -9,10 +9,10 @@
 //! Run with: `cargo run --example quickstart`
 
 use sibling_bgp::Rib;
-use sibling_core::{detect, BestMatchPolicy, PrefixDomainIndex, SimilarityMetric, SpTunerConfig};
 use sibling_core::tuner::more_specific::tune_more_specific;
+use sibling_core::{detect, BestMatchPolicy, PrefixDomainIndex, SimilarityMetric, SpTunerConfig};
 use sibling_dns::{DnsRecord, DnsSnapshot, DomainTable, Zone};
-use sibling_net_types::{Asn, MonthDate};
+use sibling_net_types::{Asn, Ipv4Prefix, Ipv6Prefix, MonthDate};
 
 fn v4(s: &str) -> u32 {
     s.parse::<std::net::Ipv4Addr>().unwrap().into()
@@ -48,10 +48,10 @@ fn main() {
 
     // Routeviews-style announcements.
     let mut rib = Rib::new();
-    rib.announce_v4("203.0.0.0/16".parse().unwrap(), Asn(64500));
-    rib.announce_v4("198.51.0.0/16".parse().unwrap(), Asn(64501));
-    rib.announce_v6("2600:1::/32".parse().unwrap(), Asn(64500));
-    rib.announce_v6("2600:2::/32".parse().unwrap(), Asn(64501));
+    rib.announce("203.0.0.0/16".parse::<Ipv4Prefix>().unwrap(), Asn(64500));
+    rib.announce("198.51.0.0/16".parse::<Ipv4Prefix>().unwrap(), Asn(64501));
+    rib.announce("2600:1::/32".parse::<Ipv6Prefix>().unwrap(), Asn(64500));
+    rib.announce("2600:2::/32".parse::<Ipv6Prefix>().unwrap(), Asn(64501));
 
     // Step 1: resolve and keep dual-stack domains.
     let snapshot = DnsSnapshot::resolve_zone(MonthDate::new(2024, 9), &zone);
@@ -65,7 +65,7 @@ fn main() {
     let index = PrefixDomainIndex::build(&snapshot, &rib);
     let (v4_groups, v6_groups) = index.group_counts();
     println!("step 2: {v4_groups} IPv4 and {v6_groups} IPv6 prefixes with DS domains");
-    for (prefix, domains) in index.v4_groups() {
+    for (prefix, domains) in index.groups::<u32>() {
         let list: Vec<&str> = domains.iter().filter_map(|d| names.name(*d)).collect();
         println!("    {prefix}  hosts {list:?}");
     }

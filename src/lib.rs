@@ -1,0 +1,21 @@
+//! Facade over the `sibling-prefixes` workspace.
+//!
+//! The workspace reproduces conf_imc_OsaliSG25's IPv4/IPv6 sibling-prefix
+//! detection pipeline. This crate exists so the root-level `tests/` and
+//! `examples/` have a Cargo home; it re-exports every member crate under a
+//! short alias for downstream convenience.
+
+#![forbid(unsafe_code)]
+
+pub use sibling_analysis as analysis;
+pub use sibling_as_org as as_org;
+pub use sibling_bgp as bgp;
+pub use sibling_core as core_;
+pub use sibling_dns as dns;
+pub use sibling_net_types as net_types;
+pub use sibling_probes as probes;
+pub use sibling_ptrie as ptrie;
+pub use sibling_rpki as rpki;
+pub use sibling_scan as scan;
+pub use sibling_worldgen as worldgen;
+pub use sibling_xfer as xfer;

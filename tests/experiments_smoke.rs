@@ -24,7 +24,11 @@ fn every_experiment_runs_and_renders() {
             "{} rendered no sections",
             result.id
         );
-        assert!(!result.checks.is_empty(), "{} has no shape checks", result.id);
+        assert!(
+            !result.checks.is_empty(),
+            "{} has no shape checks",
+            result.id
+        );
         let rendered = result.render();
         assert!(rendered.contains(result.id.as_str()));
         for (name, contents) in &result.csv {
@@ -36,15 +40,52 @@ fn every_experiment_runs_and_renders() {
 
 #[test]
 fn registry_covers_every_paper_artifact() {
-    let ids: Vec<String> = all_experiments().iter().map(|e| e.id().to_string()).collect();
+    let ids: Vec<String> = all_experiments()
+        .iter()
+        .map(|e| e.id().to_string())
+        .collect();
     // Figures 1–2, 4–18 (3 is the methodology diagram), the two §3.5
     // ground-truth artefacts, and appendix figures 19–36.
     for expected in [
-        "fig01", "fig02", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
-        "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "gt_atlas",
-        "gt_vps", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "fig26",
-        "fig27", "fig28", "fig29", "fig30", "fig31", "fig32", "fig33", "fig34", "fig35",
-        "fig36", "ext_setpairs", "ext_transfer",
+        "fig01",
+        "fig02",
+        "fig04",
+        "fig05",
+        "fig06",
+        "fig07",
+        "fig08",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "gt_atlas",
+        "gt_vps",
+        "fig19",
+        "fig20",
+        "fig21",
+        "fig22",
+        "fig23",
+        "fig24",
+        "fig25",
+        "fig26",
+        "fig27",
+        "fig28",
+        "fig29",
+        "fig30",
+        "fig31",
+        "fig32",
+        "fig33",
+        "fig34",
+        "fig35",
+        "fig36",
+        "ext_setpairs",
+        "ext_transfer",
     ] {
         assert!(ids.contains(&expected.to_string()), "missing {expected}");
     }

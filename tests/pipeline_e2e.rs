@@ -12,9 +12,16 @@ fn ctx() -> AnalysisContext {
 fn detection_produces_nonempty_best_match_set() {
     let ctx = ctx();
     let pairs = ctx.default_pairs(ctx.day0());
-    assert!(pairs.len() > 50, "expected a substantial pair set, got {}", pairs.len());
+    assert!(
+        pairs.len() > 50,
+        "expected a substantial pair set, got {}",
+        pairs.len()
+    );
     for pair in pairs.iter() {
-        assert!(!pair.similarity.is_zero(), "zero-similarity pairs must be discarded");
+        assert!(
+            !pair.similarity.is_zero(),
+            "zero-similarity pairs must be discarded"
+        );
         assert!(pair.shared_domains >= 1);
         assert!(pair.v4_domains >= pair.shared_domains);
         assert!(pair.v6_domains >= pair.shared_domains);
@@ -68,12 +75,12 @@ fn pair_prefixes_are_announced() {
     let pairs = ctx.default_pairs(ctx.day0());
     for pair in pairs.iter() {
         assert!(
-            ctx.world.rib().is_announced_v4(&pair.v4),
+            ctx.world.rib().is_announced(&pair.v4),
             "{} not announced",
             pair.v4
         );
         assert!(
-            ctx.world.rib().is_announced_v6(&pair.v6),
+            ctx.world.rib().is_announced(&pair.v6),
             "{} not announced",
             pair.v6
         );
@@ -107,7 +114,10 @@ fn unique_v4_exceeds_unique_v6() {
     // Paper: 46.3k IPv4 vs 39.5k IPv6 unique prefixes.
     let ctx = AnalysisContext::new(World::generate(WorldConfig::paper_scale(77)));
     let (v4, v6) = ctx.default_pairs(ctx.day0()).unique_prefix_counts();
-    assert!(v4 > v6, "expected more v4 than v6 prefixes, got {v4} vs {v6}");
+    assert!(
+        v4 > v6,
+        "expected more v4 than v6 prefixes, got {v4} vs {v6}"
+    );
 }
 
 #[test]

@@ -20,8 +20,14 @@ fn tuning_ladder_improves_perfect_share() {
     let p0 = default.perfect_match_share();
     let p1 = routable.perfect_match_share();
     let p2 = best.perfect_match_share();
-    assert!(p1 > p0, "/24-/48 must improve over default: {p0:.3} vs {p1:.3}");
-    assert!(p2 > p1, "/28-/96 must improve over /24-/48: {p1:.3} vs {p2:.3}");
+    assert!(
+        p1 > p0,
+        "/24-/48 must improve over default: {p0:.3} vs {p1:.3}"
+    );
+    assert!(
+        p2 > p1,
+        "/28-/96 must improve over /24-/48: {p1:.3} vs {p2:.3}"
+    );
 }
 
 #[test]
@@ -48,15 +54,15 @@ fn tuning_preserves_domain_coverage() {
 
     let mut default_domains = std::collections::BTreeSet::new();
     for pair in default.iter() {
-        let a = index.domains_under_v4(&pair.v4);
-        let b = index.domains_under_v6(&pair.v6);
-        default_domains.extend(a.intersection(&b).copied());
+        let a = index.domains_under(&pair.v4);
+        let b = index.domains_under(&pair.v6);
+        default_domains.extend(a.iter().filter(|d| b.binary_search(d).is_ok()).copied());
     }
     let mut tuned_domains = std::collections::BTreeSet::new();
     for pair in tuned.pairs.iter() {
-        let a = index.domains_under_v4(&pair.v4);
-        let b = index.domains_under_v6(&pair.v6);
-        tuned_domains.extend(a.intersection(&b).copied());
+        let a = index.domains_under(&pair.v4);
+        let b = index.domains_under(&pair.v6);
+        tuned_domains.extend(a.iter().filter(|d| b.binary_search(d).is_ok()).copied());
     }
     let lost: Vec<_> = default_domains.difference(&tuned_domains).collect();
     assert!(
@@ -105,7 +111,12 @@ fn less_specific_is_a_negative_result() {
     let index = ctx.index(date);
     let default = ctx.default_pairs(date);
     let (mean_default, _) = default.similarity_mean_std();
-    let ls = tune_less_specific(&index, &default, ctx.world.rib(), &SpTunerLsConfig::default());
+    let ls = tune_less_specific(
+        &index,
+        &default,
+        ctx.world.rib(),
+        &SpTunerLsConfig::default(),
+    );
     let (mean_ls, _) = ls.pairs.similarity_mean_std();
     let ms = tune_more_specific(&index, &default, &SpTunerConfig::best());
     let (mean_ms, _) = ms.pairs.similarity_mean_std();

@@ -1,0 +1,55 @@
+//! Collection strategies.
+
+use core::ops::Range;
+use std::collections::BTreeSet;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec<T>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// A vector of `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.clone().sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<T>`; `size` bounds the number of *draws*, so the
+/// resulting set may be smaller when duplicates collide (matching
+/// proptest's behaviour for saturated domains).
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// A set of at most `size` elements drawn from `element`.
+pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let draws = self.size.clone().sample(rng);
+        (0..draws).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of proptest's API its tests actually use: the
+//! [`proptest!`] macro, `prop_assert*` macros, [`any`], ranges and tuples
+//! as strategies, `collection::{vec, btree_set}`, and a [`TestRunner`]
+//! with `run`.
+//!
+//! Sampling is uniform and *deterministic*: every runner starts from the
+//! same seed, so test outcomes are reproducible across runs and machines
+//! (a workspace-wide requirement). Each case derives from a splitmix64
+//! stream; edge values (min/max) are injected periodically the way
+//! proptest biases toward boundaries.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, Arbitrary, Strategy};
+pub use test_runner::{TestCaseError, TestRunner};
+
+/// What `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies [`test_runner::CASES`]
+/// times and runs the body on every sample.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::default();
+                let strategy = ($($strat,)+);
+                runner
+                    .run(&strategy, |($($arg,)+)| { $body Ok(()) })
+                    .unwrap();
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            panic!(
+                "prop_assert_eq failed: {:?} != {:?} ({} != {})",
+                left,
+                right,
+                stringify!($left),
+                stringify!($right)
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            panic!(
+                "prop_assert_ne failed: both sides are {:?} ({} == {})",
+                left,
+                stringify!($left),
+                stringify!($right)
+            );
+        }
+    }};
+}

@@ -1,0 +1,86 @@
+//! The test runner and its deterministic RNG.
+
+use core::fmt;
+
+use crate::strategy::Strategy;
+
+/// Number of cases each property test samples.
+pub const CASES: usize = 96;
+
+/// A failed property-test case.
+///
+/// Kept for signature compatibility: the vendored `prop_assert*` macros
+/// panic directly (there is no shrinking phase to hand the error to), so
+/// user closures returning `Result<_, TestCaseError>` almost always return
+/// `Ok`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "test case failed: {}", self.0)
+    }
+}
+
+/// Deterministic splitmix64 stream.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 128 uniform bits (for `u128` sampling).
+    pub fn next_wide(&mut self) -> u128 {
+        (self.next_u64() as u128) << 64 | self.next_u64() as u128
+    }
+}
+
+/// Drives a strategy through [`CASES`] sampled cases.
+pub struct TestRunner {
+    rng: TestRng,
+    cases: usize,
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        // Fixed seed: runs are reproducible by construction.
+        Self {
+            rng: TestRng::new(0x005E_ED0F_5EED_0F5E),
+            cases: CASES,
+        }
+    }
+}
+
+impl TestRunner {
+    /// Runs `test` on `cases` samples of `strategy`, stopping at the first
+    /// failure.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestCaseError>
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        for _ in 0..self.cases {
+            test(strategy.sample(&mut self.rng))?;
+        }
+        Ok(())
+    }
+}
