@@ -4,8 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use sibling_bench::{bench_context, fresh_world};
+use sibling_core::{detect, BestMatchPolicy, DetectEngine, PrefixDomainIndex, SimilarityMetric};
 use sibling_net_types::Ipv4Prefix;
 use sibling_ptrie::PatriciaTrie;
 use sibling_scan::{ScanConfig, Scanner};
@@ -111,6 +113,89 @@ fn bench_scan(c: &mut Criterion) {
     });
 }
 
+/// The longitudinal sweep two ways, end to end.
+///
+/// * `per_date_serial` is the pre-engine architecture: each date is an
+///   independent run that rebuilds the shared state (world generation =
+///   domain interner + RIB + org tables, as a one-date-per-invocation
+///   driver must), derives the month's snapshot and index, and runs the
+///   serial reference `detect`.
+/// * `engine_batch` is `DetectEngine::run_window`: shared state is built
+///   once, then the window is walked in one pass — snapshots and indexes
+///   per month, the interner/RIB archive/set arena reused throughout,
+///   scoring sharded (and parallel with the `parallel` feature).
+///
+/// Also times the two scoring paths alone (`score/*`, identical indexes,
+/// identical outputs) to isolate the counting-join + sharding win from
+/// the batch-reuse win.
+fn bench_batch_window(c: &mut Criterion) {
+    let months = 6u64;
+    {
+        let world = fresh_world(2024);
+        let day0 = world.config.end;
+        let from = day0.add_months(-(months as i32 - 1));
+        let archive = world.rib_archive();
+        let mut engine = DetectEngine::default();
+        let run = engine
+            .run_window(from, day0, &archive, |d| Arc::new(world.snapshot(d)))
+            .unwrap();
+        println!(
+            "[batch] {} months: {} pairs, {} distinct sets, {} dedup hits",
+            run.stats.months, run.stats.total_pairs, run.stats.distinct_sets, run.stats.dedup_hits
+        );
+    }
+
+    let mut group = c.benchmark_group("batch_window");
+    group.bench_function("per_date_serial", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for k in 0..months {
+                // One-date-per-invocation: shared state is rebuilt.
+                let world = fresh_world(2024);
+                let date = world.config.end.add_months(-(k as i32));
+                let snap = world.snapshot(date);
+                let index = PrefixDomainIndex::build(&snap, world.rib());
+                total += detect(&index, SimilarityMetric::Jaccard, BestMatchPolicy::Union).len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("engine_batch", |b| {
+        b.iter(|| {
+            let world = fresh_world(2024);
+            let day0 = world.config.end;
+            let from = day0.add_months(-(months as i32 - 1));
+            let archive = world.rib_archive();
+            let mut engine = DetectEngine::default();
+            let run = engine
+                .run_window(from, day0, &archive, |d| Arc::new(world.snapshot(d)))
+                .unwrap();
+            black_box(run.stats.total_pairs)
+        })
+    });
+    group.finish();
+
+    // Scoring-only comparison over one shared index.
+    let ctx = bench_context();
+    let mut engine = DetectEngine::default();
+    let snap = ctx.snapshot(ctx.day0());
+    let index = engine.build_index(&snap, ctx.world.rib());
+    let mut group = c.benchmark_group("score");
+    group.bench_function("serial_reference", |b| {
+        b.iter(|| {
+            black_box(detect(
+                &index,
+                SimilarityMetric::Jaccard,
+                BestMatchPolicy::Union,
+            ))
+        })
+    });
+    group.bench_function("engine_sharded", |b| {
+        b.iter(|| black_box(engine.detect(&index)))
+    });
+    group.finish();
+}
+
 /// World generation itself (the dataset substitute).
 fn bench_worldgen(c: &mut Criterion) {
     c.bench_function("worldgen_small", |b| {
@@ -125,6 +210,6 @@ fn bench_worldgen(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_trie, bench_rib_lookup, bench_rov, bench_scan, bench_worldgen
+    targets = bench_trie, bench_rib_lookup, bench_rov, bench_scan, bench_batch_window, bench_worldgen
 );
 criterion_main!(benches);

@@ -29,6 +29,13 @@ impl RibArchive {
         self.snapshots.insert(date, Arc::new(rib));
     }
 
+    /// Stores an already-shared RIB for `date`. A table that does not
+    /// churn between snapshots can be entered at every month without
+    /// cloning the trie 49 times.
+    pub fn insert_shared(&mut self, date: MonthDate, rib: Arc<Rib>) {
+        self.snapshots.insert(date, rib);
+    }
+
     /// The RIB observed exactly at `date`.
     pub fn at(&self, date: MonthDate) -> Option<Arc<Rib>> {
         self.snapshots.get(&date).cloned()
@@ -83,6 +90,18 @@ mod tests {
             .unwrap();
         assert_eq!(r.primary_origin(), Asn(1));
         assert!(arch.at_or_before(MonthDate::new(2020, 8)).is_none());
+    }
+
+    #[test]
+    fn insert_shared_stores_one_table() {
+        let shared = Arc::new(rib_with(9));
+        let mut arch = RibArchive::new();
+        arch.insert_shared(MonthDate::new(2020, 9), shared.clone());
+        arch.insert_shared(MonthDate::new(2020, 10), shared.clone());
+        let a = arch.at(MonthDate::new(2020, 9)).unwrap();
+        let b = arch.at(MonthDate::new(2020, 10)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "both months share the same table");
+        assert!(Arc::ptr_eq(&a, &shared));
     }
 
     #[test]

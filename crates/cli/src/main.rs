@@ -5,9 +5,13 @@
 //! sibling-prefixes tune     [--seed N] [--v4 L] [--v6 L]
 //! sibling-prefixes publish  [--seed N] [--out FILE]
 //! sibling-prefixes audit    [--seed N]
+//! sibling-prefixes batch    --from YYYY-MM --to YYYY-MM [--seed N]
 //! sibling-prefixes run      [--seed N] [EXPERIMENT_ID ...]
 //! sibling-prefixes list
 //! ```
+//!
+//! Flags accept both `--key value` and `--key=value`. Every world-backed
+//! subcommand takes `--preset paper|small|tiny` (default `paper`).
 //!
 //! All subcommands operate on the deterministic synthetic world; plugging
 //! in real DNS/BGP data is a library-level operation (see README).
@@ -15,11 +19,14 @@
 use std::process::ExitCode;
 
 use sibling_analysis::{all_experiments, run_by_id, AnalysisContext};
+use sibling_core::longitudinal::compare;
 use sibling_core::tuner::more_specific::tune_more_specific;
-use sibling_core::SpTunerConfig;
+use sibling_core::{DetectEngine, EngineConfig, SpTunerConfig};
+use sibling_net_types::MonthDate;
 use sibling_worldgen::{World, WorldConfig};
 
-/// Minimal flag parser: `--key value` pairs plus positional arguments.
+/// Minimal flag parser: `--key value` / `--key=value` pairs plus
+/// positional arguments.
 struct Args {
     flags: Vec<(String, String)>,
     positional: Vec<String>,
@@ -32,10 +39,16 @@ impl Args {
         let mut it = raw.iter();
         while let Some(arg) = it.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
-                flags.push((key.to_string(), value.clone()));
+                // `--key=value` binds tighter than the next-argument form,
+                // so `--seed=7` is the flag `seed`, not a flag `seed=7`.
+                if let Some((key, value)) = key.split_once('=') {
+                    flags.push((key.to_string(), value.to_string()));
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                    flags.push((key.to_string(), value.clone()));
+                }
             } else {
                 positional.push(arg.clone());
             }
@@ -57,27 +70,52 @@ impl Args {
             Some(s) => s.parse().map_err(|_| format!("bad --seed {s:?}")),
         }
     }
+
+    fn config(&self) -> Result<WorldConfig, String> {
+        let seed = self.seed()?;
+        match self.get("preset").unwrap_or("paper") {
+            "paper" => Ok(WorldConfig::paper_scale(seed)),
+            "small" => Ok(WorldConfig::test_small(seed)),
+            "tiny" => Ok(WorldConfig::test_tiny(seed)),
+            other => Err(format!("unknown --preset {other:?}")),
+        }
+    }
+
+    fn month(&self, key: &str) -> Result<Option<MonthDate>, String> {
+        self.get(key)
+            .map(|s| s.parse().map_err(|e| format!("bad --{key}: {e}")))
+            .transpose()
+    }
 }
 
 fn usage() -> &'static str {
     "usage: sibling-prefixes <command> [options]\n\
+     \n\
+     flags accept --key value and --key=value; world-backed commands also\n\
+     take [--preset paper|small|tiny] (default paper)\n\
      \n\
      commands:\n\
      \x20 detect   detect sibling prefixes            [--seed N] [--level default|24-48|28-96] [--top K]\n\
      \x20 tune     run SP-Tuner at custom thresholds  [--seed N] [--v4 LEN] [--v6 LEN]\n\
      \x20 publish  write the sibling prefix list CSV  [--seed N] [--out FILE]\n\
      \x20 audit    RPKI/ROV audit of sibling pairs    [--seed N]\n\
+     \x20 batch    longitudinal window in one pass    --from YYYY-MM --to YYYY-MM [--seed N]\n\
      \x20 run      run experiments by id              [--seed N] [ID ...]\n\
      \x20 list     list all experiment ids\n"
 }
 
-fn context(seed: u64) -> AnalysisContext {
-    eprintln!("generating world (seed {seed})…");
-    AnalysisContext::new(World::generate(WorldConfig::paper_scale(seed)))
+fn context(args: &Args) -> Result<AnalysisContext, String> {
+    let config = args.config()?;
+    eprintln!(
+        "generating world (seed {}, preset {})…",
+        config.seed,
+        args.get("preset").unwrap_or("paper")
+    );
+    Ok(AnalysisContext::new(World::generate(config)))
 }
 
 fn cmd_detect(args: &Args) -> Result<(), String> {
-    let ctx = context(args.seed()?);
+    let ctx = context(args)?;
     let date = ctx.day0();
     let pairs = match args.get("level").unwrap_or("default") {
         "default" => ctx.default_pairs(date),
@@ -109,7 +147,7 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_tune(args: &Args) -> Result<(), String> {
-    let ctx = context(args.seed()?);
+    let ctx = context(args)?;
     let v4: u8 = args
         .get("v4")
         .unwrap_or("28")
@@ -143,7 +181,7 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_publish(args: &Args) -> Result<(), String> {
-    let ctx = context(args.seed()?);
+    let ctx = context(args)?;
     let out = args.get("out").unwrap_or("sibling-prefixes.csv");
     let date = ctx.day0();
     let pairs = ctx.tuned_pairs(date, SpTunerConfig::best());
@@ -163,7 +201,7 @@ fn cmd_publish(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_audit(args: &Args) -> Result<(), String> {
-    let ctx = context(args.seed()?);
+    let ctx = context(args)?;
     let date = ctx.day0();
     let pairs = ctx.default_pairs(date);
     let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
@@ -187,8 +225,68 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// One-pass longitudinal sweep: walks the snapshot window through
+/// [`DetectEngine::run_window`], reusing the domain interner, RIB archive
+/// and hash-consed set arena across months, and reports the per-month
+/// sibling sets plus their month-over-month deltas.
+fn cmd_batch(args: &Args) -> Result<(), String> {
+    let config = args.config()?;
+    let from = args.month("from")?.unwrap_or(config.start);
+    let to = args.month("to")?.unwrap_or(config.end);
+    if from < config.start || to > config.end {
+        return Err(format!(
+            "window {from}..{to} outside the world's {}..{}",
+            config.start, config.end
+        ));
+    }
+    eprintln!(
+        "generating world (seed {}, preset {})…",
+        config.seed,
+        args.get("preset").unwrap_or("paper")
+    );
+    let world = World::generate(config);
+    let archive = world.rib_archive();
+    let mut engine = DetectEngine::new(EngineConfig::default());
+    let run = engine.run_window(from, to, &archive, |date| {
+        std::sync::Arc::new(world.snapshot(date))
+    })?;
+
+    println!(
+        "{:<9} {:>7} {:>8} {:>8} {:>9} {:>6} {:>9} {:>8}",
+        "month", "pairs", "v4pfx", "v6pfx", "perfect%", "new", "unchanged", "changed"
+    );
+    let mut prev: Option<&sibling_core::SiblingSet> = None;
+    for (date, set) in &run.results {
+        let (v4, v6) = set.unique_prefix_counts();
+        let delta = prev.map(|old| compare(old, set));
+        let (new, unchanged, changed) = delta
+            .as_ref()
+            .map(|d| {
+                let (n, u, c, _) = d.counts();
+                (n.to_string(), u.to_string(), c.to_string())
+            })
+            .unwrap_or_else(|| ("-".into(), "-".into(), "-".into()));
+        println!(
+            "{date}   {:>7} {:>8} {:>8} {:>8.1}% {:>6} {:>9} {:>8}",
+            set.len(),
+            v4,
+            v6,
+            set.perfect_match_share() * 100.0,
+            new,
+            unchanged,
+            changed
+        );
+        prev = Some(set);
+    }
+    println!(
+        "\n{} months, {} pairs total; arena: {} distinct domain sets, {} dedup hits",
+        run.stats.months, run.stats.total_pairs, run.stats.distinct_sets, run.stats.dedup_hits
+    );
+    Ok(())
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
-    let ctx = context(args.seed()?);
+    let ctx = context(args)?;
     let ids: Vec<String> = if args.positional.is_empty() {
         all_experiments()
             .iter()
@@ -242,6 +340,7 @@ fn main() -> ExitCode {
         "tune" => cmd_tune(&args),
         "publish" => cmd_publish(&args),
         "audit" => cmd_audit(&args),
+        "batch" => cmd_batch(&args),
         "run" => cmd_run(&args),
         "list" => cmd_list(),
         "help" | "--help" | "-h" => {

@@ -1,0 +1,245 @@
+//! Hash-consed domain-set arena.
+//!
+//! Shared hosting makes identical per-prefix domain sets common: a CDN's
+//! many announced prefixes often carry exactly the same DS-domain set, and
+//! the same sets recur month after month in longitudinal runs. The arena
+//! interns every sorted, deduplicated `Vec<DomainId>` once:
+//!
+//! * equal sets share one allocation (`Arc<[DomainId]>`) and one
+//!   [`SetId`], so set equality is an integer comparison;
+//! * the scoring hot path short-circuits intersections of identical sets
+//!   (`|A ∩ A| = |A|`) without walking them;
+//! * a [`crate::engine::DetectEngine`] keeps one arena across a whole
+//!   snapshot window, so recurring sets are deduplicated across months,
+//!   not just within one index.
+//!
+//! Ids are assigned in first-intern order, which is deterministic because
+//! index construction iterates `BTreeMap`s.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+use sibling_dns::DomainId;
+
+/// Multiply-rotate hasher (the rustc `FxHash` recipe). Interning hashes
+/// every element of every group set on every index build, which makes
+/// SipHash's per-byte cost the dominant intern expense; domain ids are
+/// dense interner output, not attacker-controlled, so a fast
+/// non-keyed hash is the right trade. Also deterministic, so arena
+/// behaviour is reproducible across runs (no `RandomState`).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Identity of an interned domain set. Two handles carry the same id iff
+/// they denote exactly the same set contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SetId(u32);
+
+impl SetId {
+    /// The raw arena slot.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A handle to an interned set: the id plus a shared pointer to the
+/// elements, so holders can read the set without going through the arena.
+#[derive(Debug, Clone)]
+pub struct SetHandle {
+    id: SetId,
+    set: Arc<[DomainId]>,
+}
+
+impl SetHandle {
+    /// The set's identity.
+    pub fn id(&self) -> SetId {
+        self.id
+    }
+
+    /// The elements (sorted, deduplicated).
+    pub fn as_slice(&self) -> &[DomainId] {
+        &self.set
+    }
+
+    /// Intersection size with another interned set. Identical sets
+    /// short-circuit (`|A ∩ A| = |A|`) without touching the elements —
+    /// the hash-consing payoff for shared-hosting duplicates. Sharing is
+    /// detected by allocation (`Arc::ptr_eq`), so the check is safe even
+    /// across handles from different arenas; within one arena it is
+    /// equivalent to id equality.
+    pub fn intersection_size(&self, other: &SetHandle) -> u64 {
+        if Arc::ptr_eq(&self.set, &other.set) {
+            self.len() as u64
+        } else {
+            crate::metrics::intersection_size(self, other)
+        }
+    }
+}
+
+impl Deref for SetHandle {
+    type Target = [DomainId];
+
+    fn deref(&self) -> &[DomainId] {
+        &self.set
+    }
+}
+
+impl PartialEq for SetHandle {
+    /// Equality by shared allocation: within one arena this is exactly
+    /// id equality (hash-consing guarantees one `Arc` per distinct set),
+    /// and unlike raw id comparison it cannot confuse handles that come
+    /// from different arenas.
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.set, &other.set)
+    }
+}
+
+impl Eq for SetHandle {}
+
+/// The hash-consing arena.
+#[derive(Debug, Default)]
+pub struct SetArena {
+    /// Slot `id.index()` holds the interned set.
+    table: Vec<Arc<[DomainId]>>,
+    /// Contents → id (keys share the table's allocations).
+    map: HashMap<Arc<[DomainId]>, SetId, BuildHasherDefault<FxHasher>>,
+    /// Intern calls answered from the map instead of a new slot.
+    hits: u64,
+}
+
+impl SetArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a **sorted, deduplicated** set, returning its canonical
+    /// handle. Equal inputs always return handles with equal ids.
+    pub fn intern(&mut self, set: Vec<DomainId>) -> SetHandle {
+        debug_assert!(
+            set.windows(2).all(|w| w[0] < w[1]),
+            "set must be sorted+deduped"
+        );
+        if let Some(&id) = self.map.get(set.as_slice()) {
+            self.hits += 1;
+            return SetHandle {
+                id,
+                set: self.table[id.index()].clone(),
+            };
+        }
+        let id = SetId(u32::try_from(self.table.len()).expect("arena overflow"));
+        let arc: Arc<[DomainId]> = set.into();
+        self.table.push(arc.clone());
+        self.map.insert(arc.clone(), id);
+        SetHandle { id, set: arc }
+    }
+
+    /// The elements of an interned set.
+    pub fn get(&self, id: SetId) -> &[DomainId] {
+        &self.table[id.index()]
+    }
+
+    /// Number of distinct sets interned.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Intern calls that found an existing set (the dedup payoff).
+    pub fn dedup_hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<DomainId> {
+        v.iter().copied().map(DomainId).collect()
+    }
+
+    #[test]
+    fn identical_sets_share_id_and_allocation() {
+        let mut arena = SetArena::new();
+        let a = arena.intern(ids(&[1, 2, 3]));
+        let b = arena.intern(ids(&[1, 2, 3]));
+        let c = arena.intern(ids(&[1, 2, 4]));
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a, b);
+        assert_ne!(a.id(), c.id());
+        assert!(
+            Arc::ptr_eq(&a.set, &b.set),
+            "one allocation per distinct set"
+        );
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.dedup_hits(), 1);
+    }
+
+    #[test]
+    fn handles_read_back_contents() {
+        let mut arena = SetArena::new();
+        let h = arena.intern(ids(&[5, 9]));
+        assert_eq!(h.as_slice(), &ids(&[5, 9])[..]);
+        assert_eq!(&*h, arena.get(h.id()));
+        assert_eq!(h.len(), 2);
+        assert!(!arena.is_empty());
+    }
+
+    #[test]
+    fn empty_set_is_internable() {
+        let mut arena = SetArena::new();
+        let a = arena.intern(Vec::new());
+        let b = arena.intern(Vec::new());
+        assert_eq!(a.id(), b.id());
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,608 @@
+//! The sharded detection engine and longitudinal batch driver.
+//!
+//! [`crate::detect`] is the straightforward reference implementation of
+//! steps 3–4: one global candidate `BTreeSet`, one scoring pass, one
+//! best-match map. It is correct and easy to audit, but it is a single
+//! sequential walk and every caller pays full price per snapshot.
+//! [`DetectEngine`] restructures the same computation for scale without
+//! changing a single output bit:
+//!
+//! * **Sharding** — the IPv4 prefix groups are split into contiguous
+//!   shards. Each shard enumerates its candidate IPv6 counterparts via
+//!   the domain→prefix reverse map and scores them locally, producing its
+//!   own pair run and best-match maxima. Shard outcomes are reduced in
+//!   shard order, so the concatenated pair list equals the serial
+//!   `(v4, v6)`-ordered walk and the merged maxima equal the global maps.
+//!   Candidate enumeration is a *counting join*: the walk that finds the
+//!   candidates already yields every `|A ∩ B|`, so the per-pair merge
+//!   walk of the serial reference disappears from the hot path.
+//! * **Parallelism** — with the `parallel` feature the shards run on the
+//!   vendored work-stealing pool ([`sibling_executor::ThreadPool`]);
+//!   without it they run sequentially. Both paths are bit-identical by
+//!   construction (shard outputs are deterministic and reduction order is
+//!   fixed), which the property tests in this module enforce.
+//! * **Hash-consed sets** — the engine owns a [`SetArena`] shared by
+//!   every index it builds, so identical domain sets are stored once,
+//!   compare by id, and intersections of identical sets short-circuit
+//!   ([`SetHandle::intersection_size`]). Shared hosting makes such
+//!   duplicates common, and in longitudinal runs the same sets recur
+//!   every month.
+//! * **Batch driving** — [`DetectEngine::run_window`] walks a dated
+//!   snapshot window once, reusing the arena, the domain interner behind
+//!   it, and the [`RibArchive`] across months, instead of rebuilding
+//!   shared state per date as the per-snapshot entry points must.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use sibling_bgp::{Rib, RibArchive};
+use sibling_dns::DnsSnapshot;
+use sibling_net_types::{Ipv4Prefix, Ipv6Prefix, MonthDate};
+
+use crate::arena::{SetArena, SetHandle};
+use crate::index::PrefixDomainIndex;
+use crate::metrics::{Ratio, SimilarityMetric};
+use crate::pipeline::{BestMatchPolicy, SiblingPair, SiblingSet};
+
+/// Tuning knobs of a [`DetectEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// The similarity metric pairs are scored with.
+    pub metric: SimilarityMetric,
+    /// Which side's best matches constitute the sibling set.
+    pub policy: BestMatchPolicy,
+    /// Number of candidate shards; `0` sizes automatically (a small
+    /// multiple of the worker count, so stealing can balance skew).
+    pub shards: usize,
+    /// Worker threads for the `parallel` feature; `0` sizes to the
+    /// machine. Ignored (serial execution) without the feature.
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            metric: SimilarityMetric::Jaccard,
+            policy: BestMatchPolicy::Union,
+            shards: 0,
+            threads: 0,
+        }
+    }
+}
+
+/// Aggregate statistics of a batch run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchStats {
+    /// Snapshots processed.
+    pub months: usize,
+    /// Distinct domain sets in the arena after the run.
+    pub distinct_sets: usize,
+    /// Intern calls answered by an already-interned set (within and
+    /// across months — the hash-consing payoff).
+    pub dedup_hits: u64,
+    /// Total sibling pairs across all processed snapshots.
+    pub total_pairs: usize,
+}
+
+/// The result of a batch run: one sibling set per date, plus statistics.
+#[derive(Debug, Default)]
+pub struct BatchRun {
+    /// `(date, sibling set)` in input date order.
+    pub results: Vec<(MonthDate, SiblingSet)>,
+    /// Aggregate run statistics.
+    pub stats: BatchStats,
+}
+
+impl BatchRun {
+    /// The sibling set detected at `date`, if it was part of the run.
+    pub fn at(&self, date: MonthDate) -> Option<&SiblingSet> {
+        self.results
+            .iter()
+            .find(|(d, _)| *d == date)
+            .map(|(_, s)| s)
+    }
+}
+
+/// The sharded, arena-backed detection engine (see module docs).
+#[derive(Debug, Default)]
+pub struct DetectEngine {
+    config: EngineConfig,
+    arena: SetArena,
+}
+
+/// What one shard reports back: its pair run (already in `(v4, v6)`
+/// order) and its best-match maxima. IPv4 maxima are complete (shards
+/// partition the v4 prefixes); IPv6 maxima are partial and reduced by
+/// maximum across shards.
+struct ShardOutcome {
+    pairs: Vec<SiblingPair>,
+    best_v4: BTreeMap<Ipv4Prefix, Ratio>,
+    best_v6: BTreeMap<Ipv6Prefix, Ratio>,
+}
+
+impl DetectEngine {
+    /// An engine with the given configuration and an empty arena.
+    pub fn new(config: EngineConfig) -> Self {
+        Self {
+            config,
+            arena: SetArena::new(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The engine's set arena (shared by every index it built).
+    pub fn arena(&self) -> &SetArena {
+        &self.arena
+    }
+
+    /// Builds a snapshot index whose group sets are interned in the
+    /// engine's arena, sharing storage with every other index this
+    /// engine has built.
+    pub fn build_index(&mut self, snapshot: &DnsSnapshot, rib: &Rib) -> PrefixDomainIndex {
+        PrefixDomainIndex::build_with_arena(snapshot, rib, &mut self.arena)
+    }
+
+    /// Steps 3–4 over one index: sharded candidate generation and
+    /// scoring, then a best-match reduction. Output is bit-identical to
+    /// [`crate::detect`] with the same metric and policy.
+    pub fn detect(&self, index: &PrefixDomainIndex) -> SiblingSet {
+        let v4_groups: Vec<(Ipv4Prefix, &SetHandle)> =
+            index.group_sets::<u32>().map(|(p, h)| (*p, h)).collect();
+        if v4_groups.is_empty() {
+            return SiblingSet::default();
+        }
+
+        let shard_count = self.shard_count(v4_groups.len());
+        let chunk = v4_groups.len().div_ceil(shard_count);
+        let shards: Vec<&[(Ipv4Prefix, &SetHandle)]> = v4_groups.chunks(chunk).collect();
+        let metric = self.config.metric;
+        let outcomes = self.execute(&shards, |shard| score_shard(index, metric, shard));
+
+        // Reduce: v4 maxima are disjoint, v6 maxima merge by maximum,
+        // pair runs concatenate in shard (= v4 address) order.
+        let mut pairs: Vec<SiblingPair> = Vec::new();
+        let mut best_v4: BTreeMap<Ipv4Prefix, Ratio> = BTreeMap::new();
+        let mut best_v6: BTreeMap<Ipv6Prefix, Ratio> = BTreeMap::new();
+        for outcome in outcomes {
+            pairs.extend(outcome.pairs);
+            best_v4.extend(outcome.best_v4);
+            for (p6, r) in outcome.best_v6 {
+                best_v6
+                    .entry(p6)
+                    .and_modify(|cur| {
+                        if r > *cur {
+                            *cur = r;
+                        }
+                    })
+                    .or_insert(r);
+            }
+        }
+
+        let policy = self.config.policy;
+        SiblingSet::from_pairs(
+            pairs
+                .into_iter()
+                .filter(|p| crate::pipeline::best_match_keep(policy, &best_v4, &best_v6, p))
+                .collect(),
+        )
+    }
+
+    /// Walks the inclusive monthly window `from..=to` once: per month,
+    /// the RIB is taken from the archive (most recent at or before the
+    /// date), the snapshot from `snapshot_of`, and detection runs over an
+    /// index interned in the shared arena.
+    pub fn run_window<S>(
+        &mut self,
+        from: MonthDate,
+        to: MonthDate,
+        archive: &RibArchive,
+        snapshot_of: S,
+    ) -> Result<BatchRun, String>
+    where
+        S: FnMut(MonthDate) -> Arc<DnsSnapshot>,
+    {
+        if from > to {
+            return Err(format!("empty window: {from} is after {to}"));
+        }
+        self.run_dates(&from.range_to(to), archive, snapshot_of)
+    }
+
+    /// [`DetectEngine::run_window`] over an explicit date list (the
+    /// experiment drivers' sparse reference offsets).
+    pub fn run_dates<S>(
+        &mut self,
+        dates: &[MonthDate],
+        archive: &RibArchive,
+        mut snapshot_of: S,
+    ) -> Result<BatchRun, String>
+    where
+        S: FnMut(MonthDate) -> Arc<DnsSnapshot>,
+    {
+        let mut run = BatchRun::default();
+        for &date in dates {
+            let rib = archive
+                .at_or_before(date)
+                .ok_or_else(|| format!("no RIB snapshot at or before {date}"))?;
+            let snapshot = snapshot_of(date);
+            let index = self.build_index(&snapshot, &rib);
+            let set = self.detect(&index);
+            run.stats.total_pairs += set.len();
+            run.results.push((date, set));
+        }
+        run.stats.months = dates.len();
+        run.stats.distinct_sets = self.arena.len();
+        run.stats.dedup_hits = self.arena.dedup_hits();
+        Ok(run)
+    }
+
+    /// Effective shard count for `groups` v4 prefix groups.
+    fn shard_count(&self, groups: usize) -> usize {
+        let configured = if self.config.shards > 0 {
+            self.config.shards
+        } else {
+            // A few shards per worker lets the pool steal around skewed
+            // candidate distributions; serially it only affects the
+            // chunking, not the result.
+            self.workers() * 4
+        };
+        configured.clamp(1, groups)
+    }
+
+    #[cfg(feature = "parallel")]
+    fn workers(&self) -> usize {
+        sibling_executor::ThreadPool::with_threads(self.config.threads).threads()
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn workers(&self) -> usize {
+        1
+    }
+
+    /// Runs `f` over every shard, in parallel when the feature is on.
+    /// Outcome order always equals shard order.
+    #[cfg(feature = "parallel")]
+    fn execute<'a, F>(
+        &self,
+        shards: &[&'a [(Ipv4Prefix, &'a SetHandle)]],
+        f: F,
+    ) -> Vec<ShardOutcome>
+    where
+        F: Fn(&'a [(Ipv4Prefix, &'a SetHandle)]) -> ShardOutcome + Sync,
+    {
+        sibling_executor::ThreadPool::with_threads(self.config.threads)
+            .map(shards, |_, shard| f(shard))
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn execute<'a, F>(
+        &self,
+        shards: &[&'a [(Ipv4Prefix, &'a SetHandle)]],
+        f: F,
+    ) -> Vec<ShardOutcome>
+    where
+        F: Fn(&'a [(Ipv4Prefix, &'a SetHandle)]) -> ShardOutcome + Sync,
+    {
+        shards.iter().map(|shard| f(shard)).collect()
+    }
+}
+
+/// Scores one shard of IPv4 prefix groups against their candidate IPv6
+/// counterparts (domain co-occurrence via the reverse map).
+///
+/// Candidate enumeration doubles as intersection computation: every
+/// domain `d` of the v4 group contributes one count to each IPv6 prefix
+/// it resolves into, so after the walk `counts[p6]` **is**
+/// `|A ∩ B|` (the reverse-map lists are deduplicated). The per-pair
+/// merge walk the serial reference pays — `O(|A| + |B|)` per candidate —
+/// disappears entirely; scoring a pair costs one map entry.
+fn score_shard(
+    index: &PrefixDomainIndex,
+    metric: SimilarityMetric,
+    groups: &[(Ipv4Prefix, &SetHandle)],
+) -> ShardOutcome {
+    let mut pairs = Vec::new();
+    let mut best_v4 = BTreeMap::new();
+    let mut best_v6: BTreeMap<Ipv6Prefix, Ratio> = BTreeMap::new();
+    let mut counts: BTreeMap<Ipv6Prefix, u64> = BTreeMap::new();
+    for (p4, a) in groups {
+        counts.clear();
+        for d in a.iter() {
+            if let Some(v6_prefixes) = index.prefixes_of_domain::<u128>(*d) {
+                for p6 in v6_prefixes {
+                    *counts.entry(*p6).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut local_best = Ratio::ZERO;
+        for (&p6, &shared) in &counts {
+            let b = index.set_of(&p6).expect("candidate v6 prefix indexed");
+            debug_assert_eq!(
+                shared,
+                a.intersection_size(b),
+                "counting join = intersection"
+            );
+            let similarity = metric.from_parts(shared, a.len() as u64, b.len() as u64);
+            if similarity.is_zero() {
+                continue;
+            }
+            if similarity > local_best {
+                local_best = similarity;
+            }
+            best_v6
+                .entry(p6)
+                .and_modify(|cur| {
+                    if similarity > *cur {
+                        *cur = similarity;
+                    }
+                })
+                .or_insert(similarity);
+            pairs.push(SiblingPair {
+                v4: *p4,
+                v6: p6,
+                similarity,
+                shared_domains: shared,
+                v4_domains: a.len() as u64,
+                v6_domains: b.len() as u64,
+            });
+        }
+        if !local_best.is_zero() {
+            best_v4.insert(*p4, local_best);
+        }
+    }
+    ShardOutcome {
+        pairs,
+        best_v4,
+        best_v6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::detect;
+    use sibling_bgp::Rib;
+    use sibling_dns::DomainId;
+    use sibling_net_types::Asn;
+
+    fn a4(s: &str) -> u32 {
+        s.parse::<std::net::Ipv4Addr>().unwrap().into()
+    }
+
+    fn a6(s: &str) -> u128 {
+        s.parse::<std::net::Ipv6Addr>().unwrap().into()
+    }
+
+    fn p4(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn p6(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    /// A small two-org fixture with an identical-set (perfect-match) pair.
+    fn fixture() -> (DnsSnapshot, Rib) {
+        let mut rib = Rib::new();
+        rib.announce(p4("203.0.0.0/16"), Asn(1));
+        rib.announce(p4("198.51.0.0/16"), Asn(2));
+        rib.announce(p6("2600:1::/32"), Asn(1));
+        rib.announce(p6("2600:2::/32"), Asn(2));
+        let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
+        snap.merge(DomainId(1), vec![a4("203.0.1.1")], vec![a6("2600:1::1")]);
+        snap.merge(DomainId(3), vec![a4("203.0.1.3")], vec![a6("2600:1::3")]);
+        snap.merge(DomainId(2), vec![a4("203.0.1.2")], vec![a6("2600:2::2")]);
+        snap.merge(DomainId(4), vec![a4("198.51.1.4")], vec![a6("2600:2::4")]);
+        (snap, rib)
+    }
+
+    fn assert_sets_equal(got: &SiblingSet, want: &SiblingSet) {
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert_eq!((g.v4, g.v6), (w.v4, w.v6));
+            assert_eq!(g.similarity, w.similarity);
+            assert_eq!(g.shared_domains, w.shared_domains);
+            assert_eq!(g.v4_domains, w.v4_domains);
+            assert_eq!(g.v6_domains, w.v6_domains);
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_detect() {
+        let (snap, rib) = fixture();
+        for policy in [
+            BestMatchPolicy::Union,
+            BestMatchPolicy::V4Side,
+            BestMatchPolicy::V6Side,
+        ] {
+            for metric in [
+                SimilarityMetric::Jaccard,
+                SimilarityMetric::Dice,
+                SimilarityMetric::Overlap,
+            ] {
+                for shards in [0, 1, 3, 64] {
+                    let mut engine = DetectEngine::new(EngineConfig {
+                        metric,
+                        policy,
+                        shards,
+                        threads: 2,
+                    });
+                    let index = engine.build_index(&snap, &rib);
+                    let got = engine.detect(&index);
+                    let want = detect(&index, metric, policy);
+                    assert_sets_equal(&got, &want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index_detects_nothing() {
+        let engine = DetectEngine::default();
+        let set = engine.detect(&PrefixDomainIndex::default());
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn identical_sets_short_circuit_to_perfect_match() {
+        // One org whose v4 and v6 prefixes carry exactly the same set:
+        // interning makes their handles share an id and the scorer's
+        // short-circuit must still yield the exact intersection.
+        let mut rib = Rib::new();
+        rib.announce(p4("203.0.0.0/16"), Asn(1));
+        rib.announce(p6("2600:1::/32"), Asn(1));
+        let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
+        for d in 0..5u32 {
+            snap.merge(
+                DomainId(d),
+                vec![a4("203.0.1.1") + d],
+                vec![a6("2600:1::1") + d as u128],
+            );
+        }
+        let mut engine = DetectEngine::default();
+        let index = engine.build_index(&snap, &rib);
+        let a = index.set_of(&p4("203.0.0.0/16")).unwrap();
+        let b = index.set_of(&p6("2600:1::/32")).unwrap();
+        assert_eq!(a.id(), b.id());
+        let set = engine.detect(&index);
+        assert_eq!(set.len(), 1);
+        let pair = set.iter().next().unwrap();
+        assert!(pair.similarity.is_one());
+        assert_eq!(pair.shared_domains, 5);
+    }
+
+    #[test]
+    fn run_window_equals_per_date_detect() {
+        // Three months with shifting assignments; the batch driver must
+        // reproduce the per-date pipeline exactly while sharing one
+        // arena across the months.
+        let (snap0, rib) = fixture();
+        let mut archive = RibArchive::new();
+        archive.insert(MonthDate::new(2024, 7), rib.clone());
+
+        let mut snap1 = DnsSnapshot::new(MonthDate::new(2024, 8));
+        snap1.merge(DomainId(1), vec![a4("203.0.1.1")], vec![a6("2600:1::1")]);
+        snap1.merge(DomainId(4), vec![a4("198.51.1.4")], vec![a6("2600:2::4")]);
+        let mut snap2 = DnsSnapshot::new(MonthDate::new(2024, 9));
+        snap2.merge(DomainId(2), vec![a4("203.0.1.2")], vec![a6("2600:2::2")]);
+        let snaps: BTreeMap<MonthDate, Arc<DnsSnapshot>> = [
+            (MonthDate::new(2024, 7), Arc::new(snap0)),
+            (MonthDate::new(2024, 8), Arc::new(snap1)),
+            (MonthDate::new(2024, 9), Arc::new(snap2)),
+        ]
+        .into_iter()
+        .collect();
+
+        let mut engine = DetectEngine::default();
+        let run = engine
+            .run_window(
+                MonthDate::new(2024, 7),
+                MonthDate::new(2024, 9),
+                &archive,
+                |d| snaps[&d].clone(),
+            )
+            .unwrap();
+        assert_eq!(run.results.len(), 3);
+        assert_eq!(run.stats.months, 3);
+        assert!(run.stats.distinct_sets > 0);
+
+        for (date, snap) in &snaps {
+            let index = PrefixDomainIndex::build(snap, &rib);
+            let want = detect(&index, SimilarityMetric::Jaccard, BestMatchPolicy::Union);
+            assert_sets_equal(run.at(*date).unwrap(), &want);
+        }
+        assert!(run.at(MonthDate::new(2023, 1)).is_none());
+    }
+
+    #[test]
+    fn run_window_rejects_inverted_and_uncovered_windows() {
+        let mut engine = DetectEngine::default();
+        let archive = RibArchive::new();
+        let err = engine
+            .run_window(
+                MonthDate::new(2024, 9),
+                MonthDate::new(2024, 7),
+                &archive,
+                |d| Arc::new(DnsSnapshot::new(d)),
+            )
+            .unwrap_err();
+        assert!(err.contains("after"));
+        let err = engine
+            .run_window(
+                MonthDate::new(2024, 7),
+                MonthDate::new(2024, 7),
+                &archive,
+                |d| Arc::new(DnsSnapshot::new(d)),
+            )
+            .unwrap_err();
+        assert!(err.contains("no RIB"));
+    }
+
+    /// Property test: the sharded engine (any shard count) agrees with
+    /// the serial reference `detect` across random worlds, metrics and
+    /// policies — the bit-identity contract of the `parallel` feature.
+    #[test]
+    fn prop_engine_bit_identical_to_serial() {
+        use proptest::prelude::*;
+        use proptest::test_runner::TestRunner;
+        let mut runner = TestRunner::default();
+        let strategy = (
+            proptest::collection::vec((0u8..6, 0u8..6), 1..40),
+            0usize..5,
+            0u8..3,
+            0u8..3,
+        );
+        runner
+            .run(
+                &strategy,
+                |(assignments, shards, metric_pick, policy_pick)| {
+                    let metric = [
+                        SimilarityMetric::Jaccard,
+                        SimilarityMetric::Dice,
+                        SimilarityMetric::Overlap,
+                    ][metric_pick as usize];
+                    let policy = [
+                        BestMatchPolicy::Union,
+                        BestMatchPolicy::V4Side,
+                        BestMatchPolicy::V6Side,
+                    ][policy_pick as usize];
+                    let mut rib = Rib::new();
+                    for i in 0..6u32 {
+                        rib.announce(Ipv4Prefix::new(0xCB00_0000 | (i << 8), 24).unwrap(), Asn(i));
+                        rib.announce(
+                            Ipv6Prefix::new((0x2600u128 << 112) | ((i as u128) << 80), 48).unwrap(),
+                            Asn(i),
+                        );
+                    }
+                    let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
+                    for (d, (p4i, p6i)) in assignments.iter().enumerate() {
+                        snap.merge(
+                            DomainId(d as u32),
+                            vec![0xCB00_0000 | ((*p4i as u32) << 8) | (d as u32 % 250 + 1)],
+                            vec![(0x2600u128 << 112) | ((*p6i as u128) << 80) | (d as u128 + 1)],
+                        );
+                    }
+                    let mut engine = DetectEngine::new(EngineConfig {
+                        metric,
+                        policy,
+                        shards,
+                        threads: 3,
+                    });
+                    let index = engine.build_index(&snap, &rib);
+                    let got = engine.detect(&index);
+                    let want = detect(&index, metric, policy);
+                    prop_assert_eq!(got.len(), want.len());
+                    for (g, w) in got.iter().zip(want.iter()) {
+                        prop_assert_eq!((g.v4, g.v6), (w.v4, w.v6));
+                        prop_assert_eq!(g.similarity, w.similarity);
+                        prop_assert_eq!(g.shared_domains, w.shared_domains);
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+}

@@ -7,15 +7,20 @@ use sibling_dns::{DnsSnapshot, DomainId};
 use sibling_net_types::{AddressFamily, DualStack, FamilyMap, Prefix};
 use sibling_ptrie::PatriciaTrie;
 
+use crate::arena::{SetArena, SetHandle};
+
 /// The per-family half of the index: one instance per address family,
 /// composed into [`PrefixDomainIndex`] through a [`DualStack`].
 ///
-/// Domain sets are stored as **sorted, deduplicated `Vec<DomainId>`**
-/// (domain ids are already dense interner output), so pair scoring walks
-/// two sorted runs instead of probing `BTreeSet`s — the hot path of
-/// `detect()` allocates nothing per candidate pair.
+/// Domain sets are **sorted, deduplicated runs interned in a
+/// [`SetArena`]** (domain ids are already dense interner output), so pair
+/// scoring walks two sorted runs instead of probing `BTreeSet`s, equal
+/// sets share one allocation and compare by [`crate::arena::SetId`], and
+/// the hot path of `detect()` allocates nothing per candidate pair.
 pub struct FamilyIndex<F: AddressFamily> {
-    groups: BTreeMap<Prefix<F>, Vec<DomainId>>,
+    groups: BTreeMap<Prefix<F>, SetHandle>,
+    /// Raw per-prefix pushes, consumed by `finalize`.
+    pending: BTreeMap<Prefix<F>, Vec<DomainId>>,
     domain_prefixes: BTreeMap<DomainId, Vec<Prefix<F>>>,
     hosts: PatriciaTrie<F, Vec<DomainId>>,
     unmapped: usize,
@@ -25,6 +30,7 @@ impl<F: AddressFamily> Default for FamilyIndex<F> {
     fn default() -> Self {
         Self {
             groups: BTreeMap::new(),
+            pending: BTreeMap::new(),
             domain_prefixes: BTreeMap::new(),
             hosts: PatriciaTrie::new(),
             unmapped: 0,
@@ -37,7 +43,7 @@ impl<F: AddressFamily> FamilyIndex<F> {
     fn add(&mut self, domain: DomainId, addr: F, rib: &Rib) {
         match rib.lookup(addr) {
             Some(route) => {
-                self.groups.entry(route.prefix).or_default().push(domain);
+                self.pending.entry(route.prefix).or_default().push(domain);
                 self.domain_prefixes
                     .entry(domain)
                     .or_default()
@@ -56,11 +62,13 @@ impl<F: AddressFamily> FamilyIndex<F> {
 
     /// Restores the sorted-set invariant after the build loop's raw
     /// pushes (a domain with several addresses in one prefix would
-    /// otherwise leave duplicates).
-    fn finalize(&mut self) {
-        for set in self.groups.values_mut() {
+    /// otherwise leave duplicates) and hash-conses the group sets into
+    /// the arena.
+    fn finalize(&mut self, arena: &mut SetArena) {
+        for (prefix, mut set) in std::mem::take(&mut self.pending) {
             set.sort_unstable();
             set.dedup();
+            self.groups.insert(prefix, arena.intern(set));
         }
         for set in self.domain_prefixes.values_mut() {
             set.sort_unstable();
@@ -74,12 +82,23 @@ impl<F: AddressFamily> FamilyIndex<F> {
 
     /// The DS domains grouped under an announced prefix (sorted).
     pub fn domains(&self, prefix: &Prefix<F>) -> Option<&[DomainId]> {
-        self.groups.get(prefix).map(Vec::as_slice)
+        self.groups.get(prefix).map(|h| h.as_slice())
+    }
+
+    /// The interned set handle of an announced prefix's domain set.
+    pub fn set_of(&self, prefix: &Prefix<F>) -> Option<&SetHandle> {
+        self.groups.get(prefix)
     }
 
     /// All announced prefixes with their domain sets, in address order.
     pub fn groups(&self) -> impl Iterator<Item = (&Prefix<F>, &[DomainId])> {
         self.groups.iter().map(|(p, d)| (p, d.as_slice()))
+    }
+
+    /// All announced prefixes with their interned set handles, in
+    /// address order.
+    pub fn group_sets(&self) -> impl Iterator<Item = (&Prefix<F>, &SetHandle)> {
+        self.groups.iter()
     }
 
     /// The announced prefixes a domain resolves into (sorted).
@@ -143,6 +162,13 @@ impl FamilyMap for IndexSlots {
 /// Both families share the single [`FamilyIndex`] implementation; methods
 /// here are family-generic and infer `F` from their prefix argument (or
 /// take an explicit `::<u32>` / `::<u128>` where no argument names it).
+///
+/// Group sets are hash-consed: both families intern into **one**
+/// [`SetArena`], so a v4 prefix and a v6 prefix carrying exactly the same
+/// DS domains hold handles with the same [`crate::arena::SetId`] and the
+/// scorer can short-circuit their intersection. Passing a caller-owned
+/// arena to [`PrefixDomainIndex::build_with_arena`] extends the sharing
+/// across snapshots (the batch driver's memory win).
 #[derive(Default)]
 pub struct PrefixDomainIndex {
     families: DualStack<IndexSlots>,
@@ -150,13 +176,20 @@ pub struct PrefixDomainIndex {
 
 impl PrefixDomainIndex {
     /// Builds the index from a snapshot's dual-stack domains and the RIB
-    /// of the same date.
+    /// of the same date, interning group sets into a private arena.
     ///
     /// Addresses without a covering announcement are counted in
     /// [`PrefixDomainIndex::unmapped_counts`] and otherwise ignored,
     /// mirroring the ~1% of OpenINTEL records the paper backfills or
     /// drops.
     pub fn build(snapshot: &DnsSnapshot, rib: &Rib) -> Self {
+        Self::build_with_arena(snapshot, rib, &mut SetArena::new())
+    }
+
+    /// [`PrefixDomainIndex::build`] against a caller-owned arena, so
+    /// identical domain sets are shared across many indexes (e.g. the
+    /// months of a longitudinal window).
+    pub fn build_with_arena(snapshot: &DnsSnapshot, rib: &Rib, arena: &mut SetArena) -> Self {
         let mut index = Self::default();
         for (domain, addrs) in snapshot.ds_domains() {
             for &addr in &addrs.v4 {
@@ -166,8 +199,8 @@ impl PrefixDomainIndex {
                 index.families.v6.add(domain, addr, rib);
             }
         }
-        index.families.v4.finalize();
-        index.families.v6.finalize();
+        index.families.v4.finalize(arena);
+        index.families.v6.finalize(arena);
         index
     }
 
@@ -184,6 +217,17 @@ impl PrefixDomainIndex {
     /// All announced prefixes of family `F` with their domain sets.
     pub fn groups<F: AddressFamily>(&self) -> impl Iterator<Item = (&Prefix<F>, &[DomainId])> {
         self.family::<F>().groups()
+    }
+
+    /// All announced prefixes of family `F` with their interned set
+    /// handles (id + contents), in address order.
+    pub fn group_sets<F: AddressFamily>(&self) -> impl Iterator<Item = (&Prefix<F>, &SetHandle)> {
+        self.family::<F>().group_sets()
+    }
+
+    /// The interned set handle of an announced prefix's domain set.
+    pub fn set_of<F: AddressFamily>(&self, prefix: &Prefix<F>) -> Option<&SetHandle> {
+        self.family::<F>().set_of(prefix)
     }
 
     /// The announced prefixes a domain resolves into (sorted).
@@ -382,6 +426,46 @@ mod tests {
         let index = PrefixDomainIndex::build(&snap, &rib);
         assert_eq!(index.host_counts(), (1, 2));
         assert_eq!(index.domains_under(&p4("198.51.1.1/32")).len(), 2);
+    }
+
+    #[test]
+    fn arena_dedups_identical_domain_sets() {
+        // Shared hosting: two v4 prefixes and one v6 prefix all carry the
+        // same two-domain set → one interned set, shared by all three
+        // groups (across families), plus dedup hits recorded.
+        let mut rib = Rib::new();
+        rib.announce(p4("198.51.0.0/16"), Asn(1));
+        rib.announce(p4("203.0.0.0/16"), Asn(2));
+        rib.announce(p6("2600:1000::/32"), Asn(1));
+        let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
+        for d in [0u32, 1] {
+            snap.merge(
+                DomainId(d),
+                vec![
+                    a4(&format!("198.51.1.{}", d + 1)),
+                    a4(&format!("203.0.1.{}", d + 1)),
+                ],
+                vec![a6(&format!("2600:1000::{}", d + 1))],
+            );
+        }
+        let mut arena = crate::arena::SetArena::new();
+        let index = PrefixDomainIndex::build_with_arena(&snap, &rib, &mut arena);
+        let h1 = index.set_of(&p4("198.51.0.0/16")).unwrap();
+        let h2 = index.set_of(&p4("203.0.0.0/16")).unwrap();
+        let h6 = index.set_of(&p6("2600:1000::/32")).unwrap();
+        assert_eq!(h1.id(), h2.id(), "equal sets share one id");
+        assert_eq!(h1.id(), h6.id(), "interning is cross-family");
+        assert_eq!(arena.len(), 1, "one distinct set in the arena");
+        assert_eq!(arena.dedup_hits(), 2);
+
+        // A later snapshot with the same sets reuses the arena slots.
+        let again = PrefixDomainIndex::build_with_arena(&snap, &rib, &mut arena);
+        assert_eq!(arena.len(), 1, "cross-snapshot reuse adds no slots");
+        assert_eq!(
+            again.set_of(&p4("198.51.0.0/16")).unwrap().id(),
+            h1.id(),
+            "ids are stable across snapshots sharing an arena"
+        );
     }
 
     #[test]

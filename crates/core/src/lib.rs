@@ -19,6 +19,10 @@
 //!
 //! On top of detection sit:
 //!
+//! * [`engine`] — the sharded [`DetectEngine`]: hash-consed domain sets
+//!   ([`arena`]), per-shard scoring with optional work-stealing
+//!   parallelism (feature `parallel`, bit-identical serial fallback),
+//!   and the longitudinal batch driver ([`DetectEngine::run_window`]);
 //! * [`tuner`] — the SP-Tuner algorithm in both variants: more-specific
 //!   (Algorithm 1, the headline 52% → 82% perfect-match improvement) and
 //!   less-specific (Algorithm 2, the negative result of Appendix A.1);
@@ -30,6 +34,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
+pub mod engine;
 pub mod index;
 pub mod longitudinal;
 pub mod metrics;
@@ -38,6 +44,8 @@ pub mod setpairs;
 pub mod stability;
 pub mod tuner;
 
+pub use arena::{SetArena, SetHandle, SetId};
+pub use engine::{BatchRun, BatchStats, DetectEngine, EngineConfig};
 pub use index::PrefixDomainIndex;
 pub use metrics::{dice, intersection_size, jaccard, overlap_coefficient, Ratio, SimilarityMetric};
 pub use pipeline::{detect, BestMatchPolicy, SiblingPair, SiblingSet};

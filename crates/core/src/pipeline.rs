@@ -2,7 +2,6 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use sibling_dns::DomainId;
 use sibling_net_types::{Ipv4Prefix, Ipv6Prefix};
 
 use crate::index::PrefixDomainIndex;
@@ -127,28 +126,39 @@ impl SiblingSet {
     }
 }
 
-/// Scores one candidate pair over two sorted, deduplicated domain sets.
-fn score_pair(
-    metric: SimilarityMetric,
-    v4: Ipv4Prefix,
-    v6: Ipv6Prefix,
-    a: &[DomainId],
-    b: &[DomainId],
-) -> SiblingPair {
-    let shared = crate::metrics::intersection_size(a, b);
-    let similarity = metric.from_parts(shared, a.len() as u64, b.len() as u64);
-    SiblingPair {
-        v4,
-        v6,
-        similarity,
-        shared_domains: shared,
-        v4_domains: a.len() as u64,
-        v6_domains: b.len() as u64,
+/// Whether `pair` survives best-match selection under `policy`, given
+/// the per-side similarity maxima. Shared by the serial reference
+/// [`detect`] and the sharded [`crate::engine::DetectEngine`] so the two
+/// paths cannot drift apart on tie or zero handling.
+pub(crate) fn best_match_keep(
+    policy: BestMatchPolicy,
+    best_v4: &BTreeMap<Ipv4Prefix, crate::metrics::Ratio>,
+    best_v6: &BTreeMap<Ipv6Prefix, crate::metrics::Ratio>,
+    p: &SiblingPair,
+) -> bool {
+    let is_best_v4 = best_v4
+        .get(&p.v4)
+        .is_some_and(|r| p.similarity.cmp(r).is_eq());
+    let is_best_v6 = best_v6
+        .get(&p.v6)
+        .is_some_and(|r| p.similarity.cmp(r).is_eq());
+    match policy {
+        BestMatchPolicy::Union => is_best_v4 || is_best_v6,
+        BestMatchPolicy::V4Side => is_best_v4,
+        BestMatchPolicy::V6Side => is_best_v6,
     }
 }
 
 /// Runs steps 3–4: scores every candidate (v4, v6) prefix pair that shares
 /// at least one DS domain, then keeps the best match(es) per prefix.
+///
+/// This is the **serial reference implementation**: one global candidate
+/// set, merge-walk intersections, one best-match pass — easy to audit and
+/// the oracle the property tests compare against. The scale path is
+/// [`crate::engine::DetectEngine::detect`], which restructures the same
+/// computation into shards with a counting join and (optionally) runs
+/// them on the vendored thread pool; its output is bit-identical to this
+/// function's.
 ///
 /// Candidates are scored against the index's interned sorted
 /// `Vec<DomainId>` domain sets with a merge-walk intersection, so scoring
@@ -177,9 +187,20 @@ pub fn detect(
     let scored: Vec<SiblingPair> = candidates
         .into_iter()
         .map(|(p4, p6)| {
-            let a = index.domains(&p4).expect("candidate v4 prefix indexed");
-            let b = index.domains(&p6).expect("candidate v6 prefix indexed");
-            score_pair(metric, p4, p6, a, b)
+            let a = index.set_of(&p4).expect("candidate v4 prefix indexed");
+            let b = index.set_of(&p6).expect("candidate v6 prefix indexed");
+            // Hash-consed sets: identical sets share an id and their
+            // intersection short-circuits to the set length.
+            let shared = a.intersection_size(b);
+            let similarity = metric.from_parts(shared, a.len() as u64, b.len() as u64);
+            SiblingPair {
+                v4: p4,
+                v6: p6,
+                similarity,
+                shared_domains: shared,
+                v4_domains: a.len() as u64,
+                v6_domains: b.len() as u64,
+            }
         })
         .filter(|p| !p.similarity.is_zero())
         .collect();
@@ -206,29 +227,40 @@ pub fn detect(
             .or_insert(p.similarity);
     }
 
-    let keep = |p: &SiblingPair| -> bool {
-        let is_best_v4 = best_v4
-            .get(&p.v4)
-            .is_some_and(|r| p.similarity.cmp(r).is_eq());
-        let is_best_v6 = best_v6
-            .get(&p.v6)
-            .is_some_and(|r| p.similarity.cmp(r).is_eq());
-        match policy {
-            BestMatchPolicy::Union => is_best_v4 || is_best_v6,
-            BestMatchPolicy::V4Side => is_best_v4,
-            BestMatchPolicy::V6Side => is_best_v6,
-        }
-    };
-
-    SiblingSet::from_pairs(scored.into_iter().filter(keep).collect())
+    SiblingSet::from_pairs(
+        scored
+            .into_iter()
+            .filter(|p| best_match_keep(policy, &best_v4, &best_v6, p))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use sibling_bgp::Rib;
-    use sibling_dns::DnsSnapshot;
+    use sibling_dns::{DnsSnapshot, DomainId};
     use sibling_net_types::{Asn, MonthDate};
+
+    /// Brute-force pair scoring over raw slices (the test oracle).
+    fn score_pair(
+        metric: SimilarityMetric,
+        v4: Ipv4Prefix,
+        v6: Ipv6Prefix,
+        a: &[DomainId],
+        b: &[DomainId],
+    ) -> SiblingPair {
+        let shared = crate::metrics::intersection_size(a, b);
+        let similarity = metric.from_parts(shared, a.len() as u64, b.len() as u64);
+        SiblingPair {
+            v4,
+            v6,
+            similarity,
+            shared_domains: shared,
+            v4_domains: a.len() as u64,
+            v6_domains: b.len() as u64,
+        }
+    }
 
     fn a4(s: &str) -> u32 {
         s.parse::<std::net::Ipv4Addr>().unwrap().into()

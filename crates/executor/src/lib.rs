@@ -1,0 +1,173 @@
+//! A minimal work-stealing thread pool — the workspace's offline stand-in
+//! for `rayon`.
+//!
+//! The build environment has no registry access, so instead of pulling in
+//! rayon the detection engine vendors the ~150 lines it actually needs:
+//! an ordered [`ThreadPool::map`] over a slice of work items. The design
+//! follows the classic chunked work-stealing layout:
+//!
+//! * the item range is split into one contiguous chunk per worker;
+//! * every chunk has a shared atomic cursor; a worker drains its own
+//!   chunk front-to-back with `fetch_add`;
+//! * a worker whose chunk is exhausted scans the other chunks and steals
+//!   remaining indexes through the same cursor, so a shard that finishes
+//!   early helps with stragglers instead of idling.
+//!
+//! Threads are scoped (`std::thread::scope`), spawned per `map` call:
+//! there is no global pool state, no `'static` bound on the closure, and
+//! a panicking task propagates to the caller at join. For the workloads
+//! this crate serves (hundreds of shards, each milliseconds of scoring)
+//! the per-call spawn cost is noise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width pool of worker threads executing ordered map operations.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThreadPool {
+    /// A pool sized to the machine (`available_parallelism`, min 1).
+    pub fn new() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// A pool with an explicit worker count; `0` means auto-size.
+    pub fn with_threads(threads: usize) -> Self {
+        if threads == 0 {
+            Self::new()
+        } else {
+            Self { threads }
+        }
+    }
+
+    /// Number of worker threads `map` will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, returning outputs in item order.
+    ///
+    /// `f` receives `(index, &item)`. Output order is deterministic and
+    /// independent of scheduling; only wall-clock varies between runs.
+    pub fn map<I, O, F>(&self, items: &[I], f: F) -> Vec<O>
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(usize, &I) -> O + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        }
+
+        // One contiguous chunk per worker, each with a shared cursor.
+        let chunk = items.len().div_ceil(workers);
+        let bounds: Vec<(usize, usize)> = (0..workers)
+            .map(|w| (w * chunk, ((w + 1) * chunk).min(items.len())))
+            .collect();
+        let cursors: Vec<AtomicUsize> =
+            bounds.iter().map(|(lo, _)| AtomicUsize::new(*lo)).collect();
+
+        let mut collected: Vec<Vec<(usize, O)>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|me| {
+                    let bounds = &bounds;
+                    let cursors = &cursors;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, O)> = Vec::new();
+                        // Own chunk first, then steal from the others.
+                        for victim in (me..me + workers).map(|v| v % workers) {
+                            let end = bounds[victim].1;
+                            loop {
+                                let idx = cursors[victim].fetch_add(1, Ordering::Relaxed);
+                                if idx >= end {
+                                    break;
+                                }
+                                local.push((idx, f(idx, &items[idx])));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                collected.push(handle.join().expect("executor worker panicked"));
+            }
+        });
+
+        let mut tagged: Vec<(usize, O)> = collected.into_iter().flatten().collect();
+        tagged.sort_by_key(|(i, _)| *i);
+        tagged.into_iter().map(|(_, o)| o).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let pool = ThreadPool::with_threads(7);
+        let out = pool.map(&items, |i, x| {
+            assert_eq!(i as u64, *x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = ThreadPool::new();
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.map(&empty, |_, x| *x).is_empty());
+        assert_eq!(pool.map(&[41u32], |_, x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn auto_sizing_and_explicit_threads() {
+        assert!(ThreadPool::new().threads() >= 1);
+        assert!(ThreadPool::with_threads(0).threads() >= 1);
+        assert_eq!(ThreadPool::with_threads(3).threads(), 3);
+    }
+
+    #[test]
+    fn uneven_work_is_stolen() {
+        // Front-loaded costs: without stealing the first worker would own
+        // nearly all the work; the result must still be correct.
+        let items: Vec<u64> = (0..64).collect();
+        let pool = ThreadPool::with_threads(4);
+        let out = pool.map(&items, |_, x| {
+            if *x < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            *x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let pool = ThreadPool::with_threads(16);
+        let out = pool.map(&[1u32, 2, 3], |_, x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+}

@@ -214,11 +214,12 @@ impl World {
     }
 
     /// A Routeviews-style archive with the RIB replicated at every
-    /// snapshot month.
+    /// snapshot month (one shared table, not 49 clones).
     pub fn rib_archive(&self) -> RibArchive {
+        let shared = std::sync::Arc::new(self.rib.clone());
         let mut archive = RibArchive::new();
         for month in self.config.months() {
-            archive.insert(month, self.rib.clone());
+            archive.insert_shared(month, shared.clone());
         }
         archive
     }

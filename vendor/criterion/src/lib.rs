@@ -4,12 +4,33 @@
 //! vendors the subset of criterion's API the bench suite uses:
 //! [`Criterion`] with `bench_function`/`benchmark_group`/`sample_size`,
 //! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
-//! macros. Timing is a plain wall-clock mean over `sample_size` iterations
-//! after a short warm-up — adequate for relative regression tracking, not
-//! for statistics-grade measurement.
+//! macros.
+//!
+//! Measurement mimics real criterion's shape at a fraction of the code:
+//!
+//! 1. **warm-up calibration** — the routine runs untimed until
+//!    [`WARM_UP_TARGET`] has elapsed (at least once), which both warms
+//!    caches/branch predictors and estimates the per-iteration cost;
+//! 2. **batched samples** — each of the `sample_size` samples times a
+//!    batch of iterations sized from the calibration so one sample spans
+//!    roughly [`SAMPLE_TARGET`], keeping clock quantisation out of
+//!    nanosecond-scale routines;
+//! 3. **trimmed mean** — the per-iteration sample values are sorted and
+//!    the top and bottom deciles dropped before averaging, so a stray
+//!    scheduler preemption does not masquerade as a regression.
 
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
+
+/// Untimed warm-up budget per benchmark.
+pub const WARM_UP_TARGET: Duration = Duration::from_millis(40);
+
+/// Intended wall-clock span of one timed sample.
+pub const SAMPLE_TARGET: Duration = Duration::from_micros(250);
+
+/// Cap on iterations per sample (guards against misestimated
+/// calibration on sub-nanosecond routines).
+pub const MAX_BATCH: u64 = 4096;
 
 /// Re-export matching `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
@@ -78,33 +99,83 @@ impl BenchmarkGroup<'_> {
 
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) {
     let mut bencher = Bencher {
-        iterations: sample_size as u64,
-        elapsed: Duration::ZERO,
+        samples: sample_size,
+        per_iter_ns: Vec::new(),
+        warm_up_iters: 0,
+        batch: 1,
     };
     f(&mut bencher);
-    let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iterations.max(1));
+    let trimmed = trimmed_mean(&mut bencher.per_iter_ns);
     println!(
-        "bench: {id:<48} {per_iter:>12} ns/iter ({} iters)",
-        bencher.iterations
+        "bench: {id:<48} {trimmed:>12} ns/iter (trimmed mean of {} samples x {} iters, {} warm-up)",
+        bencher.per_iter_ns.len(),
+        bencher.batch,
+        bencher.warm_up_iters,
     );
 }
 
-/// Times a closure over the configured number of iterations.
+/// Mean of the samples after dropping the top and bottom deciles
+/// (rounded up, so any sample set of ≥ 3 drops at least one from each
+/// end; 1–2 samples are averaged untrimmed). Sorts in place.
+fn trimmed_mean(samples: &mut [u128]) -> u128 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let trim = if samples.len() >= 3 {
+        samples.len().div_ceil(10).min((samples.len() - 1) / 2)
+    } else {
+        0
+    };
+    let kept = &samples[trim..samples.len() - trim];
+    kept.iter().sum::<u128>() / kept.len() as u128
+}
+
+/// Times a closure over calibrated, batched samples.
 pub struct Bencher {
-    iterations: u64,
-    elapsed: Duration,
+    samples: usize,
+    /// Per-iteration nanoseconds, one entry per timed sample.
+    per_iter_ns: Vec<u128>,
+    warm_up_iters: u64,
+    batch: u64,
 }
 
 impl Bencher {
-    /// Runs `routine` repeatedly, recording total elapsed wall time.
+    /// Runs `routine` through warm-up calibration, then times
+    /// `sample_size` batched samples (see module docs).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warm-up pass (not timed).
-        std_black_box(routine());
-        let start = Instant::now();
-        for _ in 0..self.iterations {
+        // Warm-up: run untimed until the budget elapses (≥ 1 run),
+        // measuring the per-iteration cost for batch sizing.
+        let warm_up_start = Instant::now();
+        let mut warm_up_iters = 0u64;
+        loop {
             std_black_box(routine());
+            warm_up_iters += 1;
+            if warm_up_start.elapsed() >= WARM_UP_TARGET {
+                break;
+            }
         }
-        self.elapsed = start.elapsed();
+        let per_iter_estimate = warm_up_start.elapsed().as_nanos() / u128::from(warm_up_iters);
+        self.warm_up_iters = warm_up_iters;
+
+        // Batch size: enough iterations that one sample spans the
+        // target, so the clock's granularity stays insignificant.
+        self.batch = SAMPLE_TARGET
+            .as_nanos()
+            .checked_div(per_iter_estimate)
+            .and_then(|n| u64::try_from(n).ok())
+            .unwrap_or(MAX_BATCH)
+            .clamp(1, MAX_BATCH);
+
+        self.per_iter_ns.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.batch {
+                std_black_box(routine());
+            }
+            self.per_iter_ns
+                .push(start.elapsed().as_nanos() / u128::from(self.batch));
+        }
     }
 }
 
@@ -134,4 +205,47 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trimmed_mean_drops_outliers() {
+        // A wild outlier must not shift the reported value.
+        let mut clean: Vec<u128> = (0..20).map(|_| 100).collect();
+        let mut dirty = clean.clone();
+        dirty[19] = 1_000_000;
+        assert_eq!(trimmed_mean(&mut clean), 100);
+        assert_eq!(trimmed_mean(&mut dirty), 100);
+    }
+
+    #[test]
+    fn trimmed_mean_small_inputs() {
+        assert_eq!(trimmed_mean(&mut []), 0);
+        assert_eq!(trimmed_mean(&mut [7]), 7);
+        assert_eq!(trimmed_mean(&mut [5, 15]), 10);
+        // Three samples: decile trim rounds up to one from each end.
+        assert_eq!(trimmed_mean(&mut [1, 10, 1000]), 10);
+    }
+
+    #[test]
+    fn bencher_calibrates_and_samples() {
+        let mut bencher = Bencher {
+            samples: 8,
+            per_iter_ns: Vec::new(),
+            warm_up_iters: 0,
+            batch: 0,
+        };
+        let mut runs = 0u64;
+        bencher.iter(|| {
+            runs += 1;
+            std::hint::black_box(runs)
+        });
+        assert!(bencher.warm_up_iters >= 1);
+        assert!(bencher.batch >= 1);
+        assert_eq!(bencher.per_iter_ns.len(), 8);
+        assert_eq!(runs, bencher.warm_up_iters + 8 * bencher.batch);
+    }
 }
