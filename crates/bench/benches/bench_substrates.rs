@@ -6,8 +6,12 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 
-use sibling_bench::{bench_context, fresh_world};
-use sibling_core::{detect, BestMatchPolicy, DetectEngine, PrefixDomainIndex, SimilarityMetric};
+use sibling_bench::{bench_context, fresh_world, low_churn_world};
+use sibling_core::{
+    detect, BestMatchPolicy, DetectEngine, EngineConfig, PrefixDomainIndex, SimilarityMetric,
+};
+use sibling_dns::{DnsSnapshot, SnapshotDelta};
+use sibling_executor::{scoped_map, ThreadPool};
 use sibling_net_types::Ipv4Prefix;
 use sibling_ptrie::PatriciaTrie;
 use sibling_scan::{ScanConfig, Scanner};
@@ -196,6 +200,106 @@ fn bench_batch_window(c: &mut Criterion) {
     group.finish();
 }
 
+/// Churn-scaled incremental detection: the same multi-month window, once
+/// with per-month full rebuilds (index + all shards rescored every
+/// month, `incremental: false`) and once incrementally (snapshot deltas,
+/// in-place index patching, dirty-shard rescoring). Snapshots are
+/// pre-generated outside the timed region so both variants measure
+/// engine work, not worldgen; the printed churn rate shows how little of
+/// each month the incremental path has to touch. Outputs are
+/// bit-identical (property-tested in `sibling-core`); only the cost
+/// model differs.
+fn bench_incremental_window(c: &mut Criterion) {
+    let months = 24i32;
+    let world = low_churn_world(2024);
+    let day0 = world.config.end;
+    let from = day0.add_months(-(months - 1));
+    let dates = from.range_to(day0);
+    let archive = world.rib_archive();
+    let snaps: Vec<Arc<DnsSnapshot>> = dates.iter().map(|d| Arc::new(world.snapshot(*d))).collect();
+    {
+        let domains: usize = snaps.iter().map(|s| s.domain_count()).sum::<usize>() / snaps.len();
+        let churn: usize = snaps
+            .windows(2)
+            .map(|w| SnapshotDelta::diff(&w[0], &w[1]).churn())
+            .sum::<usize>()
+            / (snaps.len() - 1);
+        println!(
+            "[incr] {} months, ~{domains} domains/month, ~{churn} changed/month ({:.1}% turnover)",
+            dates.len(),
+            churn as f64 / domains as f64 * 100.0
+        );
+        let mut engine = DetectEngine::default();
+        let run = engine
+            .run_window(from, day0, &archive, |d| {
+                snaps[d.months_since(&from).max(0) as usize].clone()
+            })
+            .unwrap();
+        let (dirty, total): (usize, usize) = run.churn[1..]
+            .iter()
+            .fold((0, 0), |(d, t), c| (d + c.dirty_shards, t + c.total_shards));
+        println!(
+            "[incr] {} pairs; post-seed months rescored {dirty}/{total} shards ({:.1}%), {} sets recycled",
+            run.stats.total_pairs,
+            dirty as f64 / total.max(1) as f64 * 100.0,
+            run.stats.recycled_sets
+        );
+    }
+    let snapshot_of =
+        |d: sibling_net_types::MonthDate| snaps[d.months_since(&from).max(0) as usize].clone();
+
+    let mut group = c.benchmark_group("incremental_window");
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| {
+            let mut engine = DetectEngine::new(EngineConfig {
+                incremental: false,
+                ..EngineConfig::default()
+            });
+            let run = engine
+                .run_window(from, day0, &archive, snapshot_of)
+                .unwrap();
+            black_box(run.stats.total_pairs)
+        })
+    });
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut engine = DetectEngine::default();
+            let run = engine
+                .run_window(from, day0, &archive, snapshot_of)
+                .unwrap();
+            black_box(run.stats.total_pairs)
+        })
+    });
+    group.finish();
+}
+
+/// Dispatch cost of the two executor designs on small jobs: the
+/// persistent pool (workers parked on a condvar, fed through a queue)
+/// versus the previous per-call `std::thread::scope` spawning. The work
+/// per item is tiny on purpose — the benchmark isolates what it costs to
+/// *start* a parallel map, which is what the engine pays once per month
+/// per window.
+fn bench_pool_dispatch(c: &mut Criterion) {
+    let items: Vec<u64> = (0..256).collect();
+    let work = |_: usize, x: &u64| -> u64 {
+        let mut acc = *x;
+        for i in 0..32u64 {
+            acc = acc.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(7) ^ i;
+        }
+        acc
+    };
+    let threads = 4;
+    let pool = ThreadPool::with_threads(threads);
+    let mut group = c.benchmark_group("pool_dispatch");
+    group.bench_function("persistent", |b| {
+        b.iter(|| black_box(pool.map(&items, work)))
+    });
+    group.bench_function("scoped_spawn", |b| {
+        b.iter(|| black_box(scoped_map(threads, &items, work)))
+    });
+    group.finish();
+}
+
 /// World generation itself (the dataset substitute).
 fn bench_worldgen(c: &mut Criterion) {
     c.bench_function("worldgen_small", |b| {
@@ -210,6 +314,7 @@ fn bench_worldgen(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_trie, bench_rib_lookup, bench_rov, bench_scan, bench_batch_window, bench_worldgen
+    targets = bench_trie, bench_rib_lookup, bench_rov, bench_scan, bench_batch_window,
+    bench_incremental_window, bench_pool_dispatch, bench_worldgen
 );
 criterion_main!(benches);

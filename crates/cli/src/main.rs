@@ -5,7 +5,7 @@
 //! sibling-prefixes tune     [--seed N] [--v4 L] [--v6 L]
 //! sibling-prefixes publish  [--seed N] [--out FILE]
 //! sibling-prefixes audit    [--seed N]
-//! sibling-prefixes batch    --from YYYY-MM --to YYYY-MM [--seed N]
+//! sibling-prefixes batch    --from YYYY-MM --to YYYY-MM [--seed N] [--mode incremental|full]
 //! sibling-prefixes run      [--seed N] [EXPERIMENT_ID ...]
 //! sibling-prefixes list
 //! ```
@@ -99,7 +99,7 @@ fn usage() -> &'static str {
      \x20 tune     run SP-Tuner at custom thresholds  [--seed N] [--v4 LEN] [--v6 LEN]\n\
      \x20 publish  write the sibling prefix list CSV  [--seed N] [--out FILE]\n\
      \x20 audit    RPKI/ROV audit of sibling pairs    [--seed N]\n\
-     \x20 batch    longitudinal window in one pass    --from YYYY-MM --to YYYY-MM [--seed N]\n\
+     \x20 batch    longitudinal window in one pass    --from YYYY-MM --to YYYY-MM [--seed N] [--mode incremental|full]\n\
      \x20 run      run experiments by id              [--seed N] [ID ...]\n\
      \x20 list     list all experiment ids\n"
 }
@@ -229,6 +229,11 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
 /// [`DetectEngine::run_window`], reusing the domain interner, RIB archive
 /// and hash-consed set arena across months, and reports the per-month
 /// sibling sets plus their month-over-month deltas.
+///
+/// Detection output (stdout) is identical between `--mode=incremental`
+/// (the default: snapshot deltas, dirty-shard rescoring) and
+/// `--mode=full` (per-month rebuilds) — CI diffs the two. Churn and
+/// engine accounting go to stderr so the comparison stays clean.
 fn cmd_batch(args: &Args) -> Result<(), String> {
     let config = args.config()?;
     let from = args.month("from")?.unwrap_or(config.start);
@@ -239,6 +244,11 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
             config.start, config.end
         ));
     }
+    let incremental = match args.get("mode").unwrap_or("incremental") {
+        "incremental" => true,
+        "full" => false,
+        other => return Err(format!("unknown --mode {other:?} (incremental|full)")),
+    };
     eprintln!(
         "generating world (seed {}, preset {})…",
         config.seed,
@@ -246,7 +256,10 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     );
     let world = World::generate(config);
     let archive = world.rib_archive();
-    let mut engine = DetectEngine::new(EngineConfig::default());
+    let mut engine = DetectEngine::new(EngineConfig {
+        incremental,
+        ..EngineConfig::default()
+    });
     let run = engine.run_window(from, to, &archive, |date| {
         std::sync::Arc::new(world.snapshot(date))
     })?;
@@ -279,8 +292,46 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         prev = Some(set);
     }
     println!(
-        "\n{} months, {} pairs total; arena: {} distinct domain sets, {} dedup hits",
-        run.stats.months, run.stats.total_pairs, run.stats.distinct_sets, run.stats.dedup_hits
+        "\n{} months, {} pairs total",
+        run.stats.months, run.stats.total_pairs
+    );
+
+    // Engine accounting (stderr): per-month input churn and how little of
+    // the shard space the incremental path had to rescore.
+    eprintln!("\nchurn     +dom  -dom  ~dom  (eff)   shards rescored");
+    for churn in &run.churn {
+        if churn.full_rebuild {
+            let shards = if churn.total_shards == 0 {
+                // The non-incremental per-date pipeline does not shard by
+                // window; its chunking is internal to each detect call.
+                "per-date pipeline".to_string()
+            } else {
+                format!("{} shards", churn.total_shards)
+            };
+            eprintln!(
+                "{}  {:>5} {:>5} {:>5} {:>6}   full rebuild ({shards})",
+                churn.date, "-", "-", "-", "-"
+            );
+        } else {
+            eprintln!(
+                "{}  {:>5} {:>5} {:>5} {:>6}   {}/{} ({:.1}%)",
+                churn.date,
+                churn.added,
+                churn.removed,
+                churn.retargeted,
+                churn.changed_effective,
+                churn.dirty_shards,
+                churn.total_shards,
+                churn.rescored_share() * 100.0
+            );
+        }
+    }
+    eprintln!(
+        "arena: {} distinct domain sets, {} dedup hits, {} recycled; {} full rebuild(s)",
+        run.stats.distinct_sets,
+        run.stats.dedup_hits,
+        run.stats.recycled_sets,
+        run.stats.full_rebuilds
     );
     Ok(())
 }

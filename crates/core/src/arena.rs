@@ -141,14 +141,26 @@ impl PartialEq for SetHandle {
 impl Eq for SetHandle {}
 
 /// The hash-consing arena.
+///
+/// Slots are **recycled**: [`SetArena::update`] and [`SetArena::release`]
+/// detect sets no longer referenced by any outside handle (the arena
+/// itself holds exactly two references per live set — the table slot and
+/// the map key) and return their slots to a free list, so a long
+/// incremental run's arena tracks the *live* set population instead of
+/// growing with every set that ever existed.
 #[derive(Debug, Default)]
 pub struct SetArena {
-    /// Slot `id.index()` holds the interned set.
-    table: Vec<Arc<[DomainId]>>,
+    /// Slot `id.index()` holds the interned set; `None` marks a recycled
+    /// slot awaiting reuse.
+    table: Vec<Option<Arc<[DomainId]>>>,
     /// Contents → id (keys share the table's allocations).
     map: HashMap<Arc<[DomainId]>, SetId, BuildHasherDefault<FxHasher>>,
+    /// Recycled slots available for the next interns.
+    free: Vec<SetId>,
     /// Intern calls answered from the map instead of a new slot.
     hits: u64,
+    /// Dead handles whose slots were returned to the free list.
+    recycled: u64,
 }
 
 impl SetArena {
@@ -158,7 +170,9 @@ impl SetArena {
     }
 
     /// Interns a **sorted, deduplicated** set, returning its canonical
-    /// handle. Equal inputs always return handles with equal ids.
+    /// handle. Equal inputs always return handles with equal ids (for as
+    /// long as the set stays live — a recycled slot's id may be reissued
+    /// to different contents later).
     pub fn intern(&mut self, set: Vec<DomainId>) -> SetHandle {
         debug_assert!(
             set.windows(2).all(|w| w[0] < w[1]),
@@ -168,34 +182,80 @@ impl SetArena {
             self.hits += 1;
             return SetHandle {
                 id,
-                set: self.table[id.index()].clone(),
+                set: self.table[id.index()]
+                    .as_ref()
+                    .expect("mapped set is live")
+                    .clone(),
             };
         }
-        let id = SetId(u32::try_from(self.table.len()).expect("arena overflow"));
         let arc: Arc<[DomainId]> = set.into();
-        self.table.push(arc.clone());
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.table[id.index()] = Some(arc.clone());
+                id
+            }
+            None => {
+                let id = SetId(u32::try_from(self.table.len()).expect("arena overflow"));
+                self.table.push(Some(arc.clone()));
+                id
+            }
+        };
         self.map.insert(arc.clone(), id);
         SetHandle { id, set: arc }
     }
 
-    /// The elements of an interned set.
+    /// Re-conses a mutated set: interns `set` (reusing a live duplicate
+    /// or a recycled slot) and releases `old`, recycling its slot if no
+    /// other handle still refers to it. This is the incremental index's
+    /// primitive — a group whose membership changed swaps its handle
+    /// without leaking the previous contents.
+    pub fn update(&mut self, old: SetHandle, set: Vec<DomainId>) -> SetHandle {
+        let new = self.intern(set);
+        self.release(old);
+        new
+    }
+
+    /// Drops a handle, recycling its slot when it was the last reference
+    /// outside the arena. Callers must not use the handle's [`SetId`]
+    /// afterwards (a recycled id may be reissued).
+    pub fn release(&mut self, handle: SetHandle) {
+        let SetHandle { id, set } = handle;
+        // The arena holds two references (table slot + map key); `set` is
+        // the third. Exactly three means no outside handle remains.
+        if Arc::strong_count(&set) == 3 {
+            self.map.remove(&*set);
+            self.table[id.index()] = None;
+            self.free.push(id);
+            self.recycled += 1;
+        }
+    }
+
+    /// The elements of a live interned set.
     pub fn get(&self, id: SetId) -> &[DomainId] {
-        &self.table[id.index()]
+        self.table[id.index()]
+            .as_deref()
+            .expect("set id refers to a live set")
     }
 
-    /// Number of distinct sets interned.
+    /// Number of distinct live sets.
     pub fn len(&self) -> usize {
-        self.table.len()
+        self.table.len() - self.free.len()
     }
 
-    /// Whether nothing has been interned.
+    /// Whether no live set is interned.
     pub fn is_empty(&self) -> bool {
-        self.table.is_empty()
+        self.len() == 0
     }
 
     /// Intern calls that found an existing set (the dedup payoff).
     pub fn dedup_hits(&self) -> u64 {
         self.hits
+    }
+
+    /// Dead handles whose slots were returned to the free list (the
+    /// incremental-update payoff).
+    pub fn recycled_count(&self) -> u64 {
+        self.recycled
     }
 }
 
@@ -241,5 +301,71 @@ mod tests {
         let b = arena.intern(Vec::new());
         assert_eq!(a.id(), b.id());
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn update_recycles_dead_handles() {
+        let mut arena = SetArena::new();
+        let old = arena.intern(ids(&[1, 2, 3]));
+        let old_id = old.id();
+        // `old` is the only outside handle: updating it must free the slot.
+        let new = arena.update(old, ids(&[1, 2]));
+        assert_eq!(new.as_slice(), &ids(&[1, 2])[..]);
+        assert_eq!(arena.len(), 1, "dead set no longer counted");
+        assert_eq!(arena.recycled_count(), 1);
+        // The freed slot is reused by the next distinct intern.
+        let reused = arena.intern(ids(&[9]));
+        assert_eq!(reused.id(), old_id, "recycled slot is reissued");
+        assert_eq!(arena.len(), 2);
+        // And the old contents are gone from the map: re-interning them
+        // is a fresh slot, not a stale hit.
+        let hits_before = arena.dedup_hits();
+        let again = arena.intern(ids(&[1, 2, 3]));
+        assert_eq!(arena.dedup_hits(), hits_before);
+        assert_ne!(again.id(), new.id());
+    }
+
+    #[test]
+    fn update_keeps_sets_with_other_holders() {
+        let mut arena = SetArena::new();
+        let a = arena.intern(ids(&[1, 2]));
+        let b = arena.intern(ids(&[1, 2])); // second outside handle
+        let updated = arena.update(a, ids(&[1, 2, 3]));
+        assert_eq!(arena.recycled_count(), 0, "b still holds the set");
+        assert_eq!(arena.len(), 2);
+        assert_eq!(b.as_slice(), &ids(&[1, 2])[..]);
+        assert_ne!(updated.id(), b.id());
+        // Releasing the last holder recycles it.
+        arena.release(b);
+        assert_eq!(arena.recycled_count(), 1);
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn update_to_identical_contents_is_stable() {
+        let mut arena = SetArena::new();
+        let a = arena.intern(ids(&[4, 5]));
+        let id = a.id();
+        let b = arena.update(a, ids(&[4, 5]));
+        assert_eq!(b.id(), id, "no-op update keeps the id");
+        assert_eq!(arena.recycled_count(), 0);
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn release_then_reuse_many_times_stays_compact() {
+        let mut arena = SetArena::new();
+        let mut handle = arena.intern(ids(&[0]));
+        for k in 1..50u32 {
+            handle = arena.update(handle, ids(&[k]));
+            assert_eq!(arena.len(), 1, "exactly one live set throughout");
+        }
+        assert_eq!(arena.recycled_count(), 49);
+        assert!(
+            arena.table.len() <= 2,
+            "slot churn reuses the free list instead of growing the table"
+        );
+        arena.release(handle);
+        assert!(arena.is_empty());
     }
 }

@@ -1,4 +1,4 @@
-//! The sharded detection engine and longitudinal batch driver.
+//! The sharded detection engine and incremental longitudinal batch driver.
 //!
 //! [`crate::detect`] is the straightforward reference implementation of
 //! steps 3–4: one global candidate `BTreeSet`, one scoring pass, one
@@ -7,36 +7,58 @@
 //! [`DetectEngine`] restructures the same computation for scale without
 //! changing a single output bit:
 //!
-//! * **Sharding** — the IPv4 prefix groups are split into contiguous
-//!   shards. Each shard enumerates its candidate IPv6 counterparts via
-//!   the domain→prefix reverse map and scores them locally, producing its
-//!   own pair run and best-match maxima. Shard outcomes are reduced in
-//!   shard order, so the concatenated pair list equals the serial
-//!   `(v4, v6)`-ordered walk and the merged maxima equal the global maps.
+//! * **Sharding** — the IPv4 prefix groups are split into shards. Each
+//!   shard enumerates its candidate IPv6 counterparts via the
+//!   domain→prefix reverse map and scores them locally, producing its
+//!   own pair run and best-match maxima. Shard outcomes reduce into the
+//!   global pair set and maxima (v4 maxima are disjoint across shards,
+//!   v6 maxima merge by maximum), so the result equals the serial walk.
 //!   Candidate enumeration is a *counting join*: the walk that finds the
 //!   candidates already yields every `|A ∩ B|`, so the per-pair merge
 //!   walk of the serial reference disappears from the hot path.
 //! * **Parallelism** — with the `parallel` feature the shards run on the
-//!   vendored work-stealing pool ([`sibling_executor::ThreadPool`]);
-//!   without it they run sequentially. Both paths are bit-identical by
-//!   construction (shard outputs are deterministic and reduction order is
-//!   fixed), which the property tests in this module enforce.
+//!   vendored **persistent** work-stealing pool
+//!   ([`sibling_executor::ThreadPool`]), started once per engine and fed
+//!   through a queue, so per-month dispatch costs a wake-up instead of
+//!   thread spawns; without the feature they run sequentially. Both
+//!   paths are bit-identical by construction, which the property tests
+//!   in this module enforce.
 //! * **Hash-consed sets** — the engine owns a [`SetArena`] shared by
 //!   every index it builds, so identical domain sets are stored once,
-//!   compare by id, and intersections of identical sets short-circuit
-//!   ([`SetHandle::intersection_size`]). Shared hosting makes such
-//!   duplicates common, and in longitudinal runs the same sets recur
-//!   every month.
-//! * **Batch driving** — [`DetectEngine::run_window`] walks a dated
-//!   snapshot window once, reusing the arena, the domain interner behind
-//!   it, and the [`RibArchive`] across months, instead of rebuilding
-//!   shared state per date as the per-snapshot entry points must.
+//!   compare by id, and intersections of identical sets short-circuit.
+//! * **Incremental batch driving** — [`DetectEngine::run_window`] walks
+//!   a dated snapshot window with cost proportional to **churn**, not
+//!   snapshot size. Consecutive snapshots are diffed
+//!   ([`sibling_dns::SnapshotDelta`]), the previous month's index is
+//!   patched in place ([`crate::PrefixDomainIndex::apply_delta`],
+//!   recycling dead arena sets), and only *dirty* shards — those whose
+//!   IPv4 groups or candidate IPv6 prefixes the delta touched — are
+//!   rescored; clean shards reuse their cached pair runs and maxima from
+//!   the previous month. With the `parallel` feature the next month's
+//!   snapshot and delta are prefetched on the pool while the current
+//!   month scores. A changed RIB (compared by `Arc` identity) or
+//!   [`EngineConfig::incremental`]` = false` falls back to the full
+//!   rebuild path, which is also the oracle the property tests compare
+//!   bit-for-bit against across churn rates from 0% to full turnover.
+//!
+//! # Why clean shards may be reused
+//!
+//! A shard's outcome is a pure function of (a) its IPv4 groups' interned
+//! sets, (b) the v6 prefix lists of the domains in those sets, and
+//! (c) the sets of its candidate IPv6 prefixes. The delta report
+//! conservatively marks every v4 and v6 prefix an effectively-changed
+//! domain mapped to before or after the change. A clean shard therefore
+//! contains no changed domain (its groups and their reverse entries are
+//! untouched) and none of its candidates changed size — candidates are
+//! exactly the shard's `best_v6` keys, because every candidate shares at
+//! least one domain and all supported metrics are strictly positive on a
+//! non-empty intersection.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use sibling_bgp::{Rib, RibArchive};
-use sibling_dns::DnsSnapshot;
+use sibling_dns::{DnsSnapshot, SnapshotDelta};
 use sibling_net_types::{Ipv4Prefix, Ipv6Prefix, MonthDate};
 
 use crate::arena::{SetArena, SetHandle};
@@ -57,6 +79,11 @@ pub struct EngineConfig {
     /// Worker threads for the `parallel` feature; `0` sizes to the
     /// machine. Ignored (serial execution) without the feature.
     pub threads: usize,
+    /// Whether batch windows run incrementally (snapshot deltas, index
+    /// patching, dirty-shard rescoring). `false` rebuilds every month
+    /// from scratch — the reference the incremental path is
+    /// property-tested against. Defaults to `true`.
+    pub incremental: bool,
 }
 
 impl Default for EngineConfig {
@@ -66,6 +93,7 @@ impl Default for EngineConfig {
             policy: BestMatchPolicy::Union,
             shards: 0,
             threads: 0,
+            incremental: true,
         }
     }
 }
@@ -75,13 +103,54 @@ impl Default for EngineConfig {
 pub struct BatchStats {
     /// Snapshots processed.
     pub months: usize,
-    /// Distinct domain sets in the arena after the run.
+    /// Distinct live domain sets in the arena after the run.
     pub distinct_sets: usize,
     /// Intern calls answered by an already-interned set (within and
     /// across months — the hash-consing payoff).
     pub dedup_hits: u64,
+    /// Dead set slots recycled by incremental index patching during this
+    /// run.
+    pub recycled_sets: u64,
+    /// Months that rebuilt the index from scratch (the first month, RIB
+    /// changes, or `incremental = false`).
+    pub full_rebuilds: usize,
     /// Total sibling pairs across all processed snapshots.
     pub total_pairs: usize,
+}
+
+/// Per-month churn and rescoring accounting of a batch run — what the
+/// CLI surfaces so incremental behaviour is observable.
+#[derive(Debug, Clone, Copy)]
+pub struct MonthChurn {
+    /// The processed month.
+    pub date: MonthDate,
+    /// Domains that appeared since the previously processed date.
+    pub added: usize,
+    /// Domains that disappeared.
+    pub removed: usize,
+    /// Domains present on both sides with different addresses.
+    pub retargeted: usize,
+    /// Changed domains whose *dual-stack* contribution changed (the ones
+    /// that actually mutate the index).
+    pub changed_effective: usize,
+    /// Shards rescored this month.
+    pub dirty_shards: usize,
+    /// Total shards of the window (`0` when the month ran through the
+    /// non-incremental per-date pipeline).
+    pub total_shards: usize,
+    /// Whether the month rebuilt and rescored everything.
+    pub full_rebuild: bool,
+}
+
+impl MonthChurn {
+    /// Fraction of shards rescored (1.0 for full rebuilds).
+    pub fn rescored_share(&self) -> f64 {
+        if self.full_rebuild || self.total_shards == 0 {
+            1.0
+        } else {
+            self.dirty_shards as f64 / self.total_shards as f64
+        }
+    }
 }
 
 /// The result of a batch run: one sibling set per date, plus statistics.
@@ -89,6 +158,8 @@ pub struct BatchStats {
 pub struct BatchRun {
     /// `(date, sibling set)` in input date order.
     pub results: Vec<(MonthDate, SiblingSet)>,
+    /// Per-month churn/rescoring accounting, in input date order.
+    pub churn: Vec<MonthChurn>,
     /// Aggregate run statistics.
     pub stats: BatchStats,
 }
@@ -108,16 +179,108 @@ impl BatchRun {
 pub struct DetectEngine {
     config: EngineConfig,
     arena: SetArena,
+    /// Lazily-started persistent worker pool (sized by
+    /// [`EngineConfig::threads`]), reused by every `detect`/window call
+    /// of this engine and shut down gracefully when the engine drops.
+    #[cfg(feature = "parallel")]
+    pool: std::sync::OnceLock<Arc<sibling_executor::ThreadPool>>,
 }
 
 /// What one shard reports back: its pair run (already in `(v4, v6)`
 /// order) and its best-match maxima. IPv4 maxima are complete (shards
 /// partition the v4 prefixes); IPv6 maxima are partial and reduced by
-/// maximum across shards.
+/// maximum across shards. The `best_v6` key set doubles as the shard's
+/// candidate list for incremental dirtiness checks (every candidate
+/// scores strictly positive).
 struct ShardOutcome {
     pairs: Vec<SiblingPair>,
     best_v4: BTreeMap<Ipv4Prefix, Ratio>,
     best_v6: BTreeMap<Ipv6Prefix, Ratio>,
+}
+
+/// Carried state of an incremental window walk.
+struct WindowState {
+    /// The snapshot the index currently reflects.
+    snapshot: Arc<DnsSnapshot>,
+    /// The RIB the index was built against; `Arc` identity gates whether
+    /// deltas may be applied.
+    rib: Arc<Rib>,
+    /// The index, patched in place month over month.
+    index: PrefixDomainIndex,
+    /// Shard count fixed for the whole window so cached outcomes stay
+    /// addressable.
+    shard_count: usize,
+    /// Cached per-shard outcomes of the last scored month.
+    caches: Vec<ShardOutcome>,
+    /// Reverse candidate index: which shards scored pairs against each
+    /// IPv6 prefix last month (shard lists sorted). Lets the dirty check
+    /// cost `O(|touched_v6|)` lookups instead of scanning every cached
+    /// shard's candidate list every month.
+    v6_shards: BTreeMap<Ipv6Prefix, Vec<usize>>,
+}
+
+impl WindowState {
+    /// Rebuilds the reverse candidate entries of `shard` after its cache
+    /// is replaced by `new_outcome`.
+    fn reindex_shard(&mut self, shard: usize, new_outcome: &ShardOutcome) {
+        for p6 in self.caches[shard].best_v6.keys() {
+            if let Some(shards) = self.v6_shards.get_mut(p6) {
+                if let Ok(pos) = shards.binary_search(&shard) {
+                    shards.remove(pos);
+                }
+                if shards.is_empty() {
+                    self.v6_shards.remove(p6);
+                }
+            }
+        }
+        for p6 in new_outcome.best_v6.keys() {
+            let shards = self.v6_shards.entry(*p6).or_default();
+            if let Err(pos) = shards.binary_search(&shard) {
+                shards.insert(pos, shard);
+            }
+        }
+    }
+}
+
+/// Stable shard assignment: a deterministic hash of the prefix, so a
+/// prefix stays in its shard no matter which other prefixes come and go
+/// across the window.
+fn shard_of(prefix: &Ipv4Prefix, shard_count: usize) -> usize {
+    use std::hash::Hasher;
+    let mut hasher = crate::arena::FxHasher::default();
+    hasher.write_u32(prefix.bits());
+    hasher.write_u32(u32::from(prefix.len()));
+    (hasher.finish() % shard_count as u64) as usize
+}
+
+/// Reduces shard outcomes into the final sibling set exactly as the
+/// serial reference does: v4 maxima are disjoint across shards, v6
+/// maxima merge by maximum, pairs concatenate and are best-match
+/// filtered. Shared by the one-shot [`DetectEngine::detect`] and the
+/// incremental window driver (which mixes cached and fresh outcomes).
+fn assemble(outcomes: &[ShardOutcome], policy: BestMatchPolicy) -> SiblingSet {
+    let mut pairs: Vec<SiblingPair> = Vec::new();
+    let mut best_v4: BTreeMap<Ipv4Prefix, Ratio> = BTreeMap::new();
+    let mut best_v6: BTreeMap<Ipv6Prefix, Ratio> = BTreeMap::new();
+    for outcome in outcomes {
+        pairs.extend(outcome.pairs.iter().copied());
+        for (&p4, &r) in &outcome.best_v4 {
+            best_v4.insert(p4, r);
+        }
+        for (&p6, &r) in &outcome.best_v6 {
+            best_v6
+                .entry(p6)
+                .and_modify(|cur| {
+                    if r > *cur {
+                        *cur = r;
+                    }
+                })
+                .or_insert(r);
+        }
+    }
+    let policy_filter =
+        |p: &SiblingPair| crate::pipeline::best_match_keep(policy, &best_v4, &best_v6, p);
+    SiblingSet::from_pairs(pairs.into_iter().filter(policy_filter).collect())
 }
 
 impl DetectEngine {
@@ -125,7 +288,7 @@ impl DetectEngine {
     pub fn new(config: EngineConfig) -> Self {
         Self {
             config,
-            arena: SetArena::new(),
+            ..Self::default()
         }
     }
 
@@ -161,40 +324,16 @@ impl DetectEngine {
         let shards: Vec<&[(Ipv4Prefix, &SetHandle)]> = v4_groups.chunks(chunk).collect();
         let metric = self.config.metric;
         let outcomes = self.execute(&shards, |shard| score_shard(index, metric, shard));
-
-        // Reduce: v4 maxima are disjoint, v6 maxima merge by maximum,
-        // pair runs concatenate in shard (= v4 address) order.
-        let mut pairs: Vec<SiblingPair> = Vec::new();
-        let mut best_v4: BTreeMap<Ipv4Prefix, Ratio> = BTreeMap::new();
-        let mut best_v6: BTreeMap<Ipv6Prefix, Ratio> = BTreeMap::new();
-        for outcome in outcomes {
-            pairs.extend(outcome.pairs);
-            best_v4.extend(outcome.best_v4);
-            for (p6, r) in outcome.best_v6 {
-                best_v6
-                    .entry(p6)
-                    .and_modify(|cur| {
-                        if r > *cur {
-                            *cur = r;
-                        }
-                    })
-                    .or_insert(r);
-            }
-        }
-
-        let policy = self.config.policy;
-        SiblingSet::from_pairs(
-            pairs
-                .into_iter()
-                .filter(|p| crate::pipeline::best_match_keep(policy, &best_v4, &best_v6, p))
-                .collect(),
-        )
+        assemble(&outcomes, self.config.policy)
     }
 
     /// Walks the inclusive monthly window `from..=to` once: per month,
     /// the RIB is taken from the archive (most recent at or before the
     /// date), the snapshot from `snapshot_of`, and detection runs over an
-    /// index interned in the shared arena.
+    /// index interned in the shared arena. With
+    /// [`EngineConfig::incremental`] (the default) consecutive months are
+    /// processed as snapshot deltas with dirty-shard rescoring, so the
+    /// walk's cost scales with churn.
     pub fn run_window<S>(
         &mut self,
         from: MonthDate,
@@ -203,7 +342,7 @@ impl DetectEngine {
         snapshot_of: S,
     ) -> Result<BatchRun, String>
     where
-        S: FnMut(MonthDate) -> Arc<DnsSnapshot>,
+        S: FnMut(MonthDate) -> Arc<DnsSnapshot> + Send,
     {
         if from > to {
             return Err(format!("empty window: {from} is after {to}"));
@@ -212,7 +351,9 @@ impl DetectEngine {
     }
 
     /// [`DetectEngine::run_window`] over an explicit date list (the
-    /// experiment drivers' sparse reference offsets).
+    /// experiment drivers' sparse reference offsets). Deltas do not
+    /// require adjacency — any two consecutive list entries diff
+    /// correctly; sparser lists simply carry more churn per step.
     pub fn run_dates<S>(
         &mut self,
         dates: &[MonthDate],
@@ -220,26 +361,248 @@ impl DetectEngine {
         mut snapshot_of: S,
     ) -> Result<BatchRun, String>
     where
-        S: FnMut(MonthDate) -> Arc<DnsSnapshot>,
+        S: FnMut(MonthDate) -> Arc<DnsSnapshot> + Send,
+    {
+        // The provider sits behind a mutex so prefetch tasks on the pool
+        // can call it while the walk owns everything else; accesses never
+        // overlap in time (a month's prefetch is joined before the next
+        // is spawned), so the lock is uncontended.
+        let snapshot_of = std::sync::Mutex::new(&mut snapshot_of);
+        #[cfg(feature = "parallel")]
+        {
+            let pool = Arc::clone(self.pool());
+            pool.scope(|scope| self.run_dates_inner(dates, archive, &snapshot_of, scope))
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            self.run_dates_inner(dates, archive, &snapshot_of)
+        }
+    }
+
+    /// The window walk body. With the `parallel` feature it runs inside
+    /// a pool scope whose tasks prefetch next month's snapshot + delta.
+    fn run_dates_inner<'env, S>(
+        &mut self,
+        dates: &[MonthDate],
+        archive: &RibArchive,
+        snapshot_of: &'env std::sync::Mutex<&'env mut S>,
+        #[cfg(feature = "parallel")] scope: &sibling_executor::Scope<'env>,
+    ) -> Result<BatchRun, String>
+    where
+        S: FnMut(MonthDate) -> Arc<DnsSnapshot> + Send,
     {
         let mut run = BatchRun::default();
-        for &date in dates {
+        let recycled_before = self.arena.recycled_count();
+        let mut state: Option<WindowState> = None;
+        let mut prefetched: Option<(Arc<DnsSnapshot>, SnapshotDelta)> = None;
+
+        #[cfg_attr(not(feature = "parallel"), allow(unused_variables))]
+        for (i, &date) in dates.iter().enumerate() {
             let rib = archive
                 .at_or_before(date)
                 .ok_or_else(|| format!("no RIB snapshot at or before {date}"))?;
-            let snapshot = snapshot_of(date);
-            let index = self.build_index(&snapshot, &rib);
-            let set = self.detect(&index);
+            let (snapshot, delta) = match prefetched.take() {
+                Some((snap, delta)) => (snap, Some(delta)),
+                None => ((*snapshot_of.lock().unwrap())(date), None),
+            };
+
+            // Overlap: derive the next month's snapshot and delta on the
+            // pool while this thread scores the current month. The scope
+            // guarantees the task finishes before `run_dates` returns,
+            // and it is joined before the next iteration needs one.
+            #[cfg(feature = "parallel")]
+            let next_task = if self.config.incremental && i + 1 < dates.len() {
+                let next_date = dates[i + 1];
+                let base = Arc::clone(&snapshot);
+                Some(scope.spawn(move || {
+                    let next = (*snapshot_of.lock().unwrap())(next_date);
+                    let delta = SnapshotDelta::diff(&base, &next);
+                    (next, delta)
+                }))
+            } else {
+                None
+            };
+
+            let (set, churn) = self.process_month(&mut state, date, snapshot, rib, delta);
             run.stats.total_pairs += set.len();
+            if churn.full_rebuild {
+                run.stats.full_rebuilds += 1;
+            }
             run.results.push((date, set));
+            run.churn.push(churn);
+
+            #[cfg(feature = "parallel")]
+            if let Some(task) = next_task {
+                prefetched = Some(task.join());
+            }
         }
+
         run.stats.months = dates.len();
         run.stats.distinct_sets = self.arena.len();
         run.stats.dedup_hits = self.arena.dedup_hits();
+        run.stats.recycled_sets = self.arena.recycled_count() - recycled_before;
         Ok(run)
     }
 
-    /// Effective shard count for `groups` v4 prefix groups.
+    /// One month of a batch walk: incremental (delta + dirty shards)
+    /// when a compatible previous month is carried, full otherwise.
+    fn process_month(
+        &mut self,
+        state: &mut Option<WindowState>,
+        date: MonthDate,
+        snapshot: Arc<DnsSnapshot>,
+        rib: Arc<Rib>,
+        delta: Option<SnapshotDelta>,
+    ) -> (SiblingSet, MonthChurn) {
+        if !self.config.incremental {
+            // The reference per-date pipeline: fresh index, full scoring.
+            let index = self.build_index(&snapshot, &rib);
+            let set = self.detect(&index);
+            let churn = MonthChurn {
+                date,
+                added: 0,
+                removed: 0,
+                retargeted: 0,
+                changed_effective: 0,
+                dirty_shards: 0,
+                total_shards: 0,
+                full_rebuild: true,
+            };
+            return (set, churn);
+        }
+        if let Some(prev) = state.as_mut() {
+            if Arc::ptr_eq(&prev.rib, &rib) {
+                return self.month_delta(prev, date, snapshot, delta);
+            }
+            // A different RIB invalidates every domain→prefix mapping:
+            // fall through to a rebuild that re-seeds the window state.
+        }
+        let superseded = state.take();
+        let index = PrefixDomainIndex::build_with_arena(&snapshot, &rib, &mut self.arena);
+        if let Some(old) = superseded {
+            // Release the superseded index only *after* the new one is
+            // interned: recurring sets dedup onto the live slots (so
+            // releasing them is a no-op), and only sets the new month no
+            // longer uses recycle.
+            old.index.release_sets(&mut self.arena);
+        }
+        let shard_count = self.window_shard_count(index.group_counts().0);
+        let scored = self.score_shards(&index, shard_count, None);
+        let caches: Vec<ShardOutcome> = scored.into_iter().map(|(_, outcome)| outcome).collect();
+        let mut v6_shards: BTreeMap<Ipv6Prefix, Vec<usize>> = BTreeMap::new();
+        for (shard, cache) in caches.iter().enumerate() {
+            for p6 in cache.best_v6.keys() {
+                // Shards ascend, so each list stays sorted.
+                v6_shards.entry(*p6).or_default().push(shard);
+            }
+        }
+        let set = assemble(&caches, self.config.policy);
+        let churn = MonthChurn {
+            date,
+            added: 0,
+            removed: 0,
+            retargeted: 0,
+            changed_effective: 0,
+            dirty_shards: shard_count,
+            total_shards: shard_count,
+            full_rebuild: true,
+        };
+        *state = Some(WindowState {
+            snapshot,
+            rib,
+            index,
+            shard_count,
+            caches,
+            v6_shards,
+        });
+        (set, churn)
+    }
+
+    /// The incremental month: apply the snapshot delta to the carried
+    /// index, mark the shards it touched dirty, rescore only those, and
+    /// reassemble the sibling set from cached + fresh shard outcomes.
+    fn month_delta(
+        &mut self,
+        prev: &mut WindowState,
+        date: MonthDate,
+        snapshot: Arc<DnsSnapshot>,
+        delta: Option<SnapshotDelta>,
+    ) -> (SiblingSet, MonthChurn) {
+        let delta = delta.unwrap_or_else(|| SnapshotDelta::diff(&prev.snapshot, &snapshot));
+        debug_assert_eq!(delta.from_date(), prev.snapshot.date(), "delta base");
+        let report = prev.index.apply_delta(&delta, &prev.rib, &mut self.arena);
+
+        let shard_count = prev.shard_count;
+        let mut dirty = vec![false; shard_count];
+        for p4 in &report.touched_v4 {
+            dirty[shard_of(p4, shard_count)] = true;
+        }
+        for p6 in &report.touched_v6 {
+            // A candidate IPv6 prefix changed size: every pair against it
+            // rescales, so every shard that scored it goes dirty even
+            // though its own v4 groups are untouched.
+            if let Some(shards) = prev.v6_shards.get(p6) {
+                for &shard in shards {
+                    dirty[shard] = true;
+                }
+            }
+        }
+        let dirty_shards = dirty.iter().filter(|d| **d).count();
+        if dirty_shards > 0 {
+            let rescored = self.score_shards(&prev.index, shard_count, Some(&dirty));
+            for (shard, outcome) in rescored {
+                prev.reindex_shard(shard, &outcome);
+                prev.caches[shard] = outcome;
+            }
+        }
+        let set = assemble(&prev.caches, self.config.policy);
+        prev.snapshot = snapshot;
+        let churn = MonthChurn {
+            date,
+            added: delta.added_count(),
+            removed: delta.removed_count(),
+            retargeted: delta.retargeted_count(),
+            changed_effective: report.changed_domains,
+            dirty_shards,
+            total_shards: shard_count,
+            full_rebuild: false,
+        };
+        (set, churn)
+    }
+
+    /// Buckets the index's v4 groups into their stable hash shards and
+    /// scores the selected shards (all of them when `only` is `None`),
+    /// in parallel with the feature on. Returns `(shard, outcome)` in
+    /// shard order.
+    fn score_shards(
+        &self,
+        index: &PrefixDomainIndex,
+        shard_count: usize,
+        only: Option<&[bool]>,
+    ) -> Vec<(usize, ShardOutcome)> {
+        // Empty `Vec`s cost nothing; groups landing in clean shards are
+        // skipped outright so a low-churn month's bucketing allocates
+        // only for the shards it will actually rescore.
+        let mut buckets: Vec<Vec<(Ipv4Prefix, &SetHandle)>> = vec![Vec::new(); shard_count];
+        for (prefix, handle) in index.group_sets::<u32>() {
+            let shard = shard_of(prefix, shard_count);
+            if only.is_none_or(|dirty| dirty[shard]) {
+                buckets[shard].push((*prefix, handle));
+            }
+        }
+        let selected: Vec<(usize, Vec<(Ipv4Prefix, &SetHandle)>)> = buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(shard, _)| only.is_none_or(|dirty| dirty[*shard]))
+            .collect();
+        let metric = self.config.metric;
+        self.execute(&selected, |(shard, bucket)| {
+            (*shard, score_shard(index, metric, bucket))
+        })
+    }
+
+    /// Effective shard count for `groups` v4 prefix groups (the one-shot
+    /// `detect` path, where shards are positional chunks).
     fn shard_count(&self, groups: usize) -> usize {
         let configured = if self.config.shards > 0 {
             self.config.shards
@@ -252,9 +615,40 @@ impl DetectEngine {
         configured.clamp(1, groups)
     }
 
+    /// Shard count for an incremental window, fixed when the window
+    /// (re)seeds so the shard assignment stays stable across months.
+    ///
+    /// Unlike the one-shot path, incremental sharding is sized for
+    /// **dirty granularity**, not just parallelism: with a handful of
+    /// groups per shard, a low-churn month marks a correspondingly low
+    /// fraction of shards dirty, and the clean remainder reuses cached
+    /// outcomes. Empty shards cost one `Vec` each during bucketing, so
+    /// overshooting is cheap; the cap bounds that overhead.
+    fn window_shard_count(&self, groups_hint: usize) -> usize {
+        if self.config.shards > 0 {
+            return self.config.shards.max(1);
+        }
+        // Aim for one group per shard (exact dirty granularity — a clean
+        // group is never rescored just for sharing a shard with a dirty
+        // one), capped so bucket bookkeeping stays bounded at paper
+        // scale. The floor is capped too, so absurd thread counts cannot
+        // invert the clamp bounds.
+        let parallel_floor = (self.workers() * 4).clamp(1, 4096);
+        groups_hint.clamp(parallel_floor, 4096)
+    }
+
+    #[cfg(feature = "parallel")]
+    fn pool(&self) -> &Arc<sibling_executor::ThreadPool> {
+        self.pool.get_or_init(|| {
+            Arc::new(sibling_executor::ThreadPool::with_threads(
+                self.config.threads,
+            ))
+        })
+    }
+
     #[cfg(feature = "parallel")]
     fn workers(&self) -> usize {
-        sibling_executor::ThreadPool::with_threads(self.config.threads).threads()
+        self.pool().threads()
     }
 
     #[cfg(not(feature = "parallel"))]
@@ -262,31 +656,26 @@ impl DetectEngine {
         1
     }
 
-    /// Runs `f` over every shard, in parallel when the feature is on.
-    /// Outcome order always equals shard order.
+    /// Runs `f` over every item on the persistent pool (serially without
+    /// the feature). Output order always equals item order.
     #[cfg(feature = "parallel")]
-    fn execute<'a, F>(
-        &self,
-        shards: &[&'a [(Ipv4Prefix, &'a SetHandle)]],
-        f: F,
-    ) -> Vec<ShardOutcome>
+    fn execute<T, O, F>(&self, items: &[T], f: F) -> Vec<O>
     where
-        F: Fn(&'a [(Ipv4Prefix, &'a SetHandle)]) -> ShardOutcome + Sync,
+        T: Sync,
+        O: Send,
+        F: Fn(&T) -> O + Sync,
     {
-        sibling_executor::ThreadPool::with_threads(self.config.threads)
-            .map(shards, |_, shard| f(shard))
+        self.pool().map(items, |_, item| f(item))
     }
 
     #[cfg(not(feature = "parallel"))]
-    fn execute<'a, F>(
-        &self,
-        shards: &[&'a [(Ipv4Prefix, &'a SetHandle)]],
-        f: F,
-    ) -> Vec<ShardOutcome>
+    fn execute<T, O, F>(&self, items: &[T], f: F) -> Vec<O>
     where
-        F: Fn(&'a [(Ipv4Prefix, &'a SetHandle)]) -> ShardOutcome + Sync,
+        T: Sync,
+        O: Send,
+        F: Fn(&T) -> O + Sync,
     {
-        shards.iter().map(|shard| f(shard)).collect()
+        items.iter().map(f).collect()
     }
 }
 
@@ -429,6 +818,7 @@ mod tests {
                         policy,
                         shards,
                         threads: 2,
+                        ..EngineConfig::default()
                     });
                     let index = engine.build_index(&snap, &rib);
                     let got = engine.detect(&index);
@@ -508,6 +898,8 @@ mod tests {
         assert_eq!(run.results.len(), 3);
         assert_eq!(run.stats.months, 3);
         assert!(run.stats.distinct_sets > 0);
+        assert_eq!(run.churn.len(), 3);
+        assert!(run.churn[0].full_rebuild);
 
         for (date, snap) in &snaps {
             let index = PrefixDomainIndex::build(snap, &rib);
@@ -539,6 +931,95 @@ mod tests {
             )
             .unwrap_err();
         assert!(err.contains("no RIB"));
+    }
+
+    /// Zero churn reuses every shard; full turnover rescored — and both
+    /// extremes stay bit-identical to the full-rebuild reference.
+    #[test]
+    fn incremental_handles_churn_extremes() {
+        let (snap, rib) = fixture();
+        let rib = Arc::new(rib);
+        let dates = [
+            MonthDate::new(2024, 7),
+            MonthDate::new(2024, 8),
+            MonthDate::new(2024, 9),
+        ];
+        let mut archive = RibArchive::new();
+        for &d in &dates {
+            archive.insert_shared(d, rib.clone());
+        }
+        // Month 2 repeats month 1's entries (0% churn); month 3 swaps in
+        // a disjoint world (100% churn).
+        let same = snap.redated(dates[1]);
+        let mut other = DnsSnapshot::new(dates[2]);
+        other.merge(DomainId(9), vec![a4("198.51.7.7")], vec![a6("2600:2::7")]);
+        let snaps: BTreeMap<MonthDate, Arc<DnsSnapshot>> = [
+            (dates[0], Arc::new(snap)),
+            (dates[1], Arc::new(same)),
+            (dates[2], Arc::new(other)),
+        ]
+        .into_iter()
+        .collect();
+
+        let mut inc = DetectEngine::new(EngineConfig {
+            shards: 8,
+            threads: 2,
+            ..EngineConfig::default()
+        });
+        let run = inc
+            .run_dates(&dates, &archive, |d| snaps[&d].clone())
+            .unwrap();
+        assert!(run.churn[0].full_rebuild);
+        assert!(!run.churn[1].full_rebuild);
+        assert_eq!(run.churn[1].dirty_shards, 0, "0%% churn rescore nothing");
+        assert_eq!(run.churn[1].changed_effective, 0);
+        assert!(!run.churn[2].full_rebuild);
+        assert!(run.churn[2].dirty_shards > 0, "full churn rescore");
+        assert_eq!(run.stats.full_rebuilds, 1);
+        assert!(run.stats.recycled_sets > 0, "dead sets recycled");
+
+        let mut full = DetectEngine::new(EngineConfig {
+            shards: 8,
+            threads: 2,
+            incremental: false,
+            ..EngineConfig::default()
+        });
+        let full_run = full
+            .run_dates(&dates, &archive, |d| snaps[&d].clone())
+            .unwrap();
+        assert_eq!(full_run.stats.full_rebuilds, 3);
+        for &d in snaps.keys() {
+            assert_sets_equal(run.at(d).unwrap(), full_run.at(d).unwrap());
+        }
+    }
+
+    #[test]
+    fn rib_change_mid_window_forces_rebuild_and_stays_exact() {
+        // The archive swaps tables between months: incremental must
+        // detect the new Arc, rebuild, and keep matching the reference.
+        let (snap, rib_a) = fixture();
+        let mut rib_b = rib_a.clone();
+        rib_b.announce(p4("192.0.2.0/24"), Asn(9));
+        let dates = [MonthDate::new(2024, 7), MonthDate::new(2024, 8)];
+        let mut archive = RibArchive::new();
+        archive.insert(dates[0], rib_a);
+        archive.insert(dates[1], rib_b);
+        let snap = Arc::new(snap);
+        let snapshot_of = |d: MonthDate| Arc::new(snap.redated(d));
+
+        let mut inc = DetectEngine::default();
+        let run = inc.run_dates(&dates, &archive, snapshot_of).unwrap();
+        assert!(run.churn[1].full_rebuild, "new RIB forces a rebuild");
+        assert_eq!(run.stats.full_rebuilds, 2);
+
+        let mut full = DetectEngine::new(EngineConfig {
+            incremental: false,
+            ..EngineConfig::default()
+        });
+        let full_run = full.run_dates(&dates, &archive, snapshot_of).unwrap();
+        for &d in &dates {
+            assert_sets_equal(run.at(d).unwrap(), full_run.at(d).unwrap());
+        }
     }
 
     /// Property test: the sharded engine (any shard count) agrees with
@@ -590,6 +1071,7 @@ mod tests {
                         policy,
                         shards,
                         threads: 3,
+                        ..EngineConfig::default()
                     });
                     let index = engine.build_index(&snap, &rib);
                     let got = engine.detect(&index);
@@ -603,6 +1085,116 @@ mod tests {
                     Ok(())
                 },
             )
+            .unwrap();
+    }
+
+    /// Property test: the incremental window (deltas, in-place index
+    /// patching, dirty-shard rescoring, cached clean shards) is
+    /// bit-identical to the full-rebuild window *and* to per-date serial
+    /// detection, across randomized month sequences whose churn spans 0%
+    /// (repeated months) to 100% (disjoint assignments), including
+    /// domains dropping in and out of dual-stack.
+    #[test]
+    fn prop_incremental_window_bit_identical_to_full_rebuild() {
+        use proptest::prelude::*;
+        use proptest::test_runner::TestRunner;
+        let mut runner = TestRunner::default();
+        // Per month: 8 domains × (v4 selector, v6 selector); selector 6
+        // removes the family (dual-stack transitions). Selector equality
+        // across months models low churn; proptest also generates
+        // identical and fully-divergent consecutive months.
+        let month = || proptest::collection::vec((0u8..7, 0u8..7), 8..9);
+        let strategy = (proptest::collection::vec(month(), 1..5), 0usize..4);
+        runner
+            .run(&strategy, |(months, shards)| {
+                let mut rib = Rib::new();
+                for i in 0..6u32 {
+                    rib.announce(Ipv4Prefix::new(0xCB00_0000 | (i << 8), 24).unwrap(), Asn(i));
+                    rib.announce(
+                        Ipv6Prefix::new((0x2600u128 << 112) | ((i as u128) << 80), 48).unwrap(),
+                        Asn(i),
+                    );
+                }
+                let rib = Arc::new(rib);
+                let start = MonthDate::new(2024, 1);
+                let dates: Vec<MonthDate> = (0..months.len())
+                    .map(|k| start.add_months(k as i32))
+                    .collect();
+                let mut archive = RibArchive::new();
+                for &d in &dates {
+                    archive.insert_shared(d, rib.clone());
+                }
+                let snaps: BTreeMap<MonthDate, Arc<DnsSnapshot>> = months
+                    .iter()
+                    .zip(&dates)
+                    .map(|(assign, &d)| {
+                        let mut snap = DnsSnapshot::new(d);
+                        for (dom, (p4i, p6i)) in assign.iter().enumerate() {
+                            let v4 = if *p4i < 6 {
+                                vec![0xCB00_0000 | ((*p4i as u32) << 8) | (dom as u32 + 1)]
+                            } else {
+                                vec![]
+                            };
+                            let v6 = if *p6i < 6 {
+                                vec![
+                                    (0x2600u128 << 112)
+                                        | ((*p6i as u128) << 80)
+                                        | (dom as u128 + 1),
+                                ]
+                            } else {
+                                vec![]
+                            };
+                            snap.merge(DomainId(dom as u32), v4, v6);
+                        }
+                        (d, Arc::new(snap))
+                    })
+                    .collect();
+
+                let mut inc = DetectEngine::new(EngineConfig {
+                    shards,
+                    threads: 2,
+                    ..EngineConfig::default()
+                });
+                let inc_run = inc
+                    .run_dates(&dates, &archive, |d| snaps[&d].clone())
+                    .unwrap();
+                let mut full = DetectEngine::new(EngineConfig {
+                    shards,
+                    threads: 2,
+                    incremental: false,
+                    ..EngineConfig::default()
+                });
+                let full_run = full
+                    .run_dates(&dates, &archive, |d| snaps[&d].clone())
+                    .unwrap();
+                prop_assert_eq!(inc_run.results.len(), full_run.results.len());
+                for (&d, snap) in &snaps {
+                    let got = inc_run.at(d).unwrap();
+                    let want_full = full_run.at(d).unwrap();
+                    let index = PrefixDomainIndex::build(snap, &rib);
+                    let want_serial =
+                        detect(&index, SimilarityMetric::Jaccard, BestMatchPolicy::Union);
+                    prop_assert_eq!(got.len(), want_full.len());
+                    prop_assert_eq!(got.len(), want_serial.len());
+                    for ((g, wf), ws) in got.iter().zip(want_full.iter()).zip(want_serial.iter()) {
+                        prop_assert_eq!((g.v4, g.v6), (wf.v4, wf.v6));
+                        prop_assert_eq!((g.v4, g.v6), (ws.v4, ws.v6));
+                        prop_assert_eq!(g.similarity, wf.similarity);
+                        prop_assert_eq!(g.similarity, ws.similarity);
+                        prop_assert_eq!(g.shared_domains, wf.shared_domains);
+                        prop_assert_eq!(g.v4_domains, wf.v4_domains);
+                        prop_assert_eq!(g.v6_domains, wf.v6_domains);
+                    }
+                }
+                // The first month is always a rebuild; later months only
+                // when the RIB changes (never here).
+                prop_assert!(inc_run.churn[0].full_rebuild);
+                for churn in &inc_run.churn[1..] {
+                    prop_assert!(!churn.full_rebuild);
+                    prop_assert!(churn.dirty_shards <= churn.total_shards);
+                }
+                Ok(())
+            })
             .unwrap();
     }
 }

@@ -1,10 +1,10 @@
 //! Step 2 of the methodology: grouping DS domains by announced prefix.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use sibling_bgp::Rib;
-use sibling_dns::{DnsSnapshot, DomainId};
-use sibling_net_types::{AddressFamily, DualStack, FamilyMap, Prefix};
+use sibling_dns::{DnsSnapshot, DomainId, ResolvedAddrs, SnapshotDelta};
+use sibling_net_types::{AddressFamily, DualStack, FamilyMap, Ipv4Prefix, Ipv6Prefix, Prefix};
 use sibling_ptrie::PatriciaTrie;
 
 use crate::arena::{SetArena, SetHandle};
@@ -80,6 +80,193 @@ impl<F: AddressFamily> FamilyIndex<F> {
         }
     }
 
+    /// Applies a batch of per-domain family-side transitions in place:
+    /// each domain's old addresses leave the index, the new ones enter,
+    /// and every announced prefix a changed domain mapped to (before or
+    /// after) is added to `touched` — the conservative dirty set
+    /// incremental rescoring works from.
+    ///
+    /// Group membership edits are **accumulated per prefix** and each
+    /// touched group set is re-consed through the arena exactly once
+    /// ([`SetArena::update`], recycling the dead set), so a popular
+    /// prefix gaining/losing many domains in one month costs one set
+    /// rebuild, not one per domain.
+    ///
+    /// Caller contract: `rib` is the same table the index was built (or
+    /// last patched) against — mappings are a pure function of the RIB,
+    /// so old addresses resolve to the prefixes they were indexed under.
+    fn apply_changes(
+        &mut self,
+        changes: &[(DomainId, &[F], &[F])],
+        rib: &Rib,
+        arena: &mut SetArena,
+        mut domain_touched: Option<&mut BTreeSet<Prefix<F>>>,
+        edited: Option<&mut BTreeSet<Prefix<F>>>,
+    ) {
+        let mut group_adds: BTreeMap<Prefix<F>, Vec<DomainId>> = BTreeMap::new();
+        let mut group_removes: BTreeMap<Prefix<F>, Vec<DomainId>> = BTreeMap::new();
+
+        for &(domain, old_addrs, new_addrs) in changes {
+            if old_addrs == new_addrs {
+                // This family is unchanged (the other one moved), but the
+                // domain's cross-family candidate contribution is not, so
+                // its prefixes still count as hosting a changed domain —
+                // when the caller wants that set at all.
+                if let Some(touched) = domain_touched.as_deref_mut() {
+                    for &addr in old_addrs {
+                        if let Some(route) = rib.lookup(addr) {
+                            touched.insert(route.prefix);
+                        }
+                    }
+                }
+                continue;
+            }
+            // Per-domain address/prefix sets are tiny (a handful of
+            // entries), so sorted Vecs beat tree sets here.
+            fn sorted_dedup<T: Ord>(mut v: Vec<T>) -> Vec<T> {
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+            let mut old_prefixes: Vec<Prefix<F>> = Vec::new();
+            let mut old_hosts: Vec<Prefix<F>> = Vec::new();
+            let mut unmapped_old = 0usize;
+            for &addr in old_addrs {
+                match rib.lookup(addr) {
+                    Some(route) => {
+                        old_prefixes.push(route.prefix);
+                        old_hosts.push(F::host_prefix(addr));
+                    }
+                    None => unmapped_old += 1,
+                }
+            }
+            let old_prefixes = sorted_dedup(old_prefixes);
+            let old_hosts = sorted_dedup(old_hosts);
+            let mut new_prefixes: Vec<Prefix<F>> = Vec::new();
+            let mut new_hosts: Vec<Prefix<F>> = Vec::new();
+            let mut unmapped_new = 0usize;
+            for &addr in new_addrs {
+                match rib.lookup(addr) {
+                    Some(route) => {
+                        new_prefixes.push(route.prefix);
+                        new_hosts.push(F::host_prefix(addr));
+                    }
+                    None => unmapped_new += 1,
+                }
+            }
+            let new_prefixes = sorted_dedup(new_prefixes);
+            let new_hosts = sorted_dedup(new_hosts);
+
+            for prefix in old_prefixes.iter().filter(|p| !new_prefixes.contains(p)) {
+                group_removes.entry(*prefix).or_default().push(domain);
+            }
+            for prefix in new_prefixes.iter().filter(|p| !old_prefixes.contains(p)) {
+                group_adds.entry(*prefix).or_default().push(domain);
+            }
+            if let Some(touched) = domain_touched.as_deref_mut() {
+                touched.extend(old_prefixes.iter().copied());
+                touched.extend(new_prefixes.iter().copied());
+            }
+
+            for host in old_hosts.iter().filter(|h| !new_hosts.contains(h)) {
+                self.host_remove(host, domain);
+            }
+            for host in new_hosts.iter().filter(|h| !old_hosts.contains(h)) {
+                self.host_insert(host, domain);
+            }
+
+            if new_prefixes.is_empty() {
+                self.domain_prefixes.remove(&domain);
+            } else {
+                self.domain_prefixes.insert(domain, new_prefixes);
+            }
+
+            self.unmapped = self.unmapped + unmapped_new - unmapped_old;
+        }
+
+        // One set rebuild per touched group. A domain never appears in
+        // both lists of one prefix (its old and new prefix sets are
+        // disjoint where they differ), so application order is free.
+        let to_rebuild: BTreeSet<Prefix<F>> = group_adds
+            .keys()
+            .chain(group_removes.keys())
+            .copied()
+            .collect();
+        if let Some(edited) = edited {
+            edited.extend(to_rebuild.iter().copied());
+        }
+        for prefix in to_rebuild {
+            let adds = group_adds.get(&prefix).map(Vec::as_slice).unwrap_or(&[]);
+            let removes = group_removes.get(&prefix).map(Vec::as_slice).unwrap_or(&[]);
+            match self.groups.remove(&prefix) {
+                Some(handle) => {
+                    let mut set = handle.as_slice().to_vec();
+                    if !removes.is_empty() {
+                        let dead: BTreeSet<DomainId> = removes.iter().copied().collect();
+                        set.retain(|d| !dead.contains(d));
+                    }
+                    if !adds.is_empty() {
+                        set.extend(adds.iter().copied());
+                        set.sort_unstable();
+                        set.dedup();
+                    }
+                    if set.is_empty() {
+                        arena.release(handle);
+                    } else {
+                        let new = arena.update(handle, set);
+                        self.groups.insert(prefix, new);
+                    }
+                }
+                None => {
+                    debug_assert!(removes.is_empty(), "removal from an unindexed group");
+                    let mut set = adds.to_vec();
+                    set.sort_unstable();
+                    set.dedup();
+                    if !set.is_empty() {
+                        self.groups.insert(prefix, arena.intern(set));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes `domain` from a host's set in the SP-Tuner trie.
+    fn host_remove(&mut self, host: &Prefix<F>, domain: DomainId) {
+        let Some(set) = self.hosts.get_mut(host) else {
+            debug_assert!(false, "removing a domain from an unindexed host");
+            return;
+        };
+        if let Ok(pos) = set.binary_search(&domain) {
+            set.remove(pos);
+        }
+        if set.is_empty() {
+            self.hosts.remove(host);
+        }
+    }
+
+    /// Adds `domain` to a host's set in the SP-Tuner trie, keeping the
+    /// sorted-set invariant.
+    fn host_insert(&mut self, host: &Prefix<F>, domain: DomainId) {
+        match self.hosts.get_mut(host) {
+            Some(set) => {
+                if let Err(pos) = set.binary_search(&domain) {
+                    set.insert(pos, domain);
+                }
+            }
+            None => {
+                self.hosts.insert(*host, vec![domain]);
+            }
+        }
+    }
+
+    /// Releases every group-set handle back to the arena (recycling the
+    /// slots of sets no other index still shares).
+    fn release_sets(&mut self, arena: &mut SetArena) {
+        for (_, handle) in std::mem::take(&mut self.groups) {
+            arena.release(handle);
+        }
+    }
+
     /// The DS domains grouped under an announced prefix (sorted).
     pub fn domains(&self, prefix: &Prefix<F>) -> Option<&[DomainId]> {
         self.groups.get(prefix).map(|h| h.as_slice())
@@ -138,6 +325,35 @@ impl<F: AddressFamily> FamilyIndex<F> {
     pub fn unmapped_count(&self) -> usize {
         self.unmapped
     }
+}
+
+/// What applying a [`SnapshotDelta`] touched — the input of the engine's
+/// dirty-shard computation.
+///
+/// The two sides carry deliberately different notions of "touched",
+/// matching how sharded scoring consumes them:
+///
+/// * `touched_v4` is **conservative**: every v4 prefix a changed domain
+///   mapped to before *or* after the delta, even when the group's
+///   membership ended up identical (e.g. a v6-only retarget). Shards
+///   *contain* v4 prefixes, so this catches every shard whose own
+///   domains' candidate lists may have shifted.
+/// * `touched_v6` is **exact membership change**: only v6 prefixes whose
+///   group set actually gained or lost a domain. A clean shard refers to
+///   v6 prefixes purely as candidates, and a candidate's score can only
+///   move when its set (and thus `|B|`) changes. Keeping this side tight
+///   stops one busy shared-hosting prefix from dirtying every shard each
+///   month.
+///
+/// Over-approximation can only over-rescore, never miss a change.
+#[derive(Debug, Clone, Default)]
+pub struct IndexDeltaReport {
+    /// IPv4 prefixes hosting a changed domain (before or after).
+    pub touched_v4: BTreeSet<Ipv4Prefix>,
+    /// IPv6 prefixes whose group membership changed.
+    pub touched_v6: BTreeSet<Ipv6Prefix>,
+    /// Domains whose effective (dual-stack) contribution changed.
+    pub changed_domains: usize,
 }
 
 /// [`DualStack`] slot selector: family `F` stores a [`FamilyIndex<F>`].
@@ -202,6 +418,70 @@ impl PrefixDomainIndex {
         index.families.v4.finalize(arena);
         index.families.v6.finalize(arena);
         index
+    }
+
+    /// Patches the index in place from a month-over-month snapshot delta
+    /// instead of rebuilding it — the cost is proportional to **churn**
+    /// (changed domains × their addresses), not snapshot size. Only
+    /// prefixes whose domain sets changed re-intern through the arena
+    /// ([`SetArena::update`]), recycling dead set slots.
+    ///
+    /// Only *effective* transitions mutate the index: a domain counts as
+    /// changed per §3.1 step 1 semantics, i.e. by its dual-stack
+    /// contribution (a v4-only domain remains invisible no matter how its
+    /// v4 addresses move).
+    ///
+    /// **Contract:** `self` was built (or last patched) against the same
+    /// `rib` and against the delta's base snapshot. Mappings are a pure
+    /// function of the RIB, so a changed RIB requires a full rebuild —
+    /// the engine enforces this by comparing RIB `Arc` identity.
+    pub fn apply_delta(
+        &mut self,
+        delta: &SnapshotDelta,
+        rib: &Rib,
+        arena: &mut SetArena,
+    ) -> IndexDeltaReport {
+        let mut report = IndexDeltaReport::default();
+        fn dual(addrs: &Option<ResolvedAddrs>) -> Option<&ResolvedAddrs> {
+            addrs.as_ref().filter(|a| a.is_dual_stack())
+        }
+        let mut v4_changes: Vec<(DomainId, &[u32], &[u32])> = Vec::new();
+        let mut v6_changes: Vec<(DomainId, &[u128], &[u128])> = Vec::new();
+        for change in delta.changes() {
+            let old = dual(&change.old);
+            let new = dual(&change.new);
+            if old == new {
+                // Single-stack noise: the domain was never (and is still
+                // not) part of the index.
+                continue;
+            }
+            report.changed_domains += 1;
+            let (old_v4, old_v6) = old.map_or((&[][..], &[][..]), |a| (&a.v4[..], &a.v6[..]));
+            let (new_v4, new_v6) = new.map_or((&[][..], &[][..]), |a| (&a.v4[..], &a.v6[..]));
+            v4_changes.push((change.domain, old_v4, new_v4));
+            v6_changes.push((change.domain, old_v6, new_v6));
+        }
+        // v4 keeps the conservative domain-touched set (membership edits
+        // are a subset of it, so no edited set is needed); v6 keeps only
+        // actual membership edits and skips the conservative bookkeeping
+        // (and its RIB lookups) entirely.
+        self.families
+            .v4
+            .apply_changes(&v4_changes, rib, arena, Some(&mut report.touched_v4), None);
+        self.families
+            .v6
+            .apply_changes(&v6_changes, rib, arena, None, Some(&mut report.touched_v6));
+        report
+    }
+
+    /// Consumes the index, releasing its interned group sets back to the
+    /// arena so sets no other index shares recycle their slots. Call
+    /// this when retiring an index whose arena lives on (the incremental
+    /// engine does, when a RIB change supersedes a window's index);
+    /// merely dropping the index strands its sets in the arena forever.
+    pub fn release_sets(mut self, arena: &mut SetArena) {
+        self.families.v4.release_sets(arena);
+        self.families.v6.release_sets(arena);
     }
 
     /// The single-family view for family `F`.
@@ -466,6 +746,220 @@ mod tests {
             h1.id(),
             "ids are stable across snapshots sharing an arena"
         );
+    }
+
+    /// The two indexes answer every public query identically.
+    fn assert_index_equiv(got: &PrefixDomainIndex, want: &PrefixDomainIndex, what: &str) {
+        let g4: Vec<_> = got.groups::<u32>().map(|(p, d)| (*p, d.to_vec())).collect();
+        let w4: Vec<_> = want
+            .groups::<u32>()
+            .map(|(p, d)| (*p, d.to_vec()))
+            .collect();
+        assert_eq!(g4, w4, "v4 groups differ: {what}");
+        let g6: Vec<_> = got
+            .groups::<u128>()
+            .map(|(p, d)| (*p, d.to_vec()))
+            .collect();
+        let w6: Vec<_> = want
+            .groups::<u128>()
+            .map(|(p, d)| (*p, d.to_vec()))
+            .collect();
+        assert_eq!(g6, w6, "v6 groups differ: {what}");
+        assert_eq!(got.unmapped_counts(), want.unmapped_counts(), "{what}");
+        assert_eq!(got.host_counts(), want.host_counts(), "{what}");
+        for (p, _) in &w4 {
+            assert_eq!(got.domains_under(p), want.domains_under(p), "{what}");
+        }
+        for (p, _) in &w6 {
+            assert_eq!(got.domains_under(p), want.domains_under(p), "{what}");
+        }
+        let domains: BTreeSet<DomainId> = w4
+            .iter()
+            .flat_map(|(_, d)| d.iter().copied())
+            .chain(w6.iter().flat_map(|(_, d)| d.iter().copied()))
+            .collect();
+        for d in domains {
+            assert_eq!(
+                got.prefixes_of_domain::<u32>(d),
+                want.prefixes_of_domain::<u32>(d),
+                "{what}"
+            );
+            assert_eq!(
+                got.prefixes_of_domain::<u128>(d),
+                want.prefixes_of_domain::<u128>(d),
+                "{what}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_delta_matches_rebuild_on_moves_and_ds_transitions() {
+        let mut rib = Rib::new();
+        rib.announce(p4("198.51.0.0/16"), Asn(1));
+        rib.announce(p4("203.0.0.0/16"), Asn(2));
+        rib.announce(p6("2600:1000::/32"), Asn(1));
+        rib.announce(p6("2600:2000::/32"), Asn(2));
+
+        let mut old = DnsSnapshot::new(MonthDate::new(2024, 8));
+        old.merge(
+            DomainId(0),
+            vec![a4("198.51.1.1")],
+            vec![a6("2600:1000::1")],
+        );
+        old.merge(
+            DomainId(1),
+            vec![a4("198.51.1.2")],
+            vec![a6("2600:1000::2")],
+        );
+        old.merge(DomainId(2), vec![a4("203.0.1.1")], vec![a6("2600:2000::1")]);
+        old.merge(DomainId(3), vec![a4("10.0.0.1")], vec![a6("2600:2000::3")]); // v4 unmapped
+
+        let mut new = DnsSnapshot::new(MonthDate::new(2024, 9));
+        // d0 moves v4-side to the other org; d1 loses v6 (DS → v4-only);
+        // d2 unchanged; d3 becomes fully mapped; d4 appears.
+        new.merge(DomainId(0), vec![a4("203.0.9.9")], vec![a6("2600:1000::1")]);
+        new.merge(DomainId(1), vec![a4("198.51.1.2")], vec![]);
+        new.merge(DomainId(2), vec![a4("203.0.1.1")], vec![a6("2600:2000::1")]);
+        new.merge(
+            DomainId(3),
+            vec![a4("198.51.3.3")],
+            vec![a6("2600:2000::3")],
+        );
+        new.merge(DomainId(4), vec![a4("203.0.4.4")], vec![a6("2600:1000::4")]);
+
+        let mut arena = SetArena::new();
+        let mut patched = PrefixDomainIndex::build_with_arena(&old, &rib, &mut arena);
+        let delta = SnapshotDelta::diff(&old, &new);
+        let report = patched.apply_delta(&delta, &rib, &mut arena);
+        let want = PrefixDomainIndex::build(&new, &rib);
+        assert_index_equiv(&patched, &want, "after mixed churn");
+        assert_eq!(report.changed_domains, 4, "d2 is untouched");
+        assert!(report.touched_v4.contains(&p4("198.51.0.0/16")));
+        assert!(report.touched_v4.contains(&p4("203.0.0.0/16")));
+        assert!(report.touched_v6.contains(&p6("2600:1000::/32")));
+    }
+
+    #[test]
+    fn apply_delta_empty_and_identity() {
+        let (snap, rib) = fixture();
+        let mut arena = SetArena::new();
+        let mut index = PrefixDomainIndex::build_with_arena(&snap, &rib, &mut arena);
+        let delta = SnapshotDelta::diff(&snap, &snap);
+        let report = index.apply_delta(&delta, &rib, &mut arena);
+        assert_eq!(report.changed_domains, 0);
+        assert!(report.touched_v4.is_empty() && report.touched_v6.is_empty());
+        assert_index_equiv(&index, &PrefixDomainIndex::build(&snap, &rib), "identity");
+    }
+
+    #[test]
+    fn apply_delta_recycles_dead_sets() {
+        // One prefix pair whose only domain disappears: its group sets
+        // die and their arena slots recycle.
+        let mut rib = Rib::new();
+        rib.announce(p4("198.51.0.0/16"), Asn(1));
+        rib.announce(p6("2600:1000::/32"), Asn(1));
+        let mut old = DnsSnapshot::new(MonthDate::new(2024, 8));
+        old.merge(
+            DomainId(0),
+            vec![a4("198.51.1.1")],
+            vec![a6("2600:1000::1")],
+        );
+        old.merge(
+            DomainId(1),
+            vec![a4("198.51.1.2")],
+            vec![a6("2600:1000::2")],
+        );
+        let mut new = DnsSnapshot::new(MonthDate::new(2024, 9));
+        new.merge(
+            DomainId(0),
+            vec![a4("198.51.1.1")],
+            vec![a6("2600:1000::1")],
+        );
+
+        let mut arena = SetArena::new();
+        let mut index = PrefixDomainIndex::build_with_arena(&old, &rib, &mut arena);
+        let live_before = arena.len();
+        index.apply_delta(&SnapshotDelta::diff(&old, &new), &rib, &mut arena);
+        assert!(arena.recycled_count() > 0, "shrunk sets recycle");
+        assert!(arena.len() <= live_before);
+        assert_index_equiv(&index, &PrefixDomainIndex::build(&new, &rib), "shrink");
+    }
+
+    #[test]
+    fn release_sets_recycles_everything_not_shared() {
+        let (snap, rib) = fixture();
+        let mut arena = SetArena::new();
+        let index = PrefixDomainIndex::build_with_arena(&snap, &rib, &mut arena);
+        assert!(!arena.is_empty());
+        index.release_sets(&mut arena);
+        assert!(arena.is_empty(), "no other holders: everything recycles");
+
+        // With a second index sharing the arena, only unshared sets go.
+        let a = PrefixDomainIndex::build_with_arena(&snap, &rib, &mut arena);
+        let b = PrefixDomainIndex::build_with_arena(&snap, &rib, &mut arena);
+        let live = arena.len();
+        a.release_sets(&mut arena);
+        assert_eq!(arena.len(), live, "b still holds every set");
+        b.release_sets(&mut arena);
+        assert!(arena.is_empty());
+    }
+
+    /// Property: for random snapshot pairs over a fixed RIB, patching the
+    /// base index with the diff is equivalent to rebuilding from the
+    /// target snapshot — including dual-stack transitions, unmapped
+    /// addresses, and full turnover.
+    #[test]
+    fn prop_apply_delta_equals_rebuild() {
+        use proptest::test_runner::TestRunner;
+        let mut runner = TestRunner::default();
+        // Per domain and month: (v4 variant 0..4, v6 variant 0..4);
+        // variant 0 = family absent, 3 = unmapped address space.
+        let entry = || (0u32..10, 0u8..4, 0u8..4);
+        let strategy = (
+            proptest::collection::vec(entry(), 0..20),
+            proptest::collection::vec(entry(), 0..20),
+        );
+        let mut rib = Rib::new();
+        for i in 0..3u32 {
+            rib.announce(Ipv4Prefix::new(0xCB00_0000 | (i << 8), 24).unwrap(), Asn(i));
+            rib.announce(
+                Ipv6Prefix::new((0x2600u128 << 112) | ((i as u128) << 80), 48).unwrap(),
+                Asn(i),
+            );
+        }
+        runner
+            .run(&strategy, |(ea, eb)| {
+                let build = |date: MonthDate, entries: &[(u32, u8, u8)]| {
+                    let mut s = DnsSnapshot::new(date);
+                    for (id, v4, v6) in entries {
+                        let v4: Vec<u32> = match v4 {
+                            0 => vec![],
+                            3 => vec![0x0A00_0000 | *id], // 10/8: unmapped
+                            k => vec![0xCB00_0000 | ((*k as u32 - 1) << 8) | (*id + 1)],
+                        };
+                        let v6: Vec<u128> = match v6 {
+                            0 => vec![],
+                            3 => vec![(0xFC00u128 << 112) | *id as u128],
+                            k => vec![
+                                (0x2600u128 << 112)
+                                    | (((*k as u128) - 1) << 80)
+                                    | (*id as u128 + 1),
+                            ],
+                        };
+                        s.merge(DomainId(*id), v4, v6);
+                    }
+                    s
+                };
+                let a = build(MonthDate::new(2024, 8), &ea);
+                let b = build(MonthDate::new(2024, 9), &eb);
+                let mut arena = SetArena::new();
+                let mut patched = PrefixDomainIndex::build_with_arena(&a, &rib, &mut arena);
+                patched.apply_delta(&SnapshotDelta::diff(&a, &b), &rib, &mut arena);
+                let want = PrefixDomainIndex::build(&b, &rib);
+                assert_index_equiv(&patched, &want, "random churn");
+                Ok(())
+            })
+            .unwrap();
     }
 
     #[test]

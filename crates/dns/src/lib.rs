@@ -13,6 +13,9 @@
 //!   "the actual domain that maps to an IP address", not the queried name;
 //! * [`DnsSnapshot`] — the per-date resolution result the pipeline consumes,
 //!   with dual-stack (DS) domain extraction;
+//! * [`SnapshotDelta`] — the exact month-over-month difference between two
+//!   snapshots (added/removed/retargeted domains), the unit the
+//!   incremental detection engine scales with instead of snapshot size;
 //! * [`Toplist`] — the source lists (Alexa, Umbrella, Tranco, Radar, open
 //!   ccTLDs) with the availability windows that shape Fig. 1 (Tranco added
 //!   2022-09, Radar 2022-10, `.fr` 2022-08, Alexa removed 2023-05).
@@ -23,12 +26,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod delta;
 mod name;
 mod record;
 mod resolve;
 mod snapshot;
 mod toplist;
 
+pub use delta::{DomainChange, SnapshotDelta};
 pub use name::{DomainId, DomainTable};
 pub use record::{DnsRecord, Zone};
 pub use resolve::{Resolution, ResolveError, Resolver, MAX_CNAME_CHAIN};

@@ -29,7 +29,7 @@ impl ResolvedAddrs {
 /// Entries are keyed by the *final* name of the CNAME chain (§3); multiple
 /// queried names collapsing to the same final name are merged, mirroring
 /// how the paper treats CNAME responses.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DnsSnapshot {
     date: Option<MonthDate>,
     entries: BTreeMap<DomainId, ResolvedAddrs>,
@@ -80,6 +80,31 @@ impl DnsSnapshot {
         e.v6.extend(v6);
         e.v6.sort_unstable();
         e.v6.dedup();
+    }
+
+    /// Replaces the entry for `domain` outright (no merging) — the
+    /// primitive [`crate::SnapshotDelta::apply`] patches with.
+    pub fn insert(&mut self, domain: DomainId, addrs: ResolvedAddrs) {
+        self.entries.insert(domain, addrs);
+    }
+
+    /// Removes a domain's entry entirely, returning it if present.
+    pub fn remove(&mut self, domain: DomainId) -> Option<ResolvedAddrs> {
+        self.entries.remove(&domain)
+    }
+
+    /// Re-dates the snapshot (delta application moves a patched clone to
+    /// the target month).
+    pub(crate) fn set_date(&mut self, date: Option<MonthDate>) {
+        self.date = date;
+    }
+
+    /// A copy of the snapshot carrying a different date (longitudinal
+    /// fixtures re-enter one snapshot at several months).
+    pub fn redated(&self, date: MonthDate) -> Self {
+        let mut out = self.clone();
+        out.date = Some(date);
+        out
     }
 
     /// The addresses of `domain`, if present.

@@ -18,8 +18,14 @@
 //! 3. **trimmed mean** — the per-iteration sample values are sorted and
 //!    the top and bottom deciles dropped before averaging, so a stray
 //!    scheduler preemption does not masquerade as a regression.
+//!
+//! Every measurement is also appended to a machine-readable trajectory
+//! file, `target/bench.json` (a JSON array of `{id, mean_ns, samples,
+//! batch}` objects), rewritten after each benchmark so an interrupted
+//! run still leaves a valid file for tooling to diff across commits.
 
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Untimed warm-up budget per benchmark.
@@ -97,6 +103,66 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Completed measurements of this process, in execution order.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Where the JSON trajectory lands: `<target dir>/bench.json`. Honors
+/// `CARGO_TARGET_DIR`; otherwise walks up from the working directory
+/// (cargo runs benches in the *package* root) to the workspace root,
+/// marked by `Cargo.lock`.
+pub fn bench_json_path() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return std::path::Path::new(&dir).join("bench.json");
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("target").join("bench.json");
+        }
+        if !dir.pop() {
+            return std::path::PathBuf::from("target/bench.json");
+        }
+    }
+}
+
+/// One completed benchmark measurement, as serialised to
+/// [`bench_json_path`].
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function` or a bare function name).
+    pub id: String,
+    /// Decile-trimmed mean nanoseconds per iteration.
+    pub mean_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub batch: u64,
+}
+
+/// Serialises measurements as a JSON array. The file is rewritten whole
+/// on every call so a partially-completed bench run still leaves valid
+/// JSON behind.
+pub fn write_results(path: &std::path::Path, results: &[BenchResult]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let id = r.id.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "  {{\"id\": \"{id}\", \"mean_ns\": {}, \"samples\": {}, \"batch\": {}}}{}\n",
+            r.mean_ns,
+            r.samples,
+            r.batch,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) {
     let mut bencher = Bencher {
         samples: sample_size,
@@ -112,6 +178,17 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) {
         bencher.batch,
         bencher.warm_up_iters,
     );
+    let mut results = RESULTS.lock().unwrap();
+    results.push(BenchResult {
+        id: id.to_string(),
+        mean_ns: trimmed,
+        samples: bencher.per_iter_ns.len(),
+        batch: bencher.batch,
+    });
+    let path = bench_json_path();
+    if let Err(e) = write_results(&path, &results) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
 }
 
 /// Mean of the samples after dropping the top and bottom deciles
@@ -228,6 +305,34 @@ mod tests {
         assert_eq!(trimmed_mean(&mut [5, 15]), 10);
         // Three samples: decile trim rounds up to one from each end.
         assert_eq!(trimmed_mean(&mut [1, 10, 1000]), 10);
+    }
+
+    #[test]
+    fn write_results_emits_valid_escaped_json() {
+        let path = std::env::temp_dir().join("criterion_stub_bench_test.json");
+        let path = path.as_path();
+        let results = vec![
+            BenchResult {
+                id: "group/fn".into(),
+                mean_ns: 1234,
+                samples: 20,
+                batch: 8,
+            },
+            BenchResult {
+                id: "quo\"te".into(),
+                mean_ns: 5,
+                samples: 1,
+                batch: 1,
+            },
+        ];
+        write_results(path, &results).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.starts_with("[\n") && text.ends_with("]\n"));
+        assert!(text
+            .contains("{\"id\": \"group/fn\", \"mean_ns\": 1234, \"samples\": 20, \"batch\": 8},"));
+        assert!(text.contains("\"quo\\\"te\""));
+        assert_eq!(text.matches('{').count(), 2);
+        std::fs::remove_file(path).ok();
     }
 
     #[test]
