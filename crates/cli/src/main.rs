@@ -6,6 +6,8 @@
 //! sibling-prefixes publish  [--seed N] [--out FILE]
 //! sibling-prefixes audit    [--seed N]
 //! sibling-prefixes batch    --from YYYY-MM --to YYYY-MM [--seed N] [--mode incremental|full]
+//!                           [--store DIR]
+//! sibling-prefixes snapshot export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N]
 //! sibling-prefixes run      [--seed N] [EXPERIMENT_ID ...]
 //! sibling-prefixes list
 //! ```
@@ -22,6 +24,7 @@ use sibling_analysis::{all_experiments, run_by_id, AnalysisContext};
 use sibling_core::longitudinal::compare;
 use sibling_core::tuner::more_specific::tune_more_specific;
 use sibling_core::{DetectEngine, EngineConfig, SpTunerConfig};
+use sibling_dns::SnapshotStore;
 use sibling_net_types::MonthDate;
 use sibling_worldgen::{World, WorldConfig};
 
@@ -99,9 +102,14 @@ fn usage() -> &'static str {
      \x20 tune     run SP-Tuner at custom thresholds  [--seed N] [--v4 LEN] [--v6 LEN]\n\
      \x20 publish  write the sibling prefix list CSV  [--seed N] [--out FILE]\n\
      \x20 audit    RPKI/ROV audit of sibling pairs    [--seed N]\n\
-     \x20 batch    longitudinal window in one pass    --from YYYY-MM --to YYYY-MM [--seed N] [--mode incremental|full]\n\
+     \x20 batch    longitudinal window in one pass    --from YYYY-MM --to YYYY-MM [--seed N] [--mode incremental|full] [--store DIR]\n\
+     \x20 snapshot export monthly snapshots to a store  export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N] [--force true]\n\
      \x20 run      run experiments by id              [--seed N] [ID ...]\n\
-     \x20 list     list all experiment ids\n"
+     \x20 list     list all experiment ids\n\
+     \n\
+     batch --store loads the window's snapshots from an exported store\n\
+     (mmap, zero-copy) instead of re-resolving zones; detection output is\n\
+     byte-identical either way\n"
 }
 
 fn context(args: &Args) -> Result<AnalysisContext, String> {
@@ -260,9 +268,31 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         incremental,
         ..EngineConfig::default()
     });
-    let run = engine.run_window(from, to, &archive, |date| {
-        std::sync::Arc::new(world.snapshot(date))
-    })?;
+    let run = match args.get("store") {
+        Some(dir) => {
+            // Store-backed window: snapshots come off the mmap'd store as
+            // zero-copy views — zone resolution never runs. The world is
+            // still generated above because the RIB archive (and nothing
+            // else) is derived from it.
+            let store = SnapshotStore::open(dir).map_err(|e| e.to_string())?;
+            let mut loaded = std::collections::BTreeMap::new();
+            let mut bytes = 0usize;
+            for date in from.range_to(to) {
+                let file = store.load(date).map_err(|e| e.to_string())?;
+                bytes += file.byte_len();
+                loaded.insert(date, file);
+            }
+            eprintln!(
+                "loaded {} stored snapshots ({} KiB) from {dir}",
+                loaded.len(),
+                bytes / 1024
+            );
+            engine.run_window(from, to, &archive, |date| loaded[&date].clone())?
+        }
+        None => engine.run_window(from, to, &archive, |date| {
+            std::sync::Arc::new(world.snapshot(date))
+        })?,
+    };
 
     println!(
         "{:<9} {:>7} {:>8} {:>8} {:>9} {:>6} {:>9} {:>8}",
@@ -336,6 +366,52 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `snapshot export`: resolve a window of monthly snapshots once and
+/// write them to an on-disk store, so later `batch --store` runs (and
+/// anything else consuming the store) load them back via mmap in
+/// milliseconds instead of regenerating the world's zones.
+fn cmd_snapshot(args: &Args) -> Result<(), String> {
+    match args.positional.first().map(String::as_str) {
+        Some("export") => {}
+        Some(other) => return Err(format!("unknown snapshot action {other:?} (try: export)")),
+        None => return Err("snapshot needs an action (try: snapshot export --store DIR)".into()),
+    }
+    let dir = args
+        .get("store")
+        .ok_or("snapshot export needs --store DIR")?;
+    let config = args.config()?;
+    let from = args.month("from")?.unwrap_or(config.start);
+    let to = args.month("to")?.unwrap_or(config.end);
+    if from > to {
+        return Err(format!("empty window: {from} is after {to}"));
+    }
+    if from < config.start || to > config.end {
+        return Err(format!(
+            "window {from}..{to} outside the world's {}..{}",
+            config.start, config.end
+        ));
+    }
+    let force = args
+        .get("force")
+        .is_some_and(|v| matches!(v, "true" | "1" | "yes"));
+    eprintln!(
+        "generating world (seed {}, preset {})…",
+        config.seed,
+        args.get("preset").unwrap_or("paper")
+    );
+    let world = World::generate(config);
+    let store = SnapshotStore::create(dir).map_err(|e| e.to_string())?;
+    let written = world
+        .export_snapshots(&store, from, to, force)
+        .map_err(|e| e.to_string())?;
+    let months = from.range_to(to).len();
+    println!(
+        "exported {written} snapshot(s) to {dir} ({} already present) for {from}..{to}",
+        months - written
+    );
+    Ok(())
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let ctx = context(args)?;
     let ids: Vec<String> = if args.positional.is_empty() {
@@ -392,6 +468,7 @@ fn main() -> ExitCode {
         "publish" => cmd_publish(&args),
         "audit" => cmd_audit(&args),
         "batch" => cmd_batch(&args),
+        "snapshot" => cmd_snapshot(&args),
         "run" => cmd_run(&args),
         "list" => cmd_list(),
         "help" | "--help" | "-h" => {

@@ -58,7 +58,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use sibling_bgp::{Rib, RibArchive};
-use sibling_dns::{DnsSnapshot, SnapshotDelta};
+use sibling_dns::{DnsSnapshot, SnapshotDelta, SnapshotSource};
 use sibling_net_types::{Ipv4Prefix, Ipv6Prefix, MonthDate};
 
 use crate::arena::{SetArena, SetHandle};
@@ -198,10 +198,12 @@ struct ShardOutcome {
     best_v6: BTreeMap<Ipv6Prefix, Ratio>,
 }
 
-/// Carried state of an incremental window walk.
-struct WindowState {
+/// Carried state of an incremental window walk, generic over the
+/// snapshot handle `H` — an `Arc<DnsSnapshot>` for regenerated worlds or
+/// an `Arc<sibling_dns::SnapshotFile>` for zero-copy store-backed runs.
+struct WindowState<H> {
     /// The snapshot the index currently reflects.
-    snapshot: Arc<DnsSnapshot>,
+    snapshot: H,
     /// The RIB the index was built against; `Arc` identity gates whether
     /// deltas may be applied.
     rib: Arc<Rib>,
@@ -219,7 +221,7 @@ struct WindowState {
     v6_shards: BTreeMap<Ipv6Prefix, Vec<usize>>,
 }
 
-impl WindowState {
+impl<H> WindowState<H> {
     /// Rebuilds the reverse candidate entries of `shard` after its cache
     /// is replaced by `new_outcome`.
     fn reindex_shard(&mut self, shard: usize, new_outcome: &ShardOutcome) {
@@ -334,7 +336,14 @@ impl DetectEngine {
     /// [`EngineConfig::incremental`] (the default) consecutive months are
     /// processed as snapshot deltas with dirty-shard rescoring, so the
     /// walk's cost scales with churn.
-    pub fn run_window<S>(
+    ///
+    /// The provider returns any owning, cheaply-cloneable
+    /// [`SnapshotSource`] handle: `Arc<DnsSnapshot>` for regenerated
+    /// worlds, or `Arc<sibling_dns::SnapshotFile>` for store-backed runs
+    /// — the latter keeps the whole walk zero-copy (index builds and
+    /// month-over-month diffs read the mapped bytes directly; no
+    /// `BTreeMap` is ever materialized).
+    pub fn run_window<H, S>(
         &mut self,
         from: MonthDate,
         to: MonthDate,
@@ -342,7 +351,8 @@ impl DetectEngine {
         snapshot_of: S,
     ) -> Result<BatchRun, String>
     where
-        S: FnMut(MonthDate) -> Arc<DnsSnapshot> + Send,
+        H: SnapshotSource + Clone + Send + 'static,
+        S: FnMut(MonthDate) -> H + Send,
     {
         if from > to {
             return Err(format!("empty window: {from} is after {to}"));
@@ -354,14 +364,15 @@ impl DetectEngine {
     /// experiment drivers' sparse reference offsets). Deltas do not
     /// require adjacency — any two consecutive list entries diff
     /// correctly; sparser lists simply carry more churn per step.
-    pub fn run_dates<S>(
+    pub fn run_dates<H, S>(
         &mut self,
         dates: &[MonthDate],
         archive: &RibArchive,
         mut snapshot_of: S,
     ) -> Result<BatchRun, String>
     where
-        S: FnMut(MonthDate) -> Arc<DnsSnapshot> + Send,
+        H: SnapshotSource + Clone + Send + 'static,
+        S: FnMut(MonthDate) -> H + Send,
     {
         // The provider sits behind a mutex so prefetch tasks on the pool
         // can call it while the walk owns everything else; accesses never
@@ -381,7 +392,7 @@ impl DetectEngine {
 
     /// The window walk body. With the `parallel` feature it runs inside
     /// a pool scope whose tasks prefetch next month's snapshot + delta.
-    fn run_dates_inner<'env, S>(
+    fn run_dates_inner<'env, H, S>(
         &mut self,
         dates: &[MonthDate],
         archive: &RibArchive,
@@ -389,12 +400,13 @@ impl DetectEngine {
         #[cfg(feature = "parallel")] scope: &sibling_executor::Scope<'env>,
     ) -> Result<BatchRun, String>
     where
-        S: FnMut(MonthDate) -> Arc<DnsSnapshot> + Send,
+        H: SnapshotSource + Clone + Send + 'static,
+        S: FnMut(MonthDate) -> H + Send,
     {
         let mut run = BatchRun::default();
         let recycled_before = self.arena.recycled_count();
-        let mut state: Option<WindowState> = None;
-        let mut prefetched: Option<(Arc<DnsSnapshot>, SnapshotDelta)> = None;
+        let mut state: Option<WindowState<H>> = None;
+        let mut prefetched: Option<(H, SnapshotDelta)> = None;
 
         #[cfg_attr(not(feature = "parallel"), allow(unused_variables))]
         for (i, &date) in dates.iter().enumerate() {
@@ -413,10 +425,10 @@ impl DetectEngine {
             #[cfg(feature = "parallel")]
             let next_task = if self.config.incremental && i + 1 < dates.len() {
                 let next_date = dates[i + 1];
-                let base = Arc::clone(&snapshot);
+                let base = snapshot.clone();
                 Some(scope.spawn(move || {
                     let next = (*snapshot_of.lock().unwrap())(next_date);
-                    let delta = SnapshotDelta::diff(&base, &next);
+                    let delta = SnapshotDelta::diff_sources(&base, &next);
                     (next, delta)
                 }))
             } else {
@@ -446,17 +458,18 @@ impl DetectEngine {
 
     /// One month of a batch walk: incremental (delta + dirty shards)
     /// when a compatible previous month is carried, full otherwise.
-    fn process_month(
+    fn process_month<H: SnapshotSource + Clone>(
         &mut self,
-        state: &mut Option<WindowState>,
+        state: &mut Option<WindowState<H>>,
         date: MonthDate,
-        snapshot: Arc<DnsSnapshot>,
+        snapshot: H,
         rib: Arc<Rib>,
         delta: Option<SnapshotDelta>,
     ) -> (SiblingSet, MonthChurn) {
         if !self.config.incremental {
             // The reference per-date pipeline: fresh index, full scoring.
-            let index = self.build_index(&snapshot, &rib);
+            let index =
+                PrefixDomainIndex::build_source_with_arena(&snapshot, &rib, &mut self.arena);
             let set = self.detect(&index);
             let churn = MonthChurn {
                 date,
@@ -478,7 +491,7 @@ impl DetectEngine {
             // fall through to a rebuild that re-seeds the window state.
         }
         let superseded = state.take();
-        let index = PrefixDomainIndex::build_with_arena(&snapshot, &rib, &mut self.arena);
+        let index = PrefixDomainIndex::build_source_with_arena(&snapshot, &rib, &mut self.arena);
         if let Some(old) = superseded {
             // Release the superseded index only *after* the new one is
             // interned: recurring sets dedup onto the live slots (so
@@ -521,15 +534,19 @@ impl DetectEngine {
     /// The incremental month: apply the snapshot delta to the carried
     /// index, mark the shards it touched dirty, rescore only those, and
     /// reassemble the sibling set from cached + fresh shard outcomes.
-    fn month_delta(
+    fn month_delta<H: SnapshotSource>(
         &mut self,
-        prev: &mut WindowState,
+        prev: &mut WindowState<H>,
         date: MonthDate,
-        snapshot: Arc<DnsSnapshot>,
+        snapshot: H,
         delta: Option<SnapshotDelta>,
     ) -> (SiblingSet, MonthChurn) {
-        let delta = delta.unwrap_or_else(|| SnapshotDelta::diff(&prev.snapshot, &snapshot));
-        debug_assert_eq!(delta.from_date(), prev.snapshot.date(), "delta base");
+        let delta = delta.unwrap_or_else(|| SnapshotDelta::diff_sources(&prev.snapshot, &snapshot));
+        debug_assert_eq!(
+            delta.from_date(),
+            prev.snapshot.snapshot_date(),
+            "delta base"
+        );
         let report = prev.index.apply_delta(&delta, &prev.rib, &mut self.arena);
 
         let shard_count = prev.shard_count;

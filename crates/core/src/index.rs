@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use sibling_bgp::Rib;
-use sibling_dns::{DnsSnapshot, DomainId, ResolvedAddrs, SnapshotDelta};
+use sibling_dns::{DnsSnapshot, DomainId, ResolvedAddrs, SnapshotDelta, SnapshotSource};
 use sibling_net_types::{AddressFamily, DualStack, FamilyMap, Ipv4Prefix, Ipv6Prefix, Prefix};
 use sibling_ptrie::PatriciaTrie;
 
@@ -406,12 +406,33 @@ impl PrefixDomainIndex {
     /// identical domain sets are shared across many indexes (e.g. the
     /// months of a longitudinal window).
     pub fn build_with_arena(snapshot: &DnsSnapshot, rib: &Rib, arena: &mut SetArena) -> Self {
+        Self::build_source_with_arena(snapshot, rib, arena)
+    }
+
+    /// [`PrefixDomainIndex::build`] over any [`SnapshotSource`] — in
+    /// particular a zero-copy `SnapshotView` straight off the mmap'd
+    /// snapshot store, without ever materializing a `DnsSnapshot`'s
+    /// BTreeMap.
+    pub fn build_source<S: SnapshotSource + ?Sized>(source: &S, rib: &Rib) -> Self {
+        Self::build_source_with_arena(source, rib, &mut SetArena::new())
+    }
+
+    /// [`PrefixDomainIndex::build_source`] against a caller-owned arena.
+    pub fn build_source_with_arena<S: SnapshotSource + ?Sized>(
+        source: &S,
+        rib: &Rib,
+        arena: &mut SetArena,
+    ) -> Self {
         let mut index = Self::default();
-        for (domain, addrs) in snapshot.ds_domains() {
-            for &addr in &addrs.v4 {
+        for (domain, v4, v6) in source.addr_entries() {
+            // Dual-stack filter (§3.1 step 1): both families present.
+            if v4.is_empty() || v6.is_empty() {
+                continue;
+            }
+            for &addr in v4 {
                 index.families.v4.add(domain, addr, rib);
             }
-            for &addr in &addrs.v6 {
+            for &addr in v6 {
                 index.families.v6.add(domain, addr, rib);
             }
         }

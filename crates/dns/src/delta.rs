@@ -18,6 +18,17 @@ use sibling_net_types::MonthDate;
 
 use crate::name::DomainId;
 use crate::snapshot::{DnsSnapshot, ResolvedAddrs};
+use crate::source::SnapshotSource;
+
+/// Owns a borrowed `(v4, v6)` address pair — the delta stores owned
+/// addresses so it outlives whatever source (snapshot or mapped view) it
+/// was diffed from.
+fn owned((v4, v6): (&[u32], &[u128])) -> ResolvedAddrs {
+    ResolvedAddrs {
+        v4: v4.to_vec(),
+        v6: v6.to_vec(),
+    }
+}
 
 /// One domain's transition between two snapshots.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,10 +59,10 @@ impl DomainChange {
 }
 
 /// The exact difference between two [`DnsSnapshot`]s (see module docs).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SnapshotDelta {
-    from: Option<MonthDate>,
-    to: Option<MonthDate>,
+    from: MonthDate,
+    to: MonthDate,
     /// All transitions, in domain-id order (both inputs iterate sorted).
     changes: Vec<DomainChange>,
     added: usize,
@@ -65,40 +76,57 @@ impl SnapshotDelta {
     /// walk is the incremental engine's per-month floor, so it carries
     /// exactly one map step and one comparison per domain.
     pub fn diff(old: &DnsSnapshot, new: &DnsSnapshot) -> Self {
+        Self::diff_sources(old, new)
+    }
+
+    /// [`SnapshotDelta::diff`] over any two [`SnapshotSource`]s — in
+    /// particular two zero-copy [`crate::SnapshotView`]s straight off the
+    /// store, so the incremental engine diffs mapped files without
+    /// materializing either month's `BTreeMap`. Only the changed entries
+    /// allocate (the delta owns its addresses; allocation stays
+    /// churn-proportional).
+    pub fn diff_sources<A, B>(old: &A, new: &B) -> Self
+    where
+        A: SnapshotSource + ?Sized,
+        B: SnapshotSource + ?Sized,
+    {
         let mut delta = Self {
-            from: old.date(),
-            to: new.date(),
-            ..Self::default()
+            from: old.snapshot_date(),
+            to: new.snapshot_date(),
+            changes: Vec::new(),
+            added: 0,
+            removed: 0,
+            retargeted: 0,
         };
-        let mut a = old.entries();
-        let mut b = new.entries();
+        let mut a = old.addr_entries();
+        let mut b = new.addr_entries();
         let mut next_a = a.next();
         let mut next_b = b.next();
         loop {
             match (next_a, next_b) {
-                (Some((da, va)), Some((db, vb))) => match da.cmp(&db) {
+                (Some((da, a4, a6)), Some((db, b4, b6))) => match da.cmp(&db) {
                     std::cmp::Ordering::Equal => {
-                        if va != vb {
-                            delta.push_retargeted(da, va, vb);
+                        if a4 != b4 || a6 != b6 {
+                            delta.push_retargeted(da, (a4, a6), (b4, b6));
                         }
                         next_a = a.next();
                         next_b = b.next();
                     }
                     std::cmp::Ordering::Less => {
-                        delta.push_removed(da, va);
+                        delta.push_removed(da, (a4, a6));
                         next_a = a.next();
                     }
                     std::cmp::Ordering::Greater => {
-                        delta.push_added(db, vb);
+                        delta.push_added(db, (b4, b6));
                         next_b = b.next();
                     }
                 },
-                (Some((da, va)), None) => {
-                    delta.push_removed(da, va);
+                (Some((da, a4, a6)), None) => {
+                    delta.push_removed(da, (a4, a6));
                     next_a = a.next();
                 }
-                (None, Some((db, vb))) => {
-                    delta.push_added(db, vb);
+                (None, Some((db, b4, b6))) => {
+                    delta.push_added(db, (b4, b6));
                     next_b = b.next();
                 }
                 (None, None) => break,
@@ -107,30 +135,35 @@ impl SnapshotDelta {
         delta
     }
 
-    fn push_retargeted(&mut self, domain: DomainId, old: &ResolvedAddrs, new: &ResolvedAddrs) {
+    fn push_retargeted(
+        &mut self,
+        domain: DomainId,
+        old: (&[u32], &[u128]),
+        new: (&[u32], &[u128]),
+    ) {
         self.retargeted += 1;
         self.changes.push(DomainChange {
             domain,
-            old: Some(old.clone()),
-            new: Some(new.clone()),
+            old: Some(owned(old)),
+            new: Some(owned(new)),
         });
     }
 
-    fn push_removed(&mut self, domain: DomainId, addrs: &ResolvedAddrs) {
+    fn push_removed(&mut self, domain: DomainId, addrs: (&[u32], &[u128])) {
         self.removed += 1;
         self.changes.push(DomainChange {
             domain,
-            old: Some(addrs.clone()),
+            old: Some(owned(addrs)),
             new: None,
         });
     }
 
-    fn push_added(&mut self, domain: DomainId, addrs: &ResolvedAddrs) {
+    fn push_added(&mut self, domain: DomainId, addrs: (&[u32], &[u128])) {
         self.added += 1;
         self.changes.push(DomainChange {
             domain,
             old: None,
-            new: Some(addrs.clone()),
+            new: Some(owned(addrs)),
         });
     }
 
@@ -154,12 +187,12 @@ impl SnapshotDelta {
     }
 
     /// The base snapshot's date.
-    pub fn from_date(&self) -> Option<MonthDate> {
+    pub fn from_date(&self) -> MonthDate {
         self.from
     }
 
     /// The target snapshot's date.
-    pub fn to_date(&self) -> Option<MonthDate> {
+    pub fn to_date(&self) -> MonthDate {
         self.to
     }
 
@@ -230,8 +263,8 @@ mod tests {
         assert_eq!(delta.retargeted_count(), 1);
         assert_eq!(delta.churn(), 3);
         assert!(!delta.is_empty());
-        assert_eq!(delta.from_date(), Some(MonthDate::new(2024, 8)));
-        assert_eq!(delta.to_date(), Some(MonthDate::new(2024, 9)));
+        assert_eq!(delta.from_date(), MonthDate::new(2024, 8));
+        assert_eq!(delta.to_date(), MonthDate::new(2024, 9));
         let changes = delta.changes();
         assert!(changes[0].is_removed() && changes[0].domain == d(1));
         assert!(changes[1].is_retargeted() && changes[1].domain == d(2));

@@ -16,12 +16,24 @@
 //! * [`SnapshotDelta`] — the exact month-over-month difference between two
 //!   snapshots (added/removed/retargeted domains), the unit the
 //!   incremental detection engine scales with instead of snapshot size;
+//! * [`SnapshotSource`] — the borrowed-entry abstraction both an owned
+//!   snapshot and a mapped on-disk view satisfy, so index building and
+//!   diffing run over either without conversion;
+//! * [`SnapshotStore`] / [`SnapshotFile`] / [`SnapshotView`] — the
+//!   zero-copy on-disk snapshot store: a versioned, checksummed binary
+//!   format written once and mapped back in milliseconds (vendored
+//!   `mmap` wrapper with a plain-read fallback), replacing per-process
+//!   regeneration for paper-scale longitudinal runs;
 //! * [`Toplist`] — the source lists (Alexa, Umbrella, Tranco, Radar, open
 //!   ccTLDs) with the availability windows that shape Fig. 1 (Tranco added
 //!   2022-09, Radar 2022-10, `.fr` 2022-08, Alexa removed 2023-05).
 //!
 //! Addresses are filtered through the §2.2 routability classifier: private,
 //! reserved and invalid addresses never enter a snapshot.
+//!
+//! All `unsafe` behind the store lives in the vendored `mapfile` crate
+//! (see its crate docs for the safety argument); this crate stays
+//! `forbid(unsafe_code)`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +43,8 @@ mod name;
 mod record;
 mod resolve;
 mod snapshot;
+mod source;
+mod store;
 mod toplist;
 
 pub use delta::{DomainChange, SnapshotDelta};
@@ -38,4 +52,6 @@ pub use name::{DomainId, DomainTable};
 pub use record::{DnsRecord, Zone};
 pub use resolve::{Resolution, ResolveError, Resolver, MAX_CNAME_CHAIN};
 pub use snapshot::{DnsSnapshot, ResolvedAddrs};
+pub use source::{AddrEntry, SnapshotSource};
+pub use store::{encode_snapshot, LoadMode, SnapshotFile, SnapshotStore, SnapshotView, StoreError};
 pub use toplist::Toplist;

@@ -29,9 +29,15 @@ impl ResolvedAddrs {
 /// Entries are keyed by the *final* name of the CNAME chain (§3); multiple
 /// queried names collapsing to the same final name are merged, mirroring
 /// how the paper treats CNAME responses.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// A snapshot is **always dated**: the only constructors are
+/// [`DnsSnapshot::new`] and [`DnsSnapshot::resolve_zone`] (both take a
+/// [`MonthDate`]) and the store loader (whose format carries the date),
+/// so downstream consumers never unwrap an `Option`. The old dateless
+/// `Default` path is gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DnsSnapshot {
-    date: Option<MonthDate>,
+    date: MonthDate,
     entries: BTreeMap<DomainId, ResolvedAddrs>,
 }
 
@@ -39,13 +45,13 @@ impl DnsSnapshot {
     /// Creates an empty snapshot for `date`.
     pub fn new(date: MonthDate) -> Self {
         Self {
-            date: Some(date),
+            date,
             entries: BTreeMap::new(),
         }
     }
 
-    /// The snapshot date, if one was set.
-    pub fn date(&self) -> Option<MonthDate> {
+    /// The snapshot date.
+    pub fn date(&self) -> MonthDate {
         self.date
     }
 
@@ -95,7 +101,7 @@ impl DnsSnapshot {
 
     /// Re-dates the snapshot (delta application moves a patched clone to
     /// the target month).
-    pub(crate) fn set_date(&mut self, date: Option<MonthDate>) {
+    pub(crate) fn set_date(&mut self, date: MonthDate) {
         self.date = date;
     }
 
@@ -103,7 +109,7 @@ impl DnsSnapshot {
     /// fixtures re-enter one snapshot at several months).
     pub fn redated(&self, date: MonthDate) -> Self {
         let mut out = self.clone();
-        out.date = Some(date);
+        out.date = date;
         out
     }
 

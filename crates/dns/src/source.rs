@@ -1,0 +1,109 @@
+//! The borrowed-entry abstraction over snapshot-shaped data.
+//!
+//! The pipeline's consumers — index building, snapshot diffing, export —
+//! only ever walk `(domain, v4 addresses, v6 addresses)` triples in
+//! domain-id order. [`SnapshotSource`] captures exactly that access
+//! pattern, so an owned [`DnsSnapshot`] (BTreeMap-backed) and a zero-copy
+//! [`crate::SnapshotView`] over an mmap'd store file are interchangeable:
+//! `PrefixDomainIndex::build` and `SnapshotDelta::diff` run over either
+//! without materializing the other.
+
+use sibling_net_types::MonthDate;
+
+use crate::name::DomainId;
+use crate::snapshot::DnsSnapshot;
+
+/// One domain's addresses, borrowed: `(domain, v4 sorted, v6 sorted)`.
+pub type AddrEntry<'a> = (DomainId, &'a [u32], &'a [u128]);
+
+/// Read access to one month of resolution data (see module docs).
+///
+/// # Contract
+///
+/// `addr_entries` yields each domain exactly once, in **strictly
+/// ascending [`DomainId`] order**, with each family's addresses sorted
+/// and deduplicated — the invariants [`DnsSnapshot`] maintains and the
+/// on-disk store verifies at load time. Diffing and index building rely
+/// on the ordering for their merge walks.
+pub trait SnapshotSource {
+    /// The month this data was resolved at.
+    fn snapshot_date(&self) -> MonthDate;
+
+    /// Total number of resolved domains.
+    fn domain_count(&self) -> usize;
+
+    /// All entries in ascending domain-id order.
+    fn addr_entries(&self) -> impl Iterator<Item = AddrEntry<'_>> + '_;
+}
+
+impl SnapshotSource for DnsSnapshot {
+    fn snapshot_date(&self) -> MonthDate {
+        self.date()
+    }
+
+    fn domain_count(&self) -> usize {
+        DnsSnapshot::domain_count(self)
+    }
+
+    fn addr_entries(&self) -> impl Iterator<Item = AddrEntry<'_>> + '_ {
+        self.entries().map(|(d, a)| (d, &a.v4[..], &a.v6[..]))
+    }
+}
+
+impl<T: SnapshotSource + ?Sized> SnapshotSource for &T {
+    fn snapshot_date(&self) -> MonthDate {
+        (**self).snapshot_date()
+    }
+
+    fn domain_count(&self) -> usize {
+        (**self).domain_count()
+    }
+
+    fn addr_entries(&self) -> impl Iterator<Item = AddrEntry<'_>> + '_ {
+        (**self).addr_entries()
+    }
+}
+
+impl<T: SnapshotSource + ?Sized> SnapshotSource for std::sync::Arc<T> {
+    fn snapshot_date(&self) -> MonthDate {
+        (**self).snapshot_date()
+    }
+
+    fn domain_count(&self) -> usize {
+        (**self).domain_count()
+    }
+
+    fn addr_entries(&self) -> impl Iterator<Item = AddrEntry<'_>> + '_ {
+        (**self).addr_entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_entries_round_trip_through_the_trait() {
+        let mut snap = DnsSnapshot::new(MonthDate::new(2024, 9));
+        snap.merge(DomainId(3), vec![7, 5], vec![]);
+        snap.merge(DomainId(1), vec![9], vec![1, 2]);
+        let entries: Vec<(DomainId, Vec<u32>, Vec<u128>)> = SnapshotSource::addr_entries(&snap)
+            .map(|(d, v4, v6)| (d, v4.to_vec(), v6.to_vec()))
+            .collect();
+        assert_eq!(
+            entries,
+            vec![
+                (DomainId(1), vec![9], vec![1, 2]),
+                (DomainId(3), vec![5, 7], vec![]),
+            ]
+        );
+        assert_eq!(SnapshotSource::domain_count(&snap), 2);
+        assert_eq!(snap.snapshot_date(), MonthDate::new(2024, 9));
+        // The blanket impls agree.
+        let by_ref: usize = SnapshotSource::domain_count(&&snap);
+        assert_eq!(by_ref, 2);
+        let arc = std::sync::Arc::new(snap);
+        assert_eq!(SnapshotSource::domain_count(&arc), 2);
+        assert_eq!(arc.snapshot_date(), MonthDate::new(2024, 9));
+    }
+}

@@ -1,6 +1,6 @@
 //! Dated snapshot derivation: visibility, churn, addresses, DNS zones.
 
-use sibling_dns::{DnsRecord, DnsSnapshot, Toplist, Zone};
+use sibling_dns::{DnsRecord, DnsSnapshot, SnapshotStore, StoreError, Toplist, Zone};
 use sibling_net_types::MonthDate;
 
 use crate::build::tag;
@@ -213,6 +213,31 @@ impl World {
     /// The OpenINTEL-style resolution snapshot for `date`.
     pub fn snapshot(&self, date: MonthDate) -> DnsSnapshot {
         DnsSnapshot::resolve_zone(date, &self.zone(date))
+    }
+
+    /// Exports the inclusive monthly window `from..=to` into a snapshot
+    /// store, paying zone resolution once per month so later runs load
+    /// the files back in milliseconds instead of regenerating. Months
+    /// already present are skipped unless `force` is set (snapshots are
+    /// a pure function of `(config, date)`, so a stored month written by
+    /// the same config is always current). Returns the number of months
+    /// written.
+    pub fn export_snapshots(
+        &self,
+        store: &SnapshotStore,
+        from: MonthDate,
+        to: MonthDate,
+        force: bool,
+    ) -> Result<usize, StoreError> {
+        let mut written = 0usize;
+        for date in from.range_to(to) {
+            if !force && store.contains(date) {
+                continue;
+            }
+            store.write(&self.snapshot(date))?;
+            written += 1;
+        }
+        Ok(written)
     }
 }
 

@@ -1,0 +1,361 @@
+//! Minimal memory-mapped file wrapper — the vendored stand-in for the
+//! `memmap2` crate (the build environment has no registry access).
+//!
+//! [`MapFile`] opens a file and exposes its contents as `&[u8]`, backed by
+//! either a read-only private `mmap(2)` mapping (unix) or a heap buffer
+//! filled with a plain `read` (everywhere, and the fallback when mapping
+//! fails). The crate also provides the **checked** zero-copy casts
+//! ([`as_u32s`], [`as_u128s`]) that let `#![forbid(unsafe_code)]` callers
+//! reinterpret aligned byte sections as typed arrays.
+//!
+//! # Safety argument
+//!
+//! All `unsafe` in the workspace's snapshot I/O path is confined to this
+//! crate, and each use is narrow:
+//!
+//! * **Mapping lifetime** — the mapping is created over a file descriptor
+//!   that is closed immediately after `mmap` returns (POSIX keeps the
+//!   mapping alive independently of the descriptor). The pointer/length
+//!   pair is owned by the [`MapFile`] and unmapped exactly once in `Drop`;
+//!   `bytes()` borrows from `&self`, so no slice can outlive the mapping.
+//! * **Read-only, private** — pages are mapped `PROT_READ` +
+//!   `MAP_PRIVATE`: the process cannot write through the mapping, and
+//!   writes by *other* processes to the same file are not guaranteed to be
+//!   visible, which is exactly the "immutable artifact" contract snapshot
+//!   files are written under (the store writes to a temp file and
+//!   `rename`s it into place, so a reader never maps a half-written
+//!   file). The one hazard mmap cannot defend against is an external
+//!   process **truncating** a mapped file, which turns page faults past
+//!   EOF into `SIGBUS`; callers that cannot trust the directory can ask
+//!   for the heap fallback ([`MapFile::read`]), which has no such mode.
+//! * **Heap fallback alignment** — the fallback buffer is allocated as
+//!   `Box<[u128]>`, so both backings guarantee 16-byte base alignment and
+//!   the typed casts below behave identically over either.
+//! * **Typed casts** — [`as_u32s`]/[`as_u128s`] verify pointer alignment
+//!   and length divisibility before the `from_raw_parts` cast, and the
+//!   target types (`u32`, `u128`) have no invalid bit patterns, so every
+//!   byte sequence is a valid value. On mismatch they return `None`
+//!   rather than touching memory.
+//! * **Send/Sync** — the mapping is an immutable byte region for this
+//!   process (see above), so sharing it across threads is no different
+//!   from sharing a `&[u8]` into a `Box`.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+/// How a [`MapFile`] holds the file contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backing {
+    /// A read-only private `mmap(2)` region.
+    Mmap,
+    /// A heap buffer filled by a plain read.
+    Heap,
+}
+
+enum Storage {
+    #[cfg(unix)]
+    Mapped { ptr: *const u8, len: usize },
+    Heap {
+        /// `u128` storage guarantees 16-byte alignment for the casts.
+        buf: Box<[u128]>,
+        len: usize,
+    },
+}
+
+/// A file held in memory, either mapped or read (see crate docs).
+pub struct MapFile {
+    storage: Storage,
+}
+
+// SAFETY: the storage is immutable for the lifetime of the value — the
+// mapping is PROT_READ/MAP_PRIVATE and the heap buffer is never written
+// after construction — so shared access from any thread is sound.
+unsafe impl Send for MapFile {}
+unsafe impl Sync for MapFile {}
+
+impl MapFile {
+    /// Maps `path` read-only; falls back to [`MapFile::read`] when mapping
+    /// is unavailable (non-unix targets, empty files, or an `mmap` error).
+    pub fn open(path: &Path) -> io::Result<Self> {
+        #[cfg(unix)]
+        {
+            if let Ok(mapped) = Self::map(path) {
+                return Ok(mapped);
+            }
+        }
+        Self::read(path)
+    }
+
+    /// Reads `path` into an aligned heap buffer (the mmap-free mode).
+    pub fn read(path: &Path) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to load"))?;
+        let mut buf = vec![0u128; len.div_ceil(16)].into_boxed_slice();
+        // SAFETY: the buffer owns `buf.len() * 16 >= len` initialized
+        // bytes; viewing them as `&mut [u8]` for the read is sound (u8
+        // has no alignment or validity requirements).
+        let dst = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), len) };
+        file.read_exact(dst)?;
+        Ok(Self {
+            storage: Storage::Heap { buf, len },
+        })
+    }
+
+    #[cfg(unix)]
+    fn map(path: &Path) -> io::Result<Self> {
+        use std::os::unix::io::AsRawFd;
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        if len == 0 {
+            // mmap rejects zero-length mappings; an empty heap buffer is
+            // indistinguishable to callers.
+            return Ok(Self {
+                storage: Storage::Heap {
+                    buf: Box::new([]),
+                    len: 0,
+                },
+            });
+        }
+        // SAFETY: a fresh anonymous-address, read-only, private mapping
+        // of a descriptor we own; the result is checked against
+        // MAP_FAILED before use. The descriptor may be closed after the
+        // call — POSIX keeps the mapping alive.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self {
+            storage: Storage::Mapped {
+                ptr: ptr.cast_const().cast::<u8>(),
+                len,
+            },
+        })
+    }
+
+    /// The file contents.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.storage {
+            #[cfg(unix)]
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, unmapped only in Drop; the borrow ties the slice to
+            // `&self`.
+            Storage::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Storage::Heap { buf, len } => {
+                // SAFETY: `buf` owns at least `len` initialized bytes.
+                unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), *len) }
+            }
+        }
+    }
+
+    /// Number of bytes held.
+    pub fn len(&self) -> usize {
+        match &self.storage {
+            #[cfg(unix)]
+            Storage::Mapped { len, .. } => *len,
+            Storage::Heap { len, .. } => *len,
+        }
+    }
+
+    /// Whether the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Which backing holds the contents.
+    pub fn backing(&self) -> Backing {
+        match &self.storage {
+            #[cfg(unix)]
+            Storage::Mapped { .. } => Backing::Mmap,
+            Storage::Heap { .. } => Backing::Heap,
+        }
+    }
+}
+
+impl Drop for MapFile {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Storage::Mapped { ptr, len } = &self.storage {
+            // SAFETY: unmapping the exact region this value mapped, once.
+            unsafe {
+                sys::munmap((*ptr).cast_mut().cast(), *len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MapFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapFile")
+            .field("backing", &self.backing())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Reinterprets `bytes` as a `u32` array. Returns `None` unless the
+/// pointer is 4-byte aligned and the length a multiple of 4. Values are
+/// read in **native** byte order — format headers must carry an
+/// endianness tag and refuse foreign files.
+pub fn as_u32s(bytes: &[u8]) -> Option<&[u32]> {
+    if !bytes.len().is_multiple_of(std::mem::size_of::<u32>())
+        || !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<u32>())
+    {
+        return None;
+    }
+    // SAFETY: alignment and length checked above; u32 has no invalid bit
+    // patterns; lifetime is inherited from the input borrow.
+    Some(unsafe {
+        std::slice::from_raw_parts(
+            bytes.as_ptr().cast::<u32>(),
+            bytes.len() / std::mem::size_of::<u32>(),
+        )
+    })
+}
+
+/// Reinterprets `bytes` as a `u128` array (16-byte alignment required);
+/// see [`as_u32s`].
+pub fn as_u128s(bytes: &[u8]) -> Option<&[u128]> {
+    if !bytes.len().is_multiple_of(std::mem::size_of::<u128>())
+        || !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<u128>())
+    {
+        return None;
+    }
+    // SAFETY: alignment and length checked above; u128 has no invalid bit
+    // patterns; lifetime is inherited from the input borrow.
+    Some(unsafe {
+        std::slice::from_raw_parts(
+            bytes.as_ptr().cast::<u128>(),
+            bytes.len() / std::mem::size_of::<u128>(),
+        )
+    })
+}
+
+#[cfg(unix)]
+mod sys {
+    //! The two libc entry points this crate needs, declared directly so
+    //! no external crate is required (std already links libc on unix).
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mapfile-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn mmap_and_read_agree() {
+        let path = temp_path("agree");
+        let data: Vec<u8> = (0..255u8).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&data)
+            .unwrap();
+        let mapped = MapFile::open(&path).unwrap();
+        let read = MapFile::read(&path).unwrap();
+        assert_eq!(mapped.bytes(), &data[..]);
+        assert_eq!(read.bytes(), &data[..]);
+        assert_eq!(read.backing(), Backing::Heap);
+        #[cfg(unix)]
+        assert_eq!(mapped.backing(), Backing::Mmap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let mapped = MapFile::open(&path).unwrap();
+        assert!(mapped.is_empty());
+        assert_eq!(mapped.bytes(), &[] as &[u8]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(MapFile::open(&temp_path("missing-never-created")).is_err());
+        assert!(MapFile::read(&temp_path("missing-never-created")).is_err());
+    }
+
+    #[test]
+    fn heap_backing_is_16_byte_aligned() {
+        let path = temp_path("aligned");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&[7u8; 48])
+            .unwrap();
+        let read = MapFile::read(&path).unwrap();
+        assert_eq!(read.bytes().as_ptr() as usize % 16, 0);
+        assert!(as_u128s(read.bytes()).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn casts_check_alignment_and_length() {
+        let buf = vec![0u128; 4];
+        // SAFETY-free view via safe indexing over a u128 buffer.
+        let bytes: &[u8] = as_bytes(&buf);
+        assert_eq!(as_u32s(bytes).unwrap().len(), 16);
+        assert_eq!(as_u128s(bytes).unwrap().len(), 4);
+        // Misaligned start (offset by one byte).
+        assert!(as_u32s(&bytes[1..5]).is_none());
+        // Length not a multiple of the element size.
+        assert!(as_u32s(&bytes[0..6]).is_none());
+        assert!(as_u128s(&bytes[0..24]).is_none());
+    }
+
+    #[test]
+    fn cast_values_round_trip() {
+        let words = [0x0102_0304u32, 0xDEAD_BEEF, 7, u32::MAX];
+        let mut bytes = Vec::new();
+        for w in words {
+            bytes.extend_from_slice(&w.to_ne_bytes());
+        }
+        // A u128-aligned copy of the bytes.
+        let mut buf = vec![0u128; 1];
+        as_bytes_mut(&mut buf)[..16].copy_from_slice(&bytes);
+        assert_eq!(as_u32s(&as_bytes(&buf)[..16]).unwrap(), &words);
+    }
+
+    fn as_bytes(buf: &[u128]) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(buf.as_ptr().cast(), buf.len() * 16) }
+    }
+
+    fn as_bytes_mut(buf: &mut [u128]) -> &mut [u8] {
+        unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast(), buf.len() * 16) }
+    }
+}
