@@ -181,7 +181,7 @@ fn bench_batch_window(c: &mut Criterion) {
 
     // Scoring-only comparison over one shared index.
     let ctx = bench_context();
-    let mut engine = DetectEngine::default();
+    let engine = DetectEngine::default();
     let snap = ctx.snapshot(ctx.day0());
     let index = engine.build_index(&snap, ctx.world.rib());
     let mut group = c.benchmark_group("score");
@@ -275,6 +275,79 @@ fn bench_incremental_window(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cross-month window parallelism, measured: the same cached 24-month
+/// low-churn store window as `incremental_window`, run through the
+/// window scheduler at 1/2/4/8 threads. At one thread every task runs
+/// inline on the driver (the serial walk); with workers, snapshot
+/// diffs, dirty-shard rescoring and per-month assembly of *different*
+/// months overlap on the persistent pool. Output is bit-identical at
+/// every thread count (property-tested in `sibling-core`; CI diffs the
+/// CLI's stdout too) — only wall-clock changes. The acceptance bar is
+/// ≥2x at 4 threads over 1 thread.
+///
+/// Also records the arena's lock-contention counter
+/// (`SetArena::shard_wait_count`) for the 4-thread run into
+/// `target/bench.json` — the sharded interner's health metric (expect
+/// low counts: 64-way fan-out keeps concurrent interns apart) — plus
+/// the machine's available parallelism, without which the `tN` series
+/// cannot be interpreted: on a single-core box the best possible
+/// outcome is near-parity (threads only add scheduling overhead), and
+/// the speedup bar applies to machines with ≥ 4 cores.
+fn bench_window_parallel(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("[window] machine parallelism: {cores} core(s)");
+    c.record_value("window_parallel/available_parallelism", cores as u64);
+    let months = 24i32;
+    let world = low_churn_world(2024);
+    let day0 = world.config.end;
+    let from = day0.add_months(-(months - 1));
+    let archive = world.rib_archive();
+    let snaps: Vec<Arc<SnapshotFile>> =
+        cached_snapshot_window("low-churn-small-2024", &world, from, day0);
+    let snapshot_of =
+        |d: sibling_net_types::MonthDate| snaps[d.months_since(&from).max(0) as usize].clone();
+
+    let mut group = c.benchmark_group("window_parallel");
+    for threads in [1usize, 2, 4, 8] {
+        // The engine (and so its persistent pool) is constructed outside
+        // the timed region: thread spawn/join is a one-time cost per
+        // engine, and timing it per iteration would charge t4/t8 for
+        // something t1 (no workers) never pays.
+        let mut engine = DetectEngine::new(EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        });
+        group.bench_function(format!("t{threads}"), |b| {
+            b.iter(|| {
+                let run = engine
+                    .run_window(from, day0, &archive, snapshot_of)
+                    .unwrap();
+                black_box(run.stats.total_pairs)
+            })
+        });
+    }
+    group.finish();
+
+    // Contention counter of one representative 4-thread window.
+    let mut engine = DetectEngine::new(EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    });
+    let run = engine
+        .run_window(from, day0, &archive, snapshot_of)
+        .unwrap();
+    println!(
+        "[window] 4 threads: {} pairs, {} arena shard waits over {} months",
+        run.stats.total_pairs,
+        engine.arena().shard_wait_count(),
+        run.stats.months
+    );
+    c.record_value(
+        "window_parallel/arena_shard_wait_count_t4",
+        engine.arena().shard_wait_count(),
+    );
+}
+
 /// The snapshot store's reason to exist, measured: producing one month
 /// of input by full regeneration (zone construction + CNAME resolution +
 /// routability filtering — what every process used to pay per month)
@@ -363,6 +436,7 @@ criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_trie, bench_rib_lookup, bench_rov, bench_scan, bench_batch_window,
-    bench_incremental_window, bench_store_load, bench_pool_dispatch, bench_worldgen
+    bench_incremental_window, bench_window_parallel, bench_store_load, bench_pool_dispatch,
+    bench_worldgen
 );
 criterion_main!(benches);

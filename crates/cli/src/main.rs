@@ -6,7 +6,7 @@
 //! sibling-prefixes publish  [--seed N] [--out FILE]
 //! sibling-prefixes audit    [--seed N]
 //! sibling-prefixes batch    --from YYYY-MM --to YYYY-MM [--seed N] [--mode incremental|full]
-//!                           [--store DIR]
+//!                           [--store DIR] [--window-threads N]
 //! sibling-prefixes snapshot export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N]
 //! sibling-prefixes run      [--seed N] [EXPERIMENT_ID ...]
 //! sibling-prefixes list
@@ -21,7 +21,7 @@
 use std::process::ExitCode;
 
 use sibling_analysis::{all_experiments, run_by_id, AnalysisContext};
-use sibling_core::longitudinal::compare;
+use sibling_core::longitudinal::PairLedger;
 use sibling_core::tuner::more_specific::tune_more_specific;
 use sibling_core::{DetectEngine, EngineConfig, SpTunerConfig};
 use sibling_dns::SnapshotStore;
@@ -102,14 +102,16 @@ fn usage() -> &'static str {
      \x20 tune     run SP-Tuner at custom thresholds  [--seed N] [--v4 LEN] [--v6 LEN]\n\
      \x20 publish  write the sibling prefix list CSV  [--seed N] [--out FILE]\n\
      \x20 audit    RPKI/ROV audit of sibling pairs    [--seed N]\n\
-     \x20 batch    longitudinal window in one pass    --from YYYY-MM --to YYYY-MM [--seed N] [--mode incremental|full] [--store DIR]\n\
+     \x20 batch    longitudinal window in one pass    --from YYYY-MM --to YYYY-MM [--seed N] [--mode incremental|full] [--store DIR] [--window-threads N]\n\
      \x20 snapshot export monthly snapshots to a store  export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N] [--force true]\n\
      \x20 run      run experiments by id              [--seed N] [ID ...]\n\
      \x20 list     list all experiment ids\n\
      \n\
      batch --store loads the window's snapshots from an exported store\n\
-     (mmap, zero-copy) instead of re-resolving zones; detection output is\n\
-     byte-identical either way\n"
+     (mmap, zero-copy) instead of re-resolving zones; batch\n\
+     --window-threads sizes the cross-month scheduler's pool (default:\n\
+     machine). detection output is byte-identical across stores, modes\n\
+     and thread counts\n"
 }
 
 fn context(args: &Args) -> Result<AnalysisContext, String> {
@@ -236,12 +238,15 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
 /// One-pass longitudinal sweep: walks the snapshot window through
 /// [`DetectEngine::run_window`], reusing the domain interner, RIB archive
 /// and hash-consed set arena across months, and reports the per-month
-/// sibling sets plus their month-over-month deltas.
+/// sibling sets plus their month-over-month deltas (computed
+/// delta-natively by a carried [`PairLedger`]).
 ///
 /// Detection output (stdout) is identical between `--mode=incremental`
 /// (the default: snapshot deltas, dirty-shard rescoring) and
-/// `--mode=full` (per-month rebuilds) — CI diffs the two. Churn and
-/// engine accounting go to stderr so the comparison stays clean.
+/// `--mode=full` (per-month rebuilds), and across every
+/// `--window-threads` count (the cross-month scheduler's bit-identity
+/// contract) — CI diffs all of them. Churn, timing and engine
+/// accounting go to stderr so the comparison stays clean.
 fn cmd_batch(args: &Args) -> Result<(), String> {
     let config = args.config()?;
     let from = args.month("from")?.unwrap_or(config.start);
@@ -257,6 +262,14 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         "full" => false,
         other => return Err(format!("unknown --mode {other:?} (incremental|full)")),
     };
+    // Pool size of the cross-month window scheduler; 0 (the default)
+    // sizes to the machine. Accepted but inert without the `parallel`
+    // feature — stdout is identical either way.
+    let window_threads: usize = args
+        .get("window-threads")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --window-threads".to_string())?;
     eprintln!(
         "generating world (seed {}, preset {})…",
         config.seed,
@@ -266,6 +279,7 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     let archive = world.rib_archive();
     let mut engine = DetectEngine::new(EngineConfig {
         incremental,
+        threads: window_threads,
         ..EngineConfig::default()
     });
     let run = match args.get("store") {
@@ -298,17 +312,18 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         "{:<9} {:>7} {:>8} {:>8} {:>9} {:>6} {:>9} {:>8}",
         "month", "pairs", "v4pfx", "v6pfx", "perfect%", "new", "unchanged", "changed"
     );
-    let mut prev: Option<&sibling_core::SiblingSet> = None;
-    for (date, set) in &run.results {
+    // Month-over-month deltas via one carried ledger: the old month's
+    // pair map is advanced in place, never rebuilt per comparison.
+    let mut ledger = PairLedger::new();
+    for (i, (date, set)) in run.results.iter().enumerate() {
         let (v4, v6) = set.unique_prefix_counts();
-        let delta = prev.map(|old| compare(old, set));
-        let (new, unchanged, changed) = delta
-            .as_ref()
-            .map(|d| {
-                let (n, u, c, _) = d.counts();
-                (n.to_string(), u.to_string(), c.to_string())
-            })
-            .unwrap_or_else(|| ("-".into(), "-".into(), "-".into()));
+        let delta = ledger.advance(set);
+        let (new, unchanged, changed) = if i == 0 {
+            ("-".into(), "-".into(), "-".into())
+        } else {
+            let (n, u, c, _) = delta.counts();
+            (n.to_string(), u.to_string(), c.to_string())
+        };
         println!(
             "{date}   {:>7} {:>8} {:>8} {:>8.1}% {:>6} {:>9} {:>8}",
             set.len(),
@@ -319,7 +334,6 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
             unchanged,
             changed
         );
-        prev = Some(set);
     }
     println!(
         "\n{} months, {} pairs total",
@@ -362,6 +376,32 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         run.stats.dedup_hits,
         run.stats.recycled_sets,
         run.stats.full_rebuilds
+    );
+
+    // Per-month timing breakdown (stderr): the sequential patch chain on
+    // the driver thread vs each month's spawn-to-assembled settle time —
+    // settle spans overlap across months under the window scheduler.
+    eprintln!("\ntiming    patch(µs)  settle(µs)");
+    let (mut patch_total, mut settle_total) = (0u64, 0u64);
+    for timing in &run.timings {
+        patch_total += timing.patch_ns;
+        settle_total += timing.settle_ns;
+        eprintln!(
+            "{}  {:>9} {:>11}",
+            timing.date,
+            timing.patch_ns / 1_000,
+            timing.settle_ns / 1_000
+        );
+    }
+    eprintln!(
+        "window: {} thread(s); patch chain {} µs total, settle {} µs summed across overlapping months",
+        if window_threads == 0 {
+            "auto".to_string()
+        } else {
+            window_threads.to_string()
+        },
+        patch_total / 1_000,
+        settle_total / 1_000
     );
     Ok(())
 }

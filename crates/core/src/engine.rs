@@ -1,4 +1,5 @@
-//! The sharded detection engine and incremental longitudinal batch driver.
+//! The sharded detection engine and pipelined cross-month window
+//! scheduler.
 //!
 //! [`crate::detect`] is the straightforward reference implementation of
 //! steps 3–4: one global candidate `BTreeSet`, one scoring pass, one
@@ -16,30 +17,65 @@
 //!   Candidate enumeration is a *counting join*: the walk that finds the
 //!   candidates already yields every `|A ∩ B|`, so the per-pair merge
 //!   walk of the serial reference disappears from the hot path.
-//! * **Parallelism** — with the `parallel` feature the shards run on the
-//!   vendored **persistent** work-stealing pool
-//!   ([`sibling_executor::ThreadPool`]), started once per engine and fed
-//!   through a queue, so per-month dispatch costs a wake-up instead of
-//!   thread spawns; without the feature they run sequentially. Both
-//!   paths are bit-identical by construction, which the property tests
-//!   in this module enforce.
-//! * **Hash-consed sets** — the engine owns a [`SetArena`] shared by
-//!   every index it builds, so identical domain sets are stored once,
-//!   compare by id, and intersections of identical sets short-circuit.
+//! * **Hash-consed sets** — the engine owns a concurrently-shareable
+//!   [`SetArena`] shared by every index it builds, so identical domain
+//!   sets are stored once, compare by id, and intersections of identical
+//!   sets short-circuit.
 //! * **Incremental batch driving** — [`DetectEngine::run_window`] walks
 //!   a dated snapshot window with cost proportional to **churn**, not
-//!   snapshot size. Consecutive snapshots are diffed
+//!   snapshot size: consecutive snapshots are diffed
 //!   ([`sibling_dns::SnapshotDelta`]), the previous month's index is
 //!   patched in place ([`crate::PrefixDomainIndex::apply_delta`],
-//!   recycling dead arena sets), and only *dirty* shards — those whose
-//!   IPv4 groups or candidate IPv6 prefixes the delta touched — are
-//!   rescored; clean shards reuse their cached pair runs and maxima from
-//!   the previous month. With the `parallel` feature the next month's
-//!   snapshot and delta are prefetched on the pool while the current
-//!   month scores. A changed RIB (compared by `Arc` identity) or
-//!   [`EngineConfig::incremental`]` = false` falls back to the full
-//!   rebuild path, which is also the oracle the property tests compare
-//!   bit-for-bit against across churn rates from 0% to full turnover.
+//!   recycling dead arena sets), and only *dirty* shards are rescored.
+//!
+//! # The window scheduler
+//!
+//! With the `parallel` feature, **the whole window is the unit of
+//! parallelism**. Months form a dependency DAG: month *m*'s index patch
+//! depends on month *m−1*'s index (a cheap, churn-sized, strictly
+//! sequential chain the driver thread walks), but everything else —
+//! month-over-month snapshot diffs, dirty-shard rescoring, and per-month
+//! assembly — runs as fire-and-forget tasks on the persistent pool
+//! ([`sibling_executor::ThreadPool`]), so independent dirty shards of
+//! *different* months score concurrently:
+//!
+//! ```text
+//! driver:   load₀ seed₀ | patch₁ spawn₁ | patch₂ spawn₂ | … collect
+//! pool:        diff₁ diff₂ …   score₁ₐ score₂ᵦ …  assemble₁ assemble₂ …
+//! ```
+//!
+//! The driver never waits for a month to finish before patching the
+//! next. That is sound because of how the state is split:
+//!
+//! * **Shared immutable core** — the scoring-relevant maps (per-prefix
+//!   group sets, per-domain prefix lists) live behind `Arc`s inside the
+//!   index; each month's tasks capture a [`ScoreView`] (two `Arc`
+//!   clones). Patching the next month goes through `Arc::make_mut`:
+//!   copy-on-write *only if* an older month's view is still in flight,
+//!   free when scoring has already drained (serial runs never copy).
+//! * **Per-month mutable slices** — each dirty shard's rescore gets its
+//!   own captured member list and fills its own result
+//!   [`sibling_executor::sync::Slot`]; a month's assembly task waits on
+//!   the per-shard slots it depends on (the most recent rescore at or
+//!   before that month) and reduces them exactly like the serial path.
+//! * **Structural candidate index** — dirtiness needs to know which
+//!   shards scored a changed IPv6 prefix last month. That used to be
+//!   derived from scoring *outcomes* (a cross-month serialization);
+//!   the scheduler instead maintains it structurally (a counted
+//!   shard↔candidate map patched from [`crate::index::DomainMove`]s), so
+//!   month *m+1*'s dirty set never waits on month *m*'s scores.
+//!
+//! Deferred arena recycling ([`SetArena::sweep`]) closes the loop: a set
+//! released by the patch chain while an in-flight view still holds it is
+//! parked and reclaimed once that month's scoring drains.
+//!
+//! Output is **bit-identical** to the serial incremental path and to the
+//! full-rebuild reference across thread counts, shard counts and churn
+//! rates — property-tested below. The key argument: a shard's outcome is
+//! a pure function of the month-*m* view it captured, the dirty rule
+//! over-approximates (rescoring a clean shard reproduces its cached
+//! outcome), and assembly consumes outcomes in shard order regardless of
+//! completion order.
 //!
 //! # Why clean shards may be reused
 //!
@@ -50,19 +86,21 @@
 //! domain mapped to before or after the change. A clean shard therefore
 //! contains no changed domain (its groups and their reverse entries are
 //! untouched) and none of its candidates changed size — candidates are
-//! exactly the shard's `best_v6` keys, because every candidate shares at
-//! least one domain and all supported metrics are strictly positive on a
-//! non-empty intersection.
+//! exactly the IPv6 prefixes its domains map into, and all supported
+//! metrics are strictly positive on a non-empty intersection.
 
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::BuildHasherDefault;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use sibling_bgp::{Rib, RibArchive};
-use sibling_dns::{DnsSnapshot, SnapshotDelta, SnapshotSource};
+use sibling_dns::{DnsSnapshot, DomainId, SnapshotDelta, SnapshotSource};
+use sibling_executor::sync::Slot;
 use sibling_net_types::{Ipv4Prefix, Ipv6Prefix, MonthDate};
 
-use crate::arena::{SetArena, SetHandle};
-use crate::index::PrefixDomainIndex;
+use crate::arena::{FxHasher, SetArena, SetHandle};
+use crate::index::{DomainMove, PrefixDomainIndex};
 use crate::metrics::{Ratio, SimilarityMetric};
 use crate::pipeline::{BestMatchPolicy, SiblingPair, SiblingSet};
 
@@ -76,7 +114,8 @@ pub struct EngineConfig {
     /// Number of candidate shards; `0` sizes automatically (a small
     /// multiple of the worker count, so stealing can balance skew).
     pub shards: usize,
-    /// Worker threads for the `parallel` feature; `0` sizes to the
+    /// Worker threads for the `parallel` feature (the pool size the
+    /// window scheduler and `detect` dispatch onto); `0` sizes to the
     /// machine. Ignored (serial execution) without the feature.
     pub threads: usize,
     /// Whether batch windows run incrementally (snapshot deltas, index
@@ -109,7 +148,7 @@ pub struct BatchStats {
     /// across months — the hash-consing payoff).
     pub dedup_hits: u64,
     /// Dead set slots recycled by incremental index patching during this
-    /// run.
+    /// run (including deferred recycles swept after scoring drained).
     pub recycled_sets: u64,
     /// Months that rebuilt the index from scratch (the first month, RIB
     /// changes, or `incremental = false`).
@@ -153,6 +192,20 @@ impl MonthChurn {
     }
 }
 
+/// Per-month wall-clock split of a batch run (the CLI's
+/// `--window-threads` timing breakdown).
+#[derive(Debug, Clone, Copy)]
+pub struct MonthTiming {
+    /// The processed month.
+    pub date: MonthDate,
+    /// Driver-thread time: snapshot/delta intake, index patching, dirty
+    /// bookkeeping and task spawning — the sequential part of the DAG.
+    pub patch_ns: u64,
+    /// Spawn-to-assembled wall time of the month's scoring + assembly —
+    /// overlaps other months' work under the window scheduler.
+    pub settle_ns: u64,
+}
+
 /// The result of a batch run: one sibling set per date, plus statistics.
 #[derive(Debug, Default)]
 pub struct BatchRun {
@@ -160,6 +213,8 @@ pub struct BatchRun {
     pub results: Vec<(MonthDate, SiblingSet)>,
     /// Per-month churn/rescoring accounting, in input date order.
     pub churn: Vec<MonthChurn>,
+    /// Per-month timing breakdown, in input date order.
+    pub timings: Vec<MonthTiming>,
     /// Aggregate run statistics.
     pub stats: BatchStats,
 }
@@ -189,13 +244,108 @@ pub struct DetectEngine {
 /// What one shard reports back: its pair run (already in `(v4, v6)`
 /// order) and its best-match maxima. IPv4 maxima are complete (shards
 /// partition the v4 prefixes); IPv6 maxima are partial and reduced by
-/// maximum across shards. The `best_v6` key set doubles as the shard's
-/// candidate list for incremental dirtiness checks (every candidate
-/// scores strictly positive).
+/// maximum across shards.
+#[derive(Default)]
 struct ShardOutcome {
     pairs: Vec<SiblingPair>,
     best_v4: BTreeMap<Ipv4Prefix, Ratio>,
     best_v6: BTreeMap<Ipv6Prefix, Ratio>,
+}
+
+/// The immutable month-*m* scoring inputs a shard task captures: the v6
+/// side of the index as two `Arc`d maps. Capturing is two pointer bumps;
+/// the next month's patch copies-on-write only while captures are alive.
+/// (The v4 side travels as each task's own member list, so it needs no
+/// sharing.)
+#[derive(Clone)]
+struct ScoreView {
+    v6_domains: Arc<BTreeMap<DomainId, Arc<[Ipv6Prefix]>>>,
+    v6_groups: Arc<BTreeMap<Ipv6Prefix, SetHandle>>,
+}
+
+impl ScoreView {
+    fn capture(index: &PrefixDomainIndex) -> Self {
+        Self {
+            v6_domains: index.family::<u128>().domain_prefixes_shared(),
+            v6_groups: index.family::<u128>().groups_shared(),
+        }
+    }
+}
+
+/// The structural shard↔candidate index: for every IPv6 prefix, how many
+/// `(v4 prefix, domain)` contributions each shard has that reach it. A
+/// shard scores pairs against exactly the v6 prefixes its domains map
+/// into, so `count > 0` ⇔ "this shard scored that candidate" — the same
+/// relation the pre-scheduler engine read off scoring outcomes, now
+/// maintained from [`DomainMove`]s without waiting for any score.
+#[derive(Default)]
+struct CandidateIndex {
+    map: HashMap<Ipv6Prefix, BTreeMap<u32, u32>, BuildHasherDefault<FxHasher>>,
+}
+
+impl CandidateIndex {
+    /// Builds the index from scratch (window seeding) — one pass over
+    /// the join structure, the same cost as one full scoring walk's
+    /// candidate enumeration.
+    fn seed(index: &PrefixDomainIndex, shard_count: usize) -> Self {
+        let mut this = Self::default();
+        for (p4, handle) in index.group_sets::<u32>() {
+            let shard = shard_of(p4, shard_count) as u32;
+            for d in handle.iter() {
+                if let Some(p6s) = index.prefixes_of_domain::<u128>(*d) {
+                    for p6 in p6s {
+                        this.bump(*p6, shard, 1);
+                    }
+                }
+            }
+        }
+        this
+    }
+
+    fn bump(&mut self, p6: Ipv6Prefix, shard: u32, delta: i32) {
+        let shards = self.map.entry(p6).or_default();
+        let count = shards.entry(shard).or_insert(0);
+        if delta > 0 {
+            *count += delta as u32;
+        } else {
+            debug_assert!(*count >= (-delta) as u32, "candidate count underflow");
+            *count = count.saturating_sub((-delta) as u32);
+        }
+        if *count == 0 {
+            shards.remove(&shard);
+            if shards.is_empty() {
+                self.map.remove(&p6);
+            }
+        }
+    }
+
+    /// Applies one month's domain transitions: every `(old v4 × old v6)`
+    /// contribution leaves, every `(new v4 × new v6)` contribution
+    /// enters — churn-proportional.
+    fn apply_moves(&mut self, moves: &[DomainMove], shard_count: usize) {
+        for mv in moves {
+            for p4 in &mv.old_v4 {
+                let shard = shard_of(p4, shard_count) as u32;
+                for p6 in &mv.old_v6 {
+                    self.bump(*p6, shard, -1);
+                }
+            }
+            for p4 in &mv.new_v4 {
+                let shard = shard_of(p4, shard_count) as u32;
+                for p6 in &mv.new_v6 {
+                    self.bump(*p6, shard, 1);
+                }
+            }
+        }
+    }
+
+    /// The shards currently holding `p6` as a scoring candidate.
+    fn shards_of(&self, p6: &Ipv6Prefix) -> impl Iterator<Item = usize> + '_ {
+        self.map
+            .get(p6)
+            .into_iter()
+            .flat_map(|shards| shards.keys().map(|&s| s as usize))
+    }
 }
 
 /// Carried state of an incremental window walk, generic over the
@@ -212,36 +362,44 @@ struct WindowState<H> {
     /// Shard count fixed for the whole window so cached outcomes stay
     /// addressable.
     shard_count: usize,
-    /// Cached per-shard outcomes of the last scored month.
-    caches: Vec<ShardOutcome>,
-    /// Reverse candidate index: which shards scored pairs against each
-    /// IPv6 prefix last month (shard lists sorted). Lets the dirty check
-    /// cost `O(|touched_v6|)` lookups instead of scanning every cached
-    /// shard's candidate list every month.
-    v6_shards: BTreeMap<Ipv6Prefix, Vec<usize>>,
+    /// Sorted member v4 prefixes per shard, maintained churn-wise (the
+    /// per-month basis of each dirty shard's captured group list).
+    members: Vec<Vec<Ipv4Prefix>>,
+    /// Latest outcome slot per shard — filled by the most recent rescore
+    /// (possibly months ago for clean shards). A month's assembly waits
+    /// on its snapshot of these.
+    slots: Vec<OutcomeSlot>,
+    /// Structural shard↔candidate index (see [`CandidateIndex`]).
+    candidates: CandidateIndex,
 }
 
 impl<H> WindowState<H> {
-    /// Rebuilds the reverse candidate entries of `shard` after its cache
-    /// is replaced by `new_outcome`.
-    fn reindex_shard(&mut self, shard: usize, new_outcome: &ShardOutcome) {
-        for p6 in self.caches[shard].best_v6.keys() {
-            if let Some(shards) = self.v6_shards.get_mut(p6) {
-                if let Ok(pos) = shards.binary_search(&shard) {
-                    shards.remove(pos);
-                }
-                if shards.is_empty() {
-                    self.v6_shards.remove(p6);
-                }
+    /// Re-aligns one shard's member list with the index after a patch
+    /// (the prefix may have gained its first domain or lost its last).
+    fn sync_member(&mut self, p4: Ipv4Prefix) {
+        let present = self.index.set_of(&p4).is_some();
+        let shard = shard_of(&p4, self.shard_count);
+        let members = &mut self.members[shard];
+        match members.binary_search(&p4) {
+            Ok(pos) if !present => {
+                members.remove(pos);
             }
-        }
-        for p6 in new_outcome.best_v6.keys() {
-            let shards = self.v6_shards.entry(*p6).or_default();
-            if let Err(pos) = shards.binary_search(&shard) {
-                shards.insert(pos, shard);
+            Err(pos) if present => {
+                members.insert(pos, p4);
             }
+            _ => {}
         }
     }
+}
+
+/// A shard's outcome slot: filled by the most recent rescore, shared by
+/// every month that depends on it.
+type OutcomeSlot = Arc<Slot<Arc<ShardOutcome>>>;
+
+/// One month's collected output (filled by its assembly task).
+struct MonthOutput {
+    set: SiblingSet,
+    settle_ns: u64,
 }
 
 /// Stable shard assignment: a deterministic hash of the prefix, so a
@@ -259,8 +417,13 @@ fn shard_of(prefix: &Ipv4Prefix, shard_count: usize) -> usize {
 /// serial reference does: v4 maxima are disjoint across shards, v6
 /// maxima merge by maximum, pairs concatenate and are best-match
 /// filtered. Shared by the one-shot [`DetectEngine::detect`] and the
-/// incremental window driver (which mixes cached and fresh outcomes).
-fn assemble(outcomes: &[ShardOutcome], policy: BestMatchPolicy) -> SiblingSet {
+/// window scheduler's assembly tasks (which mix cached and fresh
+/// outcomes). Consumes outcomes **in shard order** — completion order
+/// never matters.
+fn assemble<'a, I>(outcomes: I, policy: BestMatchPolicy) -> SiblingSet
+where
+    I: IntoIterator<Item = &'a ShardOutcome>,
+{
     let mut pairs: Vec<SiblingPair> = Vec::new();
     let mut best_v4: BTreeMap<Ipv4Prefix, Ratio> = BTreeMap::new();
     let mut best_v6: BTreeMap<Ipv6Prefix, Ratio> = BTreeMap::new();
@@ -285,6 +448,384 @@ fn assemble(outcomes: &[ShardOutcome], policy: BestMatchPolicy) -> SiblingSet {
     SiblingSet::from_pairs(pairs.into_iter().filter(policy_filter).collect())
 }
 
+/// Task dispatcher of the window scheduler: fire-and-forget closures
+/// that fill a [`Slot`]. With the `parallel` feature the closure runs as
+/// a detached scoped job on the persistent pool (panics poison the slot,
+/// re-raised at its first consumer); without it — or on a one-thread
+/// pool, where the executor runs detached jobs inline — execution is
+/// immediate and in submission order, which is exactly the serial walk.
+#[cfg(feature = "parallel")]
+struct Dispatch<'s, 'env: 's> {
+    scope: &'s sibling_executor::Scope<'env>,
+}
+
+#[cfg(not(feature = "parallel"))]
+struct Dispatch<'s, 'env: 's> {
+    _marker: std::marker::PhantomData<(&'s (), &'env ())>,
+}
+
+impl<'env> Dispatch<'_, 'env> {
+    /// Fires a raw detached closure; `urgent` jumps the pool queue (see
+    /// [`sibling_executor::Scope::spawn_detached_urgent`] — the caller
+    /// must guarantee the job waits on nothing enqueued before it).
+    #[cfg(feature = "parallel")]
+    fn exec<F>(&self, urgent: bool, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        if urgent {
+            self.scope.spawn_detached_urgent(f);
+        } else {
+            self.scope.spawn_detached(f);
+        }
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn exec<F>(&self, urgent: bool, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let _ = urgent;
+        f();
+    }
+
+    /// Fires a closure whose value lands in `slot` (poisoned on panic,
+    /// re-raised at the slot's first consumer).
+    fn run<T, F>(&self, slot: &Arc<Slot<T>>, f: F)
+    where
+        T: Send + 'env,
+        F: FnOnce() -> T + Send + 'env,
+    {
+        let slot = Arc::clone(slot);
+        self.exec(false, move || {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+                Ok(value) => slot.set(value),
+                Err(payload) => slot.poison(payload),
+            }
+        });
+    }
+}
+
+/// Everything the window scheduler's month steps share: the engine
+/// knobs, the shared arena and the task dispatcher.
+struct WindowCtx<'a, 's, 'env: 's> {
+    config: EngineConfig,
+    workers: usize,
+    arena: &'env SetArena,
+    dispatch: &'a Dispatch<'s, 'env>,
+}
+
+impl<'env> WindowCtx<'_, '_, 'env> {
+    /// (Re)seeds the window at `date`: full index build, full scoring of
+    /// every shard (as per-shard tasks), fresh candidate index.
+    fn seed_window<H>(
+        &self,
+        date: MonthDate,
+        snapshot: H,
+        rib: Arc<Rib>,
+        superseded: Option<WindowState<H>>,
+    ) -> (WindowState<H>, MonthChurn)
+    where
+        H: SnapshotSource + Clone + Send + 'static,
+    {
+        let index = PrefixDomainIndex::build_source_with_arena(&snapshot, &rib, self.arena);
+        if let Some(old) = superseded {
+            // Release the superseded index only *after* the new one is
+            // interned: recurring sets dedup onto the live slots (so
+            // releasing them is a no-op), and only sets the new month no
+            // longer uses recycle.
+            old.index.release_sets(self.arena);
+        }
+        let shard_count = window_shard_count(&self.config, self.workers, index.group_counts().0);
+        let mut members: Vec<Vec<Ipv4Prefix>> = vec![Vec::new(); shard_count];
+        for (p4, _) in index.group_sets::<u32>() {
+            // Group iteration ascends, so each member list stays sorted.
+            members[shard_of(p4, shard_count)].push(*p4);
+        }
+        let candidates = CandidateIndex::seed(&index, shard_count);
+        let placeholder: OutcomeSlot = Arc::new(Slot::ready(Arc::new(ShardOutcome::default())));
+        let mut slots: Vec<OutcomeSlot> = vec![placeholder; shard_count];
+        self.spawn_score_bundles(&index, &members, &mut slots, 0..shard_count);
+        let churn = MonthChurn {
+            date,
+            added: 0,
+            removed: 0,
+            retargeted: 0,
+            changed_effective: 0,
+            dirty_shards: shard_count,
+            total_shards: shard_count,
+            full_rebuild: true,
+        };
+        let state = WindowState {
+            snapshot,
+            rib,
+            index,
+            shard_count,
+            members,
+            slots,
+            candidates,
+        };
+        (state, churn)
+    }
+
+    /// The incremental month: apply the snapshot delta to the carried
+    /// index, mark the shards it touched dirty, and spawn rescoring
+    /// tasks for those — the clean remainder keeps its filled slots.
+    fn advance_month<H>(
+        &self,
+        state: &mut WindowState<H>,
+        date: MonthDate,
+        snapshot: H,
+        delta: SnapshotDelta,
+    ) -> MonthChurn
+    where
+        H: SnapshotSource + Clone + Send + 'static,
+    {
+        debug_assert_eq!(
+            delta.from_date(),
+            state.snapshot.snapshot_date(),
+            "delta base"
+        );
+        let report = state.index.apply_delta(&delta, &state.rib, self.arena);
+
+        let shard_count = state.shard_count;
+        let mut dirty = vec![false; shard_count];
+        for p4 in &report.touched_v4 {
+            dirty[shard_of(p4, shard_count)] = true;
+        }
+        for p6 in &report.touched_v6 {
+            // A candidate IPv6 prefix changed size: every pair against it
+            // rescales, so every shard that scored it goes dirty even
+            // though its own v4 groups are untouched. The candidate
+            // index still reflects *last* month here — exactly the
+            // shards whose cached outcomes mention p6.
+            for shard in state.candidates.shards_of(p6) {
+                dirty[shard] = true;
+            }
+        }
+        state.candidates.apply_moves(&report.moves, shard_count);
+        for p4 in &report.touched_v4 {
+            state.sync_member(*p4);
+        }
+
+        let dirty_shards = dirty.iter().filter(|d| **d).count();
+        if dirty_shards > 0 {
+            self.spawn_score_bundles(
+                &state.index,
+                &state.members,
+                &mut state.slots,
+                dirty
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(shard, dirty)| dirty.then_some(shard)),
+            );
+        }
+        state.snapshot = snapshot;
+        MonthChurn {
+            date,
+            added: delta.added_count(),
+            removed: delta.removed_count(),
+            retargeted: delta.retargeted_count(),
+            changed_effective: report.changed_domains,
+            dirty_shards,
+            total_shards: shard_count,
+            full_rebuild: false,
+        }
+    }
+
+    /// Rescores the given dirty shards, replacing their slots in
+    /// `slots`. The shards are **bundled** into at most ~2 tasks per
+    /// worker — at low churn a shard's rescore is microseconds of work,
+    /// so per-shard tasks would cost more dispatch than scoring — and
+    /// the bundles **jump the pool queue**: they capture this month's
+    /// [`ScoreView`], and draining them before older queued work (like
+    /// prefetched diffs) releases the view before the driver patches the
+    /// next month, keeping the copy-on-write maps in place. Queue-
+    /// jumping is sound here because a bundle waits on nothing.
+    ///
+    /// Shards with no members complete immediately via one shared ready
+    /// slot; a shard whose scoring panics poisons its own slot.
+    fn spawn_score_bundles<I>(
+        &self,
+        index: &PrefixDomainIndex,
+        members: &[Vec<Ipv4Prefix>],
+        slots: &mut [OutcomeSlot],
+        dirty: I,
+    ) where
+        I: IntoIterator<Item = usize>,
+    {
+        let empty: OutcomeSlot = Arc::new(Slot::ready(Arc::new(ShardOutcome::default())));
+        let mut work: Vec<(OutcomeSlot, Vec<(Ipv4Prefix, SetHandle)>)> = Vec::new();
+        for shard in dirty {
+            if members[shard].is_empty() {
+                slots[shard] = Arc::clone(&empty);
+                continue;
+            }
+            let groups: Vec<(Ipv4Prefix, SetHandle)> = members[shard]
+                .iter()
+                .map(|p4| (*p4, index.set_of(p4).expect("member is grouped").clone()))
+                .collect();
+            let slot = Arc::new(Slot::new());
+            slots[shard] = Arc::clone(&slot);
+            work.push((slot, groups));
+        }
+        if work.is_empty() {
+            return;
+        }
+        let view = ScoreView::capture(index);
+        let metric = self.config.metric;
+        let chunk = work.len().div_ceil(self.workers.max(1) * 2);
+        while !work.is_empty() {
+            let rest = work.split_off(chunk.min(work.len()));
+            let bundle = std::mem::replace(&mut work, rest);
+            let view = view.clone();
+            self.dispatch.exec(true, move || {
+                for (slot, groups) in bundle {
+                    let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        Arc::new(score_shard(&view, metric, &groups))
+                    }));
+                    match scored {
+                        Ok(outcome) => slot.set(outcome),
+                        Err(payload) => slot.poison(payload),
+                    }
+                }
+            });
+        }
+    }
+
+    /// Spawns the month's assembly task: waits for the per-shard slots
+    /// the month depends on (in shard order) and reduces them into the
+    /// month's sibling set.
+    fn spawn_assemble<H>(&self, state: &WindowState<H>) -> Arc<Slot<MonthOutput>> {
+        let deps = state.slots.clone();
+        let policy = self.config.policy;
+        let slot = Arc::new(Slot::new());
+        let spawned = Instant::now();
+        self.dispatch.run(&slot, move || {
+            let outcomes: Vec<Arc<ShardOutcome>> = deps.iter().map(|slot| slot.wait()).collect();
+            let set = assemble(outcomes.iter().map(|o| &**o), policy);
+            MonthOutput {
+                set,
+                settle_ns: spawned.elapsed().as_nanos() as u64,
+            }
+        });
+        slot
+    }
+
+    /// A non-incremental month: one task builds a fresh index against
+    /// the shared (concurrent) arena and scores it whole — so in full
+    /// mode, entire months run in parallel.
+    fn spawn_full_month<H>(&self, snapshot: H, rib: Arc<Rib>) -> Arc<Slot<MonthOutput>>
+    where
+        H: SnapshotSource + Clone + Send + 'static,
+    {
+        let config = self.config;
+        let workers = self.workers;
+        let arena = self.arena;
+        let slot = Arc::new(Slot::new());
+        let spawned = Instant::now();
+        self.dispatch.run(&slot, move || {
+            let index = PrefixDomainIndex::build_source_with_arena(&snapshot, &rib, arena);
+            let set = detect_standalone(&index, &config, workers);
+            MonthOutput {
+                set,
+                settle_ns: spawned.elapsed().as_nanos() as u64,
+            }
+        });
+        slot
+    }
+}
+
+/// Shard count for the one-shot `detect` path, where shards are
+/// positional chunks.
+fn one_shot_shard_count(config: &EngineConfig, workers: usize, groups: usize) -> usize {
+    let configured = if config.shards > 0 {
+        config.shards
+    } else {
+        // A few shards per worker lets the pool steal around skewed
+        // candidate distributions; serially it only affects the
+        // chunking, not the result.
+        workers * 4
+    };
+    configured.clamp(1, groups)
+}
+
+/// Shard count for an incremental window, fixed when the window
+/// (re)seeds so the shard assignment stays stable across months.
+///
+/// Unlike the one-shot path, incremental sharding is sized for
+/// **dirty granularity**, not just parallelism: with a handful of
+/// groups per shard, a low-churn month marks a correspondingly low
+/// fraction of shards dirty, and the clean remainder reuses cached
+/// outcomes. Empty shards cost one ready slot each during seeding, so
+/// overshooting is cheap; the cap bounds that overhead.
+fn window_shard_count(config: &EngineConfig, workers: usize, groups_hint: usize) -> usize {
+    if config.shards > 0 {
+        return config.shards.max(1);
+    }
+    // Aim for one group per shard (exact dirty granularity — a clean
+    // group is never rescored just for sharing a shard with a dirty
+    // one), capped so bucket bookkeeping stays bounded at paper
+    // scale. The floor is capped too, so absurd thread counts cannot
+    // invert the clamp bounds.
+    let parallel_floor = (workers * 4).clamp(1, 4096);
+    groups_hint.clamp(parallel_floor, 4096)
+}
+
+/// Serial one-shot detection with the same shard layout as
+/// [`DetectEngine::detect`] — used inside full-mode month tasks, which
+/// must not nest a `map` onto the pool they already occupy (whole months
+/// are the parallel unit there).
+fn detect_standalone(
+    index: &PrefixDomainIndex,
+    config: &EngineConfig,
+    workers: usize,
+) -> SiblingSet {
+    let Some(layout) = OneShotLayout::of(index, config, workers) else {
+        return SiblingSet::default();
+    };
+    let outcomes: Vec<ShardOutcome> = layout
+        .shards()
+        .map(|shard| score_shard(&layout.view, config.metric, shard))
+        .collect();
+    assemble(outcomes.iter(), config.policy)
+}
+
+/// The shared setup of both one-shot paths ([`DetectEngine::detect`] and
+/// [`detect_standalone`]): the captured view plus the positional shard
+/// chunking. Keeping one implementation guarantees the two paths can
+/// only differ in *how* the chunks are dispatched, never in what they
+/// score — the full-mode/incremental bit-identity contract rests on it.
+struct OneShotLayout {
+    view: ScoreView,
+    groups: Vec<(Ipv4Prefix, SetHandle)>,
+    chunk: usize,
+}
+
+impl OneShotLayout {
+    /// `None` iff the index has no v4 groups (nothing to detect).
+    fn of(index: &PrefixDomainIndex, config: &EngineConfig, workers: usize) -> Option<Self> {
+        let groups: Vec<(Ipv4Prefix, SetHandle)> = index
+            .group_sets::<u32>()
+            .map(|(p, h)| (*p, h.clone()))
+            .collect();
+        if groups.is_empty() {
+            return None;
+        }
+        let shard_count = one_shot_shard_count(config, workers, groups.len());
+        let chunk = groups.len().div_ceil(shard_count);
+        Some(Self {
+            view: ScoreView::capture(index),
+            groups,
+            chunk,
+        })
+    }
+
+    fn shards(&self) -> impl Iterator<Item = &[(Ipv4Prefix, SetHandle)]> {
+        self.groups.chunks(self.chunk)
+    }
+}
+
 impl DetectEngine {
     /// An engine with the given configuration and an empty arena.
     pub fn new(config: EngineConfig) -> Self {
@@ -307,26 +848,22 @@ impl DetectEngine {
     /// Builds a snapshot index whose group sets are interned in the
     /// engine's arena, sharing storage with every other index this
     /// engine has built.
-    pub fn build_index(&mut self, snapshot: &DnsSnapshot, rib: &Rib) -> PrefixDomainIndex {
-        PrefixDomainIndex::build_with_arena(snapshot, rib, &mut self.arena)
+    pub fn build_index(&self, snapshot: &DnsSnapshot, rib: &Rib) -> PrefixDomainIndex {
+        PrefixDomainIndex::build_with_arena(snapshot, rib, &self.arena)
     }
 
     /// Steps 3–4 over one index: sharded candidate generation and
     /// scoring, then a best-match reduction. Output is bit-identical to
     /// [`crate::detect`] with the same metric and policy.
     pub fn detect(&self, index: &PrefixDomainIndex) -> SiblingSet {
-        let v4_groups: Vec<(Ipv4Prefix, &SetHandle)> =
-            index.group_sets::<u32>().map(|(p, h)| (*p, h)).collect();
-        if v4_groups.is_empty() {
+        let Some(layout) = OneShotLayout::of(index, &self.config, self.workers()) else {
             return SiblingSet::default();
-        }
-
-        let shard_count = self.shard_count(v4_groups.len());
-        let chunk = v4_groups.len().div_ceil(shard_count);
-        let shards: Vec<&[(Ipv4Prefix, &SetHandle)]> = v4_groups.chunks(chunk).collect();
+        };
+        let shards: Vec<&[(Ipv4Prefix, SetHandle)]> = layout.shards().collect();
         let metric = self.config.metric;
-        let outcomes = self.execute(&shards, |shard| score_shard(index, metric, shard));
-        assemble(&outcomes, self.config.policy)
+        let view = &layout.view;
+        let outcomes = self.execute(&shards, |shard| score_shard(view, metric, shard));
+        assemble(outcomes.iter(), self.config.policy)
     }
 
     /// Walks the inclusive monthly window `from..=to` once: per month,
@@ -335,7 +872,8 @@ impl DetectEngine {
     /// index interned in the shared arena. With
     /// [`EngineConfig::incremental`] (the default) consecutive months are
     /// processed as snapshot deltas with dirty-shard rescoring, so the
-    /// walk's cost scales with churn.
+    /// walk's cost scales with churn — and with the `parallel` feature
+    /// the months themselves overlap on the pool (see module docs).
     ///
     /// The provider returns any owning, cheaply-cloneable
     /// [`SnapshotSource`] handle: `Arc<DnsSnapshot>` for regenerated
@@ -374,284 +912,166 @@ impl DetectEngine {
         H: SnapshotSource + Clone + Send + 'static,
         S: FnMut(MonthDate) -> H + Send,
     {
-        // The provider sits behind a mutex so prefetch tasks on the pool
-        // can call it while the walk owns everything else; accesses never
-        // overlap in time (a month's prefetch is joined before the next
-        // is spawned), so the lock is uncontended.
-        let snapshot_of = std::sync::Mutex::new(&mut snapshot_of);
-        #[cfg(feature = "parallel")]
-        {
-            let pool = Arc::clone(self.pool());
-            pool.scope(|scope| self.run_dates_inner(dates, archive, &snapshot_of, scope))
-        }
-        #[cfg(not(feature = "parallel"))]
-        {
-            self.run_dates_inner(dates, archive, &snapshot_of)
-        }
-    }
-
-    /// The window walk body. With the `parallel` feature it runs inside
-    /// a pool scope whose tasks prefetch next month's snapshot + delta.
-    fn run_dates_inner<'env, H, S>(
-        &mut self,
-        dates: &[MonthDate],
-        archive: &RibArchive,
-        snapshot_of: &'env std::sync::Mutex<&'env mut S>,
-        #[cfg(feature = "parallel")] scope: &sibling_executor::Scope<'env>,
-    ) -> Result<BatchRun, String>
-    where
-        H: SnapshotSource + Clone + Send + 'static,
-        S: FnMut(MonthDate) -> H + Send,
-    {
-        let mut run = BatchRun::default();
+        // The provider sits behind a mutex so the signature stays
+        // uniform; only the driver thread calls it (sequentially), so
+        // the lock is uncontended.
+        let snapshot_of = Mutex::new(&mut snapshot_of);
         let recycled_before = self.arena.recycled_count();
-        let mut state: Option<WindowState<H>> = None;
-        let mut prefetched: Option<(H, SnapshotDelta)> = None;
-
-        #[cfg_attr(not(feature = "parallel"), allow(unused_variables))]
-        for (i, &date) in dates.iter().enumerate() {
-            let rib = archive
-                .at_or_before(date)
-                .ok_or_else(|| format!("no RIB snapshot at or before {date}"))?;
-            let (snapshot, delta) = match prefetched.take() {
-                Some((snap, delta)) => (snap, Some(delta)),
-                None => ((*snapshot_of.lock().unwrap())(date), None),
+        #[cfg(feature = "parallel")]
+        let result = {
+            let pool = Arc::clone(self.pool());
+            pool.scope(|scope| {
+                let dispatch = Dispatch { scope };
+                self.run_dates_inner(dates, archive, &snapshot_of, &dispatch)
+            })
+        };
+        #[cfg(not(feature = "parallel"))]
+        let result = {
+            let dispatch = Dispatch {
+                _marker: std::marker::PhantomData,
             };
-
-            // Overlap: derive the next month's snapshot and delta on the
-            // pool while this thread scores the current month. The scope
-            // guarantees the task finishes before `run_dates` returns,
-            // and it is joined before the next iteration needs one.
-            #[cfg(feature = "parallel")]
-            let next_task = if self.config.incremental && i + 1 < dates.len() {
-                let next_date = dates[i + 1];
-                let base = snapshot.clone();
-                Some(scope.spawn(move || {
-                    let next = (*snapshot_of.lock().unwrap())(next_date);
-                    let delta = SnapshotDelta::diff_sources(&base, &next);
-                    (next, delta)
-                }))
-            } else {
-                None
-            };
-
-            let (set, churn) = self.process_month(&mut state, date, snapshot, rib, delta);
-            run.stats.total_pairs += set.len();
-            if churn.full_rebuild {
-                run.stats.full_rebuilds += 1;
-            }
-            run.results.push((date, set));
-            run.churn.push(churn);
-
-            #[cfg(feature = "parallel")]
-            if let Some(task) = next_task {
-                prefetched = Some(task.join());
-            }
-        }
-
-        run.stats.months = dates.len();
+            self.run_dates_inner(dates, archive, &snapshot_of, &dispatch)
+        };
+        let mut run = result?;
+        // Arena accounting happens strictly after the scope has drained:
+        // collection unblocks on each month's `Slot::set`, but a score
+        // bundle still holds its captured view/handles for an instant
+        // after its last `set` — only the scope exit guarantees every
+        // task (and thus every transient pin) is gone, making the final
+        // sweep and the stats deterministic across schedules.
+        self.arena.sweep();
         run.stats.distinct_sets = self.arena.len();
         run.stats.dedup_hits = self.arena.dedup_hits();
         run.stats.recycled_sets = self.arena.recycled_count() - recycled_before;
         Ok(run)
     }
 
-    /// One month of a batch walk: incremental (delta + dirty shards)
-    /// when a compatible previous month is carried, full otherwise.
-    fn process_month<H: SnapshotSource + Clone>(
-        &mut self,
-        state: &mut Option<WindowState<H>>,
-        date: MonthDate,
-        snapshot: H,
-        rib: Arc<Rib>,
-        delta: Option<SnapshotDelta>,
-    ) -> (SiblingSet, MonthChurn) {
-        if !self.config.incremental {
-            // The reference per-date pipeline: fresh index, full scoring.
-            let index =
-                PrefixDomainIndex::build_source_with_arena(&snapshot, &rib, &mut self.arena);
-            let set = self.detect(&index);
-            let churn = MonthChurn {
-                date,
-                added: 0,
-                removed: 0,
-                retargeted: 0,
-                changed_effective: 0,
-                dirty_shards: 0,
-                total_shards: 0,
-                full_rebuild: true,
-            };
-            return (set, churn);
-        }
-        if let Some(prev) = state.as_mut() {
-            if Arc::ptr_eq(&prev.rib, &rib) {
-                return self.month_delta(prev, date, snapshot, delta);
-            }
-            // A different RIB invalidates every domain→prefix mapping:
-            // fall through to a rebuild that re-seeds the window state.
-        }
-        let superseded = state.take();
-        let index = PrefixDomainIndex::build_source_with_arena(&snapshot, &rib, &mut self.arena);
-        if let Some(old) = superseded {
-            // Release the superseded index only *after* the new one is
-            // interned: recurring sets dedup onto the live slots (so
-            // releasing them is a no-op), and only sets the new month no
-            // longer uses recycle.
-            old.index.release_sets(&mut self.arena);
-        }
-        let shard_count = self.window_shard_count(index.group_counts().0);
-        let scored = self.score_shards(&index, shard_count, None);
-        let caches: Vec<ShardOutcome> = scored.into_iter().map(|(_, outcome)| outcome).collect();
-        let mut v6_shards: BTreeMap<Ipv6Prefix, Vec<usize>> = BTreeMap::new();
-        for (shard, cache) in caches.iter().enumerate() {
-            for p6 in cache.best_v6.keys() {
-                // Shards ascend, so each list stays sorted.
-                v6_shards.entry(*p6).or_default().push(shard);
-            }
-        }
-        let set = assemble(&caches, self.config.policy);
-        let churn = MonthChurn {
-            date,
-            added: 0,
-            removed: 0,
-            retargeted: 0,
-            changed_effective: 0,
-            dirty_shards: shard_count,
-            total_shards: shard_count,
-            full_rebuild: true,
+    /// The window scheduler's driver loop (see module docs): walk the
+    /// months, keep the patch chain sequential, fan everything else out
+    /// through the dispatcher, then collect per-month results in order.
+    fn run_dates_inner<'env, H, S>(
+        &'env self,
+        dates: &[MonthDate],
+        archive: &RibArchive,
+        snapshot_of: &Mutex<&mut S>,
+        dispatch: &Dispatch<'_, 'env>,
+    ) -> Result<BatchRun, String>
+    where
+        H: SnapshotSource + Clone + Send + 'static,
+        S: FnMut(MonthDate) -> H + Send,
+    {
+        let config = self.config;
+        let arena = &self.arena;
+        let ctx = WindowCtx {
+            config,
+            workers: self.workers(),
+            arena,
+            dispatch,
         };
-        *state = Some(WindowState {
-            snapshot,
-            rib,
-            index,
-            shard_count,
-            caches,
-            v6_shards,
-        });
-        (set, churn)
-    }
+        let n = dates.len();
 
-    /// The incremental month: apply the snapshot delta to the carried
-    /// index, mark the shards it touched dirty, rescore only those, and
-    /// reassemble the sibling set from cached + fresh shard outcomes.
-    fn month_delta<H: SnapshotSource>(
-        &mut self,
-        prev: &mut WindowState<H>,
-        date: MonthDate,
-        snapshot: H,
-        delta: Option<SnapshotDelta>,
-    ) -> (SiblingSet, MonthChurn) {
-        let delta = delta.unwrap_or_else(|| SnapshotDelta::diff_sources(&prev.snapshot, &snapshot));
-        debug_assert_eq!(
-            delta.from_date(),
-            prev.snapshot.snapshot_date(),
-            "delta base"
-        );
-        let report = prev.index.apply_delta(&delta, &prev.rib, &mut self.arena);
+        // Fail fast: resolve every month's RIB up front (Arc lookups).
+        let ribs: Vec<Arc<Rib>> = dates
+            .iter()
+            .map(|&date| {
+                archive
+                    .at_or_before(date)
+                    .ok_or_else(|| format!("no RIB snapshot at or before {date}"))
+            })
+            .collect::<Result<_, _>>()?;
 
-        let shard_count = prev.shard_count;
-        let mut dirty = vec![false; shard_count];
-        for p4 in &report.touched_v4 {
-            dirty[shard_of(p4, shard_count)] = true;
-        }
-        for p6 in &report.touched_v6 {
-            // A candidate IPv6 prefix changed size: every pair against it
-            // rescales, so every shard that scored it goes dirty even
-            // though its own v4 groups are untouched.
-            if let Some(shards) = prev.v6_shards.get(p6) {
-                for &shard in shards {
-                    dirty[shard] = true;
+        // Sliding prefetch: snapshots load on the driver (the provider
+        // contract is sequential) a few months ahead; each consecutive
+        // pair's delta derives as its own pool task, so diffs of several
+        // future months overlap the current month's patch and scores.
+        let lookahead = ctx.workers.max(1) + 1;
+        let mut snaps: Vec<Option<H>> = (0..n).map(|_| None).collect();
+        let mut diffs: Vec<Option<Arc<Slot<SnapshotDelta>>>> = (0..n).map(|_| None).collect();
+        let mut loaded = 0usize;
+
+        let mut state: Option<WindowState<H>> = None;
+        let mut month_slots: Vec<Arc<Slot<MonthOutput>>> = Vec::with_capacity(n);
+        let mut churns: Vec<MonthChurn> = Vec::with_capacity(n);
+        let mut patch_ns: Vec<u64> = Vec::with_capacity(n);
+
+        for i in 0..n {
+            while loaded < n && loaded <= i + lookahead {
+                let handle = (snapshot_of.lock().unwrap())(dates[loaded]);
+                if config.incremental && loaded > 0 {
+                    let prev = snaps[loaded - 1].clone().expect("loaded in order");
+                    let next = handle.clone();
+                    let slot = Arc::new(Slot::new());
+                    diffs[loaded] = Some(Arc::clone(&slot));
+                    dispatch.run(&slot, move || SnapshotDelta::diff_sources(&prev, &next));
                 }
+                snaps[loaded] = Some(handle);
+                loaded += 1;
             }
-        }
-        let dirty_shards = dirty.iter().filter(|d| **d).count();
-        if dirty_shards > 0 {
-            let rescored = self.score_shards(&prev.index, shard_count, Some(&dirty));
-            for (shard, outcome) in rescored {
-                prev.reindex_shard(shard, &outcome);
-                prev.caches[shard] = outcome;
-            }
-        }
-        let set = assemble(&prev.caches, self.config.policy);
-        prev.snapshot = snapshot;
-        let churn = MonthChurn {
-            date,
-            added: delta.added_count(),
-            removed: delta.removed_count(),
-            retargeted: delta.retargeted_count(),
-            changed_effective: report.changed_domains,
-            dirty_shards,
-            total_shards: shard_count,
-            full_rebuild: false,
-        };
-        (set, churn)
-    }
+            let snapshot = snaps[i].take().expect("prefetched in order");
+            let rib = ribs[i].clone();
+            let started = Instant::now();
 
-    /// Buckets the index's v4 groups into their stable hash shards and
-    /// scores the selected shards (all of them when `only` is `None`),
-    /// in parallel with the feature on. Returns `(shard, outcome)` in
-    /// shard order.
-    fn score_shards(
-        &self,
-        index: &PrefixDomainIndex,
-        shard_count: usize,
-        only: Option<&[bool]>,
-    ) -> Vec<(usize, ShardOutcome)> {
-        // Empty `Vec`s cost nothing; groups landing in clean shards are
-        // skipped outright so a low-churn month's bucketing allocates
-        // only for the shards it will actually rescore.
-        let mut buckets: Vec<Vec<(Ipv4Prefix, &SetHandle)>> = vec![Vec::new(); shard_count];
-        for (prefix, handle) in index.group_sets::<u32>() {
-            let shard = shard_of(prefix, shard_count);
-            if only.is_none_or(|dirty| dirty[shard]) {
-                buckets[shard].push((*prefix, handle));
-            }
+            let churn = if !config.incremental {
+                // The reference per-date pipeline: fresh index, full
+                // scoring — dispatched whole, so full-mode months
+                // parallelize across the window.
+                month_slots.push(ctx.spawn_full_month(snapshot, rib));
+                MonthChurn {
+                    date: dates[i],
+                    added: 0,
+                    removed: 0,
+                    retargeted: 0,
+                    changed_effective: 0,
+                    dirty_shards: 0,
+                    total_shards: 0,
+                    full_rebuild: true,
+                }
+            } else {
+                let churn = match state.as_mut() {
+                    Some(prev) if Arc::ptr_eq(&prev.rib, &rib) => {
+                        let delta = match diffs[i].take() {
+                            Some(slot) => slot.take(),
+                            None => SnapshotDelta::diff_sources(&prev.snapshot, &snapshot),
+                        };
+                        ctx.advance_month(prev, dates[i], snapshot, delta)
+                    }
+                    // A different RIB invalidates every domain→prefix
+                    // mapping: rebuild, re-seeding the window state.
+                    _ => {
+                        let superseded = state.take();
+                        let (seeded, churn) = ctx.seed_window(dates[i], snapshot, rib, superseded);
+                        state = Some(seeded);
+                        churn
+                    }
+                };
+                month_slots.push(ctx.spawn_assemble(state.as_ref().expect("state seeded")));
+                churn
+            };
+            patch_ns.push(started.elapsed().as_nanos() as u64);
+            churns.push(churn);
+            // Reclaim sets whose deferred releases have since unpinned.
+            arena.sweep();
         }
-        let selected: Vec<(usize, Vec<(Ipv4Prefix, &SetHandle)>)> = buckets
-            .into_iter()
-            .enumerate()
-            .filter(|(shard, _)| only.is_none_or(|dirty| dirty[*shard]))
-            .collect();
-        let metric = self.config.metric;
-        self.execute(&selected, |(shard, bucket)| {
-            (*shard, score_shard(index, metric, bucket))
-        })
-    }
 
-    /// Effective shard count for `groups` v4 prefix groups (the one-shot
-    /// `detect` path, where shards are positional chunks).
-    fn shard_count(&self, groups: usize) -> usize {
-        let configured = if self.config.shards > 0 {
-            self.config.shards
-        } else {
-            // A few shards per worker lets the pool steal around skewed
-            // candidate distributions; serially it only affects the
-            // chunking, not the result.
-            self.workers() * 4
-        };
-        configured.clamp(1, groups)
-    }
-
-    /// Shard count for an incremental window, fixed when the window
-    /// (re)seeds so the shard assignment stays stable across months.
-    ///
-    /// Unlike the one-shot path, incremental sharding is sized for
-    /// **dirty granularity**, not just parallelism: with a handful of
-    /// groups per shard, a low-churn month marks a correspondingly low
-    /// fraction of shards dirty, and the clean remainder reuses cached
-    /// outcomes. Empty shards cost one `Vec` each during bucketing, so
-    /// overshooting is cheap; the cap bounds that overhead.
-    fn window_shard_count(&self, groups_hint: usize) -> usize {
-        if self.config.shards > 0 {
-            return self.config.shards.max(1);
+        // Collect in input order (blocking on stragglers), then account.
+        let mut run = BatchRun::default();
+        for (i, slot) in month_slots.iter().enumerate() {
+            let output = slot.take();
+            run.stats.total_pairs += output.set.len();
+            run.results.push((dates[i], output.set));
+            run.timings.push(MonthTiming {
+                date: dates[i],
+                patch_ns: patch_ns[i],
+                settle_ns: output.settle_ns,
+            });
         }
-        // Aim for one group per shard (exact dirty granularity — a clean
-        // group is never rescored just for sharing a shard with a dirty
-        // one), capped so bucket bookkeeping stays bounded at paper
-        // scale. The floor is capped too, so absurd thread counts cannot
-        // invert the clamp bounds.
-        let parallel_floor = (self.workers() * 4).clamp(1, 4096);
-        groups_hint.clamp(parallel_floor, 4096)
+        run.stats.full_rebuilds = churns.iter().filter(|c| c.full_rebuild).count();
+        run.churn = churns;
+        run.stats.months = n;
+        // Arena stats (and the final sweep) are filled in by `run_dates`
+        // once the pool scope has drained — a straggling bundle may
+        // still pin sets for an instant after its last `Slot::set`.
+        Ok(run)
     }
 
     #[cfg(feature = "parallel")]
@@ -697,7 +1117,7 @@ impl DetectEngine {
 }
 
 /// Scores one shard of IPv4 prefix groups against their candidate IPv6
-/// counterparts (domain co-occurrence via the reverse map).
+/// counterparts (domain co-occurrence via the captured month view).
 ///
 /// Candidate enumeration doubles as intersection computation: every
 /// domain `d` of the v4 group contributes one count to each IPv6 prefix
@@ -706,9 +1126,9 @@ impl DetectEngine {
 /// merge walk the serial reference pays — `O(|A| + |B|)` per candidate —
 /// disappears entirely; scoring a pair costs one map entry.
 fn score_shard(
-    index: &PrefixDomainIndex,
+    view: &ScoreView,
     metric: SimilarityMetric,
-    groups: &[(Ipv4Prefix, &SetHandle)],
+    groups: &[(Ipv4Prefix, SetHandle)],
 ) -> ShardOutcome {
     let mut pairs = Vec::new();
     let mut best_v4 = BTreeMap::new();
@@ -717,15 +1137,18 @@ fn score_shard(
     for (p4, a) in groups {
         counts.clear();
         for d in a.iter() {
-            if let Some(v6_prefixes) = index.prefixes_of_domain::<u128>(*d) {
-                for p6 in v6_prefixes {
+            if let Some(v6_prefixes) = view.v6_domains.get(d) {
+                for p6 in v6_prefixes.iter() {
                     *counts.entry(*p6).or_insert(0) += 1;
                 }
             }
         }
         let mut local_best = Ratio::ZERO;
         for (&p6, &shared) in &counts {
-            let b = index.set_of(&p6).expect("candidate v6 prefix indexed");
+            let b = view
+                .v6_groups
+                .get(&p6)
+                .expect("candidate v6 prefix indexed");
             debug_assert_eq!(
                 shared,
                 a.intersection_size(b),
@@ -830,7 +1253,7 @@ mod tests {
                 SimilarityMetric::Overlap,
             ] {
                 for shards in [0, 1, 3, 64] {
-                    let mut engine = DetectEngine::new(EngineConfig {
+                    let engine = DetectEngine::new(EngineConfig {
                         metric,
                         policy,
                         shards,
@@ -869,7 +1292,7 @@ mod tests {
                 vec![a6("2600:1::1") + d as u128],
             );
         }
-        let mut engine = DetectEngine::default();
+        let engine = DetectEngine::default();
         let index = engine.build_index(&snap, &rib);
         let a = index.set_of(&p4("203.0.0.0/16")).unwrap();
         let b = index.set_of(&p6("2600:1::/32")).unwrap();
@@ -917,6 +1340,7 @@ mod tests {
         assert!(run.stats.distinct_sets > 0);
         assert_eq!(run.churn.len(), 3);
         assert!(run.churn[0].full_rebuild);
+        assert_eq!(run.timings.len(), 3, "one timing record per month");
 
         for (date, snap) in &snaps {
             let index = PrefixDomainIndex::build(snap, &rib);
@@ -1039,6 +1463,71 @@ mod tests {
         }
     }
 
+    /// The cross-month scheduler contract: stdout-visible results are
+    /// identical across window thread counts, in both engine modes.
+    #[test]
+    fn window_results_identical_across_thread_counts() {
+        let (_snap, rib) = fixture();
+        let rib = Arc::new(rib);
+        let dates: Vec<MonthDate> = (0..6)
+            .map(|k| MonthDate::new(2024, 3).add_months(k))
+            .collect();
+        let mut archive = RibArchive::new();
+        for &d in &dates {
+            archive.insert_shared(d, rib.clone());
+        }
+        // Rotate domains through prefixes so every month has churn.
+        let snapshot_of = |d: MonthDate| {
+            let mut s = DnsSnapshot::new(d);
+            let k = u32::from(d.month());
+            s.merge(
+                DomainId(1),
+                vec![a4("203.0.1.1") + k],
+                vec![a6("2600:1::1")],
+            );
+            s.merge(
+                DomainId(2),
+                vec![a4("203.0.1.2")],
+                vec![a6("2600:2::2") + u128::from(k % 2)],
+            );
+            if k % 2 == 0 {
+                s.merge(DomainId(3), vec![a4("198.51.1.3")], vec![a6("2600:2::3")]);
+            }
+            Arc::new(s)
+        };
+        for incremental in [true, false] {
+            let mut reference: Option<BatchRun> = None;
+            for threads in [1usize, 2, 4] {
+                // Shard count pinned: auto-sizing scales its floor with
+                // the worker count, which is fine for results (identical
+                // either way) but would make the churn-accounting
+                // comparison below meaningless.
+                let mut engine = DetectEngine::new(EngineConfig {
+                    threads,
+                    incremental,
+                    shards: 16,
+                    ..EngineConfig::default()
+                });
+                let run = engine.run_dates(&dates, &archive, snapshot_of).unwrap();
+                assert_eq!(run.timings.len(), dates.len());
+                if let Some(want) = &reference {
+                    assert_eq!(run.results.len(), want.results.len());
+                    for &d in &dates {
+                        assert_sets_equal(run.at(d).unwrap(), want.at(d).unwrap());
+                    }
+                    // Churn accounting is scheduling-independent too.
+                    for (got, want) in run.churn.iter().zip(want.churn.iter()) {
+                        assert_eq!(got.dirty_shards, want.dirty_shards);
+                        assert_eq!(got.full_rebuild, want.full_rebuild);
+                        assert_eq!(got.changed_effective, want.changed_effective);
+                    }
+                } else {
+                    reference = Some(run);
+                }
+            }
+        }
+    }
+
     /// Property test: the sharded engine (any shard count) agrees with
     /// the serial reference `detect` across random worlds, metrics and
     /// policies — the bit-identity contract of the `parallel` feature.
@@ -1083,7 +1572,7 @@ mod tests {
                             vec![(0x2600u128 << 112) | ((*p6i as u128) << 80) | (d as u128 + 1)],
                         );
                     }
-                    let mut engine = DetectEngine::new(EngineConfig {
+                    let engine = DetectEngine::new(EngineConfig {
                         metric,
                         policy,
                         shards,
@@ -1106,11 +1595,12 @@ mod tests {
     }
 
     /// Property test: the incremental window (deltas, in-place index
-    /// patching, dirty-shard rescoring, cached clean shards) is
-    /// bit-identical to the full-rebuild window *and* to per-date serial
-    /// detection, across randomized month sequences whose churn spans 0%
-    /// (repeated months) to 100% (disjoint assignments), including
-    /// domains dropping in and out of dual-stack.
+    /// patching, dirty-shard rescoring, cached clean shards, cross-month
+    /// scheduling) is bit-identical to the full-rebuild window *and* to
+    /// per-date serial detection, across randomized month sequences
+    /// whose churn spans 0% (repeated months) to 100% (disjoint
+    /// assignments), including domains dropping in and out of
+    /// dual-stack, at varying shard and thread counts.
     #[test]
     fn prop_incremental_window_bit_identical_to_full_rebuild() {
         use proptest::prelude::*;
@@ -1121,9 +1611,13 @@ mod tests {
         // across months models low churn; proptest also generates
         // identical and fully-divergent consecutive months.
         let month = || proptest::collection::vec((0u8..7, 0u8..7), 8..9);
-        let strategy = (proptest::collection::vec(month(), 1..5), 0usize..4);
+        let strategy = (
+            proptest::collection::vec(month(), 1..5),
+            0usize..4,
+            1usize..5,
+        );
         runner
-            .run(&strategy, |(months, shards)| {
+            .run(&strategy, |(months, shards, threads)| {
                 let mut rib = Rib::new();
                 for i in 0..6u32 {
                     rib.announce(Ipv4Prefix::new(0xCB00_0000 | (i << 8), 24).unwrap(), Asn(i));
@@ -1169,7 +1663,7 @@ mod tests {
 
                 let mut inc = DetectEngine::new(EngineConfig {
                     shards,
-                    threads: 2,
+                    threads,
                     ..EngineConfig::default()
                 });
                 let inc_run = inc
@@ -1177,7 +1671,7 @@ mod tests {
                     .unwrap();
                 let mut full = DetectEngine::new(EngineConfig {
                     shards,
-                    threads: 2,
+                    threads,
                     incremental: false,
                     ..EngineConfig::default()
                 });

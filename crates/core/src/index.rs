@@ -1,6 +1,14 @@
 //! Step 2 of the methodology: grouping DS domains by announced prefix.
+//!
+//! The scoring-relevant maps (per-prefix group sets and per-domain prefix
+//! lists) are held behind `Arc`s with copy-on-write patching
+//! (`Arc::make_mut`): the window scheduler captures them as immutable
+//! month-*m* views for its concurrent scoring tasks, and patching month
+//! *m+1* in place clones a map only if an older month's view is still
+//! alive — serial walks never pay for the snapshotting.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use sibling_bgp::Rib;
 use sibling_dns::{DnsSnapshot, DomainId, ResolvedAddrs, SnapshotDelta, SnapshotSource};
@@ -8,6 +16,10 @@ use sibling_net_types::{AddressFamily, DualStack, FamilyMap, Ipv4Prefix, Ipv6Pre
 use sibling_ptrie::PatriciaTrie;
 
 use crate::arena::{SetArena, SetHandle};
+
+/// One family's `(old, new)` announced-prefix transition per changed
+/// domain, as collected by `apply_changes` for the delta report.
+type FamilyMoves<F> = BTreeMap<DomainId, (Vec<Prefix<F>>, Vec<Prefix<F>>)>;
 
 /// The per-family half of the index: one instance per address family,
 /// composed into [`PrefixDomainIndex`] through a [`DualStack`].
@@ -18,10 +30,16 @@ use crate::arena::{SetArena, SetHandle};
 /// sets share one allocation and compare by [`crate::arena::SetId`], and
 /// the hot path of `detect()` allocates nothing per candidate pair.
 pub struct FamilyIndex<F: AddressFamily> {
-    groups: BTreeMap<Prefix<F>, SetHandle>,
+    /// Shared with scoring views; patched copy-on-write.
+    groups: Arc<BTreeMap<Prefix<F>, SetHandle>>,
     /// Raw per-prefix pushes, consumed by `finalize`.
     pending: BTreeMap<Prefix<F>, Vec<DomainId>>,
-    domain_prefixes: BTreeMap<DomainId, Vec<Prefix<F>>>,
+    /// Raw per-domain pushes, consumed by `finalize`.
+    pending_domains: BTreeMap<DomainId, Vec<Prefix<F>>>,
+    /// Shared with scoring views; patched copy-on-write. Values are
+    /// `Arc` slices so a view capture is a pointer bump per entry, never
+    /// a copy of the lists.
+    domain_prefixes: Arc<BTreeMap<DomainId, Arc<[Prefix<F>]>>>,
     hosts: PatriciaTrie<F, Vec<DomainId>>,
     unmapped: usize,
 }
@@ -29,9 +47,10 @@ pub struct FamilyIndex<F: AddressFamily> {
 impl<F: AddressFamily> Default for FamilyIndex<F> {
     fn default() -> Self {
         Self {
-            groups: BTreeMap::new(),
+            groups: Arc::new(BTreeMap::new()),
             pending: BTreeMap::new(),
-            domain_prefixes: BTreeMap::new(),
+            pending_domains: BTreeMap::new(),
+            domain_prefixes: Arc::new(BTreeMap::new()),
             hosts: PatriciaTrie::new(),
             unmapped: 0,
         }
@@ -44,7 +63,7 @@ impl<F: AddressFamily> FamilyIndex<F> {
         match rib.lookup(addr) {
             Some(route) => {
                 self.pending.entry(route.prefix).or_default().push(domain);
-                self.domain_prefixes
+                self.pending_domains
                     .entry(domain)
                     .or_default()
                     .push(route.prefix);
@@ -64,15 +83,18 @@ impl<F: AddressFamily> FamilyIndex<F> {
     /// pushes (a domain with several addresses in one prefix would
     /// otherwise leave duplicates) and hash-conses the group sets into
     /// the arena.
-    fn finalize(&mut self, arena: &mut SetArena) {
+    fn finalize(&mut self, arena: &SetArena) {
+        let groups = Arc::make_mut(&mut self.groups);
         for (prefix, mut set) in std::mem::take(&mut self.pending) {
             set.sort_unstable();
             set.dedup();
-            self.groups.insert(prefix, arena.intern(set));
+            groups.insert(prefix, arena.intern(set));
         }
-        for set in self.domain_prefixes.values_mut() {
+        let domain_prefixes = Arc::make_mut(&mut self.domain_prefixes);
+        for (domain, mut set) in std::mem::take(&mut self.pending_domains) {
             set.sort_unstable();
             set.dedup();
+            domain_prefixes.insert(domain, set.into());
         }
         for set in self.hosts.values_mut() {
             set.sort_unstable();
@@ -99,9 +121,10 @@ impl<F: AddressFamily> FamilyIndex<F> {
         &mut self,
         changes: &[(DomainId, &[F], &[F])],
         rib: &Rib,
-        arena: &mut SetArena,
+        arena: &SetArena,
         mut domain_touched: Option<&mut BTreeSet<Prefix<F>>>,
         edited: Option<&mut BTreeSet<Prefix<F>>>,
+        mut moves: Option<&mut FamilyMoves<F>>,
     ) {
         let mut group_adds: BTreeMap<Prefix<F>, Vec<DomainId>> = BTreeMap::new();
         let mut group_removes: BTreeMap<Prefix<F>, Vec<DomainId>> = BTreeMap::new();
@@ -111,13 +134,18 @@ impl<F: AddressFamily> FamilyIndex<F> {
                 // This family is unchanged (the other one moved), but the
                 // domain's cross-family candidate contribution is not, so
                 // its prefixes still count as hosting a changed domain —
-                // when the caller wants that set at all.
+                // when the caller wants that set at all. The indexed
+                // prefix list *is* the sorted dedup of the RIB lookups.
+                let current: Vec<Prefix<F>> = self
+                    .domain_prefixes
+                    .get(&domain)
+                    .map(|p| p.to_vec())
+                    .unwrap_or_default();
                 if let Some(touched) = domain_touched.as_deref_mut() {
-                    for &addr in old_addrs {
-                        if let Some(route) = rib.lookup(addr) {
-                            touched.insert(route.prefix);
-                        }
-                    }
+                    touched.extend(current.iter().copied());
+                }
+                if let Some(moves) = moves.as_deref_mut() {
+                    moves.insert(domain, (current.clone(), current));
                 }
                 continue;
             }
@@ -167,6 +195,9 @@ impl<F: AddressFamily> FamilyIndex<F> {
                 touched.extend(old_prefixes.iter().copied());
                 touched.extend(new_prefixes.iter().copied());
             }
+            if let Some(moves) = moves.as_deref_mut() {
+                moves.insert(domain, (old_prefixes.clone(), new_prefixes.clone()));
+            }
 
             for host in old_hosts.iter().filter(|h| !new_hosts.contains(h)) {
                 self.host_remove(host, domain);
@@ -175,10 +206,11 @@ impl<F: AddressFamily> FamilyIndex<F> {
                 self.host_insert(host, domain);
             }
 
+            let domain_map = Arc::make_mut(&mut self.domain_prefixes);
             if new_prefixes.is_empty() {
-                self.domain_prefixes.remove(&domain);
+                domain_map.remove(&domain);
             } else {
-                self.domain_prefixes.insert(domain, new_prefixes);
+                domain_map.insert(domain, new_prefixes.into());
             }
 
             self.unmapped = self.unmapped + unmapped_new - unmapped_old;
@@ -195,10 +227,14 @@ impl<F: AddressFamily> FamilyIndex<F> {
         if let Some(edited) = edited {
             edited.extend(to_rebuild.iter().copied());
         }
+        if to_rebuild.is_empty() {
+            return;
+        }
+        let groups = Arc::make_mut(&mut self.groups);
         for prefix in to_rebuild {
             let adds = group_adds.get(&prefix).map(Vec::as_slice).unwrap_or(&[]);
             let removes = group_removes.get(&prefix).map(Vec::as_slice).unwrap_or(&[]);
-            match self.groups.remove(&prefix) {
+            match groups.remove(&prefix) {
                 Some(handle) => {
                     let mut set = handle.as_slice().to_vec();
                     if !removes.is_empty() {
@@ -214,7 +250,7 @@ impl<F: AddressFamily> FamilyIndex<F> {
                         arena.release(handle);
                     } else {
                         let new = arena.update(handle, set);
-                        self.groups.insert(prefix, new);
+                        groups.insert(prefix, new);
                     }
                 }
                 None => {
@@ -223,7 +259,7 @@ impl<F: AddressFamily> FamilyIndex<F> {
                     set.sort_unstable();
                     set.dedup();
                     if !set.is_empty() {
-                        self.groups.insert(prefix, arena.intern(set));
+                        groups.insert(prefix, arena.intern(set));
                     }
                 }
             }
@@ -261,10 +297,23 @@ impl<F: AddressFamily> FamilyIndex<F> {
 
     /// Releases every group-set handle back to the arena (recycling the
     /// slots of sets no other index still shares).
-    fn release_sets(&mut self, arena: &mut SetArena) {
-        for (_, handle) in std::mem::take(&mut self.groups) {
+    fn release_sets(&mut self, arena: &SetArena) {
+        let groups = std::mem::take(Arc::make_mut(&mut self.groups));
+        for (_, handle) in groups {
             arena.release(handle);
         }
+    }
+
+    /// The shared group-set map — the scoring views' copy-on-write
+    /// snapshot of this family's per-prefix sets.
+    pub(crate) fn groups_shared(&self) -> Arc<BTreeMap<Prefix<F>, SetHandle>> {
+        Arc::clone(&self.groups)
+    }
+
+    /// The shared domain→prefixes reverse map (see
+    /// [`FamilyIndex::groups_shared`]).
+    pub(crate) fn domain_prefixes_shared(&self) -> Arc<BTreeMap<DomainId, Arc<[Prefix<F>]>>> {
+        Arc::clone(&self.domain_prefixes)
     }
 
     /// The DS domains grouped under an announced prefix (sorted).
@@ -290,7 +339,7 @@ impl<F: AddressFamily> FamilyIndex<F> {
 
     /// The announced prefixes a domain resolves into (sorted).
     pub fn prefixes_of_domain(&self, domain: DomainId) -> Option<&[Prefix<F>]> {
-        self.domain_prefixes.get(&domain).map(Vec::as_slice)
+        self.domain_prefixes.get(&domain).map(|p| &p[..])
     }
 
     /// Union of the domain sets of all hosts under an *arbitrary* prefix
@@ -354,6 +403,28 @@ pub struct IndexDeltaReport {
     pub touched_v6: BTreeSet<Ipv6Prefix>,
     /// Domains whose effective (dual-stack) contribution changed.
     pub changed_domains: usize,
+    /// Per changed domain: its announced-prefix lists before and after
+    /// the delta, both families (for a family the delta left untouched,
+    /// old and new are equal). The window scheduler maintains its
+    /// shard↔candidate index from these, churn-proportionally.
+    pub moves: Vec<DomainMove>,
+}
+
+/// One changed domain's effective prefix transition (see
+/// [`IndexDeltaReport::moves`]). Lists are sorted and deduplicated; a
+/// family the domain does not (or no longer does) map into is empty.
+#[derive(Debug, Clone)]
+pub struct DomainMove {
+    /// The changed domain.
+    pub domain: DomainId,
+    /// IPv4 announced prefixes before the delta.
+    pub old_v4: Vec<Ipv4Prefix>,
+    /// IPv4 announced prefixes after the delta.
+    pub new_v4: Vec<Ipv4Prefix>,
+    /// IPv6 announced prefixes before the delta.
+    pub old_v6: Vec<Ipv6Prefix>,
+    /// IPv6 announced prefixes after the delta.
+    pub new_v6: Vec<Ipv6Prefix>,
 }
 
 /// [`DualStack`] slot selector: family `F` stores a [`FamilyIndex<F>`].
@@ -399,13 +470,14 @@ impl PrefixDomainIndex {
     /// mirroring the ~1% of OpenINTEL records the paper backfills or
     /// drops.
     pub fn build(snapshot: &DnsSnapshot, rib: &Rib) -> Self {
-        Self::build_with_arena(snapshot, rib, &mut SetArena::new())
+        Self::build_with_arena(snapshot, rib, &SetArena::new())
     }
 
     /// [`PrefixDomainIndex::build`] against a caller-owned arena, so
     /// identical domain sets are shared across many indexes (e.g. the
-    /// months of a longitudinal window).
-    pub fn build_with_arena(snapshot: &DnsSnapshot, rib: &Rib, arena: &mut SetArena) -> Self {
+    /// months of a longitudinal window). The arena is concurrently
+    /// shareable, so many indexes may build against it in parallel.
+    pub fn build_with_arena(snapshot: &DnsSnapshot, rib: &Rib, arena: &SetArena) -> Self {
         Self::build_source_with_arena(snapshot, rib, arena)
     }
 
@@ -414,14 +486,14 @@ impl PrefixDomainIndex {
     /// snapshot store, without ever materializing a `DnsSnapshot`'s
     /// BTreeMap.
     pub fn build_source<S: SnapshotSource + ?Sized>(source: &S, rib: &Rib) -> Self {
-        Self::build_source_with_arena(source, rib, &mut SetArena::new())
+        Self::build_source_with_arena(source, rib, &SetArena::new())
     }
 
     /// [`PrefixDomainIndex::build_source`] against a caller-owned arena.
     pub fn build_source_with_arena<S: SnapshotSource + ?Sized>(
         source: &S,
         rib: &Rib,
-        arena: &mut SetArena,
+        arena: &SetArena,
     ) -> Self {
         let mut index = Self::default();
         for (domain, v4, v6) in source.addr_entries() {
@@ -460,7 +532,7 @@ impl PrefixDomainIndex {
         &mut self,
         delta: &SnapshotDelta,
         rib: &Rib,
-        arena: &mut SetArena,
+        arena: &SetArena,
     ) -> IndexDeltaReport {
         let mut report = IndexDeltaReport::default();
         fn dual(addrs: &Option<ResolvedAddrs>) -> Option<&ResolvedAddrs> {
@@ -484,14 +556,41 @@ impl PrefixDomainIndex {
         }
         // v4 keeps the conservative domain-touched set (membership edits
         // are a subset of it, so no edited set is needed); v6 keeps only
-        // actual membership edits and skips the conservative bookkeeping
-        // (and its RIB lookups) entirely.
-        self.families
-            .v4
-            .apply_changes(&v4_changes, rib, arena, Some(&mut report.touched_v4), None);
-        self.families
-            .v6
-            .apply_changes(&v6_changes, rib, arena, None, Some(&mut report.touched_v6));
+        // actual membership edits. Both record the per-domain prefix
+        // transitions the scheduler's candidate index consumes.
+        let mut v4_moves: FamilyMoves<u32> = BTreeMap::new();
+        let mut v6_moves: FamilyMoves<u128> = BTreeMap::new();
+        self.families.v4.apply_changes(
+            &v4_changes,
+            rib,
+            arena,
+            Some(&mut report.touched_v4),
+            None,
+            Some(&mut v4_moves),
+        );
+        self.families.v6.apply_changes(
+            &v6_changes,
+            rib,
+            arena,
+            None,
+            Some(&mut report.touched_v6),
+            Some(&mut v6_moves),
+        );
+        // Both maps carry exactly the changed domains; zip them into one
+        // dual-stack transition per domain.
+        report.moves = v4_moves
+            .into_iter()
+            .map(|(domain, (old_v4, new_v4))| {
+                let (old_v6, new_v6) = v6_moves.remove(&domain).unwrap_or_default();
+                DomainMove {
+                    domain,
+                    old_v4,
+                    new_v4,
+                    old_v6,
+                    new_v6,
+                }
+            })
+            .collect();
         report
     }
 
@@ -500,7 +599,7 @@ impl PrefixDomainIndex {
     /// this when retiring an index whose arena lives on (the incremental
     /// engine does, when a RIB change supersedes a window's index);
     /// merely dropping the index strands its sets in the arena forever.
-    pub fn release_sets(mut self, arena: &mut SetArena) {
+    pub fn release_sets(mut self, arena: &SetArena) {
         self.families.v4.release_sets(arena);
         self.families.v6.release_sets(arena);
     }
@@ -749,8 +848,8 @@ mod tests {
                 vec![a6(&format!("2600:1000::{}", d + 1))],
             );
         }
-        let mut arena = crate::arena::SetArena::new();
-        let index = PrefixDomainIndex::build_with_arena(&snap, &rib, &mut arena);
+        let arena = crate::arena::SetArena::new();
+        let index = PrefixDomainIndex::build_with_arena(&snap, &rib, &arena);
         let h1 = index.set_of(&p4("198.51.0.0/16")).unwrap();
         let h2 = index.set_of(&p4("203.0.0.0/16")).unwrap();
         let h6 = index.set_of(&p6("2600:1000::/32")).unwrap();
@@ -760,7 +859,7 @@ mod tests {
         assert_eq!(arena.dedup_hits(), 2);
 
         // A later snapshot with the same sets reuses the arena slots.
-        let again = PrefixDomainIndex::build_with_arena(&snap, &rib, &mut arena);
+        let again = PrefixDomainIndex::build_with_arena(&snap, &rib, &arena);
         assert_eq!(arena.len(), 1, "cross-snapshot reuse adds no slots");
         assert_eq!(
             again.set_of(&p4("198.51.0.0/16")).unwrap().id(),
@@ -848,10 +947,10 @@ mod tests {
         );
         new.merge(DomainId(4), vec![a4("203.0.4.4")], vec![a6("2600:1000::4")]);
 
-        let mut arena = SetArena::new();
-        let mut patched = PrefixDomainIndex::build_with_arena(&old, &rib, &mut arena);
+        let arena = SetArena::new();
+        let mut patched = PrefixDomainIndex::build_with_arena(&old, &rib, &arena);
         let delta = SnapshotDelta::diff(&old, &new);
-        let report = patched.apply_delta(&delta, &rib, &mut arena);
+        let report = patched.apply_delta(&delta, &rib, &arena);
         let want = PrefixDomainIndex::build(&new, &rib);
         assert_index_equiv(&patched, &want, "after mixed churn");
         assert_eq!(report.changed_domains, 4, "d2 is untouched");
@@ -863,10 +962,10 @@ mod tests {
     #[test]
     fn apply_delta_empty_and_identity() {
         let (snap, rib) = fixture();
-        let mut arena = SetArena::new();
-        let mut index = PrefixDomainIndex::build_with_arena(&snap, &rib, &mut arena);
+        let arena = SetArena::new();
+        let mut index = PrefixDomainIndex::build_with_arena(&snap, &rib, &arena);
         let delta = SnapshotDelta::diff(&snap, &snap);
-        let report = index.apply_delta(&delta, &rib, &mut arena);
+        let report = index.apply_delta(&delta, &rib, &arena);
         assert_eq!(report.changed_domains, 0);
         assert!(report.touched_v4.is_empty() && report.touched_v6.is_empty());
         assert_index_equiv(&index, &PrefixDomainIndex::build(&snap, &rib), "identity");
@@ -897,10 +996,10 @@ mod tests {
             vec![a6("2600:1000::1")],
         );
 
-        let mut arena = SetArena::new();
-        let mut index = PrefixDomainIndex::build_with_arena(&old, &rib, &mut arena);
+        let arena = SetArena::new();
+        let mut index = PrefixDomainIndex::build_with_arena(&old, &rib, &arena);
         let live_before = arena.len();
-        index.apply_delta(&SnapshotDelta::diff(&old, &new), &rib, &mut arena);
+        index.apply_delta(&SnapshotDelta::diff(&old, &new), &rib, &arena);
         assert!(arena.recycled_count() > 0, "shrunk sets recycle");
         assert!(arena.len() <= live_before);
         assert_index_equiv(&index, &PrefixDomainIndex::build(&new, &rib), "shrink");
@@ -909,19 +1008,19 @@ mod tests {
     #[test]
     fn release_sets_recycles_everything_not_shared() {
         let (snap, rib) = fixture();
-        let mut arena = SetArena::new();
-        let index = PrefixDomainIndex::build_with_arena(&snap, &rib, &mut arena);
+        let arena = SetArena::new();
+        let index = PrefixDomainIndex::build_with_arena(&snap, &rib, &arena);
         assert!(!arena.is_empty());
-        index.release_sets(&mut arena);
+        index.release_sets(&arena);
         assert!(arena.is_empty(), "no other holders: everything recycles");
 
         // With a second index sharing the arena, only unshared sets go.
-        let a = PrefixDomainIndex::build_with_arena(&snap, &rib, &mut arena);
-        let b = PrefixDomainIndex::build_with_arena(&snap, &rib, &mut arena);
+        let a = PrefixDomainIndex::build_with_arena(&snap, &rib, &arena);
+        let b = PrefixDomainIndex::build_with_arena(&snap, &rib, &arena);
         let live = arena.len();
-        a.release_sets(&mut arena);
+        a.release_sets(&arena);
         assert_eq!(arena.len(), live, "b still holds every set");
-        b.release_sets(&mut arena);
+        b.release_sets(&arena);
         assert!(arena.is_empty());
     }
 
@@ -973,9 +1072,9 @@ mod tests {
                 };
                 let a = build(MonthDate::new(2024, 8), &ea);
                 let b = build(MonthDate::new(2024, 9), &eb);
-                let mut arena = SetArena::new();
-                let mut patched = PrefixDomainIndex::build_with_arena(&a, &rib, &mut arena);
-                patched.apply_delta(&SnapshotDelta::diff(&a, &b), &rib, &mut arena);
+                let arena = SetArena::new();
+                let mut patched = PrefixDomainIndex::build_with_arena(&a, &rib, &arena);
+                patched.apply_delta(&SnapshotDelta::diff(&a, &b), &rib, &arena);
                 let want = PrefixDomainIndex::build(&b, &rib);
                 assert_index_equiv(&patched, &want, "random churn");
                 Ok(())

@@ -45,8 +45,8 @@ pub mod stability;
 pub mod tuner;
 
 pub use arena::{SetArena, SetHandle, SetId};
-pub use engine::{BatchRun, BatchStats, DetectEngine, EngineConfig, MonthChurn};
-pub use index::{IndexDeltaReport, PrefixDomainIndex};
+pub use engine::{BatchRun, BatchStats, DetectEngine, EngineConfig, MonthChurn, MonthTiming};
+pub use index::{DomainMove, IndexDeltaReport, PrefixDomainIndex};
 pub use metrics::{dice, intersection_size, jaccard, overlap_coefficient, Ratio, SimilarityMetric};
 pub use pipeline::{detect, BestMatchPolicy, SiblingPair, SiblingSet};
 pub use setpairs::{build_set_pairs, SetPair, SetPairing};

@@ -1,9 +1,21 @@
 //! Longitudinal comparison of sibling sets (§4.3, Figs. 9–12).
+//!
+//! Two entry points compute the same change categories:
+//!
+//! * [`compare`] — the stateless reference: rebuilds the old month's
+//!   pair map on every call. Correct and simple; cost `O(old + current)`
+//!   in both time **and allocation** per comparison.
+//! * [`PairLedger`] — the delta-native walk the batch paths use: one
+//!   carried pair map advanced month over month. Unchanged pairs (the
+//!   overwhelming majority in the paper's steady state, §4.3) mutate
+//!   nothing — no re-keying, no per-month map rebuild; only changed
+//!   entries write. Property-tested to agree with [`compare`] exactly.
 
 use std::collections::BTreeMap;
 
 use sibling_net_types::{Ipv4Prefix, Ipv6Prefix};
 
+use crate::metrics::Ratio;
 use crate::pipeline::SiblingSet;
 
 /// The change category of a sibling pair between two snapshots (Fig. 10).
@@ -93,6 +105,75 @@ pub fn compare(old: &SiblingSet, current: &SiblingSet) -> DeltaReport {
     report
 }
 
+/// The carried state of a delta-native longitudinal walk (see module
+/// docs): the previous month's pair→similarity map plus a generation
+/// counter that marks which entries the current month has confirmed.
+#[derive(Debug, Default)]
+pub struct PairLedger {
+    /// `(v4, v6)` → (similarity, generation last seen).
+    pairs: BTreeMap<(Ipv4Prefix, Ipv6Prefix), (Ratio, u64)>,
+    generation: u64,
+}
+
+impl PairLedger {
+    /// An empty ledger (as if the previous month had no pairs — the
+    /// first [`PairLedger::advance`] reports everything as new, exactly
+    /// like `compare(&empty, current)`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Steps the ledger to `current`, returning the delta against the
+    /// previously advanced month. One walk over `current` updates the
+    /// carried map in place: unseen pairs are new, equal-similarity
+    /// pairs untouched, moved similarities overwritten; a retain pass
+    /// then drops (and reports) the vanished remainder. Equivalent to
+    /// [`compare`] (property-tested), without rebuilding the old map.
+    pub fn advance(&mut self, current: &SiblingSet) -> DeltaReport {
+        self.generation += 1;
+        let generation = self.generation;
+        let mut report = DeltaReport::default();
+        for pair in current.iter() {
+            match self.pairs.entry((pair.v4, pair.v6)) {
+                std::collections::btree_map::Entry::Vacant(entry) => {
+                    report.new.push(pair.similarity.to_f64());
+                    entry.insert((pair.similarity, generation));
+                }
+                std::collections::btree_map::Entry::Occupied(mut entry) => {
+                    let (old_sim, seen) = entry.get_mut();
+                    if pair.similarity.cmp(old_sim).is_eq() {
+                        report.unchanged.push(pair.similarity.to_f64());
+                    } else {
+                        report.changed_current.push(pair.similarity.to_f64());
+                        report.changed_old.push(old_sim.to_f64());
+                        *old_sim = pair.similarity;
+                    }
+                    *seen = generation;
+                }
+            }
+        }
+        self.pairs.retain(|_, (sim, seen)| {
+            if *seen == generation {
+                true
+            } else {
+                report.vanished.push(sim.to_f64());
+                false
+            }
+        });
+        report
+    }
+
+    /// Number of pairs carried from the last advanced month.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the ledger carries no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +219,94 @@ mod tests {
         let current = SiblingSet::from_pairs(vec![pair("10.0.0.0/24", "2600:1::/48", 2, 4)]);
         let report = compare(&old, &current);
         assert_eq!(report.counts(), (0, 1, 0, 0));
+    }
+
+    /// Sorted copies of a report's category vectors (vanished order is
+    /// representation-dependent between `compare` and the ledger).
+    fn canon(report: &DeltaReport) -> [Vec<u64>; 5] {
+        let sorted = |v: &[f64]| {
+            let mut v: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
+            v.sort_unstable();
+            v
+        };
+        [
+            sorted(&report.new),
+            sorted(&report.unchanged),
+            sorted(&report.changed_current),
+            sorted(&report.changed_old),
+            sorted(&report.vanished),
+        ]
+    }
+
+    #[test]
+    fn ledger_matches_compare_walk() {
+        let months = [
+            SiblingSet::from_pairs(vec![
+                pair("10.0.0.0/24", "2600:1::/48", 1, 1),
+                pair("10.0.1.0/24", "2600:2::/48", 1, 2),
+            ]),
+            SiblingSet::from_pairs(vec![
+                pair("10.0.0.0/24", "2600:1::/48", 1, 1), // unchanged
+                pair("10.0.1.0/24", "2600:2::/48", 1, 1), // changed
+                pair("10.0.3.0/24", "2600:4::/48", 1, 3), // new
+            ]),
+            SiblingSet::from_pairs(vec![]), // everything vanishes
+            SiblingSet::from_pairs(vec![pair("10.0.0.0/24", "2600:1::/48", 2, 4)]),
+        ];
+        let mut ledger = PairLedger::new();
+        let mut prev = SiblingSet::from_pairs(vec![]);
+        for current in months {
+            let want = compare(&prev, &current);
+            let got = ledger.advance(&current);
+            assert_eq!(canon(&got), canon(&want));
+            assert_eq!(ledger.len(), current.len());
+            prev = current;
+        }
+        assert!(ledger.is_empty() || ledger.len() == 1);
+    }
+
+    /// Property: advancing the ledger along any random month sequence
+    /// reports exactly what the stateless `compare` of consecutive
+    /// months reports.
+    #[test]
+    fn prop_ledger_equals_compare() {
+        use proptest::test_runner::TestRunner;
+        let mut runner = TestRunner::default();
+        // Months are lists of (pair id 0..8, numerator 1..=4): the same
+        // prefix pair recurs across months with drifting similarity.
+        let month = || proptest::collection::vec((0u32..8, 1u64..5), 0..10);
+        let strategy = proptest::collection::vec(month(), 1..6);
+        runner
+            .run(&strategy, |months| {
+                let sets: Vec<SiblingSet> = months
+                    .iter()
+                    .map(|entries| {
+                        SiblingSet::from_pairs(
+                            entries
+                                .iter()
+                                .map(|(id, num)| {
+                                    pair(
+                                        &format!("10.0.{id}.0/24"),
+                                        &format!("2600:{}::/48", id + 1),
+                                        *num,
+                                        4,
+                                    )
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                let mut ledger = PairLedger::new();
+                let mut prev = SiblingSet::from_pairs(vec![]);
+                for current in sets {
+                    let want = compare(&prev, &current);
+                    let got = ledger.advance(&current);
+                    assert_eq!(canon(&got), canon(&want));
+                    prev = current;
+                }
+                Ok(())
+            })
+            .unwrap();
     }
 
     #[test]

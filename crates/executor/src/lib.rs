@@ -45,6 +45,8 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sync;
+
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::num::NonZeroUsize;
@@ -91,6 +93,15 @@ struct PoolShared {
 impl PoolShared {
     fn push(&self, job: Job) {
         self.queue.lock().unwrap().push_back(job);
+        self.available.notify_one();
+    }
+
+    /// Queue-jumps a job ahead of everything already pending. Used for
+    /// latency-critical tasks whose captured state blocks a producer
+    /// (the engine's shard scores pin copy-on-write views the next
+    /// month's patch would otherwise have to clone).
+    fn push_front(&self, job: Job) {
+        self.queue.lock().unwrap().push_front(job);
         self.available.notify_one();
     }
 
@@ -186,6 +197,59 @@ impl<'env> Scope<'env> {
         ScopedTask {
             state: Some(task),
             _env: PhantomData,
+        }
+    }
+
+    /// Submits a fire-and-forget closure: no handle, no result channel.
+    /// The scope still guarantees the job has finished before
+    /// [`ThreadPool::scope`] returns, so borrows inside it stay sound —
+    /// this is the cheap dispatch for tasks that report through their own
+    /// channel (e.g. a [`sync::Slot`]) instead of a join.
+    ///
+    /// The job runs under `catch_unwind`; a panic is swallowed (the
+    /// worker and the scope survive), so closures that can fail should
+    /// route the failure through their result channel — the engine's
+    /// dispatch wrapper poisons its slot, which re-raises the panic at
+    /// the consumer.
+    pub fn spawn_detached<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.spawn_detached_inner(f, false);
+    }
+
+    /// [`Scope::spawn_detached`], but the job **jumps the queue**: it is
+    /// dequeued before every job already pending. Use for tasks whose
+    /// captured state blocks a producer — beware that a queue-jumping
+    /// job must never wait on a job enqueued before it (it may now run
+    /// first), or the pool can deadlock.
+    pub fn spawn_detached_urgent<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.spawn_detached_inner(f, true);
+    }
+
+    fn spawn_detached_inner<F>(&self, f: F, urgent: bool)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let scope_state = Arc::clone(&self.state);
+        *self.state.pending.lock().unwrap() += 1;
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let _ = catch_unwind(AssertUnwindSafe(f));
+            let mut pending = scope_state.pending.lock().unwrap();
+            *pending -= 1;
+            if *pending == 0 {
+                scope_state.all_done.notify_all();
+            }
+        });
+        if self.pool.workers.is_empty() {
+            job();
+        } else if urgent {
+            self.pool.shared.push_front(erase_job_lifetime(job));
+        } else {
+            self.pool.shared.push(erase_job_lifetime(job));
         }
     }
 }
@@ -643,6 +707,32 @@ mod tests {
             std::mem::forget(task);
         });
         assert!(flag.load(Ordering::SeqCst), "scope waited out the leak");
+    }
+
+    #[test]
+    fn spawn_detached_runs_and_is_waited_out() {
+        // Fire-and-forget tasks fill their own channels; the scope still
+        // guarantees completion, and a panicking task neither kills the
+        // worker nor wedges the scope.
+        let pool = ThreadPool::with_threads(3);
+        let slot = Arc::new(crate::sync::Slot::new());
+        pool.scope(|scope| {
+            let in_slot = Arc::clone(&slot);
+            scope.spawn_detached(move || in_slot.set(11u32));
+            scope.spawn_detached(|| panic!("detached boom"));
+        });
+        assert_eq!(slot.wait(), 11);
+        assert_eq!(pool.map(&[1u32], |_, x| x + 1), vec![2]);
+
+        // Inline execution without workers.
+        let pool = ThreadPool::with_threads(1);
+        let slot = Arc::new(crate::sync::Slot::new());
+        pool.scope(|scope| {
+            let in_slot = Arc::clone(&slot);
+            scope.spawn_detached(move || in_slot.set(5u32));
+            assert!(slot.is_done(), "no workers: ran inline at spawn");
+        });
+        assert_eq!(slot.take(), 5);
     }
 
     #[test]

@@ -79,6 +79,30 @@ impl Criterion {
             name: name.to_string(),
         }
     }
+
+    /// Records a plain counter (not a timing) into the trajectory file —
+    /// benches use this for run metadata like lock-contention counts.
+    /// The entry reuses the measurement schema with `samples`/`batch`
+    /// zeroed, so tooling can tell counters from timings.
+    ///
+    /// This is an extension over real criterion's API; guard call sites
+    /// if the suite should also build against crates.io criterion.
+    pub fn record_value<I: std::fmt::Display>(&mut self, id: I, value: u64) -> &mut Self {
+        let id = id.to_string();
+        println!("bench: {id:<48} {value:>12} (counter)");
+        let mut results = RESULTS.lock().unwrap();
+        results.push(BenchResult {
+            id,
+            mean_ns: u128::from(value),
+            samples: 0,
+            batch: 0,
+        });
+        let path = bench_json_path();
+        if let Err(e) = write_results(&path, &results) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+        self
+    }
 }
 
 /// A group of related benchmarks sharing a name prefix.
