@@ -7,9 +7,10 @@ use sibling_core::{
     tuner::more_specific::tune_more_specific, DetectEngine, PrefixDomainIndex, SiblingSet,
     SpTunerConfig,
 };
-use sibling_dns::DnsSnapshot;
 use sibling_net_types::MonthDate;
 use sibling_worldgen::World;
+
+use crate::source::WorldSource;
 
 /// The reference-date offsets of the paper's over-time figures
 /// ("Day 0" = September 2024; "Day −1"/"Week −1" collapse onto the same
@@ -41,28 +42,35 @@ impl ReferenceOffsets {
     }
 }
 
-/// A generated world plus caches for everything derived from it.
+/// A world plus caches for everything derived from it.
 ///
-/// Detection goes through one shared [`DetectEngine`]: every index interns
+/// Generic over where the world comes from ([`WorldSource`]): the default
+/// is a generated [`World`], and a
+/// [`StoreBackedWorld`](crate::StoreBackedWorld) serves the same pipeline
+/// from the zero-copy stores with no worldgen involvement. Either way,
+/// detection goes through one shared [`DetectEngine`]: every index interns
 /// its domain sets in the engine's arena (so recurring sets are stored
 /// once across all cached months) and every sibling set is produced by the
 /// sharded scorer (parallel when the `parallel` feature is enabled, with a
 /// bit-identical serial fallback).
-pub struct AnalysisContext {
+pub struct AnalysisContext<W: WorldSource = World> {
     /// The synthetic Internet under analysis.
-    pub world: World,
+    pub world: W,
+    day0_rib: W::RibHandle,
     engine: Mutex<DetectEngine>,
-    snapshots: Mutex<BTreeMap<MonthDate, Arc<DnsSnapshot>>>,
+    snapshots: Mutex<BTreeMap<MonthDate, W::SnapshotHandle>>,
     indexes: Mutex<BTreeMap<MonthDate, Arc<PrefixDomainIndex>>>,
     default_sets: Mutex<BTreeMap<MonthDate, Arc<SiblingSet>>>,
     tuned_sets: Mutex<BTreeMap<(MonthDate, u8, u8), Arc<SiblingSet>>>,
 }
 
-impl AnalysisContext {
-    /// Wraps a generated world.
-    pub fn new(world: World) -> Self {
+impl<W: WorldSource> AnalysisContext<W> {
+    /// Wraps a world source.
+    pub fn new(world: W) -> Self {
+        let day0_rib = world.day0_rib();
         Self {
             world,
+            day0_rib,
             engine: Mutex::new(DetectEngine::default()),
             snapshots: Mutex::new(BTreeMap::new()),
             indexes: Mutex::new(BTreeMap::new()),
@@ -73,15 +81,15 @@ impl AnalysisContext {
 
     /// The newest snapshot date ("day 0").
     pub fn day0(&self) -> MonthDate {
-        self.world.config.end
+        self.world.end()
     }
 
     /// The memoised DNS snapshot for `date`.
-    pub fn snapshot(&self, date: MonthDate) -> Arc<DnsSnapshot> {
+    pub fn snapshot(&self, date: MonthDate) -> W::SnapshotHandle {
         if let Some(s) = self.snapshots.lock().unwrap().get(&date) {
             return s.clone();
         }
-        let snap = Arc::new(self.world.snapshot(date));
+        let snap = self.world.snapshot_handle(date);
         self.snapshots.lock().unwrap().insert(date, snap.clone());
         snap
     }
@@ -97,7 +105,7 @@ impl AnalysisContext {
             self.engine
                 .lock()
                 .unwrap()
-                .build_index(&snap, self.world.rib()),
+                .build_index_source(&snap, &self.day0_rib),
         );
         self.indexes.lock().unwrap().insert(date, index.clone());
         index
@@ -139,16 +147,16 @@ impl AnalysisContext {
         if !missing.is_empty() {
             // Snapshots come out of the shared memo cache (and fill it),
             // then move into the provider so the window borrows nothing.
-            let snaps: BTreeMap<MonthDate, Arc<DnsSnapshot>> =
+            let snaps: BTreeMap<MonthDate, W::SnapshotHandle> =
                 missing.iter().map(|&d| (d, self.snapshot(d))).collect();
             let mut archive = self.world.rib_archive();
-            // The world's routing table is static; reference offsets may
-            // reach months before the world's window (the per-date path
-            // serves those with the same table), so anchor the shared
-            // RIB at the earliest requested date too. Same `Arc`, so the
-            // incremental walk sees one unchanging table.
+            // Reference offsets may reach months before the world's
+            // window (the per-date path serves those with the day-0
+            // table), so anchor the newest table at the earliest
+            // requested date too. Same handle, so the incremental walk
+            // sees one unchanging table.
             if let (Some(&first), Some(rib)) =
-                (missing.first(), archive.at_or_before(self.world.config.end))
+                (missing.first(), archive.at_or_before(self.world.end()))
             {
                 archive.insert_shared(first, rib);
             }

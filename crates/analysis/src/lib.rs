@@ -1,10 +1,13 @@
 //! Experiment harness: reproduces every table and figure of the paper's
 //! evaluation over the synthetic world.
 //!
-//! * [`AnalysisContext`] — a generated [`sibling_worldgen::World`] plus
-//!   memoised snapshots, prefix indexes and sibling sets per date and
-//!   tuner configuration (everything downstream of the world is pure, so
-//!   caching is safe and keeps multi-figure runs fast);
+//! * [`AnalysisContext`] — a world plus memoised snapshots, prefix
+//!   indexes and sibling sets per date and tuner configuration
+//!   (everything downstream of the world is pure, so caching is safe and
+//!   keeps multi-figure runs fast). Generic over its [`WorldSource`]: a
+//!   generated [`sibling_worldgen::World`] by default, or a
+//!   [`StoreBackedWorld`] serving the identical pipeline from the
+//!   zero-copy on-disk stores with zero worldgen calls;
 //! * [`classify`] — the dataset joins of §4: origin organizations,
 //!   business types, hypergiant/CDN classes, ROV states;
 //! * [`render`] — text/CSV renderers for ECDFs, heatmaps, time series and
@@ -21,8 +24,10 @@ pub mod classify;
 pub mod context;
 pub mod experiments;
 pub mod render;
+pub mod source;
 
 pub use context::{AnalysisContext, ReferenceOffsets};
 pub use experiments::{
     all_experiments, run_all, run_by_id, Check, Experiment, ExperimentResult, Section,
 };
+pub use source::{StoreBackedWorld, WorldSource};

@@ -117,6 +117,12 @@ impl AsdbDataset {
         singles as f64 / self.by_asn.len() as f64
     }
 
+    /// All `(asn, categories)` entries in ascending ASN order — the
+    /// serialization walk of the zero-copy world store.
+    pub fn entries(&self) -> impl Iterator<Item = (Asn, &[BusinessType])> + '_ {
+        self.by_asn.iter().map(|(a, t)| (*a, t.as_slice()))
+    }
+
     /// Number of classified ASes.
     pub fn len(&self) -> usize {
         self.by_asn.len()

@@ -101,6 +101,12 @@ impl HgCdnList {
         self.by_name.keys().map(String::as_str)
     }
 
+    /// All `(name, class)` entries in ascending name order — the
+    /// serialization walk of the zero-copy world store.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, HgCdnClass)> + '_ {
+        self.by_name.iter().map(|(n, c)| (n.as_str(), *c))
+    }
+
     /// Number of listed organizations.
     pub fn len(&self) -> usize {
         self.by_name.len()

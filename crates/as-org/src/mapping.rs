@@ -88,6 +88,22 @@ impl AsOrgMap {
             .collect()
     }
 
+    /// All `(asn, org)` assignments in ascending ASN order — the
+    /// serialization walk of the zero-copy world store.
+    pub fn assignments(&self) -> impl Iterator<Item = (Asn, OrgId)> + '_ {
+        self.by_asn.iter().map(|(a, o)| (*a, *o))
+    }
+
+    /// All registered `(org, name)` pairs in ascending org order.
+    pub fn org_names(&self) -> impl Iterator<Item = (OrgId, &str)> + '_ {
+        self.names.iter().map(|(o, n)| (*o, n.as_str()))
+    }
+
+    /// Number of registered organization names.
+    pub fn org_count(&self) -> usize {
+        self.names.len()
+    }
+
     /// Number of mapped ASNs.
     pub fn len(&self) -> usize {
         self.by_asn.len()

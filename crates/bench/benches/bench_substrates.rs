@@ -15,6 +15,7 @@ use sibling_executor::{scoped_map, ThreadPool};
 use sibling_net_types::Ipv4Prefix;
 use sibling_ptrie::PatriciaTrie;
 use sibling_scan::{ScanConfig, Scanner};
+use sibling_store::WorldStore;
 
 /// Patricia-trie insert + longest-prefix match (the PyTricia substitute).
 fn bench_trie(c: &mut Criterion) {
@@ -394,6 +395,64 @@ fn bench_store_load(c: &mut Criterion) {
     group.finish();
 }
 
+/// The world store closes the gap the snapshot store left open: loading
+/// the *non-snapshot* world state (the per-month RIB archive plus the
+/// AS→org, hypergiant and ASdb tables) by full regeneration
+/// (`World::generate` — what `batch --store` used to pay even with every
+/// snapshot cached) versus mapping the exported `SIBWORLD` file back
+/// (`mmap` + header/section validation + org-table materialization, and
+/// the plain-`read` fallback for comparison). The acceptance bar is
+/// regenerate ≥ 10x slower than `store_mmap`; the stub criterion records
+/// every series into `target/bench.json`, so the `store_world/*` load
+/// times land there alongside the other substrates.
+fn bench_store_world(c: &mut Criterion) {
+    let world = fresh_world(2024);
+    let fingerprint = world.config.fingerprint();
+    let dir = sibling_bench::snapshot_store_dir("world-store-small-2024");
+    // (Re)write the cached world file when absent, stale-format, or
+    // explicitly forced — stored worlds are a pure function of the
+    // config baked into the label.
+    if sibling_bench::force_regen() || WorldStore::open(&dir, Some(fingerprint)).is_err() {
+        WorldStore::write(
+            &dir,
+            fingerprint,
+            &world.rib_archive(),
+            world.as_org(),
+            world.asdb(),
+            world.hg_cdn(),
+        )
+        .expect("write bench world store");
+    }
+    let stored = WorldStore::open(&dir, Some(fingerprint)).expect("bench world store exists");
+    println!(
+        "[store] world file: {} months, {} KiB on disk, backing {:?}",
+        stored.months().len(),
+        stored.byte_len() / 1024,
+        stored.backing()
+    );
+    let mut group = c.benchmark_group("store_world");
+    group.bench_function("regenerate", |b| {
+        b.iter(|| {
+            let world = fresh_world(2024);
+            black_box(world.rib_archive().len())
+        })
+    });
+    group.bench_function("store_mmap", |b| {
+        b.iter(|| {
+            let stored = WorldStore::open(&dir, Some(fingerprint)).expect("stored");
+            black_box(stored.rib_archive().len())
+        })
+    });
+    group.bench_function("store_read", |b| {
+        b.iter(|| {
+            let stored =
+                WorldStore::open_with(&dir, Some(fingerprint), LoadMode::Read).expect("stored");
+            black_box(stored.rib_archive().len())
+        })
+    });
+    group.finish();
+}
+
 /// Dispatch cost of the two executor designs on small jobs: the
 /// persistent pool (workers parked on a condvar, fed through a queue)
 /// versus the previous per-call `std::thread::scope` spawning. The work
@@ -436,7 +495,7 @@ criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_trie, bench_rib_lookup, bench_rov, bench_scan, bench_batch_window,
-    bench_incremental_window, bench_window_parallel, bench_store_load, bench_pool_dispatch,
-    bench_worldgen
+    bench_incremental_window, bench_window_parallel, bench_store_load, bench_store_world,
+    bench_pool_dispatch, bench_worldgen
 );
 criterion_main!(benches);

@@ -13,37 +13,45 @@ use crate::rib::Rib;
 /// SP-Tuner-LS must check origin changes "ensuring the same date as our
 /// input data" (Appendix A.1); the archive makes date-matched lookup the
 /// only way to obtain a RIB.
-#[derive(Default, Clone)]
-pub struct RibArchive {
-    snapshots: BTreeMap<MonthDate, Arc<Rib>>,
+///
+/// Generic over the table handle `R` (any cheap-to-clone
+/// [`RibSource`](crate::RibSource)): the generated world uses the default
+/// `Arc<Rib>`, the zero-copy world store enters mmap-backed table handles
+/// instead — the engine's window driver works identically over either.
+#[derive(Clone)]
+pub struct RibArchive<R = Arc<Rib>> {
+    snapshots: BTreeMap<MonthDate, R>,
 }
 
-impl RibArchive {
+impl<R> Default for RibArchive<R> {
+    fn default() -> Self {
+        Self {
+            snapshots: BTreeMap::new(),
+        }
+    }
+}
+
+impl<R: Clone> RibArchive<R> {
     /// Creates an empty archive.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Stores the RIB for `date`, replacing any previous snapshot.
-    pub fn insert(&mut self, date: MonthDate, rib: Rib) {
-        self.snapshots.insert(date, Arc::new(rib));
-    }
-
-    /// Stores an already-shared RIB for `date`. A table that does not
-    /// churn between snapshots can be entered at every month without
+    /// Stores an already-shared table handle for `date`. A table that does
+    /// not churn between snapshots can be entered at every month without
     /// cloning the trie 49 times.
-    pub fn insert_shared(&mut self, date: MonthDate, rib: Arc<Rib>) {
+    pub fn insert_shared(&mut self, date: MonthDate, rib: R) {
         self.snapshots.insert(date, rib);
     }
 
     /// The RIB observed exactly at `date`.
-    pub fn at(&self, date: MonthDate) -> Option<Arc<Rib>> {
+    pub fn at(&self, date: MonthDate) -> Option<R> {
         self.snapshots.get(&date).cloned()
     }
 
     /// The most recent RIB at or before `date` (how one selects the
     /// matching table for a measurement taken mid-month).
-    pub fn at_or_before(&self, date: MonthDate) -> Option<Arc<Rib>> {
+    pub fn at_or_before(&self, date: MonthDate) -> Option<R> {
         self.snapshots
             .range(..=date)
             .next_back()
@@ -63,6 +71,13 @@ impl RibArchive {
     /// Whether the archive is empty.
     pub fn is_empty(&self) -> bool {
         self.snapshots.is_empty()
+    }
+}
+
+impl RibArchive<Arc<Rib>> {
+    /// Stores the RIB for `date`, replacing any previous snapshot.
+    pub fn insert(&mut self, date: MonthDate, rib: Rib) {
+        self.snapshots.insert(date, Arc::new(rib));
     }
 }
 

@@ -17,6 +17,8 @@
 
 mod archive;
 mod rib;
+mod source;
 
 pub use archive::RibArchive;
 pub use rib::{FamilyRib, Rib, RouteInfo};
+pub use source::RibSource;

@@ -76,6 +76,13 @@ impl<F: AddressFamily> FamilyRib<F> {
             })
     }
 
+    /// Longest-prefix match returning only the announced prefix — the
+    /// allocation-free lookup the index-building hot path uses (cloning
+    /// the origin set per address would dominate it).
+    pub fn announced_prefix(&self, addr: F) -> Option<Prefix<F>> {
+        self.routes.longest_match(addr).map(|(prefix, _)| prefix)
+    }
+
     /// The origin AS(es) responsible for `prefix`: the most specific
     /// announced prefix covering it. Used by SP-Tuner-LS to detect origin
     /// changes when climbing to covering prefixes.

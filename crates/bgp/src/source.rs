@@ -1,0 +1,99 @@
+//! The [`RibSource`] abstraction: where announce tables come from.
+//!
+//! The detection pipeline only ever asks a routing table one question per
+//! address — *which announced prefix covers it?* — so the engine-facing
+//! trait is exactly that longest-prefix match (returning the prefix only,
+//! with no origin-set clone), plus the two pieces of metadata the window
+//! driver needs: table sizes for diagnostics and an *identity* predicate
+//! that generalises the engine's `Arc::ptr_eq` incremental gate. Mirrors
+//! `SnapshotSource` on the DNS side: the generated [`Rib`] and the
+//! store-backed zero-copy table implement the same interface, so a
+//! store-backed window run touches no worldgen code.
+
+use sibling_net_types::{AddressFamily, Prefix};
+use std::sync::Arc;
+
+use crate::rib::Rib;
+
+/// A routing table the detection pipeline can resolve addresses against.
+pub trait RibSource {
+    /// The most specific announced prefix covering `addr`, if any.
+    fn announced_prefix<F: AddressFamily>(&self, addr: F) -> Option<Prefix<F>>;
+
+    /// Number of announced (v4, v6) prefixes.
+    fn counts(&self) -> (usize, usize);
+
+    /// Whether `self` and `other` are *the same table* (not merely equal
+    /// contents). The window driver reuses a month's prefix-domain index
+    /// when consecutive months share their table; this must never report
+    /// `true` for tables that could differ, and should report `false`
+    /// rather than pay a content comparison when identity is unknown.
+    fn same_table(&self, other: &Self) -> bool;
+}
+
+impl RibSource for Rib {
+    fn announced_prefix<F: AddressFamily>(&self, addr: F) -> Option<Prefix<F>> {
+        self.family::<F>().announced_prefix(addr)
+    }
+
+    fn counts(&self) -> (usize, usize) {
+        Rib::counts(self)
+    }
+
+    fn same_table(&self, other: &Self) -> bool {
+        std::ptr::eq(self, other)
+    }
+}
+
+impl<R: RibSource> RibSource for Arc<R> {
+    fn announced_prefix<F: AddressFamily>(&self, addr: F) -> Option<Prefix<F>> {
+        (**self).announced_prefix(addr)
+    }
+
+    fn counts(&self) -> (usize, usize) {
+        (**self).counts()
+    }
+
+    fn same_table(&self, other: &Self) -> bool {
+        Arc::ptr_eq(self, other) || (**self).same_table(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibling_net_types::{Asn, Ipv4Prefix, Ipv6Prefix};
+
+    #[test]
+    fn rib_implements_the_source_lookup() {
+        let mut rib = Rib::new();
+        rib.announce("23.0.0.0/8".parse::<Ipv4Prefix>().unwrap(), Asn(100));
+        rib.announce("23.1.0.0/16".parse::<Ipv4Prefix>().unwrap(), Asn(200));
+        rib.announce("2600:9000::/28".parse::<Ipv6Prefix>().unwrap(), Asn(16509));
+        let addr = u32::from(std::net::Ipv4Addr::new(23, 1, 2, 3));
+        assert_eq!(
+            RibSource::announced_prefix(&rib, addr),
+            Some("23.1.0.0/16".parse().unwrap())
+        );
+        let v6 = u128::from("2600:9000::1".parse::<std::net::Ipv6Addr>().unwrap());
+        assert_eq!(
+            RibSource::announced_prefix(&rib, v6),
+            Some("2600:9000::/28".parse().unwrap())
+        );
+        assert_eq!(RibSource::announced_prefix(&rib, 0u32), None);
+        assert_eq!(RibSource::counts(&rib), (2, 1));
+    }
+
+    #[test]
+    fn same_table_is_identity_not_equality() {
+        let rib = Rib::new();
+        let twin = Rib::new();
+        assert!(rib.same_table(&rib));
+        assert!(!rib.same_table(&twin), "equal contents, different tables");
+        let a = Arc::new(Rib::new());
+        let b = a.clone();
+        let c = Arc::new(Rib::new());
+        assert!(a.same_table(&b));
+        assert!(!a.same_table(&c));
+    }
+}

@@ -6,8 +6,9 @@
 //! sibling-prefixes publish  [--seed N] [--out FILE]
 //! sibling-prefixes audit    [--seed N]
 //! sibling-prefixes batch    --from YYYY-MM --to YYYY-MM [--seed N] [--mode incremental|full]
-//!                           [--store DIR] [--window-threads N]
+//!                           [--store DIR] [--load-mode mmap|read] [--window-threads N]
 //! sibling-prefixes snapshot export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N]
+//! sibling-prefixes world    export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N]
 //! sibling-prefixes run      [--seed N] [EXPERIMENT_ID ...]
 //! sibling-prefixes list
 //! ```
@@ -18,14 +19,16 @@
 //! All subcommands operate on the deterministic synthetic world; plugging
 //! in real DNS/BGP data is a library-level operation (see README).
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use sibling_analysis::{all_experiments, run_by_id, AnalysisContext};
 use sibling_core::longitudinal::PairLedger;
 use sibling_core::tuner::more_specific::tune_more_specific;
 use sibling_core::{DetectEngine, EngineConfig, SpTunerConfig};
-use sibling_dns::SnapshotStore;
+use sibling_dns::{LoadMode, SnapshotStore, StoreError};
 use sibling_net_types::MonthDate;
+use sibling_store::{check_months, WorldStore};
 use sibling_worldgen::{World, WorldConfig};
 
 /// Minimal flag parser: `--key value` / `--key=value` pairs plus
@@ -89,6 +92,13 @@ impl Args {
             .map(|s| s.parse().map_err(|e| format!("bad --{key}: {e}")))
             .transpose()
     }
+
+    fn load_mode(&self) -> Result<LoadMode, String> {
+        match self.get("load-mode") {
+            None => Ok(LoadMode::Mmap),
+            Some(s) => LoadMode::parse(s),
+        }
+    }
 }
 
 fn usage() -> &'static str {
@@ -102,13 +112,16 @@ fn usage() -> &'static str {
      \x20 tune     run SP-Tuner at custom thresholds  [--seed N] [--v4 LEN] [--v6 LEN]\n\
      \x20 publish  write the sibling prefix list CSV  [--seed N] [--out FILE]\n\
      \x20 audit    RPKI/ROV audit of sibling pairs    [--seed N]\n\
-     \x20 batch    longitudinal window in one pass    --from YYYY-MM --to YYYY-MM [--seed N] [--mode incremental|full] [--store DIR] [--window-threads N]\n\
+     \x20 batch    longitudinal window in one pass    --from YYYY-MM --to YYYY-MM [--seed N] [--mode incremental|full] [--store DIR] [--load-mode mmap|read] [--window-threads N]\n\
      \x20 snapshot export monthly snapshots to a store  export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N] [--force true]\n\
+     \x20 world    export snapshots + world tables    export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N] [--force true]\n\
      \x20 run      run experiments by id              [--seed N] [ID ...]\n\
      \x20 list     list all experiment ids\n\
      \n\
      batch --store loads the window's snapshots from an exported store\n\
-     (mmap, zero-copy) instead of re-resolving zones; batch\n\
+     (mmap, zero-copy) instead of re-resolving zones; if the store also\n\
+     holds a world file (world export), routing and organization tables\n\
+     are mapped from it too and worldgen is skipped entirely. batch\n\
      --window-threads sizes the cross-month scheduler's pool (default:\n\
      machine). detection output is byte-identical across stores, modes\n\
      and thread counts\n"
@@ -270,29 +283,72 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         .unwrap_or("0")
         .parse()
         .map_err(|_| "bad --window-threads".to_string())?;
-    eprintln!(
-        "generating world (seed {}, preset {})…",
-        config.seed,
-        args.get("preset").unwrap_or("paper")
-    );
-    let world = World::generate(config);
-    let archive = world.rib_archive();
+    let mode = args.load_mode()?;
     let mut engine = DetectEngine::new(EngineConfig {
         incremental,
         threads: window_threads,
         ..EngineConfig::default()
     });
+    let generate = |config: WorldConfig| {
+        eprintln!(
+            "generating world (seed {}, preset {})…",
+            config.seed,
+            args.get("preset").unwrap_or("paper")
+        );
+        World::generate(config)
+    };
     let run = match args.get("store") {
+        Some(dir) if WorldStore::exists(Path::new(dir)) => {
+            // Fully store-backed window: snapshots come off the mmap'd
+            // snapshot store, routing and organization tables off the
+            // world file — worldgen never runs. The fingerprint check
+            // refuses a store exported under a different configuration,
+            // and the coverage pre-scans turn gaps into one typed error
+            // listing every missing month.
+            let fingerprint = config.fingerprint();
+            let stored = WorldStore::open_with(Path::new(dir), Some(fingerprint), mode)
+                .map_err(|e| e.to_string())?;
+            let window = from.range_to(to);
+            check_months(&stored, &window).map_err(|e| e.to_string())?;
+            let store = SnapshotStore::open(dir).map_err(|e| e.to_string())?;
+            let missing: Vec<MonthDate> = window
+                .iter()
+                .copied()
+                .filter(|&d| !store.contains(d))
+                .collect();
+            if !missing.is_empty() {
+                return Err(format!(
+                    "snapshot store: {}",
+                    StoreError::MissingMonths { missing }
+                ));
+            }
+            let archive = stored.rib_archive();
+            let mut loaded = std::collections::BTreeMap::new();
+            let mut bytes = 0usize;
+            for date in window {
+                let file = store.load_with(date, mode).map_err(|e| e.to_string())?;
+                bytes += file.byte_len();
+                loaded.insert(date, file);
+            }
+            eprintln!(
+                "loaded world tables ({} KiB) and {} stored snapshots ({} KiB) from {dir}; worldgen skipped",
+                stored.byte_len() / 1024,
+                loaded.len(),
+                bytes / 1024
+            );
+            engine.run_window(from, to, &archive, |date| loaded[&date].clone())?
+        }
         Some(dir) => {
-            // Store-backed window: snapshots come off the mmap'd store as
-            // zero-copy views — zone resolution never runs. The world is
-            // still generated above because the RIB archive (and nothing
-            // else) is derived from it.
+            // Snapshot-only store (no world file): zone resolution never
+            // runs, but the world is still generated because the RIB
+            // archive (and nothing else) is derived from it.
+            let world = generate(config);
+            let archive = world.rib_archive();
             let store = SnapshotStore::open(dir).map_err(|e| e.to_string())?;
             let mut loaded = std::collections::BTreeMap::new();
             let mut bytes = 0usize;
             for date in from.range_to(to) {
-                let file = store.load(date).map_err(|e| e.to_string())?;
+                let file = store.load_with(date, mode).map_err(|e| e.to_string())?;
                 bytes += file.byte_len();
                 loaded.insert(date, file);
             }
@@ -303,9 +359,13 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
             );
             engine.run_window(from, to, &archive, |date| loaded[&date].clone())?
         }
-        None => engine.run_window(from, to, &archive, |date| {
-            std::sync::Arc::new(world.snapshot(date))
-        })?,
+        None => {
+            let world = generate(config);
+            let archive = world.rib_archive();
+            engine.run_window(from, to, &archive, |date| {
+                std::sync::Arc::new(world.snapshot(date))
+            })?
+        }
     };
 
     println!(
@@ -452,6 +512,64 @@ fn cmd_snapshot(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `world export`: generate the world once and persist *everything*
+/// `batch --store` needs — the monthly DNS snapshots (`SIBSNAP` files)
+/// plus the routing and organization tables (the `SIBWORLD` world file,
+/// stamped with the configuration's fingerprint). Later `batch --store`
+/// runs against the same seed/preset then skip worldgen entirely.
+fn cmd_world(args: &Args) -> Result<(), String> {
+    match args.positional.first().map(String::as_str) {
+        Some("export") => {}
+        Some(other) => return Err(format!("unknown world action {other:?} (try: export)")),
+        None => return Err("world needs an action (try: world export --store DIR)".into()),
+    }
+    let dir = args.get("store").ok_or("world export needs --store DIR")?;
+    let config = args.config()?;
+    let from = args.month("from")?.unwrap_or(config.start);
+    let to = args.month("to")?.unwrap_or(config.end);
+    if from > to {
+        return Err(format!("empty window: {from} is after {to}"));
+    }
+    if from < config.start || to > config.end {
+        return Err(format!(
+            "window {from}..{to} outside the world's {}..{}",
+            config.start, config.end
+        ));
+    }
+    let force = args
+        .get("force")
+        .is_some_and(|v| matches!(v, "true" | "1" | "yes"));
+    eprintln!(
+        "generating world (seed {}, preset {})…",
+        config.seed,
+        args.get("preset").unwrap_or("paper")
+    );
+    let world = World::generate(config);
+    let store = SnapshotStore::create(dir).map_err(|e| e.to_string())?;
+    let written = world
+        .export_snapshots(&store, from, to, force)
+        .map_err(|e| e.to_string())?;
+    let path = WorldStore::write(
+        Path::new(dir),
+        world.config.fingerprint(),
+        &world.rib_archive(),
+        world.as_org(),
+        world.asdb(),
+        world.hg_cdn(),
+    )
+    .map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let months = from.range_to(to).len();
+    println!(
+        "exported {written} snapshot(s) ({} already present) for {from}..{to} and world tables \
+         ({} KiB, fingerprint {:#018x}) to {dir}",
+        months - written,
+        bytes / 1024,
+        world.config.fingerprint()
+    );
+    Ok(())
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let ctx = context(args)?;
     let ids: Vec<String> = if args.positional.is_empty() {
@@ -509,6 +627,7 @@ fn main() -> ExitCode {
         "audit" => cmd_audit(&args),
         "batch" => cmd_batch(&args),
         "snapshot" => cmd_snapshot(&args),
+        "world" => cmd_world(&args),
         "run" => cmd_run(&args),
         "list" => cmd_list(),
         "help" | "--help" | "-h" => {

@@ -94,7 +94,7 @@ use std::hash::BuildHasherDefault;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use sibling_bgp::{Rib, RibArchive};
+use sibling_bgp::{RibArchive, RibSource};
 use sibling_dns::{DnsSnapshot, DomainId, SnapshotDelta, SnapshotSource};
 use sibling_executor::sync::Slot;
 use sibling_net_types::{Ipv4Prefix, Ipv6Prefix, MonthDate};
@@ -350,13 +350,15 @@ impl CandidateIndex {
 
 /// Carried state of an incremental window walk, generic over the
 /// snapshot handle `H` — an `Arc<DnsSnapshot>` for regenerated worlds or
-/// an `Arc<sibling_dns::SnapshotFile>` for zero-copy store-backed runs.
-struct WindowState<H> {
+/// an `Arc<sibling_dns::SnapshotFile>` for zero-copy store-backed runs —
+/// and the routing-table handle `R` (any [`RibSource`]; `Arc<Rib>` for
+/// regenerated worlds, a store-backed mmap table otherwise).
+struct WindowState<H, R> {
     /// The snapshot the index currently reflects.
     snapshot: H,
-    /// The RIB the index was built against; `Arc` identity gates whether
-    /// deltas may be applied.
-    rib: Arc<Rib>,
+    /// The table the index was built against; [`RibSource::same_table`]
+    /// identity gates whether deltas may be applied.
+    rib: R,
     /// The index, patched in place month over month.
     index: PrefixDomainIndex,
     /// Shard count fixed for the whole window so cached outcomes stay
@@ -373,7 +375,7 @@ struct WindowState<H> {
     candidates: CandidateIndex,
 }
 
-impl<H> WindowState<H> {
+impl<H, R> WindowState<H, R> {
     /// Re-aligns one shard's member list with the index after a patch
     /// (the prefix may have gained its first domain or lost its last).
     fn sync_member(&mut self, p4: Ipv4Prefix) {
@@ -518,15 +520,16 @@ struct WindowCtx<'a, 's, 'env: 's> {
 impl<'env> WindowCtx<'_, '_, 'env> {
     /// (Re)seeds the window at `date`: full index build, full scoring of
     /// every shard (as per-shard tasks), fresh candidate index.
-    fn seed_window<H>(
+    fn seed_window<H, R>(
         &self,
         date: MonthDate,
         snapshot: H,
-        rib: Arc<Rib>,
-        superseded: Option<WindowState<H>>,
-    ) -> (WindowState<H>, MonthChurn)
+        rib: R,
+        superseded: Option<WindowState<H, R>>,
+    ) -> (WindowState<H, R>, MonthChurn)
     where
         H: SnapshotSource + Clone + Send + 'static,
+        R: RibSource,
     {
         let index = PrefixDomainIndex::build_source_with_arena(&snapshot, &rib, self.arena);
         if let Some(old) = superseded {
@@ -571,15 +574,16 @@ impl<'env> WindowCtx<'_, '_, 'env> {
     /// The incremental month: apply the snapshot delta to the carried
     /// index, mark the shards it touched dirty, and spawn rescoring
     /// tasks for those — the clean remainder keeps its filled slots.
-    fn advance_month<H>(
+    fn advance_month<H, R>(
         &self,
-        state: &mut WindowState<H>,
+        state: &mut WindowState<H, R>,
         date: MonthDate,
         snapshot: H,
         delta: SnapshotDelta,
     ) -> MonthChurn
     where
         H: SnapshotSource + Clone + Send + 'static,
+        R: RibSource,
     {
         debug_assert_eq!(
             delta.from_date(),
@@ -696,7 +700,7 @@ impl<'env> WindowCtx<'_, '_, 'env> {
     /// Spawns the month's assembly task: waits for the per-shard slots
     /// the month depends on (in shard order) and reduces them into the
     /// month's sibling set.
-    fn spawn_assemble<H>(&self, state: &WindowState<H>) -> Arc<Slot<MonthOutput>> {
+    fn spawn_assemble<H, R>(&self, state: &WindowState<H, R>) -> Arc<Slot<MonthOutput>> {
         let deps = state.slots.clone();
         let policy = self.config.policy;
         let slot = Arc::new(Slot::new());
@@ -715,9 +719,10 @@ impl<'env> WindowCtx<'_, '_, 'env> {
     /// A non-incremental month: one task builds a fresh index against
     /// the shared (concurrent) arena and scores it whole — so in full
     /// mode, entire months run in parallel.
-    fn spawn_full_month<H>(&self, snapshot: H, rib: Arc<Rib>) -> Arc<Slot<MonthOutput>>
+    fn spawn_full_month<H, R>(&self, snapshot: H, rib: R) -> Arc<Slot<MonthOutput>>
     where
         H: SnapshotSource + Clone + Send + 'static,
+        R: RibSource + Send + 'static,
     {
         let config = self.config;
         let workers = self.workers;
@@ -848,8 +853,23 @@ impl DetectEngine {
     /// Builds a snapshot index whose group sets are interned in the
     /// engine's arena, sharing storage with every other index this
     /// engine has built.
-    pub fn build_index(&self, snapshot: &DnsSnapshot, rib: &Rib) -> PrefixDomainIndex {
+    pub fn build_index<R: RibSource + ?Sized>(
+        &self,
+        snapshot: &DnsSnapshot,
+        rib: &R,
+    ) -> PrefixDomainIndex {
         PrefixDomainIndex::build_with_arena(snapshot, rib, &self.arena)
+    }
+
+    /// [`DetectEngine::build_index`] over any [`SnapshotSource`] — a
+    /// mapped snapshot file serves as well as an owned snapshot, so
+    /// store-backed contexts build indexes without materializing.
+    pub fn build_index_source<S: SnapshotSource + ?Sized, R: RibSource + ?Sized>(
+        &self,
+        snapshot: &S,
+        rib: &R,
+    ) -> PrefixDomainIndex {
+        PrefixDomainIndex::build_source_with_arena(snapshot, rib, &self.arena)
     }
 
     /// Steps 3–4 over one index: sharded candidate generation and
@@ -881,15 +901,16 @@ impl DetectEngine {
     /// — the latter keeps the whole walk zero-copy (index builds and
     /// month-over-month diffs read the mapped bytes directly; no
     /// `BTreeMap` is ever materialized).
-    pub fn run_window<H, S>(
+    pub fn run_window<H, R, S>(
         &mut self,
         from: MonthDate,
         to: MonthDate,
-        archive: &RibArchive,
+        archive: &RibArchive<R>,
         snapshot_of: S,
     ) -> Result<BatchRun, String>
     where
         H: SnapshotSource + Clone + Send + 'static,
+        R: RibSource + Clone + Send + Sync + 'static,
         S: FnMut(MonthDate) -> H + Send,
     {
         if from > to {
@@ -902,14 +923,15 @@ impl DetectEngine {
     /// experiment drivers' sparse reference offsets). Deltas do not
     /// require adjacency — any two consecutive list entries diff
     /// correctly; sparser lists simply carry more churn per step.
-    pub fn run_dates<H, S>(
+    pub fn run_dates<H, R, S>(
         &mut self,
         dates: &[MonthDate],
-        archive: &RibArchive,
+        archive: &RibArchive<R>,
         mut snapshot_of: S,
     ) -> Result<BatchRun, String>
     where
         H: SnapshotSource + Clone + Send + 'static,
+        R: RibSource + Clone + Send + Sync + 'static,
         S: FnMut(MonthDate) -> H + Send,
     {
         // The provider sits behind a mutex so the signature stays
@@ -949,15 +971,16 @@ impl DetectEngine {
     /// The window scheduler's driver loop (see module docs): walk the
     /// months, keep the patch chain sequential, fan everything else out
     /// through the dispatcher, then collect per-month results in order.
-    fn run_dates_inner<'env, H, S>(
+    fn run_dates_inner<'env, H, R, S>(
         &'env self,
         dates: &[MonthDate],
-        archive: &RibArchive,
+        archive: &RibArchive<R>,
         snapshot_of: &Mutex<&mut S>,
         dispatch: &Dispatch<'_, 'env>,
     ) -> Result<BatchRun, String>
     where
         H: SnapshotSource + Clone + Send + 'static,
+        R: RibSource + Clone + Send + Sync + 'static,
         S: FnMut(MonthDate) -> H + Send,
     {
         let config = self.config;
@@ -970,8 +993,8 @@ impl DetectEngine {
         };
         let n = dates.len();
 
-        // Fail fast: resolve every month's RIB up front (Arc lookups).
-        let ribs: Vec<Arc<Rib>> = dates
+        // Fail fast: resolve every month's RIB up front (handle clones).
+        let ribs: Vec<R> = dates
             .iter()
             .map(|&date| {
                 archive
@@ -989,7 +1012,7 @@ impl DetectEngine {
         let mut diffs: Vec<Option<Arc<Slot<SnapshotDelta>>>> = (0..n).map(|_| None).collect();
         let mut loaded = 0usize;
 
-        let mut state: Option<WindowState<H>> = None;
+        let mut state: Option<WindowState<H, R>> = None;
         let mut month_slots: Vec<Arc<Slot<MonthOutput>>> = Vec::with_capacity(n);
         let mut churns: Vec<MonthChurn> = Vec::with_capacity(n);
         let mut patch_ns: Vec<u64> = Vec::with_capacity(n);
@@ -1028,7 +1051,7 @@ impl DetectEngine {
                 }
             } else {
                 let churn = match state.as_mut() {
-                    Some(prev) if Arc::ptr_eq(&prev.rib, &rib) => {
+                    Some(prev) if prev.rib.same_table(&rib) => {
                         let delta = match diffs[i].take() {
                             Some(slot) => slot.take(),
                             None => SnapshotDelta::diff_sources(&prev.snapshot, &snapshot),
@@ -1353,7 +1376,7 @@ mod tests {
     #[test]
     fn run_window_rejects_inverted_and_uncovered_windows() {
         let mut engine = DetectEngine::default();
-        let archive = RibArchive::new();
+        let archive: RibArchive = RibArchive::new();
         let err = engine
             .run_window(
                 MonthDate::new(2024, 9),

@@ -10,7 +10,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use sibling_bgp::Rib;
+use sibling_bgp::RibSource;
 use sibling_dns::{DnsSnapshot, DomainId, ResolvedAddrs, SnapshotDelta, SnapshotSource};
 use sibling_net_types::{AddressFamily, DualStack, FamilyMap, Ipv4Prefix, Ipv6Prefix, Prefix};
 use sibling_ptrie::PatriciaTrie;
@@ -59,14 +59,11 @@ impl<F: AddressFamily> Default for FamilyIndex<F> {
 
 impl<F: AddressFamily> FamilyIndex<F> {
     /// Maps one resolved address of `domain` to its announced prefix.
-    fn add(&mut self, domain: DomainId, addr: F, rib: &Rib) {
-        match rib.lookup(addr) {
-            Some(route) => {
-                self.pending.entry(route.prefix).or_default().push(domain);
-                self.pending_domains
-                    .entry(domain)
-                    .or_default()
-                    .push(route.prefix);
+    fn add<R: RibSource + ?Sized>(&mut self, domain: DomainId, addr: F, rib: &R) {
+        match rib.announced_prefix(addr) {
+            Some(prefix) => {
+                self.pending.entry(prefix).or_default().push(domain);
+                self.pending_domains.entry(domain).or_default().push(prefix);
                 let host = F::host_prefix(addr);
                 match self.hosts.get_mut(&host) {
                     Some(set) => set.push(domain),
@@ -117,10 +114,10 @@ impl<F: AddressFamily> FamilyIndex<F> {
     /// Caller contract: `rib` is the same table the index was built (or
     /// last patched) against — mappings are a pure function of the RIB,
     /// so old addresses resolve to the prefixes they were indexed under.
-    fn apply_changes(
+    fn apply_changes<R: RibSource + ?Sized>(
         &mut self,
         changes: &[(DomainId, &[F], &[F])],
-        rib: &Rib,
+        rib: &R,
         arena: &SetArena,
         mut domain_touched: Option<&mut BTreeSet<Prefix<F>>>,
         edited: Option<&mut BTreeSet<Prefix<F>>>,
@@ -160,9 +157,9 @@ impl<F: AddressFamily> FamilyIndex<F> {
             let mut old_hosts: Vec<Prefix<F>> = Vec::new();
             let mut unmapped_old = 0usize;
             for &addr in old_addrs {
-                match rib.lookup(addr) {
-                    Some(route) => {
-                        old_prefixes.push(route.prefix);
+                match rib.announced_prefix(addr) {
+                    Some(prefix) => {
+                        old_prefixes.push(prefix);
                         old_hosts.push(F::host_prefix(addr));
                     }
                     None => unmapped_old += 1,
@@ -174,9 +171,9 @@ impl<F: AddressFamily> FamilyIndex<F> {
             let mut new_hosts: Vec<Prefix<F>> = Vec::new();
             let mut unmapped_new = 0usize;
             for &addr in new_addrs {
-                match rib.lookup(addr) {
-                    Some(route) => {
-                        new_prefixes.push(route.prefix);
+                match rib.announced_prefix(addr) {
+                    Some(prefix) => {
+                        new_prefixes.push(prefix);
                         new_hosts.push(F::host_prefix(addr));
                     }
                     None => unmapped_new += 1,
@@ -469,7 +466,7 @@ impl PrefixDomainIndex {
     /// [`PrefixDomainIndex::unmapped_counts`] and otherwise ignored,
     /// mirroring the ~1% of OpenINTEL records the paper backfills or
     /// drops.
-    pub fn build(snapshot: &DnsSnapshot, rib: &Rib) -> Self {
+    pub fn build<R: RibSource + ?Sized>(snapshot: &DnsSnapshot, rib: &R) -> Self {
         Self::build_with_arena(snapshot, rib, &SetArena::new())
     }
 
@@ -477,22 +474,30 @@ impl PrefixDomainIndex {
     /// identical domain sets are shared across many indexes (e.g. the
     /// months of a longitudinal window). The arena is concurrently
     /// shareable, so many indexes may build against it in parallel.
-    pub fn build_with_arena(snapshot: &DnsSnapshot, rib: &Rib, arena: &SetArena) -> Self {
+    pub fn build_with_arena<R: RibSource + ?Sized>(
+        snapshot: &DnsSnapshot,
+        rib: &R,
+        arena: &SetArena,
+    ) -> Self {
         Self::build_source_with_arena(snapshot, rib, arena)
     }
 
     /// [`PrefixDomainIndex::build`] over any [`SnapshotSource`] — in
     /// particular a zero-copy `SnapshotView` straight off the mmap'd
     /// snapshot store, without ever materializing a `DnsSnapshot`'s
-    /// BTreeMap.
-    pub fn build_source<S: SnapshotSource + ?Sized>(source: &S, rib: &Rib) -> Self {
+    /// BTreeMap. The RIB side is symmetric: any [`RibSource`] serves,
+    /// including a store-backed mmap'd table.
+    pub fn build_source<S: SnapshotSource + ?Sized, R: RibSource + ?Sized>(
+        source: &S,
+        rib: &R,
+    ) -> Self {
         Self::build_source_with_arena(source, rib, &SetArena::new())
     }
 
     /// [`PrefixDomainIndex::build_source`] against a caller-owned arena.
-    pub fn build_source_with_arena<S: SnapshotSource + ?Sized>(
+    pub fn build_source_with_arena<S: SnapshotSource + ?Sized, R: RibSource + ?Sized>(
         source: &S,
-        rib: &Rib,
+        rib: &R,
         arena: &SetArena,
     ) -> Self {
         let mut index = Self::default();
@@ -527,11 +532,11 @@ impl PrefixDomainIndex {
     /// **Contract:** `self` was built (or last patched) against the same
     /// `rib` and against the delta's base snapshot. Mappings are a pure
     /// function of the RIB, so a changed RIB requires a full rebuild —
-    /// the engine enforces this by comparing RIB `Arc` identity.
-    pub fn apply_delta(
+    /// the engine enforces this via [`RibSource::same_table`].
+    pub fn apply_delta<R: RibSource + ?Sized>(
         &mut self,
         delta: &SnapshotDelta,
-        rib: &Rib,
+        rib: &R,
         arena: &SetArena,
     ) -> IndexDeltaReport {
         let mut report = IndexDeltaReport::default();
@@ -671,6 +676,7 @@ impl PrefixDomainIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sibling_bgp::Rib;
     use sibling_net_types::{Asn, Ipv4Prefix, Ipv6Prefix, MonthDate};
 
     fn a4(s: &str) -> u32 {

@@ -46,6 +46,7 @@ mod snapshot;
 mod source;
 mod store;
 mod toplist;
+pub mod wire;
 
 pub use delta::{DomainChange, SnapshotDelta};
 pub use name::{DomainId, DomainTable};

@@ -60,12 +60,11 @@ use sibling_net_types::MonthDate;
 use crate::name::DomainId;
 use crate::snapshot::{DnsSnapshot, ResolvedAddrs};
 use crate::source::{AddrEntry, SnapshotSource};
+use crate::wire::{self, put_u32, read_u32, read_u64, ENDIAN_TAG};
 
 const MAGIC: [u8; 8] = *b"SIBSNAP\0";
 const VERSION: u32 = 1;
-const ENDIAN_TAG: u32 = 0x0A0B_0C0D;
 const HEADER_LEN: usize = 64;
-const ALIGN: u64 = 16;
 
 /// Why a snapshot file failed to write, load, or validate.
 #[derive(Debug)]
@@ -93,6 +92,22 @@ pub enum StoreError {
     Corrupt(&'static str),
     /// The requested month is not present in the store.
     Missing(MonthDate),
+    /// A window run asked the store for months it does not hold — all of
+    /// them, listed, so one failed `batch --store` names every gap
+    /// instead of the first.
+    MissingMonths {
+        /// Every requested month absent from the store, ascending.
+        missing: Vec<MonthDate>,
+    },
+    /// The store was produced under a different worldgen configuration
+    /// than the one the run derives its remaining state from (mixing the
+    /// two would silently pair mismatched worlds).
+    BadFingerprint {
+        /// The fingerprint of the configuration this run uses.
+        expected: u64,
+        /// The fingerprint stamped into the store file.
+        found: u64,
+    },
     /// A store file's embedded date disagrees with the month its file
     /// name claims (e.g. a renamed or miscopied file).
     DateMismatch {
@@ -119,6 +134,20 @@ impl fmt::Display for StoreError {
             StoreError::ChecksumMismatch => write!(f, "snapshot file checksum mismatch"),
             StoreError::Corrupt(what) => write!(f, "corrupt snapshot file: {what}"),
             StoreError::Missing(date) => write!(f, "no stored snapshot for {date}"),
+            StoreError::MissingMonths { missing } => {
+                write!(f, "store is missing {} month(s):", missing.len())?;
+                for date in missing {
+                    write!(f, " {date}")?;
+                }
+                Ok(())
+            }
+            StoreError::BadFingerprint { expected, found } => {
+                write!(
+                    f,
+                    "store written under a different world config: \
+                     fingerprint {found:#018x}, expected {expected:#018x}"
+                )
+            }
             StoreError::DateMismatch { expected, found } => {
                 write!(f, "stored snapshot carries {found}, expected {expected}")
             }
@@ -134,38 +163,24 @@ impl From<io::Error> for StoreError {
     }
 }
 
-/// FNV-1a 64 continuation — cheap, deterministic, dependency-free.
-fn fnv1a_continue(mut hash: u64, bytes: &[u8]) -> u64 {
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
 /// The file checksum: FNV-1a 64 over the header with the checksum field
 /// skipped, then the payload. Covering the header means a corrupted
 /// date/count/length field is caught as [`StoreError::ChecksumMismatch`],
 /// not silently attributed to the wrong month or shape.
 fn file_checksum(bytes: &[u8]) -> u64 {
-    let hash = fnv1a_continue(0xcbf2_9ce4_8422_2325, &bytes[..40]);
-    fnv1a_continue(hash, &bytes[48..])
+    wire::checksum_skipping(bytes, 40..48)
 }
 
 fn encode_date(date: MonthDate) -> u32 {
-    date.year() as u32 * 12 + (date.month() as u32 - 1)
+    wire::encode_date(date)
 }
 
 fn decode_date(raw: u32) -> Result<MonthDate, StoreError> {
-    let year = raw / 12;
-    if year > u16::MAX as u32 {
-        return Err(StoreError::Corrupt("date out of range"));
-    }
-    Ok(MonthDate::new(year as u16, (raw % 12 + 1) as u8))
+    wire::decode_date(raw).ok_or(StoreError::Corrupt("date out of range"))
 }
 
 fn align16(offset: u64) -> u64 {
-    offset.div_ceil(ALIGN) * ALIGN
+    wire::align16(offset)
 }
 
 /// Byte ranges of the five sections, derived purely from the header
@@ -265,18 +280,6 @@ pub fn encode_snapshot<S: SnapshotSource + ?Sized>(src: &S) -> Result<Vec<u8>, S
     let checksum = file_checksum(&buf);
     buf[40..48].copy_from_slice(&checksum.to_ne_bytes());
     Ok(buf)
-}
-
-fn put_u32(buf: &mut [u8], at: usize, value: u32) {
-    buf[at..at + 4].copy_from_slice(&value.to_ne_bytes());
-}
-
-fn read_u32(bytes: &[u8], at: usize) -> u32 {
-    u32::from_ne_bytes(bytes[at..at + 4].try_into().expect("header bounds checked"))
-}
-
-fn read_u64(bytes: &[u8], at: usize) -> u64 {
-    u64::from_ne_bytes(bytes[at..at + 8].try_into().expect("header bounds checked"))
 }
 
 /// Validates a snapshot byte image end to end and returns its date and
@@ -468,6 +471,27 @@ pub enum LoadMode {
     Mmap,
     /// Read into an aligned heap buffer (no mmap involved at all).
     Read,
+}
+
+impl LoadMode {
+    /// Parses a user-facing mode name (`mmap` or `read`) — the one
+    /// selection helper the CLI's `--load-mode` flag and the bench
+    /// suite's `SIBLING_BENCH_LOAD_MODE` override share.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "mmap" => Ok(LoadMode::Mmap),
+            "read" => Ok(LoadMode::Read),
+            other => Err(format!("unknown load mode {other:?} (mmap|read)")),
+        }
+    }
+}
+
+impl std::str::FromStr for LoadMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        LoadMode::parse(s)
+    }
 }
 
 /// One loaded snapshot file: owns the mapping (or heap buffer) and the

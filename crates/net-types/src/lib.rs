@@ -31,6 +31,7 @@ mod date;
 mod error;
 mod family;
 mod prefix;
+mod record;
 
 pub use asn::Asn;
 pub use bits::Bits;
@@ -39,3 +40,4 @@ pub use date::MonthDate;
 pub use error::PrefixError;
 pub use family::{AddressFamily, DualStack, FamilyMap};
 pub use prefix::{AnyPrefix, IpFamily, Ipv4Prefix, Ipv6Prefix, Prefix};
+pub use record::{RibRecord4, RibRecord6};

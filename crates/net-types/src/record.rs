@@ -1,0 +1,225 @@
+//! Typed `#[repr(C)]` prefix records for mmap'd RIB tables.
+//!
+//! The world store serialises each per-family announce table as a sorted
+//! array of fixed-size records that readers reinterpret *in place* with
+//! [`mapfile::as_records`] — no decode step, no per-entry allocation. The
+//! key layout is **len-first**: the prefix length comes before the network
+//! bits, so comparing the raw fields in declaration order equals comparing
+//! `(length, bits)`, and a table sorted this way groups all prefixes of
+//! one length into a contiguous run that binary-searches by masked
+//! address bits (the rotonda-store `PrefixId` idiom).
+//!
+//! Both records carry `u32` alignment only. [`RibRecord6`] deliberately
+//! splits its 128 network bits into four `u32` words (most significant
+//! first) instead of holding a `u128`: a `u128` field would force 16-byte
+//! struct alignment and insert padding after `len`, breaking both the
+//! len-first byte layout and the padding-free guarantee
+//! [`mapfile::plain_struct!`] enforces.
+//!
+//! Origin ASNs are stored out of line in a per-table shared `u32` pool
+//! (MOAS prefixes have several), referenced by `[origins_start,
+//! origins_end)` ranges.
+
+use core::ops::Range;
+
+use crate::bits::Bits;
+use crate::prefix::{Ipv4Prefix, Ipv6Prefix, Prefix};
+
+mapfile::plain_struct! {
+    /// One announced IPv4 prefix in a stored RIB table (16 bytes).
+    pub struct RibRecord4 {
+        /// Prefix length `0..=32` — the leading (len-first) sort key.
+        pub len: u32,
+        /// Canonical network bits (host bits zero).
+        pub bits: u32,
+        /// First index into the table's shared origin-ASN pool.
+        pub origins_start: u32,
+        /// One past the last origin index (`start < end`: ≥ 1 origin).
+        pub origins_end: u32,
+    }
+}
+
+mapfile::plain_struct! {
+    /// One announced IPv6 prefix in a stored RIB table (32 bytes).
+    pub struct RibRecord6 {
+        /// Prefix length `0..=128` — the leading (len-first) sort key.
+        pub len: u32,
+        /// Network bits 0..32 (most significant word).
+        pub w0: u32,
+        /// Network bits 32..64.
+        pub w1: u32,
+        /// Network bits 64..96.
+        pub w2: u32,
+        /// Network bits 96..128 (least significant word).
+        pub w3: u32,
+        /// First index into the table's shared origin-ASN pool.
+        pub origins_start: u32,
+        /// One past the last origin index (`start < end`: ≥ 1 origin).
+        pub origins_end: u32,
+        /// Always zero (pads the record to a 32-byte stride).
+        pub reserved: u32,
+    }
+}
+
+impl RibRecord4 {
+    /// Builds a record from a canonical prefix and its origin range.
+    pub fn new(prefix: Ipv4Prefix, origins: Range<u32>) -> Self {
+        Self {
+            len: prefix.len() as u32,
+            bits: prefix.bits(),
+            origins_start: origins.start,
+            origins_end: origins.end,
+        }
+    }
+
+    /// The len-first sort key; raw-field order equals key order.
+    #[inline]
+    pub fn key(&self) -> (u32, u32) {
+        (self.len, self.bits)
+    }
+
+    /// The prefix, or `None` if the record is structurally invalid (length
+    /// out of range or non-canonical bits) — corrupt input must surface as
+    /// a typed error, never a masked-away prefix.
+    pub fn prefix(&self) -> Option<Ipv4Prefix> {
+        let len = u8::try_from(self.len).ok()?;
+        let p = Prefix::new(self.bits, len).ok()?;
+        (p.bits() == self.bits).then_some(p)
+    }
+
+    /// The `[start, end)` origin-pool range.
+    #[inline]
+    pub fn origins(&self) -> Range<usize> {
+        self.origins_start as usize..self.origins_end as usize
+    }
+}
+
+impl RibRecord6 {
+    /// Builds a record from a canonical prefix and its origin range.
+    pub fn new(prefix: Ipv6Prefix, origins: Range<u32>) -> Self {
+        let bits = prefix.bits();
+        Self {
+            len: prefix.len() as u32,
+            w0: (bits >> 96) as u32,
+            w1: (bits >> 64) as u32,
+            w2: (bits >> 32) as u32,
+            w3: bits as u32,
+            origins_start: origins.start,
+            origins_end: origins.end,
+            reserved: 0,
+        }
+    }
+
+    /// The 128 network bits reassembled from the four words.
+    #[inline]
+    pub fn bits(&self) -> u128 {
+        (self.w0 as u128) << 96
+            | (self.w1 as u128) << 64
+            | (self.w2 as u128) << 32
+            | self.w3 as u128
+    }
+
+    /// The len-first sort key; raw-field order (`len`, `w0`..`w3`) equals
+    /// key order because the words are most-significant first.
+    #[inline]
+    pub fn key(&self) -> (u32, u128) {
+        (self.len, self.bits())
+    }
+
+    /// The prefix, or `None` if the record is structurally invalid (see
+    /// [`RibRecord4::prefix`]).
+    pub fn prefix(&self) -> Option<Ipv6Prefix> {
+        let len = u8::try_from(self.len).ok().filter(|&l| l <= u128::WIDTH)?;
+        let p = Prefix::new(self.bits(), len).ok()?;
+        (p.bits() == self.bits()).then_some(p)
+    }
+
+    /// The `[start, end)` origin-pool range.
+    #[inline]
+    pub fn origins(&self) -> Range<usize> {
+        self.origins_start as usize..self.origins_end as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_sizes_and_alignment() {
+        assert_eq!(core::mem::size_of::<RibRecord4>(), 16);
+        assert_eq!(core::mem::align_of::<RibRecord4>(), 4);
+        assert_eq!(core::mem::size_of::<RibRecord6>(), 32);
+        assert_eq!(core::mem::align_of::<RibRecord6>(), 4);
+    }
+
+    #[test]
+    fn v4_round_trip() {
+        let p: Ipv4Prefix = "198.51.100.0/24".parse().unwrap();
+        let r = RibRecord4::new(p, 3..5);
+        assert_eq!(r.prefix(), Some(p));
+        assert_eq!(r.key(), (24, p.bits()));
+        assert_eq!(r.origins(), 3..5);
+    }
+
+    #[test]
+    fn v6_round_trip() {
+        for s in ["::/0", "2001:db8::/32", "2001:db8:1:2::/64", "::1/128"] {
+            let p: Ipv6Prefix = s.parse().unwrap();
+            let r = RibRecord6::new(p, 0..1);
+            assert_eq!(r.bits(), p.bits(), "{s}");
+            assert_eq!(r.prefix(), Some(p), "{s}");
+        }
+    }
+
+    #[test]
+    fn invalid_records_yield_no_prefix() {
+        // Length out of range.
+        let r = RibRecord4 {
+            len: 33,
+            bits: 0,
+            origins_start: 0,
+            origins_end: 1,
+        };
+        assert_eq!(r.prefix(), None);
+        // Non-canonical bits (host bits set below the length).
+        let r = RibRecord4 {
+            len: 24,
+            bits: 0xC0A8_01FF,
+            origins_start: 0,
+            origins_end: 1,
+        };
+        assert_eq!(r.prefix(), None);
+        let mut r6 = RibRecord6::new("2001:db8::/32".parse().unwrap(), 0..1);
+        r6.w3 = 1;
+        assert_eq!(r6.prefix(), None);
+        r6.w3 = 0;
+        r6.len = 129;
+        assert_eq!(r6.prefix(), None);
+    }
+
+    /// Sorting by the raw len-first fields equals sorting by
+    /// `(prefix length, network bits)` — the property the mmap'd
+    /// binary search relies on.
+    #[test]
+    fn len_first_key_order_matches_prefix_order() {
+        let prefixes: Vec<Ipv6Prefix> = [
+            "::/0",
+            "2001:db8::/32",
+            "2001:db8::/48",
+            "2001:db8:0:1::/64",
+            "2001:db8:1::/48",
+            "ff00::/8",
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+        let mut by_key: Vec<RibRecord6> =
+            prefixes.iter().map(|&p| RibRecord6::new(p, 0..1)).collect();
+        by_key.sort_by_key(|r| r.key());
+        let mut by_prefix = prefixes.clone();
+        by_prefix.sort_by_key(|p| (p.len(), p.bits()));
+        let back: Vec<Ipv6Prefix> = by_key.iter().map(|r| r.prefix().unwrap()).collect();
+        assert_eq!(back, by_prefix);
+    }
+}

@@ -721,10 +721,24 @@ impl Builder {
     }
 }
 
+/// Process-wide count of [`World::generate`] calls, for asserting that
+/// store-backed runs never fall back to regeneration.
+static GENERATE_CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 impl World {
+    /// Number of [`World::generate`] calls this process has made so far.
+    ///
+    /// Store-backed runs assert this stays flat across the run — the
+    /// point of the zero-copy world store is that loading never
+    /// regenerates.
+    pub fn generate_calls() -> u64 {
+        GENERATE_CALLS.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Generates a world from the configuration. Deterministic: equal
     /// configs yield identical worlds.
     pub fn generate(config: WorldConfig) -> World {
+        GENERATE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut b = Builder::new(config);
         b.build_orgs();
         for org in 0..b.config.n_orgs as u32 {

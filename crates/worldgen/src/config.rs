@@ -231,6 +231,60 @@ impl WorldConfig {
         self.start.range_to(self.end)
     }
 
+    /// A stable 64-bit fingerprint over every generation knob.
+    ///
+    /// The world store stamps this into its header, so a store written
+    /// under one configuration is never silently read back under
+    /// another: differing seeds, scales, windows or churn rates all
+    /// produce different fingerprints. Floats hash by bit pattern —
+    /// the same strictness `World::generate` determinism relies on.
+    pub fn fingerprint(&self) -> u64 {
+        use sibling_dns::wire;
+        let mut buf = Vec::with_capacity(256);
+        fn f64s(buf: &mut Vec<u8>, v: f64) {
+            buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        fn u64s(buf: &mut Vec<u8>, v: u64) {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        u64s(&mut buf, self.seed);
+        u64s(&mut buf, self.n_orgs as u64);
+        f64s(&mut buf, self.units_per_org);
+        f64s(&mut buf, self.hypergiant_unit_boost);
+        for w in self.layout_mix.weights() {
+            f64s(&mut buf, w);
+        }
+        for w in self.cross_layout_mix.weights() {
+            f64s(&mut buf, w);
+        }
+        f64s(&mut buf, self.cross_org_unit_share);
+        f64s(&mut buf, self.active_at_start_share);
+        u64s(&mut buf, u64::from(wire::encode_date(self.start)));
+        u64s(&mut buf, u64::from(wire::encode_date(self.end)));
+        f64s(&mut buf, self.ds_share_start);
+        f64s(&mut buf, self.ds_share_end);
+        f64s(&mut buf, self.consistent_share);
+        f64s(&mut buf, self.once_share);
+        f64s(&mut buf, self.addr_rehash_monthly);
+        f64s(&mut buf, self.joint_move_monthly);
+        f64s(&mut buf, self.v4_only_move_monthly);
+        f64s(&mut buf, self.v6_only_move_monthly);
+        buf.push(u8::from(self.monitoring_domain));
+        u64s(&mut buf, self.monitoring_v4 as u64);
+        u64s(&mut buf, self.monitoring_v6 as u64);
+        u64s(&mut buf, self.monitoring_outages.len() as u64);
+        for date in &self.monitoring_outages {
+            u64s(&mut buf, u64::from(wire::encode_date(*date)));
+        }
+        f64s(&mut buf, self.rpki_coverage_start);
+        f64s(&mut buf, self.rpki_coverage_end);
+        f64s(&mut buf, self.rpki_misconfig_rate);
+        f64s(&mut buf, self.pod_responsive_rate);
+        u64s(&mut buf, self.n_atlas_probes as u64);
+        u64s(&mut buf, self.n_vps as u64);
+        wire::fnv1a_continue(wire::FNV_OFFSET, &buf)
+    }
+
     /// Linear interpolation of the dual-stack share at `date`.
     pub fn ds_share_at(&self, date: MonthDate) -> f64 {
         let span = self.end.months_since(&self.start).max(1) as f64;

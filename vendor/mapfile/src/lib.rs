@@ -5,8 +5,10 @@
 //! either a read-only private `mmap(2)` mapping (unix) or a heap buffer
 //! filled with a plain `read` (everywhere, and the fallback when mapping
 //! fails). The crate also provides the **checked** zero-copy casts
-//! ([`as_u32s`], [`as_u128s`]) that let `#![forbid(unsafe_code)]` callers
-//! reinterpret aligned byte sections as typed arrays.
+//! ([`as_u32s`], [`as_u128s`], and the [`Plain`]-record generalisation
+//! [`as_records`] with its [`plain_struct!`] declaration macro) that let
+//! `#![forbid(unsafe_code)]` callers reinterpret aligned byte sections as
+//! typed arrays.
 //!
 //! # Safety argument
 //!
@@ -244,6 +246,109 @@ pub fn as_u128s(bytes: &[u8]) -> Option<&[u128]> {
     })
 }
 
+/// Marker for plain-old-data record types that [`as_records`] may view
+/// directly over mapped bytes.
+///
+/// # Safety
+///
+/// Implementors must guarantee that *every* byte pattern of
+/// `size_of::<Self>()` bytes is a valid value: the type is `#[repr(C)]`
+/// (or a primitive integer), contains no padding, and every field is
+/// itself [`Plain`]. Declare record structs with [`plain_struct!`], which
+/// enforces all three at compile time and keeps the `unsafe impl` inside
+/// this crate's macro — callers under `#![forbid(unsafe_code)]` never
+/// write the impl themselves.
+pub unsafe trait Plain: Copy + 'static {}
+
+// SAFETY: fixed-width integers have no padding and no invalid patterns.
+unsafe impl Plain for u8 {}
+// SAFETY: as above.
+unsafe impl Plain for u16 {}
+// SAFETY: as above.
+unsafe impl Plain for u32 {}
+// SAFETY: as above.
+unsafe impl Plain for u64 {}
+// SAFETY: as above.
+unsafe impl Plain for u128 {}
+
+/// Reinterprets `bytes` as an array of [`Plain`] records. Returns `None`
+/// unless the pointer meets the record's alignment and the length is a
+/// non-trivial multiple of its size. Like [`as_u32s`], values are read in
+/// **native** byte order — formats must carry an endianness tag.
+pub fn as_records<T: Plain>(bytes: &[u8]) -> Option<&[T]> {
+    let size = std::mem::size_of::<T>();
+    if size == 0
+        || !bytes.len().is_multiple_of(size)
+        || !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>())
+    {
+        return None;
+    }
+    // SAFETY: alignment and length checked above; `T: Plain` guarantees
+    // every byte pattern is a valid value (see the trait's contract);
+    // lifetime is inherited from the input borrow.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<T>(), bytes.len() / size) })
+}
+
+/// The bytes of one [`Plain`] record (native byte order) — the writer-side
+/// dual of [`as_records`], so encoders serialize exactly the in-memory
+/// layout the reader will cast back.
+pub fn record_bytes<T: Plain>(record: &T) -> &[u8] {
+    // SAFETY: `T: Plain` means the value is padding-free plain data, so
+    // all `size_of::<T>()` bytes are initialized; u8 has no alignment
+    // requirement and the borrow ties the slice to the record.
+    unsafe {
+        std::slice::from_raw_parts((record as *const T).cast::<u8>(), std::mem::size_of::<T>())
+    }
+}
+
+/// Declares a `#[repr(C)]`, padding-free plain-old-data record struct and
+/// implements [`Plain`] for it.
+///
+/// The macro const-asserts that the struct's size equals the sum of its
+/// field sizes (no compiler-inserted padding — required both for cast
+/// soundness and for deterministic on-disk images) and that every field
+/// type is itself [`Plain`]. The `unsafe impl` lives in this macro, so
+/// downstream crates keep `#![forbid(unsafe_code)]`.
+#[macro_export]
+macro_rules! plain_struct {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident {
+            $(
+                $(#[$fmeta:meta])*
+                $fvis:vis $field:ident : $ftype:ty
+            ),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[repr(C)]
+        #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+        $vis struct $name {
+            $(
+                $(#[$fmeta])*
+                $fvis $field: $ftype,
+            )+
+        }
+
+        const _: () = {
+            const fn require_plain<T: $crate::Plain>() {}
+            $( require_plain::<$ftype>(); )+
+            // No padding: every byte of a record is a named field, so the
+            // byte image is deterministic and any byte pattern is valid.
+            assert!(
+                ::core::mem::size_of::<$name>()
+                    == 0 $(+ ::core::mem::size_of::<$ftype>())+,
+                concat!(stringify!($name), " has padding; reorder or pad its fields explicitly")
+            );
+        };
+
+        // SAFETY: `#[repr(C)]`, `Copy`, padding-free (const-asserted
+        // above), and every field is `Plain` (const-checked above), so
+        // every byte pattern is a valid value.
+        unsafe impl $crate::Plain for $name {}
+    };
+}
+
 #[cfg(unix)]
 mod sys {
     //! The two libc entry points this crate needs, declared directly so
@@ -357,5 +462,56 @@ mod tests {
 
     fn as_bytes_mut(buf: &mut [u128]) -> &mut [u8] {
         unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast(), buf.len() * 16) }
+    }
+
+    plain_struct! {
+        /// A 16-byte test record (mirrors the RIB v4 record shape).
+        struct TestRec {
+            a: u32,
+            b: u32,
+            c: u32,
+            d: u32,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_bytes() {
+        let recs = [
+            TestRec {
+                a: 1,
+                b: 2,
+                c: 3,
+                d: 4,
+            },
+            TestRec {
+                a: u32::MAX,
+                b: 0,
+                c: 7,
+                d: 9,
+            },
+        ];
+        let mut bytes = Vec::new();
+        for r in &recs {
+            bytes.extend_from_slice(record_bytes(r));
+        }
+        assert_eq!(bytes.len(), 32);
+        // Copy into 16-byte-aligned storage, as the store backings do.
+        let mut buf = vec![0u128; 2];
+        as_bytes_mut(&mut buf).copy_from_slice(&bytes);
+        let view: &[TestRec] = as_records(as_bytes(&buf)).unwrap();
+        assert_eq!(view, &recs);
+    }
+
+    #[test]
+    fn as_records_checks_alignment_and_length() {
+        let buf = vec![0u128; 4];
+        let bytes = as_bytes(&buf);
+        assert_eq!(as_records::<TestRec>(bytes).unwrap().len(), 4);
+        // Misaligned start.
+        assert!(as_records::<TestRec>(&bytes[1..33]).is_none());
+        // Length not a multiple of the record size.
+        assert!(as_records::<TestRec>(&bytes[..24]).is_none());
+        // Empty is fine.
+        assert_eq!(as_records::<TestRec>(&bytes[..0]).unwrap().len(), 0);
     }
 }
