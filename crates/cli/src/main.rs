@@ -9,6 +9,9 @@
 //!                           [--store DIR] [--load-mode mmap|read] [--window-threads N]
 //! sibling-prefixes snapshot export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N]
 //! sibling-prefixes world    export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N]
+//! sibling-prefixes serve    (--listen HOST:PORT | --socket PATH) [--readers N]
+//!                           [--from YYYY-MM --to YYYY-MM] [--seed N] [--store DIR] …
+//! sibling-prefixes query    --connect ENDPOINT "REQUEST" [...]
 //! sibling-prefixes run      [--seed N] [EXPERIMENT_ID ...]
 //! sibling-prefixes list
 //! ```
@@ -21,13 +24,17 @@
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use sibling_analysis::{all_experiments, run_by_id, AnalysisContext};
 use sibling_core::longitudinal::PairLedger;
+use sibling_core::query::{MonthStats, WindowQueryIndex};
 use sibling_core::tuner::more_specific::tune_more_specific;
-use sibling_core::{DetectEngine, EngineConfig, SpTunerConfig};
+use sibling_core::{BatchRun, DetectEngine, EngineConfig, SpTunerConfig};
 use sibling_dns::{LoadMode, SnapshotStore, StoreError};
+use sibling_executor::ThreadPool;
 use sibling_net_types::MonthDate;
+use sibling_service::{Client, Endpoint, QueryPlanner, Response, Server};
 use sibling_store::{check_months, WorldStore};
 use sibling_worldgen::{World, WorldConfig};
 
@@ -83,7 +90,9 @@ impl Args {
             "paper" => Ok(WorldConfig::paper_scale(seed)),
             "small" => Ok(WorldConfig::test_small(seed)),
             "tiny" => Ok(WorldConfig::test_tiny(seed)),
-            other => Err(format!("unknown --preset {other:?}")),
+            other => Err(format!(
+                "unknown --preset {other:?} (valid values: paper, small, tiny)"
+            )),
         }
     }
 
@@ -99,6 +108,33 @@ impl Args {
             Some(s) => LoadMode::parse(s),
         }
     }
+
+    /// `--mode incremental|full` → is the engine incremental?
+    fn incremental(&self) -> Result<bool, String> {
+        match self.get("mode").unwrap_or("incremental") {
+            "incremental" => Ok(true),
+            "full" => Ok(false),
+            other => Err(format!(
+                "unknown --mode {other:?} (valid values: incremental, full)"
+            )),
+        }
+    }
+
+    /// The shared `--from`/`--to` window, clamped to the world's range.
+    fn window(&self, config: &WorldConfig) -> Result<(MonthDate, MonthDate), String> {
+        let from = self.month("from")?.unwrap_or(config.start);
+        let to = self.month("to")?.unwrap_or(config.end);
+        if from > to {
+            return Err(format!("empty window: {from} is after {to}"));
+        }
+        if from < config.start || to > config.end {
+            return Err(format!(
+                "window {from}..{to} outside the world's {}..{}",
+                config.start, config.end
+            ));
+        }
+        Ok((from, to))
+    }
 }
 
 fn usage() -> &'static str {
@@ -113,6 +149,8 @@ fn usage() -> &'static str {
      \x20 publish  write the sibling prefix list CSV  [--seed N] [--out FILE]\n\
      \x20 audit    RPKI/ROV audit of sibling pairs    [--seed N]\n\
      \x20 batch    longitudinal window in one pass    --from YYYY-MM --to YYYY-MM [--seed N] [--mode incremental|full] [--store DIR] [--load-mode mmap|read] [--window-threads N]\n\
+     \x20 serve    resident query daemon              (--listen HOST:PORT | --socket PATH) [--readers N] + batch's window flags\n\
+     \x20 query    dial a running daemon              --connect ENDPOINT \"REQUEST\" [\"REQUEST\" ...]\n\
      \x20 snapshot export monthly snapshots to a store  export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N] [--force true]\n\
      \x20 world    export snapshots + world tables    export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N] [--force true]\n\
      \x20 run      run experiments by id              [--seed N] [ID ...]\n\
@@ -124,7 +162,14 @@ fn usage() -> &'static str {
      are mapped from it too and worldgen is skipped entirely. batch\n\
      --window-threads sizes the cross-month scheduler's pool (default:\n\
      machine). detection output is byte-identical across stores, modes\n\
-     and thread counts\n"
+     and thread counts\n\
+     \n\
+     serve scores the window once (same flags and fast paths as batch),\n\
+     keeps it resident behind a lock-free query index, prints\n\
+     `listening <endpoint>` and answers the line protocol: ping, months,\n\
+     stats [M], siblings P4 P6 M, partners P M K, pair P4 P6 FROM..TO.\n\
+     query sends request lines and prints the data lines (see README\n\
+     \"Query service\")\n"
 }
 
 fn context(args: &Args) -> Result<AnalysisContext, String> {
@@ -144,7 +189,11 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
         "default" => ctx.default_pairs(date),
         "24-48" => ctx.tuned_pairs(date, SpTunerConfig::routable()),
         "28-96" => ctx.tuned_pairs(date, SpTunerConfig::best()),
-        other => return Err(format!("unknown --level {other:?}")),
+        other => {
+            return Err(format!(
+                "unknown --level {other:?} (valid values: default, 24-48, 28-96)"
+            ))
+        }
     };
     let top: usize = args
         .get("top")
@@ -248,47 +297,22 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// One-pass longitudinal sweep: walks the snapshot window through
-/// [`DetectEngine::run_window`], reusing the domain interner, RIB archive
-/// and hash-consed set arena across months, and reports the per-month
-/// sibling sets plus their month-over-month deltas (computed
-/// delta-natively by a carried [`PairLedger`]).
+/// Resolves the window's input — store-backed (snapshot store, plus the
+/// world file when present) or freshly generated — and runs `engine`
+/// over it. Shared by `batch` and `serve`, which therefore score
+/// identical windows from identical bytes.
 ///
-/// Detection output (stdout) is identical between `--mode=incremental`
-/// (the default: snapshot deltas, dirty-shard rescoring) and
-/// `--mode=full` (per-month rebuilds), and across every
-/// `--window-threads` count (the cross-month scheduler's bit-identity
-/// contract) — CI diffs all of them. Churn, timing and engine
-/// accounting go to stderr so the comparison stays clean.
-fn cmd_batch(args: &Args) -> Result<(), String> {
-    let config = args.config()?;
-    let from = args.month("from")?.unwrap_or(config.start);
-    let to = args.month("to")?.unwrap_or(config.end);
-    if from < config.start || to > config.end {
-        return Err(format!(
-            "window {from}..{to} outside the world's {}..{}",
-            config.start, config.end
-        ));
-    }
-    let incremental = match args.get("mode").unwrap_or("incremental") {
-        "incremental" => true,
-        "full" => false,
-        other => return Err(format!("unknown --mode {other:?} (incremental|full)")),
-    };
-    // Pool size of the cross-month window scheduler; 0 (the default)
-    // sizes to the machine. Accepted but inert without the `parallel`
-    // feature — stdout is identical either way.
-    let window_threads: usize = args
-        .get("window-threads")
-        .unwrap_or("0")
-        .parse()
-        .map_err(|_| "bad --window-threads".to_string())?;
+/// Store-backed runs print a one-line load-timing breakdown on stderr
+/// (world-table open vs snapshot opens), so the "loading is nearly
+/// free" claim stays measurable from any run's log.
+fn run_window_input(
+    args: &Args,
+    engine: &mut DetectEngine,
+    config: &WorldConfig,
+    from: MonthDate,
+    to: MonthDate,
+) -> Result<BatchRun, String> {
     let mode = args.load_mode()?;
-    let mut engine = DetectEngine::new(EngineConfig {
-        incremental,
-        threads: window_threads,
-        ..EngineConfig::default()
-    });
     let generate = |config: WorldConfig| {
         eprintln!(
             "generating world (seed {}, preset {})…",
@@ -306,10 +330,14 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
             // and the coverage pre-scans turn gaps into one typed error
             // listing every missing month.
             let fingerprint = config.fingerprint();
+            let world_open = Instant::now();
             let stored = WorldStore::open_with(Path::new(dir), Some(fingerprint), mode)
                 .map_err(|e| e.to_string())?;
             let window = from.range_to(to);
             check_months(&stored, &window).map_err(|e| e.to_string())?;
+            let archive = stored.rib_archive();
+            let world_open = world_open.elapsed();
+            let snapshot_open = Instant::now();
             let store = SnapshotStore::open(dir).map_err(|e| e.to_string())?;
             let missing: Vec<MonthDate> = window
                 .iter()
@@ -322,7 +350,6 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
                     StoreError::MissingMonths { missing }
                 ));
             }
-            let archive = stored.rib_archive();
             let mut loaded = std::collections::BTreeMap::new();
             let mut bytes = 0usize;
             for date in window {
@@ -330,11 +357,18 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
                 bytes += file.byte_len();
                 loaded.insert(date, file);
             }
+            let snapshot_open = snapshot_open.elapsed();
             eprintln!(
                 "loaded world tables ({} KiB) and {} stored snapshots ({} KiB) from {dir}; worldgen skipped",
                 stored.byte_len() / 1024,
                 loaded.len(),
                 bytes / 1024
+            );
+            eprintln!(
+                "store load: world open {} µs, snapshots open {} µs ({} months)",
+                world_open.as_micros(),
+                snapshot_open.as_micros(),
+                loaded.len()
             );
             engine.run_window(from, to, &archive, |date| loaded[&date].clone())?
         }
@@ -342,8 +376,9 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
             // Snapshot-only store (no world file): zone resolution never
             // runs, but the world is still generated because the RIB
             // archive (and nothing else) is derived from it.
-            let world = generate(config);
+            let world = generate(config.clone());
             let archive = world.rib_archive();
+            let snapshot_open = Instant::now();
             let store = SnapshotStore::open(dir).map_err(|e| e.to_string())?;
             let mut loaded = std::collections::BTreeMap::new();
             let mut bytes = 0usize;
@@ -352,48 +387,86 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
                 bytes += file.byte_len();
                 loaded.insert(date, file);
             }
+            let snapshot_open = snapshot_open.elapsed();
             eprintln!(
                 "loaded {} stored snapshots ({} KiB) from {dir}",
                 loaded.len(),
                 bytes / 1024
             );
+            eprintln!(
+                "store load: world open - (no world file, generated), snapshots open {} µs ({} months)",
+                snapshot_open.as_micros(),
+                loaded.len()
+            );
             engine.run_window(from, to, &archive, |date| loaded[&date].clone())?
         }
         None => {
-            let world = generate(config);
+            let world = generate(config.clone());
             let archive = world.rib_archive();
             engine.run_window(from, to, &archive, |date| {
                 std::sync::Arc::new(world.snapshot(date))
             })?
         }
     };
+    Ok(run)
+}
 
-    println!(
-        "{:<9} {:>7} {:>8} {:>8} {:>9} {:>6} {:>9} {:>8}",
-        "month", "pairs", "v4pfx", "v6pfx", "perfect%", "new", "unchanged", "changed"
-    );
+/// One-pass longitudinal sweep: walks the snapshot window through
+/// [`DetectEngine::run_window`], reusing the domain interner, RIB archive
+/// and hash-consed set arena across months, and reports the per-month
+/// sibling sets plus their month-over-month deltas (computed
+/// delta-natively by a carried [`PairLedger`]).
+///
+/// Detection output (stdout) is identical between `--mode=incremental`
+/// (the default: snapshot deltas, dirty-shard rescoring) and
+/// `--mode=full` (per-month rebuilds), and across every
+/// `--window-threads` count (the cross-month scheduler's bit-identity
+/// contract) — CI diffs all of them. Churn, timing and engine
+/// accounting go to stderr so the comparison stays clean.
+fn cmd_batch(args: &Args) -> Result<(), String> {
+    let config = args.config()?;
+    let (from, to) = args.window(&config)?;
+    let incremental = args.incremental()?;
+    // Pool size of the cross-month window scheduler; 0 (the default)
+    // sizes to the machine. Accepted but inert without the `parallel`
+    // feature — stdout is identical either way.
+    let window_threads: usize = args
+        .get("window-threads")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --window-threads".to_string())?;
+    let mut engine = DetectEngine::new(EngineConfig {
+        incremental,
+        threads: window_threads,
+        ..EngineConfig::default()
+    });
+    let run = run_window_input(args, &mut engine, &config, from, to)?;
+
+    println!("{}", MonthStats::batch_header());
     // Month-over-month deltas via one carried ledger: the old month's
-    // pair map is advanced in place, never rebuilt per comparison.
+    // pair map is advanced in place, never rebuilt per comparison. The
+    // row formatter is shared with the query service's `stats` family
+    // ([`MonthStats::batch_row`]), so served answers diff cleanly
+    // against this table.
     let mut ledger = PairLedger::new();
     for (i, (date, set)) in run.results.iter().enumerate() {
-        let (v4, v6) = set.unique_prefix_counts();
+        let (v4_prefixes, v6_prefixes) = set.unique_prefix_counts();
         let delta = ledger.advance(set);
-        let (new, unchanged, changed) = if i == 0 {
-            ("-".into(), "-".into(), "-".into())
+        let delta = if i == 0 {
+            None
         } else {
             let (n, u, c, _) = delta.counts();
-            (n.to_string(), u.to_string(), c.to_string())
+            Some((n, u, c))
         };
-        println!(
-            "{date}   {:>7} {:>8} {:>8} {:>8.1}% {:>6} {:>9} {:>8}",
-            set.len(),
-            v4,
-            v6,
-            set.perfect_match_share() * 100.0,
-            new,
-            unchanged,
-            changed
-        );
+        let stats = MonthStats {
+            date: *date,
+            pairs: set.len(),
+            v4_prefixes,
+            v6_prefixes,
+            perfect_share: set.perfect_match_share(),
+            delta,
+        };
+        println!("{}", stats.batch_row());
     }
     println!(
         "\n{} months, {} pairs total",
@@ -466,6 +539,107 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `serve`: the resident query daemon. Scores the window once exactly
+/// like `batch` (same store-backed fast path, same engine), pivots the
+/// results into the read-optimized [`WindowQueryIndex`], and serves the
+/// line protocol over TCP (`--listen`) or a unix socket (`--socket`)
+/// with `--readers` resident reader threads until the process is killed.
+///
+/// Prints `listening <endpoint>` on stdout once ready — supervisors and
+/// the CI smoke step wait for that line before dialing in.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let endpoint = match (args.get("listen"), args.get("socket")) {
+        (Some(addr), None) => Endpoint::Tcp(addr.to_string()),
+        #[cfg(unix)]
+        (None, Some(path)) => Endpoint::Unix(std::path::PathBuf::from(path)),
+        #[cfg(not(unix))]
+        (None, Some(_)) => return Err("--socket needs a unix platform; use --listen".into()),
+        (None, None) => {
+            return Err("serve needs --listen HOST:PORT or --socket PATH".into());
+        }
+        (Some(_), Some(_)) => return Err("serve takes --listen or --socket, not both".into()),
+    };
+    let readers: usize = args
+        .get("readers")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --readers (unsigned integer, 0 = machine size)".to_string())?;
+    let readers = if readers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        readers
+    };
+    let config = args.config()?;
+    let (from, to) = args.window(&config)?;
+    let window_threads: usize = args
+        .get("window-threads")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --window-threads".to_string())?;
+    let mut engine = DetectEngine::new(EngineConfig {
+        incremental: args.incremental()?,
+        threads: window_threads,
+        ..EngineConfig::default()
+    });
+    let score = Instant::now();
+    let run = run_window_input(args, &mut engine, &config, from, to)?;
+    let index = WindowQueryIndex::publish(&run)?;
+    eprintln!(
+        "window {from}..{to} scored and published in {} ms: {} months, {} pairs resident",
+        score.elapsed().as_millis(),
+        index.months().len(),
+        index.total_pairs()
+    );
+    let planner = QueryPlanner::new(index);
+    let server = Server::bind(&endpoint).map_err(|e| format!("bind failed: {e}"))?;
+    // The readiness line: everything before this went to stderr, so a
+    // supervisor can `read` exactly one stdout line and start dialing.
+    println!("listening {}", server.endpoint());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let handle = server
+        .start(planner, ThreadPool::with_threads(1), readers)
+        .map_err(|e| format!("starting readers: {e}"))?;
+    eprintln!("{readers} reader(s) serving; kill the process to stop");
+    handle.park_forever()
+}
+
+/// `query`: a thin client for the daemon. Each positional argument is
+/// one protocol request; data lines go to stdout (errors to stderr), so
+/// output diffs directly against `batch`-derived expectations.
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let endpoint = args
+        .get("connect")
+        .ok_or("query needs --connect ENDPOINT (tcp://HOST:PORT or unix://PATH)")?;
+    if args.positional.is_empty() {
+        return Err("query needs at least one request argument (e.g. \"ping\")".into());
+    }
+    let mut client =
+        Client::connect(endpoint).map_err(|e| format!("connecting to {endpoint}: {e}"))?;
+    let mut failures = 0usize;
+    for request in &args.positional {
+        match client
+            .roundtrip(request)
+            .map_err(|e| format!("transport error on {request:?}: {e}"))?
+        {
+            Response::Ok(lines) => {
+                for line in lines {
+                    println!("{line}");
+                }
+            }
+            Response::Err { code, message } => {
+                eprintln!("error: {request:?}: {code}: {message}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        Err(format!("{failures} request(s) failed"))
+    } else {
+        Ok(())
+    }
+}
+
 /// `snapshot export`: resolve a window of monthly snapshots once and
 /// write them to an on-disk store, so later `batch --store` runs (and
 /// anything else consuming the store) load them back via mmap in
@@ -480,17 +654,7 @@ fn cmd_snapshot(args: &Args) -> Result<(), String> {
         .get("store")
         .ok_or("snapshot export needs --store DIR")?;
     let config = args.config()?;
-    let from = args.month("from")?.unwrap_or(config.start);
-    let to = args.month("to")?.unwrap_or(config.end);
-    if from > to {
-        return Err(format!("empty window: {from} is after {to}"));
-    }
-    if from < config.start || to > config.end {
-        return Err(format!(
-            "window {from}..{to} outside the world's {}..{}",
-            config.start, config.end
-        ));
-    }
+    let (from, to) = args.window(&config)?;
     let force = args
         .get("force")
         .is_some_and(|v| matches!(v, "true" | "1" | "yes"));
@@ -525,17 +689,7 @@ fn cmd_world(args: &Args) -> Result<(), String> {
     }
     let dir = args.get("store").ok_or("world export needs --store DIR")?;
     let config = args.config()?;
-    let from = args.month("from")?.unwrap_or(config.start);
-    let to = args.month("to")?.unwrap_or(config.end);
-    if from > to {
-        return Err(format!("empty window: {from} is after {to}"));
-    }
-    if from < config.start || to > config.end {
-        return Err(format!(
-            "window {from}..{to} outside the world's {}..{}",
-            config.start, config.end
-        ));
-    }
+    let (from, to) = args.window(&config)?;
     let force = args
         .get("force")
         .is_some_and(|v| matches!(v, "true" | "1" | "yes"));
@@ -626,6 +780,8 @@ fn main() -> ExitCode {
         "publish" => cmd_publish(&args),
         "audit" => cmd_audit(&args),
         "batch" => cmd_batch(&args),
+        "serve" => cmd_serve(&args),
+        "query" => cmd_query(&args),
         "snapshot" => cmd_snapshot(&args),
         "world" => cmd_world(&args),
         "run" => cmd_run(&args),
@@ -634,7 +790,10 @@ fn main() -> ExitCode {
             print!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(format!(
+            "unknown command {other:?} (valid commands: detect, tune, publish, audit, batch, \
+             serve, query, snapshot, world, run, list, help)"
+        )),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,

@@ -40,6 +40,7 @@ pub mod index;
 pub mod longitudinal;
 pub mod metrics;
 pub mod pipeline;
+pub mod query;
 pub mod setpairs;
 pub mod stability;
 pub mod tuner;
@@ -49,5 +50,6 @@ pub use engine::{BatchRun, BatchStats, DetectEngine, EngineConfig, MonthChurn, M
 pub use index::{DomainMove, IndexDeltaReport, PrefixDomainIndex};
 pub use metrics::{dice, intersection_size, jaccard, overlap_coefficient, Ratio, SimilarityMetric};
 pub use pipeline::{detect, BestMatchPolicy, SiblingPair, SiblingSet};
+pub use query::{MonthStats, MonthView, WindowQueryIndex};
 pub use setpairs::{build_set_pairs, SetPair, SetPairing};
 pub use tuner::{SpTunerConfig, SpTunerLsConfig, TunerOutcome};

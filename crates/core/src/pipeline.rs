@@ -71,6 +71,11 @@ impl SiblingSet {
         self.pairs.iter()
     }
 
+    /// The pairs as a slice, in deterministic (v4, v6) order.
+    pub fn as_slice(&self) -> &[SiblingPair] {
+        &self.pairs
+    }
+
     /// Looks up a specific pair.
     pub fn get(&self, v4: &Ipv4Prefix, v6: &Ipv6Prefix) -> Option<&SiblingPair> {
         self.pairs

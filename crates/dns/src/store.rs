@@ -481,7 +481,9 @@ impl LoadMode {
         match s {
             "mmap" => Ok(LoadMode::Mmap),
             "read" => Ok(LoadMode::Read),
-            other => Err(format!("unknown load mode {other:?} (mmap|read)")),
+            other => Err(format!(
+                "unknown load mode {other:?} (valid values: mmap, read)"
+            )),
         }
     }
 }

@@ -306,6 +306,10 @@ impl<T> Drop for ScopedTask<'_, T> {
 pub struct ThreadPool {
     shared: Arc<PoolShared>,
     workers: Vec<JoinHandle<()>>,
+    /// Long-lived threads spawned via [`ThreadPool::spawn_resident`].
+    /// They live outside the job queue but share the pool's lifetime:
+    /// `Drop` joins them after the queue workers.
+    residents: Mutex<Vec<JoinHandle<()>>>,
     threads: usize,
 }
 
@@ -314,6 +318,7 @@ impl std::fmt::Debug for ThreadPool {
         f.debug_struct("ThreadPool")
             .field("threads", &self.threads)
             .field("workers", &self.workers.len())
+            .field("residents", &self.residents.lock().unwrap().len())
             .finish()
     }
 }
@@ -356,6 +361,7 @@ impl ThreadPool {
         Self {
             shared,
             workers,
+            residents: Mutex::new(Vec::new()),
             threads,
         }
     }
@@ -363,6 +369,38 @@ impl ThreadPool {
     /// Number of logical threads `map` will use (caller included).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Spawns a **resident task**: a dedicated thread that lives for the
+    /// rest of the pool's lifetime, outside the job queue.
+    ///
+    /// Queue jobs ([`ThreadPool::map`], [`Scope::spawn`]) are
+    /// short-lived by contract — a job that blocks indefinitely starves
+    /// every other submission on that worker. Long-lived loops (the
+    /// query daemon's connection readers) instead get their own thread
+    /// here, so the work-stealing workers stay available for compute.
+    ///
+    /// The closure receives a [`ResidentCtx`] whose
+    /// [`stopping`](ResidentCtx::stopping) flips once the pool begins
+    /// shutting down; a well-behaved resident polls it between blocking
+    /// steps and returns promptly. Dropping the pool joins residents
+    /// *after* the queue workers, so a resident may keep submitting
+    /// compute until it observes the stop signal — but a resident parked
+    /// in a syscall (e.g. `accept`) must be poked awake by its owner
+    /// before the pool is dropped, or the drop blocks. Panics are
+    /// contained: a panicking resident ends quietly without poisoning
+    /// the pool.
+    pub fn spawn_resident<F>(&self, f: F)
+    where
+        F: FnOnce(ResidentCtx) + Send + 'static,
+    {
+        let ctx = ResidentCtx {
+            shared: Arc::clone(&self.shared),
+        };
+        let handle = std::thread::spawn(move || {
+            let _ = catch_unwind(AssertUnwindSafe(move || f(ctx)));
+        });
+        self.residents.lock().unwrap().push(handle);
     }
 
     /// Opens a spawning scope, following `std::thread::scope`: the
@@ -467,6 +505,23 @@ impl ThreadPool {
     }
 }
 
+/// Stop-signal handle passed to [`ThreadPool::spawn_resident`] tasks.
+///
+/// Holds a reference to the pool's shared state, so it stays valid even
+/// while the pool is mid-drop; the resident's contract is to return soon
+/// after [`stopping`](ResidentCtx::stopping) turns true.
+pub struct ResidentCtx {
+    shared: Arc<PoolShared>,
+}
+
+impl ResidentCtx {
+    /// True once the owning pool has begun shutting down. Residents
+    /// poll this between blocking steps and exit their loop when set.
+    pub fn stopping(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+}
+
 /// The chunked work-stealing layout shared by [`ThreadPool::map`] and
 /// [`scoped_map`]: one contiguous chunk per participant, each with a
 /// shared atomic cursor. Keeping one implementation guarantees the
@@ -529,6 +584,12 @@ impl Drop for ThreadPool {
         }
         self.shared.available.notify_all();
         for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Residents go last: the shutdown store above is their stop
+        // signal, and they may need a final iteration to observe it.
+        let residents = std::mem::take(&mut *self.residents.lock().unwrap());
+        for handle in residents {
             let _ = handle.join();
         }
     }
@@ -819,6 +880,57 @@ mod tests {
             let pool = ThreadPool::with_threads(3);
             assert_eq!(pool.map(&[1u32], |_, x| *x), vec![1]);
         }
+    }
+
+    #[test]
+    fn resident_sees_stop_signal_and_is_joined_at_drop() {
+        let observed_stop = Arc::new(AtomicBool::new(false));
+        let rounds = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::with_threads(2);
+            let observed_stop = Arc::clone(&observed_stop);
+            let rounds = Arc::clone(&rounds);
+            pool.spawn_resident(move |ctx| {
+                while !ctx.stopping() {
+                    rounds.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                observed_stop.store(true, Ordering::SeqCst);
+            });
+            // Queue work coexists with the resident loop.
+            assert_eq!(pool.map(&[1u32, 2], |_, x| x * 2), vec![2, 4]);
+        }
+        // Drop returned, so the resident was joined — after seeing stop.
+        assert!(observed_stop.load(Ordering::SeqCst));
+        assert!(rounds.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn panicking_resident_does_not_wedge_the_pool() {
+        let pool = ThreadPool::with_threads(2);
+        pool.spawn_resident(|_ctx| panic!("resident boom"));
+        // Give the resident time to die; the pool keeps serving.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert_eq!(pool.map(&[3u32], |_, x| x + 1), vec![4]);
+        drop(pool); // joins the dead resident without propagating
+    }
+
+    #[test]
+    fn many_residents_all_joined() {
+        let count = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::with_threads(1);
+            for _ in 0..4 {
+                let count = Arc::clone(&count);
+                pool.spawn_resident(move |ctx| {
+                    while !ctx.stopping() {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 4);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! A minimal blocking protocol client — what the `query` subcommand, the
+//! e2e tests and the CI smoke step dial the daemon with.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+#[cfg(unix)]
+use std::path::Path;
+
+use crate::protocol::Response;
+use crate::server::Conn;
+
+/// A connected protocol client. One request/response round-trip at a
+/// time ([`Client::roundtrip`]); the connection persists across calls.
+pub struct Client {
+    reader: BufReader<Conn>,
+}
+
+impl Client {
+    /// Connects to an endpoint string as the daemon prints it:
+    /// `tcp://HOST:PORT` or `unix://PATH` (bare `HOST:PORT` is accepted
+    /// as TCP).
+    pub fn connect(endpoint: &str) -> io::Result<Client> {
+        if let Some(addr) = endpoint.strip_prefix("tcp://") {
+            return Self::connect_tcp(addr);
+        }
+        #[cfg(unix)]
+        if let Some(path) = endpoint.strip_prefix("unix://") {
+            return Self::connect_unix(Path::new(path));
+        }
+        Self::connect_tcp(endpoint)
+    }
+
+    /// Connects over TCP.
+    pub fn connect_tcp(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(Conn::Tcp(stream)),
+        })
+    }
+
+    /// Connects over a unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &Path) -> io::Result<Client> {
+        Ok(Client {
+            reader: BufReader::new(Conn::Unix(UnixStream::connect(path)?)),
+        })
+    }
+
+    /// Sends one request line and reads the complete response. The
+    /// request may omit the trailing newline. Protocol-level errors come
+    /// back as [`Response::Err`]; only transport failures are `io::Error`.
+    pub fn roundtrip(&mut self, request: &str) -> io::Result<Response> {
+        let conn = self.reader.get_mut();
+        conn.write_all(request.as_bytes())?;
+        if !request.ends_with('\n') {
+            conn.write_all(b"\n")?;
+        }
+        conn.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before answering",
+            ));
+        }
+        let count = match Response::decode_header(&line)? {
+            Ok(count) => count,
+            Err(error) => return Ok(error),
+        };
+        let mut data = Vec::with_capacity(count);
+        for _ in 0..count {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-response",
+                ));
+            }
+            data.push(line.trim_end_matches('\n').to_string());
+        }
+        Ok(Response::Ok(data))
+    }
+}

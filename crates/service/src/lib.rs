@@ -1,0 +1,145 @@
+//! The resident sibling query service.
+//!
+//! Batch runs answer one question and die; this crate keeps a scored
+//! window alive and answers millions. The shape:
+//!
+//! 1. The caller (the CLI's `serve` subcommand) loads a store-backed
+//!    window and runs the engine once, exactly as `batch` would.
+//! 2. The run's pair sets are pivoted into the read-optimized
+//!    [`sibling_core::query::WindowQueryIndex`] and published behind an
+//!    `Arc` — immutable from then on.
+//! 3. A [`Server`] spawns N resident reader threads on the executor pool
+//!    ([`sibling_executor::ThreadPool::spawn_resident`]); each answers
+//!    the line [`protocol`] over TCP or unix sockets through the shared
+//!    [`QueryPlanner`]. The hot path takes no lock and performs no
+//!    allocation: readers share the index through the `Arc` and reuse a
+//!    per-thread response buffer.
+//!
+//! Determinism: every served answer is derived from the exact pair
+//! vectors the batch run produced, so responses are bit-identical to
+//! recomputing the window and filtering its output — see the module docs
+//! of [`sibling_core::query`] for the argument and the property tests
+//! pinning it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod planner;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use planner::QueryPlanner;
+pub use protocol::{parse_request, ProtocolError, Request, Response};
+pub use server::{Endpoint, Server, ServerHandle};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use sibling_core::query::WindowQueryIndex;
+    use sibling_core::{Ratio, SiblingPair, SiblingSet};
+    use sibling_executor::ThreadPool;
+    use sibling_net_types::MonthDate;
+
+    use super::*;
+
+    fn planner() -> QueryPlanner {
+        let set = SiblingSet::from_pairs(vec![SiblingPair {
+            v4: "10.0.0.0/24".parse().unwrap(),
+            v6: "2600:1::/48".parse().unwrap(),
+            similarity: Ratio::ONE,
+            shared_domains: 3,
+            v4_domains: 3,
+            v6_domains: 3,
+        }]);
+        let index = WindowQueryIndex::build(&[(MonthDate::new(2024, 1), set)]).unwrap();
+        QueryPlanner::new(Arc::new(index))
+    }
+
+    fn start_tcp(readers: usize) -> ServerHandle {
+        let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        server
+            .start(planner(), ThreadPool::with_threads(2), readers)
+            .unwrap()
+    }
+
+    #[test]
+    fn tcp_round_trip_and_clean_shutdown() {
+        let handle = start_tcp(2);
+        let mut client = Client::connect(handle.endpoint()).unwrap();
+        assert_eq!(
+            client.roundtrip("ping").unwrap(),
+            Response::Ok(vec!["pong".into()])
+        );
+        assert_eq!(
+            client
+                .roundtrip("siblings 10.0.0.0/24 2600:1::/48 2024-01")
+                .unwrap(),
+            Response::Ok(vec!["10.0.0.0/24 2600:1::/48 1/1 3 3 3".into()])
+        );
+        drop(handle); // joins the readers; must not hang
+    }
+
+    #[test]
+    fn malformed_requests_keep_the_connection_alive() {
+        let handle = start_tcp(1);
+        let mut client = Client::connect(handle.endpoint()).unwrap();
+        let err = client.roundtrip("no-such-verb a b").unwrap();
+        assert!(matches!(err, Response::Err { ref code, .. } if code == "unknown-verb"));
+        let err = client.roundtrip("").unwrap();
+        assert!(matches!(err, Response::Err { ref code, .. } if code == "empty"));
+        // The same connection still answers real queries.
+        assert_eq!(
+            client.roundtrip("months").unwrap(),
+            Response::Ok(vec!["2024-01".into()])
+        );
+    }
+
+    #[test]
+    fn concurrent_clients_on_multiple_readers() {
+        let handle = start_tcp(3);
+        let endpoint = handle.endpoint().to_string();
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let endpoint = endpoint.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(&endpoint).unwrap();
+                    for _ in 0..50 {
+                        assert_eq!(
+                            client.roundtrip("partners 10.0.0.0/24 2024-01 0").unwrap(),
+                            Response::Ok(vec!["10.0.0.0/24 2600:1::/48 1/1 3 3 3".into()])
+                        );
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().unwrap();
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_round_trip_and_file_cleanup() {
+        let path =
+            std::env::temp_dir().join(format!("sibling-service-test-{}.sock", std::process::id()));
+        let server = Server::bind(&Endpoint::Unix(path.clone())).unwrap();
+        assert_eq!(server.endpoint(), format!("unix://{}", path.display()));
+        let handle = server
+            .start(planner(), ThreadPool::with_threads(1), 1)
+            .unwrap();
+        let mut client = Client::connect(handle.endpoint()).unwrap();
+        match client.roundtrip("stats 2024-01").unwrap() {
+            Response::Ok(rows) => {
+                assert_eq!(rows.len(), 1);
+                assert!(rows[0].starts_with("2024-01"), "{rows:?}");
+                assert!(rows[0].contains("100.0%"), "{rows:?}");
+            }
+            err => panic!("unexpected {err:?}"),
+        }
+        drop(handle);
+        assert!(!path.exists(), "socket file removed on shutdown");
+    }
+}

@@ -1,0 +1,240 @@
+//! The query planner: executes parsed requests against a published
+//! [`WindowQueryIndex`] and renders wire responses.
+//!
+//! This is the whole read hot path — the server's connection loop and the
+//! `query_throughput` bench both call [`QueryPlanner::answer_line`] with a
+//! reused output buffer, so a query costs a parse, a binary search or two
+//! and number formatting: no locks, and no allocation once the buffer has
+//! warmed up.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use sibling_core::query::{MonthStats, MonthView, WindowQueryIndex};
+use sibling_core::SiblingPair;
+use sibling_net_types::MonthDate;
+
+use crate::protocol::{parse_request, ProtocolError, Request};
+
+/// Executes requests against one published window index. Cloning is an
+/// `Arc` bump — each reader thread owns a clone and shares the index
+/// lock-free.
+#[derive(Debug, Clone)]
+pub struct QueryPlanner {
+    index: Arc<WindowQueryIndex>,
+}
+
+/// Renders one sibling pair as a response data line (sans newline):
+/// `V4 V6 NUM/DEN SHARED V4DOMS V6DOMS`, similarity as the exact
+/// rational so the answer round-trips bit-identically.
+fn write_pair(out: &mut String, pair: &SiblingPair) {
+    let _ = write!(
+        out,
+        "{} {} {}/{} {} {} {}",
+        pair.v4,
+        pair.v6,
+        pair.similarity.num(),
+        pair.similarity.den(),
+        pair.shared_domains,
+        pair.v4_domains,
+        pair.v6_domains
+    );
+}
+
+impl QueryPlanner {
+    /// A planner over a published index.
+    pub fn new(index: Arc<WindowQueryIndex>) -> Self {
+        Self { index }
+    }
+
+    /// The served index.
+    pub fn index(&self) -> &Arc<WindowQueryIndex> {
+        &self.index
+    }
+
+    /// Answers one raw request line, replacing `out` with the complete
+    /// wire response (header + data lines, every line `\n`-terminated).
+    /// Errors become `err` responses; this never fails.
+    pub fn answer_line(&self, line: &str, out: &mut String) {
+        out.clear();
+        let outcome = parse_request(line).and_then(|request| self.answer(&request, out));
+        if let Err(error) = outcome {
+            out.clear();
+            let _ = writeln!(out, "err {} {}", error.code(), error);
+        }
+    }
+
+    /// Resolves a month to its view, mapping absence to the typed
+    /// out-of-window error (naming the loaded range).
+    fn view(&self, month: MonthDate) -> Result<MonthView<'_>, ProtocolError> {
+        self.index.month(month).ok_or_else(|| {
+            let (first, last) = self.index.bounds();
+            ProtocolError::OutOfWindow { month, first, last }
+        })
+    }
+
+    /// Executes a parsed request, appending the response to `out`.
+    pub fn answer(&self, request: &Request, out: &mut String) -> Result<(), ProtocolError> {
+        match request {
+            Request::Ping => out.push_str("ok 1\npong\n"),
+            Request::Months => {
+                let months = self.index.months();
+                let _ = writeln!(out, "ok {}", months.len());
+                for month in months {
+                    let _ = writeln!(out, "{month}");
+                }
+            }
+            Request::Stats { month: None } => {
+                let _ = writeln!(out, "ok {}", self.index.months().len());
+                for stats in self.index.stats() {
+                    out.push_str(&stats.batch_row());
+                    out.push('\n');
+                }
+            }
+            Request::Stats { month: Some(month) } => {
+                let view = self.view(*month)?;
+                out.push_str("ok 1\n");
+                out.push_str(&view.stats().batch_row());
+                out.push('\n');
+            }
+            Request::Point { v4, v6, month } => {
+                let view = self.view(*month)?;
+                match view.point(v4, v6) {
+                    Some(pair) => {
+                        out.push_str("ok 1\n");
+                        write_pair(out, pair);
+                        out.push('\n');
+                    }
+                    // Absence is an answer, not an error.
+                    None => out.push_str("ok 0\n"),
+                }
+            }
+            Request::Partners { prefix, month, k } => {
+                let view = self.view(*month)?;
+                let _ = writeln!(out, "ok {}", view.partners(prefix, *k).count());
+                for pair in view.partners(prefix, *k) {
+                    write_pair(out, pair);
+                    out.push('\n');
+                }
+            }
+            Request::History { v4, v6, from, to } => {
+                let count = self.index.history(v4, v6, *from, *to).count();
+                let _ = writeln!(out, "ok {count}");
+                for (month, pair) in self.index.history(v4, v6, *from, *to) {
+                    let _ = write!(out, "{month} ");
+                    write_pair(out, pair);
+                    out.push('\n');
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The batch-table header matching `stats` data lines — what the CLI
+    /// prints above them.
+    pub fn stats_header() -> String {
+        MonthStats::batch_header()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibling_core::{Ratio, SiblingSet};
+
+    fn pair(v4: &str, v6: &str, num: u64, den: u64) -> SiblingPair {
+        SiblingPair {
+            v4: v4.parse().unwrap(),
+            v6: v6.parse().unwrap(),
+            similarity: Ratio::new(num, den),
+            shared_domains: num,
+            v4_domains: den,
+            v6_domains: den,
+        }
+    }
+
+    fn planner() -> QueryPlanner {
+        let m1 = SiblingSet::from_pairs(vec![
+            pair("10.0.0.0/24", "2600:1::/48", 1, 1),
+            pair("10.0.0.0/24", "2600:2::/48", 1, 2),
+        ]);
+        let m2 = SiblingSet::from_pairs(vec![pair("10.0.0.0/24", "2600:1::/48", 1, 2)]);
+        let index = WindowQueryIndex::build(&[
+            (MonthDate::new(2024, 1), m1),
+            (MonthDate::new(2024, 2), m2),
+        ])
+        .unwrap();
+        QueryPlanner::new(Arc::new(index))
+    }
+
+    fn answer(line: &str) -> String {
+        let planner = planner();
+        let mut out = String::new();
+        planner.answer_line(line, &mut out);
+        out
+    }
+
+    #[test]
+    fn ping_months_stats() {
+        assert_eq!(answer("ping"), "ok 1\npong\n");
+        assert_eq!(answer("months"), "ok 2\n2024-01\n2024-02\n");
+        let stats = answer("stats");
+        assert!(stats.starts_with("ok 2\n2024-01 "));
+        let one = answer("stats 2024-02");
+        assert!(one.starts_with("ok 1\n2024-02 "));
+    }
+
+    #[test]
+    fn point_hit_miss_and_out_of_window() {
+        assert_eq!(
+            answer("siblings 10.0.0.0/24 2600:1::/48 2024-01"),
+            "ok 1\n10.0.0.0/24 2600:1::/48 1/1 1 1 1\n"
+        );
+        assert_eq!(answer("siblings 10.0.0.0/24 2600:9::/48 2024-01"), "ok 0\n");
+        let out = answer("siblings 10.0.0.0/24 2600:1::/48 2025-01");
+        assert!(out.starts_with("err out-of-window "), "{out:?}");
+        assert!(out.contains("2024-01..2024-02"), "{out:?}");
+    }
+
+    #[test]
+    fn partners_ranked_and_capped() {
+        assert_eq!(
+            answer("partners 10.0.0.0/24 2024-01 0"),
+            "ok 2\n10.0.0.0/24 2600:1::/48 1/1 1 1 1\n10.0.0.0/24 2600:2::/48 1/2 1 2 2\n"
+        );
+        assert_eq!(
+            answer("partners 10.0.0.0/24 2024-01 1"),
+            "ok 1\n10.0.0.0/24 2600:1::/48 1/1 1 1 1\n"
+        );
+        assert_eq!(answer("partners 9.9.9.0/24 2024-01 5"), "ok 0\n");
+    }
+
+    #[test]
+    fn history_spans_months() {
+        assert_eq!(
+            answer("pair 10.0.0.0/24 2600:1::/48 2024-01..2024-12"),
+            "ok 2\n2024-01 10.0.0.0/24 2600:1::/48 1/1 1 1 1\n\
+             2024-02 10.0.0.0/24 2600:1::/48 1/2 1 2 2\n"
+        );
+        assert_eq!(
+            answer("pair 10.0.0.0/24 2600:2::/48 2024-02..2024-02"),
+            "ok 0\n"
+        );
+    }
+
+    #[test]
+    fn malformed_lines_become_err_responses() {
+        for (line, code) in [
+            ("", "err empty "),
+            ("bogus", "err unknown-verb "),
+            ("siblings 10.0.0.0/24", "err usage "),
+            ("siblings x 2600:1::/48 2024-01", "err bad-arg "),
+            ("stats 2024-99", "err bad-arg "),
+        ] {
+            let out = answer(line);
+            assert!(out.starts_with(code), "{line:?} -> {out:?}");
+            assert!(out.ends_with('\n'));
+            assert_eq!(out.lines().count(), 1);
+        }
+    }
+}

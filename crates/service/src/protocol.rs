@@ -1,0 +1,479 @@
+//! The service's line protocol: request grammar, typed errors, response
+//! framing.
+//!
+//! Requests are single lines, whitespace-separated:
+//!
+//! ```text
+//! ping                          liveness check
+//! months                        the loaded months, ascending
+//! stats [M]                     batch-table row(s): whole window or one month
+//! siblings P4 P6 M              point query: is (P4, P6) a pair in month M?
+//! partners P M K                top-K partners of prefix P (either family)
+//!                               in month M; K = 0 means the full ranked run
+//! pair P4 P6 FROM..TO           history of (P4, P6) over the month range
+//! ```
+//!
+//! Responses are `ok N` followed by exactly `N` data lines, or a single
+//! `err <code> <message>` line. Every malformed request maps to a typed
+//! [`ProtocolError`] — the connection survives; only transport failures
+//! disconnect.
+
+use std::fmt;
+
+use sibling_net_types::{AnyPrefix, Ipv4Prefix, Ipv6Prefix, MonthDate};
+
+/// A parsed request — one per protocol verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// `ping`
+    Ping,
+    /// `months`
+    Months,
+    /// `stats [M]`
+    Stats {
+        /// Restrict to one month; `None` renders the whole window.
+        month: Option<MonthDate>,
+    },
+    /// `siblings P4 P6 M`
+    Point {
+        /// The IPv4 side of the candidate pair.
+        v4: Ipv4Prefix,
+        /// The IPv6 side of the candidate pair.
+        v6: Ipv6Prefix,
+        /// The month to look in.
+        month: MonthDate,
+    },
+    /// `partners P M K`
+    Partners {
+        /// The prefix whose partners are ranked (either family).
+        prefix: AnyPrefix,
+        /// The month to look in.
+        month: MonthDate,
+        /// Result cap; `0` returns the full ranked run.
+        k: usize,
+    },
+    /// `pair P4 P6 FROM..TO`
+    History {
+        /// The IPv4 side of the pair.
+        v4: Ipv4Prefix,
+        /// The IPv6 side of the pair.
+        v6: Ipv6Prefix,
+        /// First month of the range (inclusive).
+        from: MonthDate,
+        /// Last month of the range (inclusive).
+        to: MonthDate,
+    },
+}
+
+impl fmt::Display for Request {
+    /// Renders the canonical request line (no trailing newline). Encoding
+    /// then parsing round-trips to an equal request.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Ping => write!(f, "ping"),
+            Request::Months => write!(f, "months"),
+            Request::Stats { month: None } => write!(f, "stats"),
+            Request::Stats { month: Some(m) } => write!(f, "stats {m}"),
+            Request::Point { v4, v6, month } => write!(f, "siblings {v4} {v6} {month}"),
+            Request::Partners { prefix, month, k } => write!(f, "partners {prefix} {month} {k}"),
+            Request::History { v4, v6, from, to } => write!(f, "pair {v4} {v6} {from}..{to}"),
+        }
+    }
+}
+
+/// A typed protocol-level failure. Rendered as `err <code> <message>`;
+/// the serving connection stays open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The request line was empty (or all whitespace).
+    Empty,
+    /// The first word is not a known verb.
+    UnknownVerb(String),
+    /// A known verb with the wrong argument shape.
+    Usage {
+        /// The verb that was recognized.
+        verb: &'static str,
+        /// Its expected argument grammar.
+        usage: &'static str,
+    },
+    /// An argument failed to parse.
+    BadArg {
+        /// Which argument (e.g. `"v4 prefix"`, `"month"`).
+        what: &'static str,
+        /// The offending input token.
+        input: String,
+        /// Parser detail.
+        detail: String,
+    },
+    /// A month outside the loaded window.
+    OutOfWindow {
+        /// The requested month.
+        month: MonthDate,
+        /// First loaded month.
+        first: MonthDate,
+        /// Last loaded month.
+        last: MonthDate,
+    },
+}
+
+impl ProtocolError {
+    /// The stable machine-readable error code (the token after `err`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtocolError::Empty => "empty",
+            ProtocolError::UnknownVerb(_) => "unknown-verb",
+            ProtocolError::Usage { .. } => "usage",
+            ProtocolError::BadArg { .. } => "bad-arg",
+            ProtocolError::OutOfWindow { .. } => "out-of-window",
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Empty => write!(f, "empty request line"),
+            ProtocolError::UnknownVerb(verb) => write!(
+                f,
+                "unknown verb {verb:?} (ping|months|stats|siblings|partners|pair)"
+            ),
+            ProtocolError::Usage { verb, usage } => write!(f, "usage: {verb} {usage}"),
+            ProtocolError::BadArg {
+                what,
+                input,
+                detail,
+            } => write!(f, "bad {what} {input:?}: {detail}"),
+            ProtocolError::OutOfWindow { month, first, last } => {
+                write!(f, "month {month} outside loaded window {first}..{last}")
+            }
+        }
+    }
+}
+
+fn parse_v4(what: &'static str, s: &str) -> Result<Ipv4Prefix, ProtocolError> {
+    s.parse().map_err(|e| ProtocolError::BadArg {
+        what,
+        input: s.into(),
+        detail: format!("{e:?}"),
+    })
+}
+
+fn parse_v6(what: &'static str, s: &str) -> Result<Ipv6Prefix, ProtocolError> {
+    s.parse().map_err(|e| ProtocolError::BadArg {
+        what,
+        input: s.into(),
+        detail: format!("{e:?}"),
+    })
+}
+
+fn parse_any(s: &str) -> Result<AnyPrefix, ProtocolError> {
+    if let Ok(v4) = s.parse::<Ipv4Prefix>() {
+        return Ok(AnyPrefix::V4(v4));
+    }
+    match s.parse::<Ipv6Prefix>() {
+        Ok(v6) => Ok(AnyPrefix::V6(v6)),
+        Err(e) => Err(ProtocolError::BadArg {
+            what: "prefix",
+            input: s.into(),
+            detail: format!("neither IPv4 nor IPv6 prefix ({e:?})"),
+        }),
+    }
+}
+
+fn parse_month(s: &str) -> Result<MonthDate, ProtocolError> {
+    s.parse().map_err(|e: String| ProtocolError::BadArg {
+        what: "month",
+        input: s.into(),
+        detail: e,
+    })
+}
+
+/// Parses one request line. Leading/trailing whitespace is ignored; any
+/// failure is a typed [`ProtocolError`].
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let mut words = line.split_whitespace();
+    let verb = words.next().ok_or(ProtocolError::Empty)?;
+    let args: Vec<&str> = words.collect();
+    let usage = |verb, usage| ProtocolError::Usage { verb, usage };
+    match verb {
+        "ping" => match args[..] {
+            [] => Ok(Request::Ping),
+            _ => Err(usage("ping", "(no arguments)")),
+        },
+        "months" => match args[..] {
+            [] => Ok(Request::Months),
+            _ => Err(usage("months", "(no arguments)")),
+        },
+        "stats" => match args[..] {
+            [] => Ok(Request::Stats { month: None }),
+            [m] => Ok(Request::Stats {
+                month: Some(parse_month(m)?),
+            }),
+            _ => Err(usage("stats", "[YYYY-MM]")),
+        },
+        "siblings" => match args[..] {
+            [v4, v6, m] => Ok(Request::Point {
+                v4: parse_v4("v4 prefix", v4)?,
+                v6: parse_v6("v6 prefix", v6)?,
+                month: parse_month(m)?,
+            }),
+            _ => Err(usage("siblings", "V4/LEN V6/LEN YYYY-MM")),
+        },
+        "partners" => match args[..] {
+            [p, m, k] => Ok(Request::Partners {
+                prefix: parse_any(p)?,
+                month: parse_month(m)?,
+                k: k.parse().map_err(|e| ProtocolError::BadArg {
+                    what: "k",
+                    input: k.into(),
+                    detail: format!("{e} (unsigned integer, 0 = all)"),
+                })?,
+            }),
+            _ => Err(usage("partners", "PREFIX/LEN YYYY-MM K")),
+        },
+        "pair" => match args[..] {
+            [v4, v6, range] => {
+                let (from, to) = range.split_once("..").ok_or(ProtocolError::BadArg {
+                    what: "month range",
+                    input: range.into(),
+                    detail: "expected FROM..TO (e.g. 2024-01..2024-12)".into(),
+                })?;
+                let (from, to) = (parse_month(from)?, parse_month(to)?);
+                if from > to {
+                    return Err(ProtocolError::BadArg {
+                        what: "month range",
+                        input: range.into(),
+                        detail: format!("range start {from} is after its end {to}"),
+                    });
+                }
+                Ok(Request::History {
+                    v4: parse_v4("v4 prefix", v4)?,
+                    v6: parse_v6("v6 prefix", v6)?,
+                    from,
+                    to,
+                })
+            }
+            _ => Err(usage("pair", "V4/LEN V6/LEN FROM..TO")),
+        },
+        other => Err(ProtocolError::UnknownVerb(other.into())),
+    }
+}
+
+/// A decoded response, as the [`crate::Client`] returns it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `ok N` + data lines (without their trailing newlines).
+    Ok(Vec<String>),
+    /// `err <code> <message>`.
+    Err {
+        /// The machine-readable code ([`ProtocolError::code`]).
+        code: String,
+        /// The human-readable message.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Decodes a response header line, returning how many data lines
+    /// follow (`Ok(n)`), or the decoded error (`Err`). A malformed header
+    /// is a transport-level failure — the peer is not speaking the
+    /// protocol — reported as `io::Error`.
+    pub fn decode_header(line: &str) -> std::io::Result<Result<usize, Response>> {
+        let malformed = || {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed response header {line:?}"),
+            )
+        };
+        let line = line.trim_end_matches('\n');
+        if let Some(count) = line.strip_prefix("ok ") {
+            return count.trim().parse().map(Ok).map_err(|_| malformed());
+        }
+        if let Some(rest) = line.strip_prefix("err ") {
+            let (code, message) = rest.split_once(' ').unwrap_or((rest, ""));
+            return Ok(Err(Response::Err {
+                code: code.into(),
+                message: message.into(),
+            }));
+        }
+        Err(malformed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(line: &str) -> Request {
+        parse_request(line).unwrap()
+    }
+
+    fn err(line: &str) -> ProtocolError {
+        parse_request(line).unwrap_err()
+    }
+
+    #[test]
+    fn parse_accepts_every_verb() {
+        assert_eq!(req("ping"), Request::Ping);
+        assert_eq!(req("months"), Request::Months);
+        assert_eq!(req("stats"), Request::Stats { month: None });
+        assert_eq!(
+            req("stats 2024-03"),
+            Request::Stats {
+                month: Some(MonthDate::new(2024, 3))
+            }
+        );
+        assert_eq!(
+            req("siblings 10.0.0.0/24 2600:1::/48 2024-01"),
+            Request::Point {
+                v4: "10.0.0.0/24".parse().unwrap(),
+                v6: "2600:1::/48".parse().unwrap(),
+                month: MonthDate::new(2024, 1),
+            }
+        );
+        assert_eq!(
+            req("partners 2600:1::/48 2024-01 5"),
+            Request::Partners {
+                prefix: AnyPrefix::V6("2600:1::/48".parse().unwrap()),
+                month: MonthDate::new(2024, 1),
+                k: 5,
+            }
+        );
+        assert_eq!(
+            req("pair 10.0.0.0/24 2600:1::/48 2024-01..2024-06"),
+            Request::History {
+                v4: "10.0.0.0/24".parse().unwrap(),
+                v6: "2600:1::/48".parse().unwrap(),
+                from: MonthDate::new(2024, 1),
+                to: MonthDate::new(2024, 6),
+            }
+        );
+        // Whitespace is insignificant.
+        assert_eq!(req("  ping  "), Request::Ping);
+    }
+
+    #[test]
+    fn encode_parse_round_trips() {
+        let requests = [
+            Request::Ping,
+            Request::Months,
+            Request::Stats { month: None },
+            Request::Stats {
+                month: Some(MonthDate::new(2024, 12)),
+            },
+            Request::Point {
+                v4: "192.0.2.0/24".parse().unwrap(),
+                v6: "2001:db8::/32".parse().unwrap(),
+                month: MonthDate::new(2023, 7),
+            },
+            Request::Partners {
+                prefix: AnyPrefix::V4("198.51.100.0/24".parse().unwrap()),
+                month: MonthDate::new(2024, 2),
+                k: 0,
+            },
+            Request::Partners {
+                prefix: AnyPrefix::V6("2600:1::/48".parse().unwrap()),
+                month: MonthDate::new(2024, 2),
+                k: 17,
+            },
+            Request::History {
+                v4: "10.0.0.0/24".parse().unwrap(),
+                v6: "2600:1::/48".parse().unwrap(),
+                from: MonthDate::new(2022, 1),
+                to: MonthDate::new(2024, 12),
+            },
+        ];
+        for request in requests {
+            assert_eq!(req(&request.to_string()), request);
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_map_to_typed_errors() {
+        assert_eq!(err(""), ProtocolError::Empty);
+        assert_eq!(err("   "), ProtocolError::Empty);
+        assert_eq!(
+            err("frobnicate"),
+            ProtocolError::UnknownVerb("frobnicate".into())
+        );
+        // Truncated lines: right verb, wrong arity.
+        for truncated in [
+            "siblings",
+            "siblings 10.0.0.0/24",
+            "siblings 10.0.0.0/24 2600:1::/48",
+            "partners 10.0.0.0/24 2024-01",
+            "pair 10.0.0.0/24 2600:1::/48",
+        ] {
+            assert!(
+                matches!(err(truncated), ProtocolError::Usage { .. }),
+                "{truncated:?}"
+            );
+        }
+        // Bad dates and prefixes.
+        assert!(matches!(
+            err("siblings 10.0.0.0/24 2600:1::/48 2024-13"),
+            ProtocolError::BadArg { what: "month", .. }
+        ));
+        assert!(matches!(
+            err("siblings 10.0.0.0/33 2600:1::/48 2024-01"),
+            ProtocolError::BadArg {
+                what: "v4 prefix",
+                ..
+            }
+        ));
+        assert!(matches!(
+            err("siblings 10.0.0.0/24 not-a-prefix 2024-01"),
+            ProtocolError::BadArg {
+                what: "v6 prefix",
+                ..
+            }
+        ));
+        assert!(matches!(
+            err("partners nonsense 2024-01 3"),
+            ProtocolError::BadArg { what: "prefix", .. }
+        ));
+        assert!(matches!(
+            err("partners 10.0.0.0/24 2024-01 -3"),
+            ProtocolError::BadArg { what: "k", .. }
+        ));
+        assert!(matches!(
+            err("pair 10.0.0.0/24 2600:1::/48 2024-01"),
+            ProtocolError::BadArg {
+                what: "month range",
+                ..
+            }
+        ));
+        assert!(matches!(
+            err("pair 10.0.0.0/24 2600:1::/48 2024-06..2024-01"),
+            ProtocolError::BadArg {
+                what: "month range",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn error_messages_name_the_valid_values() {
+        let msg = err("frobnicate").to_string();
+        for verb in ["ping", "months", "stats", "siblings", "partners", "pair"] {
+            assert!(msg.contains(verb), "{msg:?} should name {verb}");
+        }
+        let msg = err("siblings x y z").to_string();
+        assert!(msg.contains("v4 prefix"));
+    }
+
+    #[test]
+    fn response_header_decoding() {
+        assert_eq!(Response::decode_header("ok 3\n").unwrap(), Ok(3));
+        assert_eq!(Response::decode_header("ok 0").unwrap(), Ok(0));
+        assert_eq!(
+            Response::decode_header("err bad-arg bad month \"x\"").unwrap(),
+            Err(Response::Err {
+                code: "bad-arg".into(),
+                message: "bad month \"x\"".into()
+            })
+        );
+        assert!(Response::decode_header("what 3").is_err());
+        assert!(Response::decode_header("ok three").is_err());
+    }
+}

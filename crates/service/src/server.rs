@@ -1,0 +1,294 @@
+//! The socket server: N resident reader threads answering the line
+//! protocol over TCP or unix-domain sockets.
+//!
+//! Each reader is a long-lived [`ThreadPool::spawn_resident`] task owning
+//! a clone of the listener: it accepts a connection, answers request
+//! lines until the peer hangs up, then accepts the next — so `readers`
+//! bounds the number of concurrently served connections. The listener is
+//! non-blocking and accepted streams get a short read timeout, so every
+//! reader observes the stop signal within tens of milliseconds of
+//! [`ServerHandle`] dropping; no thread is ever parked unwakeably in a
+//! syscall.
+//!
+//! The hot path holds no locks: readers share the immutable
+//! [`crate::QueryPlanner`] (an `Arc` of the published index) and a
+//! per-thread reusable output buffer.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sibling_executor::{ResidentCtx, ThreadPool};
+
+use crate::planner::QueryPlanner;
+
+/// How long an accept/read blocks before re-checking the stop signal.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Where to serve.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// A TCP listen address, e.g. `127.0.0.1:7700` (port `0` picks one).
+    Tcp(String),
+    /// A unix-domain socket path (removed on shutdown).
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// A bound listener of either flavor.
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn try_clone(&self) -> io::Result<Listener> {
+        Ok(match self {
+            Listener::Tcp(l) => Listener::Tcp(l.try_clone()?),
+            #[cfg(unix)]
+            Listener::Unix(l) => Listener::Unix(l.try_clone()?),
+        })
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Conn> {
+        Ok(match self {
+            Listener::Tcp(l) => Conn::Tcp(l.accept()?.0),
+            #[cfg(unix)]
+            Listener::Unix(l) => Conn::Unix(l.accept()?.0),
+        })
+    }
+}
+
+/// An accepted connection of either flavor.
+pub(crate) enum Conn {
+    /// A TCP stream.
+    Tcp(TcpStream),
+    /// A unix-domain stream.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn prepare(&self, read_timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(read_timeout)?;
+                // Request/response round-trips: answer latency beats
+                // segment coalescing.
+                s.set_nodelay(true)
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(read_timeout)
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound-but-not-yet-serving server. Binding is split from serving so
+/// the caller can print the resolved endpoint (e.g. the picked TCP port)
+/// before the readers start.
+pub struct Server {
+    listener: Listener,
+    endpoint: String,
+    socket_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Binds the endpoint. A stale unix socket file at the path is
+    /// replaced (the previous daemon is assumed dead; a live one would
+    /// have the file open, and its readers keep serving their fd).
+    pub fn bind(endpoint: &Endpoint) -> io::Result<Server> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                let endpoint = format!("tcp://{}", listener.local_addr()?);
+                Ok(Server {
+                    listener: Listener::Tcp(listener),
+                    endpoint,
+                    socket_path: None,
+                })
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)?;
+                Ok(Server {
+                    listener: Listener::Unix(listener),
+                    endpoint: format!("unix://{}", path.display()),
+                    socket_path: Some(path.clone()),
+                })
+            }
+        }
+    }
+
+    /// The resolved endpoint (`tcp://HOST:PORT` or `unix://PATH`) — what
+    /// [`crate::Client::connect`] accepts.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// Starts `readers` resident reader threads on `pool` and returns
+    /// the running server's handle. The pool is moved in: the server owns
+    /// it for the rest of its life, and dropping the handle stops the
+    /// readers and joins them (via the pool's own shutdown signal).
+    pub fn start(
+        self,
+        planner: QueryPlanner,
+        pool: ThreadPool,
+        readers: usize,
+    ) -> io::Result<ServerHandle> {
+        self.listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        for _ in 0..readers.max(1) {
+            let listener = self.listener.try_clone()?;
+            let planner = planner.clone();
+            let stop = Arc::clone(&stop);
+            pool.spawn_resident(move |ctx| reader_loop(listener, planner, stop, ctx));
+        }
+        Ok(ServerHandle {
+            pool: Some(pool),
+            stop,
+            endpoint: self.endpoint,
+            socket_path: self.socket_path,
+        })
+    }
+}
+
+/// A running server. Dropping it stops and joins every reader thread and
+/// removes the unix socket file, if any.
+pub struct ServerHandle {
+    pool: Option<ThreadPool>,
+    stop: Arc<AtomicBool>,
+    endpoint: String,
+    socket_path: Option<PathBuf>,
+}
+
+impl ServerHandle {
+    /// The resolved endpoint (see [`Server::endpoint`]).
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// Blocks the calling thread until the process is killed — the
+    /// daemon's steady state after printing its readiness line.
+    pub fn park_forever(&self) -> ! {
+        loop {
+            std::thread::park();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Joins workers then residents; readers poll the stop flag at
+        // least every POLL_INTERVAL, so this returns promptly.
+        drop(self.pool.take());
+        if let Some(path) = &self.socket_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One reader thread: accept, serve the connection to EOF, repeat.
+fn reader_loop(listener: Listener, planner: QueryPlanner, stop: Arc<AtomicBool>, ctx: ResidentCtx) {
+    let stopping =
+        |stop: &AtomicBool, ctx: &ResidentCtx| stop.load(Ordering::Acquire) || ctx.stopping();
+    let mut out = String::new();
+    while !stopping(&stop, &ctx) {
+        match listener.accept() {
+            Ok(conn) => {
+                // Transport errors end the connection, never the reader.
+                let _ = serve_conn(&planner, conn, &mut out, || stopping(&stop, &ctx));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            // Transient accept failures (e.g. peer reset mid-handshake).
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Serves one connection until EOF or transport error. `stopping` is
+/// polled whenever a read times out with no pending data; `true` ends
+/// the connection (shutdown).
+fn serve_conn(
+    planner: &QueryPlanner,
+    conn: Conn,
+    out: &mut String,
+    mut stopping: impl FnMut() -> bool,
+) -> io::Result<()> {
+    conn.prepare(Some(POLL_INTERVAL))?;
+    let mut reader = BufReader::new(conn);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {
+                planner.answer_line(&line, out);
+                reader.get_mut().write_all(out.as_bytes())?;
+                line.clear();
+            }
+            // Timeout: `read_line` keeps any partial line in `line`
+            // (documented for `read_until`), so resuming is lossless.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stopping() {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}

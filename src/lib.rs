@@ -17,5 +17,6 @@ pub use sibling_probes as probes;
 pub use sibling_ptrie as ptrie;
 pub use sibling_rpki as rpki;
 pub use sibling_scan as scan;
+pub use sibling_service as service;
 pub use sibling_worldgen as worldgen;
 pub use sibling_xfer as xfer;

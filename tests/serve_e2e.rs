@@ -1,0 +1,235 @@
+//! End-to-end contract of the resident query daemon: a server over a
+//! scored window answers every query family across a **real socket**
+//! bit-identically to an independent batch recompute of the same window,
+//! and malformed request lines produce typed errors without dropping the
+//! connection. Runs with and without the `parallel` feature (CI runs
+//! both configurations).
+
+use std::sync::Arc;
+
+use sibling_core::{DetectEngine, SiblingPair, SiblingSet, WindowQueryIndex};
+use sibling_executor::ThreadPool;
+use sibling_net_types::{Ipv4Prefix, Ipv6Prefix, MonthDate};
+use sibling_service::{Client, Endpoint, QueryPlanner, Response, Server};
+use sibling_worldgen::{World, WorldConfig};
+
+/// Scores a small multi-month window — the daemon's startup work and,
+/// run a second time from scratch, the recompute reference.
+fn score_window(world: &World, from: MonthDate, to: MonthDate) -> Vec<(MonthDate, SiblingSet)> {
+    let archive = world.rib_archive();
+    let mut engine = DetectEngine::default();
+    engine
+        .run_window(from, to, &archive, |date| Arc::new(world.snapshot(date)))
+        .expect("window covered by the world's archive")
+        .results
+}
+
+/// The wire rendering of one pair — duplicated here from the service so
+/// the test pins the format independently: `V4 V6 NUM/DEN SHARED V4DOMS
+/// V6DOMS`, similarity as the exact rational.
+fn pair_line(pair: &SiblingPair) -> String {
+    format!(
+        "{} {} {}/{} {} {} {}",
+        pair.v4,
+        pair.v6,
+        pair.similarity.num(),
+        pair.similarity.den(),
+        pair.shared_domains,
+        pair.v4_domains,
+        pair.v6_domains
+    )
+}
+
+/// Reference top-k for a v4 prefix: filter + full sort over the raw
+/// month set, ranked like the index promises (similarity descending,
+/// partner prefix ascending) — no posting tables involved.
+fn partners_v4_reference(set: &SiblingSet, v4: Ipv4Prefix, k: usize) -> Vec<String> {
+    let mut matches: Vec<&SiblingPair> = set.iter().filter(|p| p.v4 == v4).collect();
+    matches.sort_by(|a, b| b.similarity.cmp(&a.similarity).then(a.v6.cmp(&b.v6)));
+    matches.truncate(k);
+    matches.into_iter().map(pair_line).collect()
+}
+
+/// Reference top-k for a v6 prefix (partner ordering over v4).
+fn partners_v6_reference(set: &SiblingSet, v6: Ipv6Prefix, k: usize) -> Vec<String> {
+    let mut matches: Vec<&SiblingPair> = set.iter().filter(|p| p.v6 == v6).collect();
+    matches.sort_by(|a, b| b.similarity.cmp(&a.similarity).then(a.v4.cmp(&b.v4)));
+    matches.truncate(k);
+    matches.into_iter().map(pair_line).collect()
+}
+
+fn ok_lines(client: &mut Client, request: &str) -> Vec<String> {
+    match client.roundtrip(request).expect("roundtrip succeeds") {
+        Response::Ok(lines) => lines,
+        Response::Err { code, message } => {
+            panic!("request {request:?} failed: err {code} {message}")
+        }
+    }
+}
+
+fn err_code(client: &mut Client, request: &str) -> String {
+    match client.roundtrip(request).expect("roundtrip succeeds") {
+        Response::Ok(lines) => panic!("request {request:?} unexpectedly ok: {lines:?}"),
+        Response::Err { code, .. } => code,
+    }
+}
+
+#[test]
+fn served_answers_are_bit_identical_to_batch_recompute() {
+    let world = World::generate(WorldConfig::test_small(23));
+    let to = world.config.end;
+    let from = to.add_months(-4);
+
+    // The serving side: score, publish, bind, start two readers.
+    let run = {
+        let archive = world.rib_archive();
+        let mut engine = DetectEngine::default();
+        engine
+            .run_window(from, to, &archive, |date| Arc::new(world.snapshot(date)))
+            .expect("window covered by the world's archive")
+    };
+    let planner = QueryPlanner::new(WindowQueryIndex::publish(&run).expect("non-empty window"));
+    let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into())).expect("bind");
+    let endpoint = server.endpoint().to_string();
+    let handle = server
+        .start(planner, ThreadPool::with_threads(1), 2)
+        .expect("server starts");
+
+    // The reference side: a *fresh* engine recomputes the same window,
+    // and every expectation below is derived from its raw results.
+    let reference = score_window(&world, from, to);
+    let reference_index =
+        WindowQueryIndex::build(&reference).expect("reference window is non-empty");
+
+    let mut client = Client::connect(&endpoint).expect("connect");
+
+    // `months` lists the loaded window in order.
+    let want_months: Vec<String> = reference.iter().map(|(d, _)| d.to_string()).collect();
+    assert_eq!(ok_lines(&mut client, "months"), want_months);
+
+    // `stats` rows are the batch table rows of the recomputed window.
+    let want_stats: Vec<String> = reference_index.stats().map(|s| s.batch_row()).collect();
+    assert_eq!(ok_lines(&mut client, "stats"), want_stats);
+
+    for (month, set) in &reference {
+        assert_eq!(
+            ok_lines(&mut client, &format!("stats {month}")),
+            vec![reference_index.month(*month).unwrap().stats().batch_row()]
+        );
+
+        let pairs: Vec<&SiblingPair> = set.iter().collect();
+        assert!(
+            !pairs.is_empty(),
+            "synthetic world detects pairs at {month}"
+        );
+        let stride = (pairs.len() / 8).max(1);
+        for pair in pairs.iter().step_by(stride) {
+            // Point: the exact stored pair, rendered.
+            assert_eq!(
+                ok_lines(
+                    &mut client,
+                    &format!("siblings {} {} {month}", pair.v4, pair.v6)
+                ),
+                vec![pair_line(pair)],
+                "point query at {month}"
+            );
+
+            // Top-k partners, both address families, vs filter + sort.
+            assert_eq!(
+                ok_lines(&mut client, &format!("partners {} {month} 3", pair.v4)),
+                partners_v4_reference(set, pair.v4, 3),
+                "v4 partners at {month}"
+            );
+            assert_eq!(
+                ok_lines(&mut client, &format!("partners {} {month} 3", pair.v6)),
+                partners_v6_reference(set, pair.v6, 3),
+                "v6 partners at {month}"
+            );
+
+            // History over the full window: every month whose recomputed
+            // set holds the pair, in order, with the month prefix.
+            let want: Vec<String> = reference
+                .iter()
+                .filter_map(|(m, s)| {
+                    s.iter()
+                        .find(|p| (p.v4, p.v6) == (pair.v4, pair.v6))
+                        .map(|p| format!("{m} {}", pair_line(p)))
+                })
+                .collect();
+            assert_eq!(
+                ok_lines(
+                    &mut client,
+                    &format!("pair {} {} {from}..{to}", pair.v4, pair.v6)
+                ),
+                want,
+                "history at {month}"
+            );
+        }
+    }
+
+    // A point miss is an empty answer, not an error: the documentation
+    // prefix never appears in generated worlds.
+    let (month, set) = &reference[0];
+    let v4 = set.iter().next().unwrap().v4;
+    assert_eq!(
+        ok_lines(&mut client, &format!("siblings {v4} 2001:db8::/48 {month}")),
+        Vec::<String>::new()
+    );
+
+    drop(client);
+    drop(handle);
+}
+
+#[test]
+fn malformed_lines_keep_the_connection_alive() {
+    let world = World::generate(WorldConfig::test_small(29));
+    let to = world.config.end;
+    let from = to.add_months(-1);
+    let run = {
+        let archive = world.rib_archive();
+        let mut engine = DetectEngine::default();
+        engine
+            .run_window(from, to, &archive, |date| Arc::new(world.snapshot(date)))
+            .expect("window covered by the world's archive")
+    };
+    let planner = QueryPlanner::new(WindowQueryIndex::publish(&run).expect("non-empty window"));
+    let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into())).expect("bind");
+    let endpoint = server.endpoint().to_string();
+    let handle = server
+        .start(planner, ThreadPool::with_threads(1), 1)
+        .expect("server starts");
+
+    let mut client = Client::connect(&endpoint).expect("connect");
+
+    // One connection survives the whole gauntlet of malformed input —
+    // each line gets a typed error, never a disconnect.
+    assert_eq!(err_code(&mut client, "frobnicate"), "unknown-verb");
+    assert_eq!(err_code(&mut client, "siblings"), "usage");
+    assert_eq!(
+        err_code(&mut client, "siblings nope also-nope never"),
+        "bad-arg"
+    );
+    assert_eq!(
+        err_code(&mut client, "partners 10.0.0.0/24 1999-13 5"),
+        "bad-arg"
+    );
+    assert_eq!(
+        err_code(
+            &mut client,
+            &format!("siblings 10.0.0.0/24 2600:1::/48 {}", to.add_months(12))
+        ),
+        "out-of-window"
+    );
+    assert_eq!(
+        err_code(&mut client, "pair 10.0.0.0/24 2600:1::/48 2024-05..2024-01"),
+        "bad-arg"
+    );
+
+    // The same connection still answers real queries afterwards.
+    assert_eq!(ok_lines(&mut client, "ping"), vec!["pong".to_string()]);
+    let months = ok_lines(&mut client, "months");
+    assert_eq!(months.len(), run.results.len());
+
+    drop(client);
+    drop(handle);
+}
