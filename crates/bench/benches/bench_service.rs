@@ -100,6 +100,15 @@ fn measure_qps(planner: &QueryPlanner, lines: &[String], total: usize) -> f64 {
 }
 
 fn bench_query_throughput(c: &mut Criterion) {
+    // The qps gate doubles as the failpoint zero-overhead check: the
+    // default build compiles every site to an inlined no-op and cannot
+    // have anything configured, so the bar below is measured on the
+    // clean hot path. A `--features failpoints` bench run still passes
+    // as long as no schedule is armed.
+    assert!(
+        !sibling_failpoint::armed(),
+        "failpoints armed during the throughput gate"
+    );
     let planner = build_planner();
     let index = planner.index();
     println!(

@@ -10,8 +10,10 @@
 //! sibling-prefixes snapshot export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N]
 //! sibling-prefixes world    export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N]
 //! sibling-prefixes serve    (--listen HOST:PORT | --socket PATH) [--readers N]
+//!                           [--max-conns N] [--deadline-ms MS] [--idle-ms MS]
+//!                           [--shed-at N] [--drain-ms MS] [--serve-ms MS]
 //!                           [--from YYYY-MM --to YYYY-MM] [--seed N] [--store DIR] …
-//! sibling-prefixes query    --connect ENDPOINT "REQUEST" [...]
+//! sibling-prefixes query    --connect ENDPOINT [--retries N] "REQUEST" [...]
 //! sibling-prefixes run      [--seed N] [EXPERIMENT_ID ...]
 //! sibling-prefixes list
 //! ```
@@ -24,17 +26,19 @@
 
 use std::path::Path;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sibling_analysis::{all_experiments, run_by_id, AnalysisContext};
 use sibling_core::longitudinal::PairLedger;
 use sibling_core::query::{MonthStats, WindowQueryIndex};
 use sibling_core::tuner::more_specific::tune_more_specific;
 use sibling_core::{BatchRun, DetectEngine, EngineConfig, SpTunerConfig};
-use sibling_dns::{LoadMode, SnapshotStore, StoreError};
+use sibling_dns::{LoadMode, SnapshotFile, SnapshotStore, StoreError};
 use sibling_executor::ThreadPool;
 use sibling_net_types::MonthDate;
-use sibling_service::{Client, Endpoint, QueryPlanner, Response, Server};
+use sibling_service::{
+    Client, Endpoint, QueryPlanner, Response, RetryPolicy, ServeOptions, Server,
+};
 use sibling_store::{check_months, WorldStore};
 use sibling_worldgen::{World, WorldConfig};
 
@@ -109,6 +113,16 @@ impl Args {
         }
     }
 
+    /// A `--key MS` millisecond flag with a default.
+    fn msecs(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("bad --{key} {s:?} (milliseconds)")),
+        }
+    }
+
     /// `--mode incremental|full` → is the engine incremental?
     fn incremental(&self) -> Result<bool, String> {
         match self.get("mode").unwrap_or("incremental") {
@@ -149,8 +163,8 @@ fn usage() -> &'static str {
      \x20 publish  write the sibling prefix list CSV  [--seed N] [--out FILE]\n\
      \x20 audit    RPKI/ROV audit of sibling pairs    [--seed N]\n\
      \x20 batch    longitudinal window in one pass    --from YYYY-MM --to YYYY-MM [--seed N] [--mode incremental|full] [--store DIR] [--load-mode mmap|read] [--window-threads N]\n\
-     \x20 serve    resident query daemon              (--listen HOST:PORT | --socket PATH) [--readers N] + batch's window flags\n\
-     \x20 query    dial a running daemon              --connect ENDPOINT \"REQUEST\" [\"REQUEST\" ...]\n\
+     \x20 serve    resident query daemon              (--listen HOST:PORT | --socket PATH) [--readers N] [--max-conns N] [--deadline-ms MS] [--idle-ms MS] [--shed-at N] [--drain-ms MS] [--serve-ms MS] + batch's window flags\n\
+     \x20 query    dial a running daemon              --connect ENDPOINT [--retries N] \"REQUEST\" [\"REQUEST\" ...]\n\
      \x20 snapshot export monthly snapshots to a store  export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N] [--force true]\n\
      \x20 world    export snapshots + world tables    export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N] [--force true]\n\
      \x20 run      run experiments by id              [--seed N] [ID ...]\n\
@@ -168,8 +182,15 @@ fn usage() -> &'static str {
      keeps it resident behind a lock-free query index, prints\n\
      `listening <endpoint>` and answers the line protocol: ping, months,\n\
      stats [M], siblings P4 P6 M, partners P M K, pair P4 P6 FROM..TO.\n\
-     query sends request lines and prints the data lines (see README\n\
-     \"Query service\")\n"
+     overload controls: --max-conns caps connections (beyond it: `err\n\
+     busy` + close), --deadline-ms / --idle-ms bound slow and idle\n\
+     connections (`err timeout`), --shed-at sheds the expensive verbs\n\
+     (partners, pair) under pressure, --serve-ms N serves N ms then\n\
+     drains gracefully (bounded by --drain-ms). query retries busy\n\
+     sheds and transient transport errors with jittered backoff\n\
+     (--retries N attempts) and exits 0 ok / 2 busy / 3 timeout /\n\
+     1 other, so supervisors can tell overload from breakage (see\n\
+     README \"Query service\" and \"Fault injection & resilience\")\n"
 }
 
 fn context(args: &Args) -> Result<AnalysisContext, String> {
@@ -297,10 +318,65 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Loads every month in `window` from the snapshot store, healing
+/// corrupt months once: a month that fails validation is quarantined
+/// aside by [`SnapshotStore::load_quarantining`] (renamed to
+/// `*.corrupt`), rebuilt from the world — `prebuilt` when the caller
+/// already generated one, else `generate` runs lazily exactly once —
+/// re-exported, and loaded again. A second failure on the same month is
+/// final: at that point the problem is the disk, not the file.
+fn load_snapshots_healing(
+    store: &SnapshotStore,
+    window: &[MonthDate],
+    mode: LoadMode,
+    prebuilt: Option<&World>,
+    generate: &dyn Fn() -> World,
+) -> Result<
+    (
+        std::collections::BTreeMap<MonthDate, std::sync::Arc<SnapshotFile>>,
+        usize,
+    ),
+    String,
+> {
+    let mut regenerated: Option<World> = None;
+    let mut loaded = std::collections::BTreeMap::new();
+    let mut bytes = 0usize;
+    for &date in window {
+        let file = match store.load_quarantining(date, mode) {
+            Ok(file) => file,
+            Err(StoreError::Quarantined { path, reason }) => {
+                eprintln!(
+                    "snapshot store: {date} failed validation ({reason}); quarantined to {} and \
+                     regenerating the month",
+                    path.display()
+                );
+                let world = match prebuilt {
+                    Some(world) => world,
+                    None => regenerated.get_or_insert_with(generate),
+                };
+                store
+                    .write(&world.snapshot(date))
+                    .map_err(|e| format!("rewriting quarantined {date}: {e}"))?;
+                store.load_with(date, mode).map_err(|e| e.to_string())?
+            }
+            Err(e) => return Err(e.to_string()),
+        };
+        bytes += file.byte_len();
+        loaded.insert(date, file);
+    }
+    Ok((loaded, bytes))
+}
+
 /// Resolves the window's input — store-backed (snapshot store, plus the
 /// world file when present) or freshly generated — and runs `engine`
 /// over it. Shared by `batch` and `serve`, which therefore score
 /// identical windows from identical bytes.
+///
+/// Store corruption degrades instead of failing: a corrupt world file
+/// is quarantined and the run falls back to generating the world; a
+/// corrupt snapshot is quarantined, regenerated and retried once
+/// ([`load_snapshots_healing`]). Either way the detection output is the
+/// same bytes a healthy store produces.
 ///
 /// Store-backed runs print a one-line load-timing breakdown on stderr
 /// (world-table open vs snapshot opens), so the "loading is nearly
@@ -313,27 +389,49 @@ fn run_window_input(
     to: MonthDate,
 ) -> Result<BatchRun, String> {
     let mode = args.load_mode()?;
-    let generate = |config: WorldConfig| {
+    let generate = || {
         eprintln!(
             "generating world (seed {}, preset {})…",
             config.seed,
             args.get("preset").unwrap_or("paper")
         );
-        World::generate(config)
+        World::generate(config.clone())
     };
-    let run = match args.get("store") {
-        Some(dir) if WorldStore::exists(Path::new(dir)) => {
+    let Some(dir) = args.get("store") else {
+        let world = generate();
+        let archive = world.rib_archive();
+        let run = engine.run_window(from, to, &archive, |date| {
+            std::sync::Arc::new(world.snapshot(date))
+        })?;
+        return Ok(run);
+    };
+    let world_open = Instant::now();
+    let stored = if WorldStore::exists(Path::new(dir)) {
+        match WorldStore::open_quarantining(Path::new(dir), Some(config.fingerprint()), mode) {
+            Ok(stored) => Some(stored),
+            Err(StoreError::Quarantined { path, reason }) => {
+                eprintln!(
+                    "world store: failed validation ({reason}); quarantined to {} and falling \
+                     back to worldgen",
+                    path.display()
+                );
+                None
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    } else {
+        None
+    };
+    let window = from.range_to(to);
+    let run = match stored {
+        Some(stored) => {
             // Fully store-backed window: snapshots come off the mmap'd
             // snapshot store, routing and organization tables off the
-            // world file — worldgen never runs. The fingerprint check
-            // refuses a store exported under a different configuration,
-            // and the coverage pre-scans turn gaps into one typed error
-            // listing every missing month.
-            let fingerprint = config.fingerprint();
-            let world_open = Instant::now();
-            let stored = WorldStore::open_with(Path::new(dir), Some(fingerprint), mode)
-                .map_err(|e| e.to_string())?;
-            let window = from.range_to(to);
+            // world file — worldgen never runs (unless a corrupt month
+            // needs healing). The fingerprint check refuses a store
+            // exported under a different configuration, and the
+            // coverage pre-scans turn gaps into one typed error listing
+            // every missing month.
             check_months(&stored, &window).map_err(|e| e.to_string())?;
             let archive = stored.rib_archive();
             let world_open = world_open.elapsed();
@@ -350,13 +448,7 @@ fn run_window_input(
                     StoreError::MissingMonths { missing }
                 ));
             }
-            let mut loaded = std::collections::BTreeMap::new();
-            let mut bytes = 0usize;
-            for date in window {
-                let file = store.load_with(date, mode).map_err(|e| e.to_string())?;
-                bytes += file.byte_len();
-                loaded.insert(date, file);
-            }
+            let (loaded, bytes) = load_snapshots_healing(&store, &window, mode, None, &generate)?;
             let snapshot_open = snapshot_open.elapsed();
             eprintln!(
                 "loaded world tables ({} KiB) and {} stored snapshots ({} KiB) from {dir}; worldgen skipped",
@@ -372,21 +464,17 @@ fn run_window_input(
             );
             engine.run_window(from, to, &archive, |date| loaded[&date].clone())?
         }
-        Some(dir) => {
-            // Snapshot-only store (no world file): zone resolution never
-            // runs, but the world is still generated because the RIB
-            // archive (and nothing else) is derived from it.
-            let world = generate(config.clone());
+        None => {
+            // Snapshot-only store (no usable world file): zone
+            // resolution never runs, but the world is still generated
+            // because the RIB archive (and nothing else) is derived
+            // from it.
+            let world = generate();
             let archive = world.rib_archive();
             let snapshot_open = Instant::now();
             let store = SnapshotStore::open(dir).map_err(|e| e.to_string())?;
-            let mut loaded = std::collections::BTreeMap::new();
-            let mut bytes = 0usize;
-            for date in from.range_to(to) {
-                let file = store.load_with(date, mode).map_err(|e| e.to_string())?;
-                bytes += file.byte_len();
-                loaded.insert(date, file);
-            }
+            let (loaded, bytes) =
+                load_snapshots_healing(&store, &window, mode, Some(&world), &generate)?;
             let snapshot_open = snapshot_open.elapsed();
             eprintln!(
                 "loaded {} stored snapshots ({} KiB) from {dir}",
@@ -399,13 +487,6 @@ fn run_window_input(
                 loaded.len()
             );
             engine.run_window(from, to, &archive, |date| loaded[&date].clone())?
-        }
-        None => {
-            let world = generate(config.clone());
-            let archive = world.rib_archive();
-            engine.run_window(from, to, &archive, |date| {
-                std::sync::Arc::new(world.snapshot(date))
-            })?
         }
     };
     Ok(run)
@@ -543,7 +624,14 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
 /// like `batch` (same store-backed fast path, same engine), pivots the
 /// results into the read-optimized [`WindowQueryIndex`], and serves the
 /// line protocol over TCP (`--listen`) or a unix socket (`--socket`)
-/// with `--readers` resident reader threads until the process is killed.
+/// with `--readers` resident reader threads until the process is killed
+/// (or, with `--serve-ms N`, drains gracefully after N milliseconds).
+///
+/// Overload controls map straight onto [`ServeOptions`]: `--max-conns`
+/// caps concurrent connections (beyond it, `err busy` and close),
+/// `--deadline-ms`/`--idle-ms` bound each request and idle gaps,
+/// `--shed-at` sets the pressure threshold above which the expensive
+/// verbs are shed, `--drain-ms` bounds the graceful wind-down.
 ///
 /// Prints `listening <endpoint>` on stdout once ready — supervisors and
 /// the CI smoke step wait for that line before dialing in.
@@ -569,6 +657,29 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     } else {
         readers
     };
+    let defaults = ServeOptions::default();
+    let options = ServeOptions {
+        max_conns: args
+            .get("max-conns")
+            .unwrap_or("0")
+            .parse()
+            .map_err(|_| "bad --max-conns (unsigned integer, 0 = readers)".to_string())?,
+        request_deadline: Duration::from_millis(
+            args.msecs("deadline-ms", defaults.request_deadline.as_millis() as u64)?,
+        ),
+        idle_timeout: Duration::from_millis(
+            args.msecs("idle-ms", defaults.idle_timeout.as_millis() as u64)?,
+        ),
+        drain_deadline: Duration::from_millis(
+            args.msecs("drain-ms", defaults.drain_deadline.as_millis() as u64)?,
+        ),
+        shed_expensive_at: args
+            .get("shed-at")
+            .unwrap_or("0")
+            .parse()
+            .map_err(|_| "bad --shed-at (unsigned integer, 0 = cap + 1)".to_string())?,
+    };
+    let serve_ms = args.msecs("serve-ms", 0)?;
     let config = args.config()?;
     let (from, to) = args.window(&config)?;
     let window_threads: usize = args
@@ -598,29 +709,65 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     let handle = server
-        .start(planner, ThreadPool::with_threads(1), readers)
+        .start_with(planner, ThreadPool::with_threads(1), readers, options)
         .map_err(|e| format!("starting readers: {e}"))?;
-    eprintln!("{readers} reader(s) serving; kill the process to stop");
-    handle.park_forever()
+    if serve_ms > 0 {
+        // Timed run: serve, then wind down gracefully — in-flight
+        // requests finish, new connections stop being accepted, and the
+        // final counters land on stderr. CI exercises drain this way
+        // without signal plumbing.
+        eprintln!("{readers} reader(s) serving for {serve_ms} ms, then draining");
+        std::thread::sleep(Duration::from_millis(serve_ms));
+        let report = handle.drain();
+        eprintln!("drained: {}", report.stats);
+        if report.drained {
+            Ok(())
+        } else {
+            Err("drain deadline elapsed with connections still in flight".into())
+        }
+    } else {
+        eprintln!("{readers} reader(s) serving; kill the process to stop");
+        handle.park_forever()
+    }
 }
 
 /// `query`: a thin client for the daemon. Each positional argument is
 /// one protocol request; data lines go to stdout (errors to stderr), so
 /// output diffs directly against `batch`-derived expectations.
-fn cmd_query(args: &Args) -> Result<(), String> {
-    let endpoint = args
-        .get("connect")
-        .ok_or("query needs --connect ENDPOINT (tcp://HOST:PORT or unix://PATH)")?;
+///
+/// Connects and round-trips with bounded jittered backoff
+/// ([`RetryPolicy`]): transient transport errors and `err busy` sheds
+/// are retried up to `--retries N` attempts (default 4; 1 disables).
+/// Failures that survive retrying map to distinct exit codes so
+/// supervisors can tell overload from breakage: 2 = shed (`busy`),
+/// 3 = deadline (`timeout`), 1 = anything else.
+fn cmd_query(args: &Args) -> Result<(), (u8, String)> {
+    let fail = |message: String| (1u8, message);
+    let endpoint = args.get("connect").ok_or_else(|| {
+        fail("query needs --connect ENDPOINT (tcp://HOST:PORT or unix://PATH)".into())
+    })?;
     if args.positional.is_empty() {
-        return Err("query needs at least one request argument (e.g. \"ping\")".into());
+        return Err(fail(
+            "query needs at least one request argument (e.g. \"ping\")".into(),
+        ));
     }
-    let mut client =
-        Client::connect(endpoint).map_err(|e| format!("connecting to {endpoint}: {e}"))?;
+    let attempts: u32 = args
+        .get("retries")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| fail("bad --retries (positive integer; 1 disables retrying)".into()))?;
+    let policy = RetryPolicy {
+        attempts: attempts.max(1),
+        ..RetryPolicy::default()
+    };
+    let mut client = Client::connect_with(endpoint, &policy)
+        .map_err(|e| fail(format!("connecting to {endpoint}: {e}")))?;
     let mut failures = 0usize;
+    let (mut busy, mut timeout, mut other) = (false, false, false);
     for request in &args.positional {
         match client
-            .roundtrip(request)
-            .map_err(|e| format!("transport error on {request:?}: {e}"))?
+            .retry_roundtrip(request, &policy)
+            .map_err(|e| fail(format!("transport error on {request:?}: {e}")))?
         {
             Response::Ok(lines) => {
                 for line in lines {
@@ -630,14 +777,28 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             Response::Err { code, message } => {
                 eprintln!("error: {request:?}: {code}: {message}");
                 failures += 1;
+                match code.as_str() {
+                    "busy" => busy = true,
+                    "timeout" => timeout = true,
+                    _ => other = true,
+                }
             }
         }
     }
-    if failures > 0 {
-        Err(format!("{failures} request(s) failed"))
-    } else {
-        Ok(())
+    if failures == 0 {
+        return Ok(());
     }
+    // Mixed failures report the most actionable class: a hard error
+    // outranks a deadline, which outranks a shed.
+    let exit = if other {
+        1
+    } else if timeout {
+        3
+    } else {
+        debug_assert!(busy);
+        2
+    };
+    Err((exit, format!("{failures} request(s) failed")))
 }
 
 /// `snapshot export`: resolve a window of monthly snapshots once and
@@ -781,7 +942,16 @@ fn main() -> ExitCode {
         "audit" => cmd_audit(&args),
         "batch" => cmd_batch(&args),
         "serve" => cmd_serve(&args),
-        "query" => cmd_query(&args),
+        // `query` keeps its own exit-code vocabulary (0 ok, 2 busy,
+        // 3 timeout, 1 everything else) so supervisors can tell
+        // overload from breakage without parsing stderr.
+        "query" => match cmd_query(&args) {
+            Ok(()) => Ok(()),
+            Err((code, e)) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(code);
+            }
+        },
         "snapshot" => cmd_snapshot(&args),
         "world" => cmd_world(&args),
         "run" => cmd_run(&args),

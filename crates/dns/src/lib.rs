@@ -54,5 +54,7 @@ pub use record::{DnsRecord, Zone};
 pub use resolve::{Resolution, ResolveError, Resolver, MAX_CNAME_CHAIN};
 pub use snapshot::{DnsSnapshot, ResolvedAddrs};
 pub use source::{AddrEntry, SnapshotSource};
-pub use store::{encode_snapshot, LoadMode, SnapshotFile, SnapshotStore, SnapshotView, StoreError};
+pub use store::{
+    encode_snapshot, sync_dir, LoadMode, SnapshotFile, SnapshotStore, SnapshotView, StoreError,
+};
 pub use toplist::Toplist;

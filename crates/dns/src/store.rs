@@ -116,6 +116,37 @@ pub enum StoreError {
         /// The month the file actually carries.
         found: MonthDate,
     },
+    /// A corrupt store file was moved aside (renamed to `*.corrupt`) so
+    /// the caller may regenerate into a clean slot. Only raised by the
+    /// quarantining open paths ([`SnapshotStore::load_quarantining`] and
+    /// the world store's equivalent); the plain loaders keep returning
+    /// the underlying corruption error untouched.
+    Quarantined {
+        /// Where the corrupt file now lives.
+        path: PathBuf,
+        /// The corruption that condemned it.
+        reason: Box<StoreError>,
+    },
+}
+
+impl StoreError {
+    /// Whether this error condemns the file's bytes — the quarantine
+    /// predicate. Environmental errors (I/O, missing months) and
+    /// configuration mismatches ([`StoreError::BadFingerprint`] — the
+    /// file may be a perfectly good store for some *other* config) are
+    /// not corruption and must never trigger a rename.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            StoreError::BadMagic
+                | StoreError::BadEndian
+                | StoreError::BadVersion(_)
+                | StoreError::Truncated { .. }
+                | StoreError::ChecksumMismatch
+                | StoreError::Corrupt(_)
+                | StoreError::DateMismatch { .. }
+        )
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -150,6 +181,13 @@ impl fmt::Display for StoreError {
             }
             StoreError::DateMismatch { expected, found } => {
                 write!(f, "stored snapshot carries {found}, expected {expected}")
+            }
+            StoreError::Quarantined { path, reason } => {
+                write!(
+                    f,
+                    "corrupt store file quarantined to {}: {reason}",
+                    path.display()
+                )
             }
         }
     }
@@ -521,7 +559,13 @@ impl SnapshotFile {
             LoadMode::Mmap => mapfile::MapFile::open(path)?,
             LoadMode::Read => mapfile::MapFile::read(path)?,
         };
-        let (date, layout) = validate(map.bytes())?;
+        // Failpoint: a short read surfaces as the same truncation error a
+        // really-truncated file would produce.
+        let visible = match sibling_failpoint::io_point("snapshot-store::open")? {
+            Some(n) => &map.bytes()[..n.min(map.len())],
+            None => map.bytes(),
+        };
+        let (date, layout) = validate(visible)?;
         Ok(Self { map, date, layout })
     }
 
@@ -576,14 +620,18 @@ pub struct SnapshotStore {
 }
 
 impl SnapshotStore {
-    /// Opens `dir` as a store, creating the directory if needed.
+    /// Opens `dir` as a store, creating the directory if needed. Sweeps
+    /// orphaned temp files from interrupted writes.
     pub fn create(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        let store = Self { dir };
+        store.sweep_orphans()?;
+        Ok(store)
     }
 
-    /// Opens an existing store directory.
+    /// Opens an existing store directory. Sweeps orphaned temp files
+    /// from interrupted writes.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
         let dir = dir.into();
         if !dir.is_dir() {
@@ -592,7 +640,29 @@ impl SnapshotStore {
                 format!("snapshot store directory {} not found", dir.display()),
             )));
         }
-        Ok(Self { dir })
+        let store = Self { dir };
+        store.sweep_orphans()?;
+        Ok(store)
+    }
+
+    /// Removes orphaned `.snap-*.sibsnap.tmp` files left behind by an
+    /// interrupted [`SnapshotStore::write`] (the crash window is between
+    /// temp-file creation and rename). Returns the removed paths. Called
+    /// at every store open, so torn writes never accumulate and can
+    /// never be mistaken for live data — temp names are hidden and never
+    /// parsed by [`SnapshotStore::dates`], so this is pure hygiene.
+    pub fn sweep_orphans(&self) -> Result<Vec<PathBuf>, StoreError> {
+        let mut removed = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with(".snap-") && name.ends_with(".sibsnap.tmp") {
+                std::fs::remove_file(entry.path())?;
+                removed.push(entry.path());
+            }
+        }
+        Ok(removed)
     }
 
     /// The store's directory.
@@ -629,8 +699,11 @@ impl SnapshotStore {
         Ok(out)
     }
 
-    /// Serialises `src` into the store (atomically: temp file + rename),
-    /// returning the final path. Overwrites an existing month.
+    /// Serialises `src` into the store (atomically: temp file, fsync,
+    /// rename, directory fsync), returning the final path. Overwrites an
+    /// existing month. A crash at any point leaves either the old file
+    /// or the new one, never a mix — the worst residue is an orphaned
+    /// temp file the next open sweeps.
     pub fn write<S: SnapshotSource + ?Sized>(&self, src: &S) -> Result<PathBuf, StoreError> {
         let bytes = encode_snapshot(src)?;
         let path = self.path_of(src.snapshot_date());
@@ -639,10 +712,25 @@ impl SnapshotStore {
             .join(format!(".snap-{}.sibsnap.tmp", src.snapshot_date()));
         {
             let mut file = std::fs::File::create(&tmp)?;
-            file.write_all(&bytes)?;
+            // Failpoint: a torn write persists a prefix of the image and
+            // fails, leaving the orphaned temp file for the sweep.
+            match sibling_failpoint::io_point("snapshot-store::write") {
+                Ok(None) => file.write_all(&bytes)?,
+                Ok(Some(n)) => {
+                    file.write_all(&bytes[..n.min(bytes.len())])?;
+                    file.sync_all()?;
+                    return Err(sibling_failpoint::injected("snapshot-store::write").into());
+                }
+                Err(e) => return Err(e.into()),
+            }
+            sibling_failpoint::io_point("snapshot-store::sync")?;
             file.sync_all()?;
         }
+        if sibling_failpoint::point("snapshot-store::rename") {
+            return Err(sibling_failpoint::injected("snapshot-store::rename").into());
+        }
         std::fs::rename(&tmp, &path)?;
+        sync_dir(&self.dir)?;
         Ok(path)
     }
 
@@ -671,6 +759,50 @@ impl SnapshotStore {
             });
         }
         Ok(Arc::new(file))
+    }
+
+    /// [`SnapshotStore::load_with`], but a month whose file fails
+    /// validation is **quarantined**: renamed to `snap-YYYY-MM.sibsnap.corrupt`
+    /// and reported as [`StoreError::Quarantined`], leaving the month's
+    /// slot clean for regeneration. Environmental errors (I/O, missing
+    /// months) pass through unchanged.
+    pub fn load_quarantining(
+        &self,
+        date: MonthDate,
+        mode: LoadMode,
+    ) -> Result<Arc<SnapshotFile>, StoreError> {
+        match self.load_with(date, mode) {
+            Err(reason) if reason.is_corruption() => {
+                let path = self.path_of(date);
+                let mut quarantined = path.clone().into_os_string();
+                quarantined.push(".corrupt");
+                let quarantined = PathBuf::from(quarantined);
+                // Best-effort: if the rename itself fails, the caller's
+                // regeneration still lands atomically over the bad file.
+                let _ = std::fs::rename(&path, &quarantined);
+                Err(StoreError::Quarantined {
+                    path: quarantined,
+                    reason: Box::new(reason),
+                })
+            }
+            other => other,
+        }
+    }
+}
+
+/// Flushes a directory after a rename so the new directory entry is
+/// durable, completing the fsync → rename → dir-fsync sequence the
+/// atomic store writes rely on. No-op where directories cannot be
+/// opened (non-unix).
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        std::fs::File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
     }
 }
 
@@ -1047,6 +1179,95 @@ mod tests {
                         .map(|(d, v4, v6)| (d, v4.to_vec(), v6.to_vec()))
                         .collect();
                     assert_eq!(a, b, "{mode:?}");
+                }
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn orphaned_tmp_files_are_swept_at_open() {
+        let scratch = Scratch::new("sweep");
+        let date = MonthDate::new(2024, 2);
+        {
+            let store = SnapshotStore::create(scratch.path()).unwrap();
+            store.write(&sample_snapshot(date)).unwrap();
+        }
+        let orphan = write_file(scratch.path(), ".snap-2024-03.sibsnap.tmp", b"torn");
+        let store = SnapshotStore::open(scratch.path()).unwrap();
+        assert!(!orphan.exists(), "open must sweep orphaned temp files");
+        // Live data and unrelated files are untouched.
+        assert!(store.load(date).is_ok());
+        assert_eq!(store.dates().unwrap(), vec![date]);
+    }
+
+    #[test]
+    fn quarantine_moves_corrupt_files_aside_and_spares_the_rest() {
+        let scratch = Scratch::new("quarantine");
+        let date = MonthDate::new(2024, 5);
+        let store = SnapshotStore::create(scratch.path()).unwrap();
+        let path = store.write(&sample_snapshot(date)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER_LEN + 1] ^= 0xFF;
+        write_file(scratch.path(), "snap-2024-05.sibsnap", &bytes);
+        let quarantined = match store.load_quarantining(date, LoadMode::Mmap) {
+            Err(StoreError::Quarantined { path, reason }) => {
+                assert!(reason.is_corruption(), "{reason}");
+                path
+            }
+            other => panic!("expected Quarantined, got {other:?}"),
+        };
+        assert!(quarantined.ends_with("snap-2024-05.sibsnap.corrupt"));
+        assert!(quarantined.is_file());
+        assert!(!path.exists(), "slot left clean for regeneration");
+        // A missing month is environmental, not corruption: no rename.
+        assert!(matches!(
+            store.load_quarantining(date, LoadMode::Mmap),
+            Err(StoreError::Missing(_))
+        ));
+        // Regenerate into the clean slot; reopen must be clean.
+        store.write(&sample_snapshot(date)).unwrap();
+        assert!(store.load_quarantining(date, LoadMode::Mmap).is_ok());
+    }
+
+    /// Property: wherever a single-byte corruption lands, the month
+    /// round-trips through quarantine — corrupt → `.corrupt` rename →
+    /// regenerate → clean reopen — in both load modes, and the failure
+    /// is always a typed corruption error, never a panic.
+    #[test]
+    fn prop_quarantine_round_trip_under_random_corruption() {
+        use proptest::test_runner::TestRunner;
+        let scratch = Scratch::new("prop-quarantine");
+        let date = MonthDate::new(2024, 7);
+        let store = SnapshotStore::create(scratch.path()).unwrap();
+        let pristine = {
+            let path = store.write(&sample_snapshot(date)).unwrap();
+            std::fs::read(path).unwrap()
+        };
+        let mut runner = TestRunner::default();
+        let strategy = (0usize..pristine.len(), 1u8..=255);
+        runner
+            .run(&strategy, |(offset, flip)| {
+                let mut bytes = pristine.clone();
+                bytes[offset] ^= flip;
+                write_file(scratch.path(), "snap-2024-07.sibsnap", &bytes);
+                for mode in [LoadMode::Mmap, LoadMode::Read] {
+                    match store.load_quarantining(date, mode) {
+                        Err(StoreError::Quarantined { path, reason }) => {
+                            assert!(reason.is_corruption(), "{reason}");
+                            assert!(path.is_file());
+                            std::fs::remove_file(path).unwrap();
+                            // Regenerate; the reopen must be clean.
+                            store.write(&sample_snapshot(date)).unwrap();
+                            store.load_quarantining(date, mode).unwrap();
+                            // Re-corrupt for the second mode's turn.
+                            write_file(scratch.path(), "snap-2024-07.sibsnap", &bytes);
+                        }
+                        // A flip the validators cannot distinguish from an
+                        // intact file must still yield a readable view.
+                        Ok(file) => drop(file.view().to_snapshot()),
+                        Err(other) => panic!("byte {offset} flip {flip:#04x}: {other}"),
+                    }
                 }
                 Ok(())
             })

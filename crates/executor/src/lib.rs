@@ -621,6 +621,12 @@ where
 
     let layout = StealLayout::new(workers, items.len());
     let mut collected: Vec<Vec<(usize, O)>> = Vec::with_capacity(workers);
+    // Join failures are aggregated, not unwrapped in place: panicking
+    // inside the scope while other workers are still being joined would
+    // make the scope's own cleanup join a second panic on top of the
+    // unwind — a double panic, which aborts the process. Every handle is
+    // joined first; one panic is resumed after the scope exits cleanly.
+    let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|me| {
@@ -630,9 +636,21 @@ where
             })
             .collect();
         for handle in handles {
-            collected.push(handle.join().expect("executor worker panicked"));
+            match handle.join() {
+                Ok(part) => collected.push(part),
+                Err(payload) => panics.push(payload),
+            }
         }
     });
+    if !panics.is_empty() {
+        if panics.len() > 1 {
+            eprintln!(
+                "executor: {} scoped workers panicked; resuming the first panic",
+                panics.len()
+            );
+        }
+        std::panic::resume_unwind(panics.swap_remove(0));
+    }
 
     let mut tagged: Vec<(usize, O)> = collected.into_iter().flatten().collect();
     tagged.sort_by_key(|(i, _)| *i);
@@ -942,5 +960,28 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(scoped_map(0, &[9u32], |_, x| *x), vec![9]);
         assert!(scoped_map(3, &Vec::<u32>::new(), |_, x| *x).is_empty());
+    }
+
+    #[test]
+    fn scoped_map_propagates_worker_panics_without_aborting() {
+        // Every worker's chunk contains a panicking item, so several
+        // workers panic concurrently. The joins must aggregate the
+        // payloads and resume exactly one unwind — an in-scope unwrap
+        // would double-panic during scope cleanup and abort the process
+        // (unobservable by a test), which is exactly the bug pinned here.
+        let items: Vec<u32> = (0..64).collect();
+        let payload = std::panic::catch_unwind(|| {
+            scoped_map(4, &items, |_, x| {
+                if x % 2 == 0 {
+                    panic!("injected worker panic on {x}");
+                }
+                *x
+            })
+        })
+        .unwrap_err();
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("panic payload is the worker's message");
+        assert!(message.starts_with("injected worker panic"), "{message}");
     }
 }

@@ -1,5 +1,11 @@
 //! A minimal blocking protocol client — what the `query` subcommand, the
 //! e2e tests and the CI smoke step dial the daemon with.
+//!
+//! [`RetryPolicy`] adds bounded, jittered exponential backoff on
+//! connect failures, transient transport errors and `err busy` shed
+//! responses. The jitter is deterministic (seeded), so a retrying run
+//! replays identically — the same discipline as the failpoint
+//! schedules it is tested against.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -7,14 +13,105 @@ use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 #[cfg(unix)]
 use std::path::Path;
+use std::time::Duration;
 
 use crate::protocol::Response;
 use crate::server::Conn;
+
+/// Bounded jittered exponential backoff: attempt `i` (0-based) sleeps a
+/// deterministic amount in `[full/2, full]` where
+/// `full = min(base << i, cap)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total tries (the first attempt plus retries). `1` disables
+    /// retrying; `0` is treated as `1`.
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound any single backoff is clamped to.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 4,
+            base: Duration::from_millis(20),
+            cap: Duration::from_millis(500),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// SplitMix64 — the deterministic jitter source (no RNG dependency).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        Self {
+            attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The backoff before retry `attempt` (0-based): exponential with
+    /// full jitter into the upper half, always within
+    /// `[min(base·2^attempt, cap) / 2, min(base·2^attempt, cap)]` — and
+    /// therefore never above `cap`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let full = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.cap);
+        let half = full / 2;
+        let jitter_range = full.saturating_sub(half);
+        if jitter_range.is_zero() {
+            return full;
+        }
+        let roll = splitmix64(self.seed ^ u64::from(attempt));
+        half + Duration::from_nanos(roll % (jitter_range.as_nanos() as u64 + 1))
+    }
+
+    /// Whether a transport error is worth retrying: the connection-level
+    /// failures a daemon restart or a shed connection produce. Protocol
+    /// and data errors are not retryable.
+    pub fn transient(error: &io::Error) -> bool {
+        matches!(
+            error.kind(),
+            io::ErrorKind::ConnectionRefused
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::UnexpectedEof
+                | io::ErrorKind::TimedOut
+                | io::ErrorKind::WouldBlock
+                | io::ErrorKind::Interrupted
+        )
+    }
+}
 
 /// A connected protocol client. One request/response round-trip at a
 /// time ([`Client::roundtrip`]); the connection persists across calls.
 pub struct Client {
     reader: BufReader<Conn>,
+    /// Where this client dialed — kept for reconnecting retries.
+    endpoint: String,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("endpoint", &self.endpoint)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Client {
@@ -32,12 +129,31 @@ impl Client {
         Self::connect_tcp(endpoint)
     }
 
+    /// [`Client::connect`] with bounded retries: each failed dial backs
+    /// off per the policy before the next attempt.
+    pub fn connect_with(endpoint: &str, policy: &RetryPolicy) -> io::Result<Client> {
+        let attempts = policy.attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(policy.delay(attempt - 1));
+            }
+            match Self::connect(endpoint) {
+                Ok(client) => return Ok(client),
+                Err(e) if RetryPolicy::transient(&e) && attempt + 1 < attempts => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("loop ran at least once"))
+    }
+
     /// Connects over TCP.
     pub fn connect_tcp(addr: &str) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client {
             reader: BufReader::new(Conn::Tcp(stream)),
+            endpoint: format!("tcp://{addr}"),
         })
     }
 
@@ -46,7 +162,13 @@ impl Client {
     pub fn connect_unix(path: &Path) -> io::Result<Client> {
         Ok(Client {
             reader: BufReader::new(Conn::Unix(UnixStream::connect(path)?)),
+            endpoint: format!("unix://{}", path.display()),
         })
+    }
+
+    /// The endpoint this client dialed.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
     }
 
     /// Sends one request line and reads the complete response. The
@@ -82,5 +204,38 @@ impl Client {
             data.push(line.trim_end_matches('\n').to_string());
         }
         Ok(Response::Ok(data))
+    }
+
+    /// [`Client::roundtrip`] with bounded retries. Retried failures:
+    /// transient transport errors and `err busy` shed responses. Every
+    /// retry dials a fresh connection — a transient error means the old
+    /// one is dead, and a busy shed closes it server-side moments
+    /// later, so reusing it would just turn the next attempt into an
+    /// EOF. Other protocol errors and hard I/O failures return
+    /// immediately.
+    pub fn retry_roundtrip(&mut self, request: &str, policy: &RetryPolicy) -> io::Result<Response> {
+        let attempts = policy.attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            let outcome = self.roundtrip(request);
+            let retryable = match &outcome {
+                Ok(Response::Err { code, .. }) => code == "busy",
+                Ok(_) => false,
+                Err(e) => RetryPolicy::transient(e),
+            };
+            if !retryable || attempt + 1 >= attempts {
+                return outcome;
+            }
+            std::thread::sleep(policy.delay(attempt));
+            // Dial again with the budget we have left — a transiently
+            // failed redial consumes the attempt and keeps the old
+            // connection for the next try.
+            match Self::connect(&self.endpoint) {
+                Ok(fresh) => *self = fresh,
+                Err(e) if RetryPolicy::transient(&e) => {}
+                Err(e) => return Err(e),
+            }
+            attempt += 1;
+        }
     }
 }

@@ -29,10 +29,12 @@ pub mod planner;
 pub mod protocol;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use planner::QueryPlanner;
 pub use protocol::{parse_request, ProtocolError, Request, Response};
-pub use server::{Endpoint, Server, ServerHandle};
+pub use server::{
+    DrainReport, Endpoint, ServeOptions, ServeStats, ServeStatsSnapshot, Server, ServerHandle,
+};
 
 #[cfg(test)]
 mod tests {
@@ -118,6 +120,204 @@ mod tests {
         for thread in threads {
             thread.join().unwrap();
         }
+    }
+
+    #[test]
+    fn connections_beyond_the_cap_are_shed_with_busy() {
+        let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let handle = server
+            .start_with(
+                planner(),
+                ThreadPool::with_threads(2),
+                2,
+                ServeOptions {
+                    max_conns: 1,
+                    ..ServeOptions::default()
+                },
+            )
+            .unwrap();
+        let mut first = Client::connect(handle.endpoint()).unwrap();
+        assert!(matches!(first.roundtrip("ping").unwrap(), Response::Ok(_)));
+        // The second connection exceeds the cap: one typed busy line.
+        let mut second = Client::connect(handle.endpoint()).unwrap();
+        match second.roundtrip("ping").unwrap() {
+            Response::Err { code, message } => {
+                assert_eq!(code, "busy");
+                assert!(message.contains("retry"), "{message}");
+            }
+            other => panic!("expected busy shed, got {other:?}"),
+        }
+        // The capped connection is unaffected.
+        assert!(matches!(first.roundtrip("ping").unwrap(), Response::Ok(_)));
+        assert!(handle.stats().shed_connections >= 1);
+    }
+
+    #[test]
+    fn pressure_sheds_expensive_verbs_only() {
+        let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let handle = server
+            .start_with(
+                planner(),
+                ThreadPool::with_threads(2),
+                2,
+                ServeOptions {
+                    shed_expensive_at: 1, // any active connection = pressure
+                    ..ServeOptions::default()
+                },
+            )
+            .unwrap();
+        let mut client = Client::connect(handle.endpoint()).unwrap();
+        match client.roundtrip("partners 10.0.0.0/24 2024-01 0").unwrap() {
+            Response::Err { code, .. } => assert_eq!(code, "busy"),
+            other => panic!("expected shed partners, got {other:?}"),
+        }
+        // Point lookups and liveness still answer on the same connection.
+        assert_eq!(
+            client
+                .roundtrip("siblings 10.0.0.0/24 2600:1::/48 2024-01")
+                .unwrap(),
+            Response::Ok(vec!["10.0.0.0/24 2600:1::/48 1/1 3 3 3".into()])
+        );
+        assert!(handle.stats().shed_requests >= 1);
+    }
+
+    #[test]
+    fn drain_finishes_in_flight_and_reports() {
+        let handle = start_tcp(2);
+        let mut client = Client::connect(handle.endpoint()).unwrap();
+        assert!(matches!(client.roundtrip("ping").unwrap(), Response::Ok(_)));
+        drop(client);
+        let report = handle.drain();
+        assert!(report.drained, "no in-flight work should remain");
+        assert!(report.stats.served >= 1);
+        assert_eq!(report.stats.panics, 0);
+    }
+
+    #[test]
+    fn slow_request_lines_hit_the_deadline() {
+        use std::io::{Read as _, Write as _};
+        let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let handle = server
+            .start_with(
+                planner(),
+                ThreadPool::with_threads(1),
+                1,
+                ServeOptions {
+                    request_deadline: std::time::Duration::from_millis(100),
+                    ..ServeOptions::default()
+                },
+            )
+            .unwrap();
+        let addr = handle.endpoint().strip_prefix("tcp://").unwrap();
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        // A slow-loris request: bytes arrive, the newline never does.
+        stream.write_all(b"pin").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap(); // server closes
+        assert!(response.starts_with("err timeout "), "{response:?}");
+        assert!(response.contains("request"), "{response:?}");
+        assert!(handle.stats().timeouts >= 1);
+    }
+
+    #[test]
+    fn idle_connections_are_closed() {
+        use std::io::Read as _;
+        let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let handle = server
+            .start_with(
+                planner(),
+                ThreadPool::with_threads(1),
+                1,
+                ServeOptions {
+                    idle_timeout: std::time::Duration::from_millis(100),
+                    ..ServeOptions::default()
+                },
+            )
+            .unwrap();
+        let addr = handle.endpoint().strip_prefix("tcp://").unwrap();
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap(); // server closes
+        assert!(response.starts_with("err timeout "), "{response:?}");
+        assert!(response.contains("idle"), "{response:?}");
+    }
+
+    #[test]
+    fn retry_roundtrip_rides_out_a_shed_connection() {
+        let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let handle = server
+            .start_with(
+                planner(),
+                ThreadPool::with_threads(2),
+                2,
+                ServeOptions {
+                    max_conns: 1,
+                    ..ServeOptions::default()
+                },
+            )
+            .unwrap();
+        let endpoint = handle.endpoint().to_string();
+        let mut holder = Client::connect(&endpoint).unwrap();
+        assert!(matches!(holder.roundtrip("ping").unwrap(), Response::Ok(_)));
+        let retrier = std::thread::spawn(move || {
+            let policy = RetryPolicy {
+                attempts: 10,
+                base: std::time::Duration::from_millis(10),
+                ..RetryPolicy::default()
+            };
+            let mut client = Client::connect_with(&endpoint, &policy).unwrap();
+            client.retry_roundtrip("ping", &policy)
+        });
+        // Free the slot while the retrier is backing off.
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        drop(holder);
+        let response = retrier.join().unwrap().unwrap();
+        assert_eq!(response, Response::Ok(vec!["pong".into()]));
+    }
+
+    #[test]
+    fn connect_with_gives_up_after_its_attempts() {
+        // Nothing listens here (bind, learn the port, drop the listener).
+        let port = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().port()
+        };
+        let policy = RetryPolicy {
+            attempts: 3,
+            base: std::time::Duration::from_millis(1),
+            ..RetryPolicy::default()
+        };
+        let err = Client::connect_with(&format!("tcp://127.0.0.1:{port}"), &policy).unwrap_err();
+        assert!(RetryPolicy::transient(&err), "{err}");
+    }
+
+    /// Property: every backoff delay stays within its configured bounds —
+    /// `min(base·2^attempt, cap)/2 ≤ delay(attempt) ≤ cap` — for any
+    /// base, cap, seed and attempt, including extreme shifts.
+    #[test]
+    fn prop_backoff_delays_stay_within_bounds() {
+        use proptest::test_runner::TestRunner;
+        let mut runner = TestRunner::default();
+        let strategy = (1u64..10_000, 1u64..10_000, 0u64..u64::MAX, 0u32..80);
+        runner
+            .run(&strategy, |(base_ms, cap_ms, seed, attempt)| {
+                let policy = RetryPolicy {
+                    attempts: 4,
+                    base: std::time::Duration::from_millis(base_ms),
+                    cap: std::time::Duration::from_millis(cap_ms),
+                    seed,
+                };
+                let delay = policy.delay(attempt);
+                let full = policy
+                    .base
+                    .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+                    .min(policy.cap);
+                assert!(delay <= policy.cap, "{delay:?} > cap {:?}", policy.cap);
+                assert!(delay <= full, "{delay:?} > full {full:?}");
+                assert!(delay >= full / 2, "{delay:?} < {:?}", full / 2);
+                Ok(())
+            })
+            .unwrap();
     }
 
     #[cfg(unix)]

@@ -56,12 +56,44 @@ impl QueryPlanner {
     /// wire response (header + data lines, every line `\n`-terminated).
     /// Errors become `err` responses; this never fails.
     pub fn answer_line(&self, line: &str, out: &mut String) {
+        self.answer_line_under_pressure(line, out, None);
+    }
+
+    /// [`QueryPlanner::answer_line`], but when `pressure` is
+    /// `Some((active, max))` — the server is at its connection cap — the
+    /// expensive verbs ([`Request::Partners`], [`Request::History`]) are
+    /// shed with a typed `busy` error before any index work, keeping the
+    /// cheap point lookups and liveness checks answering.
+    pub fn answer_line_under_pressure(
+        &self,
+        line: &str,
+        out: &mut String,
+        pressure: Option<(usize, usize)>,
+    ) {
         out.clear();
-        let outcome = parse_request(line).and_then(|request| self.answer(&request, out));
+        let outcome = parse_request(line).and_then(|request| {
+            if let Some((active, max)) = pressure {
+                if Self::sheds_under_pressure(&request) {
+                    return Err(ProtocolError::Busy {
+                        what: request.verb(),
+                        active,
+                        max,
+                    });
+                }
+            }
+            self.answer(&request, out)
+        });
         if let Err(error) = outcome {
             out.clear();
             let _ = writeln!(out, "err {} {}", error.code(), error);
         }
+    }
+
+    /// Which requests are shed first under pressure: the ranked top-k
+    /// scan and the multi-month history walk. Point lookups, liveness
+    /// and the small metadata verbs always answer.
+    pub fn sheds_under_pressure(request: &Request) -> bool {
+        matches!(request, Request::Partners { .. } | Request::History { .. })
     }
 
     /// Resolves a month to its view, mapping absence to the typed
@@ -220,6 +252,38 @@ mod tests {
             answer("pair 10.0.0.0/24 2600:2::/48 2024-02..2024-02"),
             "ok 0\n"
         );
+    }
+
+    #[test]
+    fn pressure_sheds_expensive_verbs_but_answers_cheap_ones() {
+        let planner = planner();
+        let mut out = String::new();
+        let pressure = Some((4, 4));
+        // Expensive verbs shed with a typed, retryable busy error.
+        for line in [
+            "partners 10.0.0.0/24 2024-01 0",
+            "pair 10.0.0.0/24 2600:1::/48 2024-01..2024-12",
+        ] {
+            planner.answer_line_under_pressure(line, &mut out, pressure);
+            assert!(out.starts_with("err busy "), "{line:?} -> {out:?}");
+            assert!(out.contains("4/4"), "{out:?}");
+        }
+        // Cheap verbs still answer identically to the unpressured path.
+        for line in [
+            "ping",
+            "months",
+            "stats 2024-02",
+            "siblings 10.0.0.0/24 2600:1::/48 2024-01",
+        ] {
+            planner.answer_line_under_pressure(line, &mut out, pressure);
+            let mut calm = String::new();
+            planner.answer_line(line, &mut calm);
+            assert_eq!(out, calm, "{line:?}");
+            assert!(out.starts_with("ok "), "{line:?} -> {out:?}");
+        }
+        // Malformed lines keep their own codes even under pressure.
+        planner.answer_line_under_pressure("bogus", &mut out, pressure);
+        assert!(out.starts_with("err unknown-verb "), "{out:?}");
     }
 
     #[test]

@@ -65,6 +65,20 @@ pub enum Request {
     },
 }
 
+impl Request {
+    /// The request's verb — the first word of its wire form.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Months => "months",
+            Request::Stats { .. } => "stats",
+            Request::Point { .. } => "siblings",
+            Request::Partners { .. } => "partners",
+            Request::History { .. } => "pair",
+        }
+    }
+}
+
 impl fmt::Display for Request {
     /// Renders the canonical request line (no trailing newline). Encoding
     /// then parsing round-trips to an equal request.
@@ -114,6 +128,25 @@ pub enum ProtocolError {
         /// Last loaded month.
         last: MonthDate,
     },
+    /// The server is saturated and shed this work instead of queueing
+    /// it: a connection beyond the cap, or an expensive verb under
+    /// pressure. Retryable — the client backs off and tries again.
+    Busy {
+        /// What was shed (`"connection"` or the verb, e.g. `"partners"`).
+        what: &'static str,
+        /// Connections currently being served.
+        active: usize,
+        /// The configured connection cap.
+        max: usize,
+    },
+    /// A request (or its slow-arriving line) exceeded the per-request
+    /// deadline; the server closes the connection after this response.
+    Timeout {
+        /// What timed out (`"request"` or `"idle connection"`).
+        what: &'static str,
+        /// The budget that was exhausted, in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl ProtocolError {
@@ -125,7 +158,15 @@ impl ProtocolError {
             ProtocolError::Usage { .. } => "usage",
             ProtocolError::BadArg { .. } => "bad-arg",
             ProtocolError::OutOfWindow { .. } => "out-of-window",
+            ProtocolError::Busy { .. } => "busy",
+            ProtocolError::Timeout { .. } => "timeout",
         }
+    }
+
+    /// Whether a client may transparently retry after backing off —
+    /// true only for load shedding, where the request itself is fine.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ProtocolError::Busy { .. })
     }
 }
 
@@ -145,6 +186,15 @@ impl fmt::Display for ProtocolError {
             } => write!(f, "bad {what} {input:?}: {detail}"),
             ProtocolError::OutOfWindow { month, first, last } => {
                 write!(f, "month {month} outside loaded window {first}..{last}")
+            }
+            ProtocolError::Busy { what, active, max } => {
+                write!(
+                    f,
+                    "server saturated ({active}/{max} connections), shed {what}; retry with backoff"
+                )
+            }
+            ProtocolError::Timeout { what, budget_ms } => {
+                write!(f, "{what} exceeded its {budget_ms} ms deadline")
             }
         }
     }
@@ -460,6 +510,46 @@ mod tests {
         }
         let msg = err("siblings x y z").to_string();
         assert!(msg.contains("v4 prefix"));
+    }
+
+    #[test]
+    fn busy_and_timeout_errors_round_trip_the_wire_format() {
+        let busy = ProtocolError::Busy {
+            what: "connection",
+            active: 4,
+            max: 4,
+        };
+        assert_eq!(busy.code(), "busy");
+        assert!(busy.is_retryable());
+        let rendered = busy.to_string();
+        assert!(rendered.contains("4/4"), "{rendered}");
+        assert!(rendered.contains("retry"), "{rendered}");
+
+        let timeout = ProtocolError::Timeout {
+            what: "request",
+            budget_ms: 2000,
+        };
+        assert_eq!(timeout.code(), "timeout");
+        assert!(!timeout.is_retryable());
+        assert!(timeout.to_string().contains("2000 ms"));
+
+        // The `err <code> <message>` line decodes back to code+message.
+        for e in [busy, timeout] {
+            let line = format!("err {} {}\n", e.code(), e);
+            match Response::decode_header(&line).unwrap() {
+                Err(Response::Err { code, message }) => {
+                    assert_eq!(code, e.code());
+                    assert_eq!(message, e.to_string());
+                }
+                other => panic!("expected decoded error, got {other:?}"),
+            }
+        }
+        // No other error shares the shed/deadline codes.
+        for e in [ProtocolError::Empty, ProtocolError::UnknownVerb("x".into())] {
+            assert!(!e.is_retryable());
+            assert_ne!(e.code(), "busy");
+            assert_ne!(e.code(), "timeout");
+        }
     }
 
     #[test]

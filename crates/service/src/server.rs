@@ -13,22 +13,50 @@
 //! The hot path holds no locks: readers share the immutable
 //! [`crate::QueryPlanner`] (an `Arc` of the published index) and a
 //! per-thread reusable output buffer.
+//!
+//! # Overload and failure behavior
+//!
+//! [`ServeOptions`] bounds every way a connection can consume the
+//! server:
+//!
+//! - **Connection cap** — a connection accepted beyond `max_conns` is
+//!   turned away with a single `err busy` line and closed; the readers
+//!   serving within the cap are unaffected.
+//! - **Expensive-verb shedding** — while demand exceeds the cap, the
+//!   ranked top-k (`partners`) and multi-month history (`pair`) verbs
+//!   answer `err busy` before touching the index; point lookups and
+//!   liveness keep answering.
+//! - **Per-request deadline** — a request line that dribbles in slower
+//!   than `request_deadline` (slow-loris) gets `err timeout` and the
+//!   connection is closed.
+//! - **Idle timeout** — a connection with no traffic for `idle_timeout`
+//!   is closed (with a final `err timeout` courtesy line).
+//! - **Panic isolation** — a panic while answering kills only that
+//!   connection; the reader accepts the next one.
+//! - **Graceful drain** — [`ServerHandle::drain`] stops accepting,
+//!   lets in-flight requests finish (bounded by `drain_deadline`), then
+//!   joins the readers and reports [`ServeStats`].
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sibling_executor::{ResidentCtx, ThreadPool};
 
 use crate::planner::QueryPlanner;
+use crate::protocol::ProtocolError;
 
 /// How long an accept/read blocks before re-checking the stop signal.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// How long a shed connection lingers after its `err busy` line so the
+/// client can read it before the close (see [`shed_conn`]).
+const SHED_LINGER: Duration = Duration::from_millis(100);
 
 /// Where to serve.
 #[derive(Debug, Clone)]
@@ -38,6 +66,108 @@ pub enum Endpoint {
     /// A unix-domain socket path (removed on shutdown).
     #[cfg(unix)]
     Unix(PathBuf),
+}
+
+/// Resource bounds for a serving session (see the module docs for the
+/// semantics of each knob).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Connections served concurrently before new ones are shed with
+    /// `err busy`. `0` (the default) means "as many as there are
+    /// readers" — the natural capacity, since each reader serves one
+    /// connection at a time.
+    pub max_conns: usize,
+    /// How long one request line may take to fully arrive before the
+    /// connection gets `err timeout` and is closed.
+    pub request_deadline: Duration,
+    /// How long a connection may sit with no traffic before it is
+    /// closed (slow-loris/abandoned-peer protection).
+    pub idle_timeout: Duration,
+    /// How long [`ServerHandle::drain`] waits for in-flight connections
+    /// to finish before joining the readers regardless.
+    pub drain_deadline: Duration,
+    /// Shed expensive verbs (`partners`, `pair`) when at least this
+    /// many connections are active. `0` (the default) resolves to
+    /// `max_conns + 1`: shedding starts only while demand exceeds the
+    /// connection cap.
+    pub shed_expensive_at: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            max_conns: 0,
+            request_deadline: Duration::from_secs(2),
+            idle_timeout: Duration::from_secs(30),
+            drain_deadline: Duration::from_secs(5),
+            shed_expensive_at: 0,
+        }
+    }
+}
+
+/// Counters a serving session accumulates (readable while running via
+/// [`ServerHandle::stats`], final values in the [`DrainReport`]).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    served: AtomicU64,
+    shed_connections: AtomicU64,
+    shed_requests: AtomicU64,
+    timeouts: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl ServeStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of the counters.
+    pub fn snapshot(&self) -> ServeStatsSnapshot {
+        ServeStatsSnapshot {
+            served: self.served.load(Ordering::Relaxed),
+            shed_connections: self.shed_connections.load(Ordering::Relaxed),
+            shed_requests: self.shed_requests.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStatsSnapshot {
+    /// Requests answered (including `err` answers).
+    pub served: u64,
+    /// Connections turned away at the cap.
+    pub shed_connections: u64,
+    /// Expensive-verb requests shed under pressure.
+    pub shed_requests: u64,
+    /// Connections closed by the request deadline or idle timeout.
+    pub timeouts: u64,
+    /// Connections killed by a panic while answering.
+    pub panics: u64,
+}
+
+impl std::fmt::Display for ServeStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "served {} request(s), shed {} connection(s) and {} request(s), \
+             {} timeout(s), {} panic(s)",
+            self.served, self.shed_connections, self.shed_requests, self.timeouts, self.panics
+        )
+    }
+}
+
+/// What [`ServerHandle::drain`] observed.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainReport {
+    /// Whether every in-flight connection finished within the drain
+    /// deadline (`false`: the readers were joined anyway — they close
+    /// their connections at the next poll tick).
+    pub drained: bool,
+    /// Final serving counters.
+    pub stats: ServeStatsSnapshot,
 }
 
 /// A bound listener of either flavor.
@@ -83,6 +213,16 @@ pub(crate) enum Conn {
 }
 
 impl Conn {
+    /// Half-closes the write side, signalling EOF to the peer while its
+    /// pending bytes can still be drained.
+    fn shutdown_write(&self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+
     fn prepare(&self, read_timeout: Option<Duration>) -> io::Result<()> {
         match self {
             Conn::Tcp(s) => {
@@ -129,6 +269,27 @@ impl Write for Conn {
     }
 }
 
+/// State every reader shares: the planner, the stop signal, the active
+/// connection gauge and the counters.
+struct Shared {
+    planner: QueryPlanner,
+    stop: AtomicBool,
+    active: AtomicUsize,
+    stats: ServeStats,
+    max_conns: usize,
+    /// Active-connection count at which expensive verbs shed.
+    pressure_at: usize,
+    request_deadline: Duration,
+    idle_timeout: Duration,
+    drain_deadline: Duration,
+}
+
+impl Shared {
+    fn stopping(&self, ctx: &ResidentCtx) -> bool {
+        self.stop.load(Ordering::Acquire) || ctx.stopping()
+    }
+}
+
 /// A bound-but-not-yet-serving server. Binding is split from serving so
 /// the caller can print the resolved endpoint (e.g. the picked TCP port)
 /// before the readers start.
@@ -172,27 +333,55 @@ impl Server {
         &self.endpoint
     }
 
-    /// Starts `readers` resident reader threads on `pool` and returns
-    /// the running server's handle. The pool is moved in: the server owns
-    /// it for the rest of its life, and dropping the handle stops the
-    /// readers and joins them (via the pool's own shutdown signal).
+    /// [`Server::start_with`] under default [`ServeOptions`].
     pub fn start(
         self,
         planner: QueryPlanner,
         pool: ThreadPool,
         readers: usize,
     ) -> io::Result<ServerHandle> {
+        self.start_with(planner, pool, readers, ServeOptions::default())
+    }
+
+    /// Starts `readers` resident reader threads on `pool` and returns
+    /// the running server's handle. The pool is moved in: the server owns
+    /// it for the rest of its life, and dropping the handle stops the
+    /// readers and joins them (via the pool's own shutdown signal).
+    pub fn start_with(
+        self,
+        planner: QueryPlanner,
+        pool: ThreadPool,
+        readers: usize,
+        options: ServeOptions,
+    ) -> io::Result<ServerHandle> {
         self.listener.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        for _ in 0..readers.max(1) {
+        let readers = readers.max(1);
+        let max_conns = match options.max_conns {
+            0 => readers,
+            n => n,
+        };
+        let shared = Arc::new(Shared {
+            planner,
+            stop: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            stats: ServeStats::default(),
+            max_conns,
+            pressure_at: match options.shed_expensive_at {
+                0 => max_conns + 1,
+                n => n,
+            },
+            request_deadline: options.request_deadline,
+            idle_timeout: options.idle_timeout,
+            drain_deadline: options.drain_deadline,
+        });
+        for _ in 0..readers {
             let listener = self.listener.try_clone()?;
-            let planner = planner.clone();
-            let stop = Arc::clone(&stop);
-            pool.spawn_resident(move |ctx| reader_loop(listener, planner, stop, ctx));
+            let shared = Arc::clone(&shared);
+            pool.spawn_resident(move |ctx| reader_loop(listener, shared, ctx));
         }
         Ok(ServerHandle {
             pool: Some(pool),
-            stop,
+            shared,
             endpoint: self.endpoint,
             socket_path: self.socket_path,
         })
@@ -203,7 +392,7 @@ impl Server {
 /// removes the unix socket file, if any.
 pub struct ServerHandle {
     pool: Option<ThreadPool>,
-    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     endpoint: String,
     socket_path: Option<PathBuf>,
 }
@@ -214,6 +403,16 @@ impl ServerHandle {
         &self.endpoint
     }
 
+    /// The serving counters so far.
+    pub fn stats(&self) -> ServeStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Connections being served right now.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
     /// Blocks the calling thread until the process is killed — the
     /// daemon's steady state after printing its readiness line.
     pub fn park_forever(&self) -> ! {
@@ -221,11 +420,31 @@ impl ServerHandle {
             std::thread::park();
         }
     }
+
+    /// Gracefully winds the server down: stops accepting, waits (up to
+    /// the drain deadline) for in-flight connections to finish their
+    /// current request, then joins the readers and reports the final
+    /// counters.
+    pub fn drain(mut self) -> DrainReport {
+        self.shared.stop.store(true, Ordering::Release);
+        let deadline = Instant::now() + self.shared.drain_deadline;
+        while self.shared.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let drained = self.shared.active.load(Ordering::Acquire) == 0;
+        // Joins the readers; they poll the stop flag at least every
+        // POLL_INTERVAL, so this returns promptly even when not drained.
+        drop(self.pool.take());
+        DrainReport {
+            drained,
+            stats: self.shared.stats.snapshot(),
+        }
+    }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.shared.stop.store(true, Ordering::Release);
         // Joins workers then residents; readers poll the stop flag at
         // least every POLL_INTERVAL, so this returns promptly.
         drop(self.pool.take());
@@ -235,16 +454,36 @@ impl Drop for ServerHandle {
     }
 }
 
-/// One reader thread: accept, serve the connection to EOF, repeat.
-fn reader_loop(listener: Listener, planner: QueryPlanner, stop: Arc<AtomicBool>, ctx: ResidentCtx) {
-    let stopping =
-        |stop: &AtomicBool, ctx: &ResidentCtx| stop.load(Ordering::Acquire) || ctx.stopping();
+/// One reader thread: accept, serve the connection to EOF, repeat. A
+/// connection beyond the cap is turned away with `err busy`; a panic
+/// while serving kills only that connection.
+fn reader_loop(listener: Listener, shared: Arc<Shared>, ctx: ResidentCtx) {
     let mut out = String::new();
-    while !stopping(&stop, &ctx) {
+    while !shared.stopping(&ctx) {
+        // Failpoint: a transient accept failure (e.g. peer reset
+        // mid-handshake) — same handling as the real thing below.
+        if sibling_failpoint::point("service::accept") {
+            std::thread::sleep(POLL_INTERVAL);
+            continue;
+        }
         match listener.accept() {
             Ok(conn) => {
-                // Transport errors end the connection, never the reader.
-                let _ = serve_conn(&planner, conn, &mut out, || stopping(&stop, &ctx));
+                let active = shared.active.fetch_add(1, Ordering::AcqRel) + 1;
+                if active > shared.max_conns {
+                    ServeStats::bump(&shared.stats.shed_connections);
+                    let _ = shed_conn(conn, active, shared.max_conns);
+                } else {
+                    let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        // Transport errors end the connection, never the
+                        // reader.
+                        let _ = serve_conn(&shared, conn, &mut out, &ctx);
+                    }));
+                    if served.is_err() {
+                        ServeStats::bump(&shared.stats.panics);
+                        out = String::new();
+                    }
+                }
+                shared.active.fetch_sub(1, Ordering::AcqRel);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL);
@@ -255,25 +494,73 @@ fn reader_loop(listener: Listener, planner: QueryPlanner, stop: Arc<AtomicBool>,
     }
 }
 
-/// Serves one connection until EOF or transport error. `stopping` is
-/// polled whenever a read times out with no pending data; `true` ends
-/// the connection (shutdown).
-fn serve_conn(
-    planner: &QueryPlanner,
-    conn: Conn,
-    out: &mut String,
-    mut stopping: impl FnMut() -> bool,
-) -> io::Result<()> {
+/// Turns away a connection beyond the cap: one `err busy` line, close.
+fn shed_conn(mut conn: Conn, active: usize, max: usize) -> io::Result<()> {
+    conn.prepare(Some(POLL_INTERVAL))?;
+    let error = ProtocolError::Busy {
+        what: "connection",
+        active,
+        max,
+    };
+    conn.write_all(format!("err {} {}\n", error.code(), error).as_bytes())?;
+    // Half-close, then briefly drain whatever request the client had in
+    // flight: dropping the socket outright would RST past the un-read
+    // busy line on most TCP stacks, turning a typed shed into an opaque
+    // connection reset. Bounded so a client that keeps sending cannot
+    // pin the reader.
+    conn.shutdown_write()?;
+    let deadline = Instant::now() + SHED_LINGER;
+    let mut sink = [0u8; 256];
+    while Instant::now() < deadline {
+        match conn.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => break,
+        }
+    }
+    Ok(())
+}
+
+/// Serves one connection until EOF, transport error, deadline or drain.
+fn serve_conn(shared: &Shared, conn: Conn, out: &mut String, ctx: &ResidentCtx) -> io::Result<()> {
     conn.prepare(Some(POLL_INTERVAL))?;
     let mut reader = BufReader::new(conn);
     let mut line = String::new();
+    // Last completed request (or connection start): both deadlines are
+    // measured from here.
+    let mut last_done = Instant::now();
     loop {
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // EOF
             Ok(_) => {
-                planner.answer_line(&line, out);
+                // Failpoint: a panic mid-answer (isolated by the reader
+                // loop's catch_unwind — only this connection dies).
+                let _ = sibling_failpoint::point("service::answer");
+                let active = shared.active.load(Ordering::Acquire);
+                let pressure = (active >= shared.pressure_at).then_some((active, shared.max_conns));
+                shared
+                    .planner
+                    .answer_line_under_pressure(&line, out, pressure);
+                if out.starts_with("err busy ") {
+                    ServeStats::bump(&shared.stats.shed_requests);
+                }
+                // Failpoint: a stalled or failed response write.
+                sibling_failpoint::io_point("service::write")
+                    .map_err(|e| io::Error::new(io::ErrorKind::BrokenPipe, e))?;
                 reader.get_mut().write_all(out.as_bytes())?;
+                ServeStats::bump(&shared.stats.served);
                 line.clear();
+                last_done = Instant::now();
+                // Drain: the in-flight request just finished; close
+                // instead of reading the next one.
+                if shared.stopping(ctx) {
+                    return Ok(());
+                }
             }
             // Timeout: `read_line` keeps any partial line in `line`
             // (documented for `read_until`), so resuming is lossless.
@@ -283,12 +570,36 @@ fn serve_conn(
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
-                if stopping() {
+                if shared.stopping(ctx) {
                     return Ok(());
+                }
+                let waited = last_done.elapsed();
+                if !line.is_empty() && waited >= shared.request_deadline {
+                    // Slow-loris: the request line is dribbling in
+                    // slower than the deadline.
+                    ServeStats::bump(&shared.stats.timeouts);
+                    return close_timed_out(reader.get_mut(), "request", shared.request_deadline);
+                }
+                if line.is_empty() && waited >= shared.idle_timeout {
+                    ServeStats::bump(&shared.stats.timeouts);
+                    return close_timed_out(
+                        reader.get_mut(),
+                        "idle connection",
+                        shared.idle_timeout,
+                    );
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
     }
+}
+
+/// Sends the courtesy `err timeout` line and ends the connection.
+fn close_timed_out(conn: &mut Conn, what: &'static str, budget: Duration) -> io::Result<()> {
+    let error = ProtocolError::Timeout {
+        what,
+        budget_ms: budget.as_millis() as u64,
+    };
+    conn.write_all(format!("err {} {}\n", error.code(), error).as_bytes())
 }

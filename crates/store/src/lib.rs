@@ -52,7 +52,7 @@
 
 use std::collections::BTreeMap;
 use std::fs;
-use std::io::Write as _;
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -398,11 +398,43 @@ impl WorldStore {
         let path = Self::path_of(dir);
         let tmp = dir.join(format!(".{WORLD_FILE_NAME}.tmp"));
         let mut file = fs::File::create(&tmp).map_err(StoreError::Io)?;
-        file.write_all(&buf).map_err(StoreError::Io)?;
+        // Failpoint: a torn write persists a prefix of the image and
+        // fails, leaving the orphaned temp file for the sweep.
+        match sibling_failpoint::io_point("world-store::write") {
+            Ok(None) => file.write_all(&buf).map_err(StoreError::Io)?,
+            Ok(Some(n)) => {
+                file.write_all(&buf[..n.min(buf.len())])
+                    .map_err(StoreError::Io)?;
+                file.sync_all().map_err(StoreError::Io)?;
+                return Err(StoreError::Io(sibling_failpoint::injected(
+                    "world-store::write",
+                )));
+            }
+            Err(e) => return Err(StoreError::Io(e)),
+        }
+        sibling_failpoint::io_point("world-store::sync").map_err(StoreError::Io)?;
         file.sync_all().map_err(StoreError::Io)?;
         drop(file);
+        if sibling_failpoint::point("world-store::rename") {
+            return Err(StoreError::Io(sibling_failpoint::injected(
+                "world-store::rename",
+            )));
+        }
         fs::rename(&tmp, &path).map_err(StoreError::Io)?;
+        sibling_dns::sync_dir(dir).map_err(StoreError::Io)?;
         Ok(path)
+    }
+
+    /// Removes an orphaned `.world.sibworld.tmp` left behind by an
+    /// interrupted [`WorldStore::write`]. Returns whether one was
+    /// removed. Called at every open, so torn writes never accumulate.
+    pub fn sweep_orphans(dir: &Path) -> io::Result<bool> {
+        let tmp = dir.join(format!(".{WORLD_FILE_NAME}.tmp"));
+        match fs::remove_file(&tmp) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e),
+        }
     }
 
     /// Opens and fully validates `dir/world.sibworld`, mapping the file
@@ -415,19 +447,61 @@ impl WorldStore {
         Self::open_with(dir, expected_fingerprint, LoadMode::Mmap)
     }
 
-    /// [`WorldStore::open`] with an explicit backing mode.
+    /// [`WorldStore::open`] with an explicit backing mode. Sweeps an
+    /// orphaned temp file from an interrupted write before mapping.
     pub fn open_with(
         dir: &Path,
         expected_fingerprint: Option<u64>,
         mode: LoadMode,
     ) -> Result<StoredWorld, StoreError> {
+        Self::sweep_orphans(dir).map_err(StoreError::Io)?;
         let path = Self::path_of(dir);
         let file = match mode {
             LoadMode::Mmap => MapFile::open(&path),
             LoadMode::Read => MapFile::read(&path),
         }
         .map_err(StoreError::Io)?;
+        // Failpoint: a short read surfaces as the same truncation error a
+        // really-truncated file would produce.
+        match sibling_failpoint::io_point("world-store::open").map_err(StoreError::Io)? {
+            Some(n) if n < file.len() => {
+                return Err(StoreError::Truncated {
+                    expected: file.len() as u64,
+                    got: n as u64,
+                });
+            }
+            _ => {}
+        }
         StoredWorld::from_file(file, expected_fingerprint)
+    }
+
+    /// [`WorldStore::open_with`], but a world file that fails validation
+    /// is **quarantined**: renamed to `world.sibworld.corrupt` and
+    /// reported as [`StoreError::Quarantined`], leaving the slot clean
+    /// for regeneration. Environmental errors (I/O) and fingerprint
+    /// mismatches (a valid store for a different config) pass through
+    /// unchanged.
+    pub fn open_quarantining(
+        dir: &Path,
+        expected_fingerprint: Option<u64>,
+        mode: LoadMode,
+    ) -> Result<StoredWorld, StoreError> {
+        match Self::open_with(dir, expected_fingerprint, mode) {
+            Err(reason) if reason.is_corruption() => {
+                let path = Self::path_of(dir);
+                let mut quarantined = path.clone().into_os_string();
+                quarantined.push(".corrupt");
+                let quarantined = PathBuf::from(quarantined);
+                // Best-effort: if the rename itself fails, regeneration
+                // still lands atomically over the bad file.
+                let _ = fs::rename(&path, &quarantined);
+                Err(StoreError::Quarantined {
+                    path: quarantined,
+                    reason: Box::new(reason),
+                })
+            }
+            other => other,
+        }
     }
 }
 
@@ -1195,6 +1269,59 @@ mod tests {
         assert!(matches!(
             WorldStore::open(&dir, None),
             Err(StoreError::BadVersion(99))
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orphaned_tmp_is_swept_at_open() {
+        let dir = temp_dir("sweep");
+        write_sample(&dir);
+        let tmp = dir.join(format!(".{WORLD_FILE_NAME}.tmp"));
+        fs::write(&tmp, b"torn write residue").unwrap();
+        let world = WorldStore::open(&dir, None).unwrap();
+        assert!(!tmp.exists(), "open must sweep the orphaned temp file");
+        assert_eq!(world.fingerprint(), 0xDEAD_BEEF);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_round_trip_corrupt_regenerate_reopen() {
+        let dir = temp_dir("quarantine");
+        let path = write_sample(&dir);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[HEADER_LEN as usize + 3] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let quarantined = match WorldStore::open_quarantining(&dir, None, LoadMode::Mmap) {
+            Err(StoreError::Quarantined { path, reason }) => {
+                assert!(reason.is_corruption(), "{reason}");
+                path
+            }
+            other => panic!("expected Quarantined, got {other:?}"),
+        };
+        assert!(quarantined.ends_with("world.sibworld.corrupt"));
+        assert!(quarantined.is_file(), "corrupt file moved aside");
+        assert!(!path.exists(), "slot left clean for regeneration");
+        // Regenerate into the clean slot; reopen must be clean.
+        write_sample(&dir);
+        assert!(WorldStore::open_quarantining(&dir, Some(0xDEAD_BEEF), LoadMode::Mmap).is_ok());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_spares_fingerprint_mismatches_and_missing_files() {
+        let dir = temp_dir("quarantine-spares");
+        let path = write_sample(&dir);
+        // A valid store for a different config is NOT corruption.
+        assert!(matches!(
+            WorldStore::open_quarantining(&dir, Some(1), LoadMode::Mmap),
+            Err(StoreError::BadFingerprint { .. })
+        ));
+        assert!(path.is_file(), "fingerprint mismatch must not quarantine");
+        fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            WorldStore::open_quarantining(&dir, None, LoadMode::Mmap),
+            Err(StoreError::Io(_))
         ));
         fs::remove_dir_all(&dir).ok();
     }

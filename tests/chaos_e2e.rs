@@ -1,0 +1,365 @@
+//! Chaos end-to-end suite: the stores and the serving tier under
+//! injected faults. Compiled (and meaningful) only with the
+//! `failpoints` feature — CI's chaos job runs
+//! `cargo test --features failpoints --test chaos_e2e`.
+//!
+//! The contracts under test:
+//!
+//! - **Crash-consistent stores.** A torn snapshot write (injected
+//!   mid-`write_all`) leaves only an orphaned temp file the next open
+//!   sweeps; a failed rename leaves the store absent, never half
+//!   visible; a short read at open quarantines the month aside and the
+//!   regenerated month round-trips bit-identically.
+//! - **Overload-resilient daemon.** A server under a failpoint schedule
+//!   (accept errors, write errors, injected answer panics) keeps
+//!   serving: every answer a retrying client completes is bit-identical
+//!   to an independent recompute, every failure is a typed `busy` /
+//!   `timeout` response or a retryable transport error, the process
+//!   never aborts, and a graceful drain still lands after the chaos.
+//!
+//! Failpoint sites are process-global, so every test serialises on one
+//! lock and each test configures only its own sites.
+
+#![cfg(feature = "failpoints")]
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use sibling_core::{BatchRun, DetectEngine, WindowQueryIndex};
+use sibling_dns::{encode_snapshot, LoadMode, SnapshotStore, StoreError};
+use sibling_executor::ThreadPool;
+use sibling_failpoint as failpoint;
+use sibling_net_types::MonthDate;
+use sibling_service::{
+    Client, Endpoint, QueryPlanner, Response, RetryPolicy, ServeOptions, Server,
+};
+use sibling_store::WorldStore;
+use sibling_worldgen::{World, WorldConfig};
+
+/// Failpoint sites are keyed by fixed product names in a process-global
+/// registry; concurrent tests would race each other's hit accounting.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn chaos_guard() -> std::sync::MutexGuard<'static, ()> {
+    // A failed assertion in another test poisons the lock; the registry
+    // itself is still usable.
+    CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A unique scratch directory per test (removed best-effort on drop).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(label: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("sibchaos-{}-{label}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// Files in `dir` whose name satisfies `pred`.
+fn files_matching(dir: &std::path::Path, pred: impl Fn(&str) -> bool) -> Vec<String> {
+    let mut out: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|name| pred(name))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn torn_snapshot_write_is_swept_and_the_month_recovers() {
+    let _guard = chaos_guard();
+    let scratch = Scratch::new("torn-write");
+    let world = World::generate(WorldConfig::test_tiny(13));
+    let date = world.config.end;
+    let store = SnapshotStore::create(&scratch.0).unwrap();
+
+    // Tear the write: 64 bytes of the image land in the temp file, then
+    // the injected error fires — the crash window between temp-file
+    // creation and rename.
+    failpoint::configure("snapshot-store::write", "once*truncate(64)").unwrap();
+    let err = store.write(&world.snapshot(date)).unwrap_err();
+    assert!(matches!(err, StoreError::Io(_)), "typed failure: {err}");
+    failpoint::clear("snapshot-store::write");
+
+    // Only the hidden temp file exists; the month is not visible.
+    assert_eq!(
+        files_matching(&scratch.0, |n| n.starts_with(".snap-")).len(),
+        1,
+        "torn write leaves its temp file"
+    );
+    assert!(!store.contains(date));
+
+    // The next open sweeps the orphan; the month reads as missing, not
+    // as garbage.
+    let store = SnapshotStore::open(&scratch.0).unwrap();
+    assert!(files_matching(&scratch.0, |n| n.starts_with(".snap-")).is_empty());
+    assert!(matches!(
+        store.load(date).unwrap_err(),
+        StoreError::Missing(_)
+    ));
+
+    // Recovery: a clean rewrite produces exactly the bytes a never-torn
+    // export would have.
+    let path = store.write(&world.snapshot(date)).unwrap();
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        encode_snapshot(&world.snapshot(date)).unwrap(),
+        "recovered file is bit-identical to a clean export"
+    );
+    assert_eq!(store.load(date).unwrap().date(), date);
+}
+
+#[test]
+fn failed_world_rename_leaves_the_store_absent_then_recovers() {
+    let _guard = chaos_guard();
+    let scratch = Scratch::new("world-rename");
+    let world = World::generate(WorldConfig::test_tiny(11));
+    let fingerprint = world.config.fingerprint();
+    let write = |world: &World| {
+        WorldStore::write(
+            &scratch.0,
+            fingerprint,
+            &world.rib_archive(),
+            world.as_org(),
+            world.asdb(),
+            world.hg_cdn(),
+        )
+    };
+
+    failpoint::configure("world-store::rename", "once*return").unwrap();
+    let err = write(&world).unwrap_err();
+    assert!(matches!(err, StoreError::Io(_)), "typed failure: {err}");
+    failpoint::clear("world-store::rename");
+
+    // Atomicity: the failed publish is invisible — no world file, only
+    // the temp residue, which the next open sweeps.
+    assert!(!WorldStore::exists(&scratch.0));
+    assert_eq!(
+        files_matching(&scratch.0, |n| n.ends_with(".sibworld.tmp")).len(),
+        1
+    );
+
+    let path = write(&world).unwrap();
+    assert!(path.is_file());
+    let stored =
+        WorldStore::open_quarantining(&scratch.0, Some(fingerprint), LoadMode::Mmap).unwrap();
+    assert!(stored.byte_len() > 0);
+    assert!(files_matching(&scratch.0, |n| n.ends_with(".sibworld.tmp")).is_empty());
+}
+
+#[test]
+fn short_read_at_open_quarantines_and_the_month_regenerates() {
+    let _guard = chaos_guard();
+    let scratch = Scratch::new("short-read");
+    let world = World::generate(WorldConfig::test_tiny(17));
+    let date = world.config.end;
+    let store = SnapshotStore::create(&scratch.0).unwrap();
+    store.write(&world.snapshot(date)).unwrap();
+
+    // A 16-byte read where the header should be: validation sees a
+    // truncated image and the quarantining loader moves the month aside.
+    failpoint::configure("snapshot-store::open", "once*truncate(16)").unwrap();
+    let err = store.load_quarantining(date, LoadMode::Mmap).unwrap_err();
+    failpoint::clear("snapshot-store::open");
+    let StoreError::Quarantined { path, reason } = err else {
+        panic!("expected quarantine, got: {err}");
+    };
+    assert!(matches!(*reason, StoreError::Truncated { .. }), "{reason}");
+    assert!(path.to_string_lossy().ends_with(".corrupt"));
+    assert!(path.is_file(), "quarantined file kept for forensics");
+    assert!(!store.contains(date), "month slot left clean");
+
+    // Regeneration fills the slot; the reload is clean and dated right.
+    store.write(&world.snapshot(date)).unwrap();
+    assert_eq!(
+        store
+            .load_quarantining(date, LoadMode::Mmap)
+            .unwrap()
+            .date(),
+        date
+    );
+}
+
+/// Scores a window from scratch — run twice, it is the daemon's startup
+/// work and the independent recompute reference.
+fn score(world: &World, from: MonthDate, to: MonthDate) -> BatchRun {
+    let archive = world.rib_archive();
+    let mut engine = DetectEngine::default();
+    engine
+        .run_window(from, to, &archive, |d| Arc::new(world.snapshot(d)))
+        .expect("window covered by the world's archive")
+}
+
+#[test]
+fn daemon_under_chaos_answers_bit_identically_and_drains() {
+    let _guard = chaos_guard();
+    let world = World::generate(WorldConfig::test_tiny(7));
+    let to = world.config.end;
+    let from = to.add_months(-2);
+
+    // Serving side.
+    let run = score(&world, from, to);
+    let planner = QueryPlanner::new(WindowQueryIndex::publish(&run).expect("non-empty window"));
+    let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into())).expect("bind");
+    let endpoint = server.endpoint().to_string();
+    let options = ServeOptions {
+        max_conns: 4,
+        request_deadline: Duration::from_secs(2),
+        idle_timeout: Duration::from_secs(10),
+        drain_deadline: Duration::from_secs(3),
+        shed_expensive_at: 0,
+    };
+    let handle = server
+        .start_with(planner, ThreadPool::with_threads(1), 3, options)
+        .expect("server starts");
+
+    // Reference side: an independent recompute answers every request
+    // through a local planner; the data lines are the expectation.
+    let reference = QueryPlanner::new(
+        WindowQueryIndex::publish(&score(&world, from, to)).expect("non-empty window"),
+    );
+    let mut requests: Vec<String> = vec!["ping".into(), "months".into(), "stats".into()];
+    for (month, set) in &run.results {
+        requests.push(format!("stats {month}"));
+        let pairs: Vec<_> = set.iter().collect();
+        assert!(!pairs.is_empty(), "synthetic world detects pairs");
+        for pair in pairs.iter().step_by((pairs.len() / 4).max(1)) {
+            requests.push(format!("siblings {} {} {month}", pair.v4, pair.v6));
+            requests.push(format!("partners {} {month} 3", pair.v4));
+            requests.push(format!("pair {} {} {from}..{to}", pair.v4, pair.v6));
+        }
+    }
+    let expected: Vec<(String, Vec<String>)> = requests
+        .into_iter()
+        .map(|request| {
+            let mut out = String::new();
+            reference.answer_line(&request, &mut out);
+            let mut lines = out.lines();
+            let header = lines.next().unwrap();
+            assert!(header.starts_with("ok "), "{request:?} -> {header:?}");
+            (request, lines.map(str::to_string).collect())
+        })
+        .collect();
+    let expected = Arc::new(expected);
+
+    // The chaos schedule: every 4th accept check errors (readers back
+    // off and re-poll), every 7th response write fails (the connection
+    // dies mid-use), every 17th request line panics in the answer path
+    // (caught per-connection, never aborting the process).
+    failpoint::configure("service::accept", "1in4*return").unwrap();
+    failpoint::configure("service::write", "1in7*return").unwrap();
+    failpoint::configure("service::answer", "1in17*panic(injected answer panic)").unwrap();
+
+    let clients: Vec<_> = (0..3)
+        .map(|id| {
+            let endpoint = endpoint.clone();
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let policy = RetryPolicy {
+                    attempts: 8,
+                    base: Duration::from_millis(2),
+                    cap: Duration::from_millis(50),
+                    seed: 0xC4A05 + id as u64,
+                };
+                let mut client = Client::connect_with(&endpoint, &policy).expect("initial dial");
+                let mut completed = 0usize;
+                for (request, want) in expected.iter() {
+                    // Bounded outer loop on top of the bounded retries:
+                    // nothing in this test can wait forever.
+                    let mut done = false;
+                    for round in 0..10 {
+                        match client.retry_roundtrip(request, &policy) {
+                            Ok(Response::Ok(lines)) => {
+                                assert_eq!(
+                                    &lines, want,
+                                    "client {id}: {request:?} answered differently under chaos"
+                                );
+                                completed += 1;
+                                done = true;
+                                break;
+                            }
+                            // The only acceptable protocol failures are
+                            // the typed overload errors.
+                            Ok(Response::Err { code, message }) => {
+                                assert!(
+                                    code == "busy" || code == "timeout",
+                                    "client {id}: {request:?} -> err {code} {message}"
+                                );
+                            }
+                            // Transport failures must be the retryable
+                            // kind (dead connection, refused dial) —
+                            // anything else is a real bug.
+                            Err(e) => {
+                                assert!(
+                                    RetryPolicy::transient(&e),
+                                    "client {id}: {request:?} -> non-transient {e}"
+                                );
+                                if let Ok(fresh) = Client::connect_with(&endpoint, &policy) {
+                                    client = fresh;
+                                }
+                            }
+                        }
+                        assert!(round < 9, "client {id}: {request:?} never completed");
+                    }
+                    assert!(done);
+                }
+                completed
+            })
+        })
+        .collect();
+    let completed: usize = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    assert_eq!(
+        completed,
+        expected.len() * 3,
+        "every request eventually completed with a bit-identical answer"
+    );
+
+    // The schedule actually bit: injected write failures and answer
+    // panics both fired (the request volume guarantees it), and the
+    // caught panics are accounted without the process aborting.
+    assert!(
+        failpoint::fired("service::write") >= 1,
+        "write faults fired"
+    );
+    assert!(
+        failpoint::fired("service::answer") >= 1,
+        "answer panics fired"
+    );
+    failpoint::clear("service::accept");
+    failpoint::clear("service::write");
+    failpoint::clear("service::answer");
+    // The counters are bumped by the reader threads moments after the
+    // client observes the effect (a caught panic closes the connection
+    // before the panic is accounted), so give them a beat to settle.
+    let settle = std::time::Instant::now() + Duration::from_secs(2);
+    while (handle.stats().panics < 1 || (handle.stats().served as usize) < completed)
+        && std::time::Instant::now() < settle
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = handle.stats();
+    assert!(stats.panics >= 1, "panics were caught and counted: {stats}");
+    assert!(stats.served as usize >= completed, "{stats}");
+
+    // Calm after the storm: a fresh connection answers cleanly, then the
+    // graceful drain completes inside its deadline.
+    let mut client = Client::connect(&endpoint).expect("post-chaos dial");
+    match client.roundtrip("ping").expect("post-chaos roundtrip") {
+        Response::Ok(lines) => assert_eq!(lines, vec!["pong".to_string()]),
+        Response::Err { code, message } => panic!("post-chaos ping failed: {code} {message}"),
+    }
+    drop(client);
+    let report = handle.drain();
+    assert!(report.drained, "drain completed: {}", report.stats);
+}
