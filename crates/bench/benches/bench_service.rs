@@ -187,9 +187,124 @@ fn bench_query_throughput(c: &mut Criterion) {
     );
 }
 
+/// `ingest_throughput`: the live window's write path, measured — deltas
+/// journaled (fsync'd), applied and epoch-published over the same
+/// resident 24-month window, while a concurrent reader sustains queries
+/// against the published index. Records deltas/sec applied and the
+/// reader's qps *during* ingest into `target/bench.json` — the epoch
+/// swap is the only writer/reader touch point, so reads should barely
+/// notice the writer.
+fn bench_ingest_throughput(c: &mut Criterion) {
+    use sibling_core::{EngineConfig, EpochState};
+    use sibling_dns::{DnsSnapshot, DomainId, SnapshotDelta};
+    use sibling_service::{IngestSink, LiveWindow};
+
+    let months = 24i32;
+    let world = low_churn_world(2024);
+    let day0 = world.config.end;
+    let from = day0.add_months(-(months - 1));
+    let archive = world.rib_archive();
+    let snaps: Vec<Arc<SnapshotFile>> =
+        cached_snapshot_window("low-churn-small-2024", &world, from, day0);
+    let mut engine = DetectEngine::default();
+    let run = engine
+        .run_window(from, day0, &archive, |d| {
+            snaps[d.months_since(&from).max(0) as usize].clone()
+        })
+        .expect("window scores");
+    let tail = Arc::new(DnsSnapshot::materialize(&*snaps[(months - 1) as usize]));
+    let (epoch, index) = EpochState::seed(
+        EngineConfig::default(),
+        archive,
+        run.results,
+        Arc::clone(&tail),
+    )
+    .expect("window seeds");
+    let dir = std::env::temp_dir().join(format!("sibling-bench-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("ingest.sibjrnl");
+    let (mut live, _) =
+        LiveWindow::recover(epoch, index, &journal, None).expect("live window recovers");
+    let planner = QueryPlanner::live(live.published());
+
+    // The delta pair: a same-month retarget adding one synthetic domain
+    // to the tail snapshot, and its inverse — the steady-state trickle a
+    // live feed applies between monthly appends. Alternating them keeps
+    // every ingest valid forever.
+    let mut variant = (*tail).clone();
+    variant.merge(
+        DomainId(u32::MAX - 1),
+        vec![u32::from(std::net::Ipv4Addr::new(203, 0, 200, 1))],
+        vec![u128::from(std::net::Ipv6Addr::new(
+            0x2600, 1, 0, 0, 0, 0, 0, 0xbeef,
+        ))],
+    );
+    let fwd = SnapshotDelta::diff(&tail, &variant);
+    let rev = SnapshotDelta::diff(&variant, &tail);
+
+    let mut group = c.benchmark_group("ingest_throughput");
+    let mut flip = false;
+    group.bench_function("small_retarget", |b| {
+        b.iter(|| {
+            let delta = if flip { &rev } else { &fwd };
+            flip = !flip;
+            black_box(live.ingest(delta).expect("retarget applies"))
+        })
+    });
+    group.finish();
+
+    // The measured run: one writer streaming deltas while one reader
+    // hammers the published window with the mixed corpus.
+    let (_, _, _, mixed) = query_corpus(&planner);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let total = 100usize;
+    let (dps, reader_qps) = std::thread::scope(|scope| {
+        let reader = {
+            let planner = planner.clone();
+            let mixed = &mixed;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut out = String::new();
+                let mut n = 0u64;
+                let start = Instant::now();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    planner.answer_line(&mixed[n as usize % mixed.len()], &mut out);
+                    black_box(out.len());
+                    n += 1;
+                }
+                n as f64 / start.elapsed().as_secs_f64()
+            })
+        };
+        let start = Instant::now();
+        for i in 0..total {
+            let delta = if i % 2 == 0 { &fwd } else { &rev };
+            live.ingest(delta).expect("retarget applies");
+        }
+        let dps = total as f64 / start.elapsed().as_secs_f64();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        (dps, reader.join().expect("reader thread"))
+    });
+    println!(
+        "[ingest] {dps:.0} deltas/sec applied+published; reader sustained {reader_qps:.0} qps \
+         during ingest; final epoch {}",
+        live.published().epoch()
+    );
+    c.record_value("ingest_throughput/deltas_per_sec", dps as u64);
+    c.record_value(
+        "ingest_throughput/reader_qps_during_ingest",
+        reader_qps as u64,
+    );
+    c.record_value(
+        "ingest_throughput/epochs_published",
+        live.published().epoch(),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_query_throughput
+    targets = bench_query_throughput, bench_ingest_throughput
 );
 criterion_main!(benches);

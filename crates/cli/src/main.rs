@@ -12,8 +12,10 @@
 //! sibling-prefixes serve    (--listen HOST:PORT | --socket PATH) [--readers N]
 //!                           [--max-conns N] [--deadline-ms MS] [--idle-ms MS]
 //!                           [--shed-at N] [--drain-ms MS] [--serve-ms MS]
-//!                           [--from YYYY-MM --to YYYY-MM] [--seed N] [--store DIR] …
+//!                           [--ingest JOURNAL] [--from YYYY-MM --to YYYY-MM]
+//!                           [--seed N] [--store DIR] …
 //! sibling-prefixes query    --connect ENDPOINT [--retries N] "REQUEST" [...]
+//! sibling-prefixes ingest   --connect ENDPOINT --to YYYY-MM [--seed N]
 //! sibling-prefixes run      [--seed N] [EXPERIMENT_ID ...]
 //! sibling-prefixes list
 //! ```
@@ -32,12 +34,13 @@ use sibling_analysis::{all_experiments, run_by_id, AnalysisContext};
 use sibling_core::longitudinal::PairLedger;
 use sibling_core::query::{MonthStats, WindowQueryIndex};
 use sibling_core::tuner::more_specific::tune_more_specific;
-use sibling_core::{BatchRun, DetectEngine, EngineConfig, SpTunerConfig};
-use sibling_dns::{LoadMode, SnapshotFile, SnapshotStore, StoreError};
+use sibling_core::{BatchRun, DetectEngine, EngineConfig, EpochState, SpTunerConfig};
+use sibling_dns::{DnsSnapshot, LoadMode, SnapshotDelta, SnapshotFile, SnapshotStore, StoreError};
 use sibling_executor::ThreadPool;
 use sibling_net_types::MonthDate;
 use sibling_service::{
-    Client, Endpoint, QueryPlanner, Response, RetryPolicy, ServeOptions, Server,
+    Client, Endpoint, LiveWindow, QueryPlanner, Request, Response, RetryPolicy, ServeOptions,
+    Server, ServerHandle,
 };
 use sibling_store::{check_months, WorldStore};
 use sibling_worldgen::{World, WorldConfig};
@@ -163,8 +166,9 @@ fn usage() -> &'static str {
      \x20 publish  write the sibling prefix list CSV  [--seed N] [--out FILE]\n\
      \x20 audit    RPKI/ROV audit of sibling pairs    [--seed N]\n\
      \x20 batch    longitudinal window in one pass    --from YYYY-MM --to YYYY-MM [--seed N] [--mode incremental|full] [--store DIR] [--load-mode mmap|read] [--window-threads N]\n\
-     \x20 serve    resident query daemon              (--listen HOST:PORT | --socket PATH) [--readers N] [--max-conns N] [--deadline-ms MS] [--idle-ms MS] [--shed-at N] [--drain-ms MS] [--serve-ms MS] + batch's window flags\n\
+     \x20 serve    resident query daemon              (--listen HOST:PORT | --socket PATH) [--readers N] [--max-conns N] [--deadline-ms MS] [--idle-ms MS] [--shed-at N] [--drain-ms MS] [--serve-ms MS] [--ingest JOURNAL] + batch's window flags\n\
      \x20 query    dial a running daemon              --connect ENDPOINT [--retries N] \"REQUEST\" [\"REQUEST\" ...]\n\
+     \x20 ingest   stream monthly deltas to a live daemon  --connect ENDPOINT --to YYYY-MM [--seed N]\n\
      \x20 snapshot export monthly snapshots to a store  export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N] [--force true]\n\
      \x20 world    export snapshots + world tables    export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N] [--force true]\n\
      \x20 run      run experiments by id              [--seed N] [ID ...]\n\
@@ -190,7 +194,19 @@ fn usage() -> &'static str {
      sheds and transient transport errors with jittered backoff\n\
      (--retries N attempts) and exits 0 ok / 2 busy / 3 timeout /\n\
      1 other, so supervisors can tell overload from breakage (see\n\
-     README \"Query service\" and \"Fault injection & resilience\")\n"
+     README \"Query service\" and \"Fault injection & resilience\")\n\
+     \n\
+     serve --ingest JOURNAL starts a *live* window: the daemon accepts\n\
+     the `ingest` verb, journals each accepted delta to JOURNAL before\n\
+     applying it (fsync'd, checksummed), and publishes every apply as a\n\
+     new epoch readers pin per request (`epoch` and `health` report the\n\
+     lifecycle). On restart the journal replays, so acknowledged deltas\n\
+     survive crashes; with --store DIR, compaction folds ingested months\n\
+     into the snapshot store and the window auto-extends to the last\n\
+     contiguous stored month. ingest dials a live daemon, asks it for\n\
+     its tail month, and streams the world's month-over-month deltas up\n\
+     to --to; it is idempotent and self-synchronizing (see README \"Live\n\
+     ingestion\")\n"
 }
 
 fn context(args: &Args) -> Result<AnalysisContext, String> {
@@ -680,6 +696,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             .map_err(|_| "bad --shed-at (unsigned integer, 0 = cap + 1)".to_string())?,
     };
     let serve_ms = args.msecs("serve-ms", 0)?;
+    if let Some(journal) = args.get("ingest") {
+        let journal = std::path::PathBuf::from(journal);
+        return cmd_serve_live(args, endpoint, readers, options, serve_ms, &journal);
+    }
     let config = args.config()?;
     let (from, to) = args.window(&config)?;
     let window_threads: usize = args
@@ -694,7 +714,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     });
     let score = Instant::now();
     let run = run_window_input(args, &mut engine, &config, from, to)?;
-    let index = WindowQueryIndex::publish(&run)?;
+    let index = WindowQueryIndex::publish(&run).map_err(|e| e.to_string())?;
     eprintln!(
         "window {from}..{to} scored and published in {} ms: {} months, {} pairs resident",
         score.elapsed().as_millis(),
@@ -711,6 +731,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let handle = server
         .start_with(planner, ThreadPool::with_threads(1), readers, options)
         .map_err(|e| format!("starting readers: {e}"))?;
+    run_daemon(handle, readers, serve_ms)
+}
+
+/// The shared daemon epilogue: timed serve-and-drain (`--serve-ms`,
+/// how CI exercises shutdown without signal plumbing) or park forever.
+fn run_daemon(handle: ServerHandle, readers: usize, serve_ms: u64) -> Result<(), String> {
     if serve_ms > 0 {
         // Timed run: serve, then wind down gracefully — in-flight
         // requests finish, new connections stop being accepted, and the
@@ -729,6 +755,179 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         eprintln!("{readers} reader(s) serving; kill the process to stop");
         handle.park_forever()
     }
+}
+
+/// `serve --ingest JOURNAL`: the live window. Scores the offline window
+/// like `serve`, then seeds an epoch-published writer over it, replays
+/// the ingest journal (acknowledged deltas survive crashes), and starts
+/// the daemon with a writer thread behind the `ingest` verb.
+///
+/// The world is always generated here — the writer needs RIB coverage
+/// for months *past* the offline window, and the synthetic world is the
+/// only source of it. With `--store DIR` the window auto-extends past
+/// `--to` through every contiguous stored month (where earlier runs'
+/// compactions landed), bounded by the world's range, and ingested
+/// months compact into the store. The `listening` readiness line prints
+/// only after replay finishes: once a supervisor can dial, the window
+/// already carries every durable delta.
+fn cmd_serve_live(
+    args: &Args,
+    endpoint: Endpoint,
+    readers: usize,
+    options: ServeOptions,
+    serve_ms: u64,
+    journal: &Path,
+) -> Result<(), String> {
+    let config = args.config()?;
+    let (from, mut to) = args.window(&config)?;
+    let mode = args.load_mode()?;
+    eprintln!(
+        "generating world (seed {}, preset {})…",
+        config.seed,
+        args.get("preset").unwrap_or("paper")
+    );
+    let world = World::generate(config.clone());
+    let archive = world.rib_archive();
+    let store = match args.get("store") {
+        Some(dir) => Some(SnapshotStore::open(dir).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    if let Some(store) = &store {
+        while to < config.end && store.contains(to.add_months(1)) {
+            to = to.add_months(1);
+        }
+    }
+    let window = from.range_to(to);
+    let mut snaps = std::collections::BTreeMap::new();
+    for &date in &window {
+        let snap = match &store {
+            Some(store) if store.contains(date) => {
+                let file = store.load_with(date, mode).map_err(|e| e.to_string())?;
+                std::sync::Arc::new(DnsSnapshot::materialize(&*file))
+            }
+            _ => std::sync::Arc::new(world.snapshot(date)),
+        };
+        snaps.insert(date, snap);
+    }
+    let engine_config = EngineConfig {
+        incremental: args.incremental()?,
+        threads: args
+            .get("window-threads")
+            .unwrap_or("0")
+            .parse()
+            .map_err(|_| "bad --window-threads".to_string())?,
+        ..EngineConfig::default()
+    };
+    let score = Instant::now();
+    let mut engine = DetectEngine::new(engine_config);
+    let run = engine.run_window(from, to, &archive, |date| snaps[&date].clone())?;
+    let tail = snaps[&to].clone();
+    let (epoch, index) =
+        EpochState::seed(engine_config, archive, run.results, tail).map_err(|e| e.to_string())?;
+    eprintln!(
+        "window {from}..{to} scored in {} ms: {} months, {} pairs resident",
+        score.elapsed().as_millis(),
+        index.months().len(),
+        index.total_pairs()
+    );
+    let (live, report) = LiveWindow::recover(epoch, index, journal, store)?;
+    eprintln!(
+        "ingest journal {}: replayed {} delta(s), skipped {} already-compacted, discarded {} \
+         torn byte(s); window tail {}",
+        journal.display(),
+        report.replayed,
+        report.skipped,
+        report.discarded_bytes,
+        live.tail_date()
+    );
+    let planner = QueryPlanner::live(live.published());
+    let server = Server::bind(&endpoint).map_err(|e| format!("bind failed: {e}"))?;
+    println!("listening {}", server.endpoint());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let handle = server
+        .start_live(
+            planner,
+            ThreadPool::with_threads(1),
+            readers,
+            options,
+            Box::new(live),
+        )
+        .map_err(|e| format!("starting readers: {e}"))?;
+    run_daemon(handle, readers, serve_ms)
+}
+
+/// `ingest`: stream the synthetic world's monthly deltas into a live
+/// daemon. Asks the daemon for its current tail month (`months`), then
+/// for every month after it up to `--to` sends one `ingest` request
+/// carrying the month-over-month [`SnapshotDelta`] in hex armor.
+///
+/// Because the starting point comes from the daemon, the command is
+/// self-synchronizing and idempotent: re-running it after a partial
+/// stream (or a daemon crash and replay) resumes exactly where the
+/// daemon's durable window ends.
+fn cmd_ingest(args: &Args) -> Result<(), String> {
+    let endpoint = args
+        .get("connect")
+        .ok_or("ingest needs --connect ENDPOINT (tcp://HOST:PORT or unix://PATH)")?;
+    let config = args.config()?;
+    let to = args
+        .month("to")?
+        .ok_or("ingest needs --to YYYY-MM (last month to stream)")?;
+    if to > config.end {
+        return Err(format!(
+            "--to {to} is outside the world's {}..{}",
+            config.start, config.end
+        ));
+    }
+    let mut client =
+        Client::connect(endpoint).map_err(|e| format!("connecting to {endpoint}: {e}"))?;
+    let tail = match client
+        .roundtrip("months")
+        .map_err(|e| format!("asking the daemon for its months: {e}"))?
+    {
+        Response::Ok(lines) => lines
+            .last()
+            .ok_or("daemon reported an empty window")?
+            .parse::<MonthDate>()
+            .map_err(|e| format!("daemon reported a malformed tail month: {e}"))?,
+        Response::Err { code, message } => {
+            return Err(format!("months: {code}: {message}"));
+        }
+    };
+    if tail >= to {
+        eprintln!("daemon tail {tail} already covers --to {to}; nothing to ingest");
+        return Ok(());
+    }
+    eprintln!(
+        "generating world (seed {}, preset {})…",
+        config.seed,
+        args.get("preset").unwrap_or("paper")
+    );
+    let world = World::generate(config.clone());
+    let mut prev = world.snapshot(tail);
+    let mut month = tail;
+    while month < to {
+        let next = month.add_months(1);
+        let snap = world.snapshot(next);
+        let delta = SnapshotDelta::diff(&prev, &snap);
+        let request = Request::Ingest(delta).to_string();
+        match client
+            .roundtrip(&request)
+            .map_err(|e| format!("sending {month}..{next}: {e}"))?
+        {
+            Response::Ok(lines) => {
+                let epoch = lines.first().map(String::as_str).unwrap_or("?");
+                println!("{next} epoch {epoch}");
+            }
+            Response::Err { code, message } => {
+                return Err(format!("ingest {month}..{next}: {code}: {message}"));
+            }
+        }
+        prev = snap;
+        month = next;
+    }
+    Ok(())
 }
 
 /// `query`: a thin client for the daemon. Each positional argument is
@@ -952,6 +1151,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(code);
             }
         },
+        "ingest" => cmd_ingest(&args),
         "snapshot" => cmd_snapshot(&args),
         "world" => cmd_world(&args),
         "run" => cmd_run(&args),
@@ -962,7 +1162,7 @@ fn main() -> ExitCode {
         }
         other => Err(format!(
             "unknown command {other:?} (valid commands: detect, tune, publish, audit, batch, \
-             serve, query, snapshot, world, run, list, help)"
+             serve, query, ingest, snapshot, world, run, list, help)"
         )),
     };
     match outcome {

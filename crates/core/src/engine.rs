@@ -353,7 +353,7 @@ impl CandidateIndex {
 /// an `Arc<sibling_dns::SnapshotFile>` for zero-copy store-backed runs —
 /// and the routing-table handle `R` (any [`RibSource`]; `Arc<Rib>` for
 /// regenerated worlds, a store-backed mmap table otherwise).
-struct WindowState<H, R> {
+pub(crate) struct WindowState<H, R> {
     /// The snapshot the index currently reflects.
     snapshot: H,
     /// The table the index was built against; [`RibSource::same_table`]
@@ -391,6 +391,146 @@ impl<H, R> WindowState<H, R> {
             }
             _ => {}
         }
+    }
+}
+
+impl<H, R> WindowState<H, R>
+where
+    H: SnapshotSource + Clone,
+    R: RibSource,
+{
+    /// The routing table the carried index was built against (the live
+    /// epoch writer gates delta application on
+    /// [`RibSource::same_table`] identity, exactly like the batch
+    /// driver).
+    pub(crate) fn rib(&self) -> &R {
+        &self.rib
+    }
+
+    /// Serial, inline window (re)seed — the live epoch writer's
+    /// counterpart of the pooled seed: full index build, full scoring
+    /// and candidate seeding, all on the calling thread. `workers` is
+    /// pinned to 1 so the automatic shard count is deterministic for a
+    /// given group count; the result is bit-identical across shard
+    /// counts anyway (the engine's assembly contract), so the live path
+    /// and the pooled batch path agree exactly.
+    pub(crate) fn seed_serial(
+        snapshot: H,
+        rib: R,
+        config: &EngineConfig,
+        arena: &SetArena,
+        superseded: Option<Self>,
+    ) -> Self {
+        let index = PrefixDomainIndex::build_source_with_arena(&snapshot, &rib, arena);
+        if let Some(old) = superseded {
+            // As in the pooled seed: release the superseded index only
+            // *after* the new one is interned, so recurring sets dedup
+            // onto the live slots instead of recycling.
+            old.index.release_sets(arena);
+        }
+        let shard_count = window_shard_count(config, 1, index.group_counts().0);
+        let mut members: Vec<Vec<Ipv4Prefix>> = vec![Vec::new(); shard_count];
+        for (p4, _) in index.group_sets::<u32>() {
+            // Group iteration ascends, so each member list stays sorted.
+            members[shard_of(p4, shard_count)].push(*p4);
+        }
+        let candidates = CandidateIndex::seed(&index, shard_count);
+        let placeholder: OutcomeSlot = Arc::new(Slot::ready(Arc::new(ShardOutcome::default())));
+        let mut state = Self {
+            snapshot,
+            rib,
+            index,
+            shard_count,
+            members,
+            slots: vec![placeholder; shard_count],
+            candidates,
+        };
+        state.rescore_serial(0..shard_count, config.metric);
+        state
+    }
+
+    /// Serial incremental ingest step — the live epoch writer's
+    /// counterpart of the batch driver's month advance, with every
+    /// dirty shard rescored inline on the calling thread. Mirrors the
+    /// batch path's exact order (index patch → dirty marking against
+    /// *last* month's candidate index → candidate/member maintenance →
+    /// rescore), so the resulting outcomes are bit-identical to a batch
+    /// recompute over the same snapshots. Returns the number of shards
+    /// rescored.
+    pub(crate) fn apply_delta(
+        &mut self,
+        snapshot: H,
+        delta: &SnapshotDelta,
+        arena: &SetArena,
+        metric: SimilarityMetric,
+    ) -> usize {
+        debug_assert_eq!(
+            delta.from_date(),
+            self.snapshot.snapshot_date(),
+            "delta base"
+        );
+        let report = self.index.apply_delta(delta, &self.rib, arena);
+        let shard_count = self.shard_count;
+        let mut dirty = vec![false; shard_count];
+        for p4 in &report.touched_v4 {
+            dirty[shard_of(p4, shard_count)] = true;
+        }
+        for p6 in &report.touched_v6 {
+            // The candidate index still reflects last month here —
+            // exactly the shards whose cached outcomes mention p6 (see
+            // the batch driver's month advance for the full argument).
+            for shard in self.candidates.shards_of(p6) {
+                dirty[shard] = true;
+            }
+        }
+        self.candidates.apply_moves(&report.moves, shard_count);
+        for p4 in &report.touched_v4 {
+            self.sync_member(*p4);
+        }
+        let dirty: Vec<usize> = dirty
+            .iter()
+            .enumerate()
+            .filter_map(|(shard, dirty)| dirty.then_some(shard))
+            .collect();
+        let rescored = dirty.len();
+        self.rescore_serial(dirty, metric);
+        self.snapshot = snapshot;
+        rescored
+    }
+
+    /// Inline rescore of `shards`, replacing their outcome slots with
+    /// ready slots. The captured [`ScoreView`] drops before returning,
+    /// so the next patch's copy-on-write never actually copies.
+    fn rescore_serial<I>(&mut self, shards: I, metric: SimilarityMetric)
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let view = ScoreView::capture(&self.index);
+        for shard in shards {
+            let outcome = if self.members[shard].is_empty() {
+                ShardOutcome::default()
+            } else {
+                let groups: Vec<(Ipv4Prefix, SetHandle)> = self.members[shard]
+                    .iter()
+                    .map(|p4| {
+                        (
+                            *p4,
+                            self.index.set_of(p4).expect("member is grouped").clone(),
+                        )
+                    })
+                    .collect();
+                score_shard(&view, metric, &groups)
+            };
+            self.slots[shard] = Arc::new(Slot::ready(Arc::new(outcome)));
+        }
+    }
+
+    /// Reduces the current per-shard outcomes into the tail month's
+    /// sibling set (every slot is ready on the serial path, so `wait`
+    /// is a plain read).
+    pub(crate) fn assemble_set(&self, policy: BestMatchPolicy) -> SiblingSet {
+        let outcomes: Vec<Arc<ShardOutcome>> = self.slots.iter().map(|slot| slot.wait()).collect();
+        assemble(outcomes.iter().map(|o| &**o), policy)
     }
 }
 

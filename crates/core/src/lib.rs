@@ -36,6 +36,7 @@
 
 pub mod arena;
 pub mod engine;
+pub mod epoch;
 pub mod index;
 pub mod longitudinal;
 pub mod metrics;
@@ -47,9 +48,12 @@ pub mod tuner;
 
 pub use arena::{SetArena, SetHandle, SetId};
 pub use engine::{BatchRun, BatchStats, DetectEngine, EngineConfig, MonthChurn, MonthTiming};
+pub use epoch::{EpochState, IngestError};
 pub use index::{DomainMove, IndexDeltaReport, PrefixDomainIndex};
 pub use metrics::{dice, intersection_size, jaccard, overlap_coefficient, Ratio, SimilarityMetric};
 pub use pipeline::{detect, BestMatchPolicy, SiblingPair, SiblingSet};
-pub use query::{MonthStats, MonthView, WindowQueryIndex};
+pub use query::{
+    MonthStats, MonthView, PinnedEpoch, PublishedWindow, QueryIndexError, WindowQueryIndex,
+};
 pub use setpairs::{build_set_pairs, SetPair, SetPairing};
 pub use tuner::{SpTunerConfig, SpTunerLsConfig, TunerOutcome};

@@ -30,13 +30,39 @@
 //! rational comparison, so answers are bit-identical to recomputing the
 //! window and filtering/sorting its output (property-tested below).
 
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, RwLock};
 
 use sibling_net_types::{AnyPrefix, Ipv4Prefix, Ipv6Prefix, MonthDate};
 
 use crate::engine::BatchRun;
 use crate::longitudinal::PairLedger;
 use crate::pipeline::{SiblingPair, SiblingSet};
+
+/// Why a window could not be pivoted into a [`WindowQueryIndex`].
+///
+/// Both variants are caller errors — [`crate::DetectEngine::run_window`]
+/// always produces a non-empty, strictly ascending result vector — but a
+/// serving path assembling windows from recovered state threads them as
+/// typed errors instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryIndexError {
+    /// The window has no months; there is nothing to publish.
+    EmptyWindow,
+    /// The window's month dates were not strictly ascending.
+    UnsortedWindow,
+}
+
+impl fmt::Display for QueryIndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyWindow => write!(f, "cannot publish an empty window"),
+            Self::UnsortedWindow => write!(f, "window dates must be strictly ascending"),
+        }
+    }
+}
+
+impl std::error::Error for QueryIndexError {}
 
 /// Per-prefix ranked pair postings of one month and one family.
 ///
@@ -232,12 +258,12 @@ impl WindowQueryIndex {
     /// Pivots a batch run's results into the read index. The run's dates
     /// must be strictly ascending (what [`crate::DetectEngine::run_window`]
     /// produces); an empty or out-of-order run is a caller error.
-    pub fn build(results: &[(MonthDate, SiblingSet)]) -> Result<Self, String> {
+    pub fn build(results: &[(MonthDate, SiblingSet)]) -> Result<Self, QueryIndexError> {
         if results.is_empty() {
-            return Err("cannot publish an empty window".into());
+            return Err(QueryIndexError::EmptyWindow);
         }
         if results.windows(2).any(|w| w[0].0 >= w[1].0) {
-            return Err("window dates must be strictly ascending".into());
+            return Err(QueryIndexError::UnsortedWindow);
         }
         let mut ledger = PairLedger::new();
         let months: Vec<MonthDate> = results.iter().map(|(d, _)| *d).collect();
@@ -252,7 +278,7 @@ impl WindowQueryIndex {
     /// [`WindowQueryIndex::build`] + `Arc` publication — what a server
     /// hands its reader threads. Readers clone the `Arc` once at spawn
     /// and then share the immutable index lock-free.
-    pub fn publish(run: &BatchRun) -> Result<Arc<Self>, String> {
+    pub fn publish(run: &BatchRun) -> Result<Arc<Self>, QueryIndexError> {
         Ok(Arc::new(Self::build(&run.results)?))
     }
 
@@ -302,6 +328,79 @@ impl WindowQueryIndex {
     /// Total pairs across all loaded months (capacity reporting).
     pub fn total_pairs(&self) -> usize {
         self.monthly.iter().map(|m| m.set.len()).sum()
+    }
+}
+
+/// The epoch-numbered publication cell of a live window.
+///
+/// Writers build a complete replacement [`WindowQueryIndex`] off to the
+/// side and install it with one [`PublishedWindow::swap`]; readers
+/// [`PublishedWindow::pin`] once per request and then answer lock-free
+/// against the pinned, immutable index. The lock is held only for the
+/// duration of an `Arc` clone or store — never across a query or a
+/// rebuild — so publication never pauses readers. Retired generations
+/// stay alive exactly as long as some reader still holds their pin, then
+/// drop with the last `Arc`.
+///
+/// Epochs are monotonic: the first published generation is epoch 1 and
+/// every swap increments it, so clients can assert read consistency by
+/// comparing the `epoch` verb's answer across requests.
+#[derive(Debug)]
+pub struct PublishedWindow {
+    current: RwLock<(u64, Arc<WindowQueryIndex>)>,
+}
+
+impl PublishedWindow {
+    /// Publishes `index` as epoch 1.
+    pub fn new(index: Arc<WindowQueryIndex>) -> Self {
+        Self {
+            current: RwLock::new((1, index)),
+        }
+    }
+
+    /// Pins the current generation: the `(epoch, index)` pair a reader
+    /// answers one request against. Cheap (one `Arc` clone under a brief
+    /// read lock).
+    pub fn pin(&self) -> PinnedEpoch {
+        let guard = self.current.read().expect("published window poisoned");
+        PinnedEpoch {
+            epoch: guard.0,
+            index: Arc::clone(&guard.1),
+        }
+    }
+
+    /// The current epoch number without pinning the index.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().expect("published window poisoned").0
+    }
+
+    /// Atomically installs `index` as the next generation and returns
+    /// its epoch number. Readers pinned on the prior generation keep
+    /// answering against it unaffected.
+    pub fn swap(&self, index: Arc<WindowQueryIndex>) -> u64 {
+        let mut guard = self.current.write().expect("published window poisoned");
+        guard.0 += 1;
+        guard.1 = index;
+        guard.0
+    }
+}
+
+/// One reader's pinned `(epoch, index)` pair (see [`PublishedWindow`]).
+#[derive(Debug, Clone)]
+pub struct PinnedEpoch {
+    epoch: u64,
+    index: Arc<WindowQueryIndex>,
+}
+
+impl PinnedEpoch {
+    /// The epoch this pin was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The pinned immutable index.
+    pub fn index(&self) -> &Arc<WindowQueryIndex> {
+        &self.index
     }
 }
 
@@ -433,9 +532,44 @@ mod tests {
 
     #[test]
     fn build_rejects_empty_and_unsorted() {
-        assert!(WindowQueryIndex::build(&[]).is_err());
+        assert_eq!(
+            WindowQueryIndex::build(&[]).unwrap_err(),
+            QueryIndexError::EmptyWindow
+        );
         let set = SiblingSet::from_pairs(vec![]);
-        assert!(WindowQueryIndex::build(&[(month(2), set.clone()), (month(1), set)]).is_err());
+        assert_eq!(
+            WindowQueryIndex::build(&[(month(2), set.clone()), (month(1), set)]).unwrap_err(),
+            QueryIndexError::UnsortedWindow
+        );
+        assert!(QueryIndexError::EmptyWindow.to_string().contains("empty"));
+        assert!(QueryIndexError::UnsortedWindow
+            .to_string()
+            .contains("ascending"));
+    }
+
+    #[test]
+    fn published_window_swaps_epochs_without_disturbing_pins() {
+        let first = Arc::new(two_month_fixture());
+        let published = PublishedWindow::new(Arc::clone(&first));
+        assert_eq!(published.epoch(), 1);
+        let pin = published.pin();
+        assert_eq!(pin.epoch(), 1);
+        assert_eq!(pin.index().months().len(), 2);
+
+        let next = SiblingSet::from_pairs(vec![pair("10.0.7.0/24", "2600:7::/48", 1, 1)]);
+        let replacement = Arc::new(
+            WindowQueryIndex::build(&[(month(1), next.clone()), (month(3), next)]).unwrap(),
+        );
+        assert_eq!(published.swap(replacement), 2);
+        assert_eq!(published.epoch(), 2);
+        // The old pin still answers against its generation.
+        assert_eq!(pin.epoch(), 1);
+        assert!(Arc::ptr_eq(pin.index(), &first));
+        assert_eq!(pin.index().months(), &[month(1), month(2)]);
+        // A fresh pin sees the new generation.
+        let fresh = published.pin();
+        assert_eq!(fresh.epoch(), 2);
+        assert_eq!(fresh.index().months(), &[month(1), month(3)]);
     }
 
     /// Property: every query family answers bit-identically to a

@@ -167,6 +167,24 @@ impl SnapshotDelta {
         });
     }
 
+    /// Reassembles a delta from its parts — the ingest journal's
+    /// decoder. The category counts are recomputed from the changes;
+    /// the caller guarantees domain-id order (replay preserves the
+    /// encoder's order, and the encoder only ever sees diffed deltas).
+    pub fn from_changes(from: MonthDate, to: MonthDate, changes: Vec<DomainChange>) -> Self {
+        let added = changes.iter().filter(|c| c.is_added()).count();
+        let removed = changes.iter().filter(|c| c.is_removed()).count();
+        let retargeted = changes.iter().filter(|c| c.is_retargeted()).count();
+        Self {
+            from,
+            to,
+            changes,
+            added,
+            removed,
+            retargeted,
+        }
+    }
+
     /// Applies the delta to a base snapshot, producing the target: for
     /// every change, added/retargeted domains are set to their new
     /// addresses and removed domains are deleted. The result carries the

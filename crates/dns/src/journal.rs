@@ -1,0 +1,547 @@
+//! The crash-safe ingest journal (`SIBJRNL`) — write-ahead durability
+//! for live delta ingestion.
+//!
+//! A resident daemon accepting [`SnapshotDelta`]s must not lose an
+//! accepted delta to a crash, so each one is appended here **before** it
+//! is applied to the in-memory window. At startup the journal is
+//! replayed to recover every durably-accepted delta; once a month is
+//! compacted into the snapshot store the journal is reset to empty.
+//!
+//! # Format
+//!
+//! ```text
+//! header (16 bytes):  "SIBJRNL\0" | version u32 | endian tag u32
+//! record:             len u32 | fnv1a-64(payload) u64 | payload
+//! payload:            from u32 | to u32 | change count u32
+//!                     per change: domain u32 | flags u32
+//!                       flags bit0: old side present, bit1: new side
+//!                       per present side: n4 u32, n4×u32, n6 u32, n6×u128
+//! ```
+//!
+//! Integers are native-endian behind the shared [`crate::wire`]
+//! endianness tag, months use the shared date encoding, and the record
+//! checksum is the same FNV-1a 64 the store files use. Records are not
+//! aligned — the journal is decoded by sequential copy, never cast.
+//!
+//! # Durability and torn tails
+//!
+//! `append` follows the store's discipline: write, then `fsync` the
+//! file (the directory is synced once, when the journal is created).
+//! A crash mid-append leaves a **torn tail** — a record whose length
+//! field, payload, or checksum is incomplete. Replay detects the first
+//! such record, discards it *and everything after it* (past a torn
+//! boundary there is no trustworthy framing), and truncates the file
+//! back to the last good record, reporting how many bytes were dropped.
+//! Torn tails are an expected crash artifact, never a panic; genuinely
+//! foreign or version-mismatched files are rejected with the same typed
+//! [`StoreError`]s the snapshot store uses.
+//!
+//! Failpoint sites (`--features failpoints`): `journal::append` (torn
+//! or failed record writes), `journal::sync` (failed fsync — the
+//! not-yet-durable record is chopped back off), `journal::replay`
+//! (short reads at recovery).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::delta::{DomainChange, SnapshotDelta};
+use crate::name::DomainId;
+use crate::snapshot::ResolvedAddrs;
+use crate::store::{sync_dir, StoreError};
+use crate::wire::{self, put_u32, put_u64, read_u32, read_u64, ENDIAN_TAG};
+
+const MAGIC: [u8; 8] = *b"SIBJRNL\0";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 16;
+/// Record framing: length (u32) + payload checksum (u64).
+const RECORD_HEADER: usize = 12;
+
+fn header_bytes() -> [u8; HEADER_LEN] {
+    let mut header = [0u8; HEADER_LEN];
+    header[..8].copy_from_slice(&MAGIC);
+    put_u32(&mut header, 8, VERSION);
+    put_u32(&mut header, 12, ENDIAN_TAG);
+    header
+}
+
+fn push_u32(buf: &mut Vec<u8>, value: u32) {
+    buf.extend_from_slice(&value.to_ne_bytes());
+}
+
+fn push_addrs(buf: &mut Vec<u8>, addrs: &ResolvedAddrs) {
+    push_u32(buf, addrs.v4.len() as u32);
+    for a in &addrs.v4 {
+        buf.extend_from_slice(&a.to_ne_bytes());
+    }
+    push_u32(buf, addrs.v6.len() as u32);
+    for a in &addrs.v6 {
+        buf.extend_from_slice(&a.to_ne_bytes());
+    }
+}
+
+/// Encodes one delta as a record payload (module docs). Also the wire
+/// form the serving layer's `ingest` verb carries (hex-armored), so the
+/// journal and the protocol cannot drift apart.
+pub fn encode_delta(delta: &SnapshotDelta) -> Vec<u8> {
+    let mut buf = Vec::new();
+    push_u32(&mut buf, wire::encode_date(delta.from_date()));
+    push_u32(&mut buf, wire::encode_date(delta.to_date()));
+    push_u32(&mut buf, delta.changes().len() as u32);
+    for change in delta.changes() {
+        push_u32(&mut buf, change.domain.0);
+        let flags = change.old.is_some() as u32 | (change.new.is_some() as u32) << 1;
+        push_u32(&mut buf, flags);
+        if let Some(addrs) = &change.old {
+            push_addrs(&mut buf, addrs);
+        }
+        if let Some(addrs) = &change.new {
+            push_addrs(&mut buf, addrs);
+        }
+    }
+    buf
+}
+
+/// A bounds-checked sequential reader over a record payload. Every read
+/// failure means the (checksum-valid) payload disagrees with its own
+/// counts — a writer bug or format break, reported as [`StoreError::Corrupt`].
+struct PayloadReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    fn take_u32(&mut self) -> Result<u32, StoreError> {
+        if self.bytes.len() - self.at < 4 {
+            return Err(StoreError::Corrupt("journal payload shorter than counts"));
+        }
+        let v = read_u32(self.bytes, self.at);
+        self.at += 4;
+        Ok(v)
+    }
+
+    fn take_addrs(&mut self) -> Result<ResolvedAddrs, StoreError> {
+        let n4 = self.take_u32()? as usize;
+        if (self.bytes.len() - self.at) / 4 < n4 {
+            return Err(StoreError::Corrupt("journal payload shorter than counts"));
+        }
+        let v4: Vec<u32> = (0..n4)
+            .map(|i| read_u32(self.bytes, self.at + i * 4))
+            .collect();
+        self.at += n4 * 4;
+        let n6 = self.take_u32()? as usize;
+        if (self.bytes.len() - self.at) / 16 < n6 {
+            return Err(StoreError::Corrupt("journal payload shorter than counts"));
+        }
+        let v6: Vec<u128> = (0..n6)
+            .map(|i| {
+                u128::from_ne_bytes(
+                    self.bytes[self.at + i * 16..self.at + (i + 1) * 16]
+                        .try_into()
+                        .expect("bounds checked"),
+                )
+            })
+            .collect();
+        self.at += n6 * 16;
+        Ok(ResolvedAddrs { v4, v6 })
+    }
+}
+
+/// Decodes one checksum-valid record payload back into a delta — the
+/// inverse of [`encode_delta`], shared with the serving layer's wire
+/// format.
+pub fn decode_delta(payload: &[u8]) -> Result<SnapshotDelta, StoreError> {
+    let mut r = PayloadReader {
+        bytes: payload,
+        at: 0,
+    };
+    let from = wire::decode_date(r.take_u32()?)
+        .ok_or(StoreError::Corrupt("journal record date out of range"))?;
+    let to = wire::decode_date(r.take_u32()?)
+        .ok_or(StoreError::Corrupt("journal record date out of range"))?;
+    let count = r.take_u32()? as usize;
+    let mut changes = Vec::with_capacity(count.min(payload.len() / 8));
+    for _ in 0..count {
+        let domain = DomainId(r.take_u32()?);
+        let flags = r.take_u32()?;
+        if flags & !0b11 != 0 || flags == 0 {
+            return Err(StoreError::Corrupt("journal change flags invalid"));
+        }
+        let old = (flags & 0b01 != 0).then(|| r.take_addrs()).transpose()?;
+        let new = (flags & 0b10 != 0).then(|| r.take_addrs()).transpose()?;
+        changes.push(DomainChange { domain, old, new });
+    }
+    if r.at != payload.len() {
+        return Err(StoreError::Corrupt("journal payload longer than counts"));
+    }
+    Ok(SnapshotDelta::from_changes(from, to, changes))
+}
+
+/// What replaying the journal at open recovered.
+#[derive(Debug, Default)]
+pub struct ReplayReport {
+    /// Every durably-recorded delta, in append order.
+    pub deltas: Vec<SnapshotDelta>,
+    /// Bytes of torn/corrupt tail discarded (0 on a clean open). The
+    /// file was truncated back to the last good record.
+    pub discarded_bytes: u64,
+}
+
+/// The append-only ingest journal (module docs).
+#[derive(Debug)]
+pub struct IngestJournal {
+    path: PathBuf,
+    file: File,
+    /// End offset of the last durably committed record — where the next
+    /// append writes.
+    end: u64,
+    /// Set when a failed append could not be chopped back off: the tail
+    /// is torn and in-process appends would frame garbage. Recovery is
+    /// a reopen (replay discards the torn tail).
+    poisoned: bool,
+}
+
+impl IngestJournal {
+    /// Opens (or creates) the journal at `path` and replays it.
+    ///
+    /// A missing file is created with a fresh header (file then
+    /// directory fsync'd). A torn tail is truncated away and reported.
+    /// A file that is not a journal — wrong magic, foreign endianness,
+    /// unsupported version — is a typed error; the caller decides
+    /// whether to quarantine.
+    pub fn open(path: &Path) -> Result<(Self, ReplayReport), StoreError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        // Short-read injection for recovery tests: only the first N
+        // bytes of the journal are visible to replay.
+        if let Some(visible) = sibling_failpoint::io_point("journal::replay")? {
+            bytes.truncate(visible);
+        }
+
+        if bytes.len() < HEADER_LEN {
+            // Empty (fresh create) or a crash mid-header-write. Neither
+            // can hold records, so rewriting the header loses nothing —
+            // but only if the fragment is actually ours.
+            if !header_bytes().starts_with(&bytes) {
+                return Err(StoreError::BadMagic);
+            }
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&header_bytes())?;
+            file.sync_all()?;
+            if let Some(dir) = path.parent() {
+                sync_dir(dir)?;
+            }
+            return Ok((
+                Self {
+                    path: path.to_path_buf(),
+                    file,
+                    end: HEADER_LEN as u64,
+                    poisoned: false,
+                },
+                ReplayReport::default(),
+            ));
+        }
+        if bytes[..8] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        if read_u32(&bytes, 12) != ENDIAN_TAG {
+            return Err(StoreError::BadEndian);
+        }
+        let version = read_u32(&bytes, 8);
+        if version != VERSION {
+            return Err(StoreError::BadVersion(version));
+        }
+
+        let mut report = ReplayReport::default();
+        let mut at = HEADER_LEN;
+        loop {
+            let remaining = bytes.len() - at;
+            if remaining == 0 {
+                break;
+            }
+            if remaining < RECORD_HEADER {
+                break; // torn record header
+            }
+            let len = read_u32(&bytes, at) as usize;
+            let want = read_u64(&bytes, at + 4);
+            let Some(payload) = bytes.get(at + RECORD_HEADER..at + RECORD_HEADER + len) else {
+                break; // torn payload
+            };
+            if wire::fnv1a_continue(wire::FNV_OFFSET, payload) != want {
+                break; // torn or bit-flipped payload
+            }
+            // A checksum-valid record that fails structural decode is
+            // not a torn tail — it is a format violation, and silently
+            // discarding it would drop durable data.
+            report.deltas.push(decode_delta(payload)?);
+            at += RECORD_HEADER + len;
+        }
+        if at < bytes.len() {
+            report.discarded_bytes = (bytes.len() - at) as u64;
+            file.set_len(at as u64)?;
+            file.sync_all()?;
+        }
+        Ok((
+            Self {
+                path: path.to_path_buf(),
+                file,
+                end: at as u64,
+                poisoned: false,
+            },
+            report,
+        ))
+    }
+
+    /// Where the journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of bytes of committed records (excluding the header) —
+    /// what a compaction reset will drop.
+    pub fn record_bytes(&self) -> u64 {
+        self.end - HEADER_LEN as u64
+    }
+
+    /// Appends one delta durably: record written, file fsync'd. Only
+    /// after `append` returns `Ok` may the delta be applied to the
+    /// window — that order is the crash-safety argument.
+    ///
+    /// On failure the partial record is chopped back off so the journal
+    /// stays appendable; if even that fails the journal is poisoned and
+    /// every further append errors until a reopen replays around the
+    /// torn tail.
+    pub fn append(&mut self, delta: &SnapshotDelta) -> Result<(), StoreError> {
+        if self.poisoned {
+            return Err(StoreError::Corrupt("journal tail torn by a failed append"));
+        }
+        let payload = encode_delta(delta);
+        let mut record = vec![0u8; RECORD_HEADER];
+        put_u32(&mut record, 0, payload.len() as u32);
+        put_u64(
+            &mut record,
+            4,
+            wire::fnv1a_continue(wire::FNV_OFFSET, &payload),
+        );
+        record.extend_from_slice(&payload);
+        match self.write_record(&record) {
+            Ok(()) => {
+                self.end += record.len() as u64;
+                Ok(())
+            }
+            Err(err) => {
+                if self.file.set_len(self.end).is_err() {
+                    self.poisoned = true;
+                }
+                Err(err)
+            }
+        }
+    }
+
+    fn write_record(&mut self, record: &[u8]) -> Result<(), StoreError> {
+        self.file.seek(SeekFrom::Start(self.end))?;
+        match sibling_failpoint::io_point("journal::append") {
+            Ok(None) => self.file.write_all(record)?,
+            Ok(Some(n)) => {
+                // Torn-write injection: the first N bytes land durably,
+                // then the write "crashes".
+                self.file.write_all(&record[..n.min(record.len())])?;
+                self.file.sync_all()?;
+                return Err(sibling_failpoint::injected("journal::append").into());
+            }
+            Err(e) => return Err(e.into()),
+        }
+        sibling_failpoint::io_point("journal::sync")?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    /// Drops every record (after a compaction has persisted their
+    /// effects elsewhere): the file shrinks back to its header, fsync'd.
+    pub fn reset(&mut self) -> Result<(), StoreError> {
+        self.file.set_len(HEADER_LEN as u64)?;
+        self.file.sync_all()?;
+        self.end = HEADER_LEN as u64;
+        self.poisoned = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::DnsSnapshot;
+    use sibling_net_types::MonthDate;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sibling-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("ingest.sibjrnl")
+    }
+
+    fn snap(date: MonthDate, entries: &[(u32, u32, u128)]) -> DnsSnapshot {
+        let mut s = DnsSnapshot::new(date);
+        for (id, v4, v6) in entries {
+            s.merge(DomainId(*id), vec![*v4], vec![*v6]);
+        }
+        s
+    }
+
+    fn sample_deltas() -> Vec<SnapshotDelta> {
+        let m = |k| MonthDate::new(2024, k);
+        let s1 = snap(m(1), &[(1, 10, 100), (2, 20, 200)]);
+        let s2 = snap(m(2), &[(1, 11, 100), (3, 30, 300)]);
+        let s3 = snap(m(3), &[(3, 30, 300)]);
+        vec![SnapshotDelta::diff(&s1, &s2), SnapshotDelta::diff(&s2, &s3)]
+    }
+
+    #[test]
+    fn append_replay_round_trips() {
+        let path = scratch("roundtrip");
+        let deltas = sample_deltas();
+        {
+            let (mut journal, report) = IngestJournal::open(&path).unwrap();
+            assert!(report.deltas.is_empty());
+            assert_eq!(report.discarded_bytes, 0);
+            for delta in &deltas {
+                journal.append(delta).unwrap();
+            }
+            assert!(journal.record_bytes() > 0);
+        }
+        let (journal, report) = IngestJournal::open(&path).unwrap();
+        assert_eq!(report.discarded_bytes, 0);
+        assert_eq!(report.deltas, deltas);
+        assert!(journal.record_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_delta_and_empty_families_round_trip() {
+        let path = scratch("empty");
+        let m = |k| MonthDate::new(2024, k);
+        // An empty delta (date move only) and single-family entries.
+        let a = snap(m(1), &[(1, 10, 100)]);
+        let b = a.redated(m(2));
+        let mut c = DnsSnapshot::new(m(3));
+        c.merge(DomainId(1), vec![10], vec![]);
+        c.merge(DomainId(2), vec![], vec![7]);
+        let deltas = vec![SnapshotDelta::diff(&a, &b), SnapshotDelta::diff(&b, &c)];
+        let (mut journal, _) = IngestJournal::open(&path).unwrap();
+        for delta in &deltas {
+            journal.append(delta).unwrap();
+        }
+        drop(journal);
+        let (_, report) = IngestJournal::open(&path).unwrap();
+        assert_eq!(report.deltas, deltas);
+        // Applying the replayed chain reproduces the final snapshot.
+        let mut cur = a;
+        for delta in &report.deltas {
+            cur = delta.apply(&cur);
+        }
+        assert_eq!(cur, c);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_truncated() {
+        let path = scratch("torn");
+        let deltas = sample_deltas();
+        {
+            let (mut journal, _) = IngestJournal::open(&path).unwrap();
+            for delta in &deltas {
+                journal.append(delta).unwrap();
+            }
+        }
+        // Crash artifact: garbage after the last record.
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(&[0xAA; 23]).unwrap();
+        drop(file);
+
+        let (_, report) = IngestJournal::open(&path).unwrap();
+        assert_eq!(report.deltas, deltas);
+        assert_eq!(report.discarded_bytes, 23);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        // The reopen after truncation is clean.
+        let (_, report) = IngestJournal::open(&path).unwrap();
+        assert_eq!(report.deltas, deltas);
+        assert_eq!(report.discarded_bytes, 0);
+    }
+
+    #[test]
+    fn bitflip_in_last_record_discards_only_it() {
+        let path = scratch("bitflip");
+        let deltas = sample_deltas();
+        {
+            let (mut journal, _) = IngestJournal::open(&path).unwrap();
+            for delta in &deltas {
+                journal.append(delta).unwrap();
+            }
+        }
+        // Flip one payload byte of the *last* record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() - 1;
+        bytes[at] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, report) = IngestJournal::open(&path).unwrap();
+        assert_eq!(report.deltas, deltas[..1]);
+        assert!(report.discarded_bytes > 0);
+    }
+
+    #[test]
+    fn foreign_files_are_rejected_not_truncated() {
+        let path = scratch("foreign");
+        std::fs::write(&path, b"definitely not a journal, much longer").unwrap();
+        assert!(matches!(
+            IngestJournal::open(&path).unwrap_err(),
+            StoreError::BadMagic
+        ));
+        // Short fragment that is not a header prefix: also rejected.
+        std::fs::write(&path, b"SIBSNAP\0").unwrap();
+        assert!(matches!(
+            IngestJournal::open(&path).unwrap_err(),
+            StoreError::BadMagic
+        ));
+        // A torn fragment of our own header is rewritten cleanly.
+        std::fs::write(&path, &header_bytes()[..7]).unwrap();
+        let (_, report) = IngestJournal::open(&path).unwrap();
+        assert!(report.deltas.is_empty());
+    }
+
+    #[test]
+    fn reset_drops_all_records() {
+        let path = scratch("reset");
+        let deltas = sample_deltas();
+        let (mut journal, _) = IngestJournal::open(&path).unwrap();
+        for delta in &deltas {
+            journal.append(delta).unwrap();
+        }
+        journal.reset().unwrap();
+        assert_eq!(journal.record_bytes(), 0);
+        // Appends after reset still frame correctly.
+        journal.append(&deltas[1]).unwrap();
+        drop(journal);
+        let (_, report) = IngestJournal::open(&path).unwrap();
+        assert_eq!(report.deltas, deltas[1..]);
+    }
+
+    #[test]
+    fn version_bump_is_typed() {
+        let path = scratch("version");
+        let mut header = header_bytes();
+        put_u32(&mut header, 8, 9);
+        std::fs::write(&path, header).unwrap();
+        assert!(matches!(
+            IngestJournal::open(&path).unwrap_err(),
+            StoreError::BadVersion(9)
+        ));
+    }
+}

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod delta;
+mod journal;
 mod name;
 mod record;
 mod resolve;
@@ -49,6 +50,7 @@ mod toplist;
 pub mod wire;
 
 pub use delta::{DomainChange, SnapshotDelta};
+pub use journal::{decode_delta, encode_delta, IngestJournal, ReplayReport};
 pub use name::{DomainId, DomainTable};
 pub use record::{DnsRecord, Zone};
 pub use resolve::{Resolution, ResolveError, Resolver, MAX_CNAME_CHAIN};

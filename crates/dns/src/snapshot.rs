@@ -113,6 +113,24 @@ impl DnsSnapshot {
         out
     }
 
+    /// Materializes any [`crate::SnapshotSource`] into an owned
+    /// snapshot. The live-serve path needs an owned, patchable tail
+    /// month even when the window was loaded zero-copy from the store;
+    /// everything else keeps consuming sources unconverted.
+    pub fn materialize<S: crate::SnapshotSource + ?Sized>(source: &S) -> Self {
+        let mut snap = Self::new(source.snapshot_date());
+        for (domain, v4, v6) in source.addr_entries() {
+            snap.insert(
+                domain,
+                ResolvedAddrs {
+                    v4: v4.to_vec(),
+                    v6: v6.to_vec(),
+                },
+            );
+        }
+        snap
+    }
+
     /// The addresses of `domain`, if present.
     pub fn get(&self, domain: DomainId) -> Option<&ResolvedAddrs> {
         self.entries.get(&domain)

@@ -1,0 +1,541 @@
+//! The write half of a live daemon: the [`IngestSink`] the writer
+//! thread drives, and [`LiveWindow`] — the durable implementation
+//! combining the incremental [`EpochState`] with a write-ahead
+//! [`IngestJournal`] and (optionally) snapshot-store compaction.
+//!
+//! # Durability protocol
+//!
+//! Every accepted delta follows the same order:
+//!
+//! 1. **Journal** — the delta is appended (checksummed, fsynced) to the
+//!    write-ahead journal *before* anything else. From this point the
+//!    delta survives a crash.
+//! 2. **Apply** — [`EpochState::ingest`] patches the private generation
+//!    and builds the replacement index. Any failure or panic here rolls
+//!    back to the committed generation; the journaled record stays, and
+//!    replay re-applies it at the next startup (so a crash between
+//!    append and publish loses nothing).
+//! 3. **Publish** — one [`PublishedWindow::swap`]: readers pinning the
+//!    next request see the new epoch, in-flight requests finish on the
+//!    one they pinned.
+//! 4. **Compact** (append months, with a store) — the previous tail
+//!    month (with every retarget since its own compaction folded in)
+//!    and the new tail month are written to the snapshot store, then
+//!    the journal is truncated. A failure anywhere in this step is
+//!    tolerated: the journal still holds the deltas, so durability is
+//!    unbroken and compaction simply retries at the next append.
+//!
+//! [`LiveWindow::recover`] is the inverse: open the journal (discarding
+//! a torn tail), re-apply every record the committed window does not
+//! already contain, publish once, and compact what replay added.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use sibling_bgp::RibSource;
+use sibling_core::{EpochState, PublishedWindow, WindowQueryIndex};
+use sibling_dns::{DnsSnapshot, IngestJournal, SnapshotDelta, SnapshotStore};
+
+/// What the server's writer thread drives: apply one delta durably and
+/// return the epoch it published. `Err` means the delta was rejected or
+/// rolled back — the serving window is unchanged and the sink must stay
+/// usable for the next delta.
+pub trait IngestSink: Send {
+    /// Applies `delta` end to end (journal, apply, publish, compact)
+    /// and returns the new published epoch.
+    fn ingest(&mut self, delta: &SnapshotDelta) -> Result<u64, String>;
+}
+
+/// What [`LiveWindow::recover`] found and did at startup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverReport {
+    /// Journal records re-applied (the window had crashed, or stopped,
+    /// before compacting them).
+    pub replayed: usize,
+    /// Journal records whose effect the committed window already
+    /// carried (compaction raced the crash) — skipped idempotently.
+    pub skipped: usize,
+    /// Bytes of torn tail record the journal discarded (a crash mid-
+    /// append; the record never acked, so discarding loses nothing).
+    pub discarded_bytes: u64,
+}
+
+/// The durable live window: epoch-published reads over a write-ahead
+/// journaled ingest path.
+pub struct LiveWindow<R: RibSource + Clone> {
+    epoch: EpochState<R>,
+    journal: IngestJournal,
+    store: Option<SnapshotStore>,
+    published: Arc<PublishedWindow>,
+}
+
+impl<R: RibSource + Clone> std::fmt::Debug for LiveWindow<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveWindow")
+            .field("tail", &self.epoch.tail_date())
+            .field("epoch", &self.published.epoch())
+            .field("journal", &self.journal.path())
+            .field("compacts", &self.store.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R: RibSource + Clone> LiveWindow<R> {
+    /// Opens (creating if absent) the journal at `journal_path`, replays
+    /// every surviving record into `epoch`, publishes the recovered
+    /// window once, and compacts what replay added. `epoch`/`index` come
+    /// from [`EpochState::seed`] over the offline-built window.
+    ///
+    /// Replay is idempotent against every crash point of the ingest
+    /// protocol (see the module docs): records whose months the window
+    /// already carries are skipped, retargets of the tail month are
+    /// re-applied (applying a retarget twice is a no-op), and appends
+    /// extend the tail.
+    pub fn recover(
+        epoch: EpochState<R>,
+        index: Arc<WindowQueryIndex>,
+        journal_path: &Path,
+        store: Option<SnapshotStore>,
+    ) -> Result<(Self, RecoverReport), String> {
+        let (journal, replay) = IngestJournal::open(journal_path)
+            .map_err(|e| format!("ingest journal {}: {e}", journal_path.display()))?;
+        let mut live = Self {
+            epoch,
+            journal,
+            store,
+            published: Arc::new(PublishedWindow::new(index)),
+        };
+        let mut report = RecoverReport {
+            discarded_bytes: replay.discarded_bytes,
+            ..RecoverReport::default()
+        };
+        let mut recovered = None;
+        for delta in &replay.deltas {
+            let tail = live.epoch.tail_date();
+            // Skip records the committed window already carries: months
+            // before the tail, and appends *onto* the tail (compaction
+            // wrote them to the store before the crash).
+            if delta.to_date() < tail || (delta.to_date() == tail && delta.from_date() < tail) {
+                report.skipped += 1;
+                continue;
+            }
+            // `reset_on_compact: false` — resetting the journal while
+            // later records still wait to replay would un-journal them
+            // before they are re-applied, losing acked deltas to a
+            // second crash. One reset happens below, after everything.
+            let (index, _) = live.apply(delta, false).map_err(|e| {
+                format!(
+                    "replaying journaled delta {}..{}: {e}",
+                    delta.from_date(),
+                    delta.to_date()
+                )
+            })?;
+            recovered = Some(index);
+            report.replayed += 1;
+        }
+        if let Some(index) = recovered {
+            live.published.swap(index);
+            // Everything replayed; fold the recovered tail (including
+            // trailing retargets) into the store, then the journal can
+            // start empty. No store: the journal stays — it IS the
+            // durability.
+            if let Some(store) = &live.store {
+                if store.write(&**live.epoch.tail_snapshot()).is_ok() {
+                    let _ = live.journal.reset();
+                }
+            }
+        }
+        Ok((live, report))
+    }
+
+    /// The publication cell readers pin — hand it to
+    /// [`crate::QueryPlanner::live`].
+    pub fn published(&self) -> Arc<PublishedWindow> {
+        Arc::clone(&self.published)
+    }
+
+    /// The committed tail month.
+    pub fn tail_date(&self) -> sibling_net_types::MonthDate {
+        self.epoch.tail_date()
+    }
+
+    /// Journal bytes currently awaiting compaction.
+    pub fn journal_backlog(&self) -> u64 {
+        self.journal.record_bytes()
+    }
+
+    /// Applies one delta to the epoch state and compacts if it appended
+    /// a month. Shared by live ingest and recovery replay; does NOT
+    /// journal (live ingest journals first, replay reads the journal)
+    /// and does NOT publish (the callers differ on when). The journal
+    /// is truncated after a successful compaction only when
+    /// `reset_on_compact` — replay defers that to its end.
+    fn apply(
+        &mut self,
+        delta: &SnapshotDelta,
+        reset_on_compact: bool,
+    ) -> Result<(Arc<WindowQueryIndex>, bool), String> {
+        let old_tail: Arc<DnsSnapshot> = Arc::clone(self.epoch.tail_snapshot());
+        let appended = delta.to_date() > old_tail.date();
+        let index = self
+            .epoch
+            .ingest(delta, || {
+                // Failpoint: a crash (panic) or failure between the
+                // journal append and the index publication — the window
+                // must roll back, the journal record must survive.
+                sibling_failpoint::io_point("ingest::publish")
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            })
+            .map_err(|e| e.to_string())?;
+        let mut compacted = false;
+        if appended {
+            if let Some(store) = &self.store {
+                // Compaction failure is not an ingest failure: the
+                // journal still holds the deltas, so durability is
+                // intact and the next append retries.
+                compacted = store
+                    .write(&*old_tail)
+                    .and_then(|_| store.write(&**self.epoch.tail_snapshot()))
+                    .is_ok();
+                if compacted && reset_on_compact {
+                    compacted = self.journal.reset().is_ok();
+                }
+            }
+        }
+        Ok((index, compacted))
+    }
+}
+
+impl<R: RibSource + Clone> IngestSink for LiveWindow<R>
+where
+    R: Send,
+    EpochState<R>: Send,
+{
+    fn ingest(&mut self, delta: &SnapshotDelta) -> Result<u64, String> {
+        // Reject malformed deltas before anything durable happens — a
+        // journaled record must always replay cleanly, so validation
+        // precedes the write-ahead append.
+        self.epoch.validate(delta).map_err(|e| e.to_string())?;
+        // Failpoint: a crash or failure after validation, before the
+        // journal append (the delta is simply lost, never half-durable).
+        sibling_failpoint::io_point("ingest::apply").map_err(|e| e.to_string())?;
+        // Write-ahead: the delta is durable before it is applied.
+        self.journal.append(delta).map_err(|e| e.to_string())?;
+        let (index, _) = self.apply(delta, true)?;
+        Ok(self.published.swap(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    use sibling_bgp::{Rib, RibArchive};
+    use sibling_core::{DetectEngine, EngineConfig, SiblingSet};
+    use sibling_dns::DomainId;
+    use sibling_net_types::{Asn, Ipv4Prefix, Ipv6Prefix, MonthDate};
+
+    fn a4(s: &str) -> u32 {
+        s.parse::<std::net::Ipv4Addr>().unwrap().into()
+    }
+
+    fn a6(s: &str) -> u128 {
+        s.parse::<std::net::Ipv6Addr>().unwrap().into()
+    }
+
+    fn rib() -> Rib {
+        let mut rib = Rib::new();
+        rib.announce("203.0.0.0/16".parse::<Ipv4Prefix>().unwrap(), Asn(1));
+        rib.announce("198.51.0.0/16".parse::<Ipv4Prefix>().unwrap(), Asn(2));
+        rib.announce("2600:1::/32".parse::<Ipv6Prefix>().unwrap(), Asn(1));
+        rib.announce("2600:2::/32".parse::<Ipv6Prefix>().unwrap(), Asn(2));
+        rib
+    }
+
+    fn archive() -> RibArchive {
+        let mut archive = RibArchive::new();
+        archive.insert(MonthDate::new(2024, 1), rib());
+        archive
+    }
+
+    fn month(k: u8) -> MonthDate {
+        MonthDate::new(2024, k)
+    }
+
+    fn snap(date: MonthDate, entries: &[(u32, &str, &str)]) -> Arc<DnsSnapshot> {
+        let mut s = DnsSnapshot::new(date);
+        for (id, v4, v6) in entries {
+            s.merge(DomainId(*id), vec![a4(v4)], vec![a6(v6)]);
+        }
+        Arc::new(s)
+    }
+
+    fn recompute(snaps: &[Arc<DnsSnapshot>]) -> Vec<(MonthDate, SiblingSet)> {
+        let mut engine = DetectEngine::default();
+        let dates: Vec<MonthDate> = snaps.iter().map(|s| s.date()).collect();
+        let by_date: std::collections::BTreeMap<MonthDate, Arc<DnsSnapshot>> =
+            snaps.iter().map(|s| (s.date(), Arc::clone(s))).collect();
+        engine
+            .run_window(dates[0], *dates.last().unwrap(), &archive(), |d| {
+                Arc::clone(&by_date[&d])
+            })
+            .unwrap()
+            .results
+    }
+
+    /// Seeds the offline window over `snaps` — what the CLI rebuilds at
+    /// startup from worldgen or the snapshot store before recovery.
+    fn seeded(snaps: &[Arc<DnsSnapshot>]) -> (EpochState<Arc<Rib>>, Arc<WindowQueryIndex>) {
+        EpochState::seed(
+            EngineConfig::default(),
+            archive(),
+            recompute(snaps),
+            Arc::clone(snaps.last().unwrap()),
+        )
+        .unwrap()
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sibling-live-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// The window's observable read surface, for bit-identity checks.
+    fn rows(index: &WindowQueryIndex) -> Vec<String> {
+        index.stats().map(|s| s.batch_row()).collect()
+    }
+
+    fn fixture() -> (Arc<DnsSnapshot>, Arc<DnsSnapshot>, Arc<DnsSnapshot>) {
+        let s1 = snap(
+            month(1),
+            &[
+                (1, "203.0.1.1", "2600:1::1"),
+                (2, "203.0.1.2", "2600:2::2"),
+                (3, "198.51.1.3", "2600:2::3"),
+            ],
+        );
+        // Month 2: domain 2 moves org (an append-month delta)…
+        let s2 = snap(
+            month(2),
+            &[
+                (1, "203.0.1.1", "2600:1::1"),
+                (2, "198.51.1.2", "2600:2::2"),
+                (3, "198.51.1.3", "2600:2::3"),
+            ],
+        );
+        // …then domain 1 retargets within month 2.
+        let s2b = snap(
+            month(2),
+            &[
+                (1, "203.0.1.1", "2600:2::1"),
+                (2, "198.51.1.2", "2600:2::2"),
+                (3, "198.51.1.3", "2600:2::3"),
+            ],
+        );
+        (s1, s2, s2b)
+    }
+
+    #[test]
+    fn ingest_survives_restart_via_journal_replay() {
+        let dir = scratch("replay");
+        let journal = dir.join("ingest.sibjrnl");
+        let (s1, s2, s2b) = fixture();
+
+        let (epoch, index) = seeded(std::slice::from_ref(&s1));
+        let (mut live, report) = LiveWindow::recover(epoch, index, &journal, None).unwrap();
+        assert_eq!(report, RecoverReport::default());
+        assert_eq!(live.published().epoch(), 1);
+
+        assert_eq!(live.ingest(&SnapshotDelta::diff(&s1, &s2)).unwrap(), 2);
+        assert_eq!(live.ingest(&SnapshotDelta::diff(&s2, &s2b)).unwrap(), 3);
+        assert_eq!(live.tail_date(), month(2));
+        assert!(live.journal_backlog() > 0, "no store: journal retained");
+        let served = live.published().pin();
+        assert_eq!(served.index().months(), &[month(1), month(2)]);
+
+        // "Restart": rebuild the offline window (month 1 only — months
+        // 2's deltas lived only in the journal) and recover.
+        drop(live);
+        let (epoch, index) = seeded(std::slice::from_ref(&s1));
+        let (live, report) = LiveWindow::recover(epoch, index, &journal, None).unwrap();
+        assert_eq!((report.replayed, report.skipped), (2, 0));
+        assert_eq!(report.discarded_bytes, 0);
+        assert_eq!(live.tail_date(), month(2));
+
+        // Bit-identical to a batch recompute over the final snapshots.
+        let reference = Arc::new(WindowQueryIndex::build(&recompute(&[s1, s2b])).unwrap());
+        let recovered = live.published().pin();
+        assert_eq!(recovered.index().months(), reference.months());
+        assert_eq!(rows(recovered.index()), rows(&reference));
+    }
+
+    #[test]
+    fn malformed_deltas_never_reach_the_journal() {
+        let dir = scratch("validate");
+        let journal = dir.join("ingest.sibjrnl");
+        let (s1, s2, s2b) = fixture();
+
+        let (epoch, index) = seeded(std::slice::from_ref(&s1));
+        let (mut live, _) = LiveWindow::recover(epoch, index, &journal, None).unwrap();
+        // Non-contiguous: base month 2, tail month 1.
+        let err = live.ingest(&SnapshotDelta::diff(&s2, &s2b)).unwrap_err();
+        assert!(err.contains("2024-02"), "{err}");
+        assert_eq!(live.journal_backlog(), 0, "rejected delta journaled");
+        assert_eq!(live.published().epoch(), 1);
+
+        // A restart replays nothing and serves the seeded window.
+        drop(live);
+        let (epoch, index) = seeded(std::slice::from_ref(&s1));
+        let (live, report) = LiveWindow::recover(epoch, index, &journal, None).unwrap();
+        assert_eq!(report, RecoverReport::default());
+        assert_eq!(live.tail_date(), month(1));
+    }
+
+    #[test]
+    fn compaction_moves_durability_from_journal_to_store() {
+        let dir = scratch("compact");
+        let journal = dir.join("ingest.sibjrnl");
+        let store_dir = dir.join("store");
+        std::fs::create_dir_all(&store_dir).unwrap();
+        let (s1, s2, s2b) = fixture();
+
+        let (epoch, index) = seeded(std::slice::from_ref(&s1));
+        let store = SnapshotStore::open(&store_dir).unwrap();
+        let (mut live, _) = LiveWindow::recover(epoch, index, &journal, Some(store)).unwrap();
+
+        // An append compacts: both tail months land in the store and
+        // the journal empties.
+        live.ingest(&SnapshotDelta::diff(&s1, &s2)).unwrap();
+        let store = SnapshotStore::open(&store_dir).unwrap();
+        assert!(store.contains(month(1)) && store.contains(month(2)));
+        assert_eq!(live.journal_backlog(), 0);
+
+        // A retarget does not compact — it waits in the journal for the
+        // next append (or the next recovery).
+        live.ingest(&SnapshotDelta::diff(&s2, &s2b)).unwrap();
+        assert!(live.journal_backlog() > 0);
+
+        // Recovery folds the waiting retarget into the stored tail
+        // month and starts with an empty journal. The offline window is
+        // seeded over the store's months — the compacted append is
+        // already there, so only the retarget replays.
+        drop(live);
+        let (epoch, index) = seeded(&[Arc::clone(&s1), Arc::clone(&s2)]);
+        let store = SnapshotStore::open(&store_dir).unwrap();
+        let (live, report) = LiveWindow::recover(epoch, index, &journal, Some(store)).unwrap();
+        assert_eq!((report.replayed, report.skipped), (1, 0));
+        assert_eq!(live.journal_backlog(), 0);
+        let stored = SnapshotStore::open(&store_dir)
+            .unwrap()
+            .load(month(2))
+            .unwrap();
+        assert_eq!(DnsSnapshot::materialize(&*stored), *s2b);
+    }
+
+    /// Property: under ANY interleaving of ingests and queries, a query
+    /// answers bit-identically to a batch recompute over exactly the
+    /// months its pinned epoch carries — and pins taken earlier keep
+    /// answering their own generation after later publishes.
+    #[test]
+    fn prop_any_interleaving_matches_batch_recompute_at_the_pinned_epoch() {
+        use proptest::collection::vec;
+        use proptest::test_runner::TestRunner;
+
+        // A deterministic snapshot chain: month `k`'s entries depend on
+        // `k` (domain 2 flips org with parity, so appends really churn
+        // pairs), and `retargeted` flips domain 1's v6 org within the
+        // month (the intra-month retarget delta).
+        fn chain(k: u8, retargeted: bool) -> Arc<DnsSnapshot> {
+            let v4_2 = if k.is_multiple_of(2) {
+                "198.51.1.2"
+            } else {
+                "203.0.1.2"
+            };
+            let v6_1 = if retargeted { "2600:2::1" } else { "2600:1::1" };
+            snap(
+                month(k),
+                &[
+                    (1, "203.0.1.1", v6_1),
+                    (2, v4_2, "2600:2::2"),
+                    (3, "198.51.1.3", "2600:2::3"),
+                ],
+            )
+        }
+
+        let dir = scratch("prop-interleave");
+        let mut case = 0u32;
+        let mut runner = TestRunner::default();
+        runner
+            .run(&vec(0u8..3, 1..10), |ops| {
+                case += 1;
+                let journal = dir.join(format!("case-{case}.sibjrnl"));
+                // Truth the live window must track: the materialized
+                // snapshots of every month applied so far.
+                let mut snaps = vec![chain(1, false)];
+                let mut tail_k = 1u8;
+                let mut retargeted = false;
+                let (epoch, index) = seeded(&snaps);
+                let (mut live, _) = LiveWindow::recover(epoch, index, &journal, None).unwrap();
+                let mut expected_epoch = 1u64;
+                // Pins taken at query time, with the rows they answered
+                // then — re-checked after the interleaving finishes.
+                let mut pins = Vec::new();
+                for op in ops {
+                    match op {
+                        // Append the next month.
+                        0 => {
+                            let next = chain(tail_k + 1, false);
+                            let delta = SnapshotDelta::diff(snaps.last().unwrap(), &next);
+                            live.ingest(&delta).unwrap();
+                            snaps.push(next);
+                            tail_k += 1;
+                            retargeted = false;
+                            expected_epoch += 1;
+                        }
+                        // Retarget within the tail month (idempotent
+                        // when already retargeted: an empty delta).
+                        1 => {
+                            let next = chain(tail_k, true);
+                            let delta = SnapshotDelta::diff(snaps.last().unwrap(), &next);
+                            live.ingest(&delta).unwrap();
+                            *snaps.last_mut().unwrap() = next;
+                            retargeted = true;
+                            expected_epoch += 1;
+                        }
+                        // Query: pin, compare against a batch recompute
+                        // over exactly the pinned months.
+                        _ => {
+                            let pin = live.published().pin();
+                            let batch = WindowQueryIndex::build(&recompute(&snaps)).unwrap();
+                            assert_eq!(pin.epoch(), expected_epoch);
+                            assert_eq!(
+                                rows(pin.index()),
+                                rows(&batch),
+                                "pinned epoch {} diverged from batch recompute (tail {}, \
+                                 retargeted {retargeted})",
+                                pin.epoch(),
+                                month(tail_k)
+                            );
+                            pins.push((pin, rows(&batch)));
+                        }
+                    }
+                }
+                assert_eq!(live.published().epoch(), expected_epoch);
+                // Earlier pins still answer their own generation.
+                for (pin, rows_then) in &pins {
+                    assert_eq!(
+                        &rows(pin.index()),
+                        rows_then,
+                        "pin {} disturbed",
+                        pin.epoch()
+                    );
+                }
+                Ok(())
+            })
+            .unwrap();
+    }
+}

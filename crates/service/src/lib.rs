@@ -25,11 +25,13 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod ingest;
 pub mod planner;
 pub mod protocol;
 pub mod server;
 
 pub use client::{Client, RetryPolicy};
+pub use ingest::{IngestSink, LiveWindow, RecoverReport};
 pub use planner::QueryPlanner;
 pub use protocol::{parse_request, ProtocolError, Request, Response};
 pub use server::{
@@ -318,6 +320,160 @@ mod tests {
                 Ok(())
             })
             .unwrap();
+    }
+
+    /// A minimal writer for wire-path tests: every accepted append
+    /// publishes a one-pair month, without the full engine behind it.
+    struct StubSink {
+        window: Arc<sibling_core::PublishedWindow>,
+        months: Vec<(MonthDate, SiblingSet)>,
+    }
+
+    impl IngestSink for StubSink {
+        fn ingest(&mut self, delta: &sibling_dns::SnapshotDelta) -> Result<u64, String> {
+            let tail = self.months.last().expect("seeded").0;
+            if delta.from_date() != tail {
+                return Err(format!(
+                    "delta base {} is not the tail {tail}",
+                    delta.from_date()
+                ));
+            }
+            self.months.push((
+                delta.to_date(),
+                SiblingSet::from_pairs(vec![SiblingPair {
+                    v4: "10.0.0.0/24".parse().unwrap(),
+                    v6: "2600:1::/48".parse().unwrap(),
+                    similarity: Ratio::ONE,
+                    shared_domains: 1,
+                    v4_domains: 1,
+                    v6_domains: 1,
+                }]),
+            ));
+            let index = WindowQueryIndex::build(&self.months).map_err(|e| e.to_string())?;
+            Ok(self.window.swap(Arc::new(index)))
+        }
+    }
+
+    #[test]
+    fn live_daemon_ingests_over_the_wire() {
+        use sibling_dns::{DnsSnapshot, SnapshotDelta};
+        let seed = SiblingSet::from_pairs(vec![SiblingPair {
+            v4: "10.0.0.0/24".parse().unwrap(),
+            v6: "2600:1::/48".parse().unwrap(),
+            similarity: Ratio::ONE,
+            shared_domains: 1,
+            v4_domains: 1,
+            v6_domains: 1,
+        }]);
+        let months = vec![(MonthDate::new(2024, 1), seed)];
+        let index = WindowQueryIndex::build(&months).unwrap();
+        let window = Arc::new(sibling_core::PublishedWindow::new(Arc::new(index)));
+        let sink = StubSink {
+            window: Arc::clone(&window),
+            months,
+        };
+        let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let handle = server
+            .start_live(
+                QueryPlanner::live(window),
+                ThreadPool::with_threads(2),
+                2,
+                ServeOptions::default(),
+                Box::new(sink),
+            )
+            .unwrap();
+        let mut client = Client::connect(handle.endpoint()).unwrap();
+        assert_eq!(
+            client.roundtrip("epoch").unwrap(),
+            Response::Ok(vec!["1".into()])
+        );
+
+        // An empty month-over-month delta carried as hex.
+        let delta = SnapshotDelta::diff(
+            &DnsSnapshot::new(MonthDate::new(2024, 1)),
+            &DnsSnapshot::new(MonthDate::new(2024, 2)),
+        );
+        let line = Request::Ingest(delta).to_string();
+        assert_eq!(
+            client.roundtrip(&line).unwrap(),
+            Response::Ok(vec!["2".into()]),
+            "ingest answers the published epoch"
+        );
+        assert_eq!(
+            client.roundtrip("months").unwrap(),
+            Response::Ok(vec!["2024-01".into(), "2024-02".into()])
+        );
+        assert_eq!(
+            client.roundtrip("epoch").unwrap(),
+            Response::Ok(vec!["2".into()])
+        );
+
+        // A stale delta fails typed, without advancing the epoch.
+        let stale = SnapshotDelta::diff(
+            &DnsSnapshot::new(MonthDate::new(2024, 1)),
+            &DnsSnapshot::new(MonthDate::new(2024, 2)),
+        );
+        match client
+            .roundtrip(&Request::Ingest(stale).to_string())
+            .unwrap()
+        {
+            Response::Err { code, message } => {
+                assert_eq!(code, "ingest-failed");
+                assert!(message.contains("2024-01"), "{message}");
+            }
+            other => panic!("expected ingest-failed, got {other:?}"),
+        }
+
+        // Health reflects the writer's counters.
+        match client.roundtrip("health").unwrap() {
+            Response::Ok(lines) => {
+                for want in [
+                    "months 2",
+                    "epoch 2",
+                    "ingests 2",
+                    "ingest-failures 1",
+                    "epochs-published 1",
+                    "ingest-lag 0",
+                ] {
+                    assert!(
+                        lines.iter().any(|l| l == want),
+                        "missing {want:?} in {lines:?}"
+                    );
+                }
+            }
+            other => panic!("expected health lines, got {other:?}"),
+        }
+        let stats = handle.stats();
+        assert_eq!(
+            (stats.ingests, stats.ingest_failures, stats.epochs),
+            (2, 1, 1)
+        );
+    }
+
+    #[test]
+    fn read_only_daemons_reject_ingest_with_a_typed_error() {
+        use sibling_dns::{DnsSnapshot, SnapshotDelta};
+        let handle = start_tcp(1);
+        let mut client = Client::connect(handle.endpoint()).unwrap();
+        let delta = SnapshotDelta::diff(
+            &DnsSnapshot::new(MonthDate::new(2024, 1)),
+            &DnsSnapshot::new(MonthDate::new(2024, 2)),
+        );
+        match client
+            .roundtrip(&Request::Ingest(delta).to_string())
+            .unwrap()
+        {
+            Response::Err { code, message } => {
+                assert_eq!(code, "read-only");
+                assert!(message.contains("--ingest"), "{message}");
+            }
+            other => panic!("expected read-only, got {other:?}"),
+        }
+        // The connection keeps serving reads.
+        assert_eq!(
+            client.roundtrip("ping").unwrap(),
+            Response::Ok(vec!["pong".into()])
+        );
     }
 
     #[cfg(unix)]

@@ -11,17 +11,22 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use sibling_core::query::{MonthStats, MonthView, WindowQueryIndex};
-use sibling_core::SiblingPair;
+use sibling_core::{PublishedWindow, SiblingPair};
 use sibling_net_types::MonthDate;
 
 use crate::protocol::{parse_request, ProtocolError, Request};
+use crate::server::ServeStats;
 
-/// Executes requests against one published window index. Cloning is an
-/// `Arc` bump — each reader thread owns a clone and shares the index
-/// lock-free.
+/// Executes requests against the published window. Cloning is an `Arc`
+/// bump — each reader thread owns a clone and shares the window
+/// lock-free apart from the one epoch-pin read per request.
 #[derive(Debug, Clone)]
 pub struct QueryPlanner {
-    index: Arc<WindowQueryIndex>,
+    window: Arc<PublishedWindow>,
+    /// The serving counters the `health` verb reports — attached by the
+    /// server when it starts; `None` (all-zero health counters) when the
+    /// planner is used standalone.
+    stats: Option<Arc<ServeStats>>,
 }
 
 /// Renders one sibling pair as a response data line (sans newline):
@@ -42,14 +47,36 @@ fn write_pair(out: &mut String, pair: &SiblingPair) {
 }
 
 impl QueryPlanner {
-    /// A planner over a published index.
+    /// A planner over a static index: wraps it as epoch 1 of a window
+    /// that is never swapped. The common read-only serving path.
     pub fn new(index: Arc<WindowQueryIndex>) -> Self {
-        Self { index }
+        Self::live(Arc::new(PublishedWindow::new(index)))
     }
 
-    /// The served index.
-    pub fn index(&self) -> &Arc<WindowQueryIndex> {
-        &self.index
+    /// A planner over a live window whose index a writer republishes
+    /// with [`PublishedWindow::swap`].
+    pub fn live(window: Arc<PublishedWindow>) -> Self {
+        Self {
+            window,
+            stats: None,
+        }
+    }
+
+    /// The currently published index (an epoch-pinned `Arc` clone).
+    pub fn index(&self) -> Arc<WindowQueryIndex> {
+        Arc::clone(self.window.pin().index())
+    }
+
+    /// The published window this planner reads.
+    pub fn window(&self) -> &Arc<PublishedWindow> {
+        &self.window
+    }
+
+    /// Attaches the serving counters the `health` verb reports. The
+    /// server calls this when it starts; detached planners answer
+    /// `health` with zero counters.
+    pub fn attach_stats(&mut self, stats: Arc<ServeStats>) {
+        self.stats = Some(stats);
     }
 
     /// Answers one raw request line, replacing `out` with the complete
@@ -98,39 +125,47 @@ impl QueryPlanner {
 
     /// Resolves a month to its view, mapping absence to the typed
     /// out-of-window error (naming the loaded range).
-    fn view(&self, month: MonthDate) -> Result<MonthView<'_>, ProtocolError> {
-        self.index.month(month).ok_or_else(|| {
-            let (first, last) = self.index.bounds();
+    fn view<'a>(
+        index: &'a WindowQueryIndex,
+        month: MonthDate,
+    ) -> Result<MonthView<'a>, ProtocolError> {
+        index.month(month).ok_or_else(|| {
+            let (first, last) = index.bounds();
             ProtocolError::OutOfWindow { month, first, last }
         })
     }
 
-    /// Executes a parsed request, appending the response to `out`.
+    /// Executes a parsed request, appending the response to `out`. The
+    /// request pins the published epoch once up front, so every line of
+    /// a multi-line answer describes the same generation even while a
+    /// writer publishes new ones.
     pub fn answer(&self, request: &Request, out: &mut String) -> Result<(), ProtocolError> {
+        let pin = self.window.pin();
+        let index = pin.index().as_ref();
         match request {
             Request::Ping => out.push_str("ok 1\npong\n"),
             Request::Months => {
-                let months = self.index.months();
+                let months = index.months();
                 let _ = writeln!(out, "ok {}", months.len());
                 for month in months {
                     let _ = writeln!(out, "{month}");
                 }
             }
             Request::Stats { month: None } => {
-                let _ = writeln!(out, "ok {}", self.index.months().len());
-                for stats in self.index.stats() {
+                let _ = writeln!(out, "ok {}", index.months().len());
+                for stats in index.stats() {
                     out.push_str(&stats.batch_row());
                     out.push('\n');
                 }
             }
             Request::Stats { month: Some(month) } => {
-                let view = self.view(*month)?;
+                let view = Self::view(index, *month)?;
                 out.push_str("ok 1\n");
                 out.push_str(&view.stats().batch_row());
                 out.push('\n');
             }
             Request::Point { v4, v6, month } => {
-                let view = self.view(*month)?;
+                let view = Self::view(index, *month)?;
                 match view.point(v4, v6) {
                     Some(pair) => {
                         out.push_str("ok 1\n");
@@ -142,7 +177,7 @@ impl QueryPlanner {
                 }
             }
             Request::Partners { prefix, month, k } => {
-                let view = self.view(*month)?;
+                let view = Self::view(index, *month)?;
                 let _ = writeln!(out, "ok {}", view.partners(prefix, *k).count());
                 for pair in view.partners(prefix, *k) {
                     write_pair(out, pair);
@@ -150,14 +185,43 @@ impl QueryPlanner {
                 }
             }
             Request::History { v4, v6, from, to } => {
-                let count = self.index.history(v4, v6, *from, *to).count();
+                let count = index.history(v4, v6, *from, *to).count();
                 let _ = writeln!(out, "ok {count}");
-                for (month, pair) in self.index.history(v4, v6, *from, *to) {
+                for (month, pair) in index.history(v4, v6, *from, *to) {
                     let _ = write!(out, "{month} ");
                     write_pair(out, pair);
                     out.push('\n');
                 }
             }
+            Request::Epoch => {
+                let _ = write!(out, "ok 1\n{}\n", pin.epoch());
+            }
+            Request::Health => {
+                let stats = self
+                    .stats
+                    .as_deref()
+                    .map(ServeStats::snapshot)
+                    .unwrap_or_default();
+                let lag = stats
+                    .ingests
+                    .saturating_sub(stats.ingest_failures + stats.epochs);
+                out.push_str("ok 11\n");
+                let _ = writeln!(out, "months {}", index.months().len());
+                let _ = writeln!(out, "epoch {}", pin.epoch());
+                let _ = writeln!(out, "ingests {}", stats.ingests);
+                let _ = writeln!(out, "ingest-failures {}", stats.ingest_failures);
+                let _ = writeln!(out, "epochs-published {}", stats.epochs);
+                let _ = writeln!(out, "ingest-lag {lag}");
+                let _ = writeln!(out, "served {}", stats.served);
+                let _ = writeln!(out, "shed-connections {}", stats.shed_connections);
+                let _ = writeln!(out, "shed-requests {}", stats.shed_requests);
+                let _ = writeln!(out, "timeouts {}", stats.timeouts);
+                let _ = writeln!(out, "panics {}", stats.panics);
+            }
+            // The socket server routes `ingest` to its writer thread
+            // before the planner sees it; reaching this arm means the
+            // daemon has no writer.
+            Request::Ingest(_) => return Err(ProtocolError::ReadOnly),
         }
         Ok(())
     }
@@ -284,6 +348,57 @@ mod tests {
         // Malformed lines keep their own codes even under pressure.
         planner.answer_line_under_pressure("bogus", &mut out, pressure);
         assert!(out.starts_with("err unknown-verb "), "{out:?}");
+    }
+
+    #[test]
+    fn epoch_and_health_answer_on_static_windows() {
+        // A static window is epoch 1 forever.
+        assert_eq!(answer("epoch"), "ok 1\n1\n");
+        let health = answer("health");
+        assert!(
+            health.starts_with("ok 11\nmonths 2\nepoch 1\n"),
+            "{health:?}"
+        );
+        // Detached planner: all serving counters read zero.
+        for line in ["ingests 0", "ingest-lag 0", "served 0", "panics 0"] {
+            assert!(health.contains(&format!("\n{line}\n")), "{health:?}");
+        }
+    }
+
+    #[test]
+    fn ingest_without_a_writer_is_read_only() {
+        use sibling_dns::{DnsSnapshot, SnapshotDelta};
+        let delta = SnapshotDelta::diff(
+            &DnsSnapshot::new(MonthDate::new(2024, 2)),
+            &DnsSnapshot::new(MonthDate::new(2024, 3)),
+        );
+        let out = answer(&Request::Ingest(delta).to_string());
+        assert!(out.starts_with("err read-only "), "{out:?}");
+    }
+
+    #[test]
+    fn live_planner_follows_published_swaps() {
+        let planner = planner();
+        let window = Arc::clone(planner.window());
+        let live = QueryPlanner::live(Arc::clone(&window));
+        assert_eq!(
+            {
+                let mut out = String::new();
+                live.answer_line("months", &mut out);
+                out
+            },
+            "ok 2\n2024-01\n2024-02\n"
+        );
+        // A writer publishes a replacement window; the same planner
+        // serves it at the next request.
+        let m3 = SiblingSet::from_pairs(vec![pair("10.0.0.0/24", "2600:1::/48", 2, 3)]);
+        let index = WindowQueryIndex::build(&[(MonthDate::new(2024, 3), m3)]).unwrap();
+        assert_eq!(window.swap(Arc::new(index)), 2);
+        let mut out = String::new();
+        live.answer_line("months", &mut out);
+        assert_eq!(out, "ok 1\n2024-03\n");
+        live.answer_line("epoch", &mut out);
+        assert_eq!(out, "ok 1\n2\n");
     }
 
     #[test]

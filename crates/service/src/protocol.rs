@@ -11,6 +11,12 @@
 //! partners P M K                top-K partners of prefix P (either family)
 //!                               in month M; K = 0 means the full ranked run
 //! pair P4 P6 FROM..TO           history of (P4, P6) over the month range
+//! epoch                         the currently published epoch number
+//! health                        daemon health: months, epoch, ingest lag,
+//!                               shed/timeout counters
+//! ingest HEX                    apply one hex-armored snapshot delta
+//!                               (journal payload encoding); writer daemons
+//!                               only
 //! ```
 //!
 //! Responses are `ok N` followed by exactly `N` data lines, or a single
@@ -20,10 +26,11 @@
 
 use std::fmt;
 
+use sibling_dns::SnapshotDelta;
 use sibling_net_types::{AnyPrefix, Ipv4Prefix, Ipv6Prefix, MonthDate};
 
 /// A parsed request — one per protocol verb.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// `ping`
     Ping,
@@ -63,6 +70,13 @@ pub enum Request {
         /// Last month of the range (inclusive).
         to: MonthDate,
     },
+    /// `epoch`
+    Epoch,
+    /// `health`
+    Health,
+    /// `ingest HEX` — one snapshot delta, hex-armored in the journal's
+    /// payload encoding ([`sibling_dns::encode_delta`]).
+    Ingest(SnapshotDelta),
 }
 
 impl Request {
@@ -75,8 +89,38 @@ impl Request {
             Request::Point { .. } => "siblings",
             Request::Partners { .. } => "partners",
             Request::History { .. } => "pair",
+            Request::Epoch => "epoch",
+            Request::Health => "health",
+            Request::Ingest(_) => "ingest",
         }
     }
+}
+
+/// Lower-case hex of `bytes` — the armor for `ingest` payloads, which
+/// must survive a whitespace-separated line protocol.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+    }
+    out
+}
+
+/// Decodes hex produced by [`to_hex`] (either case). `None` on odd
+/// length or a non-hex digit.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    s.as_bytes()
+        .chunks_exact(2)
+        .map(|pair| {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            Some(((hi << 4) | lo) as u8)
+        })
+        .collect()
 }
 
 impl fmt::Display for Request {
@@ -91,6 +135,11 @@ impl fmt::Display for Request {
             Request::Point { v4, v6, month } => write!(f, "siblings {v4} {v6} {month}"),
             Request::Partners { prefix, month, k } => write!(f, "partners {prefix} {month} {k}"),
             Request::History { v4, v6, from, to } => write!(f, "pair {v4} {v6} {from}..{to}"),
+            Request::Epoch => write!(f, "epoch"),
+            Request::Health => write!(f, "health"),
+            Request::Ingest(delta) => {
+                write!(f, "ingest {}", to_hex(&sibling_dns::encode_delta(delta)))
+            }
         }
     }
 }
@@ -147,6 +196,16 @@ pub enum ProtocolError {
         /// The budget that was exhausted, in milliseconds.
         budget_ms: u64,
     },
+    /// An `ingest` was sent to a daemon serving a static window (no
+    /// `--ingest` journal). Not retryable against this daemon.
+    ReadOnly,
+    /// An accepted `ingest` failed to apply — validation, journal, or
+    /// publication. The daemon has rolled back to its last published
+    /// epoch; the message carries the underlying cause.
+    IngestFailed {
+        /// The underlying failure, rendered.
+        detail: String,
+    },
 }
 
 impl ProtocolError {
@@ -160,6 +219,8 @@ impl ProtocolError {
             ProtocolError::OutOfWindow { .. } => "out-of-window",
             ProtocolError::Busy { .. } => "busy",
             ProtocolError::Timeout { .. } => "timeout",
+            ProtocolError::ReadOnly => "read-only",
+            ProtocolError::IngestFailed { .. } => "ingest-failed",
         }
     }
 
@@ -176,7 +237,7 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Empty => write!(f, "empty request line"),
             ProtocolError::UnknownVerb(verb) => write!(
                 f,
-                "unknown verb {verb:?} (ping|months|stats|siblings|partners|pair)"
+                "unknown verb {verb:?} (ping|months|stats|siblings|partners|pair|epoch|health|ingest)"
             ),
             ProtocolError::Usage { verb, usage } => write!(f, "usage: {verb} {usage}"),
             ProtocolError::BadArg {
@@ -195,6 +256,12 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::Timeout { what, budget_ms } => {
                 write!(f, "{what} exceeded its {budget_ms} ms deadline")
+            }
+            ProtocolError::ReadOnly => {
+                write!(f, "daemon serves a static window; start with --ingest to accept deltas")
+            }
+            ProtocolError::IngestFailed { detail } => {
+                write!(f, "ingest rejected, window rolled back: {detail}")
             }
         }
     }
@@ -227,6 +294,17 @@ fn parse_any(s: &str) -> Result<AnyPrefix, ProtocolError> {
             input: s.into(),
             detail: format!("neither IPv4 nor IPv6 prefix ({e:?})"),
         }),
+    }
+}
+
+/// Truncates a long token (an ingest hex blob can run to megabytes) so
+/// the offending input quoted in an error stays one readable line.
+fn abbreviate(s: &str) -> String {
+    const KEEP: usize = 32;
+    if s.len() <= KEEP {
+        s.into()
+    } else {
+        format!("{}… ({} chars)", &s[..KEEP], s.len())
     }
 }
 
@@ -304,6 +382,31 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
                 })
             }
             _ => Err(usage("pair", "V4/LEN V6/LEN FROM..TO")),
+        },
+        "epoch" => match args[..] {
+            [] => Ok(Request::Epoch),
+            _ => Err(usage("epoch", "(no arguments)")),
+        },
+        "health" => match args[..] {
+            [] => Ok(Request::Health),
+            _ => Err(usage("health", "(no arguments)")),
+        },
+        "ingest" => match args[..] {
+            [hex] => {
+                let bytes = from_hex(hex).ok_or_else(|| ProtocolError::BadArg {
+                    what: "delta",
+                    input: abbreviate(hex),
+                    detail: "not an even-length hex string".into(),
+                })?;
+                let delta =
+                    sibling_dns::decode_delta(&bytes).map_err(|e| ProtocolError::BadArg {
+                        what: "delta",
+                        input: abbreviate(hex),
+                        detail: e.to_string(),
+                    })?;
+                Ok(Request::Ingest(delta))
+            }
+            _ => Err(usage("ingest", "HEX-ENCODED-DELTA")),
         },
         other => Err(ProtocolError::UnknownVerb(other.into())),
     }
@@ -398,8 +501,88 @@ mod tests {
                 to: MonthDate::new(2024, 6),
             }
         );
+        assert_eq!(req("epoch"), Request::Epoch);
+        assert_eq!(req("health"), Request::Health);
         // Whitespace is insignificant.
         assert_eq!(req("  ping  "), Request::Ping);
+    }
+
+    fn sample_delta() -> SnapshotDelta {
+        use sibling_dns::{DnsSnapshot, DomainId, ResolvedAddrs};
+        let mut a = DnsSnapshot::new(MonthDate::new(2024, 1));
+        a.insert(
+            DomainId(1),
+            ResolvedAddrs {
+                v4: vec![0x0808_0808],
+                v6: vec![],
+            },
+        );
+        let mut b = DnsSnapshot::new(MonthDate::new(2024, 2));
+        b.insert(
+            DomainId(1),
+            ResolvedAddrs {
+                v4: vec![0x0808_0808],
+                v6: vec![0x2001 << 112],
+            },
+        );
+        SnapshotDelta::diff(&a, &b)
+    }
+
+    #[test]
+    fn ingest_round_trips_and_rejects_malformed_hex() {
+        let request = Request::Ingest(sample_delta());
+        assert_eq!(request.verb(), "ingest");
+        assert_eq!(req(&request.to_string()), request);
+
+        // Odd length, non-hex digits, and checksummed-but-garbage bytes
+        // all map to bad-arg, with long inputs abbreviated.
+        for bad in [
+            "ingest abc",
+            "ingest zz",
+            &format!("ingest {}", "ab".repeat(100)),
+        ] {
+            match err(bad) {
+                ProtocolError::BadArg { what, input, .. } => {
+                    assert_eq!(what, "delta");
+                    assert!(input.len() < 60, "{input:?} should be abbreviated");
+                }
+                other => panic!("expected bad-arg for {bad:?}, got {other:?}"),
+            }
+        }
+        assert!(matches!(err("ingest"), ProtocolError::Usage { .. }));
+        assert!(matches!(err("ingest ab cd"), ProtocolError::Usage { .. }));
+    }
+
+    #[test]
+    fn hex_armor_round_trips() {
+        for bytes in [
+            vec![],
+            vec![0u8],
+            vec![0xde, 0xad, 0xbe, 0xef],
+            (0..=255u8).collect(),
+        ] {
+            assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        }
+        // Either case decodes.
+        assert_eq!(from_hex("DEADbeef").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(from_hex("abc"), None);
+        assert_eq!(from_hex("gg"), None);
+    }
+
+    #[test]
+    fn read_only_and_ingest_failed_have_stable_codes() {
+        let read_only = ProtocolError::ReadOnly;
+        assert_eq!(read_only.code(), "read-only");
+        assert!(!read_only.is_retryable());
+        assert!(read_only.to_string().contains("--ingest"));
+
+        let failed = ProtocolError::IngestFailed {
+            detail: "delta base 2024-03 does not extend window tail 2024-02".into(),
+        };
+        assert_eq!(failed.code(), "ingest-failed");
+        assert!(!failed.is_retryable());
+        assert!(failed.to_string().contains("rolled back"));
+        assert!(failed.to_string().contains("2024-03"));
     }
 
     #[test]
@@ -505,7 +688,9 @@ mod tests {
     #[test]
     fn error_messages_name_the_valid_values() {
         let msg = err("frobnicate").to_string();
-        for verb in ["ping", "months", "stats", "siblings", "partners", "pair"] {
+        for verb in [
+            "ping", "months", "stats", "siblings", "partners", "pair", "epoch", "health", "ingest",
+        ] {
             assert!(msg.contains(verb), "{msg:?} should name {verb}");
         }
         let msg = err("siblings x y z").to_string();

@@ -43,13 +43,15 @@ use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use sibling_dns::SnapshotDelta;
 use sibling_executor::{ResidentCtx, ThreadPool};
 
+use crate::ingest::IngestSink;
 use crate::planner::QueryPlanner;
-use crate::protocol::ProtocolError;
+use crate::protocol::{parse_request, ProtocolError, Request};
 
 /// How long an accept/read blocks before re-checking the stop signal.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
@@ -57,6 +59,11 @@ const POLL_INTERVAL: Duration = Duration::from_millis(20);
 /// How long a shed connection lingers after its `err busy` line so the
 /// client can read it before the close (see [`shed_conn`]).
 const SHED_LINGER: Duration = Duration::from_millis(100);
+
+/// How long a reader waits for the writer thread to apply one delta
+/// before answering `err timeout`. Generous: an ingest rescoring many
+/// dirty shards legitimately takes seconds at paper scale.
+const INGEST_DEADLINE: Duration = Duration::from_secs(120);
 
 /// Where to serve.
 #[derive(Debug, Clone)]
@@ -114,6 +121,9 @@ pub struct ServeStats {
     shed_requests: AtomicU64,
     timeouts: AtomicU64,
     panics: AtomicU64,
+    ingests: AtomicU64,
+    ingest_failures: AtomicU64,
+    epochs: AtomicU64,
 }
 
 impl ServeStats {
@@ -129,6 +139,9 @@ impl ServeStats {
             shed_requests: self.shed_requests.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            ingests: self.ingests.load(Ordering::Relaxed),
+            ingest_failures: self.ingest_failures.load(Ordering::Relaxed),
+            epochs: self.epochs.load(Ordering::Relaxed),
         }
     }
 }
@@ -146,6 +159,14 @@ pub struct ServeStatsSnapshot {
     pub timeouts: u64,
     /// Connections killed by a panic while answering.
     pub panics: u64,
+    /// Deltas handed to the writer thread (accepted `ingest` requests).
+    pub ingests: u64,
+    /// Ingests that failed to apply (validation, journal, publication,
+    /// or a panic in the sink) and were rolled back.
+    pub ingest_failures: u64,
+    /// Epochs published by successful ingests (excludes the initial
+    /// epoch the daemon starts on).
+    pub epochs: u64,
 }
 
 impl std::fmt::Display for ServeStatsSnapshot {
@@ -153,8 +174,16 @@ impl std::fmt::Display for ServeStatsSnapshot {
         write!(
             f,
             "served {} request(s), shed {} connection(s) and {} request(s), \
-             {} timeout(s), {} panic(s)",
-            self.served, self.shed_connections, self.shed_requests, self.timeouts, self.panics
+             {} timeout(s), {} panic(s), ingested {} delta(s) ({} failed, \
+             {} epoch(s) published)",
+            self.served,
+            self.shed_connections,
+            self.shed_requests,
+            self.timeouts,
+            self.panics,
+            self.ingests,
+            self.ingest_failures,
+            self.epochs
         )
     }
 }
@@ -269,19 +298,31 @@ impl Write for Conn {
     }
 }
 
+/// One queued `ingest` request: the decoded delta and the channel the
+/// waiting reader blocks on for the writer's verdict (the new epoch, or
+/// the rendered failure).
+struct IngestJob {
+    delta: SnapshotDelta,
+    reply: mpsc::SyncSender<Result<u64, String>>,
+}
+
 /// State every reader shares: the planner, the stop signal, the active
 /// connection gauge and the counters.
 struct Shared {
     planner: QueryPlanner,
     stop: AtomicBool,
     active: AtomicUsize,
-    stats: ServeStats,
+    stats: Arc<ServeStats>,
     max_conns: usize,
     /// Active-connection count at which expensive verbs shed.
     pressure_at: usize,
     request_deadline: Duration,
     idle_timeout: Duration,
     drain_deadline: Duration,
+    /// The writer thread's inbox — `None` on read-only daemons, where
+    /// `ingest` answers `err read-only`. The mutex serializes senders;
+    /// it is held only for the (non-blocking) enqueue.
+    ingest: Option<Mutex<mpsc::Sender<IngestJob>>>,
 }
 
 impl Shared {
@@ -354,17 +395,52 @@ impl Server {
         readers: usize,
         options: ServeOptions,
     ) -> io::Result<ServerHandle> {
+        self.launch(planner, pool, readers, options, None)
+    }
+
+    /// [`Server::start_with`] plus a writer: one extra resident thread
+    /// owns `sink` and applies queued `ingest` deltas strictly in
+    /// arrival order, so readers stay lock-free while the window
+    /// advances epoch by epoch.
+    pub fn start_live(
+        self,
+        planner: QueryPlanner,
+        pool: ThreadPool,
+        readers: usize,
+        options: ServeOptions,
+        sink: Box<dyn IngestSink>,
+    ) -> io::Result<ServerHandle> {
+        self.launch(planner, pool, readers, options, Some(sink))
+    }
+
+    fn launch(
+        self,
+        mut planner: QueryPlanner,
+        pool: ThreadPool,
+        readers: usize,
+        options: ServeOptions,
+        sink: Option<Box<dyn IngestSink>>,
+    ) -> io::Result<ServerHandle> {
         self.listener.set_nonblocking(true)?;
         let readers = readers.max(1);
         let max_conns = match options.max_conns {
             0 => readers,
             n => n,
         };
+        let stats = Arc::new(ServeStats::default());
+        planner.attach_stats(Arc::clone(&stats));
+        let (ingest, writer) = match sink {
+            Some(sink) => {
+                let (tx, rx) = mpsc::channel();
+                (Some(Mutex::new(tx)), Some((sink, rx)))
+            }
+            None => (None, None),
+        };
         let shared = Arc::new(Shared {
             planner,
             stop: AtomicBool::new(false),
             active: AtomicUsize::new(0),
-            stats: ServeStats::default(),
+            stats,
             max_conns,
             pressure_at: match options.shed_expensive_at {
                 0 => max_conns + 1,
@@ -373,7 +449,12 @@ impl Server {
             request_deadline: options.request_deadline,
             idle_timeout: options.idle_timeout,
             drain_deadline: options.drain_deadline,
+            ingest,
         });
+        if let Some((sink, rx)) = writer {
+            let shared = Arc::clone(&shared);
+            pool.spawn_resident(move |ctx| writer_loop(sink, rx, shared, ctx));
+        }
         for _ in 0..readers {
             let listener = self.listener.try_clone()?;
             let shared = Arc::clone(&shared);
@@ -494,6 +575,107 @@ fn reader_loop(listener: Listener, shared: Arc<Shared>, ctx: ResidentCtx) {
     }
 }
 
+/// The writer thread: applies queued deltas through the sink, strictly
+/// in arrival order, and always answers the waiting reader. A panic in
+/// the sink is caught and reported as a failed ingest — the sink is
+/// expected to have rolled back to its last published epoch (see
+/// [`sibling_core::EpochState`]), so the thread keeps serving.
+fn writer_loop(
+    mut sink: Box<dyn IngestSink>,
+    jobs: mpsc::Receiver<IngestJob>,
+    shared: Arc<Shared>,
+    ctx: ResidentCtx,
+) {
+    loop {
+        match jobs.recv_timeout(POLL_INTERVAL) {
+            Ok(job) => {
+                ServeStats::bump(&shared.stats.ingests);
+                let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    sink.ingest(&job.delta)
+                }));
+                let outcome = match applied {
+                    Ok(Ok(epoch)) => {
+                        ServeStats::bump(&shared.stats.epochs);
+                        Ok(epoch)
+                    }
+                    Ok(Err(detail)) => {
+                        ServeStats::bump(&shared.stats.ingest_failures);
+                        Err(detail)
+                    }
+                    Err(payload) => {
+                        ServeStats::bump(&shared.stats.ingest_failures);
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        Err(format!("ingest panicked: {msg}"))
+                    }
+                };
+                // The reader may have timed out and gone; that loses
+                // only the notification, never the applied epoch.
+                let _ = job.reply.send(outcome);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.stopping(&ctx) {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Answers one `ingest` line: decode, enqueue to the writer, block for
+/// its verdict. Runs on the reader thread; the ingest itself runs on
+/// the writer thread so a second connection's point queries never queue
+/// behind a rescore.
+fn answer_ingest(shared: &Shared, line: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.clear();
+    let outcome = (|| {
+        let request = parse_request(line)?;
+        let Request::Ingest(delta) = request else {
+            // Verb-sniffed by the caller; parse can only agree.
+            return Err(ProtocolError::Usage {
+                verb: "ingest",
+                usage: "HEX-ENCODED-DELTA",
+            });
+        };
+        let sender = shared.ingest.as_ref().ok_or(ProtocolError::ReadOnly)?;
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        sender
+            .lock()
+            .expect("ingest sender poisoned")
+            .send(IngestJob {
+                delta,
+                reply: reply_tx,
+            })
+            .map_err(|_| ProtocolError::IngestFailed {
+                detail: "writer thread is gone".into(),
+            })?;
+        match reply_rx.recv_timeout(INGEST_DEADLINE) {
+            Ok(Ok(epoch)) => Ok(epoch),
+            Ok(Err(detail)) => Err(ProtocolError::IngestFailed { detail }),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ProtocolError::Timeout {
+                what: "ingest",
+                budget_ms: INGEST_DEADLINE.as_millis() as u64,
+            }),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ProtocolError::IngestFailed {
+                detail: "writer thread died before answering".into(),
+            }),
+        }
+    })();
+    match outcome {
+        Ok(epoch) => {
+            let _ = write!(out, "ok 1\n{epoch}\n");
+        }
+        Err(error) => {
+            let _ = writeln!(out, "err {} {}", error.code(), error);
+        }
+    }
+}
+
 /// Turns away a connection beyond the cap: one `err busy` line, close.
 fn shed_conn(mut conn: Conn, active: usize, max: usize) -> io::Result<()> {
     conn.prepare(Some(POLL_INTERVAL))?;
@@ -543,9 +725,15 @@ fn serve_conn(shared: &Shared, conn: Conn, out: &mut String, ctx: &ResidentCtx) 
                 let _ = sibling_failpoint::point("service::answer");
                 let active = shared.active.load(Ordering::Acquire);
                 let pressure = (active >= shared.pressure_at).then_some((active, shared.max_conns));
-                shared
-                    .planner
-                    .answer_line_under_pressure(&line, out, pressure);
+                if line.split_whitespace().next() == Some("ingest") {
+                    // Writes bypass the read planner (and read-pressure
+                    // shedding): the writer thread serializes them.
+                    answer_ingest(shared, &line, out);
+                } else {
+                    shared
+                        .planner
+                        .answer_line_under_pressure(&line, out, pressure);
+                }
                 if out.starts_with("err busy ") {
                     ServeStats::bump(&shared.stats.shed_requests);
                 }

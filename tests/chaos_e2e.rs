@@ -26,13 +26,14 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use sibling_core::{BatchRun, DetectEngine, WindowQueryIndex};
-use sibling_dns::{encode_snapshot, LoadMode, SnapshotStore, StoreError};
+use sibling_core::{BatchRun, DetectEngine, EngineConfig, EpochState, WindowQueryIndex};
+use sibling_dns::{encode_snapshot, LoadMode, SnapshotDelta, SnapshotStore, StoreError};
 use sibling_executor::ThreadPool;
 use sibling_failpoint as failpoint;
 use sibling_net_types::MonthDate;
 use sibling_service::{
-    Client, Endpoint, QueryPlanner, Response, RetryPolicy, ServeOptions, Server,
+    Client, Endpoint, IngestSink, LiveWindow, QueryPlanner, Response, RetryPolicy, ServeOptions,
+    Server,
 };
 use sibling_store::WorldStore;
 use sibling_worldgen::{World, WorldConfig};
@@ -199,6 +200,175 @@ fn score(world: &World, from: MonthDate, to: MonthDate) -> BatchRun {
     engine
         .run_window(from, to, &archive, |d| Arc::new(world.snapshot(d)))
         .expect("window covered by the world's archive")
+}
+
+/// Seeds a live-window writer over `from..=to` exactly as
+/// `serve --ingest` does at startup: score the offline window, then hand
+/// the results and the tail snapshot to [`EpochState::seed`].
+fn live_seed(
+    world: &World,
+    from: MonthDate,
+    to: MonthDate,
+) -> (EpochState<Arc<sibling_bgp::Rib>>, Arc<WindowQueryIndex>) {
+    let run = score(world, from, to);
+    EpochState::seed(
+        EngineConfig::default(),
+        world.rib_archive(),
+        run.results,
+        Arc::new(world.snapshot(to)),
+    )
+    .expect("offline window seeds")
+}
+
+/// The read surface used for bit-identity checks: every month's `stats`
+/// row, exactly what `query stats` and `batch` print.
+fn stat_rows(index: &WindowQueryIndex) -> Vec<String> {
+    index.stats().map(|s| s.batch_row()).collect()
+}
+
+#[test]
+fn crash_between_journal_append_and_publish_recovers_the_delta() {
+    let _guard = chaos_guard();
+    let scratch = Scratch::new("ingest-publish-crash");
+    let journal = scratch.0.join("ingest.sibjrnl");
+    let world = World::generate(WorldConfig::test_tiny(23));
+    let to = world.config.end;
+    let mid = to.add_months(-1);
+    let from = to.add_months(-2);
+
+    let (epoch, index) = live_seed(&world, from, mid);
+    let (mut live, report) = LiveWindow::recover(epoch, index, &journal, None).unwrap();
+    assert_eq!(report.replayed, 0);
+
+    // The crash window the journal exists for: the delta is fsync'd to
+    // the journal, then the writer dies before publication.
+    let delta = SnapshotDelta::diff(&world.snapshot(mid), &world.snapshot(to));
+    failpoint::configure("ingest::publish", "once*panic(crash before publish)").unwrap();
+    let err = live.ingest(&delta).unwrap_err();
+    failpoint::clear("ingest::publish");
+    assert!(err.contains("panic"), "typed rollback error: {err}");
+
+    // Rollback: readers never saw the half-applied month…
+    assert_eq!(live.published().epoch(), 1);
+    assert_eq!(live.tail_date(), mid);
+    // …but the accepted record is already durable.
+    assert!(live.journal_backlog() > 0, "journal keeps the record");
+
+    // "Restart" the daemon: the same startup path replays the journal
+    // and the recovered window is bit-identical to an offline recompute
+    // of the full range.
+    drop(live);
+    let (epoch, index) = live_seed(&world, from, mid);
+    let (live, report) = LiveWindow::recover(epoch, index, &journal, None).unwrap();
+    assert_eq!(
+        (report.replayed, report.skipped, report.discarded_bytes),
+        (1, 0, 0)
+    );
+    assert_eq!(live.tail_date(), to);
+    let batch = WindowQueryIndex::publish(&score(&world, from, to)).expect("non-empty window");
+    assert_eq!(
+        stat_rows(live.published().pin().index()),
+        stat_rows(&batch),
+        "recovered window diverged from the offline recompute"
+    );
+}
+
+#[test]
+fn torn_journal_tail_is_discarded_and_the_durable_prefix_replays() {
+    let _guard = chaos_guard();
+    let scratch = Scratch::new("ingest-torn-tail");
+    let journal = scratch.0.join("ingest.sibjrnl");
+    let world = World::generate(WorldConfig::test_tiny(29));
+    let to = world.config.end;
+    let mid = to.add_months(-1);
+    let from = to.add_months(-2);
+
+    // Two clean ingests land in the journal.
+    let (epoch, index) = live_seed(&world, from, from);
+    let (mut live, _) = LiveWindow::recover(epoch, index, &journal, None).unwrap();
+    live.ingest(&SnapshotDelta::diff(
+        &world.snapshot(from),
+        &world.snapshot(mid),
+    ))
+    .unwrap();
+    live.ingest(&SnapshotDelta::diff(
+        &world.snapshot(mid),
+        &world.snapshot(to),
+    ))
+    .unwrap();
+    assert_eq!(live.published().epoch(), 3);
+    drop(live);
+
+    // A torn third record: length prefix and half a payload, no valid
+    // checksum — what a crash mid-append leaves behind.
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&journal)
+        .unwrap();
+    file.write_all(&[0xDE, 0xAD, 0xBE, 0xEF, 0x42, 0x42, 0x42])
+        .unwrap();
+    drop(file);
+
+    // Replay keeps every intact record and discards exactly the tear.
+    let (epoch, index) = live_seed(&world, from, from);
+    let (live, report) = LiveWindow::recover(epoch, index, &journal, None).unwrap();
+    assert_eq!((report.replayed, report.skipped), (2, 0));
+    assert_eq!(report.discarded_bytes, 7, "the torn bytes, nothing else");
+    assert_eq!(live.tail_date(), to);
+    let batch = WindowQueryIndex::publish(&score(&world, from, to)).expect("non-empty window");
+    assert_eq!(stat_rows(live.published().pin().index()), stat_rows(&batch));
+}
+
+#[test]
+fn crash_during_compaction_keeps_the_journal_as_the_durability() {
+    let _guard = chaos_guard();
+    let scratch = Scratch::new("ingest-compact-crash");
+    let journal = scratch.0.join("ingest.sibjrnl");
+    let store_dir = scratch.0.join("store");
+    let world = World::generate(WorldConfig::test_tiny(31));
+    let to = world.config.end;
+    let mid = to.add_months(-1);
+    let from = to.add_months(-2);
+
+    let store = SnapshotStore::create(&store_dir).unwrap();
+    let (epoch, index) = live_seed(&world, from, mid);
+    let (mut live, _) = LiveWindow::recover(epoch, index, &journal, Some(store)).unwrap();
+
+    // The append publishes (readers advance), then the compaction write
+    // into the snapshot store tears. Ingest still succeeds: the journal
+    // is not reset, so it stays the durability for the new month.
+    failpoint::configure("snapshot-store::write", "once*truncate(64)").unwrap();
+    let epoch_now = live
+        .ingest(&SnapshotDelta::diff(
+            &world.snapshot(mid),
+            &world.snapshot(to),
+        ))
+        .unwrap();
+    failpoint::clear("snapshot-store::write");
+    assert_eq!(epoch_now, 2);
+    assert_eq!(live.tail_date(), to);
+    assert!(
+        live.journal_backlog() > 0,
+        "failed compaction must not reset the journal"
+    );
+
+    // Restart: replay re-applies the month, recovery's own compaction
+    // retries the store write, and only then does the journal empty.
+    drop(live);
+    let (epoch, index) = live_seed(&world, from, mid);
+    let store = SnapshotStore::open(&store_dir).unwrap();
+    let (live, report) = LiveWindow::recover(epoch, index, &journal, Some(store)).unwrap();
+    assert_eq!(report.replayed, 1);
+    assert_eq!(live.tail_date(), to);
+    assert_eq!(
+        live.journal_backlog(),
+        0,
+        "recovery compacted and reset the journal"
+    );
+    assert!(SnapshotStore::open(&store_dir).unwrap().contains(to));
+    let batch = WindowQueryIndex::publish(&score(&world, from, to)).expect("non-empty window");
+    assert_eq!(stat_rows(live.published().pin().index()), stat_rows(&batch));
 }
 
 #[test]

@@ -225,6 +225,29 @@ fn malformed_lines_keep_the_connection_alive() {
         "bad-arg"
     );
 
+    // The lifecycle verbs answer on a static daemon too: epoch 1
+    // forever, health with zeroed ingest counters, and a well-formed
+    // ingest rejected typed — this daemon has no writer.
+    assert_eq!(ok_lines(&mut client, "epoch"), vec!["1".to_string()]);
+    assert_eq!(err_code(&mut client, "epoch now"), "usage");
+    assert_eq!(err_code(&mut client, "ingest zz"), "bad-arg");
+    let delta = sibling_dns::SnapshotDelta::diff(
+        &sibling_dns::DnsSnapshot::new(to),
+        &sibling_dns::DnsSnapshot::new(to.add_months(1)),
+    );
+    assert_eq!(
+        err_code(
+            &mut client,
+            &sibling_service::Request::Ingest(delta).to_string()
+        ),
+        "read-only"
+    );
+    let health = ok_lines(&mut client, "health");
+    assert!(
+        health.iter().any(|l| l == "epoch 1") && health.iter().any(|l| l == "ingests 0"),
+        "static daemon health: {health:?}"
+    );
+
     // The same connection still answers real queries afterwards.
     assert_eq!(ok_lines(&mut client, "ping"), vec!["pong".to_string()]);
     let months = ok_lines(&mut client, "months");
@@ -232,4 +255,95 @@ fn malformed_lines_keep_the_connection_alive() {
 
     drop(client);
     drop(handle);
+}
+
+#[test]
+fn live_daemon_ingest_epoch_and_health_over_the_wire() {
+    use sibling_core::{EngineConfig, EpochState};
+    use sibling_dns::SnapshotDelta;
+    use sibling_service::{LiveWindow, Request, ServeOptions};
+
+    let world = World::generate(WorldConfig::test_tiny(37));
+    let to = world.config.end;
+    let mid = to.add_months(-1);
+    let from = to.add_months(-2);
+
+    // Seed the live window over the offline prefix of the range, exactly
+    // like `serve --ingest` at startup.
+    let results = score_window(&world, from, mid);
+    let (epoch, index) = EpochState::seed(
+        EngineConfig::default(),
+        world.rib_archive(),
+        results,
+        Arc::new(world.snapshot(mid)),
+    )
+    .expect("offline window seeds");
+    let dir = std::env::temp_dir().join(format!("sibling-serve-live-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("ingest.sibjrnl");
+    let (live, _) = LiveWindow::recover(epoch, index, &journal, None).expect("recover");
+    let planner = QueryPlanner::live(live.published());
+    let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into())).expect("bind");
+    let endpoint = server.endpoint().to_string();
+    let handle = server
+        .start_live(
+            planner,
+            ThreadPool::with_threads(1),
+            2,
+            ServeOptions::default(),
+            Box::new(live),
+        )
+        .expect("server starts");
+
+    let mut client = Client::connect(&endpoint).expect("connect");
+    assert_eq!(ok_lines(&mut client, "epoch"), vec!["1".to_string()]);
+
+    // Stream the next month over the wire — the same request line
+    // `sibling-prefixes ingest` sends.
+    let delta = SnapshotDelta::diff(&world.snapshot(mid), &world.snapshot(to));
+    assert_eq!(
+        ok_lines(&mut client, &Request::Ingest(delta).to_string()),
+        vec!["2".to_string()],
+        "ingest answers the newly published epoch"
+    );
+    assert_eq!(ok_lines(&mut client, "epoch"), vec!["2".to_string()]);
+
+    // The served window is now bit-identical to an offline recompute of
+    // the extended range.
+    let reference = score_window(&world, from, to);
+    let reference_index = WindowQueryIndex::build(&reference).expect("non-empty");
+    let want_months: Vec<String> = reference.iter().map(|(d, _)| d.to_string()).collect();
+    assert_eq!(ok_lines(&mut client, "months"), want_months);
+    let want_stats: Vec<String> = reference_index.stats().map(|s| s.batch_row()).collect();
+    assert_eq!(ok_lines(&mut client, "stats"), want_stats);
+
+    // Re-sending the same delta is rejected typed — its base month is no
+    // longer the tail — and the window is undisturbed.
+    let stale = SnapshotDelta::diff(&world.snapshot(mid), &world.snapshot(to));
+    assert_eq!(
+        err_code(&mut client, &Request::Ingest(stale).to_string()),
+        "ingest-failed"
+    );
+    assert_eq!(ok_lines(&mut client, "epoch"), vec!["2".to_string()]);
+
+    // `health` reports the full lifecycle.
+    let health = ok_lines(&mut client, "health");
+    for want in [
+        "months 3",
+        "epoch 2",
+        "ingests 2",
+        "ingest-failures 1",
+        "epochs-published 1",
+        "ingest-lag 0",
+    ] {
+        assert!(
+            health.iter().any(|l| l == want),
+            "missing {want:?} in {health:?}"
+        );
+    }
+
+    drop(client);
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
 }
