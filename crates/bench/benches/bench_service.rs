@@ -302,9 +302,84 @@ fn bench_ingest_throughput(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `replication_feed`: the primary's fan-out hot path, measured — hex
+/// armoring + bounded retention on [`DeltaFeed::publish`] (once per
+/// accepted ingest) and cursor-filtered batch collection on
+/// `collect_since` (once per follower poll). Both run under the feed's
+/// mutex, so their cost bounds how much a fleet of polling followers
+/// can tax the write path. Records published deltas/sec and full-batch
+/// collections/sec into `target/bench.json`.
+fn bench_replication_feed(c: &mut Criterion) {
+    use sibling_dns::{DnsSnapshot, DomainId, SnapshotDelta};
+    use sibling_service::replicate::SUB_BATCH;
+    use sibling_service::DeltaFeed;
+
+    // A realistic steady-state delta: one domain retargeted within the
+    // tail month — the same shape `ingest_throughput` streams.
+    let date = "2024-01".parse().expect("month parses");
+    let base = DnsSnapshot::new(date);
+    let mut variant = base.clone();
+    variant.merge(
+        DomainId(7),
+        vec![u32::from(std::net::Ipv4Addr::new(203, 0, 113, 9))],
+        vec![u128::from(std::net::Ipv6Addr::new(
+            0x2600, 1, 0, 0, 0, 0, 0, 0x7,
+        ))],
+    );
+    let delta = SnapshotDelta::diff(&base, &variant);
+
+    let mut group = c.benchmark_group("replication_feed");
+    // Publish: encode + retain + evict, at full retention.
+    let feed = DeltaFeed::new();
+    let mut epoch = 0u64;
+    group.bench_function("publish", |b| {
+        b.iter(|| {
+            epoch += 1;
+            feed.publish(epoch, &delta);
+            black_box(epoch)
+        })
+    });
+    // A caught-up follower's poll: bounds check only, nothing copied.
+    group.bench_function("collect_caught_up", |b| {
+        b.iter(|| black_box(feed.collect_since(epoch).deltas.len()))
+    });
+    // A far-behind follower's poll: a full SUB_BATCH of armored lines.
+    group.bench_function("collect_full_batch", |b| {
+        b.iter(|| {
+            let batch = feed.collect_since(0);
+            assert_eq!(batch.deltas.len(), SUB_BATCH);
+            black_box(batch.current)
+        })
+    });
+    group.finish();
+
+    let total = 50_000usize;
+    let start = Instant::now();
+    for _ in 0..total {
+        epoch += 1;
+        feed.publish(epoch, &delta);
+    }
+    let publish_per_sec = total as f64 / start.elapsed().as_secs_f64();
+    let collects = 2_000usize;
+    let start = Instant::now();
+    for _ in 0..collects {
+        black_box(feed.collect_since(0).deltas.len());
+    }
+    let collect_per_sec = collects as f64 / start.elapsed().as_secs_f64();
+    println!(
+        "[replication] {publish_per_sec:.0} publishes/sec at full retention; \
+         {collect_per_sec:.0} full-batch collects/sec ({SUB_BATCH} deltas each)"
+    );
+    c.record_value("replication_feed/publish_per_sec", publish_per_sec as u64);
+    c.record_value(
+        "replication_feed/full_batch_collects_per_sec",
+        collect_per_sec as u64,
+    );
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_query_throughput, bench_ingest_throughput
+    targets = bench_query_throughput, bench_ingest_throughput, bench_replication_feed
 );
 criterion_main!(benches);

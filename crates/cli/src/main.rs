@@ -12,9 +12,10 @@
 //! sibling-prefixes serve    (--listen HOST:PORT | --socket PATH) [--readers N]
 //!                           [--max-conns N] [--deadline-ms MS] [--idle-ms MS]
 //!                           [--shed-at N] [--drain-ms MS] [--serve-ms MS]
-//!                           [--ingest JOURNAL] [--from YYYY-MM --to YYYY-MM]
+//!                           [--ingest JOURNAL] [--follow ENDPOINT]
+//!                           [--from YYYY-MM --to YYYY-MM]
 //!                           [--seed N] [--store DIR] …
-//! sibling-prefixes query    --connect ENDPOINT [--retries N] "REQUEST" [...]
+//! sibling-prefixes query    --connect ENDPOINT[,ENDPOINT...] [--retries N] "REQUEST" [...]
 //! sibling-prefixes ingest   --connect ENDPOINT --to YYYY-MM [--seed N]
 //! sibling-prefixes run      [--seed N] [EXPERIMENT_ID ...]
 //! sibling-prefixes list
@@ -39,8 +40,8 @@ use sibling_dns::{DnsSnapshot, LoadMode, SnapshotDelta, SnapshotFile, SnapshotSt
 use sibling_executor::ThreadPool;
 use sibling_net_types::MonthDate;
 use sibling_service::{
-    Client, Endpoint, LiveWindow, QueryPlanner, Request, Response, RetryPolicy, ServeOptions,
-    Server, ServerHandle,
+    Client, DeltaFeed, Endpoint, FailoverClient, FollowerOptions, HealthGauges, LiveWindow,
+    QueryPlanner, Request, Response, RetryPolicy, ServeOptions, Server, ServerHandle,
 };
 use sibling_store::{check_months, WorldStore};
 use sibling_worldgen::{World, WorldConfig};
@@ -166,8 +167,8 @@ fn usage() -> &'static str {
      \x20 publish  write the sibling prefix list CSV  [--seed N] [--out FILE]\n\
      \x20 audit    RPKI/ROV audit of sibling pairs    [--seed N]\n\
      \x20 batch    longitudinal window in one pass    --from YYYY-MM --to YYYY-MM [--seed N] [--mode incremental|full] [--store DIR] [--load-mode mmap|read] [--window-threads N]\n\
-     \x20 serve    resident query daemon              (--listen HOST:PORT | --socket PATH) [--readers N] [--max-conns N] [--deadline-ms MS] [--idle-ms MS] [--shed-at N] [--drain-ms MS] [--serve-ms MS] [--ingest JOURNAL] + batch's window flags\n\
-     \x20 query    dial a running daemon              --connect ENDPOINT [--retries N] \"REQUEST\" [\"REQUEST\" ...]\n\
+     \x20 serve    resident query daemon              (--listen HOST:PORT | --socket PATH) [--readers N] [--max-conns N] [--deadline-ms MS] [--idle-ms MS] [--shed-at N] [--drain-ms MS] [--serve-ms MS] [--ingest JOURNAL] [--follow ENDPOINT] + batch's window flags\n\
+     \x20 query    dial a running daemon              --connect ENDPOINT[,ENDPOINT...] [--retries N] \"REQUEST\" [\"REQUEST\" ...]\n\
      \x20 ingest   stream monthly deltas to a live daemon  --connect ENDPOINT --to YYYY-MM [--seed N]\n\
      \x20 snapshot export monthly snapshots to a store  export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N] [--force true]\n\
      \x20 world    export snapshots + world tables    export --store DIR [--from YYYY-MM] [--to YYYY-MM] [--seed N] [--force true]\n\
@@ -193,8 +194,11 @@ fn usage() -> &'static str {
      drains gracefully (bounded by --drain-ms). query retries busy\n\
      sheds and transient transport errors with jittered backoff\n\
      (--retries N attempts) and exits 0 ok / 2 busy / 3 timeout /\n\
-     1 other, so supervisors can tell overload from breakage (see\n\
-     README \"Query service\" and \"Fault injection & resilience\")\n\
+     4 unavailable (no replica answered) / 1 other, so supervisors\n\
+     can tell overload from breakage (see README \"Query service\"\n\
+     and \"Fault injection & resilience\"). --connect takes a\n\
+     comma-separated replica list: busy sheds, deadline timeouts and\n\
+     transport errors rotate to the next endpoint before backing off\n\
      \n\
      serve --ingest JOURNAL starts a *live* window: the daemon accepts\n\
      the `ingest` verb, journals each accepted delta to JOURNAL before\n\
@@ -206,7 +210,17 @@ fn usage() -> &'static str {
      contiguous stored month. ingest dials a live daemon, asks it for\n\
      its tail month, and streams the world's month-over-month deltas up\n\
      to --to; it is idempotent and self-synchronizing (see README \"Live\n\
-     ingestion\")\n"
+     ingestion\")\n\
+     \n\
+     serve --ingest JOURNAL --follow ENDPOINT runs a read-only\n\
+     *follower*: it bootstraps its window locally (same flags), then\n\
+     tails the primary at ENDPOINT over the `sub` feed verb, applying\n\
+     each streamed delta through its own crash-safe journal. It serves\n\
+     every read verb at its applied epoch, answers `ingest` with `err\n\
+     read-only`, and `health` reports its role and epoch lag. A primary\n\
+     that dies leaves the follower serving its pinned epoch; when the\n\
+     primary restarts the follower reconnects and catches up (see\n\
+     README \"Replication & failover\")\n"
 }
 
 fn context(args: &Args) -> Result<AnalysisContext, String> {
@@ -700,6 +714,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         let journal = std::path::PathBuf::from(journal);
         return cmd_serve_live(args, endpoint, readers, options, serve_ms, &journal);
     }
+    if args.get("follow").is_some() {
+        return Err("serve --follow needs --ingest JOURNAL (the follower's own journal)".into());
+    }
     let config = args.config()?;
     let (from, to) = args.window(&config)?;
     let window_threads: usize = args
@@ -761,6 +778,17 @@ fn run_daemon(handle: ServerHandle, readers: usize, serve_ms: u64) -> Result<(),
 /// like `serve`, then seeds an epoch-published writer over it, replays
 /// the ingest journal (acknowledged deltas survive crashes), and starts
 /// the daemon with a writer thread behind the `ingest` verb.
+///
+/// The live daemon is always a replication *primary*: every accepted
+/// (and journal-replayed) delta is also published into an in-memory
+/// [`DeltaFeed`] under its durable epoch, and the `sub FROM-EPOCH` verb
+/// streams the retained tail to followers. With `--follow ENDPOINT`
+/// the daemon is instead a read-only *follower*: it bootstraps the
+/// same way (local store + its own journal), then tails ENDPOINT's
+/// feed on a background thread, applying each delta through the
+/// identical journal-then-apply path. Followers refuse `ingest`
+/// (`err read-only`) and report `role follower` plus their epoch lag
+/// in `health`.
 ///
 /// The world is always generated here — the writer needs RIB coverage
 /// for months *past* the offline window, and the synthetic world is the
@@ -830,7 +858,49 @@ fn cmd_serve_live(
         index.months().len(),
         index.total_pairs()
     );
-    let (live, report) = LiveWindow::recover(epoch, index, journal, store)?;
+    // Follower: bootstrap identically, but the window is advanced by
+    // the replication thread tailing the primary's feed, never by the
+    // `ingest` verb (no sink is attached, so it answers `read-only`).
+    if let Some(upstream) = args.get("follow") {
+        let gauges = HealthGauges::follower();
+        let (mut live, report) = LiveWindow::recover(epoch, index, journal, store)?;
+        live.attach_gauges(std::sync::Arc::clone(&gauges));
+        eprintln!(
+            "ingest journal {}: replayed {} delta(s), skipped {} already-compacted, discarded {} \
+             torn byte(s); window tail {}",
+            journal.display(),
+            report.replayed,
+            report.skipped,
+            report.discarded_bytes,
+            live.tail_date()
+        );
+        let mut planner = QueryPlanner::live(live.published());
+        planner.attach_gauges(std::sync::Arc::clone(&gauges));
+        let server = Server::bind(&endpoint).map_err(|e| format!("bind failed: {e}"))?;
+        println!("listening {}", server.endpoint());
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        // Started before the readers so a dialing supervisor already
+        // sees `role follower` in health; kept alive until the daemon
+        // exits (dropping the handle stops the thread).
+        let _follower = sibling_service::follow(live, upstream, gauges, FollowerOptions::default())
+            .map_err(|e| format!("starting the replication thread: {e}"))?;
+        let handle = server
+            .start_with(planner, ThreadPool::with_threads(1), readers, options)
+            .map_err(|e| format!("starting readers: {e}"))?;
+        eprintln!("following {upstream}; read-only (ingest answers err read-only)");
+        return run_daemon(handle, readers, serve_ms);
+    }
+    let feed = std::sync::Arc::new(DeltaFeed::new());
+    let gauges = HealthGauges::primary();
+    let (mut live, report) = LiveWindow::recover_replicating(
+        epoch,
+        index,
+        journal,
+        store,
+        Some(std::sync::Arc::clone(&feed)),
+    )?;
+    live.attach_gauges(std::sync::Arc::clone(&gauges));
     eprintln!(
         "ingest journal {}: replayed {} delta(s), skipped {} already-compacted, discarded {} \
          torn byte(s); window tail {}",
@@ -840,7 +910,9 @@ fn cmd_serve_live(
         report.discarded_bytes,
         live.tail_date()
     );
-    let planner = QueryPlanner::live(live.published());
+    let mut planner = QueryPlanner::live(live.published());
+    planner.attach_feed(feed);
+    planner.attach_gauges(gauges);
     let server = Server::bind(&endpoint).map_err(|e| format!("bind failed: {e}"))?;
     println!("listening {}", server.endpoint());
     use std::io::Write as _;
@@ -937,14 +1009,31 @@ fn cmd_ingest(args: &Args) -> Result<(), String> {
 /// Connects and round-trips with bounded jittered backoff
 /// ([`RetryPolicy`]): transient transport errors and `err busy` sheds
 /// are retried up to `--retries N` attempts (default 4; 1 disables).
+/// `--connect` takes a comma-separated replica list ([`FailoverClient`]):
+/// busy sheds, deadline timeouts and transport errors rotate to the
+/// next endpoint before backing off, so one dead or overloaded replica
+/// never fails the run while another can answer.
+///
 /// Failures that survive retrying map to distinct exit codes so
 /// supervisors can tell overload from breakage: 2 = shed (`busy`),
-/// 3 = deadline (`timeout`), 1 = anything else.
+/// 3 = deadline (`timeout`), 4 = unavailable (no replica answered at
+/// the transport level — every endpoint down, unreachable or hung),
+/// 1 = anything else (including malformed requests the daemon
+/// rejected).
 fn cmd_query(args: &Args) -> Result<(), (u8, String)> {
     let fail = |message: String| (1u8, message);
-    let endpoint = args.get("connect").ok_or_else(|| {
-        fail("query needs --connect ENDPOINT (tcp://HOST:PORT or unix://PATH)".into())
+    let connect = args.get("connect").ok_or_else(|| {
+        fail("query needs --connect ENDPOINT[,ENDPOINT...] (tcp://HOST:PORT or unix://PATH)".into())
     })?;
+    let endpoints: Vec<String> = connect
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if endpoints.is_empty() {
+        return Err(fail(format!("bad --connect {connect:?}: no endpoints")));
+    }
     if args.positional.is_empty() {
         return Err(fail(
             "query needs at least one request argument (e.g. \"ping\")".into(),
@@ -959,21 +1048,19 @@ fn cmd_query(args: &Args) -> Result<(), (u8, String)> {
         attempts: attempts.max(1),
         ..RetryPolicy::default()
     };
-    let mut client = Client::connect_with(endpoint, &policy)
-        .map_err(|e| fail(format!("connecting to {endpoint}: {e}")))?;
+    let replicas = endpoints.join(", ");
+    let mut client = FailoverClient::new(endpoints, policy)
+        .map_err(|e| fail(format!("bad --connect {connect:?}: {e}")))?;
     let mut failures = 0usize;
     let (mut busy, mut timeout, mut other) = (false, false, false);
     for request in &args.positional {
-        match client
-            .retry_roundtrip(request, &policy)
-            .map_err(|e| fail(format!("transport error on {request:?}: {e}")))?
-        {
-            Response::Ok(lines) => {
+        match client.roundtrip(request) {
+            Ok(Response::Ok(lines)) => {
                 for line in lines {
                     println!("{line}");
                 }
             }
-            Response::Err { code, message } => {
+            Ok(Response::Err { code, message }) => {
                 eprintln!("error: {request:?}: {code}: {message}");
                 failures += 1;
                 match code.as_str() {
@@ -981,6 +1068,17 @@ fn cmd_query(args: &Args) -> Result<(), (u8, String)> {
                     "timeout" => timeout = true,
                     _ => other = true,
                 }
+            }
+            // A malformed endpoint string is caller error, not an
+            // outage — don't report "all replicas down" for a typo.
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidInput => {
+                return Err(fail(format!("transport error on {request:?}: {e}")));
+            }
+            Err(e) => {
+                return Err((
+                    4,
+                    format!("no replica answered {request:?}: {e} (tried {replicas})"),
+                ));
             }
         }
     }
@@ -1142,8 +1240,8 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(&args),
         "serve" => cmd_serve(&args),
         // `query` keeps its own exit-code vocabulary (0 ok, 2 busy,
-        // 3 timeout, 1 everything else) so supervisors can tell
-        // overload from breakage without parsing stderr.
+        // 3 timeout, 4 unavailable, 1 everything else) so supervisors
+        // can tell overload from breakage without parsing stderr.
         "query" => match cmd_query(&args) {
             Ok(()) => Ok(()),
             Err((code, e)) => {

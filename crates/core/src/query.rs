@@ -353,8 +353,19 @@ pub struct PublishedWindow {
 impl PublishedWindow {
     /// Publishes `index` as epoch 1.
     pub fn new(index: Arc<WindowQueryIndex>) -> Self {
+        Self::new_at(1, index)
+    }
+
+    /// Publishes `index` at a caller-chosen starting epoch (≥ 1).
+    ///
+    /// Recovery uses this to make epochs durable: a live daemon derives
+    /// its starting epoch from the ingest journal's persistent sequence
+    /// count (`1 + last_seq`), so the numbers a replication feed hands
+    /// out stay monotonic across restarts and compactions instead of
+    /// rewinding to 1.
+    pub fn new_at(epoch: u64, index: Arc<WindowQueryIndex>) -> Self {
         Self {
-            current: RwLock::new((1, index)),
+            current: RwLock::new((epoch.max(1), index)),
         }
     }
 
@@ -382,6 +393,18 @@ impl PublishedWindow {
         guard.0 += 1;
         guard.1 = index;
         guard.0
+    }
+
+    /// Replaces the index **without** advancing the epoch.
+    ///
+    /// Recovery-only: journal replay applies every recovered delta and
+    /// then installs the final index at the epoch the journal already
+    /// accounts for — the replayed deltas consumed their epoch numbers
+    /// when they were first accepted, before the crash. Never used while
+    /// readers are being served.
+    pub fn republish(&self, index: Arc<WindowQueryIndex>) {
+        let mut guard = self.current.write().expect("published window poisoned");
+        guard.1 = index;
     }
 }
 

@@ -10,7 +10,7 @@
 //! # Format
 //!
 //! ```text
-//! header (16 bytes):  "SIBJRNL\0" | version u32 | endian tag u32
+//! header (24 bytes):  "SIBJRNL\0" | version u32 | endian tag u32 | base seq u64
 //! record:             len u32 | fnv1a-64(payload) u64 | payload
 //! payload:            from u32 | to u32 | change count u32
 //!                     per change: domain u32 | flags u32
@@ -22,6 +22,21 @@
 //! endianness tag, months use the shared date encoding, and the record
 //! checksum is the same FNV-1a 64 the store files use. Records are not
 //! aligned — the journal is decoded by sequential copy, never cast.
+//!
+//! # Sequence numbers
+//!
+//! Every record carries an implicit **sequence number**: the count of
+//! deltas ever accepted by this journal, starting at 1. The header's
+//! `base seq` is the sequence number of the last record dropped by a
+//! compaction [`IngestJournal::reset`], so the `i`-th record in the file
+//! (0-based) has sequence `base seq + i + 1` and
+//! [`IngestJournal::next_seq`] is stable across both restarts and
+//! compactions. The serving layer derives its published epoch from it
+//! (`epoch = 1 + seq`), which is what makes a replication feed cursor
+//! exact across primary crashes. `reset` advances `base seq` by writing
+//! a fresh header to a temp file and renaming it over the journal —
+//! the same atomic-publish discipline as the snapshot store — so the
+//! header itself can never be torn by a crashed compaction.
 //!
 //! # Durability and torn tails
 //!
@@ -52,16 +67,17 @@ use crate::store::{sync_dir, StoreError};
 use crate::wire::{self, put_u32, put_u64, read_u32, read_u64, ENDIAN_TAG};
 
 const MAGIC: [u8; 8] = *b"SIBJRNL\0";
-const VERSION: u32 = 1;
-const HEADER_LEN: usize = 16;
+const VERSION: u32 = 2;
+const HEADER_LEN: usize = 24;
 /// Record framing: length (u32) + payload checksum (u64).
 const RECORD_HEADER: usize = 12;
 
-fn header_bytes() -> [u8; HEADER_LEN] {
+fn header_bytes(base_seq: u64) -> [u8; HEADER_LEN] {
     let mut header = [0u8; HEADER_LEN];
     header[..8].copy_from_slice(&MAGIC);
     put_u32(&mut header, 8, VERSION);
     put_u32(&mut header, 12, ENDIAN_TAG);
+    put_u64(&mut header, 16, base_seq);
     header
 }
 
@@ -185,6 +201,9 @@ pub struct ReplayReport {
     /// Bytes of torn/corrupt tail discarded (0 on a clean open). The
     /// file was truncated back to the last good record.
     pub discarded_bytes: u64,
+    /// Sequence number of the last record a compaction dropped; the
+    /// first delta in `deltas` has sequence `base_seq + 1`.
+    pub base_seq: u64,
 }
 
 /// The append-only ingest journal (module docs).
@@ -195,6 +214,12 @@ pub struct IngestJournal {
     /// End offset of the last durably committed record — where the next
     /// append writes.
     end: u64,
+    /// Sequence number of the last record dropped by a compaction reset
+    /// (from the header): the file's records continue the count from
+    /// here.
+    base_seq: u64,
+    /// Durably committed records currently in the file.
+    records: u64,
     /// Set when a failed append could not be chopped back off: the tail
     /// is torn and in-process appends would frame garbage. Recovery is
     /// a reopen (replay discards the torn tail).
@@ -210,6 +235,10 @@ impl IngestJournal {
     /// unsupported version — is a typed error; the caller decides
     /// whether to quarantine.
     pub fn open(path: &Path) -> Result<(Self, ReplayReport), StoreError> {
+        // A compaction reset that crashed between writing its temp
+        // header and the rename leaves only this residue; the journal
+        // itself is still the pre-reset file.
+        std::fs::remove_file(reset_tmp(path)).ok();
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -228,13 +257,15 @@ impl IngestJournal {
         if bytes.len() < HEADER_LEN {
             // Empty (fresh create) or a crash mid-header-write. Neither
             // can hold records, so rewriting the header loses nothing —
-            // but only if the fragment is actually ours.
-            if !header_bytes().starts_with(&bytes) {
+            // but only if the fragment is actually ours. Fresh headers
+            // are always written with base sequence 0; nonzero bases
+            // only ever land via the atomic reset rename, whole.
+            if !header_bytes(0).starts_with(&bytes) {
                 return Err(StoreError::BadMagic);
             }
             file.set_len(0)?;
             file.seek(SeekFrom::Start(0))?;
-            file.write_all(&header_bytes())?;
+            file.write_all(&header_bytes(0))?;
             file.sync_all()?;
             if let Some(dir) = path.parent() {
                 sync_dir(dir)?;
@@ -244,6 +275,8 @@ impl IngestJournal {
                     path: path.to_path_buf(),
                     file,
                     end: HEADER_LEN as u64,
+                    base_seq: 0,
+                    records: 0,
                     poisoned: false,
                 },
                 ReplayReport::default(),
@@ -260,7 +293,10 @@ impl IngestJournal {
             return Err(StoreError::BadVersion(version));
         }
 
-        let mut report = ReplayReport::default();
+        let mut report = ReplayReport {
+            base_seq: read_u64(&bytes, 16),
+            ..ReplayReport::default()
+        };
         let mut at = HEADER_LEN;
         loop {
             let remaining = bytes.len() - at;
@@ -289,11 +325,14 @@ impl IngestJournal {
             file.set_len(at as u64)?;
             file.sync_all()?;
         }
+        let records = report.deltas.len() as u64;
         Ok((
             Self {
                 path: path.to_path_buf(),
                 file,
                 end: at as u64,
+                base_seq: report.base_seq,
+                records,
                 poisoned: false,
             },
             report,
@@ -309,6 +348,24 @@ impl IngestJournal {
     /// what a compaction reset will drop.
     pub fn record_bytes(&self) -> u64 {
         self.end - HEADER_LEN as u64
+    }
+
+    /// Number of durably committed records currently in the file.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// Sequence number of the last record dropped by a compaction
+    /// reset; the file's records continue the count from here.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// Sequence number of the last durably accepted delta — the count
+    /// of deltas this journal has ever committed, stable across both
+    /// restarts and compaction resets (module docs).
+    pub fn last_seq(&self) -> u64 {
+        self.base_seq + self.records
     }
 
     /// Appends one delta durably: record written, file fsync'd. Only
@@ -335,6 +392,7 @@ impl IngestJournal {
         match self.write_record(&record) {
             Ok(()) => {
                 self.end += record.len() as u64;
+                self.records += 1;
                 Ok(())
             }
             Err(err) => {
@@ -365,14 +423,45 @@ impl IngestJournal {
     }
 
     /// Drops every record (after a compaction has persisted their
-    /// effects elsewhere): the file shrinks back to its header, fsync'd.
+    /// effects elsewhere): the journal shrinks back to a bare header
+    /// whose base sequence has advanced past the dropped records, so
+    /// [`IngestJournal::last_seq`] is unchanged.
+    ///
+    /// The new header is published atomically — written to a temp file,
+    /// fsync'd, renamed over the journal — because truncating and
+    /// rewriting in place could tear the base sequence and silently
+    /// rewind the epoch count on the next recovery.
     pub fn reset(&mut self) -> Result<(), StoreError> {
-        self.file.set_len(HEADER_LEN as u64)?;
-        self.file.sync_all()?;
+        let tmp = reset_tmp(&self.path);
+        let mut fresh = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        fresh.write_all(&header_bytes(self.base_seq + self.records))?;
+        fresh.sync_all()?;
+        if let Err(err) = std::fs::rename(&tmp, &self.path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(err.into());
+        }
+        if let Some(dir) = self.path.parent() {
+            sync_dir(dir)?;
+        }
+        self.file = fresh;
         self.end = HEADER_LEN as u64;
+        self.base_seq += self.records;
+        self.records = 0;
         self.poisoned = false;
         Ok(())
     }
+}
+
+/// Temp path a compaction reset publishes its fresh header through.
+fn reset_tmp(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".reset-tmp");
+    path.with_file_name(name)
 }
 
 #[cfg(test)]
@@ -511,7 +600,7 @@ mod tests {
             StoreError::BadMagic
         ));
         // A torn fragment of our own header is rewritten cleanly.
-        std::fs::write(&path, &header_bytes()[..7]).unwrap();
+        std::fs::write(&path, &header_bytes(0)[..7]).unwrap();
         let (_, report) = IngestJournal::open(&path).unwrap();
         assert!(report.deltas.is_empty());
     }
@@ -526,6 +615,7 @@ mod tests {
         }
         journal.reset().unwrap();
         assert_eq!(journal.record_bytes(), 0);
+        assert_eq!(journal.record_count(), 0);
         // Appends after reset still frame correctly.
         journal.append(&deltas[1]).unwrap();
         drop(journal);
@@ -534,14 +624,96 @@ mod tests {
     }
 
     #[test]
+    fn sequence_numbers_survive_reset_and_reopen() {
+        let path = scratch("sequence");
+        let deltas = sample_deltas();
+        let (mut journal, report) = IngestJournal::open(&path).unwrap();
+        assert_eq!((report.base_seq, journal.last_seq()), (0, 0));
+        for delta in &deltas {
+            journal.append(delta).unwrap();
+        }
+        assert_eq!(journal.last_seq(), 2);
+
+        // Compaction: the records go, the count does not.
+        journal.reset().unwrap();
+        assert_eq!(journal.base_seq(), 2);
+        assert_eq!(journal.last_seq(), 2);
+        journal.append(&deltas[1]).unwrap();
+        assert_eq!(journal.last_seq(), 3);
+        drop(journal);
+
+        // Restart: the header's base sequence restores the count.
+        let (journal, report) = IngestJournal::open(&path).unwrap();
+        assert_eq!(report.base_seq, 2);
+        assert_eq!(report.deltas, deltas[1..]);
+        assert_eq!(journal.record_count(), 1);
+        assert_eq!(journal.last_seq(), 3);
+        // No reset-tmp residue is left behind.
+        assert!(!reset_tmp(&path).exists());
+    }
+
+    #[test]
     fn version_bump_is_typed() {
         let path = scratch("version");
-        let mut header = header_bytes();
+        let mut header = header_bytes(0);
         put_u32(&mut header, 8, 9);
         std::fs::write(&path, header).unwrap();
         assert!(matches!(
             IngestJournal::open(&path).unwrap_err(),
             StoreError::BadVersion(9)
         ));
+    }
+
+    /// Satellite coverage for replay accounting: truncate a journal of
+    /// `n` records at every interesting byte boundary and assert the
+    /// replay recovers exactly the durable prefix, truncates the torn
+    /// tail, and a second open reports zero repairs (idempotence).
+    #[test]
+    fn replay_counts_exactly_the_durable_prefix_at_any_truncation() {
+        use proptest::prelude::*;
+
+        let path = scratch("truncation");
+        let deltas = sample_deltas();
+        // Record the byte offset after the header and after each record
+        // by appending one delta at a time.
+        let mut boundaries = Vec::new();
+        {
+            let (mut journal, _) = IngestJournal::open(&path).unwrap();
+            boundaries.push(HEADER_LEN as u64);
+            for delta in deltas.iter().chain(deltas.iter()) {
+                journal.append(delta).unwrap();
+                boundaries.push(journal.record_bytes() + HEADER_LEN as u64);
+            }
+        }
+        let clean = std::fs::read(&path).unwrap();
+        assert_eq!(*boundaries.last().unwrap(), clean.len() as u64);
+
+        let mut runner = proptest::test_runner::TestRunner::default();
+        runner
+            .run(&(HEADER_LEN..=clean.len()), |cut| {
+                std::fs::write(&path, &clean[..cut]).unwrap();
+                let cut = cut as u64;
+                let (journal, report) = IngestJournal::open(&path).unwrap();
+                // The durable prefix: every record wholly below the
+                // cut, and nothing above it.
+                let durable = boundaries.iter().filter(|b| **b <= cut).count() - 1;
+                prop_assert_eq!(report.deltas.len(), durable);
+                let full: Vec<_> = deltas.iter().chain(deltas.iter()).collect();
+                for (got, want) in report.deltas.iter().zip(&full) {
+                    prop_assert_eq!(got, *want);
+                }
+                prop_assert_eq!(journal.record_count(), durable as u64);
+                // The torn tail was exactly the bytes past the last
+                // whole record, and it is gone from disk.
+                prop_assert_eq!(report.discarded_bytes, cut - boundaries[durable]);
+                prop_assert_eq!(std::fs::metadata(&path).unwrap().len(), boundaries[durable]);
+                // Idempotence: the truncation repaired everything — a
+                // reopen reports zero discarded bytes.
+                let (_, again) = IngestJournal::open(&path).unwrap();
+                prop_assert_eq!(again.deltas.len(), durable);
+                prop_assert_eq!(again.discarded_bytes, 0);
+                Ok(())
+            })
+            .unwrap();
     }
 }

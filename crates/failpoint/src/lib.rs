@@ -42,6 +42,15 @@
 //! `io::Error`, truncation returns the byte budget) or [`point`]
 //! (control flavored: returns whether the site demands a failure);
 //! both handle `delay` and `panic` inline.
+//!
+//! Sites in the workspace, by family: `snapshot-store::{write,open}`
+//! and `world-store::rename` (crash-consistent stores),
+//! `service::{accept,answer,write}` (the serving tier),
+//! `ingest::publish` (the live window's journal-then-publish seam),
+//! and `replication::{send,recv,apply}` — the primary's feed answer,
+//! the follower's poll, and the follower's delta apply, which together
+//! let the chaos suite tear a replication stream at every stage of its
+//! journey and prove the follower neither corrupts nor double-applies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

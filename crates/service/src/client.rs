@@ -171,6 +171,24 @@ impl Client {
         &self.endpoint
     }
 
+    /// Sets (or clears) a read/write timeout on the connection, so a
+    /// round-trip against a hung peer degrades into a transient
+    /// `WouldBlock`/`TimedOut` error instead of blocking forever — what
+    /// a follower's feed poll needs to notice a dead primary.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        match self.reader.get_mut() {
+            Conn::Tcp(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+        }
+    }
+
     /// Sends one request line and reads the complete response. The
     /// request may omit the trailing newline. Protocol-level errors come
     /// back as [`Response::Err`]; only transport failures are `io::Error`.
@@ -237,5 +255,111 @@ impl Client {
             }
             attempt += 1;
         }
+    }
+}
+
+/// A client over several replica endpoints (`--connect a,b,...`): each
+/// round-trip rotates to the next endpoint on busy sheds, timeouts and
+/// transient transport errors, under one [`RetryPolicy`] backoff
+/// budget. The connection to whichever replica last answered is kept
+/// for the next round-trip.
+///
+/// This is what makes a replicated serving tier transparent to
+/// clients: with a primary and its followers listed, killing any one
+/// daemon turns into a rotation, not a failure — every read verb
+/// answers from a replica at its published epoch.
+#[derive(Debug)]
+pub struct FailoverClient {
+    endpoints: Vec<String>,
+    policy: RetryPolicy,
+    /// Index of the endpoint to (re)dial next — sticky across calls so
+    /// a healthy replica keeps serving once found.
+    active: usize,
+    conn: Option<Client>,
+}
+
+impl FailoverClient {
+    /// A client over `endpoints` (each as [`Client::connect`] accepts).
+    /// Connections are dialed lazily, per round-trip. Errors if the
+    /// list is empty.
+    pub fn new<I, S>(endpoints: I, policy: RetryPolicy) -> io::Result<FailoverClient>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let endpoints: Vec<String> = endpoints.into_iter().map(Into::into).collect();
+        if endpoints.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no endpoints to connect to",
+            ));
+        }
+        Ok(FailoverClient {
+            endpoints,
+            policy,
+            active: 0,
+            conn: None,
+        })
+    }
+
+    /// The endpoints this client rotates over.
+    pub fn endpoints(&self) -> &[String] {
+        &self.endpoints
+    }
+
+    /// Drops the current connection and moves to the next endpoint.
+    fn rotate(&mut self) {
+        self.conn = None;
+        self.active = (self.active + 1) % self.endpoints.len();
+    }
+
+    /// Sends one request, rotating through the endpoints on busy sheds,
+    /// timeouts and transient transport errors. Each backoff attempt in
+    /// the policy's budget tries every endpoint once before sleeping;
+    /// when the budget runs out, the last outcome — a typed `busy`/
+    /// `timeout` response, or the transport error that means every
+    /// replica is unreachable — is returned as-is so the caller can
+    /// tell "all replicas down" from a rejected request.
+    pub fn roundtrip(&mut self, request: &str) -> io::Result<Response> {
+        let attempts = self.policy.attempts.max(1);
+        let mut last: Option<io::Result<Response>> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.delay(attempt - 1));
+            }
+            for _ in 0..self.endpoints.len() {
+                let outcome = self.try_active(request);
+                match outcome {
+                    Ok(Response::Err { code, message }) if code == "busy" || code == "timeout" => {
+                        // Shed here; another replica may have capacity.
+                        self.rotate();
+                        last = Some(Ok(Response::Err { code, message }));
+                    }
+                    Ok(response) => return Ok(response),
+                    // Transient errors are the failover case; a hard
+                    // failure (e.g. a malformed endpoint) still gives
+                    // the other replicas their chance before failing.
+                    Err(e) => {
+                        self.rotate();
+                        last = Some(Err(e));
+                    }
+                }
+            }
+        }
+        last.expect("at least one endpoint was tried")
+    }
+
+    /// One round-trip against the active endpoint, dialing if needed.
+    fn try_active(&mut self, request: &str) -> io::Result<Response> {
+        if self.conn.is_none() {
+            self.conn = Some(Client::connect(&self.endpoints[self.active])?);
+        }
+        let client = self.conn.as_mut().expect("just connected");
+        let outcome = client.roundtrip(request);
+        if outcome.is_err() {
+            // Whatever broke, the connection is suspect; redial next time.
+            self.conn = None;
+        }
+        outcome
     }
 }

@@ -36,6 +36,8 @@ use sibling_bgp::RibSource;
 use sibling_core::{EpochState, PublishedWindow, WindowQueryIndex};
 use sibling_dns::{DnsSnapshot, IngestJournal, SnapshotDelta, SnapshotStore};
 
+use crate::replicate::{DeltaFeed, HealthGauges};
+
 /// What the server's writer thread drives: apply one delta durably and
 /// return the epoch it published. `Err` means the delta was rejected or
 /// rolled back — the serving window is unchanged and the sink must stay
@@ -67,6 +69,12 @@ pub struct LiveWindow<R: RibSource + Clone> {
     journal: IngestJournal,
     store: Option<SnapshotStore>,
     published: Arc<PublishedWindow>,
+    /// The replication feed a primary publishes each accepted delta to
+    /// — `None` everywhere else (static daemons, followers, tests).
+    feed: Option<Arc<DeltaFeed>>,
+    /// Serving gauges kept in sync with the journal's durability
+    /// backlog, when a daemon reports them via `health`.
+    gauges: Option<Arc<HealthGauges>>,
 }
 
 impl<R: RibSource + Clone> std::fmt::Debug for LiveWindow<R> {
@@ -91,20 +99,51 @@ impl<R: RibSource + Clone> LiveWindow<R> {
     /// already carries are skipped, retargets of the tail month are
     /// re-applied (applying a retarget twice is a no-op), and appends
     /// extend the tail.
+    ///
+    /// The recovered window publishes at its *durable* epoch, `1 +`
+    /// the journal's last sequence number ([`IngestJournal::last_seq`],
+    /// which survives restarts and compactions) — so the epoch numbers
+    /// replication cursors are keyed by never regress across a crash.
     pub fn recover(
         epoch: EpochState<R>,
         index: Arc<WindowQueryIndex>,
         journal_path: &Path,
         store: Option<SnapshotStore>,
     ) -> Result<(Self, RecoverReport), String> {
+        Self::recover_replicating(epoch, index, journal_path, store, None)
+    }
+
+    /// [`LiveWindow::recover`] for a replication primary: every journal
+    /// record is re-published into `feed` under its durable epoch
+    /// (`base_seq + position + 2`), so followers resyncing after the
+    /// restart find everything the journal still holds.
+    pub fn recover_replicating(
+        epoch: EpochState<R>,
+        index: Arc<WindowQueryIndex>,
+        journal_path: &Path,
+        store: Option<SnapshotStore>,
+        feed: Option<Arc<DeltaFeed>>,
+    ) -> Result<(Self, RecoverReport), String> {
         let (journal, replay) = IngestJournal::open(journal_path)
             .map_err(|e| format!("ingest journal {}: {e}", journal_path.display()))?;
+        let start_epoch = 1 + journal.last_seq();
         let mut live = Self {
             epoch,
             journal,
             store,
-            published: Arc::new(PublishedWindow::new(index)),
+            published: Arc::new(PublishedWindow::new_at(start_epoch, index)),
+            feed,
+            gauges: None,
         };
+        if let Some(feed) = &live.feed {
+            // Re-publish the surviving records under their durable
+            // epochs — including ones replay will skip below: a
+            // follower that already carries them skips them too.
+            for (position, delta) in replay.deltas.iter().enumerate() {
+                feed.publish(replay.base_seq + position as u64 + 2, delta);
+            }
+            feed.seed_epoch(start_epoch);
+        }
         let mut report = RecoverReport {
             discarded_bytes: replay.discarded_bytes,
             ..RecoverReport::default()
@@ -134,7 +173,11 @@ impl<R: RibSource + Clone> LiveWindow<R> {
             report.replayed += 1;
         }
         if let Some(index) = recovered {
-            live.published.swap(index);
+            // Install the replayed index without advancing the epoch:
+            // the replayed deltas consumed their sequence numbers (and
+            // therefore epochs) when they were first accepted, and the
+            // starting epoch above already accounts for them.
+            live.published.republish(index);
             // Everything replayed; fold the recovered tail (including
             // trailing retargets) into the store, then the journal can
             // start empty. No store: the journal stays — it IS the
@@ -162,6 +205,55 @@ impl<R: RibSource + Clone> LiveWindow<R> {
     /// Journal bytes currently awaiting compaction.
     pub fn journal_backlog(&self) -> u64 {
         self.journal.record_bytes()
+    }
+
+    /// Attaches serving gauges and primes their journal readings; every
+    /// subsequent ingest (and compaction) keeps them current.
+    pub fn attach_gauges(&mut self, gauges: Arc<HealthGauges>) {
+        self.gauges = Some(gauges);
+        self.sync_gauges();
+    }
+
+    fn sync_gauges(&self) {
+        if let Some(gauges) = &self.gauges {
+            gauges.set_journal(self.journal.record_bytes(), self.journal.record_count());
+        }
+    }
+
+    /// Whether the committed window already carries `delta`'s effect —
+    /// the same skip rule recovery replay uses, extended to detect
+    /// re-sent tail retargets (a replication feed resync re-serves
+    /// deltas a follower may have applied before the reconnect).
+    fn already_carried(&self, delta: &SnapshotDelta) -> bool {
+        let tail = self.epoch.tail_date();
+        if delta.to_date() < tail || (delta.to_date() == tail && delta.from_date() < tail) {
+            return true;
+        }
+        if delta.to_date() == tail && delta.from_date() == tail {
+            // A tail retarget: already carried exactly when re-applying
+            // it changes nothing.
+            let snapshot = self.epoch.tail_snapshot();
+            return delta.apply(snapshot) == **snapshot;
+        }
+        false
+    }
+
+    /// Applies one replication-feed delta through the full durable
+    /// ingest path — unless the window already carries it, which is
+    /// skipped (`Ok(None)`) rather than re-journaled. This is what
+    /// makes a follower's apply path idempotent under feed resyncs:
+    /// each delta advances the local epoch exactly once, no matter how
+    /// often the primary re-serves it.
+    pub fn ingest_feed(&mut self, delta: &SnapshotDelta) -> Result<Option<u64>, String>
+    where
+        R: Send,
+        EpochState<R>: Send,
+    {
+        if self.already_carried(delta) {
+            self.sync_gauges();
+            return Ok(None);
+        }
+        self.ingest(delta).map(Some)
     }
 
     /// Applies one delta to the epoch state and compacts if it appended
@@ -223,7 +315,12 @@ where
         // Write-ahead: the delta is durable before it is applied.
         self.journal.append(delta).map_err(|e| e.to_string())?;
         let (index, _) = self.apply(delta, true)?;
-        Ok(self.published.swap(index))
+        let epoch = self.published.swap(index);
+        if let Some(feed) = &self.feed {
+            feed.publish(epoch, delta);
+        }
+        self.sync_gauges();
+        Ok(epoch)
     }
 }
 
@@ -365,6 +462,10 @@ mod tests {
         assert_eq!((report.replayed, report.skipped), (2, 0));
         assert_eq!(report.discarded_bytes, 0);
         assert_eq!(live.tail_date(), month(2));
+        // The epoch is durable: 1 + the journal's sequence number, the
+        // same number the pre-restart daemon last published — so
+        // replication cursors keyed by it never alias across a crash.
+        assert_eq!(live.published().epoch(), 3);
 
         // Bit-identical to a batch recompute over the final snapshots.
         let reference = Arc::new(WindowQueryIndex::build(&recompute(&[s1, s2b])).unwrap());
@@ -434,6 +535,77 @@ mod tests {
             .load(month(2))
             .unwrap();
         assert_eq!(DnsSnapshot::materialize(&*stored), *s2b);
+    }
+
+    #[test]
+    fn feed_publishes_live_and_recovered_deltas_under_durable_epochs() {
+        use crate::replicate::DeltaFeed;
+        let dir = scratch("feed");
+        let journal = dir.join("ingest.sibjrnl");
+        let (s1, s2, s2b) = fixture();
+
+        // A live primary: each accepted delta lands in the feed under
+        // the epoch it published.
+        let (epoch, index) = seeded(std::slice::from_ref(&s1));
+        let feed = Arc::new(DeltaFeed::new());
+        let (mut live, _) =
+            LiveWindow::recover_replicating(epoch, index, &journal, None, Some(Arc::clone(&feed)))
+                .unwrap();
+        assert_eq!(feed.collect_since(0).current, 1);
+        live.ingest(&SnapshotDelta::diff(&s1, &s2)).unwrap();
+        live.ingest(&SnapshotDelta::diff(&s2, &s2b)).unwrap();
+        let batch = feed.collect_since(0);
+        assert_eq!((batch.floor, batch.current), (1, 3));
+        assert_eq!(
+            batch.deltas.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+
+        // A restarted primary re-seeds a fresh feed from the journal
+        // under the same durable epochs.
+        drop(live);
+        let (epoch, index) = seeded(std::slice::from_ref(&s1));
+        let feed = Arc::new(DeltaFeed::new());
+        let (live, _) =
+            LiveWindow::recover_replicating(epoch, index, &journal, None, Some(Arc::clone(&feed)))
+                .unwrap();
+        let reseeded = feed.collect_since(0);
+        assert_eq!((reseeded.floor, reseeded.current), (1, 3));
+        assert_eq!(
+            reseeded.deltas.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert_eq!(live.published().epoch(), 3);
+    }
+
+    #[test]
+    fn ingest_feed_applies_each_delta_exactly_once() {
+        let dir = scratch("ingest-feed");
+        let journal = dir.join("follower.sibjrnl");
+        let (s1, s2, s2b) = fixture();
+        let append = SnapshotDelta::diff(&s1, &s2);
+        let retarget = SnapshotDelta::diff(&s2, &s2b);
+
+        let (epoch, index) = seeded(std::slice::from_ref(&s1));
+        let (mut live, _) = LiveWindow::recover(epoch, index, &journal, None).unwrap();
+
+        // First delivery applies; re-delivery (a feed resync) skips.
+        assert_eq!(live.ingest_feed(&append).unwrap(), Some(2));
+        assert_eq!(live.ingest_feed(&append).unwrap(), None);
+        assert_eq!(live.ingest_feed(&retarget).unwrap(), Some(3));
+        assert_eq!(live.ingest_feed(&retarget).unwrap(), None);
+        assert_eq!(live.published().epoch(), 3, "skips never advance");
+        assert_eq!(live.tail_date(), month(2));
+
+        // The skipped re-deliveries were not re-journaled: a restart
+        // replays exactly the two applied deltas.
+        drop(live);
+        let (epoch, index) = seeded(std::slice::from_ref(&s1));
+        let (live, report) = LiveWindow::recover(epoch, index, &journal, None).unwrap();
+        assert_eq!((report.replayed, report.skipped), (2, 0));
+        assert_eq!(live.published().epoch(), 3);
+        let reference = Arc::new(WindowQueryIndex::build(&recompute(&[s1, s2b])).unwrap());
+        assert_eq!(rows(live.published().pin().index()), rows(&reference));
     }
 
     /// Property: under ANY interleaving of ingests and queries, a query

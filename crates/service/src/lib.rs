@@ -28,12 +28,14 @@ pub mod client;
 pub mod ingest;
 pub mod planner;
 pub mod protocol;
+pub mod replicate;
 pub mod server;
 
-pub use client::{Client, RetryPolicy};
+pub use client::{Client, FailoverClient, RetryPolicy};
 pub use ingest::{IngestSink, LiveWindow, RecoverReport};
 pub use planner::QueryPlanner;
 pub use protocol::{parse_request, ProtocolError, Request, Response};
+pub use replicate::{follow, DeltaFeed, FollowerHandle, FollowerOptions, HealthGauges};
 pub use server::{
     DrainReport, Endpoint, ServeOptions, ServeStats, ServeStatsSnapshot, Server, ServerHandle,
 };
@@ -447,6 +449,59 @@ mod tests {
         assert_eq!(
             (stats.ingests, stats.ingest_failures, stats.epochs),
             (2, 1, 1)
+        );
+    }
+
+    #[test]
+    fn failover_client_rotates_past_dead_replicas() {
+        // A dead endpoint (bound, learned, dropped) and a live replica.
+        let dead = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            format!("tcp://{}", listener.local_addr().unwrap())
+        };
+        let handle = start_tcp(2);
+        let policy = RetryPolicy {
+            attempts: 3,
+            base: std::time::Duration::from_millis(1),
+            ..RetryPolicy::default()
+        };
+        let mut client =
+            FailoverClient::new([dead.clone(), handle.endpoint().to_string()], policy).unwrap();
+        // The dead replica is rotated past transparently.
+        assert_eq!(
+            client.roundtrip("ping").unwrap(),
+            Response::Ok(vec!["pong".into()])
+        );
+        // The surviving connection is sticky: the next round-trip
+        // answers without re-dialing the dead one.
+        assert_eq!(
+            client.roundtrip("months").unwrap(),
+            Response::Ok(vec!["2024-01".into()])
+        );
+        // Every replica down: the transport error surfaces after the
+        // retry budget, distinguishable from a rejected request.
+        drop(handle);
+        let err = client.roundtrip("ping").unwrap_err();
+        assert!(RetryPolicy::transient(&err), "{err}");
+
+        assert!(FailoverClient::new(Vec::<String>::new(), policy).is_err());
+    }
+
+    #[test]
+    fn sub_without_a_feed_answers_the_typed_no_feed_error() {
+        let handle = start_tcp(1);
+        let mut client = Client::connect(handle.endpoint()).unwrap();
+        match client.roundtrip("sub 0").unwrap() {
+            Response::Err { code, message } => {
+                assert_eq!(code, "no-feed");
+                assert!(message.contains("primary"), "{message}");
+            }
+            other => panic!("expected no-feed, got {other:?}"),
+        }
+        // The connection keeps serving reads.
+        assert_eq!(
+            client.roundtrip("ping").unwrap(),
+            Response::Ok(vec!["pong".into()])
         );
     }
 

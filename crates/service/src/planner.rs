@@ -15,6 +15,7 @@ use sibling_core::{PublishedWindow, SiblingPair};
 use sibling_net_types::MonthDate;
 
 use crate::protocol::{parse_request, ProtocolError, Request};
+use crate::replicate::{DeltaFeed, HealthGauges};
 use crate::server::ServeStats;
 
 /// Executes requests against the published window. Cloning is an `Arc`
@@ -27,6 +28,12 @@ pub struct QueryPlanner {
     /// server when it starts; `None` (all-zero health counters) when the
     /// planner is used standalone.
     stats: Option<Arc<ServeStats>>,
+    /// The replication feed `sub` answers from — attached on primaries;
+    /// everywhere else `sub` answers the typed `no-feed` error.
+    feed: Option<Arc<DeltaFeed>>,
+    /// Replication gauges for `health`'s role/epoch-lag/journal lines —
+    /// `None` reports the static-daemon defaults.
+    gauges: Option<Arc<HealthGauges>>,
 }
 
 /// Renders one sibling pair as a response data line (sans newline):
@@ -59,6 +66,8 @@ impl QueryPlanner {
         Self {
             window,
             stats: None,
+            feed: None,
+            gauges: None,
         }
     }
 
@@ -77,6 +86,20 @@ impl QueryPlanner {
     /// `health` with zero counters.
     pub fn attach_stats(&mut self, stats: Arc<ServeStats>) {
         self.stats = Some(stats);
+    }
+
+    /// Attaches the replication feed `sub` answers from — done on
+    /// primaries before the server starts. Planners without a feed
+    /// answer `sub` with the typed `no-feed` error.
+    pub fn attach_feed(&mut self, feed: Arc<DeltaFeed>) {
+        self.feed = Some(feed);
+    }
+
+    /// Attaches the replication gauges behind `health`'s `role`,
+    /// `epoch-lag`, `journal-bytes` and `journal-records` lines.
+    /// Planners without gauges report `role static` and zeros.
+    pub fn attach_gauges(&mut self, gauges: Arc<HealthGauges>) {
+        self.gauges = Some(gauges);
     }
 
     /// Answers one raw request line, replacing `out` with the complete
@@ -205,9 +228,26 @@ impl QueryPlanner {
                 let lag = stats
                     .ingests
                     .saturating_sub(stats.ingest_failures + stats.epochs);
-                out.push_str("ok 11\n");
+                let gauges = self.gauges.as_deref();
+                out.push_str("ok 15\n");
                 let _ = writeln!(out, "months {}", index.months().len());
                 let _ = writeln!(out, "epoch {}", pin.epoch());
+                let _ = writeln!(out, "role {}", gauges.map_or("static", HealthGauges::role));
+                let _ = writeln!(
+                    out,
+                    "epoch-lag {}",
+                    gauges.map_or(0, HealthGauges::epoch_lag)
+                );
+                let _ = writeln!(
+                    out,
+                    "journal-bytes {}",
+                    gauges.map_or(0, HealthGauges::journal_bytes)
+                );
+                let _ = writeln!(
+                    out,
+                    "journal-records {}",
+                    gauges.map_or(0, HealthGauges::journal_records)
+                );
                 let _ = writeln!(out, "ingests {}", stats.ingests);
                 let _ = writeln!(out, "ingest-failures {}", stats.ingest_failures);
                 let _ = writeln!(out, "epochs-published {}", stats.epochs);
@@ -222,6 +262,15 @@ impl QueryPlanner {
             // before the planner sees it; reaching this arm means the
             // daemon has no writer.
             Request::Ingest(_) => return Err(ProtocolError::ReadOnly),
+            Request::Subscribe { from_epoch } => {
+                let feed = self.feed.as_deref().ok_or(ProtocolError::NoFeed)?;
+                let batch = feed.collect_since(*from_epoch);
+                let _ = writeln!(out, "ok {}", 1 + batch.deltas.len());
+                let _ = writeln!(out, "feed {} {}", batch.floor, batch.current);
+                for (epoch, hex) in &batch.deltas {
+                    let _ = writeln!(out, "{epoch} {hex}");
+                }
+            }
         }
         Ok(())
     }
@@ -356,13 +405,69 @@ mod tests {
         assert_eq!(answer("epoch"), "ok 1\n1\n");
         let health = answer("health");
         assert!(
-            health.starts_with("ok 11\nmonths 2\nepoch 1\n"),
+            health.starts_with("ok 15\nmonths 2\nepoch 1\nrole static\n"),
             "{health:?}"
         );
         // Detached planner: all serving counters read zero.
-        for line in ["ingests 0", "ingest-lag 0", "served 0", "panics 0"] {
+        for line in [
+            "epoch-lag 0",
+            "journal-bytes 0",
+            "journal-records 0",
+            "ingests 0",
+            "ingest-lag 0",
+            "served 0",
+            "panics 0",
+        ] {
             assert!(health.contains(&format!("\n{line}\n")), "{health:?}");
         }
+    }
+
+    #[test]
+    fn health_reports_attached_replication_gauges() {
+        use crate::replicate::HealthGauges;
+        let mut planner = planner();
+        let gauges = HealthGauges::follower();
+        gauges.set_journal(2048, 7);
+        gauges.observe_source(9);
+        gauges.observe_applied(6);
+        planner.attach_gauges(Arc::clone(&gauges));
+        let mut health = String::new();
+        planner.answer_line("health", &mut health);
+        for line in [
+            "role follower",
+            "epoch-lag 3",
+            "journal-bytes 2048",
+            "journal-records 7",
+        ] {
+            assert!(health.contains(&format!("\n{line}\n")), "{health:?}");
+        }
+    }
+
+    #[test]
+    fn sub_answers_the_feed_or_the_typed_no_feed_error() {
+        use crate::replicate::DeltaFeed;
+        use sibling_dns::{DnsSnapshot, SnapshotDelta};
+
+        // No feed attached: the typed, non-retryable error.
+        let out = answer("sub 0");
+        assert!(out.starts_with("err no-feed "), "{out:?}");
+
+        let mut planner = planner();
+        let feed = Arc::new(DeltaFeed::new());
+        let delta = SnapshotDelta::diff(
+            &DnsSnapshot::new(MonthDate::new(2024, 2)),
+            &DnsSnapshot::new(MonthDate::new(2024, 3)),
+        );
+        feed.seed_epoch(1);
+        feed.publish(2, &delta);
+        planner.attach_feed(feed);
+        let mut out = String::new();
+        planner.answer_line("sub 0", &mut out);
+        let hex = crate::protocol::to_hex(&sibling_dns::encode_delta(&delta));
+        assert_eq!(out, format!("ok 2\nfeed 1 2\n2 {hex}\n"));
+        // A caught-up cursor gets just the bounds header.
+        planner.answer_line("sub 2", &mut out);
+        assert_eq!(out, "ok 1\nfeed 1 2\n");
     }
 
     #[test]

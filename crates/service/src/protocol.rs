@@ -17,12 +17,28 @@
 //! ingest HEX                    apply one hex-armored snapshot delta
 //!                               (journal payload encoding); writer daemons
 //!                               only
+//! sub FROM-EPOCH                the replication feed: a `feed FLOOR
+//!                               CURRENT` bounds line, then every retained
+//!                               delta published after FROM-EPOCH, one
+//!                               `EPOCH HEX` line each (same armor as
+//!                               `ingest`); feed-publishing daemons only
 //! ```
 //!
 //! Responses are `ok N` followed by exactly `N` data lines, or a single
 //! `err <code> <message>` line. Every malformed request maps to a typed
 //! [`ProtocolError`] — the connection survives; only transport failures
 //! disconnect.
+//!
+//! `sub` is how a follower daemon tails a primary. The first data line,
+//! `feed FLOOR CURRENT`, carries the feed's bounds: nothing at or below
+//! epoch `FLOOR` is retained any more (the follower's bootstrap store
+//! must cover it) and `CURRENT` is the primary's published epoch — what
+//! a caught-up cursor reads. Each following line is the epoch a delta
+//! published plus the delta itself in the journal's payload encoding
+//! ([`sibling_dns::encode_delta`]) — the byte-identical codec `SIBJRNL`
+//! persists, so the feed and the journal cannot drift. Followers poll
+//! with their last applied epoch as the cursor; a bounds-only answer
+//! with `CURRENT` equal to the cursor means they are caught up.
 
 use std::fmt;
 
@@ -77,6 +93,13 @@ pub enum Request {
     /// `ingest HEX` — one snapshot delta, hex-armored in the journal's
     /// payload encoding ([`sibling_dns::encode_delta`]).
     Ingest(SnapshotDelta),
+    /// `sub FROM-EPOCH` — the replication feed: every retained delta
+    /// published after `from_epoch`, one `EPOCH HEX` line each.
+    Subscribe {
+        /// The follower's cursor: the epoch of the last delta it
+        /// applied (0 = everything the feed retains).
+        from_epoch: u64,
+    },
 }
 
 impl Request {
@@ -92,6 +115,7 @@ impl Request {
             Request::Epoch => "epoch",
             Request::Health => "health",
             Request::Ingest(_) => "ingest",
+            Request::Subscribe { .. } => "sub",
         }
     }
 }
@@ -140,6 +164,7 @@ impl fmt::Display for Request {
             Request::Ingest(delta) => {
                 write!(f, "ingest {}", to_hex(&sibling_dns::encode_delta(delta)))
             }
+            Request::Subscribe { from_epoch } => write!(f, "sub {from_epoch}"),
         }
     }
 }
@@ -206,6 +231,10 @@ pub enum ProtocolError {
         /// The underlying failure, rendered.
         detail: String,
     },
+    /// A `sub` was sent to a daemon that publishes no replication feed
+    /// (a static window, or a follower — followers do not re-publish).
+    /// Not retryable against this daemon.
+    NoFeed,
 }
 
 impl ProtocolError {
@@ -221,6 +250,7 @@ impl ProtocolError {
             ProtocolError::Timeout { .. } => "timeout",
             ProtocolError::ReadOnly => "read-only",
             ProtocolError::IngestFailed { .. } => "ingest-failed",
+            ProtocolError::NoFeed => "no-feed",
         }
     }
 
@@ -237,7 +267,7 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Empty => write!(f, "empty request line"),
             ProtocolError::UnknownVerb(verb) => write!(
                 f,
-                "unknown verb {verb:?} (ping|months|stats|siblings|partners|pair|epoch|health|ingest)"
+                "unknown verb {verb:?} (ping|months|stats|siblings|partners|pair|epoch|health|ingest|sub)"
             ),
             ProtocolError::Usage { verb, usage } => write!(f, "usage: {verb} {usage}"),
             ProtocolError::BadArg {
@@ -262,6 +292,12 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::IngestFailed { detail } => {
                 write!(f, "ingest rejected, window rolled back: {detail}")
+            }
+            ProtocolError::NoFeed => {
+                write!(
+                    f,
+                    "daemon publishes no delta feed; subscribe to a primary started with --ingest"
+                )
             }
         }
     }
@@ -408,6 +444,16 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             }
             _ => Err(usage("ingest", "HEX-ENCODED-DELTA")),
         },
+        "sub" => match args[..] {
+            [from] => Ok(Request::Subscribe {
+                from_epoch: from.parse().map_err(|e| ProtocolError::BadArg {
+                    what: "epoch",
+                    input: from.into(),
+                    detail: format!("{e} (unsigned integer, 0 = everything retained)"),
+                })?,
+            }),
+            _ => Err(usage("sub", "FROM-EPOCH")),
+        },
         other => Err(ProtocolError::UnknownVerb(other.into())),
     }
 }
@@ -503,6 +549,7 @@ mod tests {
         );
         assert_eq!(req("epoch"), Request::Epoch);
         assert_eq!(req("health"), Request::Health);
+        assert_eq!(req("sub 42"), Request::Subscribe { from_epoch: 42 });
         // Whitespace is insignificant.
         assert_eq!(req("  ping  "), Request::Ping);
     }
@@ -567,6 +614,33 @@ mod tests {
         assert_eq!(from_hex("DEADbeef").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
         assert_eq!(from_hex("abc"), None);
         assert_eq!(from_hex("gg"), None);
+    }
+
+    #[test]
+    fn sub_round_trips_and_rejects_malformed_cursors() {
+        for from_epoch in [0u64, 1, u64::MAX] {
+            let request = Request::Subscribe { from_epoch };
+            assert_eq!(request.verb(), "sub");
+            assert_eq!(req(&request.to_string()), request);
+        }
+        assert!(matches!(err("sub"), ProtocolError::Usage { .. }));
+        assert!(matches!(err("sub 1 2"), ProtocolError::Usage { .. }));
+        assert!(matches!(
+            err("sub minus-one"),
+            ProtocolError::BadArg { what: "epoch", .. }
+        ));
+        assert!(matches!(
+            err("sub -1"),
+            ProtocolError::BadArg { what: "epoch", .. }
+        ));
+    }
+
+    #[test]
+    fn no_feed_has_a_stable_code() {
+        let no_feed = ProtocolError::NoFeed;
+        assert_eq!(no_feed.code(), "no-feed");
+        assert!(!no_feed.is_retryable());
+        assert!(no_feed.to_string().contains("primary"));
     }
 
     #[test]
@@ -690,6 +764,7 @@ mod tests {
         let msg = err("frobnicate").to_string();
         for verb in [
             "ping", "months", "stats", "siblings", "partners", "pair", "epoch", "health", "ingest",
+            "sub",
         ] {
             assert!(msg.contains(verb), "{msg:?} should name {verb}");
         }

@@ -730,6 +730,13 @@ fn serve_conn(shared: &Shared, conn: Conn, out: &mut String, ctx: &ResidentCtx) 
                     // shedding): the writer thread serializes them.
                     answer_ingest(shared, &line, out);
                 } else {
+                    // Failpoint: the primary dies (or the connection
+                    // tears) instead of answering a feed poll — the
+                    // follower must resync from its cursor.
+                    if line.split_whitespace().next() == Some("sub") {
+                        sibling_failpoint::io_point("replication::send")
+                            .map_err(|e| io::Error::new(io::ErrorKind::ConnectionReset, e))?;
+                    }
                     shared
                         .planner
                         .answer_line_under_pressure(&line, out, pressure);

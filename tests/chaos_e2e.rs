@@ -533,3 +533,242 @@ fn daemon_under_chaos_answers_bit_identically_and_drains() {
     let report = handle.drain();
     assert!(report.drained, "drain completed: {}", report.stats);
 }
+
+/// The replication availability contract end to end: a follower tailing
+/// a primary's feed keeps serving its pinned epoch bit-identically
+/// after the primary dies mid-stream, then reconnects, catches up, and
+/// applies nothing twice — all three `replication::*` failpoint sites
+/// fire along the way.
+#[test]
+#[cfg(unix)]
+fn primary_killed_mid_stream_follower_serves_pinned_epoch_then_catches_up() {
+    use sibling_service::{
+        follow, DeltaFeed, FollowerOptions, HealthGauges, Request, ServerHandle,
+    };
+    use std::time::Instant;
+
+    let _guard = chaos_guard();
+    let scratch = Scratch::new("replication");
+    let world = World::generate(WorldConfig::test_tiny(43));
+    let to = world.config.end;
+    let next = to.add_months(-1);
+    let mid = to.add_months(-2);
+    let from = to.add_months(-3);
+    // A unix socket endpoint so the restarted primary can rebind the
+    // *same* address the follower was told to tail.
+    let sock = scratch.0.join("primary.sock");
+    let primary_journal = scratch.0.join("primary.sibjrnl");
+
+    // Boots (or re-boots) the primary on `sock`: bootstrap the offline
+    // window, replay its journal into a fresh feed, serve.
+    let start_primary = || -> (ServerHandle, String) {
+        let _ = std::fs::remove_file(&sock);
+        let feed = Arc::new(DeltaFeed::new());
+        let (epoch, index) = live_seed(&world, from, mid);
+        let (mut live, _) = LiveWindow::recover_replicating(
+            epoch,
+            index,
+            &primary_journal,
+            None,
+            Some(Arc::clone(&feed)),
+        )
+        .expect("primary recovers");
+        live.attach_gauges(HealthGauges::primary());
+        let mut planner = QueryPlanner::live(live.published());
+        planner.attach_feed(feed);
+        let server = Server::bind(&Endpoint::Unix(sock.clone())).expect("bind unix");
+        let endpoint = server.endpoint().to_string();
+        let handle = server
+            .start_live(
+                planner,
+                ThreadPool::with_threads(1),
+                2,
+                ServeOptions::default(),
+                Box::new(live),
+            )
+            .expect("primary starts");
+        (handle, endpoint)
+    };
+    let (primary_handle, primary_endpoint) = start_primary();
+
+    // The follower: same bootstrap, its own journal, served over TCP.
+    let follower_gauges = HealthGauges::follower();
+    let (follower_epoch, follower_index) = live_seed(&world, from, mid);
+    let (mut follower_live, _) = LiveWindow::recover(
+        follower_epoch,
+        follower_index,
+        &scratch.0.join("follower.sibjrnl"),
+        None,
+    )
+    .expect("follower recovers");
+    follower_live.attach_gauges(Arc::clone(&follower_gauges));
+    let mut follower_planner = QueryPlanner::live(follower_live.published());
+    follower_planner.attach_gauges(Arc::clone(&follower_gauges));
+    let follower_server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into())).expect("bind");
+    let follower_endpoint = follower_server.endpoint().to_string();
+    let replication = follow(
+        follower_live,
+        &primary_endpoint,
+        follower_gauges,
+        FollowerOptions {
+            poll_interval: Duration::from_millis(10),
+            ..FollowerOptions::default()
+        },
+    )
+    .expect("replication thread starts");
+    let follower_handle = follower_server
+        .start_with(
+            follower_planner,
+            ThreadPool::with_threads(1),
+            2,
+            ServeOptions::default(),
+        )
+        .expect("follower starts");
+
+    let health_lines = |client: &mut Client| match client.roundtrip("health").expect("health") {
+        Response::Ok(lines) => lines,
+        Response::Err { code, message } => panic!("health failed: {code} {message}"),
+    };
+    let wait_follower_epoch = |client: &mut Client, want: &str| {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let health = health_lines(client);
+            if health.iter().any(|l| l == want) && health.iter().any(|l| l == "epoch-lag 0") {
+                return health;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "follower never reached {want:?}: {health:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    };
+
+    // Stream the first month; the follower applies it (epoch 2).
+    let mut primary = Client::connect(&primary_endpoint).expect("connect primary");
+    let mut follower = Client::connect(&follower_endpoint).expect("connect follower");
+    let d1 = SnapshotDelta::diff(&world.snapshot(mid), &world.snapshot(next));
+    match primary
+        .roundtrip(&Request::Ingest(d1).to_string())
+        .expect("ingest d1")
+    {
+        Response::Ok(lines) => assert_eq!(lines, vec!["2".to_string()]),
+        Response::Err { code, message } => panic!("ingest d1: {code} {message}"),
+    }
+    wait_follower_epoch(&mut follower, "epoch 2");
+
+    // Freeze the follower's feed polling deterministically (every recv
+    // attempt fails), let any in-flight poll land, then stream the
+    // second month and kill the primary mid-stream: the follower has
+    // epoch 2, the primary journaled epoch 3, nothing was shipped.
+    failpoint::configure("replication::recv", "always*return").unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    let d2 = SnapshotDelta::diff(&world.snapshot(next), &world.snapshot(to));
+    match primary
+        .roundtrip(&Request::Ingest(d2).to_string())
+        .expect("ingest d2")
+    {
+        Response::Ok(lines) => assert_eq!(lines, vec!["3".to_string()]),
+        Response::Err { code, message } => panic!("ingest d2: {code} {message}"),
+    }
+    drop(primary);
+    drop(primary_handle); // the crash: no drain protocol, the socket just dies
+
+    // The follower keeps serving its pinned epoch: every read verb
+    // answers bit-identically to an offline recompute of exactly the
+    // months it applied (from..=next, epoch 2).
+    let pinned = score(&world, from, next);
+    let reference =
+        QueryPlanner::new(WindowQueryIndex::publish(&pinned).expect("non-empty window"));
+    let mut requests: Vec<String> = vec!["months".into(), "stats".into()];
+    for (month, set) in &pinned.results {
+        requests.push(format!("stats {month}"));
+        let pairs: Vec<_> = set.iter().collect();
+        assert!(!pairs.is_empty(), "synthetic world detects pairs");
+        for pair in pairs.iter().step_by((pairs.len() / 4).max(1)) {
+            requests.push(format!("siblings {} {} {month}", pair.v4, pair.v6));
+            requests.push(format!("partners {} {month} 3", pair.v4));
+            requests.push(format!("pair {} {} {from}..{next}", pair.v4, pair.v6));
+        }
+    }
+    for request in &requests {
+        let mut out = String::new();
+        reference.answer_line(request, &mut out);
+        let mut want = out.lines();
+        let header = want.next().unwrap();
+        assert!(header.starts_with("ok "), "{request:?} -> {header:?}");
+        let want: Vec<String> = want.map(str::to_string).collect();
+        match follower.roundtrip(request).expect("follower roundtrip") {
+            Response::Ok(lines) => assert_eq!(
+                lines, want,
+                "follower diverged from the pinned-epoch recompute on {request:?}"
+            ),
+            Response::Err { code, message } => {
+                panic!("follower {request:?} failed: {code} {message}")
+            }
+        }
+    }
+    let health = health_lines(&mut follower);
+    assert!(
+        health.iter().any(|l| l == "epoch 2"),
+        "pinned epoch: {health:?}"
+    );
+
+    // Restart the primary on the same socket: its journal replays both
+    // deltas and reseeds the feed under their durable epochs. Arm the
+    // remaining sites before unfreezing: the first apply attempt is
+    // abandoned (and must not double-apply on retry), and feed answers
+    // tear connections now and then.
+    failpoint::configure("replication::apply", "once*return").unwrap();
+    failpoint::configure("replication::send", "1in3*return").unwrap();
+    let (primary_handle, _) = start_primary();
+    // Read the freeze's accounting before clearing the site (clear
+    // drops its counters too).
+    let recv_fired = failpoint::fired("replication::recv");
+    failpoint::clear("replication::recv");
+
+    // The follower reconnects and converges: primary epoch, zero lag.
+    let health = wait_follower_epoch(&mut follower, "epoch 3");
+    // Idempotence, proven by the epoch counters: the follower's own
+    // journal holds exactly the two deltas — the re-served feed (a
+    // superset of what it already applied) and the abandoned first
+    // apply attempt added nothing twice.
+    assert!(
+        health.iter().any(|l| l == "journal-records 2"),
+        "exactly one journal record per delta: {health:?}"
+    );
+    // Both replicas now answer the full window identically, and it is
+    // the offline recompute of from..=to.
+    let full = WindowQueryIndex::publish(&score(&world, from, to)).expect("non-empty window");
+    let mut primary = Client::connect(&primary_endpoint).expect("reconnect primary");
+    for client in [&mut primary, &mut follower] {
+        match client.roundtrip("stats").expect("stats") {
+            Response::Ok(lines) => assert_eq!(lines, stat_rows(&full)),
+            Response::Err { code, message } => panic!("stats failed: {code} {message}"),
+        }
+    }
+
+    // Every replication site actually bit.
+    assert!(recv_fired >= 1, "the freeze fired the recv site");
+    assert_eq!(
+        failpoint::fired("replication::apply"),
+        1,
+        "the apply site fired exactly once"
+    );
+    let send_deadline = Instant::now() + Duration::from_secs(10);
+    while failpoint::fired("replication::send") < 1 && Instant::now() < send_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        failpoint::fired("replication::send") >= 1,
+        "feed polling kept hitting the send site"
+    );
+    failpoint::clear("replication::send");
+    failpoint::clear("replication::apply");
+
+    replication.stop();
+    drop(follower);
+    drop(primary);
+    drop(follower_handle);
+    drop(primary_handle);
+}

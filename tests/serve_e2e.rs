@@ -347,3 +347,148 @@ fn live_daemon_ingest_epoch_and_health_over_the_wire() {
     drop(handle);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn follower_tails_the_primary_and_serves_identical_answers() {
+    use sibling_core::{EngineConfig, EpochState};
+    use sibling_dns::SnapshotDelta;
+    use sibling_service::{
+        follow, DeltaFeed, FollowerOptions, HealthGauges, LiveWindow, Request, ServeOptions,
+    };
+    use std::time::{Duration, Instant};
+
+    let world = World::generate(WorldConfig::test_tiny(41));
+    let to = world.config.end;
+    let mid = to.add_months(-2);
+    let from = to.add_months(-3);
+
+    let dir = std::env::temp_dir().join(format!("sibling-serve-follow-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Both sides bootstrap the same offline window — exactly what two
+    // `serve --ingest` processes over the same store would do.
+    let seed = |journal: &std::path::Path, feed| {
+        let results = score_window(&world, from, mid);
+        let (epoch, index) = EpochState::seed(
+            EngineConfig::default(),
+            world.rib_archive(),
+            results,
+            Arc::new(world.snapshot(mid)),
+        )
+        .expect("offline window seeds");
+        LiveWindow::recover_replicating(epoch, index, journal, None, feed).expect("recover")
+    };
+
+    // The primary: live window, delta feed, `sub` served off the planner.
+    let feed = Arc::new(DeltaFeed::new());
+    let primary_gauges = HealthGauges::primary();
+    let (mut primary_live, _) = seed(&dir.join("primary.sibjrnl"), Some(Arc::clone(&feed)));
+    primary_live.attach_gauges(Arc::clone(&primary_gauges));
+    let mut primary_planner = QueryPlanner::live(primary_live.published());
+    primary_planner.attach_feed(feed);
+    primary_planner.attach_gauges(primary_gauges);
+    let primary_server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into())).expect("bind");
+    let primary_endpoint = primary_server.endpoint().to_string();
+    let primary_handle = primary_server
+        .start_live(
+            primary_planner,
+            ThreadPool::with_threads(1),
+            2,
+            ServeOptions::default(),
+            Box::new(primary_live),
+        )
+        .expect("primary starts");
+
+    // The follower: same bootstrap, its own journal, no feed or sink of
+    // its own — the replication thread is the only writer.
+    let follower_gauges = HealthGauges::follower();
+    let (mut follower_live, _) = seed(&dir.join("follower.sibjrnl"), None);
+    follower_live.attach_gauges(Arc::clone(&follower_gauges));
+    let mut follower_planner = QueryPlanner::live(follower_live.published());
+    follower_planner.attach_gauges(Arc::clone(&follower_gauges));
+    let follower_server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into())).expect("bind");
+    let follower_endpoint = follower_server.endpoint().to_string();
+    let replication = follow(
+        follower_live,
+        &primary_endpoint,
+        follower_gauges,
+        FollowerOptions::default(),
+    )
+    .expect("replication thread starts");
+    let follower_handle = follower_server
+        .start_with(
+            follower_planner,
+            ThreadPool::with_threads(1),
+            2,
+            ServeOptions::default(),
+        )
+        .expect("follower starts");
+
+    // Stream two months into the primary over the wire.
+    let mut primary = Client::connect(&primary_endpoint).expect("connect primary");
+    let next = mid.add_months(1);
+    let d1 = SnapshotDelta::diff(&world.snapshot(mid), &world.snapshot(next));
+    let d2 = SnapshotDelta::diff(&world.snapshot(next), &world.snapshot(to));
+    assert_eq!(
+        ok_lines(&mut primary, &Request::Ingest(d1).to_string()),
+        vec!["2".to_string()]
+    );
+    assert_eq!(
+        ok_lines(&mut primary, &Request::Ingest(d2).to_string()),
+        vec!["3".to_string()]
+    );
+
+    // The follower catches up: health drains to zero epoch lag at the
+    // primary's published epoch.
+    let mut follower = Client::connect(&follower_endpoint).expect("connect follower");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let health = ok_lines(&mut follower, "health");
+        if health.iter().any(|l| l == "epoch-lag 0") && health.iter().any(|l| l == "epoch 3") {
+            assert!(
+                health.iter().any(|l| l == "role follower"),
+                "follower health: {health:?}"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower never caught up: {health:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let health = ok_lines(&mut primary, "health");
+    assert!(
+        health.iter().any(|l| l == "role primary"),
+        "primary health: {health:?}"
+    );
+
+    // Every read verb answers bit-identically on both replicas.
+    for request in ["months", "stats", "epoch"] {
+        assert_eq!(
+            ok_lines(&mut primary, request),
+            ok_lines(&mut follower, request),
+            "replicas disagree on {request:?}"
+        );
+    }
+
+    // The follower is read-only and serves no feed of its own; the
+    // primary's feed answers `sub` over the wire with both deltas.
+    let stale = SnapshotDelta::diff(&world.snapshot(mid), &world.snapshot(next));
+    assert_eq!(
+        err_code(&mut follower, &Request::Ingest(stale).to_string()),
+        "read-only"
+    );
+    assert_eq!(err_code(&mut follower, "sub 0"), "no-feed");
+    let sub = ok_lines(&mut primary, "sub 1");
+    assert_eq!(sub.len(), 3, "bounds line + two deltas: {sub:?}");
+    assert_eq!(sub[0], "feed 1 3");
+
+    replication.stop();
+    drop(follower);
+    drop(primary);
+    drop(follower_handle);
+    drop(primary_handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
